@@ -1,0 +1,116 @@
+package pccs_test
+
+// The benchmark harness regenerates every paper artifact (one benchmark per
+// table/figure, per DESIGN.md's experiment index) plus the ablations.
+// Outputs go to io.Discard; run cmd/pccs-experiments to see the tables.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig8 -v
+
+import (
+	"io"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/experiments"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	// Short simulation windows keep a full -bench=. pass tractable; the
+	// cmd/pccs-experiments harness uses the standard windows.
+	rc := soc.RunConfig{WarmupCycles: 100_000, MeasureCycles: 100_000}
+	ctx, err := experiments.NewContext(io.Discard, "models/pccs-models.json", rc)
+	if err != nil {
+		b.Fatalf("context: %v", err)
+	}
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(ctx); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// Characterization (paper §2).
+
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+
+// Model construction and properties (paper §3).
+
+func BenchmarkTable5(b *testing.B)              { benchExperiment(b, "table5") }
+func BenchmarkTable7(b *testing.B)              { benchExperiment(b, "table7") }
+func BenchmarkSourceObliviousness(b *testing.B) { benchExperiment(b, "sourceobl") }
+
+// Model validation (paper §4.1, §4.2).
+
+func BenchmarkFig8(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)    { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)   { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkSummary(b *testing.B) { benchExperiment(b, "summary") }
+
+// Design-space exploration (paper §4.3).
+
+func BenchmarkTable9(b *testing.B)       { benchExperiment(b, "table9") }
+func BenchmarkUsecaseCores(b *testing.B) { benchExperiment(b, "usecase-cores") }
+func BenchmarkFig15(b *testing.B)        { benchExperiment(b, "fig15") }
+
+// Ablations of the design choices DESIGN.md calls out.
+
+func BenchmarkAblationPiecewise(b *testing.B)   { benchExperiment(b, "ablation-piecewise") }
+func BenchmarkAblationExtraction(b *testing.B)  { benchExperiment(b, "ablation-extraction") }
+func BenchmarkAblationCalibrators(b *testing.B) { benchExperiment(b, "ablation-calibrators") }
+func BenchmarkAblationPolicies(b *testing.B)    { benchExperiment(b, "ablation-policies") }
+func BenchmarkAblationRefresh(b *testing.B)     { benchExperiment(b, "ablation-refresh") }
+
+// Extensions (paper §5 discussion).
+
+func BenchmarkExtMultiMC(b *testing.B)   { benchExperiment(b, "ext-multimc") }
+func BenchmarkExtDNNPhases(b *testing.B) { benchExperiment(b, "ext-dnnphases") }
+
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkSimulatorCorun(b *testing.B) {
+	p := soc.VirtualXavier()
+	pl := soc.Placement{
+		0: soc.Kernel{Name: "cpu", DemandGBps: 50},
+		1: soc.Kernel{Name: "gpu", DemandGBps: 90},
+		2: soc.Kernel{Name: "dla", DemandGBps: 20},
+	}
+	rc := soc.QuickRunConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(pl, rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelPredict(b *testing.B) {
+	ctx, err := experiments.NewContext(io.Discard, "models/pccs-models.json", soc.QuickRunConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := ctx.Models.Get("virtual-xavier", "GPU")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += m.Predict(float64(i%137), float64((i*7)%137))
+	}
+	_ = sink
+}

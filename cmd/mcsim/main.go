@@ -1,0 +1,78 @@
+// Command mcsim is the standalone memory-controller policy simulator used
+// by the §2.3 validation (the Ramulator-based study of the paper): a
+// 16-core CMP over DDR4-3200, with a low-bandwidth core group and a
+// high-bandwidth core group, under a selectable scheduling policy.
+//
+// Usage:
+//
+//	mcsim -policy TCM -low 60 -high 90
+//	mcsim -policy all -low 60 -high 90
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcsim: ")
+	var (
+		policy = flag.String("policy", "all", "FCFS, FR-FCFS, ATLAS, TCM, SMS, or all")
+		low    = flag.Float64("low", 60, "low-group total demand (GB/s), split over cores 0-7")
+		high   = flag.Float64("high", 90, "high-group total demand (GB/s), split over cores 8-15")
+		full   = flag.Bool("full", false, "long simulation windows")
+	)
+	flag.Parse()
+
+	var policies []memctrl.PolicyKind
+	if *policy == "all" {
+		policies = memctrl.AllPolicies
+	} else {
+		k, err := memctrl.ParsePolicy(*policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = []memctrl.PolicyKind{k}
+	}
+	rc := soc.QuickRunConfig()
+	if *full {
+		rc = soc.DefaultRunConfig()
+	}
+
+	fmt.Printf("CMP16 DDR4-3200 (%.1f GB/s peak): low group %.0f GB/s, high group %.0f GB/s\n\n",
+		soc.CMP16(memctrl.FCFS).PeakGBps(), *low, *high)
+	fmt.Printf("%-8s  %10s  %10s  %8s  %12s\n", "policy", "lowRS %", "highRS %", "RBH %", "effBW GB/s")
+	for _, pk := range policies {
+		p := soc.CMP16(pk)
+		pl := soc.Placement{}
+		for i := 0; i < 8; i++ {
+			pl[i] = soc.Kernel{Name: fmt.Sprintf("low%d", i), DemandGBps: *low / 8}
+		}
+		for i := 8; i < 16; i++ {
+			pl[i] = soc.Kernel{Name: fmt.Sprintf("high%d", i), DemandGBps: *high / 8}
+		}
+		res, err := p.RelativeSpeeds(pl, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := p.Run(pl, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var lowRS, highRS []float64
+		for i := 0; i < 8; i++ {
+			lowRS = append(lowRS, 100*res[i].RelativeSpeed)
+		}
+		for i := 8; i < 16; i++ {
+			highRS = append(highRS, 100*res[i].RelativeSpeed)
+		}
+		fmt.Printf("%-8s  %10.1f  %10.1f  %8.1f  %12.1f\n",
+			pk, stats.Mean(lowRS), stats.Mean(highRS), 100*out.RowHitRate, out.EffectiveGBps)
+	}
+}

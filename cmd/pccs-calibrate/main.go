@@ -1,0 +1,80 @@
+// Command pccs-calibrate constructs PCCS slowdown models for the virtual
+// platforms (the processor-centric methodology of §3.2: calibrator sweep +
+// five-step parameter extraction) and writes them to a model file the rest
+// of the tooling loads.
+//
+// Usage:
+//
+//	pccs-calibrate [-o models/pccs-models.json] [-platform all|xavier|snapdragon]
+//	               [-mode robust|strict] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccs-calibrate: ")
+	var (
+		out      = flag.String("o", "models/pccs-models.json", "output model file")
+		platform = flag.String("platform", "all", "platform to calibrate: all, xavier, snapdragon")
+		mode     = flag.String("mode", "robust", "extraction mode: robust or strict")
+		quick    = flag.Bool("quick", false, "short simulation windows (noisier parameters)")
+	)
+	flag.Parse()
+
+	opt := calib.DefaultOptions()
+	switch *mode {
+	case "robust":
+	case "strict":
+		opt.Mode = calib.Strict
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	rc := soc.RunConfig{WarmupCycles: 200_000, MeasureCycles: 1_000_000}
+	if *quick {
+		rc = soc.QuickRunConfig()
+	}
+
+	var platforms []*soc.Platform
+	switch *platform {
+	case "all":
+		platforms = []*soc.Platform{soc.VirtualXavier(), soc.VirtualSnapdragon()}
+	case "xavier":
+		platforms = []*soc.Platform{soc.VirtualXavier()}
+	case "snapdragon":
+		platforms = []*soc.Platform{soc.VirtualSnapdragon()}
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+
+	set := calib.ModelSet{}
+	if existing, err := calib.Load(*out); err == nil {
+		set = existing // refresh only the requested platforms
+	}
+	for _, p := range platforms {
+		for i := range p.PUs {
+			start := time.Now()
+			params, matrix, err := calib.ConstructPU(p, i, rc, opt)
+			if err != nil {
+				log.Fatalf("constructing %s/%s: %v", p.Name, p.PUs[i].Name, err)
+			}
+			set.Put(params)
+			fmt.Printf("%s  (%d×%d matrix, %s)\n", params,
+				len(matrix.StdBW), len(matrix.ExtBW), time.Since(start).Round(time.Second))
+		}
+	}
+	if err := set.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d models to %s\n", len(set), *out)
+}

@@ -1,0 +1,77 @@
+// Command pccs-experiments regenerates the paper's tables and figures on
+// the virtual platforms.
+//
+// Usage:
+//
+//	pccs-experiments -list
+//	pccs-experiments -run fig8
+//	pccs-experiments -run all [-models models/pccs-models.json] [-full]
+//
+// Most experiments need the constructed model artifact; run pccs-calibrate
+// first (the repository ships a pre-built models/pccs-models.json).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/experiments"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccs-experiments: ")
+	var (
+		list   = flag.Bool("list", false, "list experiments")
+		run    = flag.String("run", "", "experiment id to run, or 'all'")
+		models = flag.String("models", "models/pccs-models.json", "constructed model artifact")
+		full   = flag.Bool("full", false, "use long simulation windows (slower, less noise)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	rc := soc.QuickRunConfig()
+	if *full {
+		rc = soc.DefaultRunConfig()
+	}
+	ctx, err := experiments.NewContext(os.Stdout, *models, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(ctx); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("[%s done in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,99 @@
+// Command pccs-predict predicts the co-run slowdown of a kernel placement,
+// the everyday use of a constructed PCCS model (paper Fig. 7 workflow).
+//
+// Usage:
+//
+//	pccs-predict -platform virtual-xavier -pu GPU -demand 88 -ext 40
+//	pccs-predict -platform virtual-xavier -pu GPU -workload streamcluster -ext 40
+//	pccs-predict -platform virtual-xavier -pu GPU -workload cfd -ext 40 -phases
+//
+// The -workload form looks up the profiled standalone demand of a shipped
+// benchmark surrogate; -phases uses its per-phase profile (multi-phase
+// prediction, §3.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccs-predict: ")
+	var (
+		modelPath = flag.String("models", "models/pccs-models.json", "constructed model artifact")
+		platform  = flag.String("platform", "virtual-xavier", "platform name")
+		pu        = flag.String("pu", "GPU", "processing unit name")
+		demand    = flag.Float64("demand", 0, "kernel standalone bandwidth demand (GB/s)")
+		wl        = flag.String("workload", "", "benchmark surrogate name instead of -demand")
+		ext       = flag.Float64("ext", 0, "total external bandwidth demand (GB/s)")
+		phases    = flag.Bool("phases", false, "use the workload's per-phase profile")
+		baseline  = flag.Bool("gables", true, "also print the Gables baseline prediction")
+	)
+	flag.Parse()
+
+	models, err := calib.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := models.Get(*platform, *pu)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x := *demand
+	if *wl != "" {
+		w, err := workload.Get(*wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *phases {
+			ph, err := w.ModelPhases(*platform, *pu)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rs, err := m.PredictPhases(ph, *ext)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s on %s/%s under %.1f GB/s external (phase-wise):\n", *wl, *platform, *pu, *ext)
+			fmt.Printf("  PCCS: %.1f%% of standalone speed (slowdown %.2fx)\n", rs, 100/rs)
+			return
+		}
+		x, err = w.DemandOn(*platform, *pu)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if x <= 0 {
+		log.Fatal("need -demand > 0 or -workload")
+	}
+
+	rs := m.Predict(x, *ext)
+	fmt.Printf("kernel x=%.1f GB/s on %s/%s under y=%.1f GB/s external:\n", x, *platform, *pu, *ext)
+	fmt.Printf("  region: %v\n", m.Region(x))
+	fmt.Printf("  PCCS:   %.1f%% of standalone speed (slowdown %.2fx)\n", rs, 100/rs)
+	if *baseline {
+		var peak float64
+		switch *platform {
+		case "virtual-xavier":
+			peak = soc.VirtualXavier().PeakGBps()
+		case "virtual-snapdragon":
+			peak = soc.VirtualSnapdragon().PeakGBps()
+		default:
+			peak = m.PeakBW
+		}
+		g, err := gables.New(peak)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grs := g.Predict(x, *ext)
+		fmt.Printf("  Gables: %.1f%% of standalone speed (slowdown %.2fx)\n", grs, 100/grs)
+	}
+}

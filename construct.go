@@ -1,0 +1,53 @@
+package pccs
+
+import (
+	"github.com/processorcentricmodel/pccs/internal/calib"
+)
+
+// Matrix is the rela[n][m] achieved-relative-speed measurement the model
+// parameters are extracted from (§3.2).
+type Matrix = calib.Matrix
+
+// ExtractOptions tunes the five-step parameter extraction.
+type ExtractOptions = calib.Options
+
+// Extraction modes.
+const (
+	// RobustExtraction (default) hardens the paper's algorithm against
+	// measurement noise.
+	RobustExtraction = calib.Robust
+	// StrictExtraction follows §3.2 to the letter.
+	StrictExtraction = calib.Strict
+)
+
+// DefaultExtractOptions is the robust extraction used by the tooling.
+func DefaultExtractOptions() ExtractOptions { return calib.DefaultOptions() }
+
+// ModelSet is a bundle of constructed models keyed by platform/PU.
+type ModelSet = calib.ModelSet
+
+// LoadModels reads constructed models from a JSON artifact (the repository
+// ships models/pccs-models.json for the two virtual platforms).
+func LoadModels(path string) (ModelSet, error) { return calib.Load(path) }
+
+// Construct builds the PCCS model for one PU of a platform by running the
+// processor-centric calibration sweep on the simulator and extracting the
+// parameters. It returns the model and the measured matrix.
+func Construct(p *Platform, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
+	return calib.ConstructPU(p, pu, rc, opt)
+}
+
+// ConstructAll builds models for every PU of a platform.
+func ConstructAll(p *Platform, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
+	return calib.ConstructPlatform(p, rc, opt)
+}
+
+// Extract runs only the five-step analysis on an existing matrix.
+func Extract(m *Matrix, opt ExtractOptions) (Params, error) { return calib.Extract(m, opt) }
+
+// MeasureRelativeSpeeds runs a placement standalone-then-co-run on the
+// platform and reports each PU's achieved relative speed — the ground-truth
+// measurement the models are validated against.
+func MeasureRelativeSpeeds(p *Platform, pl Placement, rc RunConfig) (map[int]PUResult, error) {
+	return p.RelativeSpeeds(pl, rc)
+}

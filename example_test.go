@@ -1,0 +1,73 @@
+package pccs_test
+
+import (
+	"fmt"
+
+	pccs "github.com/processorcentricmodel/pccs"
+)
+
+// Predicting a co-run slowdown from a constructed model is a pure
+// calculation: no simulation, microseconds per query — the property that
+// makes PCCS usable inside design-space-exploration loops.
+func ExampleParams_predict() {
+	model := pccs.Params{
+		PU: "GPU", Platform: "demo",
+		NormalBW: 38, IntensiveBW: 96, MRMC: 4.9,
+		CBP: 45, TBWDC: 87, RateN: 0.75, PeakBW: 137,
+	}
+	fmt.Printf("region: %v\n", model.Region(60))
+	fmt.Printf("RS at 40 GB/s external: %.1f%%\n", model.Predict(60, 40))
+	fmt.Printf("RS beyond the balance point: %.1f%%\n", model.Predict(60, 120))
+	// Output:
+	// region: normal
+	// RS at 40 GB/s external: 90.2%
+	// RS beyond the balance point: 86.5%
+}
+
+// Multi-phase programs aggregate per-phase predictions by standalone
+// execution-time share (§3.2; Fig. 13's accurate variant).
+func ExampleParams_predictPhases() {
+	model := pccs.Params{
+		PU: "GPU", Platform: "demo",
+		NormalBW: 38, IntensiveBW: 96, MRMC: 4.9,
+		CBP: 45, TBWDC: 87, RateN: 0.75, PeakBW: 137,
+	}
+	phases := []pccs.Phase{
+		{Name: "K1", Weight: 0.3, DemandGBps: 110},
+		{Name: "K2", Weight: 0.7, DemandGBps: 60},
+	}
+	rs, err := model.PredictPhases(phases, 50)
+	if err != nil {
+		panic(err)
+	}
+	flat := model.Predict(pccs.AverageDemand(phases), 50)
+	fmt.Printf("piece-wise %.1f%% < average-BW %.1f%% (high-BW phase dominates)\n", rs, flat)
+	// Output:
+	// piece-wise 47.2% < average-BW 75.2% (high-BW phase dominates)
+}
+
+// Linear bandwidth scaling retargets a model to an incremental memory
+// change without re-calibration (§3.3).
+func ExampleParams_scale() {
+	model := pccs.Params{
+		PU: "GPU", Platform: "demo",
+		NormalBW: 38, IntensiveBW: 96, MRMC: 4.9,
+		CBP: 45, TBWDC: 87, RateN: 0.75, PeakBW: 137,
+	}
+	half := model.Scale(0.5) // 2133 MHz → 1066 MHz memory
+	fmt.Printf("peak %.1f → %.1f GB/s, TBWDC %.1f → %.1f GB/s\n",
+		model.PeakBW, half.PeakBW, model.TBWDC, half.TBWDC)
+	// Output:
+	// peak 137.0 → 68.5 GB/s, TBWDC 87.0 → 43.5 GB/s
+}
+
+// The Gables baseline predicts no slowdown until total demand exceeds the
+// peak — the assumption the paper's measurements refute.
+func ExampleGables() {
+	g, _ := pccs.NewGables(137)
+	fmt.Printf("below peak: %.0f%%\n", g.Predict(60, 70))
+	fmt.Printf("above peak: %.1f%%\n", g.Predict(100, 100))
+	// Output:
+	// below peak: 100%
+	// above peak: 68.5%
+}

@@ -1,0 +1,61 @@
+// Quickstart: load the shipped PCCS models, predict a co-run slowdown, and
+// check the prediction against the simulator.
+//
+// Run from the repository root:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pccs "github.com/processorcentricmodel/pccs"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The repository ships models constructed on the virtual Xavier by
+	// cmd/pccs-calibrate — calibrate once, predict forever.
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		log.Fatalf("load models (run from the repo root): %v", err)
+	}
+	platform := pccs.Xavier()
+	gpu, err := models.Get(platform.Name, "GPU")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model:", gpu)
+
+	// A streamcluster-like kernel demands 88 GB/s standalone on the GPU.
+	// How much of its standalone speed survives co-location with kernels
+	// demanding 40 GB/s on the other PUs?
+	const demand, external = 88, 40
+	rs := gpu.Predict(demand, external)
+	fmt.Printf("\nPCCS: a %d GB/s kernel under %d GB/s external demand keeps %.1f%% of its speed\n",
+		demand, external, rs)
+	fmt.Printf("      (region %v, predicted slowdown %.2fx)\n",
+		gpu.Region(demand), gpu.PredictSlowdown(demand, external))
+
+	// Validate the prediction against the simulated SoC: run the kernel
+	// standalone, then co-run it against synthetic external pressure.
+	fmt.Println("\nchecking against the simulator ...")
+	res, err := pccs.MeasureRelativeSpeeds(platform, pccs.Placement{
+		platform.PUIndex("GPU"): pccs.Kernel{Name: "streamcluster", DemandGBps: demand},
+		platform.PUIndex("CPU"): pccs.ExternalPressure(external),
+	}, pccs.QuickRunConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	actual := 100 * res[platform.PUIndex("GPU")].RelativeSpeed
+	fmt.Printf("simulator: %.1f%%   |prediction error| = %.1f%%\n", actual, abs(rs-actual))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,47 @@
+package pccs
+
+import (
+	"github.com/processorcentricmodel/pccs/internal/explore"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// Predictor is any co-run slowdown model (PCCS Params or the Gables
+// baseline both satisfy it).
+type Predictor = explore.Predictor
+
+// FreqModel is a kernel's standalone performance model across PU clock.
+type FreqModel = explore.FreqModel
+
+// Selection is the outcome of a frequency selection.
+type Selection = explore.Selection
+
+// SelectFrequency picks the highest frequency whose predicted co-run
+// slowdown stays within budget — the §4.3 design question.
+func SelectFrequency(pred Predictor, fm FreqModel, extGBps, maxSlowdownPct float64, ladder []float64) (Selection, error) {
+	return explore.SelectFrequency(pred, fm, extGBps, maxSlowdownPct, ladder)
+}
+
+// FreqLadder builds an ascending frequency ladder.
+func FreqLadder(lo, hi, step float64) []float64 { return explore.Ladder(lo, hi, step) }
+
+// Workload is a benchmark surrogate with profiled per-PU demands.
+type Workload = workload.Workload
+
+// GetWorkload fetches a benchmark surrogate by name (e.g. "streamcluster",
+// "bfs", "resnet50").
+func GetWorkload(name string) (*Workload, error) { return workload.Get(name) }
+
+// WorkloadNames lists every registered benchmark surrogate.
+func WorkloadNames() []string { return workload.Names() }
+
+// CoreModel is a kernel's standalone performance model across core count.
+type CoreModel = explore.CoreModel
+
+// CoreSelection is the outcome of a core-count selection.
+type CoreSelection = explore.CoreSelection
+
+// SelectCores picks the smallest core count delivering the target fraction
+// of the best achievable co-run performance (§3.4's core-count knob).
+func SelectCores(pred Predictor, cm CoreModel, extGBps, targetFrac float64, step int) (CoreSelection, error) {
+	return explore.SelectCores(pred, cm, extGBps, targetFrac, step)
+}

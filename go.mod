@@ -1,0 +1,3 @@
+module github.com/processorcentricmodel/pccs
+
+go 1.22

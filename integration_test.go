@@ -1,0 +1,108 @@
+package pccs_test
+
+// End-to-end integration tests: the shipped models must beat the Gables
+// baseline on workloads they were never constructed from, measured against
+// the simulator — the paper's headline claim, as a regression test.
+
+import (
+	"testing"
+
+	pccs "github.com/processorcentricmodel/pccs"
+)
+
+func TestEndToEndPCCSBeatsGablesOnXavierGPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy integration test")
+	}
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform := pccs.Xavier()
+	model, err := models.Get(platform.Name, "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := pccs.NewGables(platform.PeakGBps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, cpu := platform.PUIndex("GPU"), platform.PUIndex("CPU")
+	rc := pccs.QuickRunConfig()
+
+	var pccsErr, gablesErr float64
+	var n int
+	for _, name := range []string{"streamcluster", "pathfinder", "srad", "hotspot"} {
+		w, err := pccs.GetWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand, err := w.DemandOn(platform.Name, "GPU")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ext := range []float64{40, 90, 130} {
+			res, err := pccs.MeasureRelativeSpeeds(platform, pccs.Placement{
+				gpu: pccs.Kernel{Name: name, DemandGBps: demand, RunLines: w.RunLines},
+				cpu: pccs.ExternalPressure(ext),
+			}, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actual := 100 * res[gpu].RelativeSpeed
+			pccsErr += abs(model.Predict(demand, ext) - actual)
+			gablesErr += abs(gb.Predict(demand, ext) - actual)
+			n++
+		}
+	}
+	pccsErr /= float64(n)
+	gablesErr /= float64(n)
+	t.Logf("mean |err| over %d points: PCCS %.2f%%, Gables %.2f%%", n, pccsErr, gablesErr)
+	if pccsErr >= gablesErr {
+		t.Errorf("PCCS (%.2f%%) did not beat Gables (%.2f%%)", pccsErr, gablesErr)
+	}
+	if pccsErr > 15 {
+		t.Errorf("PCCS error %.2f%% implausibly high", pccsErr)
+	}
+}
+
+func TestEndToEndConstructionPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction sweep in -short mode")
+	}
+	// Construct a fresh model for the Snapdragon GPU with short windows and
+	// check it predicts a co-run it never saw within a loose tolerance.
+	platform := pccs.Snapdragon()
+	rc := pccs.RunConfig{WarmupCycles: 120_000, MeasureCycles: 150_000}
+	params, matrix, err := pccs.Construct(platform, platform.PUIndex("GPU"), rc, pccs.DefaultExtractOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix.StdBW) < 3 {
+		t.Fatalf("matrix too small: %d rows", len(matrix.StdBW))
+	}
+	gpu, cpu := platform.PUIndex("GPU"), platform.PUIndex("CPU")
+	const demand, ext = 20, 15 // not a grid point
+	res, err := pccs.MeasureRelativeSpeeds(platform, pccs.Placement{
+		gpu: pccs.Kernel{Name: "probe", DemandGBps: demand},
+		cpu: pccs.ExternalPressure(ext),
+	}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := 100 * res[gpu].RelativeSpeed
+	pred := params.Predict(demand, ext)
+	if e := abs(pred - actual); e > 20 {
+		t.Errorf("fresh model off-grid error %.1f%% (pred %.1f, actual %.1f)", e, pred, actual)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,64 @@
+package calib
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// PressurePUFor picks the PU used to generate external demand when
+// characterizing target, following the paper's setup: the GPU pressures the
+// CPU model, and the CPU pressures the GPU and DLA models (§4.1.1). By the
+// source-obliviousness insight the choice is immaterial; it just needs to be
+// a different PU able to generate enough traffic.
+func PressurePUFor(p *soc.Platform, target int) (int, error) {
+	want := soc.CPU
+	if p.PUs[target].Kind == soc.CPU || p.PUs[target].Kind == soc.Core {
+		want = soc.GPU
+	}
+	for i, pu := range p.PUs {
+		if i != target && pu.Kind == want {
+			return i, nil
+		}
+	}
+	for i := range p.PUs {
+		if i != target {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("calib: platform %s has no pressure PU for target %d", p.Name, target)
+}
+
+// ConstructPU builds the PCCS model for one PU of a platform: sweep the
+// calibrator grid, then extract parameters.
+func ConstructPU(p *soc.Platform, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
+	pressure, err := PressurePUFor(p, target)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	cfg := DefaultSweep(p, target, pressure)
+	cfg.Run = rc
+	m, err := Sweep(p, cfg)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	params, err := Extract(m, opt)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	return params, m, nil
+}
+
+// ConstructPlatform builds models for every PU of the platform.
+func ConstructPlatform(p *soc.Platform, rc soc.RunConfig, opt Options) (ModelSet, error) {
+	set := ModelSet{}
+	for i := range p.PUs {
+		params, _, err := ConstructPU(p, i, rc, opt)
+		if err != nil {
+			return nil, fmt.Errorf("calib: constructing %s/%s: %w", p.Name, p.PUs[i].Name, err)
+		}
+		set.Put(params)
+	}
+	return set, nil
+}

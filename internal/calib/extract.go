@@ -1,0 +1,524 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// Mode selects the parameter-extraction variant.
+type Mode int
+
+const (
+	// Robust (default) applies the paper's five steps to smoothed rows
+	// with absolute floors on the "notable reduction" thresholds,
+	// interpolated onset/turning points, and origin-anchored least-squares
+	// slope fitting — hardened against measurement noise and the
+	// early-pressure dip fairness schedulers produce.
+	Robust Mode = iota
+	// Strict follows §3.2's algorithm to the letter: raw values, 2×
+	// thresholds, adjacent-element parameter reads. On clean or barely
+	// contended data the 2×-baseline thresholds degenerate (2× of a tiny
+	// reduction is still tiny); it is kept for the extraction ablation.
+	Strict
+)
+
+func (m Mode) String() string {
+	if m == Strict {
+		return "strict"
+	}
+	return "robust"
+}
+
+// Options tunes extraction.
+type Options struct {
+	Mode Mode
+	// MinNotable is the absolute floor (percent) for "notable reduction"
+	// thresholds in robust mode. Zero selects the default (3%).
+	MinNotable float64
+}
+
+// DefaultOptions is the robust extraction used across the experiments.
+func DefaultOptions() Options { return Options{Mode: Robust, MinNotable: 3} }
+
+// Extract runs the five-step analysis of §3.2 on a measured matrix and
+// returns the PCCS model parameters for the target PU.
+func Extract(m *Matrix, opt Options) (core.Params, error) {
+	if err := m.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	if opt.MinNotable <= 0 {
+		opt.MinNotable = 3
+	}
+	n, cols := len(m.StdBW), len(m.ExtBW)
+
+	// raw reduction rows, plus smoothed copies for boundary detection in
+	// robust mode (interpolation steps use the raw rows so knees are not
+	// blurred rightward by the moving average).
+	raw := make([][]float64, n)
+	red := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		raw[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			raw[i][j] = m.Reduction(i, j)
+		}
+		if opt.Mode == Robust {
+			red[i] = m.smoothedReduction(i)
+		} else {
+			red[i] = raw[i]
+		}
+	}
+
+	p := core.Params{PU: m.PU, Platform: m.Platform, PeakBW: m.PeakBW}
+
+	// Step 1 — normal-region boundary and MRMC. The first row (from the
+	// smallest kernel up) whose reduction at the largest external pressure
+	// is notable marks the start of the normal region.
+	thr1 := 2 * red[0][cols-1]
+	if opt.Mode == Robust {
+		thr1 = math.Max(thr1, opt.MinNotable)
+		if red[0][cols-1] >= 2*opt.MinNotable {
+			thr1 = 0 // the smallest kernel already contends: no minor region
+		}
+	}
+	kb := -1
+	for i := 0; i < n; i++ {
+		if red[i][cols-1] >= thr1 {
+			kb = i
+			break
+		}
+	}
+	if kb < 0 {
+		return core.Params{}, fmt.Errorf(
+			"calib: no normal region found on %s/%s (max reduction %.2f%%): ladder does not stress the PU",
+			m.Platform, m.PU, maxOf(red))
+	}
+	// The paper reads MRMC literally as the boundary-adjacent row's
+	// last-column reduction (strict). Robust mode instead takes the row's
+	// mean reduction — Eq. 2 is flat in y, so the mean is its best fit —
+	// and projects it to a kernel demanding the full peak, making the
+	// extracted parameter self-consistent with Eq. 2's MRMC·x/PBW form.
+	minorPeak := 0.0 // largest observed minor-region reduction, for thresholds
+	switch {
+	case kb == 0:
+		// No minor region at all — the DLA case (Table 7: Normal BW 0).
+		p.NormalBW = 0
+		p.MRMC = 0
+	case opt.Mode == Strict:
+		p.NormalBW = m.StdBW[kb]
+		p.MRMC = red[kb-1][cols-1]
+		minorPeak = p.MRMC
+	default:
+		p.NormalBW = (m.StdBW[kb-1] + m.StdBW[kb]) / 2
+		minorPeak = maxRow(red[kb-1])
+		p.MRMC = clamp(math.Max(mean(red[kb-1]), 0)*m.PeakBW/m.StdBW[kb-1], 0, 100)
+	}
+	if p.MRMC < 0 {
+		p.MRMC = 0
+	}
+
+	// Notable-reduction threshold for the remaining steps, based on the
+	// largest observed (not projected) minor-region reduction.
+	thr2 := 2 * minorPeak
+	if opt.Mode == Robust {
+		thr2 = math.Max(thr2, opt.MinNotable*1.5)
+	}
+
+	// Step 3 — intensive boundary: the first row already showing a notable
+	// reduction at the smallest external demand. (Computed before TBWDC so
+	// the normal-row set is known.)
+	ib := -1
+	for i := 0; i < n; i++ {
+		if red[i][0] >= thr2 {
+			ib = i
+			break
+		}
+	}
+	iEnd := ib
+	if iEnd < 0 {
+		iEnd = n
+	}
+
+	// Step 2 — TBWDC: the total bandwidth demand x+y at which normal-region
+	// curves enter their dropping phase. Strict reads the boundary row's
+	// first notable column; robust averages interpolated drop onsets across
+	// normal rows whose curves still start flat.
+	if opt.Mode == Strict {
+		j2 := firstNotable(red[kb], thr2, false)
+		if j2 < 0 {
+			j2 = cols - 1
+		}
+		p.TBWDC = m.StdBW[kb] + m.ExtBW[j2]
+	} else {
+		// Every dropping row contributes a total-bandwidth onset estimate:
+		// rows with a flat head by interpolated onset; rows already
+		// dropping at the smallest measured pressure (the DLA's whole
+		// ladder) by back-extrapolating their initial slope to zero
+		// reduction — their onset lies below the first grid column.
+		var onsets []float64
+		for i := kb; i < n; i++ {
+			if atFloor(raw[i]) {
+				continue // saturated rows carry no onset information
+			}
+			if raw[i][0] < thr2 {
+				if y, ok := dropOnset(m.ExtBW, raw[i], thr2); ok {
+					onsets = append(onsets, m.StdBW[i]+y)
+				}
+				continue
+			}
+			if y, ok := backExtrapolatedOnset(m.ExtBW, raw[i], thr2); ok {
+				onsets = append(onsets, m.StdBW[i]+y)
+			}
+		}
+		if len(onsets) > 0 {
+			p.TBWDC = mean(onsets)
+		} else {
+			j2 := firstNotable(red[kb], thr2, true)
+			if j2 < 0 {
+				j2 = cols - 1
+			}
+			p.TBWDC = m.StdBW[kb] + m.ExtBW[j2]
+		}
+	}
+
+	switch {
+	case ib < 0:
+		p.IntensiveBW = m.PeakBW // no intensive region observed
+	case ib == 0:
+		p.IntensiveBW = m.StdBW[0]
+	case opt.Mode == Strict:
+		p.IntensiveBW = m.StdBW[ib]
+	default:
+		p.IntensiveBW = (m.StdBW[ib-1] + m.StdBW[ib]) / 2
+	}
+	if p.IntensiveBW < p.NormalBW {
+		p.IntensiveBW = p.NormalBW
+	}
+
+	// Step 4 — contention balance point: per normal-region row, the
+	// external demand where the curve flattens into its tail; CBP is their
+	// average. Robust interpolates the tail crossing.
+	var cbps []float64
+	cbpEnd := iEnd
+	if opt.Mode == Robust {
+		cbpEnd = n // intensive rows flatten at the same balance point
+	}
+	for i := kb; i < cbpEnd; i++ {
+		if opt.Mode == Strict {
+			if j := turningPoint(red[i], thr2); j >= 0 {
+				cbps = append(cbps, m.ExtBW[j])
+			}
+		} else if !atFloor(raw[i]) {
+			if y, ok := tailCrossing(m.ExtBW, raw[i], thr2); ok {
+				cbps = append(cbps, y)
+			}
+		}
+	}
+	if len(cbps) > 0 {
+		p.CBP = mean(cbps)
+	} else {
+		p.CBP = m.ExtBW[cols-1] / 2 // degenerate: no flat tail observed
+	}
+
+	// Step 5 — normal-region reduction rate: per normal row, the slope of
+	// the drop between onset and the contention balance point. The model's
+	// drop term rateN·(x+y−TBWDC) is anchored at zero, so robust mode fits
+	// the slope through the origin of w = x+y−TBWDC.
+	var rates []float64
+	for i := kb; i < iEnd; i++ {
+		if r, ok := fitRate(m, raw[i], i, p.TBWDC, p.CBP, thr2, opt.Mode); ok {
+			rates = append(rates, r)
+		}
+	}
+	if opt.Mode == Robust {
+		// Intensive-region rows also carry rate information: their slope
+		// is rateN amplified by Eq. 4, so inverting the amplification
+		// yields further rateN estimates. Without this, a PU whose ladder
+		// is almost entirely intensive (the DLA) would derive its rate
+		// from the single shallow normal row and underpredict wildly.
+		for i := iEnd; i < n && iEnd >= 0; i++ {
+			r, ok := fitRate(m, raw[i], i, p.TBWDC, p.CBP, thr2, opt.Mode)
+			if !ok {
+				continue
+			}
+			amp := (m.StdBW[i] + p.CBP - p.TBWDC) / p.CBP
+			if amp > 0.1 {
+				rates = append(rates, r/amp)
+			}
+		}
+	}
+	if len(rates) > 0 {
+		p.RateN = mean(rates)
+	}
+	if p.RateN <= 0 {
+		// Fall back to the boundary row's end-to-end slope.
+		span := m.ExtBW[cols-1] - m.ExtBW[0]
+		p.RateN = math.Max((red[kb][cols-1]-red[kb][0])/span, 0.01)
+	}
+
+	if err := p.Validate(); err != nil {
+		return core.Params{}, fmt.Errorf("calib: extracted invalid parameters: %w (%+v)", err, p)
+	}
+	return p, nil
+}
+
+// firstNotable returns the first column whose reduction reaches thr;
+// sustained requires every later column to stay notable too (filters the
+// transient early-pressure dip of fairness schedulers).
+func firstNotable(row []float64, thr float64, sustained bool) int {
+	for j := range row {
+		if row[j] < thr {
+			continue
+		}
+		if !sustained {
+			return j
+		}
+		ok := true
+		for k := j; k < len(row); k++ {
+			if row[k] < thr {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return j
+		}
+	}
+	return -1
+}
+
+// dropOnset estimates, by linear interpolation, the external demand at
+// which a row leaves its flat head and starts dropping. It requires the
+// row to actually have a flat head (first column below thr) and a notable
+// total drop; rows already dropping at the first column return !ok.
+func dropOnset(ext, row []float64, thr float64) (float64, bool) {
+	cols := len(row)
+	if row[0] >= thr {
+		return 0, false
+	}
+	tail := (row[cols-1] + row[cols-2]) / 2
+	if tail < thr {
+		return 0, false
+	}
+	// Flat-head level: average of leading columns below thr.
+	flat, cnt := 0.0, 0
+	for j := 0; j < cols && row[j] < thr; j++ {
+		flat += row[j]
+		cnt++
+	}
+	flat /= float64(cnt)
+	target := flat + math.Max(1, 0.15*(tail-flat))
+	j := firstNotable(row, target, true)
+	if j <= 0 {
+		return 0, false
+	}
+	// Interpolate the crossing between columns j-1 and j.
+	y0, y1 := ext[j-1], ext[j]
+	r0, r1 := row[j-1], row[j]
+	if r1 <= r0 {
+		return y1, true
+	}
+	frac := (target - r0) / (r1 - r0)
+	return y0 + frac*(y1-y0), true
+}
+
+// backExtrapolatedOnset estimates the drop onset of a row that is already
+// reducing at the smallest measured external demand: the line through
+// (ext[0], red[0]) with the row's dropping slope crosses zero reduction at
+// a (possibly negative) external demand below the grid. The result is
+// clamped to [−x-independent floor, ext[0]]; ok is false when the row has
+// no usable slope.
+func backExtrapolatedOnset(ext, row []float64, thr float64) (float64, bool) {
+	cols := len(row)
+	tail := (row[cols-1] + row[cols-2]) / 2
+	if tail < thr || row[0] <= 0 {
+		return 0, false
+	}
+	yCBP, ok := tailCrossing(ext, row, thr)
+	if !ok || yCBP <= ext[0] {
+		return 0, true // drops and flattens below the grid: onset ≈ 0
+	}
+	redCBP := interpAt(ext, row, yCBP)
+	slope := (redCBP - row[0]) / (yCBP - ext[0])
+	if slope <= 0 {
+		return 0, true
+	}
+	onset := ext[0] - row[0]/slope
+	if onset < -ext[0] {
+		// More than one grid step below zero: the row is too steep for a
+		// trustworthy extrapolation.
+		return 0, false
+	}
+	if onset > ext[0] {
+		onset = ext[0]
+	}
+	return onset, true
+}
+
+// atFloor reports whether a row's reduction has saturated near the
+// relative-speed floor (RS clamped at ~1%), where slopes, onsets and
+// turning points carry no information.
+func atFloor(row []float64) bool {
+	return row[0] >= 90 || (row[len(row)-1]+row[len(row)-2])/2 >= 90
+}
+
+// interpAt linearly interpolates the row's value at external demand y.
+func interpAt(ext, row []float64, y float64) float64 {
+	for j := 1; j < len(ext); j++ {
+		if y <= ext[j] {
+			frac := (y - ext[j-1]) / (ext[j] - ext[j-1])
+			return row[j-1] + frac*(row[j]-row[j-1])
+		}
+	}
+	return row[len(row)-1]
+}
+
+// tailCrossing estimates, by linear interpolation, the external demand at
+// which a row's reduction reaches its flat tail level — the per-row
+// contention balance point.
+func tailCrossing(ext, row []float64, thr float64) (float64, bool) {
+	cols := len(row)
+	tail := (row[cols-1] + row[cols-2]) / 2
+	if tail < thr {
+		return 0, false
+	}
+	target := tail - math.Max(1, 0.12*tail)
+	for j := 0; j < cols; j++ {
+		if row[j] >= target {
+			if j == 0 || row[j] <= row[j-1] {
+				return ext[j], true
+			}
+			frac := (target - row[j-1]) / (row[j] - row[j-1])
+			return ext[j-1] + frac*(ext[j]-ext[j-1]), true
+		}
+	}
+	return ext[cols-1], true
+}
+
+// turningPoint is the strict-mode flat-region detector: the first column at
+// or beyond the sustained drop start whose value is within tolerance of the
+// tail level. It returns -1 for rows that never drop notably.
+func turningPoint(row []float64, thr float64) int {
+	cols := len(row)
+	tail := (row[cols-1] + row[cols-2]) / 2
+	if tail < thr {
+		return -1
+	}
+	tol := math.Max(1, 0.12*tail)
+	start := firstNotable(row, thr, true)
+	if start < 0 {
+		return -1
+	}
+	for j := start; j < cols; j++ {
+		if row[j] >= tail-tol {
+			return j
+		}
+	}
+	return cols - 1
+}
+
+// fitRate estimates the reduction rate (percent per GB/s of x+y−TBWDC) for
+// one normal-region row over its dropping span.
+func fitRate(m *Matrix, row []float64, i int, tbwdc, cbp, thr float64, mode Mode) (float64, bool) {
+	x := m.StdBW[i]
+	if mode == Strict {
+		// Paper: average reduction rate within the normal region up to the
+		// contention balance point.
+		var num, den float64
+		prevJ := -1
+		for j := range row {
+			if m.ExtBW[j] > cbp {
+				break
+			}
+			if prevJ >= 0 {
+				num += row[j] - row[prevJ]
+				den += m.ExtBW[j] - m.ExtBW[prevJ]
+			}
+			prevJ = j
+		}
+		if den <= 0 {
+			return 0, false
+		}
+		r := num / den
+		return r, r > 0
+	}
+	// Robust: least squares through the origin of w = x+y−TBWDC against
+	// the reduction. In the drop span the model predicts red = rateN·w
+	// exactly, so only drop-dominated points may enter the fit: above the
+	// row's flat head, before the row's own tail crossing, with w > 0.
+	cols := len(row)
+	tail := (row[cols-1] + row[cols-2]) / 2
+	flat := 0.0
+	if row[0] < thr {
+		cnt := 0
+		for j := 0; j < cols && row[j] < thr; j++ {
+			flat += row[j]
+			cnt++
+		}
+		flat /= float64(cnt)
+	}
+	rowCBP := cbp
+	if y, ok := tailCrossing(m.ExtBW, row, thr); ok {
+		rowCBP = y
+	}
+	tol := math.Max(1, 0.12*tail)
+	var sw2, swr float64
+	for j := range row {
+		w := x + m.ExtBW[j] - tbwdc
+		if w <= 0 || m.ExtBW[j] >= rowCBP-1e-9 {
+			continue
+		}
+		if row[j] <= flat+1 || row[j] >= tail-tol {
+			continue // flat head or flat tail
+		}
+		if row[j] >= 90 {
+			continue // at the relative-speed floor: slope information lost
+		}
+		sw2 += w * w
+		swr += w * row[j]
+	}
+	if sw2 <= 0 {
+		return 0, false
+	}
+	r := swr / sw2
+	return r, r > 0
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxRow(row []float64) float64 {
+	m := row[0]
+	for _, v := range row[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func maxOf(rows [][]float64) float64 {
+	m := math.Inf(-1)
+	for _, r := range rows {
+		if v := maxRow(r); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

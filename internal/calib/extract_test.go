@@ -1,0 +1,206 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// syntheticMatrix builds a rela matrix directly from a known model, with
+// optional noise, to verify extraction round-trips.
+func syntheticMatrix(p core.Params, noise func(i, j int) float64) *Matrix {
+	m := &Matrix{PeakBW: p.PeakBW, PU: p.PU, Platform: p.Platform}
+	for d := 0.1 * p.PeakBW; d <= p.PeakBW*1.001; d += 0.1 * p.PeakBW {
+		m.StdBW = append(m.StdBW, d)
+	}
+	for e := 0.1 * p.PeakBW; e <= p.PeakBW*1.001; e += 0.1 * p.PeakBW {
+		m.ExtBW = append(m.ExtBW, e)
+	}
+	for i, x := range m.StdBW {
+		row := make([]float64, len(m.ExtBW))
+		for j, y := range m.ExtBW {
+			v := p.Predict(x, y)
+			if noise != nil {
+				v += noise(i, j)
+			}
+			if v > 100 {
+				v = 100
+			}
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+		m.Rela = append(m.Rela, row)
+	}
+	return m
+}
+
+func refModel() core.Params {
+	return core.Params{
+		PU: "GPU", Platform: "synthetic",
+		NormalBW: 41.1, IntensiveBW: 96.0, MRMC: 4.9,
+		CBP: 45.3, TBWDC: 87.2, RateN: 0.75, PeakBW: 137,
+	}
+}
+
+func TestExtractRoundTripNoiseless(t *testing.T) {
+	ref := refModel()
+	m := syntheticMatrix(ref, nil)
+	got, err := Extract(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries fall on the measurement grid (13.7 GB/s steps), so allow
+	// grid-step slack; the intensive boundary is only weakly identifiable
+	// from a 10-point ladder (any row with x+ext[0] beyond TBWDC already
+	// drops at the first measured pressure), so it gets the widest slack.
+	step := 0.1 * ref.PeakBW
+	if math.Abs(got.NormalBW-ref.NormalBW) > step {
+		t.Errorf("NormalBW = %.1f, want ≈ %.1f", got.NormalBW, ref.NormalBW)
+	}
+	if got.IntensiveBW < ref.TBWDC-2*step || got.IntensiveBW > ref.IntensiveBW+step {
+		t.Errorf("IntensiveBW = %.1f, want within [%.1f, %.1f]",
+			got.IntensiveBW, ref.TBWDC-2*step, ref.IntensiveBW+step)
+	}
+	if math.Abs(got.TBWDC-ref.TBWDC) > step*0.5 {
+		t.Errorf("TBWDC = %.1f, want ≈ %.1f", got.TBWDC, ref.TBWDC)
+	}
+	if math.Abs(got.CBP-ref.CBP) > step*0.5 {
+		t.Errorf("CBP = %.1f, want ≈ %.1f", got.CBP, ref.CBP)
+	}
+	if math.Abs(got.RateN-ref.RateN) > 0.15 {
+		t.Errorf("RateN = %.3f, want ≈ %.3f", got.RateN, ref.RateN)
+	}
+	if math.Abs(got.MRMC-ref.MRMC) > 1 {
+		t.Errorf("MRMC = %.2f, want ≈ %.2f", got.MRMC, ref.MRMC)
+	}
+}
+
+func TestStrictExtractionProducesValidParams(t *testing.T) {
+	// Strict mode is paper-literal and fragile by design (the ablation
+	// quantifies the accuracy gap); here we only require valid output.
+	got, err := Extract(syntheticMatrix(refModel(), nil), Options{Mode: Strict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("strict params invalid: %v", err)
+	}
+}
+
+func TestExtractedModelPredictsItsMatrix(t *testing.T) {
+	// The real acceptance criterion: the extracted model reproduces the
+	// matrix it came from with small mean error.
+	ref := refModel()
+	noise := func(i, j int) float64 { return 1.5 * math.Sin(float64(3*i+5*j)) }
+	m := syntheticMatrix(ref, noise)
+	got, err := Extract(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var cnt int
+	for i, x := range m.StdBW {
+		for j, y := range m.ExtBW {
+			sum += math.Abs(got.Predict(x, y) - m.Rela[i][j])
+			cnt++
+		}
+	}
+	// The worst cells sit at the relative-speed floor (the reference model
+	// drives its largest kernels to RS=1 where measured slopes vanish);
+	// 5% mean keeps the model honest everywhere else.
+	if mean := sum / float64(cnt); mean > 5 {
+		t.Errorf("mean self-prediction error %.2f%%, want ≤ 5%%", mean)
+	}
+}
+
+func TestExtractDLAShapedMatrix(t *testing.T) {
+	// No minor region: even the smallest kernel reduces notably at max
+	// pressure, like the DLA (Table 7: Normal BW 0, MRMC NA).
+	ref := core.Params{
+		PU: "DLA", Platform: "synthetic",
+		NormalBW: 0, IntensiveBW: 27.9, MRMC: 0,
+		CBP: 71.1, TBWDC: 22.1, RateN: 0.35, PeakBW: 137,
+	}
+	m := &Matrix{PeakBW: ref.PeakBW, PU: ref.PU, Platform: ref.Platform}
+	for d := 5.0; d <= 30; d += 5 {
+		m.StdBW = append(m.StdBW, d)
+	}
+	for e := 13.7; e <= 137.001; e += 13.7 {
+		m.ExtBW = append(m.ExtBW, e)
+	}
+	for _, x := range m.StdBW {
+		row := make([]float64, len(m.ExtBW))
+		for j, y := range m.ExtBW {
+			row[j] = ref.Predict(x, y)
+		}
+		m.Rela = append(m.Rela, row)
+	}
+	got, err := Extract(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NormalBW != 0 {
+		t.Errorf("NormalBW = %v, want 0 (no minor region)", got.NormalBW)
+	}
+	if got.MRMC != 0 {
+		t.Errorf("MRMC = %v, want 0", got.MRMC)
+	}
+}
+
+func TestExtractErrorsOnUnstressedLadder(t *testing.T) {
+	// A matrix with no visible contention (all ≈100%) cannot be modeled.
+	m := &Matrix{PeakBW: 137, PU: "CPU", Platform: "synthetic"}
+	m.StdBW = []float64{5, 10}
+	m.ExtBW = []float64{10, 20}
+	m.Rela = [][]float64{{100, 100}, {100, 99.9}}
+	if _, err := Extract(m, DefaultOptions()); err == nil {
+		t.Error("extraction on unstressed matrix should fail")
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	ok := syntheticMatrix(refModel(), nil)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	cases := []func(*Matrix){
+		func(m *Matrix) { m.StdBW = nil },
+		func(m *Matrix) { m.ExtBW = nil },
+		func(m *Matrix) { m.Rela = m.Rela[:3] },
+		func(m *Matrix) { m.Rela[2] = m.Rela[2][:1] },
+		func(m *Matrix) { m.Rela[0][0] = -1 },
+		func(m *Matrix) { m.Rela[0][0] = 200 },
+		func(m *Matrix) { m.StdBW[0], m.StdBW[1] = m.StdBW[1], m.StdBW[0] },
+		func(m *Matrix) { m.ExtBW[0], m.ExtBW[1] = m.ExtBW[1], m.ExtBW[0] },
+		func(m *Matrix) { m.PeakBW = 0 },
+	}
+	for i, mutate := range cases {
+		m := syntheticMatrix(refModel(), nil)
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFirstNotable(t *testing.T) {
+	row := []float64{1, 6, 2, 7, 8, 9}
+	if got := firstNotable(row, 5, false); got != 1 {
+		t.Errorf("non-sustained = %d, want 1", got)
+	}
+	if got := firstNotable(row, 5, true); got != 3 {
+		t.Errorf("sustained = %d, want 3 (skips the transient dip)", got)
+	}
+	if got := firstNotable(row, 50, true); got != -1 {
+		t.Errorf("unreachable threshold = %d, want -1", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Robust.String() != "robust" || Strict.String() != "strict" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,80 @@
+// Package calib implements the processor-centric model construction of the
+// PCCS methodology (paper §3.2): sweep calibrator kernels on the target PU
+// against a ladder of external bandwidth demands, record the achieved
+// relative speeds into a matrix, and extract the model parameters with the
+// paper's five-step analysis.
+package calib
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Matrix is the rela[n][m] measurement of §3.2: Rela[i][j] is the achieved
+// relative speed (percent) of the i-th smallest calibrator kernel on the
+// target PU under the j-th smallest external bandwidth demand.
+type Matrix struct {
+	// StdBW[i] is the standalone bandwidth demand (GB/s) of calibrator i,
+	// ascending.
+	StdBW []float64
+	// ExtBW[j] is the external bandwidth demand ladder (GB/s), ascending.
+	ExtBW []float64
+	// Rela[i][j] is the achieved relative speed in percent.
+	Rela [][]float64
+	// PeakBW is the SoC's theoretical peak bandwidth (GB/s).
+	PeakBW float64
+	// PU and Platform label the measurement.
+	PU, Platform string
+}
+
+// Validate checks the matrix for shape and ordering.
+func (m *Matrix) Validate() error {
+	n, cols := len(m.StdBW), len(m.ExtBW)
+	if n == 0 || cols == 0 {
+		return fmt.Errorf("calib: empty matrix (%d×%d)", n, cols)
+	}
+	if len(m.Rela) != n {
+		return fmt.Errorf("calib: %d rows for %d calibrators", len(m.Rela), n)
+	}
+	for i, row := range m.Rela {
+		if len(row) != cols {
+			return fmt.Errorf("calib: row %d has %d cols, want %d", i, len(row), cols)
+		}
+		for j, v := range row {
+			if v < 0 || v > 100.5 {
+				return fmt.Errorf("calib: rela[%d][%d] = %v out of range", i, j, v)
+			}
+		}
+	}
+	if !sort.Float64sAreSorted(m.StdBW) {
+		return fmt.Errorf("calib: StdBW not ascending")
+	}
+	if !sort.Float64sAreSorted(m.ExtBW) {
+		return fmt.Errorf("calib: ExtBW not ascending")
+	}
+	if m.PeakBW <= 0 {
+		return fmt.Errorf("calib: non-positive peak BW")
+	}
+	return nil
+}
+
+// Reduction returns 100 − Rela[i][j], the speed reduction in percent.
+func (m *Matrix) Reduction(i, j int) float64 { return 100 - m.Rela[i][j] }
+
+// smoothedReduction returns the row of reductions smoothed with a centered
+// three-point moving average — the noise filter of the robust extraction.
+func (m *Matrix) smoothedReduction(i int) []float64 {
+	cols := len(m.ExtBW)
+	out := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		sum, cnt := 0.0, 0
+		for k := j - 1; k <= j+1; k++ {
+			if k >= 0 && k < cols {
+				sum += m.Reduction(i, k)
+				cnt++
+			}
+		}
+		out[j] = sum / float64(cnt)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// ModelSet is a bundle of constructed PCCS models, keyed "platform/pu"
+// (e.g. "virtual-xavier/GPU"). Construction is a one-time cost per SoC, so
+// the repository ships the constructed parameters as JSON artifacts —
+// exactly how the methodology is meant to be used: calibrate once on the
+// device, then predict arbitrary workloads.
+type ModelSet map[string]core.Params
+
+// Key builds the canonical lookup key.
+func Key(platform, pu string) string { return platform + "/" + pu }
+
+// Get fetches the model for a platform PU.
+func (s ModelSet) Get(platform, pu string) (core.Params, error) {
+	p, ok := s[Key(platform, pu)]
+	if !ok {
+		return core.Params{}, fmt.Errorf("calib: no model for %s", Key(platform, pu))
+	}
+	return p, nil
+}
+
+// Put stores a model under its own platform/PU key.
+func (s ModelSet) Put(p core.Params) { s[Key(p.Platform, p.PU)] = p }
+
+// Save writes the set as indented JSON.
+func (s ModelSet) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("calib: marshal models: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("calib: create model dir: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a model set and validates every entry.
+func Load(path string) (ModelSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("calib: read models: %w", err)
+	}
+	var s ModelSet
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("calib: parse models %s: %w", path, err)
+	}
+	for k, p := range s {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("calib: model %s: %w", k, err)
+		}
+		if Key(p.Platform, p.PU) != k {
+			return nil, fmt.Errorf("calib: model key %q does not match contents %s", k, Key(p.Platform, p.PU))
+		}
+	}
+	return s, nil
+}

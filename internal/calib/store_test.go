@@ -1,0 +1,56 @@
+package calib
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelSetRoundTrip(t *testing.T) {
+	s := ModelSet{}
+	p := refModel()
+	p.Platform, p.PU = "virtual-xavier", "GPU"
+	s.Put(p)
+	path := filepath.Join(t.TempDir(), "sub", "models.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Get("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip changed params:\n got %+v\nwant %+v", back, p)
+	}
+	if _, err := got.Get("virtual-xavier", "NPU"); err == nil {
+		t.Error("missing model should error")
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Invalid params (zero peak).
+	inv := filepath.Join(dir, "invalid.json")
+	os.WriteFile(inv, []byte(`{"x/y":{"PU":"y","Platform":"x","PeakBW":0,"CBP":1}}`), 0o644)
+	if _, err := Load(inv); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Key mismatch.
+	mis := filepath.Join(dir, "mismatch.json")
+	os.WriteFile(mis, []byte(`{"a/b":{"PU":"GPU","Platform":"xavier","PeakBW":100,"CBP":10,"IntensiveBW":50,"NormalBW":10,"RateN":0.5}}`), 0o644)
+	if _, err := Load(mis); err == nil {
+		t.Error("key mismatch accepted")
+	}
+}

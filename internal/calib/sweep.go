@@ -1,0 +1,120 @@
+package calib
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+// SweepConfig describes one model-construction sweep on a platform.
+type SweepConfig struct {
+	// TargetPU is the PU being characterized.
+	TargetPU int
+	// PressurePU generates the external bandwidth demand (the paper uses
+	// the GPU to pressure the CPU and the CPU to pressure GPU and DLA —
+	// the source-obliviousness insight makes the choice immaterial).
+	PressurePU int
+	// Calibrators are the target-PU kernels, ascending in demand.
+	Calibrators []traffic.Spec
+	// ExtGBps is the external demand ladder, ascending.
+	ExtGBps []float64
+	// Run controls simulation length per grid point.
+	Run soc.RunConfig
+}
+
+// DefaultSweep builds the standard construction sweep for a platform PU:
+// calibrators from 10% to 100% of the SoC peak in 10% steps, external
+// demands likewise — mirroring §2.2's characterization grid.
+func DefaultSweep(p *soc.Platform, targetPU, pressurePU int) SweepConfig {
+	peak := p.PeakGBps()
+	step := peak / 10
+	var ext []float64
+	for i := 1; i <= 10; i++ {
+		ext = append(ext, step*float64(i))
+	}
+	arch := p.PUs[targetPU]
+	var cals []traffic.Spec
+	for i := 1; i <= 10; i++ {
+		d := step * float64(i)
+		cals = append(cals, traffic.Spec{
+			Name:        fmt.Sprintf("cal-%02.0f", d),
+			DemandGBps:  d,
+			Outstanding: arch.Outstanding,
+			RunLines:    arch.RunLines,
+			Streams:     arch.Streams,
+		})
+	}
+	return SweepConfig{
+		TargetPU:    targetPU,
+		PressurePU:  pressurePU,
+		Calibrators: cals,
+		ExtGBps:     ext,
+		Run:         soc.DefaultRunConfig(),
+	}
+}
+
+// Sweep measures the rela matrix: each calibrator runs standalone, then
+// co-runs against each external demand level; achieved relative speeds fill
+// the matrix (§3.2, construction step one).
+func Sweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
+	if cfg.TargetPU == cfg.PressurePU {
+		return nil, fmt.Errorf("calib: target and pressure PU are both %d", cfg.TargetPU)
+	}
+	if cfg.TargetPU < 0 || cfg.TargetPU >= len(p.PUs) ||
+		cfg.PressurePU < 0 || cfg.PressurePU >= len(p.PUs) {
+		return nil, fmt.Errorf("calib: PU indices out of range")
+	}
+	if len(cfg.Calibrators) == 0 || len(cfg.ExtGBps) == 0 {
+		return nil, fmt.Errorf("calib: empty sweep")
+	}
+
+	m := &Matrix{
+		PeakBW:   p.PeakGBps(),
+		PU:       p.PUs[cfg.TargetPU].Name,
+		Platform: p.Name,
+	}
+	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
+
+	for _, c := range cfg.Calibrators {
+		kernel := soc.Kernel{
+			Name:        c.Name,
+			DemandGBps:  c.DemandGBps,
+			RunLines:    c.RunLines,
+			Outstanding: c.Outstanding,
+			Streams:     c.Streams,
+		}
+		alone, err := p.Standalone(cfg.TargetPU, kernel, cfg.Run)
+		if err != nil {
+			return nil, fmt.Errorf("calib: standalone %s: %w", c.Name, err)
+		}
+		// The paper records the *measured* standalone bandwidth as the
+		// kernel's demand (§3.2): a latency-limited PU (e.g. the DLA)
+		// saturates below the requested rate, so further calibrator levels
+		// collapse onto the same measured demand and are skipped.
+		if n := len(m.StdBW); n > 0 && alone.AchievedGBps < m.StdBW[n-1]*1.02 {
+			continue
+		}
+		m.StdBW = append(m.StdBW, alone.AchievedGBps)
+		row := make([]float64, 0, len(cfg.ExtGBps))
+		for _, ext := range cfg.ExtGBps {
+			out, err := p.Run(soc.Placement{
+				cfg.TargetPU:   kernel,
+				cfg.PressurePU: soc.ExternalPressure(ext),
+			}, cfg.Run)
+			if err != nil {
+				return nil, fmt.Errorf("calib: corun %s vs %.0f: %w", c.Name, ext, err)
+			}
+			rs := 100.0
+			if alone.AchievedGBps > 0 {
+				rs = 100 * out.Results[cfg.TargetPU].AchievedGBps / alone.AchievedGBps
+			}
+			if rs > 100 {
+				rs = 100
+			}
+			row = append(row, rs)
+		}
+		m.Rela = append(m.Rela, row)
+	}
+	return m, m.Validate()
+}

@@ -1,0 +1,124 @@
+package calib
+
+import (
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+func miniSweepConfig(p *soc.Platform, target, pressure int) SweepConfig {
+	arch := p.PUs[target]
+	peak := p.PeakGBps()
+	var cals []traffic.Spec
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		cals = append(cals, traffic.Spec{
+			Name: "mini", DemandGBps: frac * peak,
+			Outstanding: arch.Outstanding, RunLines: arch.RunLines, Streams: arch.Streams,
+		})
+	}
+	return SweepConfig{
+		TargetPU: target, PressurePU: pressure,
+		Calibrators: cals,
+		ExtGBps:     []float64{0.25 * peak, 0.6 * peak, peak},
+		Run:         soc.RunConfig{WarmupCycles: 100_000, MeasureCycles: 100_000},
+	}
+}
+
+func TestSweepProducesValidMatrix(t *testing.T) {
+	p := soc.VirtualXavier()
+	m, err := Sweep(p, miniSweepConfig(p, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.PU != "GPU" || m.Platform != "virtual-xavier" {
+		t.Errorf("labels: %s/%s", m.Platform, m.PU)
+	}
+	// Heaviest kernel under heaviest pressure must be slower than the
+	// lightest kernel under the lightest pressure.
+	n := len(m.StdBW)
+	if m.Rela[n-1][2] >= m.Rela[0][0] {
+		t.Errorf("no contention gradient: rela[%d][2]=%.1f vs rela[0][0]=%.1f",
+			n-1, m.Rela[n-1][2], m.Rela[0][0])
+	}
+}
+
+func TestSweepRejectsBadConfig(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+	cfg.PressurePU = 1
+	if _, err := Sweep(p, cfg); err == nil {
+		t.Error("target == pressure accepted")
+	}
+	cfg = miniSweepConfig(p, 1, 0)
+	cfg.TargetPU = 99
+	if _, err := Sweep(p, cfg); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	cfg = miniSweepConfig(p, 1, 0)
+	cfg.Calibrators = nil
+	if _, err := Sweep(p, cfg); err == nil {
+		t.Error("empty calibrator set accepted")
+	}
+}
+
+func TestSweepDLADedupesSaturatedLevels(t *testing.T) {
+	// The DLA saturates well below the top calibrator demands; the sweep
+	// must record measured standalone BW and collapse duplicate levels.
+	p := soc.VirtualXavier()
+	dla := p.PUIndex("DLA")
+	pressure, err := PressurePUFor(p, dla)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSweep(p, dla, pressure)
+	cfg.Run = soc.RunConfig{WarmupCycles: 100_000, MeasureCycles: 100_000}
+	m, err := Sweep(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.StdBW) >= 10 {
+		t.Errorf("DLA ladder not deduplicated: %d levels (%v)", len(m.StdBW), m.StdBW)
+	}
+	if top := m.StdBW[len(m.StdBW)-1]; top > 0.5*p.PeakGBps() {
+		t.Errorf("DLA standalone top %.1f GB/s implausibly high", top)
+	}
+}
+
+func TestPressurePUFor(t *testing.T) {
+	p := soc.VirtualXavier()
+	// CPU is pressured by the GPU; GPU and DLA by the CPU (§4.1.1).
+	if got, _ := PressurePUFor(p, p.PUIndex("CPU")); got != p.PUIndex("GPU") {
+		t.Errorf("CPU pressured by PU %d, want GPU", got)
+	}
+	if got, _ := PressurePUFor(p, p.PUIndex("GPU")); got != p.PUIndex("CPU") {
+		t.Errorf("GPU pressured by PU %d, want CPU", got)
+	}
+	if got, _ := PressurePUFor(p, p.PUIndex("DLA")); got != p.PUIndex("CPU") {
+		t.Errorf("DLA pressured by PU %d, want CPU", got)
+	}
+}
+
+func TestConstructPlatformMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction sweep in -short mode")
+	}
+	p := soc.VirtualSnapdragon()
+	set, err := ConstructPlatform(p, soc.RunConfig{WarmupCycles: 100_000, MeasureCycles: 100_000}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pu := range []string{"CPU", "GPU"} {
+		m, err := set.Get(p.Name, pu)
+		if err != nil {
+			t.Errorf("missing %s: %v", pu, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", pu, err)
+		}
+	}
+}

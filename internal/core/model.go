@@ -1,0 +1,180 @@
+// Package core implements the paper's primary contribution: the
+// three-region interference-conscious slowdown model (PCCS, §3).
+//
+// A model instance is processor-centric: it characterizes one processing
+// unit of one SoC. Given the bandwidth demand x of the kernel on that PU
+// (its standalone bandwidth demand) and the total external bandwidth demand
+// y from kernels on the other PUs, the model predicts the achieved relative
+// speed RS — the percentage of the kernel's standalone speed that survives
+// co-location.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Region classifies a kernel by its own bandwidth demand (paper Eq. 1).
+type Region int
+
+const (
+	// Minor contention: demand low enough that external pressure has
+	// minimal effect (Fig. 3a).
+	Minor Region = iota
+	// Normal contention: medium demand; the speed curve is flat, then
+	// drops near-linearly, then flattens at the contention balance point
+	// (Fig. 3b).
+	Normal
+	// Intensive contention: demand so high that even small external
+	// pressure causes significant slowdown (Fig. 3c).
+	Intensive
+)
+
+func (r Region) String() string {
+	switch r {
+	case Minor:
+		return "minor"
+	case Normal:
+		return "normal"
+	case Intensive:
+		return "intensive"
+	default:
+		return fmt.Sprintf("Region(%d)", int(r))
+	}
+}
+
+// Params are the PU-specific parameters of a PCCS model (paper Table 4).
+// All bandwidths are in GB/s; MRMC is in percent; RateN is in percent per
+// GB/s.
+type Params struct {
+	// PU names the processing unit the model characterizes.
+	PU string
+	// Platform names the SoC the model was constructed on.
+	Platform string
+
+	// NormalBW separates the minor and normal contention regions.
+	NormalBW float64
+	// IntensiveBW separates the normal and intensive contention regions.
+	IntensiveBW float64
+	// MRMC is the maximum reduction of minor contention: the slowdown (in
+	// percent) observed for the largest minor-region kernel under the
+	// largest external pressure.
+	MRMC float64
+	// CBP is the contention balance point: the external demand beyond
+	// which the speed curve stays flat (the fairness-control equilibrium).
+	CBP float64
+	// TBWDC is the total bandwidth demand with contention: the x+y level
+	// at which a normal-region curve enters its dropping phase.
+	TBWDC float64
+	// RateN is the reduction rate in the normal contention region.
+	RateN float64
+	// PeakBW is the theoretical peak bandwidth of the whole SoC.
+	PeakBW float64
+}
+
+// Validate reports whether the parameters describe a usable model.
+func (p Params) Validate() error {
+	switch {
+	case p.PeakBW <= 0:
+		return fmt.Errorf("pccs: peak bandwidth must be positive, got %v", p.PeakBW)
+	case p.NormalBW < 0:
+		return fmt.Errorf("pccs: negative normal BW %v", p.NormalBW)
+	case p.IntensiveBW < p.NormalBW:
+		return fmt.Errorf("pccs: intensive BW %v below normal BW %v", p.IntensiveBW, p.NormalBW)
+	case p.MRMC < 0 || p.MRMC > 100:
+		return fmt.Errorf("pccs: MRMC %v out of [0,100]", p.MRMC)
+	case p.CBP <= 0:
+		return fmt.Errorf("pccs: CBP must be positive, got %v", p.CBP)
+	case p.RateN < 0:
+		return fmt.Errorf("pccs: negative RateN %v", p.RateN)
+	case math.IsNaN(p.NormalBW + p.IntensiveBW + p.MRMC + p.CBP + p.TBWDC + p.RateN + p.PeakBW):
+		return fmt.Errorf("pccs: NaN parameter in %+v", p)
+	}
+	return nil
+}
+
+// Region classifies a kernel with standalone bandwidth demand x (Eq. 1).
+func (p Params) Region(x float64) Region {
+	switch {
+	case x <= p.NormalBW:
+		return Minor
+	case x <= p.IntensiveBW:
+		return Normal
+	default:
+		return Intensive
+	}
+}
+
+// RateI is the reduction rate of the intensive contention region for a
+// kernel with demand x, derived from the normal-region rate by extending
+// the performance-reduction curve (paper Eq. 4).
+func (p Params) RateI(x float64) float64 {
+	if p.CBP <= 0 {
+		return p.RateN
+	}
+	r := p.RateN * (x + p.CBP - p.TBWDC) / p.CBP
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Predict returns the achieved relative speed, in percent of standalone
+// speed, for a kernel with standalone bandwidth demand x GB/s on this PU
+// under total external bandwidth demand y GB/s (Eqs. 2, 3, 5).
+//
+// The result is clamped to (0, 100]: a co-run cannot speed a kernel up, and
+// the fairness control of the memory controller guarantees forward
+// progress. With no external demand the kernel runs standalone (RS = 100).
+func (p Params) Predict(x, y float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if y <= 0 {
+		return 100
+	}
+	var reduction float64
+	switch p.Region(x) {
+	case Minor:
+		reduction = p.minorReduction(x)
+	case Normal:
+		// Piecewise Eq. 3, expressed as the dominating reduction so the
+		// curve is continuous and monotone in y: the flat segment at the
+		// minor-region level until x+y crosses TBWDC, the near-linear
+		// drop, and the flat tail beyond the contention balance point.
+		yEff := math.Min(y, p.CBP)
+		drop := (x + yEff - p.TBWDC) * p.RateN
+		reduction = math.Max(p.minorReduction(x), math.Max(drop, 0))
+	case Intensive:
+		yEff := math.Min(y, p.CBP)
+		drop := (x + yEff - p.TBWDC) * p.RateI(x)
+		reduction = math.Max(drop, 0)
+	}
+	rs := 100 - reduction
+	if rs < 1 {
+		rs = 1
+	}
+	if rs > 100 {
+		rs = 100
+	}
+	return rs
+}
+
+// minorReduction is Eq. 2's reduction term: MRMC scaled by the kernel's own
+// demand relative to the SoC peak.
+func (p Params) minorReduction(x float64) float64 {
+	return p.MRMC * x / p.PeakBW
+}
+
+// PredictSlowdown returns the predicted co-run slowdown factor
+// (standalone-time / co-run-time reciprocal): slowdown = 100/RS ≥ 1.
+func (p Params) PredictSlowdown(x, y float64) float64 {
+	return 100 / p.Predict(x, y)
+}
+
+// String renders the parameters in the layout of the paper's Table 7.
+func (p Params) String() string {
+	return fmt.Sprintf(
+		"PCCS[%s/%s: NormalBW=%.1f IntensiveBW=%.1f MRMC=%.1f%% CBP=%.1f TBWDC=%.1f RateN=%.3f%%/GBps Peak=%.1f]",
+		p.Platform, p.PU, p.NormalBW, p.IntensiveBW, p.MRMC, p.CBP, p.TBWDC, p.RateN, p.PeakBW)
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// xavierGPU approximates the paper's Table 7 column for the Xavier GPU.
+func xavierGPU() Params {
+	return Params{
+		PU: "GPU", Platform: "xavier",
+		NormalBW: 38.1, IntensiveBW: 96.2, MRMC: 4.9,
+		CBP: 45.3, TBWDC: 87.2, RateN: 0.75, PeakBW: 137,
+	}
+}
+
+// xavierDLA approximates the DLA column: no minor region (NormalBW 0).
+func xavierDLA() Params {
+	return Params{
+		PU: "DLA", Platform: "xavier",
+		NormalBW: 0, IntensiveBW: 27.9, MRMC: 0,
+		CBP: 71.1, TBWDC: 22.1, RateN: 0.35, PeakBW: 137,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := xavierGPU().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.PeakBW = 0 },
+		func(p *Params) { p.NormalBW = -1 },
+		func(p *Params) { p.IntensiveBW = p.NormalBW - 1 },
+		func(p *Params) { p.MRMC = -0.1 },
+		func(p *Params) { p.MRMC = 101 },
+		func(p *Params) { p.CBP = 0 },
+		func(p *Params) { p.RateN = -1 },
+		func(p *Params) { p.TBWDC = math.NaN() },
+	}
+	for i, m := range mutations {
+		p := xavierGPU()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRegionClassification(t *testing.T) {
+	p := xavierGPU()
+	cases := map[float64]Region{
+		0: Minor, 10: Minor, 38.1: Minor,
+		38.2: Normal, 60: Normal, 96.2: Normal,
+		96.3: Intensive, 130: Intensive,
+	}
+	for x, want := range cases {
+		if got := p.Region(x); got != want {
+			t.Errorf("Region(%v) = %v, want %v", x, got, want)
+		}
+	}
+	// DLA has no minor region: any positive demand is at least normal.
+	dla := xavierDLA()
+	if got := dla.Region(1); got != Normal {
+		t.Errorf("DLA Region(1) = %v, want normal", got)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r, s := range map[Region]string{Minor: "minor", Normal: "normal", Intensive: "intensive"} {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), s)
+		}
+	}
+	if Region(7).String() == "" {
+		t.Error("unknown region should render")
+	}
+}
+
+func TestPredictNoExternalDemandIsStandalone(t *testing.T) {
+	p := xavierGPU()
+	for _, x := range []float64{0, 10, 50, 100, 130} {
+		if got := p.Predict(x, 0); got != 100 {
+			t.Errorf("Predict(%v, 0) = %v, want 100", x, got)
+		}
+	}
+}
+
+func TestPredictMinorRegionFlatInY(t *testing.T) {
+	p := xavierGPU()
+	base := p.Predict(20, 10)
+	for _, y := range []float64{20, 60, 100, 137} {
+		if got := p.Predict(20, y); math.Abs(got-base) > 1e-9 {
+			t.Errorf("minor region not flat: Predict(20,%v) = %v, base %v", y, got, base)
+		}
+	}
+	// Eq 2: reduction = MRMC·x/PBW.
+	want := 100 - 4.9*20/137
+	if math.Abs(base-want) > 1e-9 {
+		t.Errorf("minor RS = %v, want %v", base, want)
+	}
+}
+
+func TestPredictNormalRegionThreeStages(t *testing.T) {
+	p := xavierGPU()
+	x := 60.0 // normal region
+	// Stage 1: flat while x+y < TBWDC (y < 27.2).
+	early := p.Predict(x, 10)
+	if want := 100 - p.MRMC*x/p.PeakBW; math.Abs(early-want) > 1e-9 {
+		t.Errorf("early normal RS = %v, want flat %v", early, want)
+	}
+	// Stage 2: dropping between TBWDC and CBP.
+	mid := p.Predict(x, 40)
+	if want := 100 - (x+40-p.TBWDC)*p.RateN; math.Abs(mid-want) > 1e-9 {
+		t.Errorf("mid normal RS = %v, want %v", mid, want)
+	}
+	// Stage 3: flat beyond CBP.
+	tail1, tail2 := p.Predict(x, p.CBP), p.Predict(x, 137)
+	if math.Abs(tail1-tail2) > 1e-9 {
+		t.Errorf("normal tail not flat: %v vs %v", tail1, tail2)
+	}
+	if want := 100 - (x+p.CBP-p.TBWDC)*p.RateN; math.Abs(tail2-want) > 1e-9 {
+		t.Errorf("tail RS = %v, want %v", tail2, want)
+	}
+	if !(early > mid && mid > tail2) {
+		t.Errorf("stages not ordered: %v, %v, %v", early, mid, tail2)
+	}
+}
+
+func TestPredictIntensiveDropsImmediately(t *testing.T) {
+	p := xavierGPU()
+	x := 120.0
+	small := p.Predict(x, 5)
+	if small >= 99 {
+		t.Errorf("intensive kernel barely slowed at tiny pressure: RS = %v", small)
+	}
+	// Eq 5 with rateI from Eq 4.
+	want := 100 - (x+5-p.TBWDC)*p.RateI(x)
+	if math.Abs(small-want) > 1e-9 {
+		t.Errorf("intensive RS = %v, want %v", small, want)
+	}
+	// Flat beyond CBP.
+	if a, b := p.Predict(x, p.CBP+1), p.Predict(x, 137); math.Abs(a-b) > 1e-9 {
+		t.Errorf("intensive tail not flat: %v vs %v", a, b)
+	}
+}
+
+func TestRateIExceedsRateN(t *testing.T) {
+	p := xavierGPU()
+	// For x beyond TBWDC, Eq 4 gives a rate above RateN.
+	if got := p.RateI(120); got <= p.RateN {
+		t.Errorf("RateI(120) = %v, want > RateN %v", got, p.RateN)
+	}
+	if got := p.RateI(0); got < 0 {
+		t.Errorf("RateI(0) = %v, want ≥ 0", got)
+	}
+}
+
+func TestPredictPropertyBoundsAndMonotonicity(t *testing.T) {
+	p := xavierGPU()
+	f := func(xRaw, y1Raw, y2Raw uint16) bool {
+		x := float64(xRaw%1400) / 10
+		y1 := float64(y1Raw%1400) / 10
+		y2 := float64(y2Raw%1400) / 10
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		rs1, rs2 := p.Predict(x, y1), p.Predict(x, y2)
+		if rs1 <= 0 || rs1 > 100 || rs2 <= 0 || rs2 > 100 {
+			return false
+		}
+		return rs2 <= rs1+1e-9 // non-increasing in external demand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Errorf("bounds/monotonicity violated: %v", err)
+	}
+}
+
+func TestPredictContinuityAtRegionSeams(t *testing.T) {
+	p := xavierGPU()
+	// Within-region continuity in y: small steps in y cause small RS steps.
+	for _, x := range []float64{20, 60, 120} {
+		prev := p.Predict(x, 0.5)
+		for y := 1.0; y <= 137; y += 0.5 {
+			cur := p.Predict(x, y)
+			maxStep := math.Max(p.RateN, p.RateI(x))*0.5 + 1e-9
+			if math.Abs(cur-prev) > maxStep {
+				t.Fatalf("discontinuity at x=%v y=%v: %v → %v", x, y, prev, cur)
+			}
+			prev = cur
+		}
+	}
+	// Continuity of the normal-region curve at the TBWDC seam.
+	x := 60.0
+	yb := p.TBWDC - x
+	before, after := p.Predict(x, yb-0.01), p.Predict(x, yb+0.01)
+	if math.Abs(before-after) > p.MRMC*x/p.PeakBW+0.1 {
+		t.Errorf("seam jump at TBWDC: %v → %v", before, after)
+	}
+}
+
+func TestPredictSlowdown(t *testing.T) {
+	p := xavierGPU()
+	if got := p.PredictSlowdown(60, 0); got != 1 {
+		t.Errorf("slowdown with no contention = %v, want 1", got)
+	}
+	if got := p.PredictSlowdown(120, 100); got <= 1 {
+		t.Errorf("slowdown under heavy contention = %v, want > 1", got)
+	}
+}
+
+func TestDLANoMinorRegion(t *testing.T) {
+	p := xavierDLA()
+	// Even tiny demand with moderate pressure should show slowdown.
+	rs := p.Predict(25, 30)
+	if rs >= 99 {
+		t.Errorf("DLA RS = %v under pressure, want visible slowdown", rs)
+	}
+}
+
+func TestStringIncludesPUAndPlatform(t *testing.T) {
+	s := xavierGPU().String()
+	if !strings.Contains(s, "GPU") || !strings.Contains(s, "xavier") {
+		t.Errorf("String() = %q missing identifiers", s)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import "fmt"
+
+// Phase is one execution phase of a multi-phase program: a fraction of the
+// program's standalone execution time spent at a particular bandwidth
+// demand. The paper's example is cfd, whose four kernels have one high-BW
+// and three medium-BW phases (§3.2 "Handling multi-phase programs", Fig 13).
+type Phase struct {
+	Name string
+	// Weight is the phase's share of standalone execution time; weights
+	// should sum to 1 (PredictPhases normalizes).
+	Weight float64
+	// DemandGBps is the phase's standalone bandwidth demand.
+	DemandGBps float64
+}
+
+// PredictPhases predicts the whole-program achieved relative speed under
+// external demand y by predicting each phase separately and aggregating by
+// standalone execution-time share: each phase's time dilates by 100/RS_i,
+// so the program's co-run time is Σ wᵢ·(100/RSᵢ) and the program-level
+// relative speed is the weighted harmonic mean of the phase speeds.
+func (p Params) PredictPhases(phases []Phase, y float64) (float64, error) {
+	if len(phases) == 0 {
+		return 0, fmt.Errorf("pccs: no phases")
+	}
+	total := 0.0
+	for _, ph := range phases {
+		if ph.Weight < 0 {
+			return 0, fmt.Errorf("pccs: phase %q has negative weight", ph.Name)
+		}
+		total += ph.Weight
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("pccs: phase weights sum to zero")
+	}
+	dilation := 0.0
+	for _, ph := range phases {
+		rs := p.Predict(ph.DemandGBps, y)
+		dilation += (ph.Weight / total) * (100 / rs)
+	}
+	return 100 / dilation, nil
+}
+
+// AverageDemand collapses the phases to a single time-weighted average
+// bandwidth demand — the naive alternative the paper evaluates in Fig 13a,
+// which underestimates slowdown because high-BW phases suffer more than the
+// average suggests.
+func AverageDemand(phases []Phase) float64 {
+	total, sum := 0.0, 0.0
+	for _, ph := range phases {
+		total += ph.Weight
+		sum += ph.Weight * ph.DemandGBps
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func cfdLikePhases() []Phase {
+	return []Phase{
+		{Name: "K1", Weight: 0.4, DemandGBps: 110}, // high-BW kernel
+		{Name: "K2", Weight: 0.2, DemandGBps: 55},
+		{Name: "K3", Weight: 0.2, DemandGBps: 50},
+		{Name: "K4", Weight: 0.2, DemandGBps: 60},
+	}
+}
+
+func TestPredictPhasesErrors(t *testing.T) {
+	p := xavierGPU()
+	if _, err := p.PredictPhases(nil, 10); err == nil {
+		t.Error("no phases accepted")
+	}
+	if _, err := p.PredictPhases([]Phase{{Weight: -1, DemandGBps: 10}}, 10); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := p.PredictPhases([]Phase{{Weight: 0, DemandGBps: 10}}, 10); err == nil {
+		t.Error("zero total weight accepted")
+	}
+}
+
+func TestPredictPhasesSinglePhaseMatchesPredict(t *testing.T) {
+	p := xavierGPU()
+	got, err := p.PredictPhases([]Phase{{Weight: 1, DemandGBps: 60}}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Predict(60, 40); math.Abs(got-want) > 1e-9 {
+		t.Errorf("single phase = %v, want %v", got, want)
+	}
+}
+
+func TestPredictPhasesNormalizesWeights(t *testing.T) {
+	p := xavierGPU()
+	a, _ := p.PredictPhases([]Phase{{Weight: 1, DemandGBps: 60}, {Weight: 1, DemandGBps: 110}}, 40)
+	b, _ := p.PredictPhases([]Phase{{Weight: 10, DemandGBps: 60}, {Weight: 10, DemandGBps: 110}}, 40)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("weight scaling changed result: %v vs %v", a, b)
+	}
+}
+
+func TestPiecewiseBeatsAverageForSkewedPhases(t *testing.T) {
+	// The paper's Fig 13 point: feeding the average BW underestimates the
+	// slowdown because the high-BW phase suffers disproportionately. The
+	// phase-wise prediction must be ≤ the average-BW prediction under
+	// meaningful pressure.
+	p := xavierGPU()
+	phases := cfdLikePhases()
+	avg := AverageDemand(phases)
+	for _, y := range []float64{30, 50, 80} {
+		phased, err := p.PredictPhases(phases, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := p.Predict(avg, y)
+		if phased > flat+1e-9 {
+			t.Errorf("y=%v: phased RS %v above average-BW RS %v", y, phased, flat)
+		}
+	}
+}
+
+func TestAverageDemand(t *testing.T) {
+	if got := AverageDemand(nil); got != 0 {
+		t.Errorf("AverageDemand(nil) = %v, want 0", got)
+	}
+	got := AverageDemand([]Phase{{Weight: 1, DemandGBps: 10}, {Weight: 3, DemandGBps: 50}})
+	if want := (10 + 150) / 4.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("AverageDemand = %v, want %v", got, want)
+	}
+}
+
+func TestPredictPhasesBounded(t *testing.T) {
+	p := xavierGPU()
+	for y := 0.0; y <= 140; y += 7 {
+		rs, err := p.PredictPhases(cfdLikePhases(), y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs <= 0 || rs > 100 {
+			t.Errorf("phased RS(%v) = %v out of (0,100]", y, rs)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+// Scale adapts the model to an incremental memory-subsystem change (paper
+// §3.3, "linear bandwidth scaling"): ratio is the target memory bandwidth
+// over the bandwidth the model was constructed at (frequency change,
+// channel-count change, or both).
+//
+// The five bandwidth-shaped parameters (NormalBW, IntensiveBW, MRMC, CBP,
+// TBWDC — the rows of Table 5) scale linearly with the ratio, as does the
+// peak. RateN is recalculated from the scaled values: the drop it describes
+// spans a region whose width scaled by ratio while the total reduction depth
+// is preserved, so the rate scales inversely.
+func (p Params) Scale(ratio float64) Params {
+	if ratio <= 0 {
+		return p
+	}
+	s := p
+	s.NormalBW *= ratio
+	s.IntensiveBW *= ratio
+	s.MRMC *= ratio
+	s.CBP *= ratio
+	s.TBWDC *= ratio
+	s.PeakBW *= ratio
+	s.RateN /= ratio
+	return s
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScaleLinearInRatio(t *testing.T) {
+	p := xavierGPU()
+	s := p.Scale(0.5)
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"NormalBW", s.NormalBW, p.NormalBW * 0.5},
+		{"IntensiveBW", s.IntensiveBW, p.IntensiveBW * 0.5},
+		{"MRMC", s.MRMC, p.MRMC * 0.5},
+		{"CBP", s.CBP, p.CBP * 0.5},
+		{"TBWDC", s.TBWDC, p.TBWDC * 0.5},
+		{"PeakBW", s.PeakBW, p.PeakBW * 0.5},
+		{"RateN", s.RateN, p.RateN / 0.5},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled params invalid: %v", err)
+	}
+}
+
+func TestScaleRoundTripIsIdentity(t *testing.T) {
+	p := xavierGPU()
+	f := func(rRaw uint16) bool {
+		r := 0.25 + float64(rRaw%200)/100 // ratio ∈ [0.25, 2.25)
+		s := p.Scale(r).Scale(1 / r)
+		eq := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+		return eq(s.NormalBW, p.NormalBW) && eq(s.IntensiveBW, p.IntensiveBW) &&
+			eq(s.MRMC, p.MRMC) && eq(s.CBP, p.CBP) && eq(s.TBWDC, p.TBWDC) &&
+			eq(s.PeakBW, p.PeakBW) && eq(s.RateN, p.RateN)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Errorf("scale round trip not identity: %v", err)
+	}
+}
+
+func TestScaleInvalidRatioIsNoop(t *testing.T) {
+	p := xavierGPU()
+	if s := p.Scale(0); s != p {
+		t.Error("Scale(0) should be a no-op")
+	}
+	if s := p.Scale(-1); s != p {
+		t.Error("Scale(-1) should be a no-op")
+	}
+}
+
+func TestScalePreservesDropPredictionsAtScaledPoints(t *testing.T) {
+	// The point of linear scaling: in the normal and intensive regions the
+	// predicted reduction at proportionally scaled (x, y) is preserved —
+	// region boundaries, TBWDC and CBP scale with the ratio while RateN
+	// scales inversely. (The minor region's Eq-2 reduction scales by the
+	// ratio instead, because the paper scales MRMC linearly; see Table 5.)
+	p := xavierGPU()
+	f := func(xRaw, yRaw, rRaw uint16) bool {
+		x := float64(xRaw%1200) / 10
+		y := float64(yRaw%1200) / 10
+		r := 0.5 + float64(rRaw%100)/100
+		if p.Region(x) == Minor {
+			return true
+		}
+		s := p.Scale(r)
+		if s.Region(x*r) != p.Region(x) {
+			return false // boundaries must scale with the operating point
+		}
+		// Decompose: the near-linear drop term is invariant under scaling
+		// while the minor-level flat term scales by r (MRMC scaling). The
+		// scaled prediction must be the dominating one of the two.
+		yEff := math.Min(y, p.CBP)
+		drop := math.Max((x+yEff-p.TBWDC)*p.RateN, 0)
+		if p.Region(x) == Intensive {
+			drop = math.Max((x+yEff-p.TBWDC)*p.RateI(x), 0)
+		}
+		minor := 0.0
+		if p.Region(x) == Normal {
+			minor = (p.MRMC * x / p.PeakBW) * r
+		}
+		wantRed := math.Max(drop, minor)
+		rs := 100 - wantRed
+		if rs < 1 {
+			rs = 1
+		}
+		if y <= 0 {
+			rs = 100
+		}
+		b := s.Predict(x*r, y*r)
+		return math.Abs(b-rs) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Errorf("scaled prediction mismatch: %v", err)
+	}
+}
+
+func TestScaledMinorReductionScalesWithRatio(t *testing.T) {
+	p := xavierGPU()
+	x, r := 20.0, 0.75
+	orig := 100 - p.Predict(x, 30)
+	scaled := 100 - p.Scale(r).Predict(x*r, 30*r)
+	if math.Abs(scaled-orig*r) > 1e-9 {
+		t.Errorf("minor reduction = %v, want %v (ratio-scaled)", scaled, orig*r)
+	}
+}

@@ -1,0 +1,57 @@
+package dram
+
+// Loc identifies the physical location of one line-sized transfer.
+type Loc struct {
+	Channel int
+	Bank    int
+	Row     int64
+	Col     int // line index within the row
+}
+
+// Mapper translates flat physical addresses to DRAM locations and back.
+//
+// The mapping interleaves consecutive lines across channels (so streaming
+// traffic spreads over every channel, as on Xavier-class SoCs), then across
+// columns of a row, and applies an XOR fold of the row bits into the bank
+// index — the "XOR-based address-to-bank mapping" of the paper's Table 1 —
+// so that strided traffic does not camp on a single bank.
+type Mapper struct {
+	channels    int
+	banks       int
+	linesPerRow int
+	lineBytes   int
+}
+
+// NewMapper builds a Mapper for the configuration. The configuration must
+// have been validated; geometry fields are assumed to be powers of two.
+func NewMapper(c Config) *Mapper {
+	return &Mapper{
+		channels:    c.Channels,
+		banks:       c.BanksPerChannel,
+		linesPerRow: c.LinesPerRow(),
+		lineBytes:   c.LineBytes,
+	}
+}
+
+// Decode maps a byte address to the location of the line containing it.
+func (m *Mapper) Decode(addr int64) Loc {
+	line := addr / int64(m.lineBytes)
+	ch := int(line % int64(m.channels))
+	rest := line / int64(m.channels)
+	col := int(rest % int64(m.linesPerRow))
+	rest = rest / int64(m.linesPerRow)
+	rawBank := int(rest % int64(m.banks))
+	row := rest / int64(m.banks)
+	bank := (rawBank ^ int(row%int64(m.banks))) & (m.banks - 1)
+	return Loc{Channel: ch, Bank: bank, Row: row, Col: col}
+}
+
+// Encode maps a location back to the byte address of the start of its line.
+// Encode is the inverse of Decode for line-aligned addresses.
+func (m *Mapper) Encode(l Loc) int64 {
+	rawBank := (l.Bank ^ int(l.Row%int64(m.banks))) & (m.banks - 1)
+	rest := l.Row*int64(m.banks) + int64(rawBank)
+	rest = rest*int64(m.linesPerRow) + int64(l.Col)
+	line := rest*int64(m.channels) + int64(l.Channel)
+	return line * int64(m.lineBytes)
+}

@@ -1,0 +1,94 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{XavierLPDDR4X(), SnapdragonLPDDR4X(), CMPDDR4()} {
+		m := NewMapper(cfg)
+		f := func(raw int64) bool {
+			if raw < 0 {
+				raw = -raw
+			}
+			addr := (raw % (1 << 34)) &^ int64(cfg.LineBytes-1) // line-aligned, ≤16GB
+			return m.Encode(m.Decode(addr)) == addr
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%s: decode/encode not a bijection: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestDecodeFieldsInRange(t *testing.T) {
+	cfg := XavierLPDDR4X()
+	m := NewMapper(cfg)
+	f := func(raw int64) bool {
+		if raw < 0 {
+			raw = -raw
+		}
+		l := m.Decode(raw % (1 << 36))
+		return l.Channel >= 0 && l.Channel < cfg.Channels &&
+			l.Bank >= 0 && l.Bank < cfg.BanksPerChannel &&
+			l.Row >= 0 &&
+			l.Col >= 0 && l.Col < cfg.LinesPerRow()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("decoded fields out of range: %v", err)
+	}
+}
+
+func TestConsecutiveLinesInterleaveChannels(t *testing.T) {
+	cfg := CMPDDR4()
+	m := NewMapper(cfg)
+	for i := 0; i < cfg.Channels*4; i++ {
+		addr := int64(i * cfg.LineBytes)
+		if got, want := m.Decode(addr).Channel, i%cfg.Channels; got != want {
+			t.Fatalf("line %d: channel = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSequentialStreamStaysInRowPerChannel(t *testing.T) {
+	// A sequential stream should produce runs of same-row accesses within a
+	// channel (the row locality that FR-FCFS exploits).
+	cfg := CMPDDR4()
+	m := NewMapper(cfg)
+	perChannelRows := make(map[int]map[int64]bool)
+	linesPerSweep := cfg.Channels * cfg.LinesPerRow() // one row per channel
+	for i := 0; i < linesPerSweep; i++ {
+		l := m.Decode(int64(i * cfg.LineBytes))
+		if perChannelRows[l.Channel] == nil {
+			perChannelRows[l.Channel] = map[int64]bool{}
+		}
+		perChannelRows[l.Channel][l.Row] = true
+	}
+	for ch, rows := range perChannelRows {
+		if len(rows) != 1 {
+			t.Errorf("channel %d: sequential sweep touched %d rows, want 1", ch, len(rows))
+		}
+	}
+}
+
+func TestXORBankSpreadsStridedTraffic(t *testing.T) {
+	// Row-sized strides within one channel must not camp on a single bank:
+	// the XOR fold must spread them across all banks.
+	cfg := CMPDDR4()
+	m := NewMapper(cfg)
+	banks := map[int]bool{}
+	lineBytes := int64(cfg.LineBytes)
+	linesPerRow := int64(cfg.LinesPerRow())
+	chans := int64(cfg.Channels)
+	nbanks := int64(cfg.BanksPerChannel)
+	for row := int64(0); row < nbanks; row++ {
+		// Address with rawBank = 0 and the given row.
+		rest := row * nbanks * linesPerRow
+		addr := rest * chans * lineBytes
+		banks[m.Decode(addr).Bank] = true
+	}
+	if len(banks) != cfg.BanksPerChannel {
+		t.Errorf("XOR mapping: %d distinct banks across %d rows, want %d",
+			len(banks), cfg.BanksPerChannel, cfg.BanksPerChannel)
+	}
+}

@@ -1,0 +1,83 @@
+package dram
+
+// RowClosed marks a bank whose row buffer holds no open row.
+const RowClosed int64 = -1
+
+// AccessKind classifies the row-buffer outcome of one access.
+type AccessKind int
+
+const (
+	// RowHit: the requested row was already open in the bank's row buffer.
+	RowHit AccessKind = iota
+	// RowEmpty: the bank had no open row; an activate was required.
+	RowEmpty
+	// RowConflict: a different row was open; precharge + activate required.
+	RowConflict
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case RowHit:
+		return "hit"
+	case RowEmpty:
+		return "empty"
+	case RowConflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// Bank tracks the state of one DRAM bank: the open row, when the bank can
+// next accept a command, and when the current row's tRAS window expires.
+type Bank struct {
+	OpenRow     int64 // RowClosed if no row is open
+	ReadyAt     int64 // cycle at which the bank can accept the next command
+	ActivatedAt int64 // cycle of the last activate, for tRAS accounting
+}
+
+// Reset returns the bank to the powered-up, all-rows-closed state.
+func (b *Bank) Reset() {
+	b.OpenRow = RowClosed
+	b.ReadyAt = 0
+	b.ActivatedAt = 0
+}
+
+// Access performs one line read/write against the bank under open-page
+// policy and returns the row-buffer outcome and the cycle at which the
+// column command issues (data follows CL cycles later).
+//
+// now is the cycle at which the controller issues the access. burst is the
+// column-to-column command spacing in cycles (tCCD, equal to the burst
+// length): consecutive column commands to the same open row pipeline at that
+// spacing, with their CAS latencies overlapping — this is what lets a single
+// bank stream at full bus rate. The caller is responsible for data-bus
+// arbitration; Access accounts only for bank-local timing (tRP, tRCD, tRAS,
+// tCCD) and leaves the row open afterwards.
+func (b *Bank) Access(now int64, row int64, t Timing, burst int64) (kind AccessKind, colCmdAt int64) {
+	start := now
+	if b.ReadyAt > start {
+		start = b.ReadyAt
+	}
+	switch {
+	case b.OpenRow == row:
+		kind = RowHit
+		colCmdAt = start
+	case b.OpenRow == RowClosed:
+		kind = RowEmpty
+		colCmdAt = start + t.RCD
+		b.ActivatedAt = start
+	default:
+		kind = RowConflict
+		// Precharge may not cut the previous row's tRAS window short.
+		pre := start
+		if min := b.ActivatedAt + t.RAS; min > pre {
+			pre = min
+		}
+		colCmdAt = pre + t.RP + t.RCD
+		b.ActivatedAt = pre + t.RP
+	}
+	b.OpenRow = row
+	b.ReadyAt = colCmdAt + burst
+	return kind, colCmdAt
+}

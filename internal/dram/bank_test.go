@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBankAccessKinds(t *testing.T) {
+	tm := DDR4_3200()
+	const burst = 4
+	var b Bank
+	b.Reset()
+
+	kind, col := b.Access(0, 7, tm, burst)
+	if kind != RowEmpty {
+		t.Errorf("first access: kind = %v, want empty", kind)
+	}
+	if col != tm.RCD {
+		t.Errorf("first access: colCmdAt = %d, want tRCD = %d", col, tm.RCD)
+	}
+	if b.ReadyAt != col+burst {
+		t.Errorf("bank ready at %d, want colCmdAt+tCCD = %d", b.ReadyAt, col+burst)
+	}
+
+	kind, col2 := b.Access(b.ReadyAt, 7, tm, burst)
+	if kind != RowHit {
+		t.Errorf("same row: kind = %v, want hit", kind)
+	}
+	if col2 != col+burst {
+		t.Errorf("pipelined hit colCmdAt = %d, want %d (tCCD spacing)", col2, col+burst)
+	}
+
+	now := b.ReadyAt
+	kind, col3 := b.Access(now, 9, tm, burst)
+	if kind != RowConflict {
+		t.Errorf("different row: kind = %v, want conflict", kind)
+	}
+	if col3 < now+tm.RP+tm.RCD {
+		t.Errorf("conflict colCmdAt = %d, want ≥ now+tRP+tRCD = %d", col3, now+tm.RP+tm.RCD)
+	}
+}
+
+func TestBankConflictRespectsRAS(t *testing.T) {
+	tm := DDR4_3200()
+	const burst = 4
+	var b Bank
+	b.Reset()
+	b.Access(0, 1, tm, burst) // activate row 1 at cycle 0
+	// Immediately conflict to row 2: precharge cannot happen before tRAS.
+	_, col2 := b.Access(b.ReadyAt, 2, tm, burst)
+	if wantMin := tm.RAS + tm.RP + tm.RCD; col2 < wantMin {
+		t.Errorf("conflict after fresh activate: colCmdAt = %d, want ≥ %d", col2, wantMin)
+	}
+}
+
+func TestBankAccessNeverTravelsBackInTime(t *testing.T) {
+	tm := LPDDR4X_2133()
+	const burst = 8
+	f := func(rows []int64, gaps []int64) bool {
+		var b Bank
+		b.Reset()
+		now := int64(0)
+		prevCol := int64(-1)
+		for i, r := range rows {
+			if r < 0 {
+				r = -r
+			}
+			r %= 16
+			if i < len(gaps) {
+				g := gaps[i]
+				if g < 0 {
+					g = -g
+				}
+				now += g % 1000
+			}
+			_, col := b.Access(now, r, tm, burst)
+			if col < now {
+				return false
+			}
+			// Column commands to one bank must keep tCCD spacing.
+			if prevCol >= 0 && col < prevCol+burst {
+				return false
+			}
+			if b.ReadyAt != col+burst {
+				return false
+			}
+			prevCol = col
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("bank timing monotonicity violated: %v", err)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	cases := map[AccessKind]string{RowHit: "hit", RowEmpty: "empty", RowConflict: "conflict", AccessKind(42): "unknown"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("AccessKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package dram
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the data-bus reservation calendar.
+
+func TestReserveNeverOverlapsProperty(t *testing.T) {
+	cfg := CMPDDR4()
+	f := func(earliests []uint16) bool {
+		ch := NewChannel(cfg)
+		burst := cfg.BurstCycles()
+		type slot struct{ start, end int64 }
+		var slots []slot
+		base := int64(0)
+		for _, e := range earliests {
+			// Earliest times wander forward with bounded jitter, like real
+			// data-ready times across banks.
+			base += int64(e % 16)
+			earliest := base + int64(e%256)
+			start := ch.reserve(earliest, burst)
+			if start < earliest {
+				return false // reservation before data is ready
+			}
+			slots = append(slots, slot{start, start + burst})
+		}
+		sort.Slice(slots, func(a, b int) bool { return slots[a].start < slots[b].start })
+		for i := 1; i < len(slots); i++ {
+			if slots[i].start < slots[i-1].end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("calendar overlap: %v", err)
+	}
+}
+
+func TestReserveFillsGaps(t *testing.T) {
+	cfg := CMPDDR4()
+	ch := NewChannel(cfg)
+	burst := cfg.BurstCycles()
+	// Book a far-future slot, then a near-term one: the near-term booking
+	// must land before the far-future slot, not after it.
+	far := ch.reserve(1000, burst)
+	near := ch.reserve(10, burst)
+	if near >= far {
+		t.Errorf("gap not filled: near-term slot at %d, far slot at %d", near, far)
+	}
+	// A second near-term booking packs right behind the first.
+	near2 := ch.reserve(10, burst)
+	if near2 != near+burst {
+		t.Errorf("second slot at %d, want %d (back to back)", near2, near+burst)
+	}
+}
+
+func TestReservePrunesHistory(t *testing.T) {
+	cfg := CMPDDR4()
+	ch := NewChannel(cfg)
+	burst := cfg.BurstCycles()
+	for i := int64(0); i < 10000; i++ {
+		ch.reserve(i*burst, burst)
+	}
+	if n := len(ch.resv); n > 512 {
+		t.Errorf("calendar grew to %d entries; pruning broken", n)
+	}
+}
+
+func TestBacklogGateCountsOnlyPending(t *testing.T) {
+	cfg := CMPDDR4()
+	ch := NewChannel(cfg)
+	burst := cfg.BurstCycles()
+	for i := int64(0); i < 20; i++ {
+		ch.reserve(i*burst, burst)
+	}
+	// All 20 slots are in the past relative to now = 20*burst.
+	now := 20 * burst
+	if gate := ch.BacklogGate(4, now); gate != 0 {
+		t.Errorf("gate over played-out slots = %d, want 0", gate)
+	}
+	// Book 6 future slots; with maxAhead 4 the gate must bind.
+	for i := int64(0); i < 6; i++ {
+		ch.reserve(now+100+i*burst, burst)
+	}
+	if gate := ch.BacklogGate(4, now); gate <= now {
+		t.Errorf("gate with 6 pending slots = %d, want in the future", gate)
+	}
+	if gate := ch.BacklogGate(10, now); gate != 0 {
+		t.Errorf("gate with only 6 pending of 10 allowed = %d, want 0", gate)
+	}
+}

@@ -1,0 +1,167 @@
+package dram
+
+// Channel models one DRAM channel: a set of banks behind a shared data bus.
+//
+// The data bus is slot-scheduled: each line transfer reserves a burst-length
+// slot at or after its data-ready time, filling earlier gaps left by
+// long-latency accesses (precharge+activate) of other banks. This is what
+// lets bank-level parallelism hide row-cycle bubbles, as in real
+// controllers; booking the bus strictly in decision order would let a
+// single conflicting request idle the bus for a full row cycle.
+type Channel struct {
+	cfg   Config
+	Banks []Bank
+	// resv holds the outstanding data-bus reservations, sorted by start,
+	// non-overlapping. Entries ending before the pruning horizon are
+	// dropped as time advances.
+	resv []busSlot
+	// BusyCycles accumulates data-bus occupancy, for utilization statistics.
+	BusyCycles int64
+}
+
+type busSlot struct{ start, end int64 }
+
+// NewChannel builds a channel in the reset state.
+func NewChannel(cfg Config) *Channel {
+	ch := &Channel{cfg: cfg, Banks: make([]Bank, cfg.BanksPerChannel)}
+	ch.Reset()
+	return ch
+}
+
+// Reset closes every row and frees the bus.
+func (ch *Channel) Reset() {
+	for i := range ch.Banks {
+		ch.Banks[i].Reset()
+	}
+	ch.resv = ch.resv[:0]
+	ch.BusyCycles = 0
+}
+
+// WouldHit reports whether accessing row in bank would be a row-buffer hit,
+// without changing state. Schedulers use it to rank queued requests.
+func (ch *Channel) WouldHit(bank int, row int64) bool {
+	return ch.Banks[bank].OpenRow == row
+}
+
+// BankReadyAt reports when the bank can accept its next command.
+func (ch *Channel) BankReadyAt(bank int) int64 { return ch.Banks[bank].ReadyAt }
+
+// BusFreeAt reports the end of the latest data-bus reservation — the
+// horizon the controller's decision lookahead is measured against.
+func (ch *Channel) BusFreeAt() int64 {
+	if len(ch.resv) == 0 {
+		return 0
+	}
+	return ch.resv[len(ch.resv)-1].end
+}
+
+// BacklogGate returns the cycle at which fewer than maxAhead reservations
+// remain outstanding beyond now: the end of the maxAhead-th still-pending
+// reservation from the tail, or 0 when fewer are pending. The controller
+// paces its decisions by this gate so the scheduler always works against a
+// populated queue (reordering needs standing candidates) without one
+// far-future conflict booking stalling decision-making. All reservations
+// share one burst length, so ends are monotone in start order and the
+// backward scan can stop at the first played-out slot.
+func (ch *Channel) BacklogGate(maxAhead int, now int64) int64 {
+	cnt := 0
+	for i := len(ch.resv) - 1; i >= 0; i-- {
+		if ch.resv[i].end <= now {
+			break
+		}
+		cnt++
+		if cnt == maxAhead {
+			return ch.resv[i].end
+		}
+	}
+	return 0
+}
+
+// reserve books the first burst-length slot starting at or after earliest,
+// filling gaps between existing reservations, and prunes slots that ended
+// before the horizon (earliest minus one row cycle, so late bookings behind
+// the horizon remain collision-checked).
+func (ch *Channel) reserve(earliest, burst int64) int64 {
+	// Prune: keep slots ending after a safety horizon well before
+	// earliest; anything older can no longer collide with new bookings
+	// because data-ready times never move backwards by more than a row
+	// cycle relative to the decision clock.
+	t := ch.cfg.Timing
+	horizon := earliest - 4*(t.RAS+t.RP+t.RCD+t.CL)
+	keep := 0
+	for _, s := range ch.resv {
+		if s.end > horizon {
+			ch.resv[keep] = s
+			keep++
+		}
+	}
+	ch.resv = ch.resv[:keep]
+
+	start := earliest
+	for i := 0; i < len(ch.resv); i++ {
+		s := ch.resv[i]
+		if start+burst <= s.start {
+			// Fits in the gap before slot i.
+			ch.resv = append(ch.resv, busSlot{})
+			copy(ch.resv[i+1:], ch.resv[i:])
+			ch.resv[i] = busSlot{start, start + burst}
+			return start
+		}
+		if s.end > start {
+			start = s.end
+		}
+	}
+	ch.resv = append(ch.resv, busSlot{start, start + burst})
+	return start
+}
+
+// ServiceResult describes the outcome of servicing one line transfer.
+type ServiceResult struct {
+	Kind AccessKind
+	// DataStart is the cycle at which the burst begins on the data bus.
+	DataStart int64
+	// Done is the cycle at which the last beat of data has transferred;
+	// the request completes (and the requester is notified) at Done.
+	Done int64
+}
+
+// Service performs one line access at cycle now: bank timing via the bank
+// state machine, then data-bus slot reservation (the burst takes the first
+// free slot at or after data-ready). It returns the completion schedule.
+func (ch *Channel) Service(now int64, bank int, row int64) ServiceResult {
+	now = ch.afterRefresh(now)
+	burst := ch.cfg.BurstCycles()
+	kind, colCmdAt := ch.Banks[bank].Access(now, row, ch.cfg.Timing, burst)
+	colCmdAt = ch.afterRefresh(colCmdAt)
+	dataReady := colCmdAt + ch.cfg.Timing.CL
+	dataStart := ch.reserve(dataReady, burst)
+	done := dataStart + burst
+	ch.BusyCycles += burst
+	return ServiceResult{Kind: kind, DataStart: dataStart, Done: done}
+}
+
+// afterRefresh pushes a command time out of any refresh window: every REFI
+// cycles the channel refreshes for RFC cycles during which no command may
+// issue. A no-op when refresh modeling is disabled (REFI == 0).
+func (ch *Channel) afterRefresh(at int64) int64 {
+	t := ch.cfg.Timing
+	if t.REFI <= 0 || t.RFC <= 0 {
+		return at
+	}
+	if off := at % t.REFI; off < t.RFC {
+		return at - off + t.RFC
+	}
+	return at
+}
+
+// Utilization is the fraction of cycles in [0, now) the data bus was busy.
+func (ch *Channel) Utilization(now int64) float64 {
+	if now <= 0 {
+		return 0
+	}
+	u := float64(ch.BusyCycles) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,180 @@
+// Package dram models the DRAM subsystem of a heterogeneous shared-memory
+// SoC: channel/bank/row geometry, DDR timing, address mapping, and per-bank
+// row-buffer state.
+//
+// The model is deliberately at the granularity that matters for the PCCS
+// paper's characterization (MICRO'21, §2.3): bank conflicts, row-buffer hits
+// versus misses, and data-bus occupancy per channel. It does not model
+// refresh, rank-to-rank turnaround, or write-to-read turnaround; those
+// second-order effects shift absolute bandwidth by a few percent but do not
+// change the contention phenomenology the slowdown model is built on.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Timing holds DRAM timing parameters expressed in memory-controller clock
+// cycles (one cycle per I/O bus clock; data moves on both edges, DDR).
+type Timing struct {
+	// CL is the CAS latency: cycles from column read command to first data.
+	CL int64
+	// RCD is the RAS-to-CAS delay: cycles from row activate to column command.
+	RCD int64
+	// RP is the row-precharge time: cycles to close an open row.
+	RP int64
+	// RAS is the minimum time a row must stay open after activation.
+	RAS int64
+	// REFI is the refresh interval: every REFI cycles the channel spends
+	// RFC cycles refreshing, during which no command may issue. Zero
+	// disables refresh modeling (the default for the platform presets —
+	// refresh costs a few percent of bandwidth uniformly and does not
+	// change the contention phenomenology; the ablation-refresh experiment
+	// quantifies it).
+	REFI int64
+	// RFC is the refresh cycle time (see REFI).
+	RFC int64
+}
+
+// WithRefresh returns a copy of the timing with refresh enabled at the
+// given interval and duration.
+func (t Timing) WithRefresh(refi, rfc int64) Timing {
+	t.REFI, t.RFC = refi, rfc
+	return t
+}
+
+// DDR4_3200 is the timing preset used by the paper's memory-controller
+// simulation (Table 1: "DDR4-3200 timing parameter"). Values follow the
+// JEDEC DDR4-3200AA speed bin (22-22-22) at a 1600 MHz clock.
+func DDR4_3200() Timing { return Timing{CL: 22, RCD: 22, RP: 22, RAS: 52} }
+
+// LPDDR4X_2133 is the timing preset for the LPDDR4x-4266 devices found on
+// the NVIDIA Jetson AGX Xavier and the Snapdragon 855 (2133 MHz clock).
+// LPDDR4x has longer core timings relative to its I/O clock than DDR4.
+func LPDDR4X_2133() Timing { return Timing{CL: 36, RCD: 39, RP: 42, RAS: 90} }
+
+// Config describes the geometry and speed of a DRAM subsystem.
+//
+// The subsystem has Channels independent channels, each with its own command
+// and data bus. Lines (LineBytes each) are interleaved across channels so
+// that streaming traffic uses all channels evenly, matching the channel
+// interleaving used on Xavier-class SoCs (§5 of the paper).
+type Config struct {
+	Name            string
+	Channels        int     // number of independent channels (power of two)
+	BanksPerChannel int     // banks per channel (power of two)
+	RowBytes        int     // row-buffer size per bank, in bytes
+	LineBytes       int     // transfer granularity, in bytes (typically 64)
+	ClockMHz        float64 // I/O bus clock in MHz (DDR: 2 transfers/cycle)
+	BusBytes        int     // data-bus width per channel, in bytes
+	Timing          Timing
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0 || bits.OnesCount(uint(c.Channels)) != 1:
+		return fmt.Errorf("dram: channels must be a positive power of two, got %d", c.Channels)
+	case c.BanksPerChannel <= 0 || bits.OnesCount(uint(c.BanksPerChannel)) != 1:
+		return fmt.Errorf("dram: banks per channel must be a positive power of two, got %d", c.BanksPerChannel)
+	case c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1:
+		return fmt.Errorf("dram: line bytes must be a positive power of two, got %d", c.LineBytes)
+	case c.RowBytes < c.LineBytes || c.RowBytes%c.LineBytes != 0:
+		return fmt.Errorf("dram: row bytes (%d) must be a multiple of line bytes (%d)", c.RowBytes, c.LineBytes)
+	case c.BusBytes <= 0:
+		return fmt.Errorf("dram: bus bytes must be positive, got %d", c.BusBytes)
+	case c.ClockMHz <= 0:
+		return fmt.Errorf("dram: clock must be positive, got %v", c.ClockMHz)
+	case c.Timing.CL <= 0 || c.Timing.RCD <= 0 || c.Timing.RP <= 0:
+		return fmt.Errorf("dram: timing parameters must be positive: %+v", c.Timing)
+	}
+	if c.LineBytes/(2*c.BusBytes) < 1 {
+		return fmt.Errorf("dram: line (%dB) smaller than one DDR beat pair (%dB)", c.LineBytes, 2*c.BusBytes)
+	}
+	return nil
+}
+
+// BurstCycles is the number of bus-clock cycles the data bus is occupied by
+// one line transfer: LineBytes moved at 2×BusBytes per cycle (DDR).
+func (c Config) BurstCycles() int64 {
+	return int64(c.LineBytes / (2 * c.BusBytes))
+}
+
+// LinesPerRow is the number of transfer lines held by one open row.
+func (c Config) LinesPerRow() int { return c.RowBytes / c.LineBytes }
+
+// CyclesPerSecond converts the clock into controller cycles per second.
+func (c Config) CyclesPerSecond() float64 { return c.ClockMHz * 1e6 }
+
+// ChannelPeakBytesPerSec is the theoretical data-bus bandwidth of a single
+// channel in bytes per second.
+func (c Config) ChannelPeakBytesPerSec() float64 {
+	return c.CyclesPerSecond() * 2 * float64(c.BusBytes)
+}
+
+// PeakBytesPerSec is the theoretical peak bandwidth of the whole subsystem.
+func (c Config) PeakBytesPerSec() float64 {
+	return c.ChannelPeakBytesPerSec() * float64(c.Channels)
+}
+
+// PeakGBps is PeakBytesPerSec expressed in GB/s (1e9 bytes).
+func (c Config) PeakGBps() float64 { return c.PeakBytesPerSec() / 1e9 }
+
+// Scale returns a copy of the configuration with the I/O clock multiplied by
+// ratio, emulating the incremental memory-frequency changes discussed in
+// §3.3 of the paper (linear bandwidth scaling across SoC generations).
+func (c Config) Scale(ratio float64) Config {
+	s := c
+	s.ClockMHz *= ratio
+	s.Name = fmt.Sprintf("%s@x%.3g", c.Name, ratio)
+	return s
+}
+
+// XavierLPDDR4X is the memory subsystem of the virtual Jetson AGX Xavier:
+// 8 × 32-bit LPDDR4x channels at 2133 MHz — 136.5 GB/s theoretical peak,
+// matching Table 6 of the paper.
+func XavierLPDDR4X() Config {
+	return Config{
+		Name:            "xavier-lpddr4x",
+		Channels:        8,
+		BanksPerChannel: 16, // dual-rank: 2 ranks × 8 banks
+		RowBytes:        4096,
+		LineBytes:       64,
+		ClockMHz:        2133,
+		BusBytes:        4,
+		Timing:          LPDDR4X_2133(),
+	}
+}
+
+// SnapdragonLPDDR4X is the memory subsystem of the virtual Snapdragon 855:
+// 2 × 32-bit LPDDR4x channels at 2133 MHz — 34.1 GB/s theoretical peak
+// (Table 6 lists a 64-bit interface at 34 GB/s).
+func SnapdragonLPDDR4X() Config {
+	return Config{
+		Name:            "snapdragon-lpddr4x",
+		Channels:        2,
+		BanksPerChannel: 16, // dual-rank: 2 ranks × 8 banks
+		RowBytes:        4096,
+		LineBytes:       64,
+		ClockMHz:        2133,
+		BusBytes:        4,
+		Timing:          LPDDR4X_2133(),
+	}
+}
+
+// CMPDDR4 is the memory subsystem of the paper's memory-controller study
+// (Table 1): DDR4-3200, 4 channels, 64-bit wide each, 8 banks, 4 KB rows,
+// 102.4 GB/s theoretical peak.
+func CMPDDR4() Config {
+	return Config{
+		Name:            "cmp-ddr4-3200",
+		Channels:        4,
+		BanksPerChannel: 8,
+		RowBytes:        4096,
+		LineBytes:       64,
+		ClockMHz:        1600,
+		BusBytes:        8,
+		Timing:          DDR4_3200(),
+	}
+}

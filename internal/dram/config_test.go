@@ -1,0 +1,98 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidatePresets(t *testing.T) {
+	for _, cfg := range []Config{XavierLPDDR4X(), SnapdragonLPDDR4X(), CMPDDR4()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	base := CMPDDR4()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }},
+		{"non-pow2 channels", func(c *Config) { c.Channels = 3 }},
+		{"zero banks", func(c *Config) { c.BanksPerChannel = 0 }},
+		{"non-pow2 banks", func(c *Config) { c.BanksPerChannel = 6 }},
+		{"zero line", func(c *Config) { c.LineBytes = 0 }},
+		{"non-pow2 line", func(c *Config) { c.LineBytes = 48 }},
+		{"row smaller than line", func(c *Config) { c.RowBytes = 32 }},
+		{"row not multiple of line", func(c *Config) { c.RowBytes = 96 }},
+		{"zero bus", func(c *Config) { c.BusBytes = 0 }},
+		{"zero clock", func(c *Config) { c.ClockMHz = 0 }},
+		{"zero CL", func(c *Config) { c.Timing.CL = 0 }},
+		{"zero RCD", func(c *Config) { c.Timing.RCD = 0 }},
+		{"zero RP", func(c *Config) { c.Timing.RP = 0 }},
+		{"line under one beat pair", func(c *Config) { c.BusBytes = 64 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestPeakBandwidthMatchesPaper(t *testing.T) {
+	// Table 1: 102.4 GB/s theoretical bandwidth for the CMP DDR4 system.
+	if got := CMPDDR4().PeakGBps(); math.Abs(got-102.4) > 0.1 {
+		t.Errorf("CMPDDR4 peak = %.2f GB/s, want 102.4", got)
+	}
+	// Table 6: Xavier 137 GB/s (theoretical 136.5), Snapdragon 34 GB/s.
+	if got := XavierLPDDR4X().PeakGBps(); math.Abs(got-136.5) > 0.5 {
+		t.Errorf("Xavier peak = %.2f GB/s, want ~136.5", got)
+	}
+	if got := SnapdragonLPDDR4X().PeakGBps(); math.Abs(got-34.1) > 0.2 {
+		t.Errorf("Snapdragon peak = %.2f GB/s, want ~34.1", got)
+	}
+}
+
+func TestBurstCycles(t *testing.T) {
+	// CMP: 64B line over a 8B bus, DDR: 64/(2*8) = 4 cycles.
+	if got := CMPDDR4().BurstCycles(); got != 4 {
+		t.Errorf("CMP burst = %d cycles, want 4", got)
+	}
+	// Xavier: 64B over 4B bus: 64/(2*4) = 8 cycles.
+	if got := XavierLPDDR4X().BurstCycles(); got != 8 {
+		t.Errorf("Xavier burst = %d cycles, want 8", got)
+	}
+}
+
+func TestLinesPerRow(t *testing.T) {
+	if got := CMPDDR4().LinesPerRow(); got != 64 {
+		t.Errorf("LinesPerRow = %d, want 64 (4KB row / 64B line)", got)
+	}
+}
+
+func TestScaleIsLinearInClock(t *testing.T) {
+	base := XavierLPDDR4X()
+	half := base.Scale(0.5)
+	if err := half.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	if got, want := half.PeakBytesPerSec(), base.PeakBytesPerSec()/2; math.Abs(got-want) > 1 {
+		t.Errorf("scaled peak = %v, want %v", got, want)
+	}
+	if half.Name == base.Name {
+		t.Errorf("scaled config should be renamed, got %q", half.Name)
+	}
+}
+
+func TestChannelPeakConsistency(t *testing.T) {
+	for _, cfg := range []Config{XavierLPDDR4X(), SnapdragonLPDDR4X(), CMPDDR4()} {
+		total := cfg.ChannelPeakBytesPerSec() * float64(cfg.Channels)
+		if math.Abs(total-cfg.PeakBytesPerSec()) > 1 {
+			t.Errorf("%s: per-channel × channels = %v, total = %v", cfg.Name, total, cfg.PeakBytesPerSec())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package dram
+
+import "testing"
+
+func cfgWithRefresh() Config {
+	c := CMPDDR4()
+	// DDR4 at 1600 MHz controller clock: tREFI ≈ 7.8 µs ≈ 12480 cycles,
+	// tRFC ≈ 350 ns ≈ 560 cycles.
+	c.Timing = c.Timing.WithRefresh(12480, 560)
+	return c
+}
+
+func TestRefreshWindowBlocksCommands(t *testing.T) {
+	cfg := cfgWithRefresh()
+	ch := NewChannel(cfg)
+	// A command issued inside the first refresh window is pushed past it.
+	res := ch.Service(100, 0, 0) // cycle 100 < RFC 560 → refreshing
+	if res.DataStart < 560 {
+		t.Errorf("data at %d, want ≥ RFC end 560", res.DataStart)
+	}
+	// A command between windows proceeds normally.
+	res2 := ch.Service(2000, 1, 0)
+	if res2.DataStart > 2000+cfg.Timing.RCD+cfg.Timing.CL+cfg.BurstCycles() {
+		t.Errorf("inter-refresh command delayed to %d", res2.DataStart)
+	}
+}
+
+func TestRefreshPeriodicity(t *testing.T) {
+	cfg := cfgWithRefresh()
+	ch := NewChannel(cfg)
+	// Second refresh window starts at REFI.
+	at := cfg.Timing.REFI + 10
+	res := ch.Service(at, 0, 0)
+	if res.DataStart < cfg.Timing.REFI+cfg.Timing.RFC {
+		t.Errorf("command at %d landed in the second refresh window (data %d)", at, res.DataStart)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	for _, cfg := range []Config{XavierLPDDR4X(), SnapdragonLPDDR4X(), CMPDDR4()} {
+		if cfg.Timing.REFI != 0 || cfg.Timing.RFC != 0 {
+			t.Errorf("%s: refresh enabled in preset", cfg.Name)
+		}
+	}
+	ch := NewChannel(CMPDDR4())
+	if got := ch.afterRefresh(123); got != 123 {
+		t.Errorf("afterRefresh with refresh disabled = %d, want identity", got)
+	}
+}
+
+func TestRefreshCostsBandwidth(t *testing.T) {
+	// Streaming throughput with refresh enabled must be lower, by roughly
+	// RFC/REFI (≈4.5% here).
+	run := func(cfg Config) int64 {
+		ch := NewChannel(cfg)
+		now := int64(0)
+		for i := 0; i < 20000; i++ {
+			ch.Service(now, 0, 0)
+			now = ch.BankReadyAt(0)
+		}
+		return ch.BusFreeAt()
+	}
+	plain := run(CMPDDR4())
+	refreshed := run(cfgWithRefresh())
+	if refreshed <= plain {
+		t.Fatalf("refresh made streaming faster: %d vs %d", refreshed, plain)
+	}
+	overhead := float64(refreshed-plain) / float64(plain)
+	if overhead < 0.02 || overhead > 0.10 {
+		t.Errorf("refresh overhead %.1f%%, want ≈ tRFC/tREFI (4.5%%)", overhead*100)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// ablation-refresh quantifies the cost of DRAM refresh, which the platform
+// presets leave disabled: refresh steals tRFC out of every tREFI uniformly,
+// shaving a few percent off achieved bandwidth without altering the
+// contention phenomenology the slowdown model captures — the justification
+// for omitting it from the calibrated substrate (DESIGN.md).
+func init() {
+	register(Experiment{ID: "ablation-refresh", Title: "DRAM refresh overhead on achieved bandwidth and co-run RS", Run: runAblationRefresh})
+}
+
+func runAblationRefresh(ctx *Context) error {
+	makePlatform := func(refresh bool) *soc.Platform {
+		p := soc.VirtualXavier()
+		if refresh {
+			// LPDDR4x: tREFI ≈ 3.9 µs ≈ 8300 cycles at 2133 MHz (per-bank
+			// refresh averaged), tRFC ≈ 280 ns ≈ 600 cycles.
+			p.Mem.Timing = p.Mem.Timing.WithRefresh(8300, 600)
+			p.Name += "-refresh"
+		}
+		return p
+	}
+
+	tbl := report.NewTable("refresh ablation on the virtual Xavier",
+		"metric", "no refresh", "with refresh", "delta %")
+	type probe struct {
+		name string
+		run  func(p *soc.Platform) (float64, error)
+	}
+	gpu, cpu := 1, 0
+	probes := []probe{
+		{"GPU standalone achieved @120 GB/s", func(p *soc.Platform) (float64, error) {
+			res, err := p.Standalone(gpu, soc.Kernel{Name: "k", DemandGBps: 120}, ctx.Run)
+			return res.AchievedGBps, err
+		}},
+		{"GPU co-run RS% @80 vs 60 ext", func(p *soc.Platform) (float64, error) {
+			k := soc.Kernel{Name: "k", DemandGBps: 80}
+			alone, err := p.Standalone(gpu, k, ctx.Run)
+			if err != nil {
+				return 0, err
+			}
+			out, err := p.Run(soc.Placement{gpu: k, cpu: soc.ExternalPressure(60)}, ctx.Run)
+			if err != nil {
+				return 0, err
+			}
+			return 100 * out.Results[gpu].AchievedGBps / alone.AchievedGBps, nil
+		}},
+	}
+	for _, pr := range probes {
+		plain, err := pr.run(makePlatform(false))
+		if err != nil {
+			return err
+		}
+		refreshed, err := pr.run(makePlatform(true))
+		if err != nil {
+			return err
+		}
+		delta := 0.0
+		if plain != 0 {
+			delta = 100 * (refreshed - plain) / plain
+		}
+		tbl.Add(pr.name, report.F(plain), report.F(refreshed), report.F(delta))
+	}
+	if _, err := tbl.WriteTo(ctx.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}

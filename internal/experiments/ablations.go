@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// three-region structure, the robust-vs-strict extraction, the calibrator
+// grid density, and the dependence of the phenomenology on fairness-aware
+// memory scheduling.
+
+func init() {
+	register(Experiment{ID: "ablation-piecewise", Title: "Three-region model vs region-blind single-rate variant", Run: runAblationPiecewise})
+	register(Experiment{ID: "ablation-extraction", Title: "Robust vs strict (paper-literal) parameter extraction", Run: runAblationExtraction})
+	register(Experiment{ID: "ablation-calibrators", Title: "Model quality vs calibrator ladder density", Run: runAblationCalibrators})
+	register(Experiment{ID: "ablation-policies", Title: "Three-region phenomenology across MC scheduling policies", Run: runAblationPolicies})
+}
+
+// sweepPU runs a construction sweep for one Xavier PU and returns the
+// matrix (shared by the ablations).
+func sweepPU(ctx *Context, puName string, levels int) (*calib.Matrix, error) {
+	p := ctx.Xavier()
+	target := p.PUIndex(puName)
+	pressure, err := calib.PressurePUFor(p, target)
+	if err != nil {
+		return nil, err
+	}
+	cfg := calib.DefaultSweep(p, target, pressure)
+	cfg.Run = ctx.Run
+	if levels > 0 && levels < len(cfg.Calibrators) {
+		// Thin the ladder to the requested number of levels.
+		step := float64(len(cfg.Calibrators)) / float64(levels)
+		var thin []traffic.Spec
+		for i := 0; i < levels; i++ {
+			thin = append(thin, cfg.Calibrators[int(float64(i)*step+step/2)])
+		}
+		cfg.Calibrators = thin
+	}
+	return calib.Sweep(p, cfg)
+}
+
+// matrixError is the mean |prediction − measurement| of a model over a
+// measured matrix.
+func matrixError(m *calib.Matrix, pred func(x, y float64) float64) float64 {
+	var sum float64
+	var n int
+	for i, x := range m.StdBW {
+		for j, y := range m.ExtBW {
+			sum += math.Abs(pred(x, y) - m.Rela[i][j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// regionBlind builds the single-rate ablation variant: same TBWDC/CBP, but
+// every kernel is treated as normal-region with one rate (no minor flat
+// line, no intensive rate amplification).
+func regionBlind(p core.Params) func(x, y float64) float64 {
+	return func(x, y float64) float64 {
+		if y <= 0 {
+			return 100
+		}
+		yEff := math.Min(y, p.CBP)
+		red := math.Max((x+yEff-p.TBWDC)*p.RateN, 0)
+		rs := 100 - red
+		if rs < 1 {
+			rs = 1
+		}
+		return rs
+	}
+}
+
+func runAblationPiecewise(ctx *Context) error {
+	tbl := report.NewTable("three-region vs region-blind prediction error on construction matrices",
+		"PU", "three-region (PCCS)", "region-blind single-rate")
+	worse := 0
+	// The GPU's matrix is nearly region-free (its giant minor region and
+	// post-peak onset leave little for the classification to do); the DLA,
+	// with no minor region and immediate drops, is where the regions and
+	// the Eq. 4 rate amplification earn their keep.
+	for _, pu := range []string{"GPU", "DLA"} {
+		m, err := sweepPU(ctx, pu, 0)
+		if err != nil {
+			return err
+		}
+		params, err := calib.Extract(m, calib.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		full := matrixError(m, params.Predict)
+		blind := matrixError(m, regionBlind(params))
+		if full > blind {
+			worse++
+		}
+		tbl.Add(pu, report.F(full), report.F(blind))
+	}
+	if _, err := tbl.WriteTo(ctx.Out); err != nil {
+		return err
+	}
+	if worse == 2 {
+		fmt.Fprintln(ctx.Out, "WARNING: region structure did not improve accuracy on any PU")
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}
+
+func runAblationExtraction(ctx *Context) error {
+	m, err := sweepPU(ctx, "GPU", 0)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("robust vs strict extraction on the same matrix",
+		"mode", "mean |err| %", "parameters")
+	for _, mode := range []calib.Mode{calib.Robust, calib.Strict} {
+		params, err := calib.Extract(m, calib.Options{Mode: mode})
+		if err != nil {
+			tbl.Add(mode.String(), "failed", err.Error())
+			continue
+		}
+		tbl.Add(mode.String(), report.F(matrixError(m, params.Predict)), params.String())
+	}
+	if _, err := tbl.WriteTo(ctx.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}
+
+func runAblationCalibrators(ctx *Context) error {
+	// Build a dense validation matrix once, then models from thinner
+	// ladders, and score each model against the dense measurement.
+	dense, err := sweepPU(ctx, "GPU", 0)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("model accuracy vs calibrator ladder density (validated on the 10-level grid)",
+		"calibrator levels", "mean |err| %")
+	for _, levels := range []int{3, 5, 10} {
+		m := dense
+		if levels < 10 {
+			m, err = sweepPU(ctx, "GPU", levels)
+			if err != nil {
+				return err
+			}
+		}
+		params, err := calib.Extract(m, calib.DefaultOptions())
+		if err != nil {
+			tbl.Add(fmt.Sprint(levels), "extraction failed: "+err.Error())
+			continue
+		}
+		tbl.Add(fmt.Sprint(levels), report.F(matrixError(dense, params.Predict)))
+	}
+	if _, err := tbl.WriteTo(ctx.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}
+
+// runAblationPolicies sweeps one medium-demand kernel under each scheduling
+// policy, showing that the flat-tail (contention balance) behaviour the
+// PCCS model encodes appears under fairness-aware policies and not under
+// FCFS/FR-FCFS (§2.3's argument, on the Xavier platform).
+func runAblationPolicies(ctx *Context) error {
+	base := ctx.Xavier()
+	ladder := PressureLadder(base)
+	demand := 0.45 * base.PeakGBps()
+	lines := map[string][]float64{}
+	for _, policy := range memctrl.AllPolicies {
+		p := soc.VirtualXavier()
+		p.Policy = policy
+		gpu, cpu := p.PUIndex("GPU"), p.PUIndex("CPU")
+		k := soc.Kernel{Name: "medium", DemandGBps: demand}
+		alone, err := p.Standalone(gpu, k, ctx.Run)
+		if err != nil {
+			return err
+		}
+		var ys []float64
+		for _, ext := range ladder {
+			out, err := p.Run(soc.Placement{gpu: k, cpu: soc.ExternalPressure(ext)}, ctx.Run)
+			if err != nil {
+				return err
+			}
+			rs := 100 * out.Results[gpu].AchievedGBps / alone.AchievedGBps
+			if rs > 100 {
+				rs = 100
+			}
+			ys = append(ys, rs)
+		}
+		lines[policy.String()] = ys
+	}
+	if err := report.SeriesChart(ctx.Out,
+		fmt.Sprintf("medium kernel (%.0f GB/s) on Xavier GPU under each MC policy", demand),
+		"ext GB/s", ladder, lines); err != nil {
+		return err
+	}
+	// Quantify the flat tail: relative change over the last three ladder
+	// points should be small for fairness-aware policies.
+	fmt.Fprintln(ctx.Out)
+	for _, policy := range memctrl.AllPolicies {
+		ys := lines[policy.String()]
+		tail := math.Abs(ys[len(ys)-1] - ys[len(ys)-3])
+		fmt.Fprintf(ctx.Out, "%-8s tail movement %.1f%%  fairness-aware=%v\n",
+			policy, tail, policy.FairnessAware())
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}

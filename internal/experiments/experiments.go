@@ -1,0 +1,185 @@
+// Package experiments regenerates every table and figure of the paper's
+// characterization and evaluation sections on the virtual platforms. Each
+// experiment is registered under the paper artifact's identifier (fig2,
+// table7, ...) and is runnable through cmd/pccs-experiments or the
+// repository's benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Context carries everything an experiment needs: the output writer, the
+// constructed models, the simulation window, and the virtual platforms.
+// Standalone measurements are memoized — validation sweeps reuse them
+// heavily.
+type Context struct {
+	Out    io.Writer
+	Models calib.ModelSet
+	Run    soc.RunConfig
+
+	platforms  map[string]*soc.Platform
+	aloneCache map[string]float64
+}
+
+// NewContext builds a context. modelPath may be empty to run only the
+// experiments that construct their own models.
+func NewContext(out io.Writer, modelPath string, rc soc.RunConfig) (*Context, error) {
+	ctx := &Context{
+		Out:        out,
+		Run:        rc,
+		platforms:  map[string]*soc.Platform{},
+		aloneCache: map[string]float64{},
+	}
+	x, s := soc.VirtualXavier(), soc.VirtualSnapdragon()
+	ctx.platforms[x.Name] = x
+	ctx.platforms[s.Name] = s
+	if modelPath != "" {
+		models, err := calib.Load(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Models = models
+	} else {
+		ctx.Models = calib.ModelSet{}
+	}
+	return ctx, nil
+}
+
+// Platform returns a cached platform by name.
+func (c *Context) Platform(name string) (*soc.Platform, error) {
+	p, ok := c.platforms[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown platform %q", name)
+	}
+	return p, nil
+}
+
+// Xavier returns the virtual Xavier.
+func (c *Context) Xavier() *soc.Platform { return c.platforms["virtual-xavier"] }
+
+// Snapdragon returns the virtual Snapdragon.
+func (c *Context) Snapdragon() *soc.Platform { return c.platforms["virtual-snapdragon"] }
+
+// StandaloneAchieved measures (memoized) the standalone achieved bandwidth
+// of a kernel on a platform PU.
+func (c *Context) StandaloneAchieved(p *soc.Platform, pu int, k soc.Kernel) (float64, error) {
+	key := fmt.Sprintf("%s/%d/%s/%g/%d/%d/%d/%d-%d",
+		p.Name, pu, k.Name, k.DemandGBps, k.RunLines, k.Outstanding, k.Streams,
+		c.Run.WarmupCycles, c.Run.MeasureCycles)
+	if v, ok := c.aloneCache[key]; ok {
+		return v, nil
+	}
+	res, err := p.Standalone(pu, k, c.Run)
+	if err != nil {
+		return 0, err
+	}
+	c.aloneCache[key] = res.AchievedGBps
+	return res.AchievedGBps, nil
+}
+
+// ActualRS measures the achieved relative speed (percent) of kernel k on
+// target under external pressure ext GB/s generated on pressurePU.
+func (c *Context) ActualRS(p *soc.Platform, target int, k soc.Kernel, pressurePU int, ext float64) (float64, error) {
+	alone, err := c.StandaloneAchieved(p, target, k)
+	if err != nil {
+		return 0, err
+	}
+	pl := soc.Placement{target: k}
+	if ext > 0 {
+		pl[pressurePU] = soc.ExternalPressure(ext)
+	}
+	out, err := p.Run(pl, c.Run)
+	if err != nil {
+		return 0, err
+	}
+	rs := 100.0
+	if alone > 0 {
+		rs = 100 * out.Results[target].AchievedGBps / alone
+	}
+	if rs > 100 {
+		rs = 100
+	}
+	return rs, nil
+}
+
+// CorunRS measures each placed PU's achieved relative speed (percent) in a
+// full co-run, with memoized standalone references.
+func (c *Context) CorunRS(p *soc.Platform, pl soc.Placement) (map[int]float64, error) {
+	alone := map[int]float64{}
+	for pu, k := range pl {
+		a, err := c.StandaloneAchieved(p, pu, k)
+		if err != nil {
+			return nil, err
+		}
+		alone[pu] = a
+	}
+	out, err := p.Run(pl, c.Run)
+	if err != nil {
+		return nil, err
+	}
+	rs := map[int]float64{}
+	for pu := range pl {
+		v := 100.0
+		if alone[pu] > 0 {
+			v = 100 * out.Results[pu].AchievedGBps / alone[pu]
+		}
+		if v > 100 {
+			v = 100
+		}
+		rs[pu] = v
+	}
+	return rs, nil
+}
+
+// PressureLadder returns the paper's external-demand ladder for a platform:
+// 10% to 100% of peak DRAM bandwidth in 10% strides (§4.1.1).
+func PressureLadder(p *soc.Platform) []float64 {
+	peak := p.PeakGBps()
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = peak * float64(i+1) / 10
+	}
+	return out
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Context) error
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment; duplicate IDs are a programming error.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get fetches an experiment by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

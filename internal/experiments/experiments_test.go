@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// testRC keeps experiment tests fast; warm-up still spans several scheduler
+// quanta so steady-state behaviour is measured.
+func testRC() soc.RunConfig {
+	return soc.RunConfig{WarmupCycles: 120_000, MeasureCycles: 120_000}
+}
+
+func testContext(t *testing.T) (*Context, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	ctx, err := NewContext(&buf, "../../models/pccs-models.json", testRC())
+	if err != nil {
+		t.Fatalf("context: %v", err)
+	}
+	return ctx, &buf
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "fig5", "fig6", "table3", "table5", "table7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"table9", "fig15", "sourceobl", "summary", "usecase-cores", "ext-multimc", "ext-dnnphases",
+		"ablation-piecewise", "ablation-extraction", "ablation-calibrators", "ablation-policies", "ablation-refresh",
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Errorf("experiment %q not registered: %v", id, err)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+	if _, err := Get("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("All() not sorted: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestContextPlatforms(t *testing.T) {
+	ctx, _ := testContext(t)
+	if ctx.Xavier() == nil || ctx.Snapdragon() == nil {
+		t.Fatal("platforms missing")
+	}
+	if _, err := ctx.Platform("virtual-xavier"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ctx.Platform("amiga"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestContextWithoutModels(t *testing.T) {
+	ctx, err := NewContext(&bytes.Buffer{}, "", testRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ctx.Models) != 0 {
+		t.Error("empty model path should give empty set")
+	}
+	if _, err := NewContext(&bytes.Buffer{}, "/nonexistent/models.json", testRC()); err == nil {
+		t.Error("bad model path accepted")
+	}
+}
+
+func TestStandaloneCacheHit(t *testing.T) {
+	ctx, _ := testContext(t)
+	p := ctx.Xavier()
+	k := soc.Kernel{Name: "c", DemandGBps: 30}
+	a, err := ctx.StandaloneAchieved(p, 1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.StandaloneAchieved(p, 1, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cache miss changed result: %v vs %v", a, b)
+	}
+	if len(ctx.aloneCache) != 1 {
+		t.Errorf("cache has %d entries, want 1", len(ctx.aloneCache))
+	}
+}
+
+func TestPressureLadder(t *testing.T) {
+	ctx, _ := testContext(t)
+	l := PressureLadder(ctx.Xavier())
+	if len(l) != 10 {
+		t.Fatalf("ladder size %d", len(l))
+	}
+	peak := ctx.Xavier().PeakGBps()
+	if l[9] != peak || l[0] != peak/10 {
+		t.Errorf("ladder ends %v..%v, want %v..%v", l[0], l[9], peak/10, peak)
+	}
+}
+
+// Smoke-run the cheap experiments end to end; the expensive sweeps are
+// exercised by the benchmark harness.
+func TestRunTable7(t *testing.T) {
+	ctx, buf := testContext(t)
+	e, _ := Get("table7")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Normal BW", "Xavier DLA", "RateN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig12(t *testing.T) {
+	ctx, buf := testContext(t)
+	e, _ := Get("fig12")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vgg19") || !strings.Contains(out, "resnet50") {
+		t.Errorf("fig12 output incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "average |error|") {
+		t.Errorf("fig12 missing error summary:\n%s", out)
+	}
+}
+
+func TestRunSourceObliviousness(t *testing.T) {
+	ctx, buf := testContext(t)
+	e, _ := Get("sourceobl")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max spread") {
+		t.Errorf("sourceobl output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestValidationFigureErrorsOnMissingModel(t *testing.T) {
+	ctx, err := NewContext(&bytes.Buffer{}, "", testRC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := Get("fig8")
+	if err := e.Run(ctx); err == nil {
+		t.Error("fig8 without models should fail")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/stats"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// ext-dnnphases applies the multi-phase methodology (§3.2) to DLA
+// inference: networks are split into coarse layer groups (convolutions vs
+// weight-streaming fully-connected layers) and predicted phase-by-phase,
+// mirroring the cfd study of Fig. 13 on the DNN workloads.
+func init() {
+	register(Experiment{ID: "ext-dnnphases", Title: "Layer-wise DLA prediction: flat average demand vs per-layer phases", Run: runExtDNNPhases})
+}
+
+func runExtDNNPhases(ctx *Context) error {
+	const platformName, puName, pressureName = "virtual-xavier", "DLA", "CPU"
+	p, err := ctx.Platform(platformName)
+	if err != nil {
+		return err
+	}
+	target, pressure := p.PUIndex(puName), p.PUIndex(pressureName)
+	model, err := ctx.Models.Get(platformName, puName)
+	if err != nil {
+		return err
+	}
+
+	flatErr := stats.NewErrorTracker("flat")
+	phaseErr := stats.NewErrorTracker("phase-wise")
+	for _, name := range []string{"vgg19", "resnet50", "alexnet"} {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		avg, err := w.DemandOn(platformName, puName)
+		if err != nil {
+			return err
+		}
+		raw, err := workload.DNNPhases(name, platformName, puName)
+		if err != nil {
+			return err
+		}
+		var phases []core.Phase
+		for _, ph := range raw {
+			phases = append(phases, core.Phase{
+				Name: ph.Name, Weight: ph.Weight,
+				DemandGBps: ph.Demand[platformName+"/"+puName],
+			})
+		}
+
+		tbl := report.NewTable(
+			fmt.Sprintf("%s on the DLA: layer-wise ground truth vs flat vs phase-wise prediction", name),
+			"ext GB/s", "actual RS%", "flat RS%", "phase-wise RS%")
+		for _, ext := range []float64{27, 55, 82, 110} {
+			// Ground truth: run each layer group as its own kernel and
+			// aggregate by standalone time share.
+			dilation := 0.0
+			for _, ph := range phases {
+				k := soc.Kernel{Name: name + "-" + ph.Name, DemandGBps: ph.DemandGBps, RunLines: w.RunLines}
+				rs, err := ctx.ActualRS(p, target, k, pressure, ext)
+				if err != nil {
+					return err
+				}
+				dilation += ph.Weight * (100 / rs)
+			}
+			actual := 100 / dilation
+
+			flat := model.Predict(avg, ext)
+			phased, err := model.PredictPhases(phases, ext)
+			if err != nil {
+				return err
+			}
+			flatErr.Add(flat, actual)
+			phaseErr.Add(phased, actual)
+			tbl.Add(report.F(ext), report.F(actual), report.F(flat), report.F(phased))
+		}
+		if _, err := tbl.WriteTo(ctx.Out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(ctx.Out, "DNN prediction |error|: flat %.1f%%, phase-wise %.1f%%\n\n",
+		flatErr.MeanAbs(), phaseErr.MeanAbs())
+	return nil
+}

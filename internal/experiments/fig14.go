@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/stats"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// corunResult is one (workload, PU) cell of the Fig. 14 study.
+type corunResult struct {
+	Workload string
+	PU       string
+	Actual   float64
+	PCCS     float64
+	Gables   float64
+}
+
+// runTable8Corun measures the eleven Table-8 co-runs on the virtual Xavier
+// and predicts each PU's relative speed with PCCS and Gables. fig14 and the
+// summary experiment share it.
+func runTable8Corun(ctx *Context) ([]corunResult, error) {
+	p := ctx.Xavier()
+	gb, err := gables.New(p.PeakGBps())
+	if err != nil {
+		return nil, err
+	}
+	puNames := []string{"CPU", "GPU", "DLA"}
+	models := map[string]interface{ Predict(x, y float64) float64 }{}
+	for _, pu := range puNames {
+		m, err := ctx.Models.Get(p.Name, pu)
+		if err != nil {
+			return nil, err
+		}
+		models[pu] = m
+	}
+
+	var out []corunResult
+	for _, row := range workload.Table8() {
+		pl := soc.Placement{}
+		demand := map[string]float64{}
+		for _, pu := range puNames {
+			w, err := row.On(pu)
+			if err != nil {
+				return nil, err
+			}
+			k, err := w.Kernel(p.Name, pu)
+			if err != nil {
+				return nil, err
+			}
+			pl[p.PUIndex(pu)] = k
+			demand[pu] = k.DemandGBps
+		}
+		actual, err := ctx.CorunRS(p, pl)
+		if err != nil {
+			return nil, err
+		}
+		for _, pu := range puNames {
+			x := demand[pu]
+			y := 0.0
+			for _, other := range puNames {
+				if other != pu {
+					y += demand[other]
+				}
+			}
+			out = append(out, corunResult{
+				Workload: row.ID,
+				PU:       pu,
+				Actual:   actual[p.PUIndex(pu)],
+				PCCS:     models[pu].Predict(x, y),
+				Gables:   gb.Predict(x, y),
+			})
+		}
+	}
+	return out, nil
+}
+
+// corunErrors aggregates mean |error| per PU per model.
+func corunErrors(results []corunResult) map[string]map[string]float64 {
+	acc := map[string]map[string][]float64{}
+	for _, r := range results {
+		if acc[r.PU] == nil {
+			acc[r.PU] = map[string][]float64{}
+		}
+		acc[r.PU]["PCCS"] = append(acc[r.PU]["PCCS"], stats.AbsErr(r.PCCS, r.Actual))
+		acc[r.PU]["Gables"] = append(acc[r.PU]["Gables"], stats.AbsErr(r.Gables, r.Actual))
+	}
+	out := map[string]map[string]float64{}
+	for pu, byModel := range acc {
+		out[pu] = map[string]float64{}
+		for model, errs := range byModel {
+			out[pu][model] = stats.Mean(errs)
+		}
+	}
+	return out
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Predicted and actual achieved relative speed of 11 co-run workloads (Table 8) on CPU, GPU, DLA",
+		Run: func(ctx *Context) error {
+			results, err := runTable8Corun(ctx)
+			if err != nil {
+				return err
+			}
+			for _, pu := range []string{"CPU", "GPU", "DLA"} {
+				tbl := report.NewTable("workloads A–K on Xavier "+pu,
+					"workload", "actual RS%", "PCCS RS%", "PCCS err", "Gables RS%", "Gables err")
+				for _, r := range results {
+					if r.PU != pu {
+						continue
+					}
+					tbl.Add(r.Workload, report.F(r.Actual),
+						report.F(r.PCCS), report.F(stats.AbsErr(r.PCCS, r.Actual)),
+						report.F(r.Gables), report.F(stats.AbsErr(r.Gables, r.Actual)))
+				}
+				if _, err := tbl.WriteTo(ctx.Out); err != nil {
+					return err
+				}
+			}
+			errs := corunErrors(results)
+			for _, pu := range []string{"CPU", "GPU", "DLA"} {
+				fmt.Fprintf(ctx.Out, "%s: PCCS mean |err| %.1f%%, Gables %.1f%%\n",
+					pu, errs[pu]["PCCS"], errs[pu]["Gables"])
+			}
+			fmt.Fprintln(ctx.Out)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "summary",
+		Title: "Headline accuracy summary (abstract): PCCS vs Gables per PU",
+		Run: func(ctx *Context) error {
+			results, err := runTable8Corun(ctx)
+			if err != nil {
+				return err
+			}
+			errs := corunErrors(results)
+			tbl := report.NewTable(
+				"co-run prediction error (mean |RS error|, %) — paper: GPU 30.3→8.7, CPU 13.4→3.7, DLA 20.6→5.6",
+				"PU", "Gables", "PCCS", "improvement")
+			for _, pu := range []string{"GPU", "CPU", "DLA"} {
+				g, p := errs[pu]["Gables"], errs[pu]["PCCS"]
+				imp := "-"
+				if p > 0 {
+					imp = fmt.Sprintf("%.1fx", g/p)
+				}
+				tbl.Add(pu, report.F(g), report.F(p), imp)
+			}
+			_, err = tbl.WriteTo(ctx.Out)
+			return err
+		},
+	})
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// fig3 reproduces the three-region characterization: synthetic kernels with
+// demands from 10% to 100% of peak run on the Xavier GPU against an
+// external-demand ladder; the resulting speed curves fall into the minor /
+// normal / intensive classes the model is built on (panels a, b, c).
+func init() {
+	register(Experiment{ID: "fig3", Title: "Synthetic kernel speed curves under external pressure (three regions)", Run: runFig3})
+}
+
+func runFig3(ctx *Context) error {
+	p := ctx.Xavier()
+	peak := p.PeakGBps()
+	target, pressure := p.PUIndex("GPU"), p.PUIndex("CPU")
+	ladder := PressureLadder(p)
+
+	panels := []struct {
+		name    string
+		demands []float64
+	}{
+		{"(a) low demand", []float64{0.07 * peak, 0.15 * peak, 0.22 * peak}},
+		{"(b) medium demand", []float64{0.3 * peak, 0.44 * peak, 0.58 * peak}},
+		{"(c) high demand", []float64{0.66 * peak, 0.73 * peak, 0.8 * peak}},
+	}
+	for _, panel := range panels {
+		lines := map[string][]float64{}
+		for _, d := range panel.demands {
+			k := soc.Kernel{Name: fmt.Sprintf("syn-%.0f", d), DemandGBps: d}
+			var ys []float64
+			for _, ext := range ladder {
+				rs, err := ctx.ActualRS(p, target, k, pressure, ext)
+				if err != nil {
+					return err
+				}
+				ys = append(ys, rs)
+			}
+			lines[fmt.Sprintf("%.0fGB/s", d)] = ys
+		}
+		if err := report.SeriesChart(ctx.Out, "Fig 3 "+panel.name+" — achieved relative speed (%) on Xavier GPU",
+			"ext GB/s", ladder, lines); err != nil {
+			return err
+		}
+		fmt.Fprintln(ctx.Out)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/report"
+)
+
+// fig6 renders the paper's conceptual model chart — the unified view of the
+// three contention regions — from an actually constructed model: one
+// predicted speed curve per region representative, plus the parameter
+// anchor points (TBWDC onset, contention balance point, minor flat line).
+func init() {
+	register(Experiment{ID: "fig6", Title: "The three-region interference classification model (rendered from the constructed Xavier CPU model)", Run: runFig6})
+}
+
+func runFig6(ctx *Context) error {
+	m, err := ctx.Models.Get("virtual-xavier", "CPU")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(ctx.Out, "%s\n\n", m)
+	fmt.Fprintf(ctx.Out, "region boundaries: minor ≤ %.1f GB/s < normal ≤ %.1f GB/s < intensive\n",
+		m.NormalBW, m.IntensiveBW)
+	fmt.Fprintf(ctx.Out, "drop onset: x+y = TBWDC = %.1f GB/s   flat tail: y ≥ CBP = %.1f GB/s\n\n",
+		m.TBWDC, m.CBP)
+
+	// One representative kernel per region; the DLA-style missing minor
+	// region shows up as an absent top curve when NormalBW is 0.
+	reps := []struct {
+		label string
+		x     float64
+	}{
+		{"minor", m.NormalBW / 2},
+		{"normal", (m.NormalBW + m.IntensiveBW) / 2},
+		{"intensive", m.IntensiveBW + (m.PeakBW-m.IntensiveBW)/3},
+	}
+	var xs []float64
+	for y := 0.0; y <= m.PeakBW*1.001; y += m.PeakBW / 20 {
+		xs = append(xs, y)
+	}
+	lines := map[string][]float64{}
+	for _, r := range reps {
+		if r.x <= 0 {
+			continue // no minor region (the DLA shape)
+		}
+		var ys []float64
+		for _, y := range xs {
+			ys = append(ys, m.Predict(r.x, y))
+		}
+		lines[fmt.Sprintf("%s x=%.0f", r.label, r.x)] = ys
+	}
+	if err := report.SeriesChart(ctx.Out,
+		"Fig 6 — predicted achieved relative speed per contention region",
+		"ext GB/s", xs, lines); err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}

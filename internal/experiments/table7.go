@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/report"
+)
+
+// table7 prints the constructed model parameters for every PU of both
+// platforms — the reproduction of the paper's Table 7, including its
+// qualitative signatures: the DLA's missing minor region and the
+// Snapdragon's compressed bandwidth scale with steeper per-GB/s rates.
+func init() {
+	register(Experiment{ID: "table7", Title: "Constructed PCCS model parameters per platform PU", Run: runTable7})
+}
+
+func runTable7(ctx *Context) error {
+	cols := []struct{ platform, pu string }{
+		{"virtual-xavier", "CPU"},
+		{"virtual-xavier", "GPU"},
+		{"virtual-xavier", "DLA"},
+		{"virtual-snapdragon", "CPU"},
+		{"virtual-snapdragon", "GPU"},
+	}
+	tbl := report.NewTable("Table 7 — model parameters",
+		"parameter", "Xavier CPU", "Xavier GPU", "Xavier DLA", "Snapdragon CPU", "Snapdragon GPU")
+	rows := []struct {
+		name string
+		get  func(platform, pu string) (string, error)
+	}{
+		{"Normal BW (GB/s)", ctx.paramCell(func(v paramView) string { return report.F(v.NormalBW) })},
+		{"Intensive BW (GB/s)", ctx.paramCell(func(v paramView) string { return report.F(v.IntensiveBW) })},
+		{"MRMC (%)", ctx.paramCell(func(v paramView) string {
+			if v.NormalBW == 0 {
+				return "NA"
+			}
+			return report.F(v.MRMC)
+		})},
+		{"CBP (GB/s)", ctx.paramCell(func(v paramView) string { return report.F(v.CBP) })},
+		{"TBWDC (GB/s)", ctx.paramCell(func(v paramView) string { return report.F(v.TBWDC) })},
+		{"RateN (%/GBps)", ctx.paramCell(func(v paramView) string { return report.F2(v.RateN) })},
+		{"RateI@IntensiveBW (%/GBps)", ctx.paramCell(func(v paramView) string { return report.F2(v.RateI) })},
+	}
+	for _, r := range rows {
+		cells := []string{r.name}
+		for _, c := range cols {
+			cell, err := r.get(c.platform, c.pu)
+			if err != nil {
+				return err
+			}
+			cells = append(cells, cell)
+		}
+		tbl.Add(cells...)
+	}
+	if _, err := tbl.WriteTo(ctx.Out); err != nil {
+		return err
+	}
+	fmt.Fprintln(ctx.Out)
+	return nil
+}
+
+// paramView flattens a model for table rendering.
+type paramView struct {
+	NormalBW, IntensiveBW, MRMC, CBP, TBWDC, RateN, RateI float64
+}
+
+func (c *Context) paramCell(f func(paramView) string) func(platform, pu string) (string, error) {
+	return func(platform, pu string) (string, error) {
+		m, err := c.Models.Get(platform, pu)
+		if err != nil {
+			return "", err
+		}
+		return f(paramView{
+			NormalBW:    m.NormalBW,
+			IntensiveBW: m.IntensiveBW,
+			MRMC:        m.MRMC,
+			CBP:         m.CBP,
+			TBWDC:       m.TBWDC,
+			RateN:       m.RateN,
+			RateI:       m.RateI(m.IntensiveBW),
+		}), nil
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/stats"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// validationFigure reproduces the Figs. 8–12 harness: for each benchmark on
+// the target PU, sweep external pressure over the platform ladder and
+// report the actual achieved relative speed next to the PCCS and Gables
+// predictions, then the per-model average errors.
+func validationFigure(ctx *Context, platformName, puName, pressurePU string, names []string) error {
+	p, err := ctx.Platform(platformName)
+	if err != nil {
+		return err
+	}
+	target := p.PUIndex(puName)
+	pressure := p.PUIndex(pressurePU)
+	if target < 0 || pressure < 0 {
+		return fmt.Errorf("experiments: platform %s lacks PU %s or %s", platformName, puName, pressurePU)
+	}
+	model, err := ctx.Models.Get(platformName, puName)
+	if err != nil {
+		return err
+	}
+	gb, err := gables.New(p.PeakGBps())
+	if err != nil {
+		return err
+	}
+
+	ladder := PressureLadder(p)
+	pccsErr := stats.NewErrorTracker("PCCS")
+	gablesErr := stats.NewErrorTracker("Gables")
+
+	for _, name := range names {
+		w, err := workload.Get(name)
+		if err != nil {
+			return err
+		}
+		k, err := w.Kernel(platformName, puName)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("%s on %s %s (x = %.1f GB/s, %s, region %v)",
+				name, platformName, puName, k.DemandGBps, w.Class, model.Region(k.DemandGBps)),
+			"ext GB/s", "actual RS%", "PCCS RS%", "Gables RS%")
+		for _, ext := range ladder {
+			actual, err := ctx.ActualRS(p, target, k, pressure, ext)
+			if err != nil {
+				return err
+			}
+			pp := model.Predict(k.DemandGBps, ext)
+			gp := gb.Predict(k.DemandGBps, ext)
+			pccsErr.Add(pp, actual)
+			gablesErr.Add(gp, actual)
+			tbl.Add(report.F(ext), report.F(actual), report.F(pp), report.F(gp))
+		}
+		if _, err := tbl.WriteTo(ctx.Out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(ctx.Out, "average |error| on %s %s: PCCS %.1f%%, Gables %.1f%% (%d points)\n\n",
+		platformName, puName, pccsErr.MeanAbs(), gablesErr.MeanAbs(), pccsErr.Count())
+	if pccsErr.MeanAbs() >= gablesErr.MeanAbs() {
+		fmt.Fprintf(ctx.Out, "WARNING: PCCS did not beat Gables on %s %s\n", platformName, puName)
+	}
+	return nil
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Predicted and actual slowdowns of 10 Rodinia benchmarks on Xavier GPU",
+		Run: func(ctx *Context) error {
+			return validationFigure(ctx, "virtual-xavier", "GPU", "CPU", workload.GPUValidationSet())
+		},
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Predicted and actual slowdowns of 5 Rodinia benchmarks on Xavier CPU",
+		Run: func(ctx *Context) error {
+			return validationFigure(ctx, "virtual-xavier", "CPU", "GPU", workload.CPUValidationSet())
+		},
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Predicted and actual slowdowns of 10 Rodinia benchmarks on Snapdragon 855 GPU",
+		Run: func(ctx *Context) error {
+			return validationFigure(ctx, "virtual-snapdragon", "GPU", "CPU", workload.GPUValidationSet())
+		},
+	})
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Predicted and actual slowdowns of 5 Rodinia benchmarks on Snapdragon 855 CPU",
+		Run: func(ctx *Context) error {
+			return validationFigure(ctx, "virtual-snapdragon", "CPU", "GPU", workload.CPUValidationSet())
+		},
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Predicted and actual slowdowns of VGG19 and ResNet-50 on the Xavier DLA",
+		Run: func(ctx *Context) error {
+			return validationFigure(ctx, "virtual-xavier", "DLA", "CPU", workload.DLAValidationSet())
+		},
+	})
+}

@@ -1,0 +1,108 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoreModel is the standalone performance model of one kernel across the
+// PU's core count (SMs of a GPU, cores of a CPU): throughput and bandwidth
+// demand scale with active cores until the kernel becomes memory-bound
+// (§3.4's "PU-related architectural changes": the architects scale existing
+// standalone performance predictions for BW).
+type CoreModel struct {
+	Kernel string
+	// MemBoundGBps is the saturated bandwidth demand.
+	MemBoundGBps float64
+	// CrossoverCores is the core count above which demand saturates.
+	CrossoverCores int
+	// MaxCores is the largest configuration considered.
+	MaxCores int
+}
+
+// Validate reports whether the model is usable.
+func (m CoreModel) Validate() error {
+	if m.MemBoundGBps <= 0 || m.CrossoverCores <= 0 || m.MaxCores < m.CrossoverCores {
+		return fmt.Errorf("explore: invalid core model %+v", m)
+	}
+	return nil
+}
+
+// DemandAt is the kernel's standalone bandwidth demand with the given
+// number of active cores.
+func (m CoreModel) DemandAt(cores int) float64 {
+	if cores <= 0 {
+		return 0
+	}
+	if cores >= m.CrossoverCores {
+		return m.MemBoundGBps
+	}
+	return m.MemBoundGBps * float64(cores) / float64(m.CrossoverCores)
+}
+
+// RelStandalone is standalone performance relative to the full
+// configuration; memory-bound kernels track achieved bandwidth.
+func (m CoreModel) RelStandalone(cores int) float64 {
+	return m.DemandAt(cores) / m.MemBoundGBps
+}
+
+// CorunPerf is the model-predicted co-run performance of the configuration
+// relative to the full configuration running standalone: standalone scaling
+// × predicted relative speed under the external demand.
+func (m CoreModel) CorunPerf(pred Predictor, cores int, extGBps float64) float64 {
+	return m.RelStandalone(cores) * pred.Predict(m.DemandAt(cores), extGBps) / 100
+}
+
+// CoreSelection is the outcome of a core-count selection.
+type CoreSelection struct {
+	Cores int
+	// CorunPerf is the predicted co-run performance (relative to full
+	// configuration standalone).
+	CorunPerf float64
+	// RelArea is the area proxy: cores / MaxCores.
+	RelArea float64
+}
+
+// SelectCores returns the smallest core count whose predicted co-run
+// performance reaches targetFrac of the best co-run performance any
+// configuration achieves under the same external demand — the paper's
+// "same level of actual co-running workload performance" criterion that
+// exposes over-provisioning: under contention, extra cores just demand
+// bandwidth the memory system cannot serve, so an accurate model picks far
+// fewer cores (area saving) at equal delivered performance.
+func SelectCores(pred Predictor, cm CoreModel, extGBps, targetFrac float64, step int) (CoreSelection, error) {
+	if err := cm.Validate(); err != nil {
+		return CoreSelection{}, err
+	}
+	if targetFrac <= 0 || targetFrac > 1 {
+		return CoreSelection{}, fmt.Errorf("explore: target fraction %v out of (0,1]", targetFrac)
+	}
+	if step <= 0 {
+		step = 1
+	}
+	best := 0.0
+	for c := step; c <= cm.MaxCores; c += step {
+		if p := cm.CorunPerf(pred, c, extGBps); p > best {
+			best = p
+		}
+	}
+	for c := step; c <= cm.MaxCores; c += step {
+		if p := cm.CorunPerf(pred, c, extGBps); p >= targetFrac*best-1e-12 {
+			return CoreSelection{Cores: c, CorunPerf: p, RelArea: float64(c) / float64(cm.MaxCores)}, nil
+		}
+	}
+	return CoreSelection{
+		Cores:     cm.MaxCores,
+		CorunPerf: cm.CorunPerf(pred, cm.MaxCores, extGBps),
+		RelArea:   1,
+	}, nil
+}
+
+// AreaSaving is the relative area saved by choosing a over b (a ≤ b), in
+// percent — the paper's "saving up to 50% area (with reduced cores)".
+func AreaSaving(selected, baseline int) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return math.Max(0, 100*float64(baseline-selected)/float64(baseline))
+}

@@ -1,0 +1,105 @@
+package explore
+
+import (
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/gables"
+)
+
+func gpuCoreModel() CoreModel {
+	// A streaming kernel on a 512-core GPU: memory-bound beyond 320 cores.
+	return CoreModel{Kernel: "stream", MemBoundGBps: 88, CrossoverCores: 320, MaxCores: 512}
+}
+
+func TestCoreModelDemand(t *testing.T) {
+	cm := gpuCoreModel()
+	if err := cm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.DemandAt(512); got != 88 {
+		t.Errorf("demand at max cores = %v", got)
+	}
+	if got := cm.DemandAt(160); math.Abs(got-44) > 1e-9 {
+		t.Errorf("demand at half crossover = %v, want 44", got)
+	}
+	if cm.DemandAt(0) != 0 {
+		t.Error("zero cores should demand 0")
+	}
+	if got := cm.RelStandalone(320); got != 1 {
+		t.Errorf("standalone at crossover = %v, want 1", got)
+	}
+}
+
+func TestCoreModelValidate(t *testing.T) {
+	bad := []CoreModel{
+		{MemBoundGBps: 0, CrossoverCores: 10, MaxCores: 20},
+		{MemBoundGBps: 10, CrossoverCores: 0, MaxCores: 20},
+		{MemBoundGBps: 10, CrossoverCores: 30, MaxCores: 20},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestSelectCoresPCCSBelowGablesUnderContention(t *testing.T) {
+	cm := gpuCoreModel()
+	pccs := testModel()
+	gb, _ := gables.New(137)
+	const ext = 60
+	pSel, err := SelectCores(pccs, cm, ext, 0.95, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSel, err := SelectCores(gb, cm, ext, 0.95, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gables sees no contention below peak, so scaling to the crossover
+	// always pays off for it; PCCS knows the memory system cannot feed the
+	// extra cores under 60 GB/s of external demand and picks fewer.
+	if pSel.Cores >= gSel.Cores {
+		t.Errorf("PCCS picked %d cores, Gables %d; want PCCS below", pSel.Cores, gSel.Cores)
+	}
+	if saving := AreaSaving(pSel.Cores, gSel.Cores); saving <= 0 {
+		t.Errorf("no area saving: %v", saving)
+	}
+}
+
+func TestSelectCoresNoContentionPicksCrossover(t *testing.T) {
+	cm := gpuCoreModel()
+	pccs := testModel()
+	sel, err := SelectCores(pccs, cm, 0, 0.999, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Cores < cm.CrossoverCores-32 || sel.Cores > cm.CrossoverCores+32 {
+		t.Errorf("without contention selection = %d cores, want ≈ crossover %d", sel.Cores, cm.CrossoverCores)
+	}
+}
+
+func TestSelectCoresErrors(t *testing.T) {
+	if _, err := SelectCores(testModel(), CoreModel{}, 10, 0.9, 1); err == nil {
+		t.Error("invalid core model accepted")
+	}
+	if _, err := SelectCores(testModel(), gpuCoreModel(), 10, 0, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := SelectCores(testModel(), gpuCoreModel(), 10, 1.5, 1); err == nil {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestAreaSaving(t *testing.T) {
+	if got := AreaSaving(256, 512); got != 50 {
+		t.Errorf("AreaSaving = %v, want 50", got)
+	}
+	if AreaSaving(512, 256) != 0 {
+		t.Error("negative saving should clamp to 0")
+	}
+	if AreaSaving(1, 0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}

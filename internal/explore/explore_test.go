@@ -1,0 +1,206 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/gables"
+)
+
+func testModel() core.Params {
+	return core.Params{
+		PU: "GPU", Platform: "test",
+		NormalBW: 38, IntensiveBW: 96, MRMC: 4.9,
+		CBP: 45, TBWDC: 87, RateN: 0.75, PeakBW: 137,
+	}
+}
+
+func TestFreqModelDemand(t *testing.T) {
+	fm := StreamclusterXavierGPU()
+	if err := fm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fm.DemandAt(1377); got != 88 {
+		t.Errorf("demand at top clock = %v, want 88 (memory-bound)", got)
+	}
+	if got := fm.DemandAt(900); got != 88 {
+		t.Errorf("demand at crossover = %v, want 88", got)
+	}
+	if got := fm.DemandAt(450); math.Abs(got-44) > 1e-9 {
+		t.Errorf("demand at half crossover = %v, want 44", got)
+	}
+	if got := fm.DemandAt(0); got != 0 {
+		t.Errorf("demand at 0 = %v", got)
+	}
+	if got := fm.RelStandalone(450); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("standalone perf at 450 = %v, want 0.5", got)
+	}
+	if got := fm.RelStandalone(1377); got != 1 {
+		t.Errorf("standalone perf at top = %v, want 1", got)
+	}
+}
+
+func TestFreqModelValidate(t *testing.T) {
+	bad := []FreqModel{
+		{MemBoundGBps: 0, CrossoverMHz: 900, MaxMHz: 1377},
+		{MemBoundGBps: 88, CrossoverMHz: 0, MaxMHz: 1377},
+		{MemBoundGBps: 88, CrossoverMHz: 900, MaxMHz: 800},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestLadder(t *testing.T) {
+	l := Ladder(400, 1377, 10)
+	if len(l) != 98 {
+		t.Errorf("ladder length = %d, want 98", len(l))
+	}
+	if l[0] != 400 || l[len(l)-1] != 1370 {
+		t.Errorf("ladder ends = %v, %v", l[0], l[len(l)-1])
+	}
+}
+
+func TestSelectFrequencyDropsWithPressure(t *testing.T) {
+	// Table 9's central trend: as external demand rises, the highest
+	// acceptable frequency falls.
+	m := testModel()
+	fm := StreamclusterXavierGPU()
+	ladder := Ladder(300, 1377, 10)
+	prev := math.Inf(1)
+	for _, ext := range []float64{20, 40, 60} {
+		sel, err := SelectFrequency(m, fm, ext, 5, ladder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sel.Feasible {
+			t.Fatalf("ext %v: infeasible", ext)
+		}
+		if sel.FreqMHz > prev {
+			t.Errorf("selected frequency rose with pressure: %v → %v at ext %v", prev, sel.FreqMHz, ext)
+		}
+		if sel.PredictedRS < 95 {
+			t.Errorf("ext %v: selected RS %.1f below budget", ext, sel.PredictedRS)
+		}
+		prev = sel.FreqMHz
+	}
+}
+
+func TestLooserBudgetAllowsHigherClock(t *testing.T) {
+	m := testModel()
+	fm := StreamclusterXavierGPU()
+	ladder := Ladder(300, 1377, 10)
+	tight, _ := SelectFrequency(m, fm, 40, 5, ladder)
+	loose, _ := SelectFrequency(m, fm, 40, 20, ladder)
+	if loose.FreqMHz < tight.FreqMHz {
+		t.Errorf("20%% budget picked %v below 5%% budget's %v", loose.FreqMHz, tight.FreqMHz)
+	}
+}
+
+func TestGablesOverprovisions(t *testing.T) {
+	// Gables sees no contention while total < peak, so under moderate
+	// pressure it clocks the PU at the ladder top — the over-provisioning
+	// the paper quantifies in Table 9.
+	g, _ := gables.New(137)
+	fm := StreamclusterXavierGPU()
+	ladder := Ladder(300, 1377, 10)
+	sel, err := SelectFrequency(g, fm, 40, 5, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.FreqMHz != 1370 {
+		t.Errorf("Gables picked %v, want ladder top 1370", sel.FreqMHz)
+	}
+	pccs, _ := SelectFrequency(testModel(), fm, 40, 5, ladder)
+	if pccs.FreqMHz >= sel.FreqMHz {
+		t.Errorf("PCCS (%v) should pick below Gables (%v) under pressure", pccs.FreqMHz, sel.FreqMHz)
+	}
+}
+
+func TestSelectFrequencyInfeasible(t *testing.T) {
+	m := testModel()
+	fm := FreqModel{Kernel: "hog", MemBoundGBps: 130, CrossoverMHz: 100, MaxMHz: 1377}
+	// Even the lowest clock demands 130·(300/100… clamped) — use a ladder
+	// above the crossover so every entry demands 130 GB/s.
+	sel, err := SelectFrequency(m, fm, 130, 1, Ladder(200, 1377, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Feasible {
+		t.Errorf("expected infeasible selection, got %+v", sel)
+	}
+	if sel.FreqMHz != 200 {
+		t.Errorf("infeasible selection should return the ladder floor, got %v", sel.FreqMHz)
+	}
+}
+
+func TestSelectFrequencyErrors(t *testing.T) {
+	if _, err := SelectFrequency(testModel(), FreqModel{}, 10, 5, Ladder(1, 2, 1)); err == nil {
+		t.Error("invalid freq model accepted")
+	}
+	if _, err := SelectFrequency(testModel(), StreamclusterXavierGPU(), 10, 5, nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+}
+
+func TestSelectFrequencyTruthMatchesLinearScan(t *testing.T) {
+	// Use the model itself as "truth": binary search must agree with the
+	// analytic selection.
+	m := testModel()
+	fm := StreamclusterXavierGPU()
+	ladder := Ladder(300, 1377, 10)
+	probes := 0
+	truth := func(d float64) (float64, error) {
+		probes++
+		return m.Predict(d, 40), nil
+	}
+	got, err := SelectFrequencyTruth(truth, fm, 5, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := SelectFrequency(m, fm, 40, 5, ladder)
+	if got.FreqMHz != want.FreqMHz {
+		t.Errorf("binary search picked %v, linear scan %v", got.FreqMHz, want.FreqMHz)
+	}
+	if probes > 12 {
+		t.Errorf("binary search used %d probes, want ≤ 12", probes)
+	}
+}
+
+func TestSelectFrequencyTruthEdges(t *testing.T) {
+	fm := StreamclusterXavierGPU()
+	ladder := Ladder(300, 1377, 10)
+	allPass := func(d float64) (float64, error) { return 100, nil }
+	sel, err := SelectFrequencyTruth(allPass, fm, 5, ladder)
+	if err != nil || !sel.Feasible || sel.FreqMHz != 1370 {
+		t.Errorf("all-pass: %+v, %v", sel, err)
+	}
+	allFail := func(d float64) (float64, error) { return 10, nil }
+	sel, err = SelectFrequencyTruth(allFail, fm, 5, ladder)
+	if err != nil || sel.Feasible || sel.FreqMHz != 300 {
+		t.Errorf("all-fail: %+v, %v", sel, err)
+	}
+	boom := func(d float64) (float64, error) { return 0, fmt.Errorf("sim exploded") }
+	if _, err := SelectFrequencyTruth(boom, fm, 5, ladder); err == nil {
+		t.Error("probe error swallowed")
+	}
+}
+
+func TestRelPowerAndFreqError(t *testing.T) {
+	if got := RelPower(688.5, 1377); math.Abs(got-0.125) > 1e-9 {
+		t.Errorf("half clock power = %v, want 0.125 (f³)", got)
+	}
+	if RelPower(100, 0) != 0 {
+		t.Error("zero fmax should yield 0")
+	}
+	if got := FreqError(860, 840); math.Abs(got-2.380952) > 1e-4 {
+		t.Errorf("FreqError = %v", got)
+	}
+	if FreqError(100, 0) != 0 {
+		t.Error("zero truth should yield 0")
+	}
+}

@@ -1,0 +1,69 @@
+// Package gables implements the baseline contention model the paper
+// compares against: Gables (Hill & Reddi, HPCA 2019), a Roofline-style
+// analytical model for mobile SoCs.
+//
+// Gables assumes memory bandwidth is proportionally distributed among the
+// PUs: a processor under contention keeps its full requested bandwidth as
+// long as the sum of all requested bandwidths stays below the SoC peak;
+// beyond that, each processor receives its requested share pro-rated to the
+// available bandwidth. The PCCS paper shows both assumptions fail on real
+// SoCs (slowdowns appear well before the peak is reached, and fairness
+// control produces flat tails Gables cannot express).
+package gables
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a Gables contention model for one SoC.
+type Model struct {
+	// PeakBW is the SoC's peak memory bandwidth in GB/s, assumed by Gables
+	// to be fully achievable.
+	PeakBW float64
+}
+
+// New builds a Gables model for an SoC with the given peak bandwidth.
+func New(peakGBps float64) (Model, error) {
+	if peakGBps <= 0 || math.IsNaN(peakGBps) {
+		return Model{}, fmt.Errorf("gables: peak bandwidth must be positive, got %v", peakGBps)
+	}
+	return Model{PeakBW: peakGBps}, nil
+}
+
+// Predict returns the achieved relative speed (percent of standalone) for a
+// kernel demanding x GB/s under total external demand y GB/s.
+//
+//	x + y ≤ peak : no slowdown (RS = 100)
+//	x + y > peak : effective BW = x · peak/(x+y), so RS = 100·peak/(x+y)
+func (m Model) Predict(x, y float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	total := x + y
+	if total <= m.PeakBW || total == 0 {
+		return 100
+	}
+	return 100 * m.PeakBW / total
+}
+
+// PredictSlowdown returns the predicted slowdown factor (≥ 1).
+func (m Model) PredictSlowdown(x, y float64) float64 {
+	return 100 / m.Predict(x, y)
+}
+
+// Attainable is the classic Roofline attainable-performance bound that
+// Gables builds on: min(peak compute, operational intensity × peak BW).
+// peakOps is in operations/s, oi in operations/byte, and the memory term
+// uses the model's peak bandwidth. It is exposed for the design-space
+// exploration comparisons.
+func (m Model) Attainable(peakOps, oi float64) float64 {
+	memBound := oi * m.PeakBW * 1e9
+	if peakOps < memBound {
+		return peakOps
+	}
+	return memBound
+}

@@ -1,0 +1,86 @@
+package gables
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadPeak(t *testing.T) {
+	for _, peak := range []float64{0, -10, math.NaN()} {
+		if _, err := New(peak); err == nil {
+			t.Errorf("New(%v) accepted", peak)
+		}
+	}
+	if _, err := New(137); err != nil {
+		t.Errorf("New(137) failed: %v", err)
+	}
+}
+
+func TestZeroSlowdownBelowPeak(t *testing.T) {
+	// The paper's central criticism: Gables predicts no slowdown whenever
+	// total demand is below peak. This is a fixed point of the baseline.
+	m, _ := New(137)
+	cases := [][2]float64{{10, 20}, {60, 70}, {100, 37}, {0, 137}}
+	for _, c := range cases {
+		if got := m.Predict(c[0], c[1]); got != 100 {
+			t.Errorf("Predict(%v,%v) = %v, want 100 (total ≤ peak)", c[0], c[1], got)
+		}
+	}
+}
+
+func TestProportionalShareAbovePeak(t *testing.T) {
+	m, _ := New(100)
+	// total 200 → each achieves half its demand → RS 50.
+	if got := m.Predict(120, 80); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Predict(120,80) = %v, want 50", got)
+	}
+	if got := m.Predict(50, 150); math.Abs(got-50) > 1e-9 {
+		t.Errorf("Predict(50,150) = %v, want 50", got)
+	}
+}
+
+func TestPredictProperties(t *testing.T) {
+	m, _ := New(137)
+	f := func(xRaw, y1Raw, y2Raw uint16) bool {
+		x := float64(xRaw % 300)
+		y1, y2 := float64(y1Raw%300), float64(y2Raw%300)
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		a, b := m.Predict(x, y1), m.Predict(x, y2)
+		return a > 0 && a <= 100 && b <= a+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Errorf("gables properties violated: %v", err)
+	}
+}
+
+func TestNegativeInputsClamped(t *testing.T) {
+	m, _ := New(100)
+	if got := m.Predict(-5, -5); got != 100 {
+		t.Errorf("Predict(-5,-5) = %v, want 100", got)
+	}
+}
+
+func TestPredictSlowdown(t *testing.T) {
+	m, _ := New(100)
+	if got := m.PredictSlowdown(60, 30); got != 1 {
+		t.Errorf("slowdown below peak = %v, want 1", got)
+	}
+	if got := m.PredictSlowdown(120, 80); math.Abs(got-2) > 1e-9 {
+		t.Errorf("slowdown at 2× peak = %v, want 2", got)
+	}
+}
+
+func TestAttainableRoofline(t *testing.T) {
+	m, _ := New(100) // 100 GB/s
+	// Compute-bound: low peakOps.
+	if got := m.Attainable(1e9, 10); got != 1e9 {
+		t.Errorf("compute-bound attainable = %v, want 1e9", got)
+	}
+	// Memory-bound: OI 0.5 ops/byte × 100 GB/s = 5e10 ops/s.
+	if got := m.Attainable(1e12, 0.5); math.Abs(got-5e10) > 1 {
+		t.Errorf("memory-bound attainable = %v, want 5e10", got)
+	}
+}

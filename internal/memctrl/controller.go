@@ -1,0 +1,190 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// Config configures a memory controller.
+type Config struct {
+	Mem        dram.Config
+	Policy     PolicyKind
+	NumSources int
+	// Seed feeds the deterministic PRNG of stochastic policies (TCM, SMS).
+	Seed int64
+}
+
+// Controller is the shared memory controller: one request queue per DRAM
+// channel, a scheduling policy deciding service order, and service
+// statistics. It is driven by an external event loop (internal/soc):
+//
+//	Enqueue(req, now)      — a source issues a request
+//	PickTime(ch, now)      — when may the next scheduling decision happen
+//	Pick(ch, now)          — make one scheduling decision, service the pick
+//
+// The controller issues column commands up to a small lookahead ahead of the
+// data bus so that bursts pack back-to-back (as pipelined real controllers
+// do) while scheduling decisions still happen close to request arrivals.
+type Controller struct {
+	cfg      Config
+	mapper   *dram.Mapper
+	channels []*dram.Channel
+	queues   [][]*Request
+	policy   Policy
+	stats    *Stats
+	nextID   int64
+	// lastPickAt spaces scheduling decisions at least one burst apart per
+	// channel, matching the one-command-per-tCCD command bandwidth.
+	lastPickAt []int64
+	// maxAhead caps how many data bursts may be booked ahead of the bus
+	// (≈ one row cycle of pipelining); see PickTime.
+	maxAhead int
+}
+
+// maxBurstsAhead caps the controller's decision pipelining: at most this
+// many data bursts may be booked ahead of the bus. Enough to hide
+// precharge/activate latencies behind transfers, small enough that the
+// scheduler keeps deciding against a populated queue (empirically the
+// sweet spot across policies; see DESIGN.md).
+const maxBurstsAhead = 16
+
+// New builds a controller. The DRAM configuration must be valid.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Mem.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumSources <= 0 {
+		return nil, fmt.Errorf("memctrl: NumSources must be positive, got %d", cfg.NumSources)
+	}
+	c := &Controller{
+		cfg:        cfg,
+		mapper:     dram.NewMapper(cfg.Mem),
+		channels:   make([]*dram.Channel, cfg.Mem.Channels),
+		queues:     make([][]*Request, cfg.Mem.Channels),
+		policy:     NewPolicy(cfg.Policy, cfg.NumSources, cfg.Seed),
+		stats:      NewStats(cfg.NumSources),
+		lastPickAt: make([]int64, cfg.Mem.Channels),
+	}
+	c.maxAhead = maxBurstsAhead
+	for i := range c.channels {
+		c.channels[i] = dram.NewChannel(cfg.Mem)
+		c.lastPickAt[i] = -1 << 62
+	}
+	return c, nil
+}
+
+// Mapper exposes the address mapping used by the controller.
+func (c *Controller) Mapper() *dram.Mapper { return c.mapper }
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Stats returns the live statistics window.
+func (c *Controller) Stats() *Stats { return c.stats }
+
+// ResetStats opens a new measurement window (e.g. after warm-up).
+func (c *Controller) ResetStats(now int64) { c.stats.Reset(now) }
+
+// QueueLen reports the number of requests queued at a channel.
+func (c *Controller) QueueLen(ch int) int { return len(c.queues[ch]) }
+
+// PendingTotal reports the number of requests queued across all channels.
+func (c *Controller) PendingTotal() int {
+	n := 0
+	for _, q := range c.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// Enqueue admits a request for the line containing addr at cycle now and
+// returns the request and its channel. The caller (event loop) should
+// schedule a Pick for that channel if it is idle.
+func (c *Controller) Enqueue(source int, addr int64, write bool, now int64) (*Request, int) {
+	return c.EnqueueAt(source, c.mapper.Decode(addr), write, now)
+}
+
+// EnqueueAt admits a pre-decoded request. Multi-controller SoCs decode with
+// a global address mapping and route each request to the controller owning
+// its channel (with Loc.Channel rewritten to the controller-local index);
+// see the soc package.
+func (c *Controller) EnqueueAt(source int, loc dram.Loc, write bool, now int64) (*Request, int) {
+	c.nextID++
+	r := &Request{
+		ID:         c.nextID,
+		Source:     source,
+		Loc:        loc,
+		Write:      write,
+		EnqueuedAt: now,
+	}
+	ch := r.Loc.Channel
+	c.queues[ch] = append(c.queues[ch], r)
+	c.policy.OnEnqueue(r, now)
+	return r, ch
+}
+
+// PickTime returns the earliest cycle ≥ now at which the next scheduling
+// decision for channel ch may be made. Decisions are spaced one burst apart
+// (the channel's command bandwidth) and are gated so that at most about one
+// row-cycle worth of data bursts is booked ahead of the bus: enough
+// pipelining to hide precharge/activate latencies behind transfers, while
+// the scheduler keeps deciding against a populated queue — row-hit-first
+// reordering is worthless on a drained queue.
+func (c *Controller) PickTime(ch int, now int64) int64 {
+	at := now
+	if e := c.lastPickAt[ch] + c.cfg.Mem.BurstCycles(); e > at {
+		at = e
+	}
+	if e := c.channels[ch].BacklogGate(c.maxAhead, now); e > at {
+		at = e
+	}
+	return at
+}
+
+// Pick makes one scheduling decision on channel ch at cycle now: the policy
+// selects a queued request, the channel services it, and statistics update.
+// It returns the serviced request, or nil if the channel queue is empty.
+func (c *Controller) Pick(ch int, now int64) *Request {
+	q := c.queues[ch]
+	if len(q) == 0 {
+		return nil
+	}
+	idx := c.policy.Pick(q, c.channels[ch], now)
+	r := q[idx]
+	// Remove preserving arrival order (policies rely on stable queues).
+	c.queues[ch] = append(q[:idx], q[idx+1:]...)
+
+	res := c.channels[ch].Service(now, r.Loc.Bank, r.Loc.Row)
+	r.ServicedAt = now
+	r.DoneAt = res.Done
+	r.Hit = res.Kind == dram.RowHit
+	c.lastPickAt[ch] = now
+
+	c.stats.Accesses++
+	if r.Hit {
+		c.stats.RowHits++
+	}
+	c.stats.LatencySum += r.Latency()
+	if r.Source >= 0 && r.Source < len(c.stats.PerSourceLines) {
+		c.stats.PerSourceLines[r.Source]++
+	}
+	c.policy.OnService(r, r.Hit, now)
+	return r
+}
+
+// Channel exposes a channel's state (read-mostly; used by diagnostics).
+func (c *Controller) Channel(ch int) *dram.Channel { return c.channels[ch] }
+
+// Reset returns the controller to the power-on state: empty queues, closed
+// rows, fresh policy and statistics.
+func (c *Controller) Reset() {
+	for i := range c.channels {
+		c.channels[i].Reset()
+		c.queues[i] = c.queues[i][:0]
+		c.lastPickAt[i] = -1 << 62
+	}
+	c.policy.Reset()
+	c.stats.Reset(0)
+	c.nextID = 0
+}

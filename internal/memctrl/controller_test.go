@@ -1,0 +1,205 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// drain services every queued request on every channel, returning the
+// completed requests in service order.
+func drain(c *Controller, start int64) []*Request {
+	var done []*Request
+	for ch := 0; ch < c.cfg.Mem.Channels; ch++ {
+		now := start
+		for c.QueueLen(ch) > 0 {
+			now = c.PickTime(ch, now)
+			if r := c.Pick(ch, now); r != nil {
+				done = append(done, r)
+			}
+		}
+	}
+	return done
+}
+
+func TestControllerValidation(t *testing.T) {
+	bad := dram.CMPDDR4()
+	bad.Channels = 3
+	if _, err := New(Config{Mem: bad, Policy: FCFS, NumSources: 1}); err == nil {
+		t.Error("New with invalid DRAM config should fail")
+	}
+	if _, err := New(Config{Mem: dram.CMPDDR4(), Policy: FCFS, NumSources: 0}); err == nil {
+		t.Error("New with zero sources should fail")
+	}
+}
+
+func TestControllerConservation(t *testing.T) {
+	f := func(addrsRaw []int32) bool {
+		c, err := New(Config{Mem: dram.CMPDDR4(), Policy: FRFCFS, NumSources: 4, Seed: 1})
+		if err != nil {
+			return false
+		}
+		n := len(addrsRaw)
+		for i, a := range addrsRaw {
+			addr := (int64(a) & 0xFFFFFF) * 64
+			c.Enqueue(i%4, addr, false, int64(i))
+		}
+		if c.PendingTotal() != n {
+			return false
+		}
+		done := drain(c, int64(n))
+		return len(done) == n && c.PendingTotal() == 0 && c.Stats().Accesses == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Errorf("request conservation violated: %v", err)
+	}
+}
+
+func TestControllerCompletionAfterEnqueue(t *testing.T) {
+	c := testController(t, FCFS, 2)
+	for i := 0; i < 100; i++ {
+		c.Enqueue(i%2, int64(i*64), false, int64(i))
+	}
+	for _, r := range drain(c, 100) {
+		if r.DoneAt <= r.EnqueuedAt {
+			t.Fatalf("request %d done at %d, enqueued at %d", r.ID, r.DoneAt, r.EnqueuedAt)
+		}
+		if r.Latency() <= 0 {
+			t.Fatalf("request %d latency %d", r.ID, r.Latency())
+		}
+	}
+}
+
+func TestFRFCFSHigherRowHitRateThanFCFS(t *testing.T) {
+	// Two sources interleave: source 0 streams sequentially (row local),
+	// source 1 hops rows. FR-FCFS should recover much more row locality.
+	run := func(kind PolicyKind) float64 {
+		c := testController(t, kind, 2)
+		lines := int64(64)
+		var t0 int64
+		for i := int64(0); i < 512; i++ {
+			// Interleave arrivals in the queue.
+			c.Enqueue(0, i*64, false, t0)
+			c.Enqueue(1, (i*977+13)*4096*8, false, t0)
+			t0++
+		}
+		drain(c, t0)
+		_ = lines
+		return c.Stats().RowHitRate()
+	}
+	fcfs, fr := run(FCFS), run(FRFCFS)
+	if fr <= fcfs {
+		t.Errorf("FR-FCFS RBH %.3f not above FCFS RBH %.3f", fr, fcfs)
+	}
+}
+
+func TestControllerResetRestoresInitialState(t *testing.T) {
+	c := testController(t, SMS, 2)
+	for i := 0; i < 50; i++ {
+		c.Enqueue(i%2, int64(i*64), false, int64(i))
+	}
+	drain(c, 50)
+	c.Reset()
+	if c.PendingTotal() != 0 || c.Stats().Accesses != 0 {
+		t.Errorf("after Reset: pending=%d accesses=%d", c.PendingTotal(), c.Stats().Accesses)
+	}
+	// Controller must be reusable after Reset.
+	c.Enqueue(0, 0, false, 0)
+	if got := len(drain(c, 0)); got != 1 {
+		t.Errorf("drained %d requests after Reset, want 1", got)
+	}
+}
+
+func TestPickOnEmptyQueueReturnsNil(t *testing.T) {
+	c := testController(t, FCFS, 1)
+	if r := c.Pick(0, 10); r != nil {
+		t.Errorf("Pick on empty queue = %v, want nil", r)
+	}
+}
+
+func TestPickTimeMonotonic(t *testing.T) {
+	c := testController(t, FRFCFS, 1)
+	for i := 0; i < 32; i++ {
+		c.Enqueue(0, int64(i*64), false, 0)
+	}
+	ch := 0
+	now := int64(0)
+	prev := int64(-1)
+	for c.QueueLen(ch) > 0 {
+		now = c.PickTime(ch, now)
+		if now < prev {
+			t.Fatalf("PickTime went backwards: %d after %d", now, prev)
+		}
+		if c.Pick(ch, now) == nil {
+			t.Fatal("Pick returned nil with non-empty queue")
+		}
+		prev = now
+	}
+}
+
+func TestStatsPerSourceAccounting(t *testing.T) {
+	c := testController(t, FCFS, 3)
+	counts := []int{5, 7, 11}
+	at := int64(0)
+	for s, n := range counts {
+		for i := 0; i < n; i++ {
+			c.Enqueue(s, int64((s*1000+i)*64), false, at)
+			at++
+		}
+	}
+	drain(c, at)
+	st := c.Stats()
+	for s, n := range counts {
+		if st.PerSourceLines[s] != int64(n) {
+			t.Errorf("source %d served %d lines, want %d", s, st.PerSourceLines[s], n)
+		}
+		if got, want := st.SourceBytes(s, 64), int64(n*64); got != want {
+			t.Errorf("source %d bytes = %d, want %d", s, got, want)
+		}
+	}
+	if st.SourceBytes(99, 64) != 0 {
+		t.Error("out-of-range source should report 0 bytes")
+	}
+	if st.RowHitRate() < 0 || st.RowHitRate() > 1 {
+		t.Errorf("row hit rate %v out of range", st.RowHitRate())
+	}
+	if st.MeanLatency() <= 0 {
+		t.Errorf("mean latency %v, want > 0", st.MeanLatency())
+	}
+	if st.ServedBytes(64) != int64(5+7+11)*64 {
+		t.Errorf("served bytes = %d", st.ServedBytes(64))
+	}
+}
+
+func TestEmptyStatsSafe(t *testing.T) {
+	s := NewStats(2)
+	if s.RowHitRate() != 0 || s.MeanLatency() != 0 {
+		t.Error("empty stats should report zeros")
+	}
+}
+
+func TestAllPoliciesDrainHeavyMixedTraffic(t *testing.T) {
+	for _, kind := range AllPolicies {
+		c := testController(t, kind, 8)
+		at := int64(0)
+		for i := 0; i < 2000; i++ {
+			src := i % 8
+			var addr int64
+			if src < 4 {
+				addr = int64(src)<<30 + int64(i/8)*64 // streaming
+			} else {
+				addr = int64(src)<<30 + int64((i*2654435761)&0xFFFFF)*64 // scattered
+			}
+			c.Enqueue(src, addr, false, at)
+			at += 2
+		}
+		done := drain(c, at)
+		if len(done) != 2000 {
+			t.Errorf("%v: drained %d, want 2000", kind, len(done))
+		}
+		if c.Stats().Accesses != 2000 {
+			t.Errorf("%v: accesses %d, want 2000", kind, c.Stats().Accesses)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// PolicyKind selects a memory scheduling policy (paper Table 2).
+type PolicyKind int
+
+const (
+	// FCFS schedules memory requests chronologically.
+	FCFS PolicyKind = iota
+	// FRFCFS prioritizes row-hit requests, then ready requests, then oldest
+	// (Rixner et al., ISCA 2000).
+	FRFCFS
+	// ATLAS prioritizes (1) over-threshold requests, (2) requests from the
+	// source that has attained the least service, (3) row hits, (4) oldest
+	// (Kim et al., HPCA 2010).
+	ATLAS
+	// TCM clusters sources into a latency-sensitive cluster (strict
+	// priority) and a bandwidth-intensive cluster with periodically
+	// shuffled ranks (Kim et al., MICRO 2010).
+	TCM
+	// SMS groups same-source same-row requests into batches and schedules
+	// batches shortest-first with probability p, round-robin otherwise
+	// (Ausavarungnirun et al., ISCA 2012).
+	SMS
+)
+
+// AllPolicies lists every implemented policy in presentation order.
+var AllPolicies = []PolicyKind{FCFS, FRFCFS, ATLAS, TCM, SMS}
+
+func (k PolicyKind) String() string {
+	switch k {
+	case FCFS:
+		return "FCFS"
+	case FRFCFS:
+		return "FR-FCFS"
+	case ATLAS:
+		return "ATLAS"
+	case TCM:
+		return "TCM"
+	case SMS:
+		return "SMS"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// FairnessAware reports whether the policy employs fairness control. The
+// paper's validation (§2.3) shows the three-region slowdown behaviour
+// appears exactly under fairness-aware policies.
+func (k PolicyKind) FairnessAware() bool { return k == ATLAS || k == TCM || k == SMS }
+
+// ParsePolicy converts a policy name (as printed by String) to its kind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for _, k := range AllPolicies {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("memctrl: unknown policy %q", s)
+}
+
+// Policy is a memory request scheduler. One Policy instance serves all
+// channels of a controller, so source-level bookkeeping (attained service,
+// clustering, batches) is naturally global.
+//
+// Pick returns the index within q (the requests queued at one channel) of
+// the request to service next; q is never empty. Implementations must not
+// retain q.
+type Policy interface {
+	Kind() PolicyKind
+	Pick(q []*Request, ch *dram.Channel, now int64) int
+	// OnEnqueue observes a request entering the controller.
+	OnEnqueue(r *Request, now int64)
+	// OnService observes a request leaving for DRAM with its row outcome.
+	OnService(r *Request, hit bool, now int64)
+	// Reset clears policy state between measurement runs.
+	Reset()
+}
+
+// NewPolicy constructs a policy instance for numSources sources. seed feeds
+// the deterministic PRNG used by TCM's rank shuffling and SMS's
+// probabilistic batch choice.
+func NewPolicy(kind PolicyKind, numSources int, seed int64) Policy {
+	switch kind {
+	case FCFS:
+		return &fcfsPolicy{}
+	case FRFCFS:
+		return &frfcfsPolicy{}
+	case ATLAS:
+		return newATLAS(numSources)
+	case TCM:
+		return newTCM(numSources, seed)
+	case SMS:
+		return newSMS(numSources, seed)
+	default:
+		panic(fmt.Sprintf("memctrl: unknown policy kind %d", int(kind)))
+	}
+}
+
+// oldest returns the index of the earliest-enqueued request in q.
+func oldest(q []*Request) int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].EnqueuedAt < q[best].EnqueuedAt {
+			best = i
+		}
+	}
+	return best
+}

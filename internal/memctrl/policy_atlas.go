@@ -1,0 +1,130 @@
+package memctrl
+
+import (
+	"math"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// ATLAS parameters (Kim et al., HPCA 2010, default configuration).
+const (
+	// atlasQuantum is the length of one attained-service accounting
+	// quantum. The original policy uses 10M cycles; it is scaled down so
+	// measurement windows span many quanta (see tcmQuantum).
+	atlasQuantum int64 = 100_000
+	// atlasAlpha is the exponential decay applied to attained service at
+	// quantum boundaries: score = α·score + (1−α)·serviceThisQuantum.
+	atlasAlpha = 0.875
+	// atlasThreshold is the starvation-prevention age: requests queued for
+	// longer are serviced first regardless of rank.
+	atlasThreshold int64 = 50_000
+	// atlasRankTolerance treats sources whose attained service is within
+	// this relative margin of the least-attained source as equal rank, so
+	// they compete on row locality and age instead of strict priority.
+	// Pure least-attained-service ordering inverts priority pathologically
+	// when two sources' demands are close (every pick flip-flops); real
+	// controllers quantize ranks per quantum, which this approximates.
+	atlasRankTolerance = 0.3
+)
+
+// atlasPolicy implements Adaptive per-Thread Least-Attained-Service
+// scheduling. Sources that have attained the least memory service are
+// prioritized, which in an HSM-SoC equalizes attained service across
+// processors — the mechanism behind the flat tail (contention balance
+// point) in the co-run speed curves (paper §2.3).
+type atlasPolicy struct {
+	score        []float64 // decayed attained service per source
+	serviceQ     []float64 // service attained in the current quantum
+	quantumStart int64
+}
+
+func newATLAS(numSources int) *atlasPolicy {
+	return &atlasPolicy{
+		score:    make([]float64, numSources),
+		serviceQ: make([]float64, numSources),
+	}
+}
+
+func (p *atlasPolicy) Kind() PolicyKind          { return ATLAS }
+func (p *atlasPolicy) OnEnqueue(*Request, int64) {}
+
+func (p *atlasPolicy) Reset() {
+	for i := range p.score {
+		p.score[i] = 0
+		p.serviceQ[i] = 0
+	}
+	p.quantumStart = 0
+}
+
+func (p *atlasPolicy) OnService(r *Request, hit bool, now int64) {
+	p.rollQuantum(now)
+	if r.Source < len(p.serviceQ) {
+		p.serviceQ[r.Source]++
+	}
+}
+
+func (p *atlasPolicy) rollQuantum(now int64) {
+	for now-p.quantumStart >= atlasQuantum {
+		for i := range p.score {
+			p.score[i] = atlasAlpha*p.score[i] + (1-atlasAlpha)*p.serviceQ[i]
+			p.serviceQ[i] = 0
+		}
+		p.quantumStart += atlasQuantum
+	}
+}
+
+// rank is the total attained service used for LAS ordering: the decayed
+// history plus the current quantum, so ranking responds within a quantum.
+func (p *atlasPolicy) rank(source int) float64 {
+	if source >= len(p.score) {
+		return 0
+	}
+	return p.score[source] + p.serviceQ[source]
+}
+
+func (p *atlasPolicy) Pick(q []*Request, ch *dram.Channel, now int64) int {
+	p.rollQuantum(now)
+
+	// 1) Over-threshold requests first, oldest among them.
+	best := -1
+	for i, r := range q {
+		if now-r.EnqueuedAt > atlasThreshold {
+			if best == -1 || r.EnqueuedAt < q[best].EnqueuedAt {
+				best = i
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+
+	// 2) Least attained service (with rank bucketing), 3) row hit,
+	// 4) oldest.
+	minRank := math.Inf(1)
+	for _, r := range q {
+		if rk := p.rank(r.Source); rk < minRank {
+			minRank = rk
+		}
+	}
+	topCut := minRank * (1 + atlasRankTolerance)
+	bestHit := false
+	for i, r := range q {
+		if p.rank(r.Source) > topCut {
+			continue
+		}
+		hit := ch.WouldHit(r.Loc.Bank, r.Loc.Row)
+		better := false
+		switch {
+		case best == -1:
+			better = true
+		case hit && !bestHit:
+			better = true
+		case hit == bestHit && r.EnqueuedAt < q[best].EnqueuedAt:
+			better = true
+		}
+		if better {
+			best, bestHit = i, hit
+		}
+	}
+	return best
+}

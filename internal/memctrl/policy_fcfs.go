@@ -1,0 +1,49 @@
+package memctrl
+
+import "github.com/processorcentricmodel/pccs/internal/dram"
+
+// fcfsPolicy services requests strictly in arrival order. Its lack of row
+// locality awareness produces low row-buffer hit rates and poor effective
+// bandwidth under co-location (paper Fig. 5a / Table 3).
+type fcfsPolicy struct{}
+
+func (*fcfsPolicy) Kind() PolicyKind                { return FCFS }
+func (*fcfsPolicy) OnEnqueue(*Request, int64)       {}
+func (*fcfsPolicy) OnService(*Request, bool, int64) {}
+func (*fcfsPolicy) Reset()                          {}
+func (*fcfsPolicy) Pick(q []*Request, _ *dram.Channel, _ int64) int {
+	return oldest(q)
+}
+
+// frfcfsPolicy is first-ready FCFS: among queued requests it prefers
+// row-buffer hits (which pipeline at tCCD spacing), then requests whose bank
+// is ready for a new activate, then the oldest request. It maximizes
+// bandwidth but has no fairness control, so a co-located memory-intensive
+// stream can hog the row buffers (Fig. 5b).
+type frfcfsPolicy struct{}
+
+func (*frfcfsPolicy) Kind() PolicyKind                { return FRFCFS }
+func (*frfcfsPolicy) OnEnqueue(*Request, int64)       {}
+func (*frfcfsPolicy) OnService(*Request, bool, int64) {}
+func (*frfcfsPolicy) Reset()                          {}
+
+func (*frfcfsPolicy) Pick(q []*Request, ch *dram.Channel, now int64) int {
+	best := -1
+	bestClass := 3 // 0: row hit, 1: bank ready, 2: rest
+	for i, r := range q {
+		hit := ch.WouldHit(r.Loc.Bank, r.Loc.Row)
+		ready := ch.BankReadyAt(r.Loc.Bank) <= now
+		class := 2
+		switch {
+		case hit:
+			class = 0
+		case ready:
+			class = 1
+		}
+		if best == -1 || class < bestClass ||
+			(class == bestClass && r.EnqueuedAt < q[best].EnqueuedAt) {
+			best, bestClass = i, class
+		}
+	}
+	return best
+}

@@ -1,0 +1,195 @@
+package memctrl
+
+import (
+	"math/rand"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// SMS parameters (Ausavarungnirun et al., ISCA 2012, default configuration).
+const (
+	// smsBatchCap closes a forming batch after this many requests.
+	smsBatchCap = 8
+	// smsShortestProb is the probability p of picking the shortest ready
+	// batch; with probability 1−p sources are served round-robin.
+	smsShortestProb = 0.9
+)
+
+// smsBatch is a group of same-source, same-row requests formed at enqueue
+// time (stage 1 of SMS) and scheduled as a unit (stage 2).
+type smsBatch struct {
+	source  int
+	row     int64
+	channel int
+	size    int // requests ever added
+	left    int // requests not yet serviced
+	closed  bool
+}
+
+// smsPolicy implements Staged Memory Scheduling. Batch formation groups
+// requests to the same row from the same source; the batch scheduler then
+// picks, per decision, the shortest ready batch with probability p and
+// round-robins across sources otherwise. Serving whole batches preserves
+// row locality (high RBH) while the probabilistic arbitration provides
+// fairness across sources.
+type smsPolicy struct {
+	numSources int
+	rng        *rand.Rand
+	// forming is the batch currently being assembled per (source, channel).
+	forming map[[2]int]*smsBatch
+	// active is the batch currently being drained per channel; SMS commits
+	// to a batch until its requests are all serviced.
+	active map[int]*smsBatch
+	// rrNext is the round-robin pointer over sources.
+	rrNext int
+}
+
+func newSMS(numSources int, seed int64) *smsPolicy {
+	return &smsPolicy{
+		numSources: numSources,
+		rng:        rand.New(rand.NewSource(seed)),
+		forming:    make(map[[2]int]*smsBatch),
+		active:     make(map[int]*smsBatch),
+	}
+}
+
+func (p *smsPolicy) Kind() PolicyKind { return SMS }
+
+func (p *smsPolicy) Reset() {
+	p.forming = make(map[[2]int]*smsBatch)
+	p.active = make(map[int]*smsBatch)
+	p.rrNext = 0
+}
+
+// OnEnqueue performs stage-1 batch formation: a request joins the forming
+// batch of its (source, channel) if it targets the same row and the batch
+// has room; otherwise the forming batch is closed and a new one starts.
+func (p *smsPolicy) OnEnqueue(r *Request, now int64) {
+	key := [2]int{r.Source, r.Loc.Channel}
+	b := p.forming[key]
+	if b != nil && !b.closed && b.row == r.Loc.Row && b.size < smsBatchCap {
+		b.size++
+		b.left++
+		r.batch = b
+		if b.size >= smsBatchCap {
+			b.closed = true
+		}
+		return
+	}
+	if b != nil {
+		b.closed = true
+	}
+	nb := &smsBatch{source: r.Source, row: r.Loc.Row, channel: r.Loc.Channel, size: 1, left: 1}
+	p.forming[key] = nb
+	r.batch = nb
+}
+
+func (p *smsPolicy) OnService(r *Request, hit bool, now int64) {
+	if r.batch == nil {
+		return
+	}
+	r.batch.left--
+	if r.batch.left <= 0 {
+		if p.active[r.Loc.Channel] == r.batch {
+			delete(p.active, r.Loc.Channel)
+		}
+		if p.forming[[2]int{r.Source, r.Loc.Channel}] == r.batch {
+			delete(p.forming, [2]int{r.Source, r.Loc.Channel})
+		}
+	}
+}
+
+func (p *smsPolicy) Pick(q []*Request, ch *dram.Channel, now int64) int {
+	channel := q[0].Loc.Channel
+
+	// Continue draining the committed batch if it still has queued requests.
+	if b := p.active[channel]; b != nil {
+		if i := oldestOfBatch(q, b); i >= 0 {
+			return i
+		}
+		// Batch has in-flight but no queued requests; fall through and
+		// choose a new batch (the old one completes via OnService).
+	}
+
+	// Choose a new batch among those with queued requests on this channel.
+	// A batch is ready if closed; open batches are eligible only when no
+	// closed batch exists (avoids starving on a slowly-forming batch).
+	type cand struct {
+		b      *smsBatch
+		oldest int
+	}
+	var closedC, openC []cand
+	seen := map[*smsBatch]int{}
+	for i, r := range q {
+		if r.batch == nil {
+			continue
+		}
+		if j, ok := seen[r.batch]; ok {
+			if r.EnqueuedAt < q[j].EnqueuedAt {
+				seen[r.batch] = i
+			}
+			continue
+		}
+		seen[r.batch] = i
+	}
+	for b, i := range seen {
+		if b.closed {
+			closedC = append(closedC, cand{b, i})
+		} else {
+			openC = append(openC, cand{b, i})
+		}
+	}
+	pool := closedC
+	if len(pool) == 0 {
+		pool = openC
+	}
+	if len(pool) == 0 {
+		return oldest(q) // requests without batches (defensive)
+	}
+
+	var chosen cand
+	if p.rng.Float64() < smsShortestProb {
+		// Shortest-batch-first: fewest remaining requests; break ties by
+		// the age of the oldest queued request for determinism.
+		chosen = pool[0]
+		for _, c := range pool[1:] {
+			switch {
+			case c.b.left != chosen.b.left:
+				if c.b.left < chosen.b.left {
+					chosen = c
+				}
+			case q[c.oldest].EnqueuedAt != q[chosen.oldest].EnqueuedAt:
+				if q[c.oldest].EnqueuedAt < q[chosen.oldest].EnqueuedAt {
+					chosen = c
+				}
+			case q[c.oldest].ID < q[chosen.oldest].ID:
+				chosen = c
+			}
+		}
+	} else {
+		// Round-robin over sources: the first source at or after rrNext
+		// that has a candidate batch.
+		chosen = pool[0]
+		bestDist := p.numSources + 1
+		for _, c := range pool {
+			d := (c.b.source - p.rrNext + p.numSources) % p.numSources
+			if d < bestDist {
+				bestDist, chosen = d, c
+			}
+		}
+		p.rrNext = (chosen.b.source + 1) % p.numSources
+	}
+	p.active[channel] = chosen.b
+	return chosen.oldest
+}
+
+// oldestOfBatch returns the oldest queued request belonging to b, or -1.
+func oldestOfBatch(q []*Request, b *smsBatch) int {
+	best := -1
+	for i, r := range q {
+		if r.batch == b && (best == -1 || r.EnqueuedAt < q[best].EnqueuedAt) {
+			best = i
+		}
+	}
+	return best
+}

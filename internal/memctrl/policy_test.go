@@ -1,0 +1,268 @@
+package memctrl
+
+import (
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+func testController(t *testing.T, kind PolicyKind, sources int) *Controller {
+	t.Helper()
+	c, err := New(Config{Mem: dram.CMPDDR4(), Policy: kind, NumSources: sources, Seed: 42})
+	if err != nil {
+		t.Fatalf("New(%v): %v", kind, err)
+	}
+	return c
+}
+
+func TestPolicyKindString(t *testing.T) {
+	want := map[PolicyKind]string{
+		FCFS: "FCFS", FRFCFS: "FR-FCFS", ATLAS: "ATLAS", TCM: "TCM", SMS: "SMS",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+		parsed, err := ParsePolicy(s)
+		if err != nil || parsed != k {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v, nil", s, parsed, err, k)
+		}
+	}
+	if PolicyKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy(nope) should fail")
+	}
+}
+
+func TestFairnessAware(t *testing.T) {
+	for k, want := range map[PolicyKind]bool{FCFS: false, FRFCFS: false, ATLAS: true, TCM: true, SMS: true} {
+		if got := k.FairnessAware(); got != want {
+			t.Errorf("%v.FairnessAware() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestNewPolicyPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPolicy(unknown) did not panic")
+		}
+	}()
+	NewPolicy(PolicyKind(99), 4, 1)
+}
+
+// enq builds a queued request directly (bypassing the controller) for
+// policy-level tests.
+func enq(id int64, source int, bank int, row int64, at int64) *Request {
+	return &Request{ID: id, Source: source, Loc: dram.Loc{Bank: bank, Row: row}, EnqueuedAt: at}
+}
+
+func TestFCFSPicksOldest(t *testing.T) {
+	p := NewPolicy(FCFS, 2, 1)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	q := []*Request{enq(1, 0, 0, 5, 30), enq(2, 1, 1, 6, 10), enq(3, 0, 2, 7, 20)}
+	if got := p.Pick(q, ch, 100); got != 1 {
+		t.Errorf("FCFS picked index %d, want 1 (oldest)", got)
+	}
+}
+
+func TestFRFCFSPrefersRowHit(t *testing.T) {
+	p := NewPolicy(FRFCFS, 2, 1)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	// Open row 9 in bank 3.
+	res := ch.Service(0, 3, 9)
+	now := res.Done
+	q := []*Request{
+		enq(1, 0, 0, 5, 0),  // oldest, but a miss to a closed bank
+		enq(2, 1, 3, 9, 50), // newer, but a row hit
+	}
+	if got := p.Pick(q, ch, now); got != 1 {
+		t.Errorf("FR-FCFS picked index %d, want 1 (row hit)", got)
+	}
+	// With no hits, fall back to oldest.
+	q2 := []*Request{enq(3, 0, 0, 5, 40), enq(4, 1, 1, 6, 20)}
+	if got := p.Pick(q2, ch, now); got != 1 {
+		t.Errorf("FR-FCFS without hits picked %d, want 1 (oldest)", got)
+	}
+}
+
+func TestATLASPrefersLeastAttainedService(t *testing.T) {
+	p := newATLAS(2)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	// Source 0 has attained lots of service this quantum.
+	for i := 0; i < 100; i++ {
+		p.OnService(enq(int64(i), 0, 0, 0, 0), true, int64(i))
+	}
+	q := []*Request{
+		enq(200, 0, 0, 0, 10), // source 0, older, row hit (bank 0 closed → no hit actually)
+		enq(201, 1, 1, 1, 20), // source 1, least attained service
+	}
+	if got := p.Pick(q, ch, 1000); got != 1 {
+		t.Errorf("ATLAS picked %d, want 1 (least attained service)", got)
+	}
+}
+
+func TestATLASOverThresholdFirst(t *testing.T) {
+	p := newATLAS(2)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	for i := 0; i < 100; i++ {
+		p.OnService(enq(int64(i), 1, 0, 0, 0), true, int64(i))
+	}
+	now := int64(200_000)
+	q := []*Request{
+		enq(200, 1, 0, 0, 10),     // heavily-serviced source but starving
+		enq(201, 0, 1, 1, now-10), // least attained, fresh
+	}
+	if got := p.Pick(q, ch, now); got != 0 {
+		t.Errorf("ATLAS picked %d, want 0 (over starvation threshold)", got)
+	}
+}
+
+func TestATLASQuantumDecay(t *testing.T) {
+	p := newATLAS(2)
+	for i := 0; i < 100; i++ {
+		p.OnService(enq(int64(i), 0, 0, 0, 0), true, 0)
+	}
+	before := p.rank(0)
+	p.rollQuantum(atlasQuantum * 3)
+	after := p.rank(0)
+	if after >= before {
+		t.Errorf("attained service did not decay: before %v after %v", before, after)
+	}
+	if p.rank(1) != 0 {
+		t.Errorf("idle source rank = %v, want 0", p.rank(1))
+	}
+}
+
+func TestTCMLatencyClusterPriority(t *testing.T) {
+	p := newTCM(2, 7)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	// Source 1 is memory-intensive during the first quantum.
+	for i := 0; i < 1000; i++ {
+		p.OnService(enq(int64(i), 1, 0, 0, 0), true, int64(i))
+	}
+	p.OnService(enq(2000, 0, 0, 0, 0), true, 500) // source 0: light
+	// Roll the quantum to recluster.
+	p.roll(tcmQuantum + 1)
+	if !p.latency[0] {
+		t.Fatal("light source 0 should be in the latency-sensitive cluster")
+	}
+	if p.latency[1] {
+		t.Fatal("heavy source 1 should be in the bandwidth cluster")
+	}
+	q := []*Request{
+		enq(1, 1, 0, 0, 10), // heavy source, older
+		enq(2, 0, 1, 1, 50), // light source, newer → strict priority
+	}
+	if got := p.Pick(q, ch, tcmQuantum+10); got != 1 {
+		t.Errorf("TCM picked %d, want 1 (latency cluster)", got)
+	}
+}
+
+func TestTCMShuffleIsDeterministicPerSeed(t *testing.T) {
+	a, b := newTCM(8, 123), newTCM(8, 123)
+	a.roll(tcmShuffle + 1)
+	b.roll(tcmShuffle + 1)
+	for i := range a.rank {
+		if a.rank[i] != b.rank[i] {
+			t.Fatalf("same-seed shuffles diverge at %d: %v vs %v", i, a.rank, b.rank)
+		}
+	}
+}
+
+func TestSMSBatchFormation(t *testing.T) {
+	p := newSMS(2, 9)
+	r1 := enq(1, 0, 0, 7, 0)
+	r1.Loc.Channel = 0
+	p.OnEnqueue(r1, 0)
+	r2 := enq(2, 0, 0, 7, 1)
+	r2.Loc.Channel = 0
+	p.OnEnqueue(r2, 1)
+	if r1.batch == nil || r1.batch != r2.batch {
+		t.Fatal("same-source same-row requests should share a batch")
+	}
+	if r1.batch.size != 2 {
+		t.Errorf("batch size = %d, want 2", r1.batch.size)
+	}
+	r3 := enq(3, 0, 0, 8, 2) // row change closes the batch
+	r3.Loc.Channel = 0
+	p.OnEnqueue(r3, 2)
+	if !r1.batch.closed {
+		t.Error("row change should close the forming batch")
+	}
+	if r3.batch == r1.batch {
+		t.Error("new row should start a new batch")
+	}
+}
+
+func TestSMSBatchCap(t *testing.T) {
+	p := newSMS(1, 9)
+	var first *smsBatch
+	for i := 0; i < smsBatchCap+1; i++ {
+		r := enq(int64(i), 0, 0, 7, int64(i))
+		p.OnEnqueue(r, int64(i))
+		if i == 0 {
+			first = r.batch
+		}
+	}
+	if !first.closed {
+		t.Error("batch should close at cap")
+	}
+	if first.size != smsBatchCap {
+		t.Errorf("batch size = %d, want %d", first.size, smsBatchCap)
+	}
+}
+
+func TestSMSDrainsActiveBatch(t *testing.T) {
+	p := newSMS(2, 1)
+	ch := dram.NewChannel(dram.CMPDDR4())
+	// Two closed batches: source 0 (2 reqs, row 7), source 1 (3 reqs, row 9).
+	var q []*Request
+	for i := 0; i < 2; i++ {
+		r := enq(int64(i), 0, 0, 7, int64(i))
+		p.OnEnqueue(r, int64(i))
+		q = append(q, r)
+	}
+	for i := 0; i < 3; i++ {
+		r := enq(int64(10+i), 1, 1, 9, int64(10+i))
+		p.OnEnqueue(r, int64(10+i))
+		q = append(q, r)
+	}
+	// Close both by row change.
+	closer0 := enq(100, 0, 0, 8, 100)
+	p.OnEnqueue(closer0, 100)
+	closer1 := enq(101, 1, 1, 10, 101)
+	p.OnEnqueue(closer1, 101)
+
+	first := p.Pick(q, ch, 200)
+	chosen := q[first].batch
+	p.OnService(q[first], true, 200)
+	rest := append([]*Request{}, q[:first]...)
+	rest = append(rest, q[first+1:]...)
+	second := p.Pick(rest, ch, 210)
+	if rest[second].batch != chosen {
+		t.Error("SMS should drain the committed batch before switching")
+	}
+}
+
+func TestPoliciesResetClearsState(t *testing.T) {
+	for _, kind := range AllPolicies {
+		p := NewPolicy(kind, 4, 3)
+		for i := 0; i < 50; i++ {
+			r := enq(int64(i), i%4, 0, int64(i%3), int64(i))
+			p.OnEnqueue(r, int64(i))
+			p.OnService(r, i%2 == 0, int64(i))
+		}
+		p.Reset()
+		ch := dram.NewChannel(dram.CMPDDR4())
+		q := []*Request{enq(1000, 0, 0, 0, 0)}
+		r := enq(1001, 0, 0, 0, 0)
+		p.OnEnqueue(r, 0)
+		q = append(q, r)
+		if got := p.Pick(q, ch, 1); got < 0 || got >= len(q) {
+			t.Errorf("%v: Pick after Reset out of range: %d", kind, got)
+		}
+	}
+}

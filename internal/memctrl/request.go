@@ -1,0 +1,36 @@
+// Package memctrl implements the shared memory controller of the simulated
+// SoC: per-channel request queues in front of the DRAM channels, and the
+// five scheduling policies studied in §2.3 of the PCCS paper (Table 2):
+// FCFS, FR-FCFS, ATLAS, TCM and SMS.
+//
+// The controller is the component whose behaviour the PCCS slowdown model
+// abstracts: row-hit prioritization creates the early slowdown before total
+// demand reaches peak bandwidth, and fairness control creates the flat tail
+// of the co-run speed curves (the contention balance point).
+package memctrl
+
+import "github.com/processorcentricmodel/pccs/internal/dram"
+
+// Request is one line-sized memory transaction from a source (a processing
+// unit or core) to the shared DRAM.
+type Request struct {
+	ID     int64
+	Source int      // index of the requesting PU/core
+	Loc    dram.Loc // decoded DRAM location
+	Write  bool
+
+	// EnqueuedAt is the cycle the request entered the controller queue.
+	EnqueuedAt int64
+	// ServicedAt is the cycle the scheduler picked the request.
+	ServicedAt int64
+	// DoneAt is the cycle the last data beat transferred.
+	DoneAt int64
+	// Hit records the row-buffer outcome.
+	Hit bool
+
+	// batch links the request to an SMS batch; unused by other policies.
+	batch *smsBatch
+}
+
+// Latency is the queueing + service latency of a completed request.
+func (r *Request) Latency() int64 { return r.DoneAt - r.EnqueuedAt }

@@ -1,0 +1,63 @@
+package memctrl
+
+// Stats accumulates controller-level service statistics over a measurement
+// window. The PCCS characterization uses two of these: the row-buffer hit
+// rate and the effective bandwidth relative to the theoretical peak
+// (paper Table 3).
+type Stats struct {
+	// Accesses is the number of serviced line transfers.
+	Accesses int64
+	// RowHits is the number of serviced transfers that hit an open row.
+	RowHits int64
+	// LatencySum accumulates enqueue-to-done latency over serviced requests.
+	LatencySum int64
+	// PerSourceLines counts serviced transfers per source.
+	PerSourceLines []int64
+	// WindowStart is the cycle the measurement window opened.
+	WindowStart int64
+}
+
+// NewStats allocates statistics for numSources sources.
+func NewStats(numSources int) *Stats {
+	return &Stats{PerSourceLines: make([]int64, numSources)}
+}
+
+// Reset opens a new measurement window at cycle now.
+func (s *Stats) Reset(now int64) {
+	s.Accesses = 0
+	s.RowHits = 0
+	s.LatencySum = 0
+	for i := range s.PerSourceLines {
+		s.PerSourceLines[i] = 0
+	}
+	s.WindowStart = now
+}
+
+// RowHitRate is the fraction of serviced transfers that were row hits.
+func (s *Stats) RowHitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(s.Accesses)
+}
+
+// MeanLatency is the average enqueue-to-done latency in cycles.
+func (s *Stats) MeanLatency() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Accesses)
+}
+
+// ServedBytes is the total data moved in the window, given the line size.
+func (s *Stats) ServedBytes(lineBytes int) int64 {
+	return s.Accesses * int64(lineBytes)
+}
+
+// SourceBytes is the data moved for one source in the window.
+func (s *Stats) SourceBytes(source, lineBytes int) int64 {
+	if source < 0 || source >= len(s.PerSourceLines) {
+		return 0
+	}
+	return s.PerSourceLines[source] * int64(lineBytes)
+}

@@ -1,0 +1,158 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders series as an ASCII line chart — the closest a terminal
+// gets to the paper's figures. Each series is drawn with its own glyph;
+// points landing on the same cell show the glyph of the first series.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area in characters (excluding axes).
+	Width, Height int
+	// YMin/YMax fix the y range; when both zero the range is computed
+	// from the data with a small margin.
+	YMin, YMax float64
+
+	xs     []float64
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name  string
+	glyph rune
+	ys    []float64
+}
+
+var chartGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// NewChart builds a chart for the given x values.
+func NewChart(title, xLabel, yLabel string, xs []float64) *Chart {
+	return &Chart{
+		Title: title, XLabel: xLabel, YLabel: yLabel,
+		Width: 60, Height: 16,
+		xs: append([]float64(nil), xs...),
+	}
+}
+
+// AddSeries registers a named line; ys pairs with the chart's x values
+// (shorter series are drawn as far as they reach).
+func (c *Chart) AddSeries(name string, ys []float64) {
+	glyph := chartGlyphs[len(c.series)%len(chartGlyphs)]
+	c.series = append(c.series, chartSeries{name: name, glyph: glyph, ys: append([]float64(nil), ys...)})
+}
+
+// WriteTo renders the chart.
+func (c *Chart) WriteTo(w io.Writer) (int64, error) {
+	if len(c.xs) == 0 || len(c.series) == 0 || c.Width < 8 || c.Height < 4 {
+		n, err := io.WriteString(w, "(empty chart)\n")
+		return int64(n), err
+	}
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range c.series {
+			for _, y := range s.ys {
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = 1
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	xmin, xmax := c.xs[0], c.xs[len(c.xs)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]rune, c.Height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", c.Width))
+	}
+	plot := func(x, y float64, glyph rune) {
+		col := int((x - xmin) / (xmax - xmin) * float64(c.Width-1))
+		row := int((ymax - y) / (ymax - ymin) * float64(c.Height-1))
+		if col < 0 || col >= c.Width || row < 0 || row >= c.Height {
+			return
+		}
+		if grid[row][col] == ' ' {
+			grid[row][col] = glyph
+		}
+	}
+	// Draw in registration order so the first series wins collisions.
+	for _, s := range c.series {
+		for i, y := range s.ys {
+			if i < len(c.xs) {
+				plot(c.xs[i], y, s.glyph)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisW := 8
+	for i, row := range grid {
+		label := strings.Repeat(" ", axisW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*.1f", axisW, ymax)
+		case c.Height - 1:
+			label = fmt.Sprintf("%*.1f", axisW, ymin)
+		case (c.Height - 1) / 2:
+			label = fmt.Sprintf("%*.1f", axisW, (ymin+ymax)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%s  %-*.1f%*.1f  (%s)\n",
+		strings.Repeat(" ", axisW), c.Width/2, xmin, c.Width-c.Width/2, xmax, c.XLabel)
+	// Legend, sorted by name for determinism of map-fed callers.
+	legend := make([]string, len(c.series))
+	for i, s := range c.series {
+		legend[i] = fmt.Sprintf("%c %s", s.glyph, s.name)
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(&b, "%s  legend: %s   y: %s\n", strings.Repeat(" ", axisW), strings.Join(legend, "   "), c.YLabel)
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	c.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// SeriesChart renders both the numeric series table and an ASCII chart —
+// the standard "figure" output of the experiment harness.
+func SeriesChart(w io.Writer, title, xLabel string, xs []float64, lines map[string][]float64) error {
+	if err := Series(w, title, xLabel, xs, lines); err != nil {
+		return err
+	}
+	chart := NewChart("", xLabel, "achieved relative speed (%)", xs)
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		chart.AddSeries(n, lines[n])
+	}
+	_, err := chart.WriteTo(w)
+	return err
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersAllSeries(t *testing.T) {
+	c := NewChart("demo", "ext GB/s", "RS %", []float64{0, 50, 100})
+	c.AddSeries("alpha", []float64{100, 80, 60})
+	c.AddSeries("beta", []float64{100, 95, 90})
+	s := c.String()
+	if !strings.Contains(s, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "* alpha") || !strings.Contains(s, "o beta") {
+		t.Errorf("legend incomplete:\n%s", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Errorf("glyphs not plotted:\n%s", s)
+	}
+	if !strings.Contains(s, "ext GB/s") || !strings.Contains(s, "RS %") {
+		t.Errorf("axis labels missing:\n%s", s)
+	}
+}
+
+func TestChartYRange(t *testing.T) {
+	c := NewChart("", "x", "y", []float64{0, 1})
+	c.YMin, c.YMax = 0, 100
+	c.AddSeries("s", []float64{50, 150}) // 150 outside the fixed range
+	s := c.String()
+	if !strings.Contains(s, "100.0") || !strings.Contains(s, "0.0") {
+		t.Errorf("fixed range labels missing:\n%s", s)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	empty := NewChart("", "x", "y", nil)
+	if !strings.Contains(empty.String(), "empty chart") {
+		t.Error("empty chart should say so")
+	}
+	flat := NewChart("", "x", "y", []float64{5, 5})
+	flat.AddSeries("s", []float64{7, 7}) // zero x and y spans
+	if out := flat.String(); strings.Contains(out, "NaN") || strings.Contains(out, "empty") {
+		t.Errorf("flat data mishandled:\n%s", out)
+	}
+	tiny := NewChart("", "x", "y", []float64{1})
+	tiny.Width = 2 // below minimum
+	tiny.AddSeries("s", []float64{1})
+	if !strings.Contains(tiny.String(), "empty chart") {
+		t.Error("undersized chart should degrade gracefully")
+	}
+}
+
+func TestChartShortSeries(t *testing.T) {
+	c := NewChart("", "x", "y", []float64{0, 1, 2, 3})
+	c.AddSeries("short", []float64{10, 20}) // fewer points than xs
+	if out := c.String(); strings.Contains(out, "panic") {
+		t.Errorf("short series mishandled:\n%s", out)
+	}
+}
+
+func TestSeriesChartCombinesTableAndPlot(t *testing.T) {
+	var b strings.Builder
+	err := SeriesChart(&b, "fig", "x", []float64{0, 1}, map[string][]float64{
+		"actual": {100, 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "== fig ==") {
+		t.Error("numeric table missing")
+	}
+	if !strings.Contains(out, "legend") {
+		t.Error("chart missing")
+	}
+}

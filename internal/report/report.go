@@ -1,0 +1,124 @@
+// Package report renders the experiment outputs: aligned text tables for
+// the paper's tables and x/series column dumps for its figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; missing cells render empty, extra cells are kept.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table with aligned columns.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	write := func(s string) error {
+		k, err := io.WriteString(w, s)
+		n += int64(k)
+		return err
+	}
+	if t.Title != "" {
+		if err := write("== " + t.Title + " ==\n"); err != nil {
+			return n, err
+		}
+	}
+	renderRow := func(cells []string) error {
+		var b strings.Builder
+		for i := 0; i < len(widths); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		return write(strings.TrimRight(b.String(), " ") + "\n")
+	}
+	if len(t.Headers) > 0 {
+		if err := renderRow(t.Headers); err != nil {
+			return n, err
+		}
+		total := len(widths)*2 - 2
+		for _, wd := range widths {
+			total += wd
+		}
+		if err := write(strings.Repeat("-", total) + "\n"); err != nil {
+			return n, err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := renderRow(row); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b) //nolint:errcheck // strings.Builder cannot fail
+	return b.String()
+}
+
+// Series renders figure data: one x column followed by one column per named
+// line, sorted by name for determinism.
+func Series(w io.Writer, title, xLabel string, xs []float64, lines map[string][]float64) error {
+	names := make([]string, 0, len(lines))
+	for n := range lines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := NewTable(title, append([]string{xLabel}, names...)...)
+	for i, x := range xs {
+		row := []string{F(x)}
+		for _, n := range names {
+			ys := lines[n]
+			if i < len(ys) {
+				row = append(row, F(ys[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Add(row...)
+	}
+	_, err := t.WriteTo(w)
+	return err
+}
+
+// F formats a float with one decimal, the precision the paper reports.
+func F(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals (rates, frequencies in GHz).
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("demo", "name", "value")
+	tbl.Add("a", "1.0")
+	tbl.Add("longer-name", "2.5")
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Errorf("missing title: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), s)
+	}
+	// The value column must start at the same offset in both data rows.
+	if strings.Index(lines[3], "1.0") != strings.Index(lines[4], "2.5") {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableHandlesRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.Add("x")
+	tbl.Add("y", "z", "extra")
+	s := tbl.String()
+	if !strings.Contains(s, "extra") {
+		t.Errorf("extra cell lost: %q", s)
+	}
+}
+
+func TestSeriesSortedColumns(t *testing.T) {
+	var b strings.Builder
+	err := Series(&b, "fig", "x", []float64{1, 2}, map[string][]float64{
+		"zeta":  {10, 20},
+		"alpha": {30}, // short series: last cell blank
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Errorf("series not sorted: %q", s)
+	}
+	if !strings.Contains(s, "30.0") || !strings.Contains(s, "20.0") {
+		t.Errorf("missing values: %q", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.25) != "1.2" && F(1.25) != "1.3" {
+		t.Errorf("F(1.25) = %q", F(1.25))
+	}
+	if F2(1.234) != "1.23" {
+		t.Errorf("F2 = %q", F2(1.234))
+	}
+}

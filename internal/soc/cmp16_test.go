@@ -1,0 +1,108 @@
+package soc
+
+import (
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+)
+
+// Integration tests of the 16-core CMP platform used by the §2.3 policy
+// study.
+
+func TestCMP16GroupCorun(t *testing.T) {
+	p := CMP16(memctrl.TCM)
+	if len(p.PUs) != 16 {
+		t.Fatalf("CMP16 has %d cores", len(p.PUs))
+	}
+	rc := QuickRunConfig()
+	pl := Placement{}
+	for i := 0; i < 8; i++ {
+		pl[i] = Kernel{Name: "low", DemandGBps: 30.0 / 8}
+	}
+	for i := 8; i < 16; i++ {
+		pl[i] = Kernel{Name: "high", DemandGBps: 90.0 / 8}
+	}
+	out, err := p.Run(pl, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowSum, highSum float64
+	for i := 0; i < 8; i++ {
+		lowSum += out.Results[i].AchievedGBps
+	}
+	for i := 8; i < 16; i++ {
+		highSum += out.Results[i].AchievedGBps
+	}
+	// Total demand 120 > effective capacity; the system must be saturated
+	// and both groups must make progress.
+	if lowSum <= 0 || highSum <= 0 {
+		t.Fatalf("group throughput: low %.1f, high %.1f", lowSum, highSum)
+	}
+	if out.EffectiveGBps > p.PeakGBps() {
+		t.Errorf("effective BW %.1f above peak %.1f", out.EffectiveGBps, p.PeakGBps())
+	}
+	if out.EffectiveGBps < 0.5*p.PeakGBps() {
+		t.Errorf("effective BW %.1f implausibly low for a saturating co-run", out.EffectiveGBps)
+	}
+}
+
+func TestFairnessPoliciesProtectAndFlatten(t *testing.T) {
+	// The §2.3 argument, on the virtual Xavier: a medium-demand CPU kernel
+	// under rising GPU pressure. Without fairness control the GPU's massive
+	// memory-level parallelism progressively crushes the CPU (FCFS);
+	// fairness-aware policies establish an equilibrium — a floor no worse
+	// than FCFS's and a flat tail (the contention balance point the PCCS
+	// model's CBP parameter encodes).
+	rc := QuickRunConfig()
+	tail := func(policy memctrl.PolicyKind) (rs123, rs137 float64) {
+		p := VirtualXavier()
+		p.Policy = policy
+		cpu, gpu := p.PUIndex("CPU"), p.PUIndex("GPU")
+		k := Kernel{Name: "med", DemandGBps: 40}
+		alone, err := p.Standalone(cpu, k, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measure := func(ext float64) float64 {
+			out, err := p.Run(Placement{cpu: k, gpu: ExternalPressure(ext)}, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return 100 * out.Results[cpu].AchievedGBps / alone.AchievedGBps
+		}
+		return measure(123), measure(137)
+	}
+	_, fcfsFinal := tail(memctrl.FCFS)
+	for _, policy := range []memctrl.PolicyKind{memctrl.ATLAS, memctrl.TCM, memctrl.SMS} {
+		rs123, rs137 := tail(policy)
+		if rs137 < fcfsFinal-2 {
+			t.Errorf("%v final RS %.1f below FCFS %.1f: fairness policy protects worse than none",
+				policy, rs137, fcfsFinal)
+		}
+		if diff := rs123 - rs137; diff > 5 || diff < -5 {
+			t.Errorf("%v tail not flat: RS(123)=%.1f RS(137)=%.1f", policy, rs123, rs137)
+		}
+	}
+}
+
+func TestPolicyChangesAreObservable(t *testing.T) {
+	// Different scheduling policies must actually change co-run outcomes
+	// (guards against the policy plumbing being ignored).
+	rc := QuickRunConfig()
+	results := map[memctrl.PolicyKind]float64{}
+	for _, policy := range []memctrl.PolicyKind{memctrl.FCFS, memctrl.TCM} {
+		p := CMP16(policy)
+		pl := Placement{}
+		for i := 0; i < 16; i++ {
+			pl[i] = Kernel{Name: "c", DemandGBps: 8}
+		}
+		out, err := p.Run(pl, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[policy] = out.RowHitRate
+	}
+	if results[memctrl.FCFS] == results[memctrl.TCM] {
+		t.Error("FCFS and TCM produced identical row-hit rates; policies may not be wired")
+	}
+}

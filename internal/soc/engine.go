@@ -1,0 +1,306 @@
+package soc
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+// RunConfig controls the length of a simulation.
+type RunConfig struct {
+	// WarmupCycles run before measurement starts (queues fill, row buffers
+	// and fairness state reach steady state).
+	WarmupCycles int64
+	// MeasureCycles is the length of the measurement window.
+	MeasureCycles int64
+}
+
+// DefaultRunConfig gives a window long enough for the memory controller's
+// fairness state to converge (several TCM/ATLAS quanta of warm-up) and for
+// stable bandwidth estimates (≈0.35 ms of simulated time measured).
+func DefaultRunConfig() RunConfig {
+	return RunConfig{WarmupCycles: 250_000, MeasureCycles: 500_000}
+}
+
+// QuickRunConfig is a shorter window for tests and sweeps; warm-up still
+// spans enough scheduler quanta to reach steady-state clustering.
+func QuickRunConfig() RunConfig {
+	return RunConfig{WarmupCycles: 150_000, MeasureCycles: 200_000}
+}
+
+// PUResult is the measured outcome for one PU in one run.
+type PUResult struct {
+	PU           int
+	Kernel       string
+	DemandGBps   float64
+	AchievedGBps float64
+	// MeanLatencyCycles is the average request latency over the window.
+	MeanLatencyCycles float64
+	// RelativeSpeed is achieved/standalone-achieved; it is populated by
+	// RelativeSpeeds and zero in raw Run results.
+	RelativeSpeed float64
+}
+
+// RunOutcome is the result of one simulation.
+type RunOutcome struct {
+	Results map[int]PUResult
+	// RowHitRate and EffectiveGBps summarize the memory system over the
+	// measurement window (paper Table 3 metrics).
+	RowHitRate    float64
+	EffectiveGBps float64
+}
+
+// event kinds for the discrete-event engine.
+const (
+	evIssue = iota
+	evPick
+	evComplete
+	evWindow
+)
+
+type event struct {
+	at   int64
+	seq  int64
+	kind int
+	idx  int // generator index (evIssue/evComplete) or channel (evPick)
+	req  *memctrl.Request
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Run simulates the placement on the platform and returns per-PU achieved
+// bandwidths and memory-system statistics over the measurement window.
+func (p *Platform) Run(pl Placement, rc RunConfig) (*RunOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rc.MeasureCycles <= 0 {
+		return nil, fmt.Errorf("soc: non-positive measurement window")
+	}
+
+	// One controller per MC: channels are block-partitioned and each
+	// controller schedules its share with a private policy instance (the
+	// multi-MC extension of §5; the presets use a single controller).
+	nMC := p.NumMCs()
+	perMC := p.Mem.Channels / nMC
+	mcMem := p.Mem
+	mcMem.Channels = perMC
+	ctrls := make([]*memctrl.Controller, nMC)
+	for i := range ctrls {
+		c, err := memctrl.New(memctrl.Config{
+			Mem: mcMem, Policy: p.Policy, NumSources: len(p.PUs), Seed: p.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctrls[i] = c
+	}
+	mapper := dram.NewMapper(p.Mem)
+	route := func(gch int) (mc, lch int) { return gch / perMC, gch % perMC }
+
+	// Deterministic iteration: placements are maps, but event seeding must
+	// not depend on map order.
+	pus := make([]int, 0, len(pl))
+	for pu := range pl {
+		pus = append(pus, pu)
+	}
+	sort.Ints(pus)
+
+	gens := make(map[int]*traffic.Generator)
+	for _, pu := range pus {
+		k := pl[pu]
+		if pu < 0 || pu >= len(p.PUs) {
+			return nil, fmt.Errorf("soc: placement names PU %d, platform has %d", pu, len(p.PUs))
+		}
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		if k.DemandGBps == 0 {
+			continue
+		}
+		arch := p.PUs[pu]
+		spec := traffic.Spec{
+			Name:        k.Name,
+			DemandGBps:  k.DemandGBps,
+			Outstanding: arch.Outstanding,
+			RunLines:    arch.RunLines,
+			Streams:     arch.Streams,
+		}
+		if k.Outstanding > 0 {
+			spec.Outstanding = k.Outstanding
+		}
+		if k.RunLines > 0 {
+			spec.RunLines = k.RunLines
+		}
+		if k.Streams > 0 {
+			spec.Streams = k.Streams
+		}
+		g, err := traffic.NewGenerator(spec, pu, p.Mem, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("soc: PU %d (%s): %w", pu, arch.Name, err)
+		}
+		gens[pu] = g
+	}
+
+	end := rc.WarmupCycles + rc.MeasureCycles
+	var h eventHeap
+	var seq int64
+	push := func(at int64, kind, idx int, req *memctrl.Request) {
+		seq++
+		heap.Push(&h, event{at: at, seq: seq, kind: kind, idx: idx, req: req})
+	}
+
+	for _, pu := range pus {
+		g, ok := gens[pu]
+		if !ok {
+			continue
+		}
+		if t, ok := g.NextIssueTime(0); ok {
+			push(t, evIssue, pu, nil)
+		}
+	}
+	if rc.WarmupCycles > 0 {
+		push(rc.WarmupCycles, evWindow, 0, nil)
+	}
+
+	pickScheduled := make([]bool, p.Mem.Channels)
+	schedulePick := func(gch int, now int64) {
+		mc, lch := route(gch)
+		if !pickScheduled[gch] && ctrls[mc].QueueLen(lch) > 0 {
+			pickScheduled[gch] = true
+			push(ctrls[mc].PickTime(lch, now), evPick, gch, nil)
+		}
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.at > end {
+			break
+		}
+		now := e.at
+		switch e.kind {
+		case evWindow:
+			for _, c := range ctrls {
+				c.ResetStats(now)
+			}
+			for _, g := range gens {
+				g.ResetWindow()
+			}
+		case evIssue:
+			g := gens[e.idx]
+			if !g.CanIssue() {
+				g.MarkBlocked()
+				break
+			}
+			addr := g.Issue(now)
+			loc := mapper.Decode(addr)
+			gch := loc.Channel
+			mc, lch := route(gch)
+			loc.Channel = lch
+			ctrls[mc].EnqueueAt(e.idx, loc, false, now)
+			schedulePick(gch, now)
+			if t, ok := g.NextIssueTime(now); ok {
+				push(t, evIssue, e.idx, nil)
+			}
+		case evPick:
+			gch := e.idx
+			pickScheduled[gch] = false
+			mc, lch := route(gch)
+			r := ctrls[mc].Pick(lch, now)
+			if r != nil {
+				push(r.DoneAt, evComplete, r.Source, r)
+			}
+			schedulePick(gch, now)
+		case evComplete:
+			g := gens[e.idx]
+			if g.OnComplete(now, e.req.EnqueuedAt) {
+				if t, ok := g.NextIssueTime(now); ok {
+					push(t, evIssue, e.idx, nil)
+				}
+			}
+		}
+	}
+
+	out := &RunOutcome{Results: make(map[int]PUResult, len(pl))}
+	var accesses, hits, servedBytes int64
+	for _, c := range ctrls {
+		st := c.Stats()
+		accesses += st.Accesses
+		hits += st.RowHits
+		servedBytes += st.ServedBytes(p.Mem.LineBytes)
+	}
+	if accesses > 0 {
+		out.RowHitRate = float64(hits) / float64(accesses)
+	}
+	seconds := float64(rc.MeasureCycles) / p.Mem.CyclesPerSecond()
+	out.EffectiveGBps = float64(servedBytes) / 1e9 / seconds
+	for pu, k := range pl {
+		res := PUResult{PU: pu, Kernel: k.Name, DemandGBps: k.DemandGBps}
+		if g, ok := gens[pu]; ok {
+			res.AchievedGBps = g.AchievedGBps(rc.MeasureCycles)
+			res.MeanLatencyCycles = g.MeanLatencyCycles()
+		}
+		out.Results[pu] = res
+	}
+	return out, nil
+}
+
+// Standalone measures the kernel running alone on the PU.
+func (p *Platform) Standalone(pu int, k Kernel, rc RunConfig) (PUResult, error) {
+	out, err := p.Run(Placement{pu: k}, rc)
+	if err != nil {
+		return PUResult{}, err
+	}
+	r := out.Results[pu]
+	r.RelativeSpeed = 1
+	return r, nil
+}
+
+// RelativeSpeeds runs the placement standalone-then-co-run and fills each
+// result's RelativeSpeed with achieved-corun / achieved-standalone — the
+// paper's "achieved relative speed" (RS).
+func (p *Platform) RelativeSpeeds(pl Placement, rc RunConfig) (map[int]PUResult, error) {
+	alone := make(map[int]float64, len(pl))
+	for pu, k := range pl {
+		if k.DemandGBps == 0 {
+			alone[pu] = 0
+			continue
+		}
+		res, err := p.Standalone(pu, k, rc)
+		if err != nil {
+			return nil, err
+		}
+		alone[pu] = res.AchievedGBps
+	}
+	out, err := p.Run(pl, rc)
+	if err != nil {
+		return nil, err
+	}
+	for pu, res := range out.Results {
+		if alone[pu] > 0 {
+			res.RelativeSpeed = res.AchievedGBps / alone[pu]
+			if res.RelativeSpeed > 1 {
+				res.RelativeSpeed = 1
+			}
+		} else {
+			res.RelativeSpeed = 1
+		}
+		out.Results[pu] = res
+	}
+	return out.Results, nil
+}

@@ -1,0 +1,208 @@
+package soc
+
+import (
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+)
+
+func TestPlatformValidate(t *testing.T) {
+	for _, p := range []*Platform{VirtualXavier(), VirtualSnapdragon(), CMP16(memctrl.ATLAS)} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := VirtualXavier()
+	bad.PUs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("platform without PUs accepted")
+	}
+	bad2 := VirtualXavier()
+	bad2.PUs[0].Outstanding = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("PU with zero MLP accepted")
+	}
+}
+
+func TestPUIndex(t *testing.T) {
+	p := VirtualXavier()
+	if got := p.PUIndex("GPU"); got != 1 {
+		t.Errorf("PUIndex(GPU) = %d, want 1", got)
+	}
+	if got := p.PUIndex("NPU"); got != -1 {
+		t.Errorf("PUIndex(NPU) = %d, want -1", got)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	p := VirtualXavier()
+	if _, err := p.Run(Placement{99: ExternalPressure(10)}, QuickRunConfig()); err == nil {
+		t.Error("out-of-range PU accepted")
+	}
+	if _, err := p.Run(Placement{0: Kernel{Name: "neg", DemandGBps: -1}}, QuickRunConfig()); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := p.Run(Placement{}, RunConfig{}); err == nil {
+		t.Error("zero measurement window accepted")
+	}
+}
+
+func TestStandaloneAchievesDemandBelowSaturation(t *testing.T) {
+	p := VirtualXavier()
+	for _, demand := range []float64{10, 40, 80} {
+		res, err := p.Standalone(1, Kernel{Name: "k", DemandGBps: demand}, QuickRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := res.AchievedGBps / demand; rel < 0.93 || rel > 1.02 {
+			t.Errorf("standalone %v GB/s: achieved %.2f GB/s (%.1f%%), want ≈100%%",
+				demand, res.AchievedGBps, rel*100)
+		}
+		if res.RelativeSpeed != 1 {
+			t.Errorf("standalone relative speed = %v, want 1", res.RelativeSpeed)
+		}
+	}
+}
+
+func TestAchievedNeverExceedsDemandOrPeak(t *testing.T) {
+	p := VirtualXavier()
+	for _, demand := range []float64{5, 60, 120, 200} {
+		res, err := p.Standalone(1, Kernel{Name: "k", DemandGBps: demand}, QuickRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AchievedGBps > demand*1.01 {
+			t.Errorf("achieved %.2f exceeds demand %.2f", res.AchievedGBps, demand)
+		}
+		if res.AchievedGBps > p.PeakGBps()*1.01 {
+			t.Errorf("achieved %.2f exceeds peak %.2f", res.AchievedGBps, p.PeakGBps())
+		}
+	}
+}
+
+func TestCorunContentionSlowsHighDemandKernel(t *testing.T) {
+	p := VirtualXavier()
+	rc := QuickRunConfig()
+	res, err := p.RelativeSpeeds(Placement{
+		1: Kernel{Name: "hog", DemandGBps: 100},
+		0: ExternalPressure(80),
+	}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res[1].RelativeSpeed
+	if rs >= 0.95 {
+		t.Errorf("100 GB/s kernel under 80 GB/s external pressure: RS = %.3f, want noticeable slowdown", rs)
+	}
+	if rs <= 0.2 {
+		t.Errorf("RS = %.3f, implausibly slow (fairness should protect it)", rs)
+	}
+}
+
+func TestCorunLowDemandKernelBarelySlows(t *testing.T) {
+	p := VirtualXavier()
+	res, err := p.RelativeSpeeds(Placement{
+		0: Kernel{Name: "light", DemandGBps: 8},
+		1: ExternalPressure(100),
+	}, QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := res[0].RelativeSpeed; rs < 0.80 {
+		t.Errorf("8 GB/s kernel under 100 GB/s pressure: RS = %.3f, want ≥ 0.80 (minor contention)", rs)
+	}
+}
+
+func TestRelativeSpeedMonotoneInPressure(t *testing.T) {
+	// Higher external pressure must not make the observed kernel faster
+	// (beyond measurement noise).
+	p := VirtualXavier()
+	rc := QuickRunConfig()
+	prev := math.Inf(1)
+	for _, ext := range []float64{0, 40, 80, 120} {
+		pl := Placement{1: Kernel{Name: "k", DemandGBps: 60}}
+		if ext > 0 {
+			pl[0] = ExternalPressure(ext)
+		}
+		res, err := p.RelativeSpeeds(pl, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := res[1].RelativeSpeed
+		if rs > prev+0.03 {
+			t.Errorf("RS increased with pressure: %.3f → %.3f at ext=%v", prev, rs, ext)
+		}
+		prev = rs
+	}
+}
+
+func TestRunOutcomeStats(t *testing.T) {
+	p := VirtualXavier()
+	out, err := p.Run(Placement{1: Kernel{Name: "k", DemandGBps: 60}}, QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.RowHitRate <= 0 || out.RowHitRate > 1 {
+		t.Errorf("row hit rate = %v", out.RowHitRate)
+	}
+	if out.EffectiveGBps <= 0 || out.EffectiveGBps > p.PeakGBps() {
+		t.Errorf("effective BW = %v", out.EffectiveGBps)
+	}
+	if out.Results[1].MeanLatencyCycles <= 0 {
+		t.Errorf("mean latency = %v", out.Results[1].MeanLatencyCycles)
+	}
+}
+
+func TestIdleKernelAndZeroDemand(t *testing.T) {
+	p := VirtualXavier()
+	res, err := p.RelativeSpeeds(Placement{
+		0: Kernel{Name: "idle", DemandGBps: 0},
+		1: Kernel{Name: "k", DemandGBps: 30},
+	}, QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := res[0].RelativeSpeed; rs != 1 {
+		t.Errorf("idle kernel RS = %v, want 1", rs)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	p := VirtualXavier()
+	pl := Placement{0: ExternalPressure(50), 1: Kernel{Name: "k", DemandGBps: 70}}
+	a, err := p.Run(pl, QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(pl, QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Results[1].AchievedGBps != b.Results[1].AchievedGBps {
+		t.Errorf("same seed, different results: %v vs %v",
+			a.Results[1].AchievedGBps, b.Results[1].AchievedGBps)
+	}
+}
+
+func TestScaleMemoryHalvesPeak(t *testing.T) {
+	p := VirtualXavier()
+	s := p.ScaleMemory(0.5)
+	if got, want := s.PeakGBps(), p.PeakGBps()/2; math.Abs(got-want) > 0.01 {
+		t.Errorf("scaled peak = %v, want %v", got, want)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled platform invalid: %v", err)
+	}
+}
+
+func TestPUKindString(t *testing.T) {
+	for k, s := range map[PUKind]string{CPU: "CPU", GPU: "GPU", DLA: "DLA", Core: "Core"} {
+		if k.String() != s {
+			t.Errorf("%d → %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if PUKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,39 @@
+package soc
+
+import "fmt"
+
+// Kernel describes a piece of work placed on one PU: everything the
+// simulator needs to reproduce its memory behaviour. Following the paper's
+// processor-centric view, a kernel is characterized by its standalone
+// bandwidth demand; locality and MLP refine the simulation and default to
+// the host PU's archetype values.
+type Kernel struct {
+	Name string
+	// DemandGBps is the kernel's standalone bandwidth demand in GB/s.
+	DemandGBps float64
+	// RunLines overrides the PU's sequential run length when > 0.
+	RunLines int
+	// Outstanding overrides the PU's memory-level parallelism when > 0.
+	Outstanding int
+	// Streams overrides the PU's concurrent stream count when > 0.
+	Streams int
+}
+
+// Validate reports whether the kernel is usable.
+func (k Kernel) Validate() error {
+	if k.DemandGBps < 0 {
+		return fmt.Errorf("soc: kernel %q has negative demand", k.Name)
+	}
+	return nil
+}
+
+// ExternalPressure is a convenience constructor for the synthetic external
+// bandwidth demand used throughout the paper's characterization: a pure
+// streaming traffic generator with the given demand.
+func ExternalPressure(demandGBps float64) Kernel {
+	return Kernel{Name: fmt.Sprintf("ext-%.0fGBps", demandGBps), DemandGBps: demandGBps}
+}
+
+// Placement maps PU indices to the kernels they run. PUs absent from the
+// map are idle.
+type Placement map[int]Kernel

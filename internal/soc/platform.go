@@ -1,0 +1,196 @@
+// Package soc simulates a heterogeneous shared-memory SoC: processing units
+// issuing paced memory request streams into a shared, fairness-controlled
+// memory controller over multi-channel DRAM. It provides the "ground truth"
+// co-run measurements the PCCS model is constructed from and validated
+// against — standing in for the NVIDIA Jetson AGX Xavier and Qualcomm
+// Snapdragon 855 used by the paper.
+package soc
+
+import (
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+)
+
+// PUKind classifies processing-unit archetypes.
+type PUKind int
+
+const (
+	// CPU: moderate memory-level parallelism, moderate locality.
+	CPU PUKind = iota
+	// GPU: massive thread-level parallelism hides latency (large MLP) and
+	// streams long sequential runs.
+	GPU
+	// DLA: specialized inference engine with little thread-level
+	// parallelism to hide memory latency (small MLP) — the reason the DLA
+	// has no minor-contention region in the paper (Table 7: Normal BW = 0).
+	DLA
+	// Core: one generic CMP core, used by the 16-core memory-controller
+	// study platform (paper Table 1).
+	Core
+)
+
+func (k PUKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case DLA:
+		return "DLA"
+	case Core:
+		return "Core"
+	default:
+		return fmt.Sprintf("PUKind(%d)", int(k))
+	}
+}
+
+// PU describes one processing unit on the SoC: the parameters that shape how
+// its memory stream behaves under contention.
+type PU struct {
+	Name string
+	Kind PUKind
+	// Outstanding is the PU's memory-level parallelism: the number of
+	// in-flight line requests it sustains.
+	Outstanding int
+	// RunLines is the default sequential run length (locality) of kernels
+	// on this PU; individual kernels may override it.
+	RunLines int
+	// Streams is the number of concurrent address streams the PU's memory
+	// traffic interleaves (≈ cores or SM clusters).
+	Streams int
+	// MaxFreqMHz is the PU's maximum clock, used by frequency exploration.
+	MaxFreqMHz float64
+}
+
+// Platform is a complete SoC configuration.
+type Platform struct {
+	Name   string
+	Mem    dram.Config
+	Policy memctrl.PolicyKind
+	PUs    []PU
+	Seed   int64
+	// MCs is the number of memory controllers; the platform's channels are
+	// block-partitioned across them and each controller runs its own
+	// scheduling policy instance with private fairness state. Zero or one
+	// selects the single-controller design the paper's target SoCs use
+	// (§5 discusses the multi-MC extension this implements). Must divide
+	// the channel count.
+	MCs int
+}
+
+// Validate checks the platform for internal consistency.
+func (p *Platform) Validate() error {
+	if err := p.Mem.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", p.Name, err)
+	}
+	if len(p.PUs) == 0 {
+		return fmt.Errorf("platform %s: no PUs", p.Name)
+	}
+	for i, pu := range p.PUs {
+		if pu.Outstanding < 1 {
+			return fmt.Errorf("platform %s: PU %d (%s) outstanding < 1", p.Name, i, pu.Name)
+		}
+		if pu.RunLines < 1 {
+			return fmt.Errorf("platform %s: PU %d (%s) run lines < 1", p.Name, i, pu.Name)
+		}
+	}
+	if p.MCs > 1 && p.Mem.Channels%p.MCs != 0 {
+		return fmt.Errorf("platform %s: %d channels not divisible across %d MCs", p.Name, p.Mem.Channels, p.MCs)
+	}
+	return nil
+}
+
+// NumMCs returns the effective memory-controller count (at least 1).
+func (p *Platform) NumMCs() int {
+	if p.MCs > 1 {
+		return p.MCs
+	}
+	return 1
+}
+
+// PUIndex returns the index of the PU with the given name, or -1.
+func (p *Platform) PUIndex(name string) int {
+	for i, pu := range p.PUs {
+		if pu.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// PeakGBps is the theoretical peak memory bandwidth of the platform.
+func (p *Platform) PeakGBps() float64 { return p.Mem.PeakGBps() }
+
+// ScaleMemory returns a copy of the platform with the memory clock scaled by
+// ratio (the §3.3 scenario: same SoC, different memory generation).
+func (p *Platform) ScaleMemory(ratio float64) *Platform {
+	s := *p
+	s.Mem = p.Mem.Scale(ratio)
+	s.Name = fmt.Sprintf("%s-mem-x%.3g", p.Name, ratio)
+	s.PUs = append([]PU(nil), p.PUs...)
+	return &s
+}
+
+// VirtualXavier models the NVIDIA Jetson AGX Xavier (paper Table 6):
+// 8-core Carmel CPU, Volta GPU, DLA, sharing 137 GB/s of LPDDR4x behind a
+// fairness-controlled memory controller. PU indices: 0 CPU, 1 GPU, 2 DLA.
+//
+// The MLP and locality parameters are calibrated so the simulated PUs show
+// the paper's qualitative contrasts: the GPU hides latency best and streams
+// hardest; the CPU sits in the middle; the DLA has so little latency hiding
+// that any external pressure slows it (no minor region).
+func VirtualXavier() *Platform {
+	return &Platform{
+		Name:   "virtual-xavier",
+		Mem:    dram.XavierLPDDR4X(),
+		Policy: memctrl.TCM,
+		Seed:   1,
+		PUs: []PU{
+			{Name: "CPU", Kind: CPU, Outstanding: 160, RunLines: 128, Streams: 8, MaxFreqMHz: 2265},
+			{Name: "GPU", Kind: GPU, Outstanding: 512, RunLines: 512, Streams: 32, MaxFreqMHz: 1377},
+			{Name: "DLA", Kind: DLA, Outstanding: 16, RunLines: 256, Streams: 4, MaxFreqMHz: 1395},
+		},
+	}
+}
+
+// VirtualSnapdragon models the Qualcomm Snapdragon 855 (paper Table 6):
+// Kryo CPU and Adreno 640 GPU over 34 GB/s of LPDDR4x.
+// PU indices: 0 CPU, 1 GPU.
+func VirtualSnapdragon() *Platform {
+	return &Platform{
+		Name:   "virtual-snapdragon",
+		Mem:    dram.SnapdragonLPDDR4X(),
+		Policy: memctrl.TCM,
+		Seed:   2,
+		PUs: []PU{
+			{Name: "CPU", Kind: CPU, Outstanding: 96, RunLines: 128, Streams: 8, MaxFreqMHz: 1800},
+			{Name: "GPU", Kind: GPU, Outstanding: 256, RunLines: 512, Streams: 16, MaxFreqMHz: 585},
+		},
+	}
+}
+
+// CMP16 models the paper's memory-controller validation platform (Table 1):
+// a 16-core x86 CMP over DDR4-3200. Cores 0–7 form the low-bandwidth group
+// and cores 8–15 the high-bandwidth group (§2.3). The policy is chosen per
+// experiment.
+func CMP16(policy memctrl.PolicyKind) *Platform {
+	p := &Platform{
+		Name:   fmt.Sprintf("cmp16-%s", policy),
+		Mem:    dram.CMPDDR4(),
+		Policy: policy,
+		Seed:   3,
+	}
+	for i := 0; i < 16; i++ {
+		p.PUs = append(p.PUs, PU{
+			Name:        fmt.Sprintf("core%d", i),
+			Kind:        Core,
+			Outstanding: 24,
+			RunLines:    128,
+			Streams:     2,
+			MaxFreqMHz:  2200,
+		})
+	}
+	return p
+}

@@ -1,0 +1,96 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to compare model predictions against measured ground truth.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Max returns the maximum, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// AbsErr is the absolute difference |predicted − actual|.
+func AbsErr(predicted, actual float64) float64 { return math.Abs(predicted - actual) }
+
+// ErrorTracker accumulates per-point prediction errors, in the units of the
+// quantity compared (the experiments compare achieved relative speeds in
+// percentage points, matching how the paper reports errors).
+type ErrorTracker struct {
+	Name string
+	errs []float64
+}
+
+// NewErrorTracker names a tracker (e.g. "PCCS" or "Gables").
+func NewErrorTracker(name string) *ErrorTracker { return &ErrorTracker{Name: name} }
+
+// Add records a prediction/actual pair.
+func (e *ErrorTracker) Add(predicted, actual float64) {
+	e.errs = append(e.errs, AbsErr(predicted, actual))
+}
+
+// Count returns the number of recorded points.
+func (e *ErrorTracker) Count() int { return len(e.errs) }
+
+// MeanAbs returns the mean absolute error.
+func (e *ErrorTracker) MeanAbs() float64 { return Mean(e.errs) }
+
+// MaxAbs returns the worst-case absolute error.
+func (e *ErrorTracker) MaxAbs() float64 {
+	if len(e.errs) == 0 {
+		return 0
+	}
+	return Max(e.errs)
+}
+
+// String renders a one-line summary.
+func (e *ErrorTracker) String() string {
+	return fmt.Sprintf("%s: mean |err| %.2f, max %.2f over %d points",
+		e.Name, e.MeanAbs(), e.MaxAbs(), e.Count())
+}

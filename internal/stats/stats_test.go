@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := Mean(xs); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty mean/median should be 0")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty max/min should be ∓Inf")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorTracker(t *testing.T) {
+	e := NewErrorTracker("PCCS")
+	if e.MeanAbs() != 0 || e.MaxAbs() != 0 || e.Count() != 0 {
+		t.Error("fresh tracker should be zero")
+	}
+	e.Add(90, 95)
+	e.Add(80, 70)
+	if e.Count() != 2 {
+		t.Errorf("Count = %d", e.Count())
+	}
+	if got := e.MeanAbs(); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("MeanAbs = %v", got)
+	}
+	if got := e.MaxAbs(); got != 10 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if s := e.String(); !strings.Contains(s, "PCCS") || !strings.Contains(s, "7.50") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,42 @@
+package traffic
+
+import "fmt"
+
+// Calibrators are the controllable traffic generators of the PCCS
+// methodology (paper §3.2): synthetic vector-add/multiply kernels whose
+// operational intensity is adjusted to hit a ladder of standalone bandwidth
+// demands. Running them against a ladder of external demands produces the
+// rela[n][m] matrix the model parameters are extracted from.
+
+// CalibratorLadder returns n calibrator specs with demands stepping from
+// step GB/s to n×step GB/s, the shape used in §2.3 (6–60 GB/s in 6 GB/s
+// steps for the low group, 9–90 GB/s in 9 GB/s steps for the high group)
+// and in the model construction sweeps.
+func CalibratorLadder(n int, stepGBps float64, outstanding, runLines int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		d := stepGBps * float64(i+1)
+		specs[i] = Spec{
+			Name:        fmt.Sprintf("cal-%.0fGBps", d),
+			DemandGBps:  d,
+			Outstanding: outstanding,
+			RunLines:    runLines,
+		}
+	}
+	return specs
+}
+
+// CalibratorRange returns calibrator specs covering [lo, hi] GB/s with the
+// given step (inclusive on both ends when the step divides the range).
+func CalibratorRange(lo, hi, stepGBps float64, outstanding, runLines int) []Spec {
+	var specs []Spec
+	for d := lo; d <= hi+1e-9; d += stepGBps {
+		specs = append(specs, Spec{
+			Name:        fmt.Sprintf("cal-%.0fGBps", d),
+			DemandGBps:  d,
+			Outstanding: outstanding,
+			RunLines:    runLines,
+		})
+	}
+	return specs
+}

@@ -1,0 +1,276 @@
+// Package traffic implements the memory traffic generators used throughout
+// the reproduction: the calibrators of the PCCS methodology ("controllable
+// memory traffic generators", paper §3.2) and the per-PU request streams of
+// co-running kernels.
+//
+// A generator is a paced closed loop. Pacing expresses the kernel's
+// standalone bandwidth demand (one line every lineBytes/demand seconds);
+// the closed loop expresses the processor's memory-level parallelism: at
+// most Outstanding requests may be in flight, so rising memory latency
+// throttles the stream exactly as it throttles a real processing unit.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+// Spec describes a synthetic memory traffic stream.
+type Spec struct {
+	// Name labels the stream in results.
+	Name string
+	// DemandGBps is the standalone bandwidth demand in GB/s (1e9 bytes/s):
+	// the rate at which the kernel would consume memory with a perfectly
+	// responsive memory system. This is the paper's "bandwidth demand".
+	DemandGBps float64
+	// Outstanding is the maximum number of in-flight requests (the
+	// processor's memory-level parallelism). Must be ≥ 1.
+	Outstanding int
+	// RunLines is the number of consecutive cache lines accessed before
+	// jumping to a fresh row-aligned location. Long runs give high row-
+	// buffer locality (streaming kernels); RunLines of 1-2 model poor
+	// locality (pointer chasing, e.g. bfs). Must be ≥ 1.
+	RunLines int
+	// Streams is the number of concurrent sequential address streams the
+	// processor walks (cores of a CPU, SM clusters of a GPU). Requests
+	// round-robin across streams in chunks, diluting per-bank residency —
+	// a single stream would park the PU's whole memory-level parallelism
+	// on one bank at a time, which no multi-core processor does. Zero
+	// means 1.
+	Streams int
+	// ChunkLines is the number of consecutive lines issued from one stream
+	// before switching to the next: the sequential burst a miss stream
+	// presents to the memory controller, which is what row-hit batching
+	// feeds on. Zero picks a default (32, capped at RunLines).
+	ChunkLines int
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	switch {
+	case s.DemandGBps < 0:
+		return fmt.Errorf("traffic: negative demand %v", s.DemandGBps)
+	case s.Outstanding < 1:
+		return fmt.Errorf("traffic: outstanding must be ≥ 1, got %d", s.Outstanding)
+	case s.RunLines < 1:
+		return fmt.Errorf("traffic: run lines must be ≥ 1, got %d", s.RunLines)
+	case s.Streams < 0:
+		return fmt.Errorf("traffic: negative stream count %d", s.Streams)
+	case s.ChunkLines < 0:
+		return fmt.Errorf("traffic: negative chunk lines %d", s.ChunkLines)
+	}
+	return nil
+}
+
+// Generator produces the request stream for one source.
+type Generator struct {
+	spec   Spec
+	source int
+	mem    dram.Config
+	rng    *rand.Rand
+
+	cyclesPerLine float64 // pacing interval implied by the demand
+	regionBase    int64   // private address region of this source
+	regionRows    int64   // row-groups available to jump between
+
+	cursors   []int64 // next address per stream
+	runsLeft  []int   // lines remaining in each stream's sequential run
+	stream    int     // round-robin pointer
+	chunk     int     // effective chunk size
+	chunkLeft int     // lines before switching streams
+	inflight  int
+	blocked   bool // an issue was attempted while at the outstanding limit
+
+	// Pacing is a token bucket: tokens accrue at the demand rate up to
+	// bucket capacity, and each issue consumes one. The capacity (one
+	// chunk) makes arrivals bursty the way cache-miss streams are — after
+	// a stall the processor issues a burst of misses back to back — which
+	// is what gives memory schedulers same-row batches to chain. The
+	// bucket never accrues beyond its capacity, so a long stall does not
+	// turn into unbounded catch-up.
+	tokens     float64
+	bucket     float64
+	lastRefill int64
+
+	issued         int64
+	completed      int64
+	windowIssued   int64
+	windowComplete int64
+	latencySum     int64 // completion-time − issue-time, summed over window
+}
+
+// NewGenerator builds a generator for the given source index. Each source
+// gets a disjoint address region so co-running streams never share rows,
+// matching co-located kernels operating on separate working sets.
+func NewGenerator(spec Spec, source int, mem dram.Config, seed int64) (*Generator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mem.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		spec:       spec,
+		source:     source,
+		mem:        mem,
+		rng:        rand.New(rand.NewSource(seed ^ int64(source)*0x5851F42D4C957F2D)),
+		regionBase: int64(source+1) << 36,
+		regionRows: 1 << 14,
+	}
+	if spec.DemandGBps > 0 {
+		bytesPerCycle := spec.DemandGBps * 1e9 / mem.CyclesPerSecond()
+		g.cyclesPerLine = float64(mem.LineBytes) / bytesPerCycle
+	}
+	streams := spec.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	g.chunk = spec.ChunkLines
+	if g.chunk == 0 {
+		g.chunk = 32
+	}
+	if g.chunk > spec.RunLines {
+		g.chunk = spec.RunLines
+	}
+	g.chunkLeft = g.chunk
+	g.bucket = float64(g.chunk)
+	if g.bucket > float64(spec.Outstanding) {
+		g.bucket = float64(spec.Outstanding)
+	}
+	g.tokens = g.bucket // start ready to burst
+	g.cursors = make([]int64, streams)
+	g.runsLeft = make([]int, streams)
+	for i := range g.cursors {
+		g.jump(i)
+	}
+	return g, nil
+}
+
+// refill accrues pacing tokens up to the bucket capacity.
+func (g *Generator) refill(now int64) {
+	if g.cyclesPerLine <= 0 {
+		return
+	}
+	if now > g.lastRefill {
+		g.tokens += float64(now-g.lastRefill) / g.cyclesPerLine
+		if g.tokens > g.bucket {
+			g.tokens = g.bucket
+		}
+		g.lastRefill = now
+	}
+}
+
+// Spec returns the stream description.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Source returns the source index the generator issues as.
+func (g *Generator) Source() int { return g.source }
+
+// jump moves one stream's cursor to a fresh row-group-aligned location.
+func (g *Generator) jump(stream int) {
+	rowSpan := int64(g.mem.RowBytes * g.mem.Channels)
+	g.cursors[stream] = g.regionBase + (g.rng.Int63n(g.regionRows))*rowSpan
+	g.runsLeft[stream] = g.spec.RunLines
+}
+
+// NextIssueTime returns the earliest cycle ≥ now at which the generator may
+// issue its next request under pacing, or false if the stream is inactive
+// (zero demand).
+func (g *Generator) NextIssueTime(now int64) (int64, bool) {
+	if g.spec.DemandGBps <= 0 {
+		return 0, false
+	}
+	g.refill(now)
+	if g.tokens >= 1 {
+		return now, true
+	}
+	wait := (1 - g.tokens) * g.cyclesPerLine
+	return now + int64(wait) + 1, true
+}
+
+// CanIssue reports whether the closed loop has a free in-flight slot.
+func (g *Generator) CanIssue() bool { return g.inflight < g.spec.Outstanding }
+
+// Issue produces the next request address at cycle now. The caller must
+// have checked CanIssue. Pacing consumes one token; a kernel stalled by
+// memory saves up at most one bucket (one chunk) of issue slots.
+func (g *Generator) Issue(now int64) int64 {
+	s := g.stream
+	addr := g.cursors[s]
+	g.cursors[s] += int64(g.mem.LineBytes)
+	g.runsLeft[s]--
+	if g.runsLeft[s] <= 0 {
+		g.jump(s)
+	}
+	g.chunkLeft--
+	if g.chunkLeft <= 0 {
+		g.stream = (g.stream + 1) % len(g.cursors)
+		g.chunkLeft = g.chunk
+	}
+	g.inflight++
+	g.issued++
+	g.windowIssued++
+	g.refill(now)
+	g.tokens--
+	if g.tokens < 0 {
+		g.tokens = 0
+	}
+	g.blocked = false
+	return addr
+}
+
+// MarkBlocked records that pacing wanted to issue but the in-flight limit
+// prevented it; the engine re-tries on the next completion.
+func (g *Generator) MarkBlocked() { g.blocked = true }
+
+// Blocked reports whether an issue is pending on a free slot.
+func (g *Generator) Blocked() bool { return g.blocked }
+
+// Inflight reports the number of requests currently in flight.
+func (g *Generator) Inflight() int { return g.inflight }
+
+// OnComplete records a completion at cycle now of a request issued at
+// issuedAt. It returns true if the generator was blocked on the in-flight
+// limit, in which case the engine should schedule a new issue.
+func (g *Generator) OnComplete(now, issuedAt int64) bool {
+	g.inflight--
+	g.completed++
+	g.windowComplete++
+	g.latencySum += now - issuedAt
+	wasBlocked := g.blocked
+	g.blocked = false
+	return wasBlocked
+}
+
+// ResetWindow opens a new measurement window (typically after warm-up).
+func (g *Generator) ResetWindow() {
+	g.windowIssued = 0
+	g.windowComplete = 0
+	g.latencySum = 0
+}
+
+// WindowCompleted returns lines completed in the current window.
+func (g *Generator) WindowCompleted() int64 { return g.windowComplete }
+
+// WindowIssued returns lines issued in the current window.
+func (g *Generator) WindowIssued() int64 { return g.windowIssued }
+
+// AchievedGBps converts the window completions over windowCycles cycles to
+// an achieved bandwidth in GB/s.
+func (g *Generator) AchievedGBps(windowCycles int64) float64 {
+	if windowCycles <= 0 {
+		return 0
+	}
+	seconds := float64(windowCycles) / g.mem.CyclesPerSecond()
+	return float64(g.windowComplete) * float64(g.mem.LineBytes) / 1e9 / seconds
+}
+
+// MeanLatencyCycles is the average request latency over the window.
+func (g *Generator) MeanLatencyCycles() float64 {
+	if g.windowComplete == 0 {
+		return 0
+	}
+	return float64(g.latencySum) / float64(g.windowComplete)
+}

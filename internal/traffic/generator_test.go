@@ -1,0 +1,233 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+func spec(demand float64) Spec {
+	return Spec{Name: "t", DemandGBps: demand, Outstanding: 8, RunLines: 64}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := spec(10).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{DemandGBps: -1, Outstanding: 1, RunLines: 1},
+		{DemandGBps: 1, Outstanding: 0, RunLines: 1},
+		{DemandGBps: 1, Outstanding: 1, RunLines: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestNewGeneratorRejectsBadInput(t *testing.T) {
+	if _, err := NewGenerator(Spec{Outstanding: 0, RunLines: 1}, 0, dram.CMPDDR4(), 1); err == nil {
+		t.Error("bad spec accepted")
+	}
+	badMem := dram.CMPDDR4()
+	badMem.Channels = 0
+	if _, err := NewGenerator(spec(10), 0, badMem, 1); err == nil {
+		t.Error("bad mem config accepted")
+	}
+}
+
+func TestPacingMatchesDemand(t *testing.T) {
+	mem := dram.CMPDDR4()
+	// 25.6 GB/s on a 1600 MHz clock: 64B per line →
+	// bytes/cycle = 25.6e9/1.6e9 = 16 → 4 cycles per line.
+	g, err := NewGenerator(spec(25.6), 0, mem, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.cyclesPerLine-4) > 1e-9 {
+		t.Errorf("cyclesPerLine = %v, want 4", g.cyclesPerLine)
+	}
+	// Issue 100 lines with an infinitely fast memory: after the initial
+	// token-bucket burst (bucket = MLP = 8 lines here), issue times advance
+	// at the pacing rate, so the long-run average matches the demand.
+	now := int64(0)
+	for i := 0; i < 100; i++ {
+		it, ok := g.NextIssueTime(now)
+		if !ok {
+			t.Fatal("active generator reported inactive")
+		}
+		g.Issue(it)
+		g.OnComplete(it+1, it)
+		now = it
+	}
+	if lo, hi := int64(4*(99-8)), int64(4*100+4); now < lo || now > hi {
+		t.Errorf("100 paced issues finished at cycle %d, want in [%d, %d]", now, lo, hi)
+	}
+}
+
+func TestZeroDemandIsInactive(t *testing.T) {
+	g, err := NewGenerator(Spec{Name: "idle", DemandGBps: 0, Outstanding: 1, RunLines: 1}, 0, dram.CMPDDR4(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.NextIssueTime(0); ok {
+		t.Error("zero-demand generator should be inactive")
+	}
+}
+
+func TestOutstandingLimitEnforced(t *testing.T) {
+	g, _ := NewGenerator(Spec{Name: "g", DemandGBps: 100, Outstanding: 3, RunLines: 8}, 0, dram.CMPDDR4(), 1)
+	for i := 0; i < 3; i++ {
+		if !g.CanIssue() {
+			t.Fatalf("CanIssue false at inflight %d", g.Inflight())
+		}
+		g.Issue(int64(i))
+	}
+	if g.CanIssue() {
+		t.Error("CanIssue true at the outstanding limit")
+	}
+	g.MarkBlocked()
+	if !g.Blocked() {
+		t.Error("Blocked not recorded")
+	}
+	if !g.OnComplete(10, 0) {
+		t.Error("OnComplete should report the generator was blocked")
+	}
+	if !g.CanIssue() {
+		t.Error("CanIssue false after completion freed a slot")
+	}
+	if g.OnComplete(11, 1) {
+		t.Error("OnComplete should not report blocked twice")
+	}
+}
+
+func TestPacingDebtBoundedByBucket(t *testing.T) {
+	// A generator stalled for a long time may burst at most one bucket of
+	// issues afterwards — never unbounded catch-up. spec(25.6) has
+	// bucket = MLP = 8.
+	g, _ := NewGenerator(spec(25.6), 0, dram.CMPDDR4(), 1)
+	burst := 0
+	for i := 0; i < 20; i++ {
+		it, _ := g.NextIssueTime(100000)
+		if it != 100000 {
+			break
+		}
+		g.Issue(it)
+		g.OnComplete(it+1, it) // free the MLP slot; only tokens gate us
+		burst++
+	}
+	if burst != 8 {
+		t.Errorf("post-stall burst = %d issues, want exactly the bucket (8)", burst)
+	}
+	// The next issue must wait a full pacing interval.
+	it, _ := g.NextIssueTime(100000)
+	if it < 100004 {
+		t.Errorf("issue after burst at %d, want ≥ 100004", it)
+	}
+}
+
+func TestAddressesStayInSourceRegion(t *testing.T) {
+	mem := dram.CMPDDR4()
+	f := func(srcRaw uint8, n uint8) bool {
+		src := int(srcRaw % 16)
+		g, err := NewGenerator(Spec{Name: "g", DemandGBps: 10, Outstanding: 4, RunLines: 16}, src, mem, 7)
+		if err != nil {
+			return false
+		}
+		base := int64(src+1) << 36
+		for i := 0; i < int(n); i++ {
+			if g.CanIssue() {
+				a := g.Issue(int64(i))
+				if a < base || a >= base+(1<<36) {
+					return false
+				}
+				if a%int64(mem.LineBytes) != 0 {
+					return false
+				}
+				g.OnComplete(int64(i)+1, int64(i))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("address region property violated: %v", err)
+	}
+}
+
+func TestSequentialRunsThenJump(t *testing.T) {
+	mem := dram.CMPDDR4()
+	g, _ := NewGenerator(Spec{Name: "g", DemandGBps: 10, Outstanding: 64, RunLines: 4}, 0, mem, 7)
+	a0 := g.Issue(0)
+	a1 := g.Issue(1)
+	a2 := g.Issue(2)
+	a3 := g.Issue(3)
+	if a1 != a0+64 || a2 != a1+64 || a3 != a2+64 {
+		t.Errorf("run not sequential: %d %d %d %d", a0, a1, a2, a3)
+	}
+	a4 := g.Issue(4) // run of 4 exhausted → jump
+	if a4 == a3+64 {
+		t.Error("expected a jump after the run, got sequential address")
+	}
+	rowSpan := int64(mem.RowBytes * mem.Channels)
+	if (a4-(int64(1)<<36))%rowSpan != 0 {
+		t.Errorf("jump target %d not row-group aligned", a4)
+	}
+}
+
+func TestWindowAccounting(t *testing.T) {
+	g, _ := NewGenerator(spec(25.6), 0, dram.CMPDDR4(), 1)
+	for i := int64(0); i < 10; i++ {
+		g.Issue(i * 4)
+		g.OnComplete(i*4+20, i*4)
+	}
+	if g.WindowIssued() != 10 || g.WindowCompleted() != 10 {
+		t.Errorf("window issued/completed = %d/%d, want 10/10", g.WindowIssued(), g.WindowCompleted())
+	}
+	if got := g.MeanLatencyCycles(); got != 20 {
+		t.Errorf("mean latency = %v, want 20", got)
+	}
+	g.ResetWindow()
+	if g.WindowIssued() != 0 || g.WindowCompleted() != 0 || g.MeanLatencyCycles() != 0 {
+		t.Error("ResetWindow did not clear counters")
+	}
+	// Achieved BW: 10 lines × 64B over 640 cycles at 1.6 GHz.
+	for i := int64(0); i < 10; i++ {
+		g.Issue(i * 4)
+		g.OnComplete(i*4+20, i*4)
+	}
+	want := 10.0 * 64 / 1e9 / (640 / 1.6e9)
+	if got := g.AchievedGBps(640); math.Abs(got-want) > 1e-9 {
+		t.Errorf("achieved = %v GB/s, want %v", got, want)
+	}
+	if g.AchievedGBps(0) != 0 {
+		t.Error("zero-cycle window should report 0")
+	}
+}
+
+func TestCalibratorLadder(t *testing.T) {
+	specs := CalibratorLadder(10, 6, 32, 64)
+	if len(specs) != 10 {
+		t.Fatalf("ladder size = %d, want 10", len(specs))
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+		if want := 6 * float64(i+1); math.Abs(s.DemandGBps-want) > 1e-9 {
+			t.Errorf("spec %d demand = %v, want %v", i, s.DemandGBps, want)
+		}
+	}
+}
+
+func TestCalibratorRange(t *testing.T) {
+	specs := CalibratorRange(10, 100, 10, 32, 64)
+	if len(specs) != 10 {
+		t.Fatalf("range size = %d, want 10", len(specs))
+	}
+	if specs[0].DemandGBps != 10 || specs[9].DemandGBps != 100 {
+		t.Errorf("range endpoints = %v, %v", specs[0].DemandGBps, specs[9].DemandGBps)
+	}
+}

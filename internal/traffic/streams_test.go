@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/dram"
+)
+
+func multiSpec() Spec {
+	return Spec{Name: "multi", DemandGBps: 50, Outstanding: 64, RunLines: 128, Streams: 4, ChunkLines: 8}
+}
+
+func TestChunkedRoundRobinAcrossStreams(t *testing.T) {
+	mem := dram.CMPDDR4()
+	g, err := NewGenerator(multiSpec(), 0, mem, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 8 issues: sequential (one chunk of stream 0).
+	prev := g.Issue(0)
+	for i := 1; i < 8; i++ {
+		a := g.Issue(int64(i))
+		if a != prev+64 {
+			t.Fatalf("issue %d: %d not sequential after %d", i, a, prev)
+		}
+		prev = a
+	}
+	// Ninth issue: a different stream (different row region).
+	ninth := g.Issue(8)
+	if ninth == prev+64 {
+		t.Error("chunk boundary did not switch streams")
+	}
+	// Streams keep independent cursors: the next chunk of stream 0 resumes
+	// where its first chunk left off. The ninth issue already consumed one
+	// line of stream 1, so 7+8+8 lines drain the other streams' chunks.
+	for i := 0; i < 7+8+8; i++ {
+		g.Issue(int64(9 + i))
+	}
+	resumed := g.Issue(40)
+	if resumed != prev+64 {
+		t.Errorf("stream 0 resumed at %d, want %d", resumed, prev+64)
+	}
+}
+
+func TestChunkDefaultsAndCaps(t *testing.T) {
+	mem := dram.CMPDDR4()
+	g, _ := NewGenerator(Spec{Name: "d", DemandGBps: 10, Outstanding: 4, RunLines: 128, Streams: 2}, 0, mem, 1)
+	if g.chunk != 32 {
+		t.Errorf("default chunk = %d, want 32", g.chunk)
+	}
+	g2, _ := NewGenerator(Spec{Name: "d", DemandGBps: 10, Outstanding: 4, RunLines: 8, Streams: 2}, 0, mem, 1)
+	if g2.chunk != 8 {
+		t.Errorf("chunk not capped at run length: %d", g2.chunk)
+	}
+}
+
+func TestNegativeChunkRejected(t *testing.T) {
+	s := multiSpec()
+	s.ChunkLines = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative chunk accepted")
+	}
+	s.ChunkLines = 0
+	s.Streams = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative streams accepted")
+	}
+}
+
+func TestStreamsCoverMultipleBanks(t *testing.T) {
+	// With several streams, concurrent issue windows should touch several
+	// distinct banks (the reason streams exist: no single-bank parking).
+	mem := dram.CMPDDR4()
+	g, _ := NewGenerator(Spec{Name: "s", DemandGBps: 50, Outstanding: 64, RunLines: 64, Streams: 8, ChunkLines: 4}, 0, mem, 9)
+	mapper := dram.NewMapper(mem)
+	banks := map[[2]int]bool{}
+	for i := 0; i < 8*4; i++ { // one chunk from each stream
+		loc := mapper.Decode(g.Issue(int64(i)))
+		banks[[2]int{loc.Channel, loc.Bank}] = true
+	}
+	if len(banks) < 4 {
+		t.Errorf("8 streams touched only %d (channel,bank) pairs", len(banks))
+	}
+}

@@ -1,0 +1,44 @@
+package workload
+
+import "fmt"
+
+// CorunWorkload is one three-PU co-run of the paper's Table 8: a Rodinia
+// benchmark on the CPU, one on the GPU, and a DNN on the DLA.
+type CorunWorkload struct {
+	ID  string
+	CPU string
+	GPU string
+	DLA string
+}
+
+// Table8 lists the eleven representative workloads (A–K) of the paper's
+// co-location study (§4.2, Fig. 14).
+func Table8() []CorunWorkload {
+	return []CorunWorkload{
+		{ID: "A", CPU: "streamcluster", GPU: "pathfinder", DLA: "resnet50"},
+		{ID: "B", CPU: "streamcluster", GPU: "pathfinder", DLA: "vgg19"},
+		{ID: "C", CPU: "streamcluster", GPU: "leukocyte", DLA: "alexnet"},
+		{ID: "D", CPU: "streamcluster", GPU: "srad", DLA: "resnet50"},
+		{ID: "E", CPU: "pathfinder", GPU: "streamcluster", DLA: "vgg19"},
+		{ID: "F", CPU: "pathfinder", GPU: "heartwall", DLA: "alexnet"},
+		{ID: "G", CPU: "kmeans", GPU: "btree", DLA: "resnet50"},
+		{ID: "H", CPU: "kmeans", GPU: "srad", DLA: "vgg19"},
+		{ID: "I", CPU: "hotspot", GPU: "bfs", DLA: "alexnet"},
+		{ID: "J", CPU: "srad", GPU: "pathfinder", DLA: "resnet50"},
+		{ID: "K", CPU: "srad", GPU: "leukocyte", DLA: "vgg19"},
+	}
+}
+
+// On returns the workload placed on the given PU name (CPU/GPU/DLA).
+func (c CorunWorkload) On(pu string) (*Workload, error) {
+	switch pu {
+	case "CPU":
+		return Get(c.CPU)
+	case "GPU":
+		return Get(c.GPU)
+	case "DLA":
+		return Get(c.DLA)
+	default:
+		return nil, fmt.Errorf("workload: co-run %s has no PU %q", c.ID, pu)
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import "fmt"
+
+// DNN layer-sequence models. The registry's DLA entries carry the
+// whole-network average demand the DLA experiments use; this file derives
+// per-layer phase profiles from coarse architectural layer tables, so the
+// multi-phase machinery (§3.2) can be applied to inference the same way it
+// is applied to cfd: convolution layers reuse activations heavily (high
+// arithmetic intensity → lower bandwidth demand per unit time), while
+// fully-connected layers stream their weight matrices once (low intensity →
+// the bandwidth-hungry phases).
+
+// Layer is one coarse layer group of a network.
+type Layer struct {
+	Name string
+	// TimeShare is the fraction of standalone inference time spent in the
+	// group.
+	TimeShare float64
+	// RelDemand is the group's bandwidth demand relative to the network's
+	// average demand (1.0 = average).
+	RelDemand float64
+}
+
+// dnnLayers holds coarse layer tables per network. Shares and relative
+// demands follow the familiar structure of these networks: VGG-19 spends
+// most time in convolutions but its three enormous FC layers dominate
+// traffic; ResNet-50 is convolution-heavy with a single small FC; AlexNet
+// splits between large early convolutions and two big FC layers; the MNIST
+// network is small everywhere.
+var dnnLayers = map[string][]Layer{
+	"vgg19": {
+		{Name: "conv-early", TimeShare: 0.35, RelDemand: 0.55},
+		{Name: "conv-late", TimeShare: 0.40, RelDemand: 0.85},
+		{Name: "fc", TimeShare: 0.25, RelDemand: 1.87},
+	},
+	"resnet50": {
+		{Name: "stem", TimeShare: 0.10, RelDemand: 0.80},
+		{Name: "residual-blocks", TimeShare: 0.80, RelDemand: 0.95},
+		{Name: "fc", TimeShare: 0.10, RelDemand: 1.60},
+	},
+	"alexnet": {
+		{Name: "conv", TimeShare: 0.55, RelDemand: 0.70},
+		{Name: "fc", TimeShare: 0.45, RelDemand: 1.37},
+	},
+	"mnist": {
+		{Name: "conv", TimeShare: 0.70, RelDemand: 0.90},
+		{Name: "fc", TimeShare: 0.30, RelDemand: 1.23},
+	},
+}
+
+// DNNLayers returns the coarse layer table of a registered network.
+func DNNLayers(name string) ([]Layer, error) {
+	layers, ok := dnnLayers[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: no layer table for %q", name)
+	}
+	return layers, nil
+}
+
+// DNNPhases derives a per-layer phase profile for a network on a platform
+// PU from its layer table and registered average demand. The time-weighted
+// average of the phase demands equals the registered whole-network demand,
+// so flat (average-BW) and phase-wise predictions are comparable exactly as
+// in the cfd study (Fig. 13).
+func DNNPhases(name, platform, pu string) ([]Phase, error) {
+	w, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	avg, err := w.DemandOn(platform, pu)
+	if err != nil {
+		return nil, err
+	}
+	layers, err := DNNLayers(name)
+	if err != nil {
+		return nil, err
+	}
+	phases := make([]Phase, 0, len(layers))
+	for _, l := range layers {
+		phases = append(phases, Phase{
+			Name:   l.Name,
+			Weight: l.TimeShare,
+			Demand: map[string]float64{key(platform, pu): avg * l.RelDemand},
+		})
+	}
+	return phases, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+func TestDNNLayersRegistered(t *testing.T) {
+	for _, name := range []string{"vgg19", "resnet50", "alexnet", "mnist"} {
+		layers, err := DNNLayers(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var share float64
+		for _, l := range layers {
+			if l.TimeShare <= 0 || l.RelDemand <= 0 {
+				t.Errorf("%s layer %s: share %v demand %v", name, l.Name, l.TimeShare, l.RelDemand)
+			}
+			share += l.TimeShare
+		}
+		if math.Abs(share-1) > 1e-9 {
+			t.Errorf("%s: time shares sum to %v", name, share)
+		}
+		// The layer table must preserve the network's average demand:
+		// Σ share·rel = 1.
+		var avg float64
+		for _, l := range layers {
+			avg += l.TimeShare * l.RelDemand
+		}
+		if math.Abs(avg-1) > 0.01 {
+			t.Errorf("%s: time-weighted relative demand %v, want 1", name, avg)
+		}
+	}
+	if _, err := DNNLayers("transformer"); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestDNNPhasesMatchRegisteredAverage(t *testing.T) {
+	for _, name := range DLAValidationSet() {
+		phases, err := DNNPhases(name, "virtual-xavier", "DLA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := MustGet(name)
+		avg, _ := w.DemandOn("virtual-xavier", "DLA")
+		var cp []core.Phase
+		for _, ph := range phases {
+			cp = append(cp, core.Phase{
+				Name: ph.Name, Weight: ph.Weight,
+				DemandGBps: ph.Demand["virtual-xavier/DLA"],
+			})
+		}
+		if got := core.AverageDemand(cp); math.Abs(got-avg) > 0.01*avg {
+			t.Errorf("%s: phase average %v, registered %v", name, got, avg)
+		}
+	}
+}
+
+func TestDNNPhasesFCHungrierThanConv(t *testing.T) {
+	// The FC phases stream weights: they must be the bandwidth-hungry ones.
+	phases, err := DNNPhases("vgg19", "virtual-xavier", "DLA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fc, convMax float64
+	for _, ph := range phases {
+		d := ph.Demand["virtual-xavier/DLA"]
+		if ph.Name == "fc" {
+			fc = d
+		} else if d > convMax {
+			convMax = d
+		}
+	}
+	if fc <= convMax {
+		t.Errorf("fc demand %v not above conv max %v", fc, convMax)
+	}
+}
+
+func TestDNNPhasesErrors(t *testing.T) {
+	if _, err := DNNPhases("vgg19", "virtual-snapdragon", "GPU"); err == nil {
+		t.Error("vgg19 has no Snapdragon profile; DNNPhases should fail")
+	}
+	if _, err := DNNPhases("bfs", "virtual-xavier", "GPU"); err == nil {
+		t.Error("bfs has no layer table; DNNPhases should fail")
+	}
+}

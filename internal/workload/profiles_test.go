@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Consistency checks on the profiled demand database.
+
+func TestDemandsFitTheirPlatforms(t *testing.T) {
+	peaks := map[string]float64{
+		"virtual-xavier":     soc.VirtualXavier().PeakGBps(),
+		"virtual-snapdragon": soc.VirtualSnapdragon().PeakGBps(),
+	}
+	for _, name := range Names() {
+		w := MustGet(name)
+		for key, d := range w.Demand {
+			platform := key[:len(key)-4] // strip "/CPU" etc.
+			for p, peak := range peaks {
+				if platform == p && d > peak {
+					t.Errorf("%s on %s demands %.1f GB/s, above the %.1f peak", name, key, d, peak)
+				}
+			}
+		}
+		for _, ph := range w.Phases {
+			for key, d := range ph.Demand {
+				if d <= 0 {
+					t.Errorf("%s phase %s on %s: demand %v", name, ph.Name, key, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapdragonDemandsScaledBelowXavier(t *testing.T) {
+	// The same benchmark demands less bandwidth on the narrower Snapdragon
+	// (lower core counts and memory bandwidth), as the paper observes for
+	// hotspot (§4.1.2).
+	for _, name := range GPUValidationSet() {
+		w := MustGet(name)
+		xd, err1 := w.DemandOn("virtual-xavier", "GPU")
+		sd, err2 := w.DemandOn("virtual-snapdragon", "GPU")
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", name, err1, err2)
+		}
+		if sd >= xd {
+			t.Errorf("%s: Snapdragon demand %.1f not below Xavier's %.1f", name, sd, xd)
+		}
+	}
+}
+
+func TestPoorLocalityWorkloadsMarked(t *testing.T) {
+	// The paper singles out bfs (and to a lesser degree kmeans/btree) for
+	// poor locality that stresses row-buffer hit rates; the surrogates must
+	// encode that with short sequential runs.
+	if bfs := MustGet("bfs"); bfs.RunLines > 8 {
+		t.Errorf("bfs RunLines = %d, want short (poor locality)", bfs.RunLines)
+	}
+	if sc := MustGet("streamcluster"); sc.RunLines < 64 {
+		t.Errorf("streamcluster RunLines = %d, want long (streaming)", sc.RunLines)
+	}
+	if MustGet("btree").RunLines >= MustGet("srad").RunLines {
+		t.Error("btree should have poorer locality than srad")
+	}
+}
+
+func TestDNNDemandOrdering(t *testing.T) {
+	// VGG-19 moves more data per inference than ResNet-50, which moves more
+	// than AlexNet and MNIST — the relative ordering Fig. 12/14 relies on.
+	order := []string{"mnist", "alexnet", "resnet50", "vgg19"}
+	prev := 0.0
+	for _, name := range order {
+		d, err := MustGet(name).DemandOn("virtual-xavier", "DLA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= prev {
+			t.Errorf("%s demand %.1f not above previous %.1f", name, d, prev)
+		}
+		prev = d
+	}
+}

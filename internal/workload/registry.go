@@ -1,0 +1,90 @@
+package workload
+
+// The registry holds the profiled standalone bandwidth demands of every
+// surrogate on every platform PU. Demands follow the qualitative classes
+// the paper reports: on Xavier (137 GB/s peak) the compute-intensive trio
+// stays well below the CPU/GPU normal-BW boundaries; the memory-intensive
+// seven land in the normal-to-intensive range; Snapdragon demands scale
+// with its 34 GB/s memory system; the DLA workloads sit at the 8–30 GB/s
+// levels the paper observes for inference.
+const (
+	xcpu = "virtual-xavier/CPU"
+	xgpu = "virtual-xavier/GPU"
+	xdla = "virtual-xavier/DLA"
+	scpu = "virtual-snapdragon/CPU"
+	sgpu = "virtual-snapdragon/GPU"
+)
+
+var registry = map[string]*Workload{
+	"hotspot": {
+		Name: "hotspot", Class: Compute, RunLines: 128,
+		Demand: map[string]float64{xcpu: 6, xgpu: 18, scpu: 1.6, sgpu: 4.8},
+	},
+	"leukocyte": {
+		Name: "leukocyte", Class: Compute, RunLines: 128,
+		Demand: map[string]float64{xcpu: 9, xgpu: 28, scpu: 2.4, sgpu: 7.4},
+	},
+	"heartwall": {
+		Name: "heartwall", Class: Compute, RunLines: 128,
+		Demand: map[string]float64{xcpu: 12, xgpu: 38, scpu: 3.2, sgpu: 9.6},
+	},
+	"streamcluster": {
+		Name: "streamcluster", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xcpu: 55, xgpu: 88, scpu: 14, sgpu: 22},
+	},
+	"pathfinder": {
+		Name: "pathfinder", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xcpu: 48, xgpu: 72, scpu: 12, sgpu: 18},
+	},
+	"srad": {
+		Name: "srad", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xcpu: 70, xgpu: 95, scpu: 17, sgpu: 24},
+	},
+	"kmeans": {
+		Name: "kmeans", Class: Memory, RunLines: 64,
+		Demand: map[string]float64{xcpu: 62, xgpu: 80, scpu: 15.5, sgpu: 20},
+	},
+	"btree": {
+		Name: "btree", Class: Memory, RunLines: 16,
+		Demand: map[string]float64{xcpu: 40, xgpu: 65, scpu: 10, sgpu: 16},
+	},
+	"bfs": {
+		Name: "bfs", Class: Memory, RunLines: 4,
+		Demand: map[string]float64{xcpu: 35, xgpu: 58, scpu: 9, sgpu: 14},
+	},
+	"cfd": {
+		Name: "cfd", Class: Memory, RunLines: 256,
+		// Whole-program demand is the time-weighted average of the phases
+		// (what naive profiling reports; Fig. 13a uses it).
+		Demand: map[string]float64{xcpu: 64.3, xgpu: 84.3, scpu: 16.1, sgpu: 21.1},
+		Phases: []Phase{
+			{Name: "K1", Weight: 0.30, Demand: map[string]float64{
+				xcpu: 90, xgpu: 114, scpu: 22.5, sgpu: 28.5}},
+			{Name: "K2", Weight: 0.25, Demand: map[string]float64{
+				xcpu: 56, xgpu: 76, scpu: 14, sgpu: 19}},
+			{Name: "K3", Weight: 0.25, Demand: map[string]float64{
+				xcpu: 52, xgpu: 72, scpu: 13, sgpu: 18}},
+			{Name: "K4", Weight: 0.20, Demand: map[string]float64{
+				xcpu: 50, xgpu: 66, scpu: 12.5, sgpu: 16.5}},
+		},
+	},
+
+	// DNN inference on the DLA (Fig. 12, Fig. 14): the DLA achieves only
+	// 8–30 GB/s standalone (§4.1.2), all within its normal region.
+	"resnet50": {
+		Name: "resnet50", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xdla: 24},
+	},
+	"vgg19": {
+		Name: "vgg19", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xdla: 30},
+	},
+	"alexnet": {
+		Name: "alexnet", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xdla: 18},
+	},
+	"mnist": {
+		Name: "mnist", Class: Memory, RunLines: 256,
+		Demand: map[string]float64{xdla: 8},
+	},
+}

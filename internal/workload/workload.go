@@ -1,0 +1,144 @@
+// Package workload provides the benchmark surrogates the reproduction
+// validates PCCS on: the ten Rodinia kernels of §4.1 and the DNN inference
+// workloads run on the DLA.
+//
+// The paper's methodology consumes only each kernel's *profiled standalone
+// bandwidth demand* (obtained there with NVperf/perf/Valgrind), its access
+// locality, and — for multi-phase programs — the per-phase demands and
+// standalone time shares. A workload here is exactly that profile: the
+// demands are chosen per platform/PU to land each surrogate in the same
+// qualitative class the paper reports (hotspot/leukocyte/heartwall compute-
+// intensive; the other seven memory-intensive; cfd with one high-BW and
+// three medium-BW phases; bfs with poor locality that stresses row-buffer
+// hit rates).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Class is the paper's coarse workload classification.
+type Class int
+
+const (
+	// Compute marks compute-intensive kernels (minor contention region).
+	Compute Class = iota
+	// Memory marks memory-intensive kernels.
+	Memory
+)
+
+func (c Class) String() string {
+	if c == Compute {
+		return "compute"
+	}
+	return "memory"
+}
+
+// Phase mirrors core.Phase with a per-PU demand: a fraction of standalone
+// execution time spent at a bandwidth demand.
+type Phase struct {
+	Name   string
+	Weight float64
+	// Demand maps "platform/pu" to the phase's standalone demand in GB/s.
+	Demand map[string]float64
+}
+
+// Workload is one benchmark surrogate.
+type Workload struct {
+	Name  string
+	Class Class
+	// RunLines is the sequential run length of the kernel's access
+	// pattern; small values (bfs) model poor row-buffer locality.
+	RunLines int
+	// Demand maps "platform/pu" (e.g. "virtual-xavier/GPU") to the
+	// profiled standalone bandwidth demand in GB/s.
+	Demand map[string]float64
+	// Phases is non-empty for multi-phase programs (cfd).
+	Phases []Phase
+}
+
+// key builds the demand-map key.
+func key(platform, pu string) string { return platform + "/" + pu }
+
+// DemandOn returns the workload's standalone demand on a platform PU.
+func (w *Workload) DemandOn(platform, pu string) (float64, error) {
+	d, ok := w.Demand[key(platform, pu)]
+	if !ok {
+		return 0, fmt.Errorf("workload: %s has no profile for %s", w.Name, key(platform, pu))
+	}
+	return d, nil
+}
+
+// Kernel builds the simulator kernel for this workload on a platform PU.
+func (w *Workload) Kernel(platform, pu string) (soc.Kernel, error) {
+	d, err := w.DemandOn(platform, pu)
+	if err != nil {
+		return soc.Kernel{}, err
+	}
+	return soc.Kernel{Name: w.Name, DemandGBps: d, RunLines: w.RunLines}, nil
+}
+
+// ModelPhases converts the workload's phases into model inputs for a
+// platform PU (for core.Params.PredictPhases).
+func (w *Workload) ModelPhases(platform, pu string) ([]core.Phase, error) {
+	if len(w.Phases) == 0 {
+		return nil, fmt.Errorf("workload: %s has no phases", w.Name)
+	}
+	out := make([]core.Phase, 0, len(w.Phases))
+	for _, ph := range w.Phases {
+		d, ok := ph.Demand[key(platform, pu)]
+		if !ok {
+			return nil, fmt.Errorf("workload: %s phase %s has no profile for %s", w.Name, ph.Name, key(platform, pu))
+		}
+		out = append(out, core.Phase{Name: ph.Name, Weight: ph.Weight, DemandGBps: d})
+	}
+	return out, nil
+}
+
+// Names returns the registry's workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get fetches a workload by name.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+	return w, nil
+}
+
+// MustGet fetches a workload that is known to exist (registry constants).
+func MustGet(name string) *Workload {
+	w, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// GPUValidationSet lists the ten Rodinia benchmarks of Figs. 8 and 10.
+func GPUValidationSet() []string {
+	return []string{
+		"hotspot", "leukocyte", "heartwall", "streamcluster", "pathfinder",
+		"srad", "kmeans", "btree", "cfd", "bfs",
+	}
+}
+
+// CPUValidationSet lists the five Rodinia benchmarks of Figs. 9 and 11.
+func CPUValidationSet() []string {
+	return []string{"hotspot", "streamcluster", "pathfinder", "kmeans", "srad"}
+}
+
+// DLAValidationSet lists the DNN workloads of Fig. 12.
+func DLAValidationSet() []string { return []string{"vgg19", "resnet50"} }

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(Names()); got != 14 {
+		t.Errorf("registry has %d workloads, want 14 (10 Rodinia + 4 DNN)", got)
+	}
+	for _, n := range Names() {
+		w := MustGet(n)
+		if w.Name != n {
+			t.Errorf("workload %q has Name %q", n, w.Name)
+		}
+		if w.RunLines < 1 {
+			t.Errorf("%s: RunLines %d", n, w.RunLines)
+		}
+		if len(w.Demand) == 0 {
+			t.Errorf("%s: no demand profiles", n)
+		}
+		for k, d := range w.Demand {
+			if d <= 0 {
+				t.Errorf("%s: demand %v on %s", n, d, k)
+			}
+		}
+	}
+}
+
+func TestValidationSetsExist(t *testing.T) {
+	for _, n := range GPUValidationSet() {
+		w := MustGet(n)
+		if _, err := w.DemandOn("virtual-xavier", "GPU"); err != nil {
+			t.Errorf("GPU set %s: %v", n, err)
+		}
+		if _, err := w.DemandOn("virtual-snapdragon", "GPU"); err != nil {
+			t.Errorf("Snapdragon GPU set %s: %v", n, err)
+		}
+	}
+	for _, n := range CPUValidationSet() {
+		if _, err := MustGet(n).DemandOn("virtual-xavier", "CPU"); err != nil {
+			t.Errorf("CPU set %s: %v", n, err)
+		}
+	}
+	for _, n := range DLAValidationSet() {
+		if _, err := MustGet(n).DemandOn("virtual-xavier", "DLA"); err != nil {
+			t.Errorf("DLA set %s: %v", n, err)
+		}
+	}
+	if len(GPUValidationSet()) != 10 || len(CPUValidationSet()) != 5 {
+		t.Error("validation set sizes do not match the paper (10 GPU, 5 CPU)")
+	}
+}
+
+func TestComputeKernelsDemandLessThanMemoryKernels(t *testing.T) {
+	// The paper's classification: hotspot, leukocyte, heartwall are
+	// compute-intensive; the rest memory-intensive. On every common PU the
+	// compute trio must demand less bandwidth than every memory kernel.
+	maxCompute, minMemory := 0.0, math.Inf(1)
+	for _, n := range GPUValidationSet() {
+		w := MustGet(n)
+		d, err := w.DemandOn("virtual-xavier", "GPU")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Class == Compute && d > maxCompute {
+			maxCompute = d
+		}
+		if w.Class == Memory && d < minMemory {
+			minMemory = d
+		}
+	}
+	if maxCompute >= minMemory {
+		t.Errorf("compute max %.1f ≥ memory min %.1f", maxCompute, minMemory)
+	}
+}
+
+func TestCFDPhases(t *testing.T) {
+	cfd := MustGet("cfd")
+	if len(cfd.Phases) != 4 {
+		t.Fatalf("cfd has %d phases, want 4", len(cfd.Phases))
+	}
+	var totalW float64
+	for _, ph := range cfd.Phases {
+		totalW += ph.Weight
+	}
+	if math.Abs(totalW-1) > 1e-9 {
+		t.Errorf("cfd phase weights sum to %v, want 1", totalW)
+	}
+	// K1 is the high-BW phase: strictly above the others on every PU.
+	phases, err := cfd.ModelPhases("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range phases[1:] {
+		if phases[0].DemandGBps <= ph.DemandGBps {
+			t.Errorf("K1 (%.1f) not above %s (%.1f)", phases[0].DemandGBps, ph.Name, ph.DemandGBps)
+		}
+	}
+	// The whole-program demand equals the time-weighted phase average,
+	// which is what naive profiling reports (Fig. 13a's input).
+	avg := core.AverageDemand(phases)
+	flat, _ := cfd.DemandOn("virtual-xavier", "GPU")
+	if math.Abs(avg-flat) > 0.5 {
+		t.Errorf("cfd flat demand %.2f != phase average %.2f", flat, avg)
+	}
+}
+
+func TestKernelConstruction(t *testing.T) {
+	k, err := MustGet("bfs").Kernel("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.DemandGBps != 58 || k.RunLines != 4 {
+		t.Errorf("bfs kernel = %+v", k)
+	}
+	if _, err := MustGet("bfs").Kernel("virtual-xavier", "DLA"); err == nil {
+		t.Error("bfs has no DLA profile; Kernel should fail")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("quake3"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(unknown) did not panic")
+		}
+	}()
+	MustGet("quake3")
+}
+
+func TestModelPhasesErrors(t *testing.T) {
+	if _, err := MustGet("bfs").ModelPhases("virtual-xavier", "GPU"); err == nil {
+		t.Error("phase-less workload should error")
+	}
+	if _, err := MustGet("cfd").ModelPhases("virtual-xavier", "DLA"); err == nil {
+		t.Error("missing phase profile should error")
+	}
+}
+
+func TestTable8(t *testing.T) {
+	rows := Table8()
+	if len(rows) != 11 {
+		t.Fatalf("Table8 has %d workloads, want 11 (A–K)", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.ID] {
+			t.Errorf("duplicate workload ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		for _, pu := range []string{"CPU", "GPU", "DLA"} {
+			w, err := r.On(pu)
+			if err != nil {
+				t.Errorf("workload %s PU %s: %v", r.ID, pu, err)
+				continue
+			}
+			platformPU := "virtual-xavier/" + pu
+			if _, ok := w.Demand[platformPU]; !ok {
+				t.Errorf("workload %s: %s has no profile for %s", r.ID, w.Name, platformPU)
+			}
+		}
+		if _, err := r.On("NPU"); err == nil {
+			t.Errorf("workload %s: unknown PU accepted", r.ID)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Package pccs is a from-scratch reproduction of "PCCS: Processor-Centric
+// Contention-aware Slowdown Model for Heterogeneous System-on-Chips"
+// (Xu, Belviranli, Shen, Vetter — MICRO 2021).
+//
+// It provides, as one library:
+//
+//   - The three-region interference-conscious slowdown model (§3): given a
+//     kernel's standalone bandwidth demand x on a processing unit and the
+//     total external bandwidth demand y of co-located kernels, predict the
+//     achieved relative speed of the kernel.
+//   - The processor-centric model construction methodology (§3.2): sweep
+//     controllable calibrator kernels against an external-demand ladder and
+//     extract the model parameters with the paper's five-step analysis —
+//     no co-run measurements of real application combinations needed.
+//   - Linear bandwidth scaling (§3.3) to retarget a constructed model to
+//     incremental memory-subsystem changes.
+//   - The Gables baseline (Hill & Reddi, HPCA 2019) the paper compares
+//     against.
+//   - Virtual SoC platforms (a Jetson-AGX-Xavier-like and a
+//     Snapdragon-855-like heterogeneous SoC simulated down to DRAM banks,
+//     row buffers, and fairness-aware memory scheduling) that stand in for
+//     the paper's silicon, plus the benchmark surrogates used to validate
+//     the model.
+//   - Design-space exploration (§3.4/§4.3): pick PU frequencies under
+//     co-run slowdown budgets.
+//
+// # Quick start
+//
+//	platform := pccs.Xavier()
+//	models, _ := pccs.LoadModels("models/pccs-models.json")
+//	gpu, _ := models.Get(platform.Name, "GPU")
+//	rs := gpu.Predict(88 /* GB/s demand */, 40 /* GB/s external */)
+//	fmt.Printf("streamcluster keeps %.1f%% of its standalone speed\n", rs)
+//
+// See the runnable programs under examples/ for complete workflows.
+package pccs
+
+import (
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Params is a constructed PCCS model for one processing unit (Table 4).
+type Params = core.Params
+
+// Region classifies kernels by bandwidth demand (Eq. 1).
+type Region = core.Region
+
+// Contention regions of the three-region model.
+const (
+	Minor     = core.Minor
+	Normal    = core.Normal
+	Intensive = core.Intensive
+)
+
+// Phase is one execution phase of a multi-phase program (§3.2).
+type Phase = core.Phase
+
+// AverageDemand collapses phases to a time-weighted average demand — the
+// naive single-number profile the paper shows to be inadequate (Fig. 13a).
+func AverageDemand(phases []Phase) float64 { return core.AverageDemand(phases) }
+
+// Gables is the baseline proportional-share contention model.
+type Gables = gables.Model
+
+// NewGables builds the Gables baseline for an SoC peak bandwidth in GB/s.
+func NewGables(peakGBps float64) (Gables, error) { return gables.New(peakGBps) }
+
+// Platform is a simulated heterogeneous shared-memory SoC.
+type Platform = soc.Platform
+
+// PU describes one processing unit of a platform.
+type PU = soc.PU
+
+// Kernel describes work placed on one PU: name, standalone bandwidth
+// demand, and optional locality/MLP overrides.
+type Kernel = soc.Kernel
+
+// Placement maps PU indices to kernels for a co-run.
+type Placement = soc.Placement
+
+// RunConfig controls simulation length.
+type RunConfig = soc.RunConfig
+
+// PUResult is a per-PU measurement from a simulation run.
+type PUResult = soc.PUResult
+
+// Xavier returns the virtual NVIDIA Jetson AGX Xavier: CPU + GPU + DLA over
+// a 137 GB/s LPDDR4x memory system (PU indices 0, 1, 2).
+func Xavier() *Platform { return soc.VirtualXavier() }
+
+// Snapdragon returns the virtual Qualcomm Snapdragon 855: CPU + GPU over a
+// 34 GB/s LPDDR4x memory system (PU indices 0, 1).
+func Snapdragon() *Platform { return soc.VirtualSnapdragon() }
+
+// ExternalPressure builds a synthetic pure-bandwidth kernel, the
+// "controllable memory traffic generator" of the methodology.
+func ExternalPressure(demandGBps float64) Kernel { return soc.ExternalPressure(demandGBps) }
+
+// DefaultRunConfig is the standard measurement window.
+func DefaultRunConfig() RunConfig { return soc.DefaultRunConfig() }
+
+// QuickRunConfig is a short window for tests and demos.
+func QuickRunConfig() RunConfig { return soc.QuickRunConfig() }

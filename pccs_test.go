@@ -1,0 +1,165 @@
+package pccs_test
+
+import (
+	"math"
+	"testing"
+
+	pccs "github.com/processorcentricmodel/pccs"
+)
+
+// The public-API tests exercise the façade end to end against the shipped
+// model artifact, the way a downstream user would.
+
+func TestLoadShippedModels(t *testing.T) {
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatalf("shipped model artifact unusable: %v", err)
+	}
+	for _, key := range []struct{ platform, pu string }{
+		{"virtual-xavier", "CPU"}, {"virtual-xavier", "GPU"}, {"virtual-xavier", "DLA"},
+		{"virtual-snapdragon", "CPU"}, {"virtual-snapdragon", "GPU"},
+	} {
+		m, err := models.Get(key.platform, key.pu)
+		if err != nil {
+			t.Errorf("missing model %s/%s: %v", key.platform, key.pu, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s/%s: %v", key.platform, key.pu, err)
+		}
+	}
+}
+
+func TestShippedModelCrossPUContrasts(t *testing.T) {
+	// Table 7's qualitative contrasts must hold in the shipped artifact.
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dla, _ := models.Get("virtual-xavier", "DLA")
+	if dla.NormalBW != 0 {
+		t.Errorf("DLA NormalBW = %v, want 0 (no minor region)", dla.NormalBW)
+	}
+	xgpu, _ := models.Get("virtual-xavier", "GPU")
+	sgpu, _ := models.Get("virtual-snapdragon", "GPU")
+	if sgpu.TBWDC >= xgpu.TBWDC {
+		t.Errorf("Snapdragon GPU TBWDC %v should be far below Xavier's %v", sgpu.TBWDC, xgpu.TBWDC)
+	}
+	if sgpu.RateN <= xgpu.RateN {
+		t.Errorf("per-GB/s slowdown rate should be steeper on the narrow Snapdragon (%v vs %v)", sgpu.RateN, xgpu.RateN)
+	}
+}
+
+func TestPredictQuickStart(t *testing.T) {
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := models.Get("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := gpu.Predict(88, 0)
+	if solo != 100 {
+		t.Errorf("no external demand: RS = %v, want 100", solo)
+	}
+	contended := gpu.Predict(88, 120)
+	if contended >= solo {
+		t.Errorf("contended RS %v not below standalone %v", contended, solo)
+	}
+}
+
+func TestGablesBaselineFacade(t *testing.T) {
+	g, err := pccs.NewGables(pccs.Xavier().PeakGBps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := g.Predict(60, 40); rs != 100 {
+		t.Errorf("Gables below peak: %v, want 100", rs)
+	}
+}
+
+func TestPlatformsExposed(t *testing.T) {
+	x, s := pccs.Xavier(), pccs.Snapdragon()
+	if x.PUIndex("DLA") != 2 || s.PUIndex("GPU") != 1 {
+		t.Error("platform PU layout changed")
+	}
+	if math.Abs(x.PeakGBps()-136.5) > 0.5 || math.Abs(s.PeakGBps()-34.1) > 0.5 {
+		t.Errorf("peaks = %v, %v", x.PeakGBps(), s.PeakGBps())
+	}
+}
+
+func TestMeasureRelativeSpeedsFacade(t *testing.T) {
+	p := pccs.Xavier()
+	res, err := pccs.MeasureRelativeSpeeds(p, pccs.Placement{
+		1: pccs.Kernel{Name: "k", DemandGBps: 60},
+		0: pccs.ExternalPressure(50),
+	}, pccs.QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := res[1].RelativeSpeed; rs <= 0 || rs > 1 {
+		t.Errorf("relative speed = %v", rs)
+	}
+}
+
+func TestFrequencySelectionFacade(t *testing.T) {
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, _ := models.Get("virtual-xavier", "GPU")
+	fm := pccs.FreqModel{Kernel: "streamcluster", MemBoundGBps: 88, CrossoverMHz: 900, MaxMHz: 1377}
+	sel, err := pccs.SelectFrequency(gpu, fm, 60, 5, pccs.FreqLadder(300, 1377, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.FreqMHz <= 0 || sel.FreqMHz > 1377 {
+		t.Errorf("selected frequency %v out of range", sel.FreqMHz)
+	}
+}
+
+func TestWorkloadFacade(t *testing.T) {
+	names := pccs.WorkloadNames()
+	if len(names) == 0 {
+		t.Fatal("no workloads registered")
+	}
+	w, err := pccs.GetWorkload("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, err := w.DemandOn("virtual-xavier", "GPU"); err != nil || d <= 0 {
+		t.Errorf("streamcluster GPU demand = %v, %v", d, err)
+	}
+	if _, err := pccs.GetWorkload("doom"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestPhaseAggregationFacade(t *testing.T) {
+	models, _ := pccs.LoadModels("models/pccs-models.json")
+	gpu, _ := models.Get("virtual-xavier", "GPU")
+	phases := []pccs.Phase{
+		{Name: "K1", Weight: 0.3, DemandGBps: 114},
+		{Name: "K2", Weight: 0.7, DemandGBps: 70},
+	}
+	rs, err := gpu.PredictPhases(phases, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs <= 0 || rs > 100 {
+		t.Errorf("phased RS = %v", rs)
+	}
+	if avg := pccs.AverageDemand(phases); math.Abs(avg-(0.3*114+0.7*70)) > 1e-9 {
+		t.Errorf("AverageDemand = %v", avg)
+	}
+}
+
+func TestScalingFacade(t *testing.T) {
+	models, _ := pccs.LoadModels("models/pccs-models.json")
+	gpu, _ := models.Get("virtual-xavier", "GPU")
+	half := gpu.Scale(0.5)
+	if math.Abs(half.PeakBW-gpu.PeakBW/2) > 1e-9 {
+		t.Errorf("scaled peak = %v", half.PeakBW)
+	}
+}

@@ -1,0 +1,37 @@
+package pccs
+
+import (
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Policy identifies a memory-controller scheduling policy (paper Table 2).
+type Policy = memctrl.PolicyKind
+
+// The five implemented scheduling policies.
+const (
+	FCFS   = memctrl.FCFS
+	FRFCFS = memctrl.FRFCFS
+	ATLAS  = memctrl.ATLAS
+	TCM    = memctrl.TCM
+	SMS    = memctrl.SMS
+)
+
+// AllPolicies lists every implemented policy in presentation order.
+func AllPolicies() []Policy { return append([]Policy(nil), memctrl.AllPolicies...) }
+
+// ParsePolicy converts a policy name ("FR-FCFS", "TCM", ...) to its kind.
+func ParsePolicy(s string) (Policy, error) { return memctrl.ParsePolicy(s) }
+
+// XavierWithPolicy returns the virtual Xavier with a different memory
+// scheduling policy — used to study how the contention phenomenology
+// depends on fairness control (§2.3).
+func XavierWithPolicy(p Policy) *Platform {
+	x := soc.VirtualXavier()
+	x.Policy = p
+	return x
+}
+
+// CMP16 returns the paper's 16-core memory-controller study platform
+// (Table 1) under the given policy.
+func CMP16(p Policy) *Platform { return soc.CMP16(p) }
