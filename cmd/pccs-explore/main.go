@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/explore"
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/server"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -36,7 +36,7 @@ func main() {
 	)
 	flag.Parse()
 
-	models, err := calib.Load(*modelPath)
+	models, err := server.OpenRegistry(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"log"
 
-	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/server"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 	"github.com/processorcentricmodel/pccs/internal/workload"
 )
@@ -38,7 +38,9 @@ func main() {
 	)
 	flag.Parse()
 
-	models, err := calib.Load(*modelPath)
+	// The registry is the one loader shared with pccsd: same JSON parsing,
+	// same per-model validation.
+	models, err := server.OpenRegistry(*modelPath)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+// Command pccsd is the long-lived PCCS prediction daemon: it loads the
+// constructed-model artifact into a concurrency-safe registry and serves
+// slowdown predictions, design-space exploration, and asynchronous
+// calibration over HTTP/JSON — the calibrate-once/predict-many serving
+// shape of the paper's §4 use cases.
+//
+// Usage:
+//
+//	pccsd [-addr localhost:8080] [-models models/pccs-models.json]
+//	      [-timeout 10s] [-cache 4096] [-workers N] [-queue 64]
+//
+// Endpoints:
+//
+//	POST /v1/predict        single, batch, and multi-phase predictions
+//	POST /v1/explore        frequency/core-count selection under a budget
+//	GET  /v1/models         registry contents
+//	POST /v1/models         register a constructed model
+//	POST /v1/models/reload  hot-reload the model artifact from disk
+//	POST /v1/calibrate      submit an async construction job (202 + job id)
+//	GET  /v1/jobs           job list;  GET /v1/jobs/{id}  job status
+//	GET  /healthz           liveness;  GET /metrics       Prometheus text
+//
+// The daemon exits cleanly on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight requests, and waits for running
+// calibration jobs (bounded by -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccsd: ")
+	var (
+		addr    = flag.String("addr", "localhost:8080", "listen address")
+		models  = flag.String("models", "models/pccs-models.json", "constructed model artifact")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		cache   = flag.Int("cache", 4096, "prediction cache entries (negative disables)")
+		workers = flag.Int("workers", 0, "calibration workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "calibration queue depth")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Addr:           *addr,
+		ModelPath:      *models,
+		RequestTimeout: *timeout,
+		CacheSize:      *cache,
+		Workers:        *workers,
+		JobQueueDepth:  *queue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d models from %s on http://%s", srv.Registry().Len(), *models, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received, draining (budget %s)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("clean shutdown")
+	}
+}

@@ -31,6 +31,52 @@ func TestModelSetRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveErrorPaths(t *testing.T) {
+	s := ModelSet{}
+	p := refModel()
+	p.Platform, p.PU = "virtual-xavier", "GPU"
+	s.Put(p)
+
+	// Unwritable destination directory: the parent is a regular file, so
+	// MkdirAll fails with ENOTDIR. (A permission-bit probe would be
+	// useless here — tests may run as root, which ignores 0o500 modes.)
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(filepath.Join(blocker, "sub", "models.json")); err == nil {
+		t.Error("save under a file-as-directory accepted")
+	}
+
+	// Destination path is an existing directory.
+	if err := s.Save(dir); err == nil {
+		t.Error("save onto a directory accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedJSON(t *testing.T) {
+	// A syntactically-valid prefix cut mid-object must not load.
+	s := ModelSet{}
+	p := refModel()
+	p.Platform, p.PU = "virtual-xavier", "GPU"
+	s.Put(p)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("truncated artifact accepted")
+	}
+}
+
 func TestLoadRejectsBadFiles(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {

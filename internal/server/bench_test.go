@@ -1,0 +1,119 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// benchServer wires the serving path without a socket: benchmarks drive
+// Handler().ServeHTTP directly so they measure routing + JSON + model +
+// cache, not kernel networking.
+func benchServer(b *testing.B, cacheSize int) *Server {
+	b.Helper()
+	reg := NewRegistry()
+	for _, pu := range []string{"CPU", "GPU"} {
+		if err := reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := newServer(Config{CacheSize: cacheSize, Workers: 1}, reg, nil)
+	b.Cleanup(func() { srv.jobs.Close(context.Background()) })
+	return srv
+}
+
+// BenchmarkServerPredict is the serving-throughput baseline: parallel
+// single predictions over a small working set (the scheduler-loop shape —
+// mostly cache hits).
+func BenchmarkServerPredict(b *testing.B) {
+	srv := benchServer(b, 4096)
+	h := srv.Handler()
+	bodies := make([][]byte, 64)
+	for i := range bodies {
+		data, err := json.Marshal(PredictRequest{
+			Platform:     "virtual-xavier",
+			PU:           "GPU",
+			DemandGBps:   float64(1 + i),
+			ExternalGBps: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = data
+	}
+	var n atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := n.Add(1)
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(bodies[i%uint64(len(bodies))]))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
+// BenchmarkServerPredictUncached forces a miss on every request: the upper
+// bound on per-prediction model cost behind the HTTP path.
+func BenchmarkServerPredictUncached(b *testing.B) {
+	srv := benchServer(b, -1)
+	h := srv.Handler()
+	var n atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := n.Add(1)
+			body := fmt.Sprintf(`{"platform":"virtual-xavier","pu":"GPU","demand_gbps":%d,"external_gbps":%d}`,
+				1+i%130, i%130)
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader([]byte(body)))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
+// BenchmarkServerPredictBatch measures the amortization of a 100-item
+// batch, the round-trip-saving path for schedulers evaluating many
+// placements at once.
+func BenchmarkServerPredictBatch(b *testing.B) {
+	srv := benchServer(b, 4096)
+	h := srv.Handler()
+	batch := make([]PredictRequest, 100)
+	for i := range batch {
+		batch[i] = PredictRequest{
+			Platform:     "virtual-xavier",
+			PU:           "GPU",
+			DemandGBps:   float64(1 + i),
+			ExternalGBps: float64(i % 60),
+		}
+	}
+	body, err := json.Marshal(map[string]any{"batch": batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}

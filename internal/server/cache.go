@@ -1,0 +1,111 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// cacheKey identifies one prediction. The full Params value is part of the
+// key (the struct is comparable), so replacing a model via Put or Reload
+// never serves stale results — entries for superseded parameters simply age
+// out of the LRU. phases is the canonical encoding of a multi-phase profile
+// ("" for single-demand predictions).
+type cacheKey struct {
+	params core.Params
+	x, y   float64
+	phases string
+}
+
+// phasesKey canonically encodes a phase profile for cache keying.
+func phasesKey(phases []core.Phase) string {
+	var b strings.Builder
+	for _, ph := range phases {
+		b.WriteString(strconv.FormatFloat(ph.Weight, 'g', -1, 64))
+		b.WriteByte('@')
+		b.WriteString(strconv.FormatFloat(ph.DemandGBps, 'g', -1, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// PredictionCache is a fixed-capacity LRU of prediction results. Schedulers
+// re-query identical placements in their inner loop (the consumer shape of
+// Dagli & Belviranli's contention-aware scheduler), so even a small cache
+// absorbs most of the steady-state traffic.
+type PredictionCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	rs  float64
+}
+
+// NewPredictionCache builds an LRU holding up to capacity entries; a
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func NewPredictionCache(capacity int) *PredictionCache {
+	return &PredictionCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get looks up a cached relative speed, promoting the entry on hit.
+func (c *PredictionCache) Get(k cacheKey) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rs, true
+}
+
+// Put stores a prediction, evicting the least recently used entry when full.
+func (c *PredictionCache) Put(k cacheKey, rs float64) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).rs = rs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, rs: rs})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the lifetime hit/miss counters and the current size.
+func (c *PredictionCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// HitRatio is hits/(hits+misses), 0 before any lookup.
+func (c *PredictionCache) HitRatio() float64 {
+	hits, misses, _ := c.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

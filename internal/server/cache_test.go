@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+func TestCacheHitMissEviction(t *testing.T) {
+	c := NewPredictionCache(2)
+	p := testParams("x", "GPU")
+	k1 := cacheKey{params: p, x: 10, y: 20}
+	k2 := cacheKey{params: p, x: 30, y: 20}
+	k3 := cacheKey{params: p, x: 50, y: 20}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, 90)
+	c.Put(k2, 80)
+	if rs, ok := c.Get(k1); !ok || rs != 90 {
+		t.Fatalf("k1 = %v,%v", rs, ok)
+	}
+	// k2 is now LRU; inserting k3 evicts it.
+	c.Put(k3, 70)
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 survived eviction")
+	}
+	if rs, ok := c.Get(k3); !ok || rs != 70 {
+		t.Errorf("k3 = %v,%v", rs, ok)
+	}
+	hits, misses, size := c.Stats()
+	if size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+	if hits != 2 || misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 2/2", hits, misses)
+	}
+	if r := c.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewPredictionCache(4)
+	k := cacheKey{params: testParams("x", "GPU"), x: 1, y: 2}
+	c.Put(k, 50)
+	c.Put(k, 60)
+	if rs, ok := c.Get(k); !ok || rs != 60 {
+		t.Fatalf("got %v,%v want 60,true", rs, ok)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Errorf("size = %d, want 1", size)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewPredictionCache(-1)
+	k := cacheKey{params: testParams("x", "GPU"), x: 1, y: 2}
+	c.Put(k, 50)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// Different models with identical demands must occupy distinct keys: the
+// Params value is part of the key, which is what makes Put/Reload safe
+// without explicit invalidation.
+func TestCacheKeyIncludesParams(t *testing.T) {
+	c := NewPredictionCache(8)
+	p1 := testParams("x", "GPU")
+	p2 := testParams("x", "GPU")
+	p2.RateN = 9.9
+	c.Put(cacheKey{params: p1, x: 10, y: 20}, 90)
+	if _, ok := c.Get(cacheKey{params: p2, x: 10, y: 20}); ok {
+		t.Fatal("stale hit across different model parameters")
+	}
+}
+
+func TestPhasesKeyDistinguishesProfiles(t *testing.T) {
+	a := phasesKey([]core.Phase{{Weight: 0.5, DemandGBps: 10}, {Weight: 0.5, DemandGBps: 90}})
+	b := phasesKey([]core.Phase{{Weight: 0.5, DemandGBps: 90}, {Weight: 0.5, DemandGBps: 10}})
+	if a == b {
+		t.Error("phase order lost in key")
+	}
+	if a != phasesKey([]core.Phase{{Weight: 0.5, DemandGBps: 10}, {Weight: 0.5, DemandGBps: 90}}) {
+		t.Error("identical profiles key differently")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewPredictionCache(64)
+	p := testParams("x", "GPU")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := cacheKey{params: p, x: float64(i % 100), y: float64(g)}
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, float64(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/explore"
+	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is a
+// batch of a few thousand predictions.
+const maxBodyBytes = 1 << 20
+
+// errorResponse is the JSON error envelope of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// PhaseSpec is one phase of a multi-phase prediction request (§3.2).
+type PhaseSpec struct {
+	Name       string  `json:"name,omitempty"`
+	Weight     float64 `json:"weight"`
+	DemandGBps float64 `json:"demand_gbps"`
+}
+
+// PredictRequest asks for the achieved relative speed of one kernel on one
+// PU under external bandwidth demand. The kernel's demand comes from
+// exactly one of: demand_gbps, phases, or workload (a shipped benchmark
+// surrogate; set use_phases for its per-phase profile).
+type PredictRequest struct {
+	Platform     string      `json:"platform"`
+	PU           string      `json:"pu"`
+	DemandGBps   float64     `json:"demand_gbps,omitempty"`
+	Phases       []PhaseSpec `json:"phases,omitempty"`
+	Workload     string      `json:"workload,omitempty"`
+	UsePhases    bool        `json:"use_phases,omitempty"`
+	ExternalGBps float64     `json:"external_gbps"`
+	// Gables requests the proportional-share baseline alongside PCCS.
+	Gables bool `json:"gables,omitempty"`
+}
+
+// PredictResult is one prediction outcome. In batch responses a failed item
+// carries its error in place of the numbers.
+type PredictResult struct {
+	Platform         string  `json:"platform"`
+	PU               string  `json:"pu"`
+	DemandGBps       float64 `json:"demand_gbps,omitempty"`
+	ExternalGBps     float64 `json:"external_gbps"`
+	Region           string  `json:"region,omitempty"`
+	RelativeSpeedPct float64 `json:"relative_speed_pct,omitempty"`
+	Slowdown         float64 `json:"slowdown,omitempty"`
+	GablesSpeedPct   float64 `json:"gables_speed_pct,omitempty"`
+	Cached           bool    `json:"cached"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// predictBody is the wire shape of POST /v1/predict: either a single
+// request or {"batch": [...]} for many predictions in one round trip.
+type predictBody struct {
+	PredictRequest
+	Batch []PredictRequest `json:"batch,omitempty"`
+}
+
+// predictBatchResponse answers a batch request.
+type predictBatchResponse struct {
+	Results []PredictResult `json:"results"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var body predictBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if len(body.Batch) > 0 {
+		resp := predictBatchResponse{Results: make([]PredictResult, len(body.Batch))}
+		for i, req := range body.Batch {
+			res, err := s.predictOne(req)
+			if err != nil {
+				res = PredictResult{Platform: req.Platform, PU: req.PU,
+					ExternalGBps: req.ExternalGBps, Error: err.Error()}
+			}
+			resp.Results[i] = res
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res, err := s.predictOne(body.PredictRequest)
+	if err != nil {
+		writeError(w, statusForPredictErr(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusForPredictErr maps missing-model errors to 404 and everything else
+// (bad demand, unknown workload, ...) to 400.
+func statusForPredictErr(err error) int {
+	if _, ok := err.(*notFoundError); ok {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+type notFoundError struct{ err error }
+
+func (e *notFoundError) Error() string { return e.err.Error() }
+func (e *notFoundError) Unwrap() error { return e.err }
+
+// predictOne resolves the kernel demand, consults the LRU cache, and runs
+// the three-region model (plus the Gables baseline on request).
+func (s *Server) predictOne(req PredictRequest) (PredictResult, error) {
+	params, err := s.reg.Get(req.Platform, req.PU)
+	if err != nil {
+		return PredictResult{}, &notFoundError{err}
+	}
+	if req.ExternalGBps < 0 {
+		return PredictResult{}, fmt.Errorf("external_gbps must be >= 0, got %g", req.ExternalGBps)
+	}
+
+	phases := make([]core.Phase, 0, len(req.Phases))
+	for _, ph := range req.Phases {
+		phases = append(phases, core.Phase{Name: ph.Name, Weight: ph.Weight, DemandGBps: ph.DemandGBps})
+	}
+	x := req.DemandGBps
+	if req.Workload != "" {
+		if x > 0 || len(phases) > 0 {
+			return PredictResult{}, fmt.Errorf("give either workload or demand_gbps/phases, not both")
+		}
+		wl, err := workload.Get(req.Workload)
+		if err != nil {
+			return PredictResult{}, err
+		}
+		if req.UsePhases {
+			phases, err = wl.ModelPhases(req.Platform, req.PU)
+		} else {
+			x, err = wl.DemandOn(req.Platform, req.PU)
+		}
+		if err != nil {
+			return PredictResult{}, err
+		}
+	}
+
+	res := PredictResult{
+		Platform:     req.Platform,
+		PU:           req.PU,
+		ExternalGBps: req.ExternalGBps,
+	}
+	switch {
+	case len(phases) > 0:
+		key := cacheKey{params: params, y: req.ExternalGBps, phases: phasesKey(phases)}
+		rs, hit := s.cache.Get(key)
+		if !hit {
+			rs, err = params.PredictPhases(phases, req.ExternalGBps)
+			if err != nil {
+				return PredictResult{}, err
+			}
+			s.cache.Put(key, rs)
+		}
+		res.DemandGBps = core.AverageDemand(phases)
+		res.RelativeSpeedPct = rs
+		res.Cached = hit
+	case x > 0:
+		key := cacheKey{params: params, x: x, y: req.ExternalGBps}
+		rs, hit := s.cache.Get(key)
+		if !hit {
+			rs = params.Predict(x, req.ExternalGBps)
+			s.cache.Put(key, rs)
+		}
+		res.DemandGBps = x
+		res.Region = params.Region(x).String()
+		res.RelativeSpeedPct = rs
+		res.Cached = hit
+	default:
+		return PredictResult{}, fmt.Errorf("need demand_gbps > 0, phases, or workload")
+	}
+	res.Slowdown = 100 / res.RelativeSpeedPct
+
+	if req.Gables {
+		g, err := gables.New(s.peakFor(req.Platform, params))
+		if err != nil {
+			return PredictResult{}, err
+		}
+		res.GablesSpeedPct = g.Predict(res.DemandGBps, req.ExternalGBps)
+	}
+	return res, nil
+}
+
+// peakFor resolves the SoC peak bandwidth for the Gables baseline: from the
+// virtual platform when the name is known, else from the model parameters.
+func (s *Server) peakFor(platform string, params core.Params) float64 {
+	if p, err := platformByName(platform); err == nil {
+		return p.PeakGBps()
+	}
+	return params.PeakBW
+}
+
+// ExploreRequest runs the §4.3 design-space exploration against a
+// registered model: pick the cheapest configuration of a knob ("frequency",
+// the default, or "cores") that keeps co-run slowdown within budget.
+type ExploreRequest struct {
+	Platform     string  `json:"platform"`
+	PU           string  `json:"pu"`
+	ExternalGBps float64 `json:"external_gbps"`
+	Knob         string  `json:"knob,omitempty"`
+	// Gables also runs the baseline for the over-provisioning comparison.
+	Gables bool `json:"gables,omitempty"`
+
+	// Frequency knob: the kernel's standalone frequency model and budget.
+	BudgetPct     float64 `json:"budget_pct,omitempty"`
+	MemBoundGBps  float64 `json:"membound_gbps,omitempty"`
+	CrossoverMHz  float64 `json:"crossover_mhz,omitempty"`
+	MaxMHz        float64 `json:"max_mhz,omitempty"`
+	LadderLoMHz   float64 `json:"ladder_lo_mhz,omitempty"`
+	LadderStepMHz float64 `json:"ladder_step_mhz,omitempty"`
+
+	// Cores knob: the kernel's standalone core-scaling model and target.
+	CrossoverCores int     `json:"crossover_cores,omitempty"`
+	MaxCores       int     `json:"max_cores,omitempty"`
+	StepCores      int     `json:"step_cores,omitempty"`
+	TargetFrac     float64 `json:"target_frac,omitempty"`
+}
+
+// ExploreSelection is one model's pick.
+type ExploreSelection struct {
+	FreqMHz     float64 `json:"freq_mhz,omitempty"`
+	Cores       int     `json:"cores,omitempty"`
+	DemandGBps  float64 `json:"demand_gbps"`
+	PredictedRS float64 `json:"predicted_rs_pct,omitempty"`
+	CorunPerf   float64 `json:"corun_perf,omitempty"`
+	RelPower    float64 `json:"rel_power,omitempty"`
+	RelArea     float64 `json:"rel_area,omitempty"`
+	Feasible    bool    `json:"feasible"`
+}
+
+// ExploreResponse reports the PCCS selection and, on request, the Gables
+// baseline plus the resource saved by not over-provisioning.
+type ExploreResponse struct {
+	Knob          string            `json:"knob"`
+	PCCS          ExploreSelection  `json:"pccs"`
+	Gables        *ExploreSelection `json:"gables,omitempty"`
+	PowerSavedPct float64           `json:"power_saved_pct,omitempty"`
+	AreaSavedPct  float64           `json:"area_saved_pct,omitempty"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	params, err := s.reg.Get(req.Platform, req.PU)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var baseline explore.Predictor
+	if req.Gables {
+		g, err := gables.New(s.peakFor(req.Platform, params))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		baseline = g
+	}
+	switch req.Knob {
+	case "", "frequency":
+		s.exploreFrequency(w, req, params, baseline)
+	case "cores":
+		s.exploreCores(w, req, params, baseline)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown knob %q (want frequency or cores)", req.Knob)
+	}
+}
+
+func (s *Server) exploreFrequency(w http.ResponseWriter, req ExploreRequest, params core.Params, baseline explore.Predictor) {
+	fm := explore.FreqModel{
+		Kernel:       "kernel",
+		MemBoundGBps: req.MemBoundGBps,
+		CrossoverMHz: req.CrossoverMHz,
+		MaxMHz:       req.MaxMHz,
+	}
+	lo, step := req.LadderLoMHz, req.LadderStepMHz
+	if lo <= 0 {
+		lo = fm.MaxMHz / 4
+	}
+	if step <= 0 {
+		step = 10
+	}
+	ladder := explore.Ladder(lo, fm.MaxMHz, step)
+	sel, err := explore.SelectFrequency(params, fm, req.ExternalGBps, req.BudgetPct, ladder)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := ExploreResponse{Knob: "frequency", PCCS: freqSelection(sel, fm)}
+	if baseline != nil {
+		gsel, err := explore.SelectFrequency(baseline, fm, req.ExternalGBps, req.BudgetPct, ladder)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		gs := freqSelection(gsel, fm)
+		resp.Gables = &gs
+		if gs.RelPower > resp.PCCS.RelPower {
+			resp.PowerSavedPct = 100 * (gs.RelPower - resp.PCCS.RelPower) / gs.RelPower
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func freqSelection(sel explore.Selection, fm explore.FreqModel) ExploreSelection {
+	return ExploreSelection{
+		FreqMHz:     sel.FreqMHz,
+		DemandGBps:  sel.DemandGBps,
+		PredictedRS: sel.PredictedRS,
+		RelPower:    explore.RelPower(sel.FreqMHz, fm.MaxMHz),
+		Feasible:    sel.Feasible,
+	}
+}
+
+func (s *Server) exploreCores(w http.ResponseWriter, req ExploreRequest, params core.Params, baseline explore.Predictor) {
+	cm := explore.CoreModel{
+		Kernel:         "kernel",
+		MemBoundGBps:   req.MemBoundGBps,
+		CrossoverCores: req.CrossoverCores,
+		MaxCores:       req.MaxCores,
+	}
+	target := req.TargetFrac
+	if target <= 0 {
+		target = 0.95
+	}
+	sel, err := explore.SelectCores(params, cm, req.ExternalGBps, target, req.StepCores)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := ExploreResponse{Knob: "cores", PCCS: coreSelection(sel, cm)}
+	if baseline != nil {
+		gsel, err := explore.SelectCores(baseline, cm, req.ExternalGBps, target, req.StepCores)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		gs := coreSelection(gsel, cm)
+		resp.Gables = &gs
+		resp.AreaSavedPct = explore.AreaSaving(sel.Cores, gsel.Cores)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func coreSelection(sel explore.CoreSelection, cm explore.CoreModel) ExploreSelection {
+	return ExploreSelection{
+		Cores:      sel.Cores,
+		DemandGBps: cm.DemandAt(sel.Cores),
+		CorunPerf:  sel.CorunPerf,
+		RelArea:    sel.RelArea,
+		Feasible:   true,
+	}
+}
+
+// modelsResponse lists the registry contents.
+type modelsResponse struct {
+	Count  int            `json:"count"`
+	Models calib.ModelSet `json:"models"`
+}
+
+func (s *Server) handleModelsGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, modelsResponse{Count: s.reg.Len(), Models: s.reg.Snapshot()})
+}
+
+func (s *Server) handleModelsPost(w http.ResponseWriter, r *http.Request) {
+	var params core.Params
+	if !decodeBody(w, r, &params) {
+		return
+	}
+	if err := s.reg.Put(params); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"key":   calib.Key(params.Platform, params.PU),
+		"count": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleModelsReload(w http.ResponseWriter, _ *http.Request) {
+	if err := s.reg.Reload(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded": s.reg.Path(),
+		"count":    s.reg.Len(),
+	})
+}
+
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	var spec CalibrateSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	job, err := s.jobs.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": job})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         s.reg.Len(),
+		"inflight_jobs":  s.jobs.InFlight(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, size := s.cache.Stats()
+	gauges := []Gauge{
+		{"pccsd_models", "Registered PCCS models.", float64(s.reg.Len())},
+		{"pccsd_jobs_inflight", "Calibration jobs queued or running.", float64(s.jobs.InFlight())},
+		{"pccsd_cache_entries", "Prediction cache entries.", float64(size)},
+		{"pccsd_cache_hits_total", "Prediction cache hits.", float64(hits)},
+		{"pccsd_cache_misses_total", "Prediction cache misses.", float64(misses)},
+		{"pccsd_cache_hit_ratio", "Prediction cache hit ratio.", s.cache.HitRatio()},
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, gauges)
+}

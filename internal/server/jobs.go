@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// JobState is the lifecycle state of an asynchronous job.
+type JobState string
+
+// Job lifecycle: queued → running → completed | failed.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobCompleted JobState = "completed"
+	JobFailed    JobState = "failed"
+)
+
+// Job is one asynchronous calibration: a model-construction sweep takes
+// seconds of simulated time per PU while a prediction takes microseconds,
+// so construction must not block the serving path. Clients poll
+// GET /v1/jobs/{id} until the state is terminal.
+type Job struct {
+	ID        string        `json:"id"`
+	Kind      string        `json:"kind"`
+	Spec      CalibrateSpec `json:"spec"`
+	State     JobState      `json:"state"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	// Models lists the registry keys produced by a completed job.
+	Models []string `json:"models,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// CalibrateSpec describes a calibration request: which platform (and
+// optionally which single PU) to construct models for, and how long the
+// simulation windows should be.
+type CalibrateSpec struct {
+	Platform string `json:"platform"`
+	// PU restricts construction to one processing unit; empty means every
+	// PU of the platform.
+	PU string `json:"pu,omitempty"`
+	// Mode selects the extraction variant: "robust" (default) or "strict".
+	Mode string `json:"mode,omitempty"`
+	// Quick selects the short simulation window (noisier parameters).
+	Quick bool `json:"quick,omitempty"`
+	// WarmupCycles/MeasureCycles override the window lengths when positive.
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+}
+
+// platformByName resolves the virtual platforms the daemon can calibrate.
+func platformByName(name string) (*soc.Platform, error) {
+	switch name {
+	case "virtual-xavier":
+		return soc.VirtualXavier(), nil
+	case "virtual-snapdragon":
+		return soc.VirtualSnapdragon(), nil
+	default:
+		return nil, fmt.Errorf("server: unknown platform %q (want virtual-xavier or virtual-snapdragon)", name)
+	}
+}
+
+func (s CalibrateSpec) validate() error {
+	p, err := platformByName(s.Platform)
+	if err != nil {
+		return err
+	}
+	if s.PU != "" && p.PUIndex(s.PU) < 0 {
+		return fmt.Errorf("server: platform %s has no PU %q", s.Platform, s.PU)
+	}
+	switch s.Mode {
+	case "", "robust", "strict":
+	default:
+		return fmt.Errorf("server: unknown extraction mode %q (want robust or strict)", s.Mode)
+	}
+	if s.WarmupCycles < 0 || s.MeasureCycles < 0 {
+		return fmt.Errorf("server: negative simulation window")
+	}
+	return nil
+}
+
+func (s CalibrateSpec) options() calib.Options {
+	opt := calib.DefaultOptions()
+	if s.Mode == "strict" {
+		opt.Mode = calib.Strict
+	}
+	return opt
+}
+
+func (s CalibrateSpec) runConfig() soc.RunConfig {
+	rc := soc.DefaultRunConfig()
+	if s.Quick {
+		rc = soc.QuickRunConfig()
+	}
+	if s.WarmupCycles > 0 {
+		rc.WarmupCycles = s.WarmupCycles
+	}
+	if s.MeasureCycles > 0 {
+		rc.MeasureCycles = s.MeasureCycles
+	}
+	return rc
+}
+
+// constructFunc runs a calibration and returns the constructed models.
+// Production uses defaultConstruct (the real simulator sweep); tests inject
+// fakes to exercise queue mechanics without paying simulation time.
+type constructFunc func(CalibrateSpec) ([]core.Params, error)
+
+// defaultConstruct runs the processor-centric construction sweep (§3.2) on
+// the simulator for the requested platform/PU(s).
+func defaultConstruct(spec CalibrateSpec) ([]core.Params, error) {
+	p, err := platformByName(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	rc, opt := spec.runConfig(), spec.options()
+	if spec.PU != "" {
+		params, _, err := calib.ConstructPU(p, p.PUIndex(spec.PU), rc, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []core.Params{params}, nil
+	}
+	set, err := calib.ConstructPlatform(p, rc, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Params, 0, len(set))
+	for _, params := range set {
+		out = append(out, params)
+	}
+	return out, nil
+}
+
+// JobRunner owns the calibration queue: a fixed worker pool (sized to
+// GOMAXPROCS by the server) pulls jobs off a bounded channel, runs the
+// construction, and installs the resulting models in the registry.
+type JobRunner struct {
+	reg       *Registry
+	construct constructFunc
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for List
+	seq     int
+	closed  bool
+	queued  int
+	running int
+
+	queue chan string
+	wg    sync.WaitGroup
+}
+
+// NewJobRunner starts workers goroutines draining a queue of depth
+// queueDepth. A nil construct uses the real simulator-backed construction.
+func NewJobRunner(workers, queueDepth int, reg *Registry, construct constructFunc) *JobRunner {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	if construct == nil {
+		construct = defaultConstruct
+	}
+	r := &JobRunner{
+		reg:       reg,
+		construct: construct,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan string, queueDepth),
+	}
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// Submit validates the spec and enqueues a calibration job, returning a
+// snapshot of the queued job. It fails fast when the queue is full rather
+// than blocking the HTTP handler.
+func (r *JobRunner) Submit(spec CalibrateSpec) (Job, error) {
+	if err := spec.validate(); err != nil {
+		return Job{}, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return Job{}, fmt.Errorf("server: job runner shut down")
+	}
+	r.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", r.seq),
+		Kind:      "calibrate",
+		Spec:      spec,
+		State:     JobQueued,
+		Submitted: time.Now().UTC(),
+	}
+	select {
+	case r.queue <- job.ID:
+	default:
+		r.mu.Unlock()
+		return Job{}, fmt.Errorf("server: calibration queue full (%d jobs)", cap(r.queue))
+	}
+	r.jobs[job.ID] = job
+	r.order = append(r.order, job.ID)
+	r.queued++
+	snap := *job
+	r.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns a snapshot of a job by ID.
+func (r *JobRunner) Get(id string) (Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	job, ok := r.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return snapshotJob(job), true
+}
+
+// List returns snapshots of every job in submission order.
+func (r *JobRunner) List() []Job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Job, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, snapshotJob(r.jobs[id]))
+	}
+	return out
+}
+
+// InFlight counts jobs that are queued or running.
+func (r *JobRunner) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queued + r.running
+}
+
+// Close stops accepting new jobs and waits — until ctx expires — for the
+// workers to drain everything already queued or running.
+func (r *JobRunner) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		close(r.queue)
+	}
+	r.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: job runner drain: %w", ctx.Err())
+	}
+}
+
+func (r *JobRunner) worker() {
+	defer r.wg.Done()
+	for id := range r.queue {
+		r.run(id)
+	}
+}
+
+func (r *JobRunner) run(id string) {
+	r.mu.Lock()
+	job := r.jobs[id]
+	now := time.Now().UTC()
+	job.State = JobRunning
+	job.Started = &now
+	r.queued--
+	r.running++
+	spec := job.Spec
+	r.mu.Unlock()
+
+	models, err := r.construct(spec)
+	var keys []string
+	if err == nil {
+		for _, p := range models {
+			if perr := r.reg.Put(p); perr != nil {
+				err = fmt.Errorf("server: installing constructed model: %w", perr)
+				break
+			}
+			keys = append(keys, calib.Key(p.Platform, p.PU))
+		}
+	}
+
+	r.mu.Lock()
+	end := time.Now().UTC()
+	job.Finished = &end
+	r.running--
+	if err != nil {
+		job.State = JobFailed
+		job.Error = err.Error()
+	} else {
+		job.State = JobCompleted
+		job.Models = keys
+	}
+	r.mu.Unlock()
+}
+
+// snapshotJob deep-copies the mutable fields so callers never alias the
+// runner's internal state.
+func snapshotJob(j *Job) Job {
+	snap := *j
+	snap.Models = append([]string(nil), j.Models...)
+	return snap
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// waitJob polls until the job reaches a terminal state.
+func waitJob(t *testing.T, r *JobRunner, id string, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		job, ok := r.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if job.State == JobCompleted || job.State == JobFailed {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %s", id, timeout)
+	return Job{}
+}
+
+func TestJobRunnerCompletesAndInstallsModels(t *testing.T) {
+	reg := NewRegistry()
+	construct := func(spec CalibrateSpec) ([]core.Params, error) {
+		return []core.Params{testParams(spec.Platform, "GPU")}, nil
+	}
+	r := NewJobRunner(2, 8, reg, construct)
+	defer r.Close(context.Background())
+
+	job, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier", PU: "GPU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobQueued || job.ID == "" {
+		t.Fatalf("submitted job = %+v", job)
+	}
+	done := waitJob(t, r, job.ID, 5*time.Second)
+	if done.State != JobCompleted {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	if len(done.Models) != 1 || done.Models[0] != "virtual-xavier/GPU" {
+		t.Fatalf("models = %v", done.Models)
+	}
+	if done.Started == nil || done.Finished == nil {
+		t.Error("missing timestamps")
+	}
+	if _, err := reg.Get("virtual-xavier", "GPU"); err != nil {
+		t.Errorf("constructed model not installed: %v", err)
+	}
+	if got := r.List(); len(got) != 1 || got[0].ID != job.ID {
+		t.Errorf("List = %+v", got)
+	}
+}
+
+func TestJobRunnerReportsFailure(t *testing.T) {
+	boom := errors.New("sweep diverged")
+	r := NewJobRunner(1, 4, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+		return nil, boom
+	})
+	defer r.Close(context.Background())
+	job, err := r.Submit(CalibrateSpec{Platform: "virtual-snapdragon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, r, job.ID, 5*time.Second)
+	if done.State != JobFailed || done.Error != boom.Error() {
+		t.Fatalf("job = %+v", done)
+	}
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	r := NewJobRunner(1, 4, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+		return nil, nil
+	})
+	defer r.Close(context.Background())
+	cases := []CalibrateSpec{
+		{Platform: "no-such-soc"},
+		{Platform: "virtual-xavier", PU: "TPU"},
+		{Platform: "virtual-xavier", Mode: "bayesian"},
+		{Platform: "virtual-xavier", WarmupCycles: -1},
+	}
+	for _, spec := range cases {
+		if _, err := r.Submit(spec); err == nil {
+			t.Errorf("spec %+v accepted", spec)
+		}
+	}
+}
+
+func TestJobQueueBackpressureAndClose(t *testing.T) {
+	release := make(chan struct{})
+	r := NewJobRunner(1, 1, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+		<-release
+		return nil, nil
+	})
+
+	// First job occupies the worker, second fills the queue slot.
+	first, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked up the first job so exactly one queue
+	// slot is in play.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if job, _ := r.Get(first.ID); job.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"}); err == nil {
+		t.Fatal("overfull queue accepted a job")
+	}
+	if n := r.InFlight(); n != 2 {
+		t.Errorf("InFlight = %d, want 2", n)
+	}
+
+	// Close with a blocked worker must time out...
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := r.Close(ctx); err == nil {
+		t.Error("Close returned before drain")
+	}
+	cancel()
+	// ...and succeed once the jobs can finish.
+	close(release)
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{first.ID, second.ID} {
+		if job, _ := r.Get(id); job.State != JobCompleted {
+			t.Errorf("job %s state = %s", id, job.State)
+		}
+	}
+	if _, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"}); err == nil {
+		t.Error("closed runner accepted a job")
+	}
+	if n := r.InFlight(); n != 0 {
+		t.Errorf("InFlight after drain = %d", n)
+	}
+}

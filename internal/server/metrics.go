@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Predictions
+// complete in microseconds and calibration submissions in milliseconds, so
+// the buckets span 50µs to 10s.
+var latencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointMetrics accumulates per-endpoint request counts (by status code)
+// and a latency histogram.
+type endpointMetrics struct {
+	codes   map[int]uint64
+	buckets []uint64 // per-bucket (non-cumulative) observation counts
+	sum     float64
+	count   uint64
+}
+
+// Metrics is a hand-rolled Prometheus registry: counters and histograms per
+// endpoint, rendered in the text exposition format by WritePrometheus. No
+// client library — the daemon has zero dependencies beyond the stdlib.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// Observe records one request against an endpoint label: its status code
+// and wall-clock latency in seconds.
+func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[endpoint]
+	if !ok {
+		em = &endpointMetrics{
+			codes:   make(map[int]uint64),
+			buckets: make([]uint64, len(latencyBuckets)+1), // +1 for +Inf
+		}
+		m.endpoints[endpoint] = em
+	}
+	em.codes[code]++
+	em.sum += seconds
+	em.count++
+	idx := len(latencyBuckets) // +Inf
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			idx = i
+			break
+		}
+	}
+	em.buckets[idx]++
+}
+
+// Gauge is a point-in-time value sampled at scrape time (cache hit ratio,
+// in-flight jobs, registered models, ...).
+type Gauge struct {
+	Name  string
+	Help  string
+	Value float64
+}
+
+// WritePrometheus renders every counter, histogram, and the supplied gauges
+// in the Prometheus text exposition format, with deterministic ordering.
+func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP pccsd_requests_total Requests served, by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE pccsd_requests_total counter")
+	for _, name := range names {
+		em := m.endpoints[name]
+		codes := make([]int, 0, len(em.codes))
+		for c := range em.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "pccsd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, em.codes[c])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP pccsd_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE pccsd_request_duration_seconds histogram")
+	for _, name := range names {
+		em := m.endpoints[name]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += em.buckets[i]
+			fmt.Fprintf(w, "pccsd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, formatBound(ub), cum)
+		}
+		cum += em.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "pccsd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(w, "pccsd_request_duration_seconds_sum{endpoint=%q} %g\n", name, em.sum)
+		fmt.Fprintf(w, "pccsd_request_duration_seconds_count{endpoint=%q} %d\n", name, em.count)
+	}
+	m.mu.Unlock()
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name)
+		fmt.Fprintf(w, "%s %g\n", g.Name, g.Value)
+	}
+}
+
+// formatBound renders a bucket bound the way Prometheus expects (no
+// exponent notation surprises for the common bounds).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

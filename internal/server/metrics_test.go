@@ -1,0 +1,59 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/v1/predict", 200, 0.0002)
+	m.Observe("/v1/predict", 200, 0.004)
+	m.Observe("/v1/predict", 400, 0.00007)
+	m.Observe("/healthz", 200, 99) // beyond the last bucket → +Inf only
+
+	var sb strings.Builder
+	m.WritePrometheus(&sb, []Gauge{{Name: "pccsd_models", Help: "Models.", Value: 3}})
+	out := sb.String()
+
+	for _, want := range []string{
+		`pccsd_requests_total{endpoint="/v1/predict",code="200"} 2`,
+		`pccsd_requests_total{endpoint="/v1/predict",code="400"} 1`,
+		`pccsd_requests_total{endpoint="/healthz",code="200"} 1`,
+		`# TYPE pccsd_request_duration_seconds histogram`,
+		`pccsd_request_duration_seconds_count{endpoint="/v1/predict"} 3`,
+		`pccsd_request_duration_seconds_bucket{endpoint="/v1/predict",le="+Inf"} 3`,
+		`pccsd_request_duration_seconds_bucket{endpoint="/healthz",le="10"} 0`,
+		`pccsd_request_duration_seconds_bucket{endpoint="/healthz",le="+Inf"} 1`,
+		"# TYPE pccsd_models gauge",
+		"pccsd_models 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	// Buckets must be cumulative: the 5e-05 bucket holds only the 7e-05
+	// observation... (it is below 1e-04 but above 5e-05), check ordering.
+	if !strings.Contains(out, `pccsd_request_duration_seconds_bucket{endpoint="/v1/predict",le="5e-05"} 0`) {
+		t.Errorf("le=5e-05 bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `pccsd_request_duration_seconds_bucket{endpoint="/v1/predict",le="0.0001"} 1`) {
+		t.Errorf("le=0.0001 bucket not cumulative:\n%s", out)
+	}
+}
+
+func TestMetricsDeterministicOrder(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/b", 200, 0.001)
+	m.Observe("/a", 200, 0.001)
+	var one, two strings.Builder
+	m.WritePrometheus(&one, nil)
+	m.WritePrometheus(&two, nil)
+	if one.String() != two.String() {
+		t.Error("non-deterministic rendering")
+	}
+	if strings.Index(one.String(), `endpoint="/a"`) > strings.Index(one.String(), `endpoint="/b"`) {
+		t.Error("endpoints not sorted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package server implements pccsd, the long-lived PCCS prediction service:
+// a concurrency-safe model registry seeded from the constructed-model
+// artifact, an LRU prediction cache, an asynchronous calibration job queue,
+// hand-rolled Prometheus metrics, and the HTTP/JSON handlers that expose
+// the façade (predict, explore, models, calibrate, jobs, healthz, metrics).
+//
+// The paper's methodology is calibrate-once/predict-many (§3.2, §4): model
+// construction costs seconds of simulation per PU while a prediction is a
+// few floating-point operations, exactly the shape of a daemon that answers
+// slowdown queries from schedulers and DSE tools at high rate.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// Registry is a concurrency-safe model registry wrapping a calib.ModelSet.
+// A bare ModelSet is a map and therefore unsafe to share between goroutines
+// that mutate it; every shared access in the daemon (and in the CLIs, which
+// reuse this loader) goes through the Registry's RWMutex instead.
+type Registry struct {
+	mu   sync.RWMutex
+	set  calib.ModelSet
+	path string
+}
+
+// NewRegistry returns an empty registry with no backing file.
+func NewRegistry() *Registry {
+	return &Registry{set: calib.ModelSet{}}
+}
+
+// OpenRegistry loads a model artifact (calib.Load performs the JSON parse
+// and per-model validation) and returns a registry backed by that path, so
+// Reload can refresh it in place.
+func OpenRegistry(path string) (*Registry, error) {
+	set, err := calib.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Registry{set: set, path: path}, nil
+}
+
+// Path returns the backing artifact path ("" for in-memory registries).
+func (r *Registry) Path() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.path
+}
+
+// Reload re-reads the backing artifact, atomically replacing the whole set
+// on success and leaving the registry untouched on error (hot reload).
+func (r *Registry) Reload() error {
+	r.mu.RLock()
+	path := r.path
+	r.mu.RUnlock()
+	if path == "" {
+		return fmt.Errorf("server: registry has no backing model file")
+	}
+	set, err := calib.Load(path)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.set = set
+	r.mu.Unlock()
+	return nil
+}
+
+// Get fetches the model for a platform PU.
+func (r *Registry) Get(platform, pu string) (core.Params, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.set.Get(platform, pu)
+}
+
+// Put validates and stores a model under its platform/PU key, replacing any
+// previous model for that PU.
+func (r *Registry) Put(p core.Params) error {
+	if p.Platform == "" || p.PU == "" {
+		return fmt.Errorf("server: model needs Platform and PU, got %q/%q", p.Platform, p.PU)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.set.Put(p)
+	r.mu.Unlock()
+	return nil
+}
+
+// Len reports the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.set)
+}
+
+// Keys returns the sorted model keys ("platform/pu").
+func (r *Registry) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	keys := make([]string, 0, len(r.set))
+	for k := range r.set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a copy of the underlying set, safe to marshal or mutate
+// without holding the registry lock.
+func (r *Registry) Snapshot() calib.ModelSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(calib.ModelSet, len(r.set))
+	for k, v := range r.set {
+		out[k] = v
+	}
+	return out
+}
+
+// Save writes the current set to the given path via calib.ModelSet.Save.
+func (r *Registry) Save(path string) error {
+	return r.Snapshot().Save(path)
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// testParams builds a valid synthetic model (Xavier-GPU-shaped numbers).
+func testParams(platform, pu string) core.Params {
+	return core.Params{
+		PU:          pu,
+		Platform:    platform,
+		NormalBW:    20,
+		IntensiveBW: 100,
+		MRMC:        2,
+		CBP:         86,
+		TBWDC:       120,
+		RateN:       1.2,
+		PeakBW:      136.5,
+	}
+}
+
+func writeModelFile(t *testing.T, set calib.ModelSet) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := set.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenRegistry(t *testing.T) {
+	set := calib.ModelSet{}
+	set.Put(testParams("virtual-xavier", "GPU"))
+	set.Put(testParams("virtual-xavier", "CPU"))
+	reg, err := OpenRegistry(writeModelFile(t, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+	if _, err := reg.Get("virtual-xavier", "GPU"); err != nil {
+		t.Errorf("Get GPU: %v", err)
+	}
+	want := []string{"virtual-xavier/CPU", "virtual-xavier/GPU"}
+	got := reg.Keys()
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestOpenRegistryMissingFile(t *testing.T) {
+	if _, err := OpenRegistry(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRegistryPut(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(testParams("p", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Put(core.Params{}); err == nil {
+		t.Error("empty params accepted")
+	}
+	bad := testParams("p", "GPU")
+	bad.PeakBW = -1
+	if err := reg.Put(bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d, want 1", reg.Len())
+	}
+}
+
+func TestRegistryReload(t *testing.T) {
+	set := calib.ModelSet{}
+	set.Put(testParams("virtual-xavier", "GPU"))
+	path := writeModelFile(t, set)
+	reg, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the artifact on disk, then hot-reload.
+	set.Put(testParams("virtual-xavier", "DLA"))
+	if err := set.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("after reload Len = %d, want 2", reg.Len())
+	}
+
+	// A corrupt artifact must leave the registry untouched.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Reload(); err == nil {
+		t.Fatal("corrupt reload accepted")
+	}
+	if reg.Len() != 2 {
+		t.Errorf("failed reload mutated registry: Len = %d", reg.Len())
+	}
+
+	// No backing file.
+	if err := NewRegistry().Reload(); err == nil {
+		t.Error("reload without backing file accepted")
+	}
+}
+
+func TestRegistrySaveRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out", "models.json")
+	if err := reg.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := calib.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Get("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != testParams("virtual-xavier", "GPU") {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestRegistryConcurrentAccess is the -race regression for the shared
+// ModelSet: writers replace models while readers Get/List/Snapshot. A bare
+// calib.ModelSet here trips the race detector; the Registry must not.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	pus := []string{"CPU", "GPU", "DLA", "NPU"}
+	for _, pu := range pus {
+		if err := reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				pu := pus[i%len(pus)]
+				switch g % 4 {
+				case 0:
+					p := testParams("virtual-xavier", pu)
+					p.RateN = 1 + float64(i)/1000
+					if err := reg.Put(p); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				case 1:
+					if _, err := reg.Get("virtual-xavier", pu); err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+				case 2:
+					if n := len(reg.Keys()); n != len(pus) {
+						t.Errorf("Keys len = %d", n)
+						return
+					}
+				case 3:
+					snap := reg.Snapshot()
+					// Mutating the snapshot must not touch the registry.
+					snap[fmt.Sprintf("scratch/%d", i)] = core.Params{}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if reg.Len() != len(pus) {
+		t.Errorf("Len = %d, want %d", reg.Len(), len(pus))
+	}
+}

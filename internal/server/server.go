@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address (host:port).
+	Addr string
+	// ModelPath is the constructed-model artifact seeding the registry.
+	ModelPath string
+	// RequestTimeout bounds each request end to end (default 10s); slow
+	// work (calibration) runs async behind the job queue, so hitting the
+	// timeout on the serving path indicates overload.
+	RequestTimeout time.Duration
+	// CacheSize is the prediction-LRU capacity (default 4096; 0 uses the
+	// default, negative disables caching).
+	CacheSize int
+	// Workers sizes the calibration worker pool (default GOMAXPROCS).
+	Workers int
+	// JobQueueDepth bounds the calibration backlog (default 64).
+	JobQueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:8080"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 64
+	}
+	return c
+}
+
+// Server is the pccsd daemon: registry + cache + job runner + metrics wired
+// behind an HTTP mux.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *PredictionCache
+	jobs    *JobRunner
+	metrics *Metrics
+	start   time.Time
+
+	handler http.Handler
+	httpSrv *http.Server
+}
+
+// New builds a server whose registry is seeded from cfg.ModelPath.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := OpenRegistry(cfg.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	return newServer(cfg, reg, nil), nil
+}
+
+// newServer wires an already-loaded registry; tests inject a fake
+// constructFunc to exercise the job queue without simulator time.
+func newServer(cfg Config, reg *Registry, construct constructFunc) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   NewPredictionCache(cfg.CacheSize),
+		jobs:    NewJobRunner(cfg.Workers, cfg.JobQueueDepth, reg, construct),
+		metrics: NewMetrics(),
+		start:   time.Now(),
+	}
+	mux := http.NewServeMux()
+	route := func(pattern, label string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(label, h))
+	}
+	route("POST /v1/predict", "/v1/predict", s.handlePredict)
+	route("POST /v1/explore", "/v1/explore", s.handleExplore)
+	route("GET /v1/models", "/v1/models", s.handleModelsGet)
+	route("POST /v1/models", "/v1/models", s.handleModelsPost)
+	route("POST /v1/models/reload", "/v1/models/reload", s.handleModelsReload)
+	route("POST /v1/calibrate", "/v1/calibrate", s.handleCalibrate)
+	route("GET /v1/jobs", "/v1/jobs", s.handleJobs)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
+	s.httpSrv = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-endpoint request counting and latency
+// observation under a stable route label (no per-ID cardinality).
+func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		begin := time.Now()
+		h(rec, r)
+		s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+	})
+}
+
+// Handler exposes the full route tree (used by httptest and benchmarks).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Registry exposes the model registry (shared with the CLIs).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Addr returns the configured listen address.
+func (s *Server) Addr() string { return s.cfg.Addr }
+
+// Serve accepts connections on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown; like
+// http.Server it returns http.ErrServerClosed after a clean shutdown.
+func (s *Server) ListenAndServe() error {
+	return s.httpSrv.ListenAndServe()
+}
+
+// Shutdown drains in-flight HTTP requests, then stops the job runner,
+// waiting for queued calibrations until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		// Still stop the workers before reporting the HTTP drain error.
+		_ = s.jobs.Close(ctx)
+		return err
+	}
+	return s.jobs.Close(ctx)
+}

@@ -1,0 +1,604 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/explore"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// newTestServer wires a server around an in-memory registry (no daemon
+// socket; handlers run behind httptest). A nil construct keeps the real
+// simulator-backed calibration.
+func newTestServer(t *testing.T, construct constructFunc) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	for _, pu := range []string{"CPU", "GPU"} {
+		if err := reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8}, reg, construct)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.jobs.Close(ctx); err != nil {
+			t.Errorf("job drain: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestPredictSingleMatchesModel(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	req := PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40, Gables: true}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res PredictResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	params := testParams("virtual-xavier", "GPU")
+	want := params.Predict(88, 40)
+	if res.RelativeSpeedPct != want {
+		t.Errorf("RS = %v, want %v", res.RelativeSpeedPct, want)
+	}
+	if res.Slowdown != 100/want {
+		t.Errorf("slowdown = %v", res.Slowdown)
+	}
+	if res.Region != params.Region(88).String() {
+		t.Errorf("region = %q", res.Region)
+	}
+	if res.GablesSpeedPct <= 0 || res.GablesSpeedPct > 100 {
+		t.Errorf("gables = %v", res.GablesSpeedPct)
+	}
+	if res.Cached {
+		t.Error("first query claimed a cache hit")
+	}
+
+	// The identical query must come from the LRU.
+	_, body = postJSON(t, ts.URL+"/v1/predict", req)
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("repeat query missed the cache")
+	}
+	if res.RelativeSpeedPct != want {
+		t.Errorf("cached RS = %v, want %v", res.RelativeSpeedPct, want)
+	}
+}
+
+func TestPredictWorkloadAndPhases(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+
+	// Workload lookup: demand comes from the shipped surrogate profile.
+	resp, body := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-xavier", PU: "GPU", Workload: "streamcluster", ExternalGBps: 40,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("workload predict: %d %s", resp.StatusCode, body)
+	}
+	var res PredictResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Get("streamcluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDemand, err := wl.DemandOn("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DemandGBps != wantDemand {
+		t.Errorf("resolved demand = %v, want %v", res.DemandGBps, wantDemand)
+	}
+
+	// Multi-phase via the cfd profile (one high-BW + three medium phases).
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-xavier", PU: "GPU", Workload: "cfd", UsePhases: true, ExternalGBps: 40,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("phase predict: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	params := testParams("virtual-xavier", "GPU")
+	phases, err := workload.MustGet("cfd").ModelPhases("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := params.PredictPhases(phases, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelativeSpeedPct != want {
+		t.Errorf("phase RS = %v, want %v", res.RelativeSpeedPct, want)
+	}
+
+	// Explicit inline phases.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 40,
+		Phases: []PhaseSpec{{Weight: 0.25, DemandGBps: 110}, {Weight: 0.75, DemandGBps: 30}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline phases: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	body := map[string]any{
+		"batch": []PredictRequest{
+			{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40},
+			{Platform: "virtual-xavier", PU: "CPU", DemandGBps: 55, ExternalGBps: 60},
+			{Platform: "virtual-xavier", PU: "TPU", DemandGBps: 10, ExternalGBps: 5}, // no such model
+		},
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/predict", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var br predictBatchResponse
+	if err := json.Unmarshal(out, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d", len(br.Results))
+	}
+	if br.Results[0].Error != "" || br.Results[1].Error != "" {
+		t.Errorf("good items errored: %+v", br.Results[:2])
+	}
+	if br.Results[2].Error == "" {
+		t.Error("bad item did not carry an error")
+	}
+	want := testParams("virtual-xavier", "GPU").Predict(88, 40)
+	if br.Results[0].RelativeSpeedPct != want {
+		t.Errorf("batch RS = %v, want %v", br.Results[0].RelativeSpeedPct, want)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body any
+		code int
+	}{
+		{"unknown model", PredictRequest{Platform: "virtual-xavier", PU: "TPU", DemandGBps: 10, ExternalGBps: 5}, http.StatusNotFound},
+		{"no demand", PredictRequest{Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 5}, http.StatusBadRequest},
+		{"negative external", PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 10, ExternalGBps: -5}, http.StatusBadRequest},
+		{"workload and demand", PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 10, Workload: "bfs", ExternalGBps: 5}, http.StatusBadRequest},
+		{"unknown workload", PredictRequest{Platform: "virtual-xavier", PU: "GPU", Workload: "doom", ExternalGBps: 5}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"platfrom": "virtual-xavier"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, ts.URL+"/v1/predict", tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.code, out)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(out, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: no JSON error envelope: %s", tc.name, out)
+		}
+	}
+}
+
+func TestExploreFrequency(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	req := ExploreRequest{
+		Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 40, Gables: true,
+		BudgetPct: 5, MemBoundGBps: 88, CrossoverMHz: 900, MaxMHz: 1377,
+		LadderLoMHz: 300, LadderStepMHz: 10,
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var er ExploreResponse
+	if err := json.Unmarshal(out, &er); err != nil {
+		t.Fatal(err)
+	}
+	params := testParams("virtual-xavier", "GPU")
+	fm := explore.FreqModel{Kernel: "kernel", MemBoundGBps: 88, CrossoverMHz: 900, MaxMHz: 1377}
+	want, err := explore.SelectFrequency(params, fm, 40, 5, explore.Ladder(300, 1377, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.PCCS.FreqMHz != want.FreqMHz || er.PCCS.Feasible != want.Feasible {
+		t.Errorf("PCCS selection = %+v, want %+v", er.PCCS, want)
+	}
+	if er.Gables == nil {
+		t.Fatal("baseline missing")
+	}
+}
+
+func TestExploreCores(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	req := ExploreRequest{
+		Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 60, Knob: "cores", Gables: true,
+		MemBoundGBps: 88, CrossoverCores: 48, MaxCores: 64, StepCores: 4, TargetFrac: 0.95,
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/explore", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var er ExploreResponse
+	if err := json.Unmarshal(out, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.PCCS.Cores <= 0 || er.PCCS.Cores > 64 {
+		t.Errorf("cores = %d", er.PCCS.Cores)
+	}
+
+	resp, out = postJSON(t, ts.URL+"/v1/explore", ExploreRequest{
+		Platform: "virtual-xavier", PU: "GPU", Knob: "dial-a-yield",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad knob: status %d (%s)", resp.StatusCode, out)
+	}
+}
+
+func TestModelsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var list modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &list)
+	if list.Count != 2 || len(list.Models) != 2 {
+		t.Fatalf("initial models = %+v", list)
+	}
+
+	// Register a third model, then read it back.
+	resp, out := postJSON(t, ts.URL+"/v1/models", testParams("virtual-xavier", "DLA"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, out)
+	}
+	getJSON(t, ts.URL+"/v1/models", &list)
+	if list.Count != 3 {
+		t.Fatalf("after register: %+v", list)
+	}
+	if _, ok := list.Models["virtual-xavier/DLA"]; !ok {
+		t.Error("registered model not listed")
+	}
+
+	bad := testParams("virtual-xavier", "NPU")
+	bad.CBP = -4
+	if resp, _ := postJSON(t, ts.URL+"/v1/models", bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid model: status %d", resp.StatusCode)
+	}
+}
+
+func TestModelsReload(t *testing.T) {
+	set := calib.ModelSet{}
+	set.Put(testParams("virtual-xavier", "GPU"))
+	path := writeModelFile(t, set)
+	reg, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{Workers: 1}, reg, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Close(context.Background())
+
+	set.Put(testParams("virtual-xavier", "CPU"))
+	if err := set.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/models/reload", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d %s", resp.StatusCode, out)
+	}
+	var list modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &list)
+	if list.Count != 2 {
+		t.Fatalf("after reload: %+v", list)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var health map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &health)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if health["status"] != "ok" || health["models"] != float64(2) {
+		t.Errorf("health = %v", health)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	req := PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40}
+	postJSON(t, ts.URL+"/v1/predict", req)
+	postJSON(t, ts.URL+"/v1/predict", req) // cache hit
+	getJSON(t, ts.URL+"/healthz", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	text := string(out)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`pccsd_requests_total{endpoint="/v1/predict",code="200"} 2`,
+		`pccsd_requests_total{endpoint="/healthz",code="200"} 1`,
+		`pccsd_request_duration_seconds_count{endpoint="/v1/predict"} 2`,
+		"pccsd_models 2",
+		"pccsd_cache_hits_total 1",
+		"pccsd_cache_misses_total 1",
+		"pccsd_cache_hit_ratio 0.5",
+		"pccsd_jobs_inflight 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestConcurrentPredictLoad hammers the serving path with >= 100 parallel
+// requests mixing cache hits, misses, and batch bodies; run under -race
+// this is the serving-path concurrency regression.
+func TestConcurrentPredictLoad(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 32
+
+	const parallel = 128
+	var wg sync.WaitGroup
+	errs := make(chan error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pu := "GPU"
+			if i%3 == 0 {
+				pu = "CPU"
+			}
+			req := PredictRequest{
+				Platform:     "virtual-xavier",
+				PU:           pu,
+				DemandGBps:   float64(1 + i%40),
+				ExternalGBps: float64(i % 60),
+			}
+			data, _ := json.Marshal(req)
+			resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var res PredictResult
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			want := testParams("virtual-xavier", pu).Predict(req.DemandGBps, req.ExternalGBps)
+			if res.RelativeSpeedPct != want {
+				errs <- fmt.Errorf("RS %v != %v", res.RelativeSpeedPct, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCalibrateJobLifecycle drives a real simulator-backed calibration
+// through the async API: submit → 202 → poll /v1/jobs/{id} → completed →
+// the constructed model appears in /v1/models and serves predictions.
+func TestCalibrateJobLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed calibration in -short mode")
+	}
+	_, ts := newTestServer(t, nil) // nil: the real construct function
+	spec := CalibrateSpec{
+		Platform:      "virtual-snapdragon",
+		PU:            "GPU",
+		WarmupCycles:  40_000,
+		MeasureCycles: 60_000,
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/calibrate", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var sub struct {
+		Job Job `json:"job"`
+	}
+	if err := json.Unmarshal(out, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Job.ID == "" {
+		t.Fatalf("no job id in %s", out)
+	}
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var job Job
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.Job.ID, &job)
+		if job.State == JobCompleted || job.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if job.State != JobCompleted {
+		t.Fatalf("job failed: %s", job.Error)
+	}
+	if len(job.Models) != 1 || job.Models[0] != "virtual-snapdragon/GPU" {
+		t.Fatalf("job models = %v", job.Models)
+	}
+
+	var list modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &list)
+	params, ok := list.Models["virtual-snapdragon/GPU"]
+	if !ok {
+		t.Fatalf("constructed model not in registry: %v", list)
+	}
+	if err := params.Validate(); err != nil {
+		t.Fatalf("constructed model invalid: %v", err)
+	}
+
+	// The fresh model must serve predictions immediately.
+	resp, out = postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-snapdragon", PU: "GPU", DemandGBps: 20, ExternalGBps: 15,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict on constructed model: %d %s", resp.StatusCode, out)
+	}
+
+	var jobs struct {
+		Jobs []Job `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &jobs)
+	if len(jobs.Jobs) != 1 {
+		t.Errorf("job list = %+v", jobs)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d", resp.StatusCode)
+	}
+}
+
+func TestCalibrateRejectsBadSpec(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, _ := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "imaginary-soc"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+// TestShippedModelsParity loads the repository's constructed-model artifact
+// and checks the server's answer equals a direct library prediction — the
+// same parity the pccsd/pccs-predict acceptance check exercises by hand.
+func TestShippedModelsParity(t *testing.T) {
+	reg, err := OpenRegistry("../../models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{Workers: 1}, reg, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Close(context.Background())
+
+	params, err := reg.Get("virtual-xavier", "GPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, out := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	var res PredictResult
+	if err := json.Unmarshal(out, &res); err != nil {
+		t.Fatal(err)
+	}
+	if want := params.Predict(88, 40); res.RelativeSpeedPct != want {
+		t.Errorf("server RS %v != library %v", res.RelativeSpeedPct, want)
+	}
+}
+
+// TestGracefulShutdown serves on a real socket and verifies Shutdown drains
+// and Serve returns http.ErrServerClosed — the daemon's SIGINT path.
+func TestGracefulShutdown(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{Workers: 1}, reg, nil)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	url := "http://" + l.Addr().String()
+	var health map[string]any
+	getJSON(t, url+"/healthz", &health)
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
