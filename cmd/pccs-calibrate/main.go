@@ -3,20 +3,29 @@
 // five-step parameter extraction) and writes them to a model file the rest
 // of the tooling loads.
 //
+// The sweep's grid points fan out over a worker pool (GOMAXPROCS by
+// default, -workers to override); results are bit-identical to a serial
+// sweep. ^C aborts the running sweep gracefully: models already constructed
+// are saved before exiting.
+//
 // Usage:
 //
 //	pccs-calibrate [-o models/pccs-models.json] [-platform all|xavier|snapdragon]
-//	               [-mode robust|strict] [-quick]
+//	               [-mode robust|strict] [-quick] [-workers N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -28,6 +37,7 @@ func main() {
 		platform = flag.String("platform", "all", "platform to calibrate: all, xavier, snapdragon")
 		mode     = flag.String("mode", "robust", "extraction mode: robust or strict")
 		quick    = flag.Bool("quick", false, "short simulation windows (noisier parameters)")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -57,6 +67,14 @@ func main() {
 		log.Fatalf("unknown platform %q", *platform)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ex := simrun.New(*workers)
+	ex.OnProgress = func(completed, total int) {
+		fmt.Fprintf(os.Stderr, "\r%d/%d simulation points", completed, total)
+	}
+
 	set := calib.ModelSet{}
 	if existing, err := calib.Load(*out); err == nil {
 		set = existing // refresh only the requested platforms
@@ -64,13 +82,21 @@ func main() {
 	for _, p := range platforms {
 		for i := range p.PUs {
 			start := time.Now()
-			params, matrix, err := calib.ConstructPU(p, i, rc, opt)
+			params, matrix, err := calib.ConstructPUContext(ctx, ex, p, i, rc, opt)
+			fmt.Fprint(os.Stderr, "\r\n")
 			if err != nil {
+				if ctx.Err() != nil {
+					// Keep what finished before the interrupt.
+					if serr := set.Save(*out); serr == nil && len(set) > 0 {
+						fmt.Fprintf(os.Stderr, "interrupted: wrote %d completed models to %s\n", len(set), *out)
+					}
+					log.Fatalf("interrupted while constructing %s/%s", p.Name, p.PUs[i].Name)
+				}
 				log.Fatalf("constructing %s/%s: %v", p.Name, p.PUs[i].Name, err)
 			}
 			set.Put(params)
-			fmt.Printf("%s  (%d×%d matrix, %s)\n", params,
-				len(matrix.StdBW), len(matrix.ExtBW), time.Since(start).Round(time.Second))
+			fmt.Printf("%s  (%d×%d matrix, %s, %d workers)\n", params,
+				len(matrix.StdBW), len(matrix.ExtBW), time.Since(start).Round(time.Second), ex.Workers())
 		}
 	}
 	if err := set.Save(*out); err != nil {

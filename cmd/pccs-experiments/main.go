@@ -12,14 +12,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/experiments"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -27,10 +31,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pccs-experiments: ")
 	var (
-		list   = flag.Bool("list", false, "list experiments")
-		run    = flag.String("run", "", "experiment id to run, or 'all'")
-		models = flag.String("models", "models/pccs-models.json", "constructed model artifact")
-		full   = flag.Bool("full", false, "use long simulation windows (slower, less noise)")
+		list     = flag.Bool("list", false, "list experiments")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		models   = flag.String("models", "models/pccs-models.json", "constructed model artifact")
+		full     = flag.Bool("full", false, "use long simulation windows (slower, less noise)")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", true, "print simulation-point progress to stderr")
 	)
 	flag.Parse()
 
@@ -54,6 +60,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// ^C cancels the simulation context: the running figure aborts at the
+	// next event-loop checkpoint instead of finishing its sweep.
+	sig, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx.Sim = sig
+	if *workers > 0 {
+		ctx.Exec = simrun.New(*workers)
+	}
+	if *progress {
+		ctx.Exec.OnProgress = func(completed, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulation points", completed, total)
+		}
+	}
+
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()
@@ -69,7 +89,14 @@ func main() {
 	for _, e := range todo {
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(ctx); err != nil {
+		err := e.Run(ctx)
+		if *progress {
+			fmt.Fprint(os.Stderr, "\r\n")
+		}
+		if err != nil {
+			if sig.Err() != nil {
+				log.Fatalf("%s: interrupted", e.ID)
+			}
 			log.Fatalf("%s: %v", e.ID, err)
 		}
 		fmt.Printf("[%s done in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))

@@ -1,7 +1,10 @@
 package pccs
 
 import (
+	"context"
+
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 )
 
 // Matrix is the rela[n][m] achieved-relative-speed measurement the model
@@ -32,14 +35,28 @@ func LoadModels(path string) (ModelSet, error) { return calib.Load(path) }
 
 // Construct builds the PCCS model for one PU of a platform by running the
 // processor-centric calibration sweep on the simulator and extracting the
-// parameters. It returns the model and the measured matrix.
+// parameters. It returns the model and the measured matrix. The sweep's
+// grid points fan out over a GOMAXPROCS worker pool; the result is
+// bit-identical to a serial sweep.
 func Construct(p *Platform, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
 	return calib.ConstructPU(p, pu, rc, opt)
+}
+
+// ConstructContext is Construct with cancellation: the sweep aborts as soon
+// as ctx is done and returns the context error.
+func ConstructContext(ctx context.Context, p *Platform, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
+	return calib.ConstructPUContext(ctx, nil, p, pu, rc, opt)
 }
 
 // ConstructAll builds models for every PU of a platform.
 func ConstructAll(p *Platform, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
 	return calib.ConstructPlatform(p, rc, opt)
+}
+
+// ConstructAllContext is ConstructAll with cancellation. One executor (and
+// its standalone-measurement memo cache) is shared across the PUs.
+func ConstructAllContext(ctx context.Context, p *Platform, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
+	return calib.ConstructPlatformContext(ctx, nil, p, rc, opt)
 }
 
 // Extract runs only the five-step analysis on an existing matrix.
@@ -50,4 +67,11 @@ func Extract(m *Matrix, opt ExtractOptions) (Params, error) { return calib.Extra
 // measurement the models are validated against.
 func MeasureRelativeSpeeds(p *Platform, pl Placement, rc RunConfig) (map[int]PUResult, error) {
 	return p.RelativeSpeeds(pl, rc)
+}
+
+// MeasureRelativeSpeedsContext is MeasureRelativeSpeeds with cancellation;
+// the co-run and every standalone reference proceed concurrently, with
+// results identical to the serial method.
+func MeasureRelativeSpeedsContext(ctx context.Context, p *Platform, pl Placement, rc RunConfig) (map[int]PUResult, error) {
+	return simrun.RelativeSpeeds(ctx, simrun.New(0), p, pl, rc)
 }

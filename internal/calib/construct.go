@@ -1,9 +1,11 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -33,13 +35,21 @@ func PressurePUFor(p *soc.Platform, target int) (int, error) {
 // ConstructPU builds the PCCS model for one PU of a platform: sweep the
 // calibrator grid, then extract parameters.
 func ConstructPU(p *soc.Platform, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
+	return ConstructPUContext(context.Background(), nil, p, target, rc, opt)
+}
+
+// ConstructPUContext is ConstructPU with cancellation and a shared executor
+// (nil for a private GOMAXPROCS pool): the sweep's grid points fan out over
+// the pool and the executor's memo cache carries standalone measurements
+// across sweeps.
+func ConstructPUContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
 	pressure, err := PressurePUFor(p, target)
 	if err != nil {
 		return core.Params{}, nil, err
 	}
 	cfg := DefaultSweep(p, target, pressure)
 	cfg.Run = rc
-	m, err := Sweep(p, cfg)
+	m, err := SweepContext(ctx, ex, p, cfg)
 	if err != nil {
 		return core.Params{}, nil, err
 	}
@@ -52,9 +62,20 @@ func ConstructPU(p *soc.Platform, target int, rc soc.RunConfig, opt Options) (co
 
 // ConstructPlatform builds models for every PU of the platform.
 func ConstructPlatform(p *soc.Platform, rc soc.RunConfig, opt Options) (ModelSet, error) {
+	return ConstructPlatformContext(context.Background(), nil, p, rc, opt)
+}
+
+// ConstructPlatformContext builds models for every PU on one shared
+// executor. PUs are constructed in order (extraction needs a full matrix per
+// PU) but every sweep's grid fans out over the pool, and the shared memo
+// cache serves standalone points common to several sweeps.
+func ConstructPlatformContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, rc soc.RunConfig, opt Options) (ModelSet, error) {
+	if ex == nil {
+		ex = simrun.New(0)
+	}
 	set := ModelSet{}
 	for i := range p.PUs {
-		params, _, err := ConstructPU(p, i, rc, opt)
+		params, _, err := ConstructPUContext(ctx, ex, p, i, rc, opt)
 		if err != nil {
 			return nil, fmt.Errorf("calib: constructing %s/%s: %w", p.Name, p.PUs[i].Name, err)
 		}

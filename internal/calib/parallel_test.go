@@ -1,0 +1,133 @@
+package calib
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// serialSweep is the pre-executor reference implementation: one simulation
+// at a time, straight on the platform. The parallel sweep must reproduce
+// its matrix bit for bit.
+func serialSweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
+	m := &Matrix{PeakBW: p.PeakGBps(), PU: p.PUs[cfg.TargetPU].Name, Platform: p.Name}
+	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
+	for _, c := range cfg.Calibrators {
+		kernel := soc.Kernel{
+			Name:        c.Name,
+			DemandGBps:  c.DemandGBps,
+			RunLines:    c.RunLines,
+			Outstanding: c.Outstanding,
+			Streams:     c.Streams,
+		}
+		alone, err := p.Standalone(cfg.TargetPU, kernel, cfg.Run)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(m.StdBW); n > 0 && alone.AchievedGBps < m.StdBW[n-1]*1.02 {
+			continue
+		}
+		m.StdBW = append(m.StdBW, alone.AchievedGBps)
+		row := make([]float64, 0, len(cfg.ExtGBps))
+		for _, ext := range cfg.ExtGBps {
+			out, err := p.Run(soc.Placement{
+				cfg.TargetPU:   kernel,
+				cfg.PressurePU: soc.ExternalPressure(ext),
+			}, cfg.Run)
+			if err != nil {
+				return nil, err
+			}
+			rs := 100.0
+			if alone.AchievedGBps > 0 {
+				rs = 100 * out.Results[cfg.TargetPU].AchievedGBps / alone.AchievedGBps
+			}
+			if rs > 100 {
+				rs = 100
+			}
+			row = append(row, rs)
+		}
+		m.Rela = append(m.Rela, row)
+	}
+	return m, m.Validate()
+}
+
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+
+	want, err := serialSweep(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := SweepContext(context.Background(), simrun.New(workers), p, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: parallel matrix differs from serial\ngot:  %+v\nwant: %+v",
+				workers, got, want)
+		}
+	}
+}
+
+func TestSweepSharedExecutorMemoizesStandalone(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+	ex := simrun.New(2)
+	if _, err := SweepContext(context.Background(), ex, p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	entries := ex.Cache.Len()
+	if entries == 0 {
+		t.Fatal("sweep bypassed the standalone memo cache")
+	}
+	// A second identical sweep on the same executor must add no entries.
+	if _, err := SweepContext(context.Background(), ex, p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Cache.Len(); got != entries {
+		t.Errorf("repeat sweep grew the cache: %d -> %d entries", entries, got)
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := SweepContext(ctx, nil, p, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled sweep took %s", elapsed)
+	}
+}
+
+// BenchmarkConstructPU is the calibration wall-clock baseline: a full
+// ConstructPU of the Xavier GPU with short windows, serially (one worker)
+// and on the full pool. The parallel/serial ratio is the headline speedup
+// of the executor refactor; CI runs this as a smoke step.
+func BenchmarkConstructPU(b *testing.B) {
+	rc := soc.RunConfig{WarmupCycles: 100_000, MeasureCycles: 100_000}
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := soc.VirtualXavier()
+				if _, _, err := ConstructPUContext(context.Background(), simrun.New(workers), p, 1, rc, DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel", bench(runtime.GOMAXPROCS(0)))
+}

@@ -1,8 +1,10 @@
 package calib
 
 import (
+	"context"
 	"fmt"
 
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 	"github.com/processorcentricmodel/pccs/internal/traffic"
 )
@@ -58,6 +60,19 @@ func DefaultSweep(p *soc.Platform, targetPU, pressurePU int) SweepConfig {
 // co-runs against each external demand level; achieved relative speeds fill
 // the matrix (§3.2, construction step one).
 func Sweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
+	return SweepContext(context.Background(), nil, p, cfg)
+}
+
+// SweepContext is Sweep running on a shared executor: every grid point is
+// an independent simulation, so the standalone column and the calibrator ×
+// external-demand co-runs fan out over the pool, with standalone points
+// served from the executor's memo cache. Results are assembled in grid
+// order, so the matrix is identical to the serial sweep's. A nil executor
+// uses a private GOMAXPROCS pool.
+func SweepContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
+	if ex == nil {
+		ex = simrun.New(0)
+	}
 	if cfg.TargetPU == cfg.PressurePU {
 		return nil, fmt.Errorf("calib: target and pressure PU are both %d", cfg.TargetPU)
 	}
@@ -76,38 +91,63 @@ func Sweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
 	}
 	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
 
-	for _, c := range cfg.Calibrators {
-		kernel := soc.Kernel{
+	kernels := make([]soc.Kernel, len(cfg.Calibrators))
+	for i, c := range cfg.Calibrators {
+		kernels[i] = soc.Kernel{
 			Name:        c.Name,
 			DemandGBps:  c.DemandGBps,
 			RunLines:    c.RunLines,
 			Outstanding: c.Outstanding,
 			Streams:     c.Streams,
 		}
-		alone, err := p.Standalone(cfg.TargetPU, kernel, cfg.Run)
-		if err != nil {
-			return nil, fmt.Errorf("calib: standalone %s: %w", c.Name, err)
-		}
-		// The paper records the *measured* standalone bandwidth as the
-		// kernel's demand (§3.2): a latency-limited PU (e.g. the DLA)
-		// saturates below the requested rate, so further calibrator levels
-		// collapse onto the same measured demand and are skipped.
-		if n := len(m.StdBW); n > 0 && alone.AchievedGBps < m.StdBW[n-1]*1.02 {
+	}
+	alone, err := ex.StandaloneBatch(ctx, p, cfg.TargetPU, kernels, cfg.Run)
+	if err != nil {
+		return nil, fmt.Errorf("calib: %w", err)
+	}
+
+	// The paper records the *measured* standalone bandwidth as the kernel's
+	// demand (§3.2): a latency-limited PU (e.g. the DLA) saturates below
+	// the requested rate, so further calibrator levels collapse onto the
+	// same measured demand and are skipped. The filter is inherently
+	// sequential over the measured ladder and runs on the already-parallel
+	// standalone column.
+	var kept []int
+	for i := range kernels {
+		if n := len(m.StdBW); n > 0 && alone[i].AchievedGBps < m.StdBW[n-1]*1.02 {
 			continue
 		}
-		m.StdBW = append(m.StdBW, alone.AchievedGBps)
-		row := make([]float64, 0, len(cfg.ExtGBps))
+		m.StdBW = append(m.StdBW, alone[i].AchievedGBps)
+		kept = append(kept, i)
+	}
+
+	points := make([]simrun.Point, 0, len(kept)*len(cfg.ExtGBps))
+	for _, i := range kept {
 		for _, ext := range cfg.ExtGBps {
-			out, err := p.Run(soc.Placement{
-				cfg.TargetPU:   kernel,
-				cfg.PressurePU: soc.ExternalPressure(ext),
-			}, cfg.Run)
-			if err != nil {
-				return nil, fmt.Errorf("calib: corun %s vs %.0f: %w", c.Name, ext, err)
+			points = append(points, simrun.Point{
+				Placement: soc.Placement{
+					cfg.TargetPU:   kernels[i],
+					cfg.PressurePU: soc.ExternalPressure(ext),
+				},
+				Run: cfg.Run,
+			})
+		}
+	}
+	results, err := ex.Execute(ctx, p, points)
+	if err != nil {
+		return nil, fmt.Errorf("calib: sweep: %w", err)
+	}
+
+	for r, i := range kept {
+		row := make([]float64, 0, len(cfg.ExtGBps))
+		for j, ext := range cfg.ExtGBps {
+			res := results[r*len(cfg.ExtGBps)+j]
+			if res.Err != nil {
+				return nil, fmt.Errorf("calib: corun %s vs %.0f: %w", kernels[i].Name, ext, res.Err)
 			}
 			rs := 100.0
-			if alone.AchievedGBps > 0 {
-				rs = 100 * out.Results[cfg.TargetPU].AchievedGBps / alone.AchievedGBps
+			if alone[i].AchievedGBps > 0 {
+				rs = 100 * res.Outcome.Results[cfg.TargetPU].AchievedGBps / alone[i].AchievedGBps
 			}
 			if rs > 100 {
 				rs = 100

@@ -37,20 +37,19 @@ func runAblationRefresh(ctx *Context) error {
 	gpu, cpu := 1, 0
 	probes := []probe{
 		{"GPU standalone achieved @120 GB/s", func(p *soc.Platform) (float64, error) {
-			res, err := p.Standalone(gpu, soc.Kernel{Name: "k", DemandGBps: 120}, ctx.Run)
-			return res.AchievedGBps, err
+			return ctx.StandaloneAchieved(p, gpu, soc.Kernel{Name: "k", DemandGBps: 120})
 		}},
 		{"GPU co-run RS% @80 vs 60 ext", func(p *soc.Platform) (float64, error) {
 			k := soc.Kernel{Name: "k", DemandGBps: 80}
-			alone, err := p.Standalone(gpu, k, ctx.Run)
+			alone, err := ctx.StandaloneAchieved(p, gpu, k)
 			if err != nil {
 				return 0, err
 			}
-			out, err := p.Run(soc.Placement{gpu: k, cpu: soc.ExternalPressure(60)}, ctx.Run)
+			out, err := ctx.RunSim(p, soc.Placement{gpu: k, cpu: soc.ExternalPressure(60)})
 			if err != nil {
 				return 0, err
 			}
-			return 100 * out.Results[gpu].AchievedGBps / alone.AchievedGBps, nil
+			return 100 * out.Results[gpu].AchievedGBps / alone, nil
 		}},
 	}
 	for _, pr := range probes {

@@ -180,21 +180,10 @@ func runAblationPolicies(ctx *Context) error {
 		p.Policy = policy
 		gpu, cpu := p.PUIndex("GPU"), p.PUIndex("CPU")
 		k := soc.Kernel{Name: "medium", DemandGBps: demand}
-		alone, err := p.Standalone(gpu, k, ctx.Run)
+		// Each policy's whole pressure ladder fans out over the pool.
+		ys, err := ctx.ActualRSLadder(p, gpu, k, cpu, ladder)
 		if err != nil {
 			return err
-		}
-		var ys []float64
-		for _, ext := range ladder {
-			out, err := p.Run(soc.Placement{gpu: k, cpu: soc.ExternalPressure(ext)}, ctx.Run)
-			if err != nil {
-				return err
-			}
-			rs := 100 * out.Results[gpu].AchievedGBps / alone.AchievedGBps
-			if rs > 100 {
-				rs = 100
-			}
-			ys = append(ys, rs)
 		}
 		lines[policy.String()] = ys
 	}

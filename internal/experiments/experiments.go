@@ -6,35 +6,44 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
 // Context carries everything an experiment needs: the output writer, the
-// constructed models, the simulation window, and the virtual platforms.
-// Standalone measurements are memoized — validation sweeps reuse them
-// heavily.
+// constructed models, the simulation window, the virtual platforms, and the
+// shared simulation executor. Independent measurement points fan out over
+// the executor's worker pool, and standalone measurements are memoized in
+// its cache — validation sweeps reuse them heavily.
 type Context struct {
 	Out    io.Writer
 	Models calib.ModelSet
 	Run    soc.RunConfig
 
-	platforms  map[string]*soc.Platform
-	aloneCache map[string]float64
+	// Sim governs every simulator run; the CLI sets it to a
+	// signal-cancelled context so ^C aborts mid-figure.
+	Sim context.Context
+	// Exec is the worker pool every measurement point runs on.
+	Exec *simrun.Executor
+
+	platforms map[string]*soc.Platform
 }
 
 // NewContext builds a context. modelPath may be empty to run only the
 // experiments that construct their own models.
 func NewContext(out io.Writer, modelPath string, rc soc.RunConfig) (*Context, error) {
 	ctx := &Context{
-		Out:        out,
-		Run:        rc,
-		platforms:  map[string]*soc.Platform{},
-		aloneCache: map[string]float64{},
+		Out:       out,
+		Run:       rc,
+		Sim:       context.Background(),
+		Exec:      simrun.New(0),
+		platforms: map[string]*soc.Platform{},
 	}
 	x, s := soc.VirtualXavier(), soc.VirtualSnapdragon()
 	ctx.platforms[x.Name] = x
@@ -69,70 +78,95 @@ func (c *Context) Snapdragon() *soc.Platform { return c.platforms["virtual-snapd
 // StandaloneAchieved measures (memoized) the standalone achieved bandwidth
 // of a kernel on a platform PU.
 func (c *Context) StandaloneAchieved(p *soc.Platform, pu int, k soc.Kernel) (float64, error) {
-	key := fmt.Sprintf("%s/%d/%s/%g/%d/%d/%d/%d-%d",
-		p.Name, pu, k.Name, k.DemandGBps, k.RunLines, k.Outstanding, k.Streams,
-		c.Run.WarmupCycles, c.Run.MeasureCycles)
-	if v, ok := c.aloneCache[key]; ok {
-		return v, nil
-	}
-	res, err := p.Standalone(pu, k, c.Run)
+	res, err := c.Exec.Cache.Standalone(c.Sim, p, pu, k, c.Run)
 	if err != nil {
 		return 0, err
 	}
-	c.aloneCache[key] = res.AchievedGBps
 	return res.AchievedGBps, nil
+}
+
+// RunSim runs one placement under the experiment's context and window.
+func (c *Context) RunSim(p *soc.Platform, pl soc.Placement) (*soc.RunOutcome, error) {
+	return p.RunContext(c.Sim, pl, c.Run)
+}
+
+// RunBatch fans a set of independent placements out over the executor pool
+// and returns their outcomes in input order.
+func (c *Context) RunBatch(p *soc.Platform, pls []soc.Placement) ([]*soc.RunOutcome, error) {
+	points := make([]simrun.Point, len(pls))
+	for i, pl := range pls {
+		points[i] = simrun.Point{Placement: pl, Run: c.Run}
+	}
+	results, err := c.Exec.Execute(c.Sim, p, points)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*soc.RunOutcome, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		outs[i] = r.Outcome
+	}
+	return outs, nil
 }
 
 // ActualRS measures the achieved relative speed (percent) of kernel k on
 // target under external pressure ext GB/s generated on pressurePU.
 func (c *Context) ActualRS(p *soc.Platform, target int, k soc.Kernel, pressurePU int, ext float64) (float64, error) {
+	rs, err := c.ActualRSLadder(p, target, k, pressurePU, []float64{ext})
+	if err != nil {
+		return 0, err
+	}
+	return rs[0], nil
+}
+
+// ActualRSLadder measures the achieved relative speed of kernel k on target
+// under each external demand of the ladder: the standalone reference comes
+// from the memo cache and the co-runs fan out over the pool. Results are in
+// ladder order, identical to measuring each point serially.
+func (c *Context) ActualRSLadder(p *soc.Platform, target int, k soc.Kernel, pressurePU int, exts []float64) ([]float64, error) {
 	alone, err := c.StandaloneAchieved(p, target, k)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	pl := soc.Placement{target: k}
-	if ext > 0 {
-		pl[pressurePU] = soc.ExternalPressure(ext)
+	pls := make([]soc.Placement, len(exts))
+	for i, ext := range exts {
+		pl := soc.Placement{target: k}
+		if ext > 0 {
+			pl[pressurePU] = soc.ExternalPressure(ext)
+		}
+		pls[i] = pl
 	}
-	out, err := p.Run(pl, c.Run)
+	outs, err := c.RunBatch(p, pls)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	rs := 100.0
-	if alone > 0 {
-		rs = 100 * out.Results[target].AchievedGBps / alone
-	}
-	if rs > 100 {
-		rs = 100
+	rs := make([]float64, len(exts))
+	for i, out := range outs {
+		v := 100.0
+		if alone > 0 {
+			v = 100 * out.Results[target].AchievedGBps / alone
+		}
+		if v > 100 {
+			v = 100
+		}
+		rs[i] = v
 	}
 	return rs, nil
 }
 
 // CorunRS measures each placed PU's achieved relative speed (percent) in a
-// full co-run, with memoized standalone references.
+// full co-run, with memoized standalone references; all runs fan out over
+// the pool.
 func (c *Context) CorunRS(p *soc.Platform, pl soc.Placement) (map[int]float64, error) {
-	alone := map[int]float64{}
-	for pu, k := range pl {
-		a, err := c.StandaloneAchieved(p, pu, k)
-		if err != nil {
-			return nil, err
-		}
-		alone[pu] = a
-	}
-	out, err := p.Run(pl, c.Run)
+	res, err := simrun.RelativeSpeeds(c.Sim, c.Exec, p, pl, c.Run)
 	if err != nil {
 		return nil, err
 	}
 	rs := map[int]float64{}
 	for pu := range pl {
-		v := 100.0
-		if alone[pu] > 0 {
-			v = 100 * out.Results[pu].AchievedGBps / alone[pu]
-		}
-		if v > 100 {
-			v = 100
-		}
-		rs[pu] = v
+		rs[pu] = 100 * res[pu].RelativeSpeed
 	}
 	return rs, nil
 }

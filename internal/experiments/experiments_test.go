@@ -94,8 +94,8 @@ func TestStandaloneCacheHit(t *testing.T) {
 	if a != b {
 		t.Errorf("cache miss changed result: %v vs %v", a, b)
 	}
-	if len(ctx.aloneCache) != 1 {
-		t.Errorf("cache has %d entries, want 1", len(ctx.aloneCache))
+	if got := ctx.Exec.Cache.Len(); got != 1 {
+		t.Errorf("cache has %d entries, want 1", got)
 	}
 }
 

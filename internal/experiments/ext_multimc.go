@@ -23,38 +23,30 @@ func runExtMultiMC(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	rc := ctx.Run
 	tbl := report.NewTable(
 		"Xavier GPU (70 GB/s) under CPU pressure: 1-MC vs 2-MC ground truth vs single-MC PCCS model",
 		"ext GB/s", "1-MC RS%", "2-MC RS%", "PCCS RS%", "|1-2 MC gap|")
+	exts := []float64{27, 55, 82, 110, 137}
+	k := soc.Kernel{Name: "k", DemandGBps: 70}
+	// One standalone reference and one fanned-out pressure ladder per MC
+	// configuration (the standalone point used to be re-measured for every
+	// ladder entry; the memo cache reduces it to one run each).
+	measure := func(mcs int) ([]float64, error) {
+		p := soc.VirtualXavier()
+		p.MCs = mcs
+		return ctx.ActualRSLadder(p, 1, k, 0, exts)
+	}
+	singles, err := measure(1)
+	if err != nil {
+		return err
+	}
+	duals, err := measure(2)
+	if err != nil {
+		return err
+	}
 	var gaps, errs1, errs2 []float64
-	for _, ext := range []float64{27, 55, 82, 110, 137} {
-		measure := func(mcs int) (float64, error) {
-			p := soc.VirtualXavier()
-			p.MCs = mcs
-			k := soc.Kernel{Name: "k", DemandGBps: 70}
-			alone, err := p.Standalone(1, k, rc)
-			if err != nil {
-				return 0, err
-			}
-			out, err := p.Run(soc.Placement{1: k, 0: soc.ExternalPressure(ext)}, rc)
-			if err != nil {
-				return 0, err
-			}
-			rs := 100 * out.Results[1].AchievedGBps / alone.AchievedGBps
-			if rs > 100 {
-				rs = 100
-			}
-			return rs, nil
-		}
-		single, err := measure(1)
-		if err != nil {
-			return err
-		}
-		dual, err := measure(2)
-		if err != nil {
-			return err
-		}
+	for i, ext := range exts {
+		single, dual := singles[i], duals[i]
 		pred := model.Predict(70, ext)
 		gaps = append(gaps, stats.AbsErr(single, dual))
 		errs1 = append(errs1, stats.AbsErr(pred, single))

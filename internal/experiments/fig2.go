@@ -41,14 +41,17 @@ func runFig2(ctx *Context) error {
 		if err != nil {
 			return err
 		}
+		pls := make([]soc.Placement, len(ladder))
+		for i, ext := range ladder {
+			pls[i] = soc.Placement{target: k, pressure: soc.ExternalPressure(ext)}
+		}
+		outs, err := ctx.RunBatch(p, pls)
+		if err != nil {
+			return err
+		}
 		var ys []float64
-		for _, ext := range ladder {
-			pl := soc.Placement{target: k, pressure: soc.ExternalPressure(ext)}
-			out, err := p.Run(pl, ctx.Run)
-			if err != nil {
-				return err
-			}
-			met := 100 * out.Results[target].AchievedGBps / cse.demand
+		for i, ext := range ladder {
+			met := 100 * outs[i].Results[target].AchievedGBps / cse.demand
 			if met > 100 {
 				met = 100
 			}

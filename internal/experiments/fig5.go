@@ -9,12 +9,10 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/stats"
 )
 
-// cmp16Corun runs the §2.3 CMP workload: cores 0–7 (low-bandwidth group)
-// and cores 8–15 (high-bandwidth group) each stream an equal share of their
-// group's total demand. It returns the mean achieved relative speed of the
-// high group plus the memory-system stats.
-func cmp16Corun(ctx *Context, policy memctrl.PolicyKind, lowTotal, highTotal float64) (float64, *soc.RunOutcome, error) {
-	p := soc.CMP16(policy)
+// cmp16Placement builds the §2.3 CMP workload: cores 0–7 (low-bandwidth
+// group) and cores 8–15 (high-bandwidth group) each stream an equal share
+// of their group's total demand.
+func cmp16Placement(lowTotal, highTotal float64) soc.Placement {
 	pl := soc.Placement{}
 	for i := 0; i < 8; i++ {
 		if lowTotal > 0 {
@@ -24,20 +22,12 @@ func cmp16Corun(ctx *Context, policy memctrl.PolicyKind, lowTotal, highTotal flo
 	for i := 8; i < 16; i++ {
 		pl[i] = soc.Kernel{Name: fmt.Sprintf("high%d", i), DemandGBps: highTotal / 8}
 	}
-	// Standalone reference for one high-group core: the whole high group
-	// running without the low group's interference.
-	aloneLoad := soc.Placement{}
-	for i := 8; i < 16; i++ {
-		aloneLoad[i] = pl[i]
-	}
-	aloneOut, err := p.Run(aloneLoad, ctx.Run)
-	if err != nil {
-		return 0, nil, err
-	}
-	out, err := p.Run(pl, ctx.Run)
-	if err != nil {
-		return 0, nil, err
-	}
+	return pl
+}
+
+// cmp16HighRS is the mean achieved relative speed of the high group in out,
+// against the whole high group running without low-group interference.
+func cmp16HighRS(aloneOut, out *soc.RunOutcome) float64 {
 	var rss []float64
 	for i := 8; i < 16; i++ {
 		alone := aloneOut.Results[i].AchievedGBps
@@ -50,7 +40,22 @@ func cmp16Corun(ctx *Context, policy memctrl.PolicyKind, lowTotal, highTotal flo
 		}
 		rss = append(rss, rs)
 	}
-	return stats.Mean(rss), out, nil
+	return stats.Mean(rss)
+}
+
+// cmp16Corun measures one (low, high) co-run and its high-group-alone
+// reference, fanning both runs out. It returns the mean achieved relative
+// speed of the high group plus the memory-system stats.
+func cmp16Corun(ctx *Context, policy memctrl.PolicyKind, lowTotal, highTotal float64) (float64, *soc.RunOutcome, error) {
+	p := soc.CMP16(policy)
+	outs, err := ctx.RunBatch(p, []soc.Placement{
+		cmp16Placement(0, highTotal),
+		cmp16Placement(lowTotal, highTotal),
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return cmp16HighRS(outs[0], outs[1]), outs[1], nil
 }
 
 // fig5 reproduces the scheduling-policy validation: the high-bandwidth
@@ -67,15 +72,29 @@ func runFig5(ctx *Context) error {
 	lowLevels := []float64{6, 12, 18, 24, 30, 36, 42, 48, 54, 60}
 	highLevels := []float64{36, 63, 90}
 	for _, policy := range memctrl.AllPolicies {
-		lines := map[string][]float64{}
+		// One batch per policy: each high level contributes its alone
+		// reference plus the whole low-level ladder, all independent.
+		p := soc.CMP16(policy)
+		var pls []soc.Placement
 		for _, high := range highLevels {
-			var ys []float64
+			pls = append(pls, cmp16Placement(0, high))
 			for _, low := range lowLevels {
-				rs, _, err := cmp16Corun(ctx, policy, low, high)
-				if err != nil {
-					return err
-				}
-				ys = append(ys, rs)
+				pls = append(pls, cmp16Placement(low, high))
+			}
+		}
+		outs, err := ctx.RunBatch(p, pls)
+		if err != nil {
+			return err
+		}
+		lines := map[string][]float64{}
+		idx := 0
+		for _, high := range highLevels {
+			aloneOut := outs[idx]
+			idx++
+			var ys []float64
+			for range lowLevels {
+				ys = append(ys, cmp16HighRS(aloneOut, outs[idx]))
+				idx++
 			}
 			lines[fmt.Sprintf("high=%.0fGB/s", high)] = ys
 		}
@@ -109,10 +128,10 @@ func runTable3(ctx *Context) error {
 	}
 	// Xavier column: saturate the virtual Xavier with GPU + CPU streams.
 	x := ctx.Xavier()
-	out, err := x.Run(soc.Placement{
+	out, err := ctx.RunSim(x, soc.Placement{
 		x.PUIndex("GPU"): soc.Kernel{Name: "sat-gpu", DemandGBps: 0.8 * x.PeakGBps()},
 		x.PUIndex("CPU"): soc.Kernel{Name: "sat-cpu", DemandGBps: 0.6 * x.PeakGBps()},
-	}, ctx.Run)
+	})
 	if err != nil {
 		return err
 	}

@@ -42,17 +42,25 @@ func runSourceObl(ctx *Context) error {
 		return err
 	}
 	exts := []float64{20, 40, 60}
+	// All ext × mix co-runs are independent: fan the full grid out at once.
+	var pls []soc.Placement
+	for _, ext := range exts {
+		for _, mix := range mixes {
+			pls = append(pls, mix.pl(ext))
+		}
+	}
+	outs, err := ctx.RunBatch(p, pls)
+	if err != nil {
+		return err
+	}
 	tbl := report.NewTable("source-obliviousness on Xavier GPU (target 70 GB/s)",
 		"ext total GB/s", mixes[0].name, mixes[1].name, mixes[2].name, "spread")
 	maxSpread := 0.0
-	for _, ext := range exts {
+	for ei, ext := range exts {
 		row := []string{report.F(ext)}
 		var vals []float64
-		for _, mix := range mixes {
-			out, err := p.Run(mix.pl(ext), ctx.Run)
-			if err != nil {
-				return err
-			}
+		for mi := range mixes {
+			out := outs[ei*len(mixes)+mi]
 			rs := 100 * out.Results[gpu].AchievedGBps / alone
 			if rs > 100 {
 				rs = 100

@@ -49,11 +49,15 @@ func validationFigure(ctx *Context, platformName, puName, pressurePU string, nam
 			fmt.Sprintf("%s on %s %s (x = %.1f GB/s, %s, region %v)",
 				name, platformName, puName, k.DemandGBps, w.Class, model.Region(k.DemandGBps)),
 			"ext GB/s", "actual RS%", "PCCS RS%", "Gables RS%")
-		for _, ext := range ladder {
-			actual, err := ctx.ActualRS(p, target, k, pressure, ext)
-			if err != nil {
-				return err
-			}
+		// The whole pressure ladder fans out over the executor pool; rows
+		// come back in ladder order so the table is identical to a serial
+		// sweep.
+		actuals, err := ctx.ActualRSLadder(p, target, k, pressure, ladder)
+		if err != nil {
+			return err
+		}
+		for i, ext := range ladder {
+			actual := actuals[i]
 			pp := model.Predict(k.DemandGBps, ext)
 			gp := gb.Predict(k.DemandGBps, ext)
 			pccsErr.Add(pp, actual)

@@ -2,25 +2,49 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
 // JobState is the lifecycle state of an asynchronous job.
 type JobState string
 
-// Job lifecycle: queued → running → completed | failed.
+// Job lifecycle: queued → running → completed | failed | cancelled.
+// DELETE /v1/jobs/{id} moves a queued job straight to cancelled and asks a
+// running job's simulation context to stop.
 const (
 	JobQueued    JobState = "queued"
 	JobRunning   JobState = "running"
 	JobCompleted JobState = "completed"
 	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
 )
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobCompleted || s == JobFailed || s == JobCancelled
+}
+
+// ErrJobTerminal is returned by Cancel when the job already finished.
+var ErrJobTerminal = errors.New("job already in a terminal state")
+
+// ErrUnknownJob is returned by Cancel for IDs the runner never issued.
+var ErrUnknownJob = errors.New("unknown job")
+
+// JobProgress reports how far a running calibration has come, in simulation
+// points completed out of the points planned so far (the total grows as the
+// construction plans further sweeps).
+type JobProgress struct {
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
 
 // Job is one asynchronous calibration: a model-construction sweep takes
 // seconds of simulated time per PU while a prediction takes microseconds,
@@ -34,6 +58,8 @@ type Job struct {
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
 	Finished  *time.Time    `json:"finished,omitempty"`
+	// Progress tracks completed/total simulation points while running.
+	Progress *JobProgress `json:"progress,omitempty"`
 	// Models lists the registry keys produced by a completed job.
 	Models []string `json:"models,omitempty"`
 	Error  string   `json:"error,omitempty"`
@@ -109,27 +135,31 @@ func (s CalibrateSpec) runConfig() soc.RunConfig {
 	return rc
 }
 
-// constructFunc runs a calibration and returns the constructed models.
-// Production uses defaultConstruct (the real simulator sweep); tests inject
-// fakes to exercise queue mechanics without paying simulation time.
-type constructFunc func(CalibrateSpec) ([]core.Params, error)
+// constructFunc runs a calibration and returns the constructed models. It
+// must honour ctx cancellation and may report per-point progress. Production
+// uses defaultConstruct (the real simulator sweep); tests inject fakes to
+// exercise queue mechanics without paying simulation time.
+type constructFunc func(ctx context.Context, spec CalibrateSpec, progress func(completed, total int)) ([]core.Params, error)
 
 // defaultConstruct runs the processor-centric construction sweep (§3.2) on
-// the simulator for the requested platform/PU(s).
-func defaultConstruct(spec CalibrateSpec) ([]core.Params, error) {
+// the simulator for the requested platform/PU(s), fanning grid points over a
+// private simrun executor pool.
+func defaultConstruct(ctx context.Context, spec CalibrateSpec, progress func(completed, total int)) ([]core.Params, error) {
 	p, err := platformByName(spec.Platform)
 	if err != nil {
 		return nil, err
 	}
+	ex := simrun.New(0)
+	ex.OnProgress = progress
 	rc, opt := spec.runConfig(), spec.options()
 	if spec.PU != "" {
-		params, _, err := calib.ConstructPU(p, p.PUIndex(spec.PU), rc, opt)
+		params, _, err := calib.ConstructPUContext(ctx, ex, p, p.PUIndex(spec.PU), rc, opt)
 		if err != nil {
 			return nil, err
 		}
 		return []core.Params{params}, nil
 	}
-	set, err := calib.ConstructPlatform(p, rc, opt)
+	set, err := calib.ConstructPlatformContext(ctx, ex, p, rc, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +179,8 @@ type JobRunner struct {
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
-	order   []string // submission order, for List
+	cancels map[string]context.CancelFunc // per running job
+	order   []string                      // submission order, for List
 	seq     int
 	closed  bool
 	queued  int
@@ -175,6 +206,7 @@ func NewJobRunner(workers, queueDepth int, reg *Registry, construct constructFun
 		reg:       reg,
 		construct: construct,
 		jobs:      make(map[string]*Job),
+		cancels:   make(map[string]context.CancelFunc),
 		queue:     make(chan string, queueDepth),
 	}
 	r.wg.Add(workers)
@@ -240,6 +272,35 @@ func (r *JobRunner) List() []Job {
 	return out
 }
 
+// Cancel stops a job. A queued job moves straight to cancelled (the worker
+// skips it when it surfaces from the queue); a running job has its
+// simulation context cancelled and reaches the cancelled state once the
+// worker observes the abort. Terminal jobs return ErrJobTerminal, unknown
+// IDs ErrUnknownJob.
+func (r *JobRunner) Cancel(id string) (Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	job, ok := r.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("server: %w %q", ErrUnknownJob, id)
+	}
+	switch job.State {
+	case JobQueued:
+		now := time.Now().UTC()
+		job.State = JobCancelled
+		job.Finished = &now
+		job.Error = "cancelled before start"
+		r.queued--
+	case JobRunning:
+		if cancel := r.cancels[id]; cancel != nil {
+			cancel()
+		}
+	default:
+		return Job{}, fmt.Errorf("server: %w: job %s is %s", ErrJobTerminal, id, job.State)
+	}
+	return snapshotJob(job), nil
+}
+
 // InFlight counts jobs that are queued or running.
 func (r *JobRunner) InFlight() int {
 	r.mu.Lock()
@@ -279,15 +340,28 @@ func (r *JobRunner) worker() {
 func (r *JobRunner) run(id string) {
 	r.mu.Lock()
 	job := r.jobs[id]
+	if job.State != JobQueued {
+		// Cancelled while waiting in the queue channel.
+		r.mu.Unlock()
+		return
+	}
 	now := time.Now().UTC()
 	job.State = JobRunning
 	job.Started = &now
 	r.queued--
 	r.running++
 	spec := job.Spec
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancels[id] = cancel
 	r.mu.Unlock()
+	defer cancel()
 
-	models, err := r.construct(spec)
+	progress := func(completed, total int) {
+		r.mu.Lock()
+		job.Progress = &JobProgress{Completed: completed, Total: total}
+		r.mu.Unlock()
+	}
+	models, err := r.construct(ctx, spec, progress)
 	var keys []string
 	if err == nil {
 		for _, p := range models {
@@ -300,13 +374,20 @@ func (r *JobRunner) run(id string) {
 	}
 
 	r.mu.Lock()
+	delete(r.cancels, id)
 	end := time.Now().UTC()
 	job.Finished = &end
 	r.running--
-	if err != nil {
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+		job.State = JobCancelled
+		job.Error = "cancelled"
+	case err != nil:
 		job.State = JobFailed
 		job.Error = err.Error()
-	} else {
+	default:
+		// A successful construction stands even if a cancel raced in at
+		// the very end: the models are already installed.
 		job.State = JobCompleted
 		job.Models = keys
 	}

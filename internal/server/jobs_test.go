@@ -9,6 +9,14 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/core"
 )
 
+// fakeConstruct adapts a context- and progress-oblivious fake to the
+// constructFunc signature.
+func fakeConstruct(f func(CalibrateSpec) ([]core.Params, error)) constructFunc {
+	return func(_ context.Context, spec CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+		return f(spec)
+	}
+}
+
 // waitJob polls until the job reaches a terminal state.
 func waitJob(t *testing.T, r *JobRunner, id string, timeout time.Duration) Job {
 	t.Helper()
@@ -18,7 +26,7 @@ func waitJob(t *testing.T, r *JobRunner, id string, timeout time.Duration) Job {
 		if !ok {
 			t.Fatalf("job %s vanished", id)
 		}
-		if job.State == JobCompleted || job.State == JobFailed {
+		if job.State.Terminal() {
 			return job
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -29,9 +37,9 @@ func waitJob(t *testing.T, r *JobRunner, id string, timeout time.Duration) Job {
 
 func TestJobRunnerCompletesAndInstallsModels(t *testing.T) {
 	reg := NewRegistry()
-	construct := func(spec CalibrateSpec) ([]core.Params, error) {
+	construct := fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
 		return []core.Params{testParams(spec.Platform, "GPU")}, nil
-	}
+	})
 	r := NewJobRunner(2, 8, reg, construct)
 	defer r.Close(context.Background())
 
@@ -62,9 +70,9 @@ func TestJobRunnerCompletesAndInstallsModels(t *testing.T) {
 
 func TestJobRunnerReportsFailure(t *testing.T) {
 	boom := errors.New("sweep diverged")
-	r := NewJobRunner(1, 4, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+	r := NewJobRunner(1, 4, NewRegistry(), fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
 		return nil, boom
-	})
+	}))
 	defer r.Close(context.Background())
 	job, err := r.Submit(CalibrateSpec{Platform: "virtual-snapdragon"})
 	if err != nil {
@@ -77,9 +85,9 @@ func TestJobRunnerReportsFailure(t *testing.T) {
 }
 
 func TestJobSpecValidation(t *testing.T) {
-	r := NewJobRunner(1, 4, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+	r := NewJobRunner(1, 4, NewRegistry(), fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
 		return nil, nil
-	})
+	}))
 	defer r.Close(context.Background())
 	cases := []CalibrateSpec{
 		{Platform: "no-such-soc"},
@@ -96,10 +104,10 @@ func TestJobSpecValidation(t *testing.T) {
 
 func TestJobQueueBackpressureAndClose(t *testing.T) {
 	release := make(chan struct{})
-	r := NewJobRunner(1, 1, NewRegistry(), func(CalibrateSpec) ([]core.Params, error) {
+	r := NewJobRunner(1, 1, NewRegistry(), fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
 		<-release
 		return nil, nil
-	})
+	}))
 
 	// First job occupies the worker, second fills the queue slot.
 	first, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
@@ -150,5 +158,117 @@ func TestJobQueueBackpressureAndClose(t *testing.T) {
 	}
 	if n := r.InFlight(); n != 0 {
 		t.Errorf("InFlight after drain = %d", n)
+	}
+}
+
+func TestJobCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	r := NewJobRunner(1, 4, NewRegistry(), func(ctx context.Context, _ CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	defer r.Close(context.Background())
+	job, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := r.Cancel(job.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	done := waitJob(t, r, job.ID, 5*time.Second)
+	if done.State != JobCancelled {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	if done.Finished == nil {
+		t.Error("cancelled job missing Finished timestamp")
+	}
+	// A second cancel on the now-terminal job must conflict.
+	if _, err := r.Cancel(job.ID); !errors.Is(err, ErrJobTerminal) {
+		t.Errorf("re-cancel error = %v, want ErrJobTerminal", err)
+	}
+}
+
+func TestJobCancelQueued(t *testing.T) {
+	release := make(chan struct{})
+	r := NewJobRunner(1, 2, NewRegistry(), fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		<-release
+		return nil, nil
+	}))
+	first, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if job, _ := r.Get(first.ID); job.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Cancel(second.ID)
+	if err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if snap.State != JobCancelled {
+		t.Fatalf("queued job after cancel = %s", snap.State)
+	}
+	if n := r.InFlight(); n != 1 {
+		t.Errorf("InFlight after cancelling queued job = %d, want 1", n)
+	}
+	close(release)
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The worker must have skipped the cancelled job, not run it.
+	if job, _ := r.Get(second.ID); job.State != JobCancelled || job.Started != nil {
+		t.Errorf("cancelled-queued job = %+v", job)
+	}
+	if job, _ := r.Get(first.ID); job.State != JobCompleted {
+		t.Errorf("first job = %s", job.State)
+	}
+}
+
+func TestJobCancelUnknown(t *testing.T) {
+	r := NewJobRunner(1, 4, NewRegistry(), fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		return nil, nil
+	}))
+	defer r.Close(context.Background())
+	if _, err := r.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("error = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestJobProgressSurfaced(t *testing.T) {
+	reported := make(chan struct{})
+	release := make(chan struct{})
+	r := NewJobRunner(1, 4, NewRegistry(), func(_ context.Context, _ CalibrateSpec, progress func(int, int)) ([]core.Params, error) {
+		progress(3, 12)
+		close(reported)
+		<-release
+		return nil, nil
+	})
+	defer r.Close(context.Background())
+	job, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reported
+	snap, _ := r.Get(job.ID)
+	if snap.Progress == nil || snap.Progress.Completed != 3 || snap.Progress.Total != 12 {
+		t.Fatalf("progress = %+v", snap.Progress)
+	}
+	close(release)
+	done := waitJob(t, r, job.ID, 5*time.Second)
+	if done.State != JobCompleted {
+		t.Fatalf("state = %s", done.State)
 	}
 }

@@ -94,6 +94,7 @@ func newServer(cfg Config, reg *Registry, construct constructFunc) *Server {
 	route("POST /v1/calibrate", "/v1/calibrate", s.handleCalibrate)
 	route("GET /v1/jobs", "/v1/jobs", s.handleJobs)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/explore"
 	"github.com/processorcentricmodel/pccs/internal/workload"
 )
@@ -520,6 +521,72 @@ func TestCalibrateJobLifecycle(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/v1/jobs/job-999999", nil); resp.StatusCode != http.StatusNotFound {
 		t.Errorf("missing job: status %d", resp.StatusCode)
+	}
+}
+
+// TestJobCancelHTTP exercises the DELETE /v1/jobs/{id} lifecycle: cancel a
+// running job (200 → cancelled), re-cancel (409), unknown ID (404).
+func TestJobCancelHTTP(t *testing.T) {
+	started := make(chan struct{})
+	_, ts := newTestServer(t, func(ctx context.Context, _ CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	resp, out := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "virtual-xavier"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var sub struct {
+		Job Job `json:"job"`
+	}
+	if err := json.Unmarshal(out, &sub); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	del := func(id string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+
+	resp, out = del(sub.Job.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d %s", resp.StatusCode, out)
+	}
+
+	// The job must reach the cancelled terminal state with a Finished stamp.
+	deadline := time.Now().Add(5 * time.Second)
+	var job Job
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.Job.ID, &job)
+		if job.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if job.State != JobCancelled || job.Finished == nil {
+		t.Fatalf("job after cancel = %+v", job)
+	}
+
+	if resp, out = del(sub.Job.ID); resp.StatusCode != http.StatusConflict {
+		t.Errorf("re-cancel: %d %s", resp.StatusCode, out)
+	}
+	if resp, out = del("job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job cancel: %d %s", resp.StatusCode, out)
 	}
 }
 

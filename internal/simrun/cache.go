@@ -1,0 +1,82 @@
+package simrun
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Cache memoizes standalone measurements keyed on the physical simulation
+// inputs: platform identity, PU, kernel spec, and RunConfig. Standalone
+// points are the most re-measured runs in the stack — calib.Sweep measures
+// every calibrator alone, RelativeSpeeds re-measures the same kernels, and
+// the experiment harness probes the same standalone references across
+// figures — so one shared cache removes whole columns of redundant
+// simulation. Concurrent requests for the same key coalesce: one runs, the
+// rest wait for its result.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  soc.PUResult
+	err  error
+}
+
+// NewCache builds an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*cacheEntry)}
+}
+
+// standaloneKey identifies a standalone run by everything that shapes its
+// outcome. The kernel name is deliberately excluded — the traffic generator
+// seeds from (platform seed, PU index) only, so identically-specced kernels
+// with different labels are the same measurement.
+func standaloneKey(p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) string {
+	return fmt.Sprintf("%s|%d|%v|%d|%+v|pu%d|%g/%d/%d/%d|%d+%d",
+		p.Name, p.Seed, p.Policy, p.MCs, p.Mem,
+		pu, k.DemandGBps, k.RunLines, k.Outstanding, k.Streams,
+		rc.WarmupCycles, rc.MeasureCycles)
+}
+
+// Standalone returns the memoized standalone measurement of kernel k on PU
+// pu of platform p, running the simulation on a platform clone the first
+// time the point is seen. Failed runs are not cached; the returned result
+// carries the caller's kernel name.
+func (c *Cache) Standalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
+	key := standaloneKey(p, pu, k, rc)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = p.Clone().StandaloneContext(ctx, pu, k, rc)
+	})
+	if e.err != nil {
+		// Drop the entry so a later call (e.g. after a cancelled run)
+		// retries instead of replaying the failure forever.
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		return soc.PUResult{}, e.err
+	}
+	res := e.res
+	res.Kernel = k.Name
+	return res, nil
+}
+
+// Len reports the number of memoized measurements.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,85 @@
+package simrun
+
+import (
+	"context"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// RelativeSpeeds is the executor-backed replacement for
+// soc.Platform.RelativeSpeeds: it measures the placement's co-run and every
+// placed kernel's standalone reference and fills each result's
+// RelativeSpeed with achieved-corun / achieved-standalone. The standalone
+// probes go through the memo cache — repeated placements of the same
+// kernels (validation sweeps, pressure ladders) stop re-measuring them —
+// and all runs proceed concurrently. Results are identical to the serial
+// method.
+func RelativeSpeeds(ctx context.Context, e *Executor, p *soc.Platform, pl soc.Placement, rc soc.RunConfig) (map[int]soc.PUResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var (
+		mu    sync.Mutex
+		wg    sync.WaitGroup
+		alone = make(map[int]float64, len(pl))
+		first error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+
+	// The co-run is independent of the standalone references, so every run
+	// proceeds concurrently; the memoized probes usually return instantly.
+	var co *soc.RunOutcome
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out, err := p.Clone().RunContext(ctx, pl, rc)
+		if err != nil {
+			fail(err)
+			return
+		}
+		co = out
+	}()
+	for pu, k := range pl {
+		alone[pu] = 0
+		if k.DemandGBps == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(pu int, k soc.Kernel) {
+			defer wg.Done()
+			res, err := e.Cache.Standalone(ctx, p, pu, k, rc)
+			if err != nil {
+				fail(err)
+				return
+			}
+			mu.Lock()
+			alone[pu] = res.AchievedGBps
+			mu.Unlock()
+		}(pu, k)
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+
+	for pu, res := range co.Results {
+		if alone[pu] > 0 {
+			res.RelativeSpeed = res.AchievedGBps / alone[pu]
+			if res.RelativeSpeed > 1 {
+				res.RelativeSpeed = 1
+			}
+		} else {
+			res.RelativeSpeed = 1
+		}
+		co.Results[pu] = res
+	}
+	return co.Results, nil
+}

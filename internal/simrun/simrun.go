@@ -1,0 +1,170 @@
+// Package simrun is the shared concurrent simulation executor every layer
+// of the stack (calib sweeps, experiments, the pccsd job queue, the CLIs)
+// runs its discrete-event simulations through. Model construction is the
+// expensive step of the PCCS methodology — a calibrator × external-demand
+// grid where every point is a full co-run simulation — and the points are
+// independent pure computations, so the executor fans them out over a
+// worker pool while keeping the results deterministic: each point runs on
+// its own Platform clone with the platform's own seed, and results are
+// reassembled in plan order, so parallel output is bit-identical to a
+// serial loop over the same points.
+package simrun
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Point is one independent simulation of a run plan.
+type Point struct {
+	Placement soc.Placement
+	Run       soc.RunConfig
+}
+
+// Result is the outcome of one point, in plan order.
+type Result struct {
+	Outcome *soc.RunOutcome
+	Err     error
+}
+
+// Executor runs plans of independent simulation points on a fixed-size
+// worker pool. An Executor is safe for concurrent use; its memo cache and
+// progress counters are shared across every plan it executes, so layered
+// callers (a sweep inside a construction inside a job) see one cumulative
+// completed/planned progress stream and one standalone-run cache.
+type Executor struct {
+	workers int
+
+	// Cache memoizes standalone measurements across plans (see Cache).
+	Cache *Cache
+
+	// OnProgress, when set, is called after every completed point with the
+	// executor's cumulative completed and planned point counts. It is
+	// invoked concurrently from worker goroutines and must be safe for
+	// concurrent use.
+	OnProgress func(completed, planned int)
+
+	completed atomic.Int64
+	planned   atomic.Int64
+}
+
+// New builds an executor with the given pool size; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers, Cache: NewCache()}
+}
+
+// Workers reports the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Progress reports the cumulative completed and planned point counts.
+func (e *Executor) Progress() (completed, planned int) {
+	return int(e.completed.Load()), int(e.planned.Load())
+}
+
+// plan registers upcoming points so progress totals grow before work starts.
+func (e *Executor) plan(n int) {
+	planned := e.planned.Add(int64(n))
+	if e.OnProgress != nil {
+		e.OnProgress(int(e.completed.Load()), int(planned))
+	}
+}
+
+// complete records one finished point.
+func (e *Executor) complete() {
+	done := e.completed.Add(1)
+	if e.OnProgress != nil {
+		e.OnProgress(int(done), int(e.planned.Load()))
+	}
+}
+
+// Execute runs every point of the plan on platform p and returns results in
+// plan order. Per-point failures are reported in the matching Result; the
+// returned error is non-nil only when ctx was cancelled, in which case
+// not-yet-started points carry ctx.Err(). A nil ctx means Background.
+func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(points))
+	e.plan(len(points))
+	workers := e.workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := p.Clone()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					e.complete()
+					continue
+				}
+				out, err := clone.RunContext(ctx, points[i].Placement, points[i].Run)
+				results[i] = Result{Outcome: out, Err: err}
+				e.complete()
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// StandaloneBatch measures each kernel running alone on the PU, fanning the
+// misses out over the pool and serving repeats from the memo cache. Results
+// are in kernel order; the first failure aborts with a named error.
+func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int, kernels []soc.Kernel, rc soc.RunConfig) ([]soc.PUResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]soc.PUResult, len(kernels))
+	errs := make([]error, len(kernels))
+	e.plan(len(kernels))
+	workers := e.workers
+	if workers > len(kernels) {
+		workers = len(kernels)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(kernels) {
+					return
+				}
+				results[i], errs[i] = e.Cache.Standalone(ctx, p, pu, kernels[i], rc)
+				e.complete()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("simrun: standalone %s: %w", kernels[i].Name, err)
+		}
+	}
+	return results, nil
+}

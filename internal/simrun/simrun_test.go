@@ -1,0 +1,233 @@
+package simrun
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+var testRC = soc.RunConfig{WarmupCycles: 50_000, MeasureCycles: 100_000}
+
+// testPlan builds a small mixed plan on the Xavier: standalone points and
+// co-runs at several demand levels.
+func testPlan(p *soc.Platform) []Point {
+	var points []Point
+	for _, d := range []float64{20, 60, 100} {
+		points = append(points, Point{
+			Placement: soc.Placement{1: soc.Kernel{Name: "k", DemandGBps: d}},
+			Run:       testRC,
+		})
+		points = append(points, Point{
+			Placement: soc.Placement{
+				1: soc.Kernel{Name: "k", DemandGBps: d},
+				0: soc.ExternalPressure(40),
+			},
+			Run: testRC,
+		})
+	}
+	return points
+}
+
+func TestExecuteMatchesSerial(t *testing.T) {
+	p := soc.VirtualXavier()
+	points := testPlan(p)
+
+	serial := make([]*soc.RunOutcome, len(points))
+	for i, pt := range points {
+		out, err := p.Run(pt.Placement, pt.Run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = out
+	}
+
+	e := New(4)
+	parallel, err := e.Execute(context.Background(), p, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range parallel {
+		if res.Err != nil {
+			t.Fatalf("point %d: %v", i, res.Err)
+		}
+		if !reflect.DeepEqual(res.Outcome, serial[i]) {
+			t.Errorf("point %d: parallel outcome differs from serial\nparallel: %+v\nserial:   %+v",
+				i, res.Outcome, serial[i])
+		}
+	}
+}
+
+func TestExecuteReportsPointErrors(t *testing.T) {
+	p := soc.VirtualXavier()
+	points := []Point{
+		{Placement: soc.Placement{1: soc.Kernel{Name: "ok", DemandGBps: 30}}, Run: testRC},
+		{Placement: soc.Placement{99: soc.Kernel{Name: "bad", DemandGBps: 30}}, Run: testRC},
+	}
+	results, err := New(2).Execute(context.Background(), p, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Outcome == nil {
+		t.Errorf("good point failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("out-of-range placement succeeded")
+	}
+}
+
+func TestExecuteCancellation(t *testing.T) {
+	p := soc.VirtualXavier()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	results, err := New(2).Execute(ctx, p, testPlan(p))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled execute took %s", elapsed)
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Errorf("point %d ran despite cancelled context", i)
+		}
+	}
+}
+
+func TestCacheDedupesEquivalentKernels(t *testing.T) {
+	p := soc.VirtualXavier()
+	c := NewCache()
+	a, err := c.Standalone(context.Background(), p, 1, soc.Kernel{Name: "first", DemandGBps: 50}, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same physical spec, different label: must hit the cache and carry the
+	// caller's name.
+	b, err := c.Standalone(context.Background(), p, 1, soc.Kernel{Name: "second", DemandGBps: 50}, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache has %d entries, want 1", c.Len())
+	}
+	if a.AchievedGBps != b.AchievedGBps {
+		t.Errorf("cached result diverged: %v vs %v", a.AchievedGBps, b.AchievedGBps)
+	}
+	if a.Kernel != "first" || b.Kernel != "second" {
+		t.Errorf("kernel labels = %q, %q", a.Kernel, b.Kernel)
+	}
+	// A different window is a different measurement.
+	if _, err := c.Standalone(context.Background(), p, 1, soc.Kernel{Name: "first", DemandGBps: 50},
+		soc.RunConfig{WarmupCycles: 50_000, MeasureCycles: 150_000}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache has %d entries, want 2", c.Len())
+	}
+}
+
+func TestCacheDoesNotCacheFailures(t *testing.T) {
+	p := soc.VirtualXavier()
+	c := NewCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Standalone(ctx, p, 1, soc.Kernel{Name: "k", DemandGBps: 50}, testRC); err == nil {
+		t.Fatal("cancelled standalone succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failure cached: %d entries", c.Len())
+	}
+	if _, err := c.Standalone(context.Background(), p, 1, soc.Kernel{Name: "k", DemandGBps: 50}, testRC); err != nil {
+		t.Fatalf("retry after cancelled run: %v", err)
+	}
+}
+
+func TestProgressCounters(t *testing.T) {
+	p := soc.VirtualXavier()
+	e := New(4)
+	var mu sync.Mutex
+	var last [2]int
+	e.OnProgress = func(done, planned int) {
+		mu.Lock()
+		defer mu.Unlock()
+		last = [2]int{done, planned}
+	}
+	points := testPlan(p)
+	if _, err := e.Execute(context.Background(), p, points); err != nil {
+		t.Fatal(err)
+	}
+	done, planned := e.Progress()
+	if done != len(points) || planned != len(points) {
+		t.Errorf("Progress = %d/%d, want %d/%d", done, planned, len(points), len(points))
+	}
+	mu.Lock()
+	if last != [2]int{len(points), len(points)} {
+		t.Errorf("final OnProgress = %v", last)
+	}
+	mu.Unlock()
+}
+
+func TestRelativeSpeedsMatchesSerial(t *testing.T) {
+	p := soc.VirtualXavier()
+	pl := soc.Placement{
+		0: soc.Kernel{Name: "cpu", DemandGBps: 40},
+		1: soc.Kernel{Name: "gpu", DemandGBps: 90},
+	}
+	want, err := p.RelativeSpeeds(pl, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RelativeSpeeds(context.Background(), New(4), p, pl, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parallel RelativeSpeeds diverged\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestExecutorRaceStress hammers one executor (and its shared cache) from
+// several plans at once; it exists to run under -race in CI.
+func TestExecutorRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test in -short mode")
+	}
+	p := soc.VirtualXavier()
+	rc := soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 30_000}
+	e := New(4)
+	e.OnProgress = func(done, planned int) { _ = done + planned }
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var points []Point
+			for i := 0; i < 4; i++ {
+				points = append(points, Point{
+					Placement: soc.Placement{
+						1: soc.Kernel{Name: "k", DemandGBps: 20 + 10*float64(i)},
+						0: soc.ExternalPressure(30),
+					},
+					Run: rc,
+				})
+			}
+			if _, err := e.Execute(context.Background(), p, points); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+			kernels := []soc.Kernel{
+				{Name: "a", DemandGBps: 25},
+				{Name: "b", DemandGBps: 25}, // dedupes onto "a"'s entry
+				{Name: "c", DemandGBps: 45},
+			}
+			if _, err := e.StandaloneBatch(context.Background(), p, 1, kernels, rc); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

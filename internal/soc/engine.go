@@ -2,6 +2,7 @@ package soc
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,21 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // Run simulates the placement on the platform and returns per-PU achieved
 // bandwidths and memory-system statistics over the measurement window.
 func (p *Platform) Run(pl Placement, rc RunConfig) (*RunOutcome, error) {
+	return p.RunContext(context.Background(), pl, rc)
+}
+
+// cancelCheckEvents is how many discrete events the engine processes between
+// context polls: frequent enough that cancellation lands within microseconds
+// of wall-clock, rare enough to stay invisible in profiles.
+const cancelCheckEvents = 8192
+
+// RunContext is Run with cancellation: the event loop polls ctx and aborts
+// mid-simulation with ctx.Err() when it is cancelled. A run is pure (all
+// simulation state is local), so an aborted run leaves no trace.
+func (p *Platform) RunContext(ctx context.Context, pl Placement, rc RunConfig) (*RunOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -187,7 +203,14 @@ func (p *Platform) Run(pl Placement, rc RunConfig) (*RunOutcome, error) {
 		}
 	}
 
+	var sinceCheck int
 	for h.Len() > 0 {
+		if sinceCheck++; sinceCheck >= cancelCheckEvents {
+			sinceCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := heap.Pop(&h).(event)
 		if e.at > end {
 			break
@@ -262,7 +285,12 @@ func (p *Platform) Run(pl Placement, rc RunConfig) (*RunOutcome, error) {
 
 // Standalone measures the kernel running alone on the PU.
 func (p *Platform) Standalone(pu int, k Kernel, rc RunConfig) (PUResult, error) {
-	out, err := p.Run(Placement{pu: k}, rc)
+	return p.StandaloneContext(context.Background(), pu, k, rc)
+}
+
+// StandaloneContext is Standalone with cancellation.
+func (p *Platform) StandaloneContext(ctx context.Context, pu int, k Kernel, rc RunConfig) (PUResult, error) {
+	out, err := p.RunContext(ctx, Placement{pu: k}, rc)
 	if err != nil {
 		return PUResult{}, err
 	}

@@ -120,6 +120,15 @@ func (p *Platform) PUIndex(name string) int {
 	return -1
 }
 
+// Clone returns an independent copy of the platform. Run never mutates the
+// platform, but concurrent executors clone it per worker anyway so no two
+// simulations can ever share state through it.
+func (p *Platform) Clone() *Platform {
+	c := *p
+	c.PUs = append([]PU(nil), p.PUs...)
+	return &c
+}
+
 // PeakGBps is the theoretical peak memory bandwidth of the platform.
 func (p *Platform) PeakGBps() float64 { return p.Mem.PeakGBps() }
 
