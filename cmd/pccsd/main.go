@@ -7,7 +7,9 @@
 // Usage:
 //
 //	pccsd [-addr localhost:8080] [-models models/pccs-models.json]
-//	      [-timeout 10s] [-cache 4096] [-workers N] [-queue 64]
+//	      [-timeout 10s] [-write-timeout 15s] [-cache 4096] [-workers N]
+//	      [-queue 64] [-journal pccsd-journal.jsonl] [-retries 3]
+//	      [-faults "site:kind:rate,..."] [-fault-seed 1]
 //
 // Endpoints:
 //
@@ -23,6 +25,12 @@
 // The daemon exits cleanly on SIGINT/SIGTERM: it stops accepting
 // connections, drains in-flight requests, and waits for running
 // calibration jobs (bounded by -drain).
+//
+// Fault tolerance: -journal enables the crash-safe job journal (queued and
+// in-flight calibrations survive a restart; terminal jobs stay queryable),
+// and -faults arms deterministic chaos injection across the stack — see
+// the faultinject package for the spec syntax. PCCS_FAULTS and
+// PCCS_FAULT_SEED are the environment equivalents; the flags win.
 package main
 
 import (
@@ -33,38 +41,75 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/server"
 )
+
+// envSeed is the -fault-seed default: PCCS_FAULT_SEED, else 1.
+func envSeed() uint64 {
+	if s := os.Getenv("PCCS_FAULT_SEED"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pccsd: ")
 	var (
-		addr    = flag.String("addr", "localhost:8080", "listen address")
-		models  = flag.String("models", "models/pccs-models.json", "constructed model artifact")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request timeout")
-		cache   = flag.Int("cache", 4096, "prediction cache entries (negative disables)")
-		workers = flag.Int("workers", 0, "calibration workers (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "calibration queue depth")
-		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		models   = flag.String("models", "models/pccs-models.json", "constructed model artifact")
+		journal  = flag.String("journal", "", "crash-safe job journal path (JSONL; empty disables)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		wtimeout = flag.Duration("write-timeout", 0, "connection write timeout (0 = request timeout + 5s)")
+		cache    = flag.Int("cache", 4096, "prediction cache entries (negative disables)")
+		workers  = flag.Int("workers", 0, "calibration workers (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "calibration queue depth")
+		retries  = flag.Int("retries", 3, "attempts per simulation point for transient faults")
+		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		faults   = flag.String("faults", os.Getenv("PCCS_FAULTS"), "fault-injection spec site:kind:rate[:arg],... (chaos testing)")
+		seed     = flag.Uint64("fault-seed", envSeed(), "fault-injection decision seed")
 	)
 	flag.Parse()
+
+	var injector *faultinject.Injector
+	if *faults != "" {
+		rules, err := faultinject.Parse(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		injector, err = faultinject.New(*seed, rules...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("chaos armed: sites %v (seed %d)", injector.Sites(), *seed)
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:           *addr,
 		ModelPath:      *models,
+		JournalPath:    *journal,
 		RequestTimeout: *timeout,
+		WriteTimeout:   *wtimeout,
 		CacheSize:      *cache,
 		Workers:        *workers,
 		JobQueueDepth:  *queue,
+		RetryAttempts:  *retries,
+		Faults:         injector,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving %d models from %s on http://%s", srv.Registry().Len(), *models, *addr)
+	if *journal != "" {
+		log.Printf("job journal at %s", *journal)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,107 @@
+package calib
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// TestSweepChaosMatchesFaultFree is the headline chaos property: a parallel
+// construction sweep with errors AND panics injected at every simrun site
+// produces, after retries, a matrix bit-identical to the fault-free serial
+// reference. Faults fire before each simulation attempt and points are pure
+// computations on per-worker clones, so a retried point reproduces exactly
+// the number stream a fault-free run would have.
+func TestSweepChaosMatchesFaultFree(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+
+	ref, err := Sweep(p, cfg) // fault-free reference
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := simrun.New(2)
+	ex.Faults = faultinject.MustNew(42,
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Error, Rate: 0.15},
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Panic, Rate: 0.10},
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Error, Rate: 0.25},
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Panic, Rate: 0.10},
+	)
+	ex.Retry = simrun.RetryPolicy{MaxAttempts: 25, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}
+	m, err := SweepContext(context.Background(), ex, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, ref) {
+		t.Errorf("chaos sweep diverged from fault-free reference\ngot:  %+v\nwant: %+v", m, ref)
+	}
+	if ex.Faults.Injected() == 0 {
+		t.Fatal("no faults fired; chaos test vacuous")
+	}
+	if ex.Retries() == 0 {
+		t.Error("faults fired but executor recorded no retries")
+	}
+}
+
+// TestConstructPUChaosMatchesFaultFree pushes the same property one layer up:
+// whole-model construction (sweep + extraction) under injected faults yields
+// bit-identical parameters.
+func TestConstructPUChaosMatchesFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("construction sweep in -short mode")
+	}
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+	opt := DefaultOptions()
+
+	refMatrix, err := Sweep(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Extract(refMatrix, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ex := simrun.New(2)
+	ex.Faults = faultinject.MustNew(9,
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Error, Rate: 0.2},
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Panic, Rate: 0.2},
+	)
+	ex.Retry = simrun.RetryPolicy{MaxAttempts: 25, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}
+	m, err := SweepContext(context.Background(), ex, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Extract(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("chaos-constructed model diverged\ngot:  %+v\nwant: %+v", got, ref)
+	}
+	if ex.Faults.Injected() == 0 {
+		t.Fatal("no faults fired; chaos test vacuous")
+	}
+}
+
+// TestSweepChaosExhaustionFailsCleanly arms a site that always fails: the
+// sweep must return an error (not hang, not panic) once retries exhaust.
+func TestSweepChaosExhaustionFailsCleanly(t *testing.T) {
+	p := soc.VirtualXavier()
+	cfg := miniSweepConfig(p, 1, 0)
+	ex := simrun.New(2)
+	ex.Faults = faultinject.MustNew(1,
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Error, Rate: 1},
+	)
+	ex.Retry = simrun.RetryPolicy{MaxAttempts: 2, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}
+	if _, err := SweepContext(context.Background(), ex, p, cfg); err == nil {
+		t.Fatal("sweep succeeded with a permanently failing standalone site")
+	}
+}

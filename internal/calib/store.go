@@ -1,6 +1,9 @@
 package calib
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -31,29 +34,125 @@ func (s ModelSet) Get(platform, pu string) (core.Params, error) {
 // Put stores a model under its own platform/PU key.
 func (s ModelSet) Put(p core.Params) { s[Key(p.Platform, p.PU)] = p }
 
-// Save writes the set as indented JSON.
+// envelopeFormat tags the checksummed artifact layout written by Save.
+const envelopeFormat = "pccs-models/v2"
+
+// envelope is the on-disk artifact: the model set plus a SHA-256 of its
+// canonical (compacted) JSON, so Load detects silent corruption — a torn
+// write, a bad block, a hand-edit gone wrong — instead of serving from a
+// damaged model. Legacy artifacts (a bare ModelSet object) still load.
+type envelope struct {
+	Format string          `json:"format"`
+	SHA256 string          `json:"sha256"`
+	Models json.RawMessage `json:"models"`
+}
+
+// checksum is the hex SHA-256 of the compacted models JSON, so formatting
+// (indentation) never shifts the sum.
+func checksum(models []byte) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, models); err != nil {
+		return "", fmt.Errorf("calib: canonicalize models: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Save writes the set as an indented, checksummed JSON envelope,
+// crash-safely: the bytes go to a temp file in the destination directory,
+// are fsynced, and the temp file is renamed over the target, so a crash
+// mid-save leaves either the old artifact or the new one — never a
+// truncated hybrid.
 func (s ModelSet) Save(path string) error {
-	data, err := json.MarshalIndent(s, "", "  ")
+	models, err := json.MarshalIndent(s, "  ", "  ")
 	if err != nil {
 		return fmt.Errorf("calib: marshal models: %w", err)
 	}
-	if dir := filepath.Dir(path); dir != "." {
+	sum, err := checksum(models)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(envelope{
+		Format: envelopeFormat,
+		SHA256: sum,
+		Models: models,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("calib: marshal artifact: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("calib: create model dir: %w", err)
 		}
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp, err := os.CreateTemp(dir, ".pccs-models-*.tmp")
+	if err != nil {
+		return fmt.Errorf("calib: create temp artifact: %w", err)
+	}
+	tmpName := tmp.Name()
+	installed := false
+	defer func() {
+		if !installed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("calib: write models: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("calib: sync models: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("calib: chmod models: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("calib: close models: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		installed = true // nothing left to clean up
+		return fmt.Errorf("calib: install models: %w", err)
+	}
+	installed = true
+	return nil
 }
 
-// Load reads a model set and validates every entry.
+// Load reads a model artifact — the checksummed v2 envelope or a legacy
+// bare ModelSet — verifies the checksum when present, and validates every
+// entry. Truncated or corrupt JSON is rejected with a clear error rather
+// than a partial decode.
 func Load(path string) (ModelSet, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("calib: read models: %w", err)
 	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("calib: model artifact %s is empty (truncated write?)", path)
+	}
+	models := data
+	var env envelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Format != "" {
+		if env.Format != envelopeFormat {
+			return nil, fmt.Errorf("calib: model artifact %s has unknown format %q", path, env.Format)
+		}
+		if len(env.Models) == 0 {
+			return nil, fmt.Errorf("calib: model artifact %s has no models payload", path)
+		}
+		sum, err := checksum(env.Models)
+		if err != nil {
+			return nil, fmt.Errorf("calib: model artifact %s: %w", path, err)
+		}
+		if sum != env.SHA256 {
+			return nil, fmt.Errorf("calib: model artifact %s failed checksum validation (corrupt or partially written): want %s, have %s",
+				path, env.SHA256, sum)
+		}
+		models = env.Models
+	}
 	var s ModelSet
-	if err := json.Unmarshal(data, &s); err != nil {
-		return nil, fmt.Errorf("calib: parse models %s: %w", path, err)
+	if err := json.Unmarshal(models, &s); err != nil {
+		return nil, fmt.Errorf("calib: parse models %s (truncated or corrupt JSON): %w", path, err)
 	}
 	for k, p := range s {
 		if err := p.Validate(); err != nil {

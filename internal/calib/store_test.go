@@ -3,6 +3,7 @@ package calib
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -98,5 +99,110 @@ func TestLoadRejectsBadFiles(t *testing.T) {
 	os.WriteFile(mis, []byte(`{"a/b":{"PU":"GPU","Platform":"xavier","PeakBW":100,"CBP":10,"IntensiveBW":50,"NormalBW":10,"RateN":0.5}}`), 0o644)
 	if _, err := Load(mis); err == nil {
 		t.Error("key mismatch accepted")
+	}
+}
+
+func TestLoadVerifiesChecksum(t *testing.T) {
+	s := ModelSet{}
+	p := refModel()
+	p.Platform, p.PU = "virtual-xavier", "GPU"
+	s.Put(p)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"format": "pccs-models/v2"`) {
+		t.Fatalf("Save did not write the v2 envelope:\n%s", data)
+	}
+	// Flip a digit inside the models payload, keeping the JSON valid: the
+	// checksum must catch the silent corruption.
+	corrupt := strings.Replace(string(data), `"PeakBW": 137`, `"PeakBW": 138`, 1)
+	if corrupt == string(data) {
+		t.Fatal("corruption probe found nothing to flip")
+	}
+	if err := os.WriteFile(path, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("corrupted artifact accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption error does not mention the checksum: %v", err)
+	}
+}
+
+func TestLoadLegacyArtifact(t *testing.T) {
+	// Pre-v2 artifacts are a bare ModelSet object with no envelope.
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	legacy := `{"virtual-xavier/GPU":{"PU":"GPU","Platform":"virtual-xavier","PeakBW":137,"CBP":30,"IntensiveBW":90,"NormalBW":20,"RateN":0.5}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Get("virtual-xavier", "GPU"); err != nil {
+		t.Errorf("legacy model missing: %v", err)
+	}
+}
+
+func TestLoadRejectsEmptyAndUnknownFormat(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(" \n"), 0o644)
+	if _, err := Load(empty); err == nil {
+		t.Error("empty artifact accepted")
+	}
+	future := filepath.Join(dir, "future.json")
+	os.WriteFile(future, []byte(`{"format":"pccs-models/v9","sha256":"x","models":{}}`), 0o644)
+	if _, err := Load(future); err == nil {
+		t.Error("unknown format accepted")
+	}
+	hollow := filepath.Join(dir, "hollow.json")
+	os.WriteFile(hollow, []byte(`{"format":"pccs-models/v2","sha256":"x"}`), 0o644)
+	if _, err := Load(hollow); err == nil {
+		t.Error("envelope without models payload accepted")
+	}
+}
+
+func TestSaveIsAtomicAndLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json")
+	s := ModelSet{}
+	p := refModel()
+	p.Platform, p.PU = "virtual-xavier", "GPU"
+	s.Put(p)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second save: the reader must see old or new, and no
+	// temp droppings may remain either way.
+	q := p
+	q.PU = "DLA"
+	s.Put(q)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("reloaded %d models, want 2", len(got))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "models.json" {
+			t.Errorf("stray file after save: %s", e.Name())
+		}
 	}
 }

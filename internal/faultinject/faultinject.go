@@ -1,0 +1,314 @@
+// Package faultinject provides deterministic, seed-driven fault injection
+// for chaos testing the PCCS stack. Components register named sites (e.g.
+// "simrun/point", "server/handler") by calling Injector.Hit on their hot
+// path; an enabled rule makes a site return an injected error, panic, or
+// sleep for a latency spike, at a configured rate.
+//
+// Decisions are a pure function of (seed, site, hit index, rule index), so
+// a given injector configuration produces the same fault sequence on every
+// run — chaos tests are reproducible, and a failing seed can be replayed.
+// Which goroutine observes the n-th hit still depends on scheduling, but
+// the PCCS simulation points are idempotent pure computations, so retried
+// work reproduces identical results regardless of which points drew the
+// faults.
+//
+// A nil *Injector is valid and disabled: Hit returns nil at the cost of one
+// nil check, so production wiring can thread an injector everywhere and pay
+// nothing when chaos is off. Injectors are configured programmatically with
+// New, from a compact spec string with Parse (the -faults flag of pccsd),
+// or from the PCCS_FAULTS / PCCS_FAULT_SEED environment with FromEnv.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks every fault produced by an injector. Injected errors
+// (and the error values carried by injected panics) wrap it, so callers
+// classify transient chaos with errors.Is(err, ErrInjected) — the retry
+// layer in simrun retries exactly these and leaves deterministic model
+// errors alone.
+var ErrInjected = errors.New("injected fault")
+
+// Kind selects what an enabled rule does to its site.
+type Kind string
+
+const (
+	// Error makes Hit return an error wrapping ErrInjected.
+	Error Kind = "error"
+	// Panic makes Hit panic with an error value wrapping ErrInjected.
+	Panic Kind = "panic"
+	// Delay makes Hit sleep for the rule's Delay (a latency spike), then
+	// continue normally.
+	Delay Kind = "delay"
+)
+
+// Rule arms one failure mode at one site.
+type Rule struct {
+	// Site names the injection point, e.g. "simrun/point".
+	Site string
+	// Kind is the failure mode.
+	Kind Kind
+	// Rate is the per-hit injection probability in [0, 1].
+	Rate float64
+	// Count caps the number of injections for this rule; 0 is unlimited.
+	Count int
+	// Delay is the sleep duration for Delay rules.
+	Delay time.Duration
+}
+
+func (r Rule) validate() error {
+	if r.Site == "" {
+		return fmt.Errorf("faultinject: rule with empty site")
+	}
+	switch r.Kind {
+	case Error, Panic:
+	case Delay:
+		if r.Delay <= 0 {
+			return fmt.Errorf("faultinject: delay rule at %s needs a positive duration", r.Site)
+		}
+	default:
+		return fmt.Errorf("faultinject: unknown kind %q (want error, panic, or delay)", r.Kind)
+	}
+	if r.Rate < 0 || r.Rate > 1 {
+		return fmt.Errorf("faultinject: rate %g at %s out of [0,1]", r.Rate, r.Site)
+	}
+	if r.Count < 0 {
+		return fmt.Errorf("faultinject: negative count at %s", r.Site)
+	}
+	return nil
+}
+
+// SiteStats counts activity at one site.
+type SiteStats struct {
+	// Hits is how many times the site was reached.
+	Hits uint64
+	// Injected is how many faults fired (all kinds combined).
+	Injected uint64
+}
+
+type siteState struct {
+	rules    []Rule
+	hits     uint64
+	injected uint64
+	fired    []int // per-rule injection counts, for Count caps
+}
+
+// Injector evaluates rules at named sites. Safe for concurrent use.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[string]*siteState
+}
+
+// New builds an injector from a seed and a rule set. Invalid rules return
+// an error rather than silently disarming a chaos test.
+func New(seed uint64, rules ...Rule) (*Injector, error) {
+	in := &Injector{seed: seed, sites: make(map[string]*siteState)}
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, err
+		}
+		st := in.sites[r.Site]
+		if st == nil {
+			st = &siteState{}
+			in.sites[r.Site] = st
+		}
+		st.rules = append(st.rules, r)
+		st.fired = append(st.fired, 0)
+	}
+	return in, nil
+}
+
+// MustNew is New for tests and static configs; it panics on invalid rules.
+func MustNew(seed uint64, rules ...Rule) *Injector {
+	in, err := New(seed, rules...)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Parse builds rules from a compact spec: comma-separated
+// "site:kind:rate[:arg]" clauses, where arg is an injection-count cap for
+// error/panic rules and a duration for delay rules. Example:
+//
+//	simrun/point:error:0.01,simrun/point:panic:0.005,server/handler:delay:0.1:50ms
+func Parse(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("faultinject: clause %q: want site:kind:rate[:arg]", clause)
+		}
+		rate, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: bad rate: %v", clause, err)
+		}
+		r := Rule{Site: parts[0], Kind: Kind(parts[1]), Rate: rate}
+		if len(parts) == 4 {
+			switch r.Kind {
+			case Delay:
+				d, err := time.ParseDuration(parts[3])
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: clause %q: bad duration: %v", clause, err)
+				}
+				r.Delay = d
+			default:
+				n, err := strconv.Atoi(parts[3])
+				if err != nil {
+					return nil, fmt.Errorf("faultinject: clause %q: bad count: %v", clause, err)
+				}
+				r.Count = n
+			}
+		}
+		if r.Kind == Delay && r.Delay == 0 {
+			return nil, fmt.Errorf("faultinject: clause %q: delay rule needs a duration arg", clause)
+		}
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("faultinject: clause %q: %w", clause, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// FromEnv builds an injector from PCCS_FAULTS (a Parse spec) and
+// PCCS_FAULT_SEED (default 1). An empty/unset PCCS_FAULTS returns nil —
+// a disabled injector.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv("PCCS_FAULTS")
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv("PCCS_FAULT_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: PCCS_FAULT_SEED: %v", err)
+		}
+		seed = v
+	}
+	rules, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(seed, rules...)
+}
+
+// Hit evaluates the rules armed at site, in rule order. It returns an
+// injected error, panics with an injected error value, sleeps for a latency
+// spike, or — the common case — does nothing and returns nil. A nil
+// injector or an unarmed site is a no-op.
+func (in *Injector) Hit(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st := in.sites[site]
+	if st == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	n := st.hits
+	st.hits++
+	var fire Rule
+	fired := false
+	for i, r := range st.rules {
+		if r.Count > 0 && st.fired[i] >= r.Count {
+			continue
+		}
+		if !decide(in.seed, site, n, i, r.Rate) {
+			continue
+		}
+		st.fired[i]++
+		st.injected++
+		fire, fired = r, true
+		break
+	}
+	in.mu.Unlock()
+	if !fired {
+		return nil
+	}
+	switch fire.Kind {
+	case Error:
+		return fmt.Errorf("faultinject: %s hit %d: %w", site, n, ErrInjected)
+	case Panic:
+		panic(fmt.Errorf("faultinject: %s hit %d: injected panic: %w", site, n, ErrInjected))
+	case Delay:
+		time.Sleep(fire.Delay)
+	}
+	return nil
+}
+
+// Stats reports per-site hit and injection counts.
+func (in *Injector) Stats() map[string]SiteStats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]SiteStats, len(in.sites))
+	for site, st := range in.sites {
+		out[site] = SiteStats{Hits: st.hits, Injected: st.injected}
+	}
+	return out
+}
+
+// Injected reports the total number of faults fired across all sites.
+func (in *Injector) Injected() uint64 {
+	var total uint64
+	for _, st := range in.Stats() {
+		total += st.Injected
+	}
+	return total
+}
+
+// Sites lists the armed site names, sorted.
+func (in *Injector) Sites() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]string, 0, len(in.sites))
+	for s := range in.sites {
+		sites = append(sites, s)
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// decide is the deterministic coin flip: a hash of (seed, site, hit index,
+// rule index) mapped to [0, 1) and compared against the rate.
+func decide(seed uint64, site string, hit uint64, rule int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	x := h.Sum64() ^ seed ^ (hit * 0x9e3779b97f4a7c15) ^ (uint64(rule+1) * 0xbf58476d1ce4e5b9)
+	// splitmix64 finalizer for avalanche.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < rate
+}

@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var in *Injector
+	if err := in.Hit("simrun/point"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if in.Stats() != nil || in.Sites() != nil || in.Injected() != 0 {
+		t.Error("nil injector reported state")
+	}
+}
+
+func TestUnarmedSiteIsNoop(t *testing.T) {
+	in := MustNew(1, Rule{Site: "a", Kind: Error, Rate: 1})
+	for i := 0; i < 100; i++ {
+		if err := in.Hit("b"); err != nil {
+			t.Fatalf("unarmed site injected: %v", err)
+		}
+	}
+	if st := in.Stats()["b"]; st.Hits != 0 {
+		t.Errorf("unarmed site counted hits: %+v", st)
+	}
+}
+
+func TestErrorInjectionRateAndMarker(t *testing.T) {
+	in := MustNew(42, Rule{Site: "s", Kind: Error, Rate: 0.25})
+	const hits = 10_000
+	injected := 0
+	for i := 0; i < hits; i++ {
+		if err := in.Hit("s"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			injected++
+		}
+	}
+	// The decision hash should land within a few percent of the rate.
+	if injected < hits/5 || injected > hits/3 {
+		t.Errorf("injected %d/%d at rate 0.25", injected, hits)
+	}
+	st := in.Stats()["s"]
+	if st.Hits != hits || st.Injected != uint64(injected) {
+		t.Errorf("stats = %+v, want %d hits / %d injected", st, hits, injected)
+	}
+}
+
+func TestDeterministicAcrossInjectors(t *testing.T) {
+	seq := func(seed uint64) []bool {
+		in := MustNew(seed, Rule{Site: "s", Kind: Error, Rate: 0.5})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Hit("s") != nil
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestPanicInjectionCarriesMarker(t *testing.T) {
+	in := MustNew(1, Rule{Site: "s", Kind: Panic, Rate: 1})
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("no panic at rate 1")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, ErrInjected) {
+			t.Fatalf("panic value %v does not wrap ErrInjected", rec)
+		}
+	}()
+	in.Hit("s")
+}
+
+func TestCountCapStopsInjection(t *testing.T) {
+	in := MustNew(1, Rule{Site: "s", Kind: Error, Rate: 1, Count: 3})
+	injected := 0
+	for i := 0; i < 10; i++ {
+		if in.Hit("s") != nil {
+			injected++
+		}
+	}
+	if injected != 3 {
+		t.Errorf("injected %d, want 3 (count cap)", injected)
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	in := MustNew(1, Rule{Site: "s", Kind: Delay, Rate: 1, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := in.Hit("s"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delay slept only %s", elapsed)
+	}
+}
+
+func TestRuleOrderFirstWins(t *testing.T) {
+	// Error at rate 1 shadows the panic rule behind it.
+	in := MustNew(1,
+		Rule{Site: "s", Kind: Error, Rate: 1},
+		Rule{Site: "s", Kind: Panic, Rate: 1},
+	)
+	if err := in.Hit("s"); err == nil {
+		t.Fatal("first rule did not fire")
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse(" simrun/point:error:0.01 , simrun/point:panic:0.005:3 , server/handler:delay:0.5:50ms ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Site: "simrun/point", Kind: Error, Rate: 0.01},
+		{Site: "simrun/point", Kind: Panic, Rate: 0.005, Count: 3},
+		{Site: "server/handler", Kind: Delay, Rate: 0.5, Delay: 50 * time.Millisecond},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i] != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"siteonly",
+		"s:error",
+		"s:explode:0.1",
+		"s:error:nope",
+		"s:error:1.5",
+		"s:error:-0.1",
+		"s:error:0.1:xyz",
+		"s:delay:0.1",       // missing duration
+		"s:delay:0.1:10xyz", // bad duration
+		":error:0.1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("PCCS_FAULTS", "")
+	if in, err := FromEnv(); err != nil || in != nil {
+		t.Fatalf("empty env: injector=%v err=%v", in, err)
+	}
+	t.Setenv("PCCS_FAULTS", "s:error:1")
+	t.Setenv("PCCS_FAULT_SEED", "99")
+	in, err := FromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in == nil || in.Hit("s") == nil {
+		t.Error("env-armed injector did not fire")
+	}
+	t.Setenv("PCCS_FAULT_SEED", "not-a-number")
+	if _, err := FromEnv(); err == nil {
+		t.Error("bad seed accepted")
+	}
+	t.Setenv("PCCS_FAULT_SEED", "1")
+	t.Setenv("PCCS_FAULTS", "broken spec")
+	if _, err := FromEnv(); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestConcurrentHitsAreSafe(t *testing.T) {
+	in := MustNew(3, Rule{Site: "s", Kind: Error, Rate: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = in.Hit("s")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := in.Stats()["s"]; st.Hits != 8000 {
+		t.Errorf("hits = %d, want 8000", st.Hits)
+	}
+}

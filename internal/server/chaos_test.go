@@ -1,0 +1,332 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+)
+
+// newChaosServer is newTestServer with a caller-controlled Config (faults,
+// queue depth, journal).
+func newChaosServer(t *testing.T, cfg Config, construct constructFunc) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	for _, pu := range []string{"CPU", "GPU"} {
+		if err := reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := newServer(cfg, reg, construct, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.jobs.Close(ctx)
+	})
+	return srv, ts
+}
+
+// TestHandlerPanicIsolation arms a one-shot panic at the server/handler
+// site: the poisoned request gets a 500 and a pccsd_panics_total increment,
+// and the daemon keeps serving — the next identical request succeeds.
+func TestHandlerPanicIsolation(t *testing.T) {
+	srv, ts := newChaosServer(t, Config{
+		Workers: 1, JobQueueDepth: 4,
+		Faults: faultinject.MustNew(1,
+			faultinject.Rule{Site: "server/handler", Kind: faultinject.Panic, Rate: 1, Count: 1},
+		),
+	}, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) { return nil, nil }))
+
+	req := PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned request: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "injected") {
+		t.Errorf("500 body hides the injected panic: %s", body)
+	}
+	if n := srv.metrics.PanicTotal(); n != 1 {
+		t.Errorf("pccsd_panics_total = %d, want 1", n)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after recovered panic: %d %s", resp.StatusCode, body)
+	}
+
+	metricsResp, metricsBody := postJSON(t, ts.URL+"/v1/predict", req) // warm another count
+	_ = metricsResp
+	_ = metricsBody
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := mresp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), `pccsd_panics_total{site="/v1/predict"} 1`) {
+		t.Errorf("metrics missing panic counter:\n%s", buf[:n])
+	}
+}
+
+// TestHandlerInjectedErrorIs500 arms a one-shot error at the handler site:
+// the request fails with a 500 carrying the injected error, then service
+// resumes.
+func TestHandlerInjectedErrorIs500(t *testing.T) {
+	_, ts := newChaosServer(t, Config{
+		Workers: 1, JobQueueDepth: 4,
+		Faults: faultinject.MustNew(1,
+			faultinject.Rule{Site: "server/handler", Kind: faultinject.Error, Rate: 1, Count: 1},
+		),
+	}, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) { return nil, nil }))
+
+	req := PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/predict", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("service did not resume: %d", resp.StatusCode)
+	}
+}
+
+// TestQueueFullReturns503WithRetryAfter fills the calibration queue and
+// asserts the overload response: 503, Retry-After header, JSON error.
+func TestQueueFullReturns503WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newChaosServer(t, Config{Workers: 1, JobQueueDepth: 1},
+		fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+			<-release
+			return nil, nil
+		}))
+	defer close(release)
+
+	spec := CalibrateSpec{Platform: "virtual-xavier"}
+	first, _ := postJSON(t, ts.URL+"/v1/calibrate", spec)
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", first.StatusCode)
+	}
+	// Keep submitting until the worker has drained nothing and the single
+	// queue slot is full; the overflow must be a 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := postJSON(t, ts.URL+"/v1/calibrate", spec)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if got := resp.Header.Get("Retry-After"); got != "30" {
+				t.Errorf("Retry-After = %q, want 30", got)
+			}
+			if !strings.Contains(string(body), "queue full") {
+				t.Errorf("503 body: %s", body)
+			}
+			return
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("unexpected status %d: %s", resp.StatusCode, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+}
+
+// TestJobPanicIsolation: a panicking construction fails only its own job —
+// the error records the panic, the panic counter increments, and the same
+// worker completes the next job.
+func TestJobPanicIsolation(t *testing.T) {
+	calls := 0
+	srv, ts := newChaosServer(t, Config{Workers: 1, JobQueueDepth: 4},
+		fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
+			calls++
+			if calls == 1 {
+				panic("sweep corrupted its arena")
+			}
+			return []core.Params{testParams(spec.Platform, "GPU")}, nil
+		}))
+
+	submit := func() Job {
+		t.Helper()
+		resp, out := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "virtual-xavier", PU: "GPU"})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d %s", resp.StatusCode, out)
+		}
+		var sub struct {
+			Job Job `json:"job"`
+		}
+		if err := json.Unmarshal(out, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub.Job
+	}
+
+	first := submit()
+	done := waitJob(t, srv.jobs, first.ID, 5*time.Second)
+	if done.State != JobFailed || !strings.Contains(done.Error, "panic") {
+		t.Fatalf("panicked job = %s (%q)", done.State, done.Error)
+	}
+	if n := srv.metrics.PanicTotal(); n != 1 {
+		t.Errorf("pccsd_panics_total = %d, want 1", n)
+	}
+
+	second := submit()
+	done = waitJob(t, srv.jobs, second.ID, 5*time.Second)
+	if done.State != JobCompleted {
+		t.Fatalf("job after worker panic = %s (%q)", done.State, done.Error)
+	}
+}
+
+// TestInjectedJobFaultFailsJob: an error armed at the server/job site fails
+// the job cleanly (no retry at the job layer — retries live per simulation
+// point) and the runner keeps serving.
+func TestInjectedJobFaultFailsJob(t *testing.T) {
+	srv, _ := newChaosServer(t, Config{
+		Workers: 1, JobQueueDepth: 4,
+		Faults: faultinject.MustNew(1,
+			faultinject.Rule{Site: "server/job", Kind: faultinject.Error, Rate: 1, Count: 1},
+		),
+	}, fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
+		return []core.Params{testParams(spec.Platform, "GPU")}, nil
+	}))
+
+	first, err := srv.jobs.Submit(CalibrateSpec{Platform: "virtual-xavier", PU: "GPU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, srv.jobs, first.ID, 5*time.Second)
+	if done.State != JobFailed || !strings.Contains(done.Error, "injected") {
+		t.Fatalf("job = %s (%q)", done.State, done.Error)
+	}
+	second, err := srv.jobs.Submit(CalibrateSpec{Platform: "virtual-xavier", PU: "GPU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done = waitJob(t, srv.jobs, second.ID, 5*time.Second); done.State != JobCompleted {
+		t.Fatalf("job after injected fault = %s (%q)", done.State, done.Error)
+	}
+}
+
+// TestHealthzDegradedOnFailedReload: corrupting the model artifact and
+// hot-reloading must keep the last-good set serving and flip /healthz to
+// degraded; restoring the artifact heals it.
+func TestHealthzDegradedOnFailedReload(t *testing.T) {
+	path := writeModelFile(t, modelSetOf(testParams("virtual-xavier", "GPU")))
+	reg, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		return nil, nil
+	}), nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.jobs.Close(context.Background())
+
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good[:len(good)/2], 0o644); err != nil { // truncate = crash-torn artifact
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/models/reload", struct{}{})
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("reload of torn artifact succeeded: %s", body)
+	}
+
+	var health struct {
+		Status      string       `json:"status"`
+		Models      int          `json:"models"`
+		ModelReload ReloadHealth `json:"model_reload"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "degraded" {
+		t.Errorf("status = %q, want degraded", health.Status)
+	}
+	if health.Models != 1 {
+		t.Errorf("last-good set lost: %d models", health.Models)
+	}
+	if !health.ModelReload.Degraded || health.ModelReload.FailedReloads != 1 {
+		t.Errorf("model_reload = %+v", health.ModelReload)
+	}
+
+	// Predictions still come from the last-good set while degraded.
+	if resp, _ := postJSON(t, ts.URL+"/v1/predict", PredictRequest{
+		Platform: "virtual-xavier", PU: "GPU", DemandGBps: 50, ExternalGBps: 20,
+	}); resp.StatusCode != http.StatusOK {
+		t.Errorf("degraded registry stopped serving: %d", resp.StatusCode)
+	}
+
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/models/reload", struct{}{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload of restored artifact: %d %s", resp.StatusCode, body)
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Errorf("status after recovery = %q", health.Status)
+	}
+}
+
+// TestHealthzReportsJournal wires a journal and checks /healthz surfaces it.
+func TestHealthzReportsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	journal, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		return nil, nil
+	}), journal, replayed)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	resp, out := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "virtual-xavier"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, out)
+	}
+	var health struct {
+		Journal struct {
+			Path         string `json:"path"`
+			Records      int    `json:"records"`
+			AppendErrors int    `json:"append_errors"`
+		} `json:"journal"`
+	}
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health.Journal.Path != path {
+		t.Errorf("journal path = %q, want %q", health.Journal.Path, path)
+	}
+	if health.Journal.Records == 0 {
+		t.Error("journal records = 0 after a submit")
+	}
+	if health.Journal.AppendErrors != 0 {
+		t.Errorf("append errors = %d", health.Journal.AppendErrors)
+	}
+}
+
+func modelSetOf(params ...core.Params) calib.ModelSet {
+	set := calib.ModelSet{}
+	for _, p := range params {
+		set.Put(p)
+	}
+	return set
+}

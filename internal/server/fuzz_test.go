@@ -1,0 +1,98 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// fuzzServer wires a server for decoder fuzzing: real handlers, an instant
+// fake construction (so valid calibrate bodies cost nothing), and a deep
+// queue. The property under test: arbitrary request bytes never panic a
+// handler and never produce a 5xx other than queue backpressure — malformed
+// input is the client's error (4xx), not the daemon's.
+func fuzzServer(f *testing.F) (*Server, *httptest.Server) {
+	f.Helper()
+	reg := NewRegistry()
+	for _, pu := range []string{"CPU", "GPU"} {
+		if err := reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	srv := newServer(Config{Workers: 2, JobQueueDepth: 4096, CacheSize: 64}, reg,
+		fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
+			return []core.Params{testParams(spec.Platform, "GPU")}, nil
+		}), nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() {
+		ts.Close()
+	})
+	return srv, ts
+}
+
+// fuzzPost sends raw bytes at a decoding endpoint and enforces the
+// never-5xx / never-panic property.
+func fuzzPost(t *testing.T, srv *Server, url string, data []byte) {
+	before := srv.metrics.PanicTotal()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("transport error: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if after := srv.metrics.PanicTotal(); after != before {
+		t.Fatalf("input %q panicked a handler (pccsd_panics_total %d -> %d)", data, before, after)
+	}
+	if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("input %q: status %d, want 2xx/4xx", data, resp.StatusCode)
+	}
+}
+
+func FuzzPredictDecode(f *testing.F) {
+	srv, ts := fuzzServer(f)
+	for _, seed := range []string{
+		`{"platform":"virtual-xavier","pu":"GPU","demand_gbps":88,"external_gbps":40}`,
+		`{"batch":[{"platform":"virtual-xavier","pu":"CPU","demand_gbps":5,"external_gbps":1}]}`,
+		`{"platform":"virtual-xavier","pu":"GPU","workload":"cfd","use_phases":true,"external_gbps":40}`,
+		`{"phases":[{"weight":0.5,"demand_gbps":1e308}]}`,
+		`{"platform":123}`,
+		`{"unknown_field":true}`,
+		`{"platform":"virtual-xavier","pu":"GPU","demand_gbps":"NaN"}`,
+		`[]`,
+		`{`,
+		"",
+		`nullnull`,
+		`{"demand_gbps":-1e309}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzPost(t, srv, ts.URL+"/v1/predict", data)
+	})
+}
+
+func FuzzCalibrateDecode(f *testing.F) {
+	srv, ts := fuzzServer(f)
+	for _, seed := range []string{
+		`{"platform":"virtual-xavier"}`,
+		`{"platform":"virtual-xavier","pu":"GPU","mode":"strict","quick":true}`,
+		`{"platform":"virtual-snapdragon","warmup_cycles":1,"measure_cycles":1}`,
+		`{"platform":"no-such-soc"}`,
+		`{"platform":"virtual-xavier","warmup_cycles":-9223372036854775808}`,
+		`{"platform":"virtual-xavier","measure_cycles":1e30}`,
+		`{"pu":"GPU"}`,
+		`{"mode":["robust"]}`,
+		`{`,
+		"",
+		`true`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzPost(t, srv, ts.URL+"/v1/calibrate", data)
+	})
+}

@@ -428,6 +428,13 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.jobs.Submit(spec)
+	if errors.Is(err, ErrQueueFull) {
+		// Backpressure, not a client mistake: tell the caller when to
+		// come back instead of making it guess.
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -466,13 +473,34 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz reports liveness plus degradation: a failed model
+// hot-reload (registry serving the last-good set) or journal write errors
+// flip status to "degraded" while the daemon keeps answering — degraded
+// operation is an alarm, not an outage.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	reload := s.reg.Health()
+	journalErrs := s.jobs.JournalErrs()
+	status := "ok"
+	if reload.Degraded || journalErrs > 0 {
+		status = "degraded"
+	}
+	body := map[string]any{
+		"status":         status,
 		"models":         s.reg.Len(),
 		"inflight_jobs":  s.jobs.InFlight(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	}
+	if reload.Reloads > 0 || reload.Degraded {
+		body["model_reload"] = reload
+	}
+	if s.journal != nil {
+		body["journal"] = map[string]any{
+			"path":          s.journal.Path(),
+			"records":       s.journal.Records(),
+			"append_errors": journalErrs,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

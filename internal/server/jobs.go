@@ -9,6 +9,7 @@ import (
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
@@ -38,12 +39,18 @@ var ErrJobTerminal = errors.New("job already in a terminal state")
 // ErrUnknownJob is returned by Cancel for IDs the runner never issued.
 var ErrUnknownJob = errors.New("unknown job")
 
+// ErrQueueFull is returned by Submit when the calibration backlog is at
+// capacity; handlers translate it to 503 + Retry-After.
+var ErrQueueFull = errors.New("calibration queue full")
+
 // JobProgress reports how far a running calibration has come, in simulation
 // points completed out of the points planned so far (the total grows as the
-// construction plans further sweeps).
+// construction plans further sweeps). Retries counts simulation points that
+// were re-attempted after a transient (injected) failure.
 type JobProgress struct {
 	Completed int `json:"completed"`
 	Total     int `json:"total"`
+	Retries   int `json:"retries,omitempty"`
 }
 
 // Job is one asynchronous calibration: a model-construction sweep takes
@@ -63,6 +70,9 @@ type Job struct {
 	// Models lists the registry keys produced by a completed job.
 	Models []string `json:"models,omitempty"`
 	Error  string   `json:"error,omitempty"`
+	// Restarts counts how many times the job was re-enqueued by journal
+	// replay after a daemon crash or restart.
+	Restarts int `json:"restarts,omitempty"`
 }
 
 // CalibrateSpec describes a calibration request: which platform (and
@@ -136,84 +146,206 @@ func (s CalibrateSpec) runConfig() soc.RunConfig {
 }
 
 // constructFunc runs a calibration and returns the constructed models. It
-// must honour ctx cancellation and may report per-point progress. Production
-// uses defaultConstruct (the real simulator sweep); tests inject fakes to
-// exercise queue mechanics without paying simulation time.
-type constructFunc func(ctx context.Context, spec CalibrateSpec, progress func(completed, total int)) ([]core.Params, error)
+// must honour ctx cancellation and may report per-point progress (points
+// completed, points planned, transient retries). Production uses
+// makeConstruct (the real simulator sweep); tests inject fakes to exercise
+// queue mechanics without paying simulation time.
+type constructFunc func(ctx context.Context, spec CalibrateSpec, progress func(completed, total, retries int)) ([]core.Params, error)
 
-// defaultConstruct runs the processor-centric construction sweep (§3.2) on
-// the simulator for the requested platform/PU(s), fanning grid points over a
-// private simrun executor pool.
-func defaultConstruct(ctx context.Context, spec CalibrateSpec, progress func(completed, total int)) ([]core.Params, error) {
-	p, err := platformByName(spec.Platform)
-	if err != nil {
-		return nil, err
-	}
-	ex := simrun.New(0)
-	ex.OnProgress = progress
-	rc, opt := spec.runConfig(), spec.options()
-	if spec.PU != "" {
-		params, _, err := calib.ConstructPUContext(ctx, ex, p, p.PUIndex(spec.PU), rc, opt)
+// makeConstruct builds the production constructFunc: the processor-centric
+// construction sweep (§3.2) on the simulator for the requested
+// platform/PU(s), fanning grid points over a private simrun executor pool
+// armed with the daemon's chaos injector and retry policy.
+func makeConstruct(faults *faultinject.Injector, retry simrun.RetryPolicy) constructFunc {
+	return func(ctx context.Context, spec CalibrateSpec, progress func(completed, total, retries int)) ([]core.Params, error) {
+		p, err := platformByName(spec.Platform)
 		if err != nil {
 			return nil, err
 		}
-		return []core.Params{params}, nil
+		ex := simrun.New(0)
+		ex.Faults = faults
+		ex.Retry = retry
+		if progress != nil {
+			ex.OnProgress = func(completed, planned int) {
+				progress(completed, planned, ex.Retries())
+			}
+		}
+		rc, opt := spec.runConfig(), spec.options()
+		if spec.PU != "" {
+			params, _, err := calib.ConstructPUContext(ctx, ex, p, p.PUIndex(spec.PU), rc, opt)
+			if err != nil {
+				return nil, err
+			}
+			return []core.Params{params}, nil
+		}
+		set, err := calib.ConstructPlatformContext(ctx, ex, p, rc, opt)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]core.Params, 0, len(set))
+		for _, params := range set {
+			out = append(out, params)
+		}
+		return out, nil
 	}
-	set, err := calib.ConstructPlatformContext(ctx, ex, p, rc, opt)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]core.Params, 0, len(set))
-	for _, params := range set {
-		out = append(out, params)
-	}
-	return out, nil
 }
 
 // JobRunner owns the calibration queue: a fixed worker pool (sized to
 // GOMAXPROCS by the server) pulls jobs off a bounded channel, runs the
-// construction, and installs the resulting models in the registry.
+// construction, and installs the resulting models in the registry. With a
+// journal attached every state transition is persisted, so a restarted
+// daemon replays the queue instead of losing it.
 type JobRunner struct {
 	reg       *Registry
 	construct constructFunc
+	journal   *Journal
+	faults    *faultinject.Injector
+	onPanic   func() // counts recovered calibration panics (may be nil)
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	cancels map[string]context.CancelFunc // per running job
-	order   []string                      // submission order, for List
-	seq     int
-	closed  bool
-	queued  int
-	running int
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	cancels     map[string]context.CancelFunc // per running job
+	order       []string                      // submission order, for List
+	seq         int
+	closed      bool
+	queued      int
+	running     int
+	journalErrs int
 
 	queue chan string
 	wg    sync.WaitGroup
 }
 
+// jobRunnerOptions wires the runner's fault-tolerance collaborators; the
+// zero value of every optional field means "off".
+type jobRunnerOptions struct {
+	workers    int
+	queueDepth int
+	reg        *Registry
+	construct  constructFunc // nil selects the simulator-backed construction
+	journal    *Journal      // nil disables persistence
+	replayed   []Job         // journal replay: last-known snapshot per job
+	faults     *faultinject.Injector
+	retry      simrun.RetryPolicy
+	onPanic    func()
+}
+
 // NewJobRunner starts workers goroutines draining a queue of depth
 // queueDepth. A nil construct uses the real simulator-backed construction.
 func NewJobRunner(workers, queueDepth int, reg *Registry, construct constructFunc) *JobRunner {
-	if workers < 1 {
-		workers = 1
+	return newJobRunner(jobRunnerOptions{
+		workers:    workers,
+		queueDepth: queueDepth,
+		reg:        reg,
+		construct:  construct,
+		retry:      simrun.DefaultRetryPolicy(),
+	})
+}
+
+func newJobRunner(o jobRunnerOptions) *JobRunner {
+	if o.workers < 1 {
+		o.workers = 1
 	}
-	if queueDepth < 1 {
-		queueDepth = 1
+	if o.queueDepth < 1 {
+		o.queueDepth = 1
 	}
-	if construct == nil {
-		construct = defaultConstruct
+	if o.construct == nil {
+		o.construct = makeConstruct(o.faults, o.retry)
+	}
+	// Every non-terminal replayed job must fit the queue, whatever depth
+	// the config asks for — replay must not drop jobs.
+	pending := 0
+	for _, job := range o.replayed {
+		if !job.State.Terminal() {
+			pending++
+		}
+	}
+	if o.queueDepth < pending {
+		o.queueDepth = pending
 	}
 	r := &JobRunner{
-		reg:       reg,
-		construct: construct,
+		reg:       o.reg,
+		construct: o.construct,
+		journal:   o.journal,
+		faults:    o.faults,
+		onPanic:   o.onPanic,
 		jobs:      make(map[string]*Job),
 		cancels:   make(map[string]context.CancelFunc),
-		queue:     make(chan string, queueDepth),
+		queue:     make(chan string, o.queueDepth),
 	}
-	r.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	r.replay(o.replayed)
+	r.wg.Add(o.workers)
+	for i := 0; i < o.workers; i++ {
 		go r.worker()
 	}
 	return r
+}
+
+// replay restores journaled jobs before the workers start: terminal jobs
+// stay queryable, queued and in-flight jobs go back on the queue from the
+// beginning (a half-done construction has no resumable state — the
+// simulation points are cheap relative to losing the job).
+func (r *JobRunner) replay(replayed []Job) {
+	for _, snap := range replayed {
+		job := snap
+		if n := jobSeq(job.ID); n > r.seq {
+			r.seq = n
+		}
+		if !job.State.Terminal() {
+			if job.State == JobRunning {
+				job.Restarts++
+			}
+			job.State = JobQueued
+			job.Started = nil
+			job.Finished = nil
+			job.Progress = nil
+			job.Error = ""
+			r.queued++
+			r.queue <- job.ID
+			r.appendJournal(&job)
+		}
+		r.jobs[job.ID] = &job
+		r.order = append(r.order, job.ID)
+	}
+}
+
+// jobSeq parses the numeric suffix of a job ID ("job-000042" → 42).
+func jobSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// appendJournal persists a job snapshot (and compacts an overgrown
+// journal). Called with r.mu held — append ordering must match transition
+// ordering or replay's last-record-wins breaks. Journal failures never fail
+// the job; they are counted for /healthz.
+func (r *JobRunner) appendJournal(job *Job) {
+	if r.journal == nil {
+		return
+	}
+	if err := r.journal.Append(snapshotJob(job)); err != nil {
+		r.journalErrs++
+		return
+	}
+	if r.journal.ShouldCompact() {
+		live := make([]Job, 0, len(r.order))
+		for _, id := range r.order {
+			live = append(live, snapshotJob(r.jobs[id]))
+		}
+		if err := r.journal.Compact(live); err != nil {
+			r.journalErrs++
+		}
+	}
+}
+
+// JournalErrs counts journal writes that failed (surfaced in /healthz).
+func (r *JobRunner) JournalErrs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journalErrs
 }
 
 // Submit validates the spec and enqueues a calibration job, returning a
@@ -240,12 +372,13 @@ func (r *JobRunner) Submit(spec CalibrateSpec) (Job, error) {
 	case r.queue <- job.ID:
 	default:
 		r.mu.Unlock()
-		return Job{}, fmt.Errorf("server: calibration queue full (%d jobs)", cap(r.queue))
+		return Job{}, fmt.Errorf("server: %w (%d jobs)", ErrQueueFull, cap(r.queue))
 	}
 	r.jobs[job.ID] = job
 	r.order = append(r.order, job.ID)
 	r.queued++
-	snap := *job
+	r.appendJournal(job)
+	snap := snapshotJob(job)
 	r.mu.Unlock()
 	return snap, nil
 }
@@ -291,6 +424,7 @@ func (r *JobRunner) Cancel(id string) (Job, error) {
 		job.Finished = &now
 		job.Error = "cancelled before start"
 		r.queued--
+		r.appendJournal(job)
 	case JobRunning:
 		if cancel := r.cancels[id]; cancel != nil {
 			cancel()
@@ -353,15 +487,16 @@ func (r *JobRunner) run(id string) {
 	spec := job.Spec
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancels[id] = cancel
+	r.appendJournal(job)
 	r.mu.Unlock()
 	defer cancel()
 
-	progress := func(completed, total int) {
+	progress := func(completed, total, retries int) {
 		r.mu.Lock()
-		job.Progress = &JobProgress{Completed: completed, Total: total}
+		job.Progress = &JobProgress{Completed: completed, Total: total, Retries: retries}
 		r.mu.Unlock()
 	}
-	models, err := r.construct(ctx, spec, progress)
+	models, err := r.safeConstruct(ctx, spec, progress)
 	var keys []string
 	if err == nil {
 		for _, p := range models {
@@ -391,7 +526,27 @@ func (r *JobRunner) run(id string) {
 		job.State = JobCompleted
 		job.Models = keys
 	}
+	r.appendJournal(job)
 	r.mu.Unlock()
+}
+
+// safeConstruct runs the construction with panic isolation: a panicking
+// sweep (or an injected chaos panic at the server/job site) fails only this
+// job — converted to an error carrying the stack — and the worker stays
+// alive for the next one.
+func (r *JobRunner) safeConstruct(ctx context.Context, spec CalibrateSpec, progress func(completed, total, retries int)) (models []core.Params, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			models, err = nil, simrun.Recovered(rec)
+			if r.onPanic != nil {
+				r.onPanic()
+			}
+		}
+	}()
+	if ferr := r.faults.Hit("server/job"); ferr != nil {
+		return nil, ferr
+	}
+	return r.construct(ctx, spec, progress)
 }
 
 // snapshotJob deep-copies the mutable fields so callers never alias the

@@ -12,7 +12,7 @@ import (
 // fakeConstruct adapts a context- and progress-oblivious fake to the
 // constructFunc signature.
 func fakeConstruct(f func(CalibrateSpec) ([]core.Params, error)) constructFunc {
-	return func(_ context.Context, spec CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+	return func(_ context.Context, spec CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
 		return f(spec)
 	}
 }
@@ -163,7 +163,7 @@ func TestJobQueueBackpressureAndClose(t *testing.T) {
 
 func TestJobCancelRunning(t *testing.T) {
 	started := make(chan struct{})
-	r := NewJobRunner(1, 4, NewRegistry(), func(ctx context.Context, _ CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+	r := NewJobRunner(1, 4, NewRegistry(), func(ctx context.Context, _ CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -250,8 +250,8 @@ func TestJobCancelUnknown(t *testing.T) {
 func TestJobProgressSurfaced(t *testing.T) {
 	reported := make(chan struct{})
 	release := make(chan struct{})
-	r := NewJobRunner(1, 4, NewRegistry(), func(_ context.Context, _ CalibrateSpec, progress func(int, int)) ([]core.Params, error) {
-		progress(3, 12)
+	r := NewJobRunner(1, 4, NewRegistry(), func(_ context.Context, _ CalibrateSpec, progress func(int, int, int)) ([]core.Params, error) {
+		progress(3, 12, 2)
 		close(reported)
 		<-release
 		return nil, nil
@@ -263,7 +263,7 @@ func TestJobProgressSurfaced(t *testing.T) {
 	}
 	<-reported
 	snap, _ := r.Get(job.ID)
-	if snap.Progress == nil || snap.Progress.Completed != 3 || snap.Progress.Total != 12 {
+	if snap.Progress == nil || snap.Progress.Completed != 3 || snap.Progress.Total != 12 || snap.Progress.Retries != 2 {
 		t.Fatalf("progress = %+v", snap.Progress)
 	}
 	close(release)

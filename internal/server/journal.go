@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal is the append-only JSONL record of job state transitions that
+// makes the calibration queue crash-safe. Every transition (submitted,
+// started, completed, failed, cancelled) appends one full job snapshot as a
+// single line and fsyncs; on startup OpenJournal replays the file with
+// last-record-wins semantics, so a daemon restart loses no job records —
+// queued and in-flight jobs are re-enqueued, terminal jobs stay queryable.
+//
+// The file only grows across transitions, so once it exceeds
+// CompactThreshold records the runner compacts it: the live snapshots are
+// written to a temp file, fsynced, and renamed over the journal — the same
+// atomic-install discipline as the model store, so a crash mid-rotation
+// leaves either the old journal or the compacted one.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int
+
+	// CompactThreshold is the record count that triggers compaction
+	// (default 256).
+	CompactThreshold int
+}
+
+// journalRecord is one line of the journal.
+type journalRecord struct {
+	Job Job `json:"job"`
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// its records: the returned jobs are the last-written snapshot of every job
+// ever journaled, in first-submission order. A truncated final line — the
+// signature of a crash mid-append — is tolerated and dropped; corruption
+// anywhere else is an error, the same no-partial-decode stance as the model
+// store.
+func OpenJournal(path string) (*Journal, []Job, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("server: create journal dir: %w", err)
+		}
+	}
+	jobs, records, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	return &Journal{f: f, path: path, records: records, CompactThreshold: 256}, jobs, nil
+}
+
+// replayJournal reads every valid record of the file at path. A missing
+// file is an empty journal.
+func replayJournal(path string) ([]Job, int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: read journal: %w", err)
+	}
+	byID := make(map[string]*Job)
+	var order []string
+	records := 0
+	lines := bytes.Split(data, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail is the expected crash signature; anything
+			// earlier means real corruption.
+			if i >= len(lines)-2 {
+				break
+			}
+			return nil, 0, fmt.Errorf("server: journal %s corrupt at line %d: %v", path, i+1, err)
+		}
+		if rec.Job.ID == "" {
+			return nil, 0, fmt.Errorf("server: journal %s line %d has no job id", path, i+1)
+		}
+		records++
+		if _, seen := byID[rec.Job.ID]; !seen {
+			order = append(order, rec.Job.ID)
+		}
+		j := rec.Job
+		byID[rec.Job.ID] = &j
+	}
+	jobs := make([]Job, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, *byID[id])
+	}
+	return jobs, records, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Records reports the current journal length in records.
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Append writes one job snapshot as a JSONL record and fsyncs. Transitions
+// are rare (a handful per calibration job), so the per-append fsync is
+// cheap insurance.
+func (j *Journal) Append(job Job) error {
+	line, err := json.Marshal(journalRecord{Job: job})
+	if err != nil {
+		return fmt.Errorf("server: marshal journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("server: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("server: sync journal: %w", err)
+	}
+	j.records++
+	return nil
+}
+
+// ShouldCompact reports whether the journal has outgrown its threshold.
+func (j *Journal) ShouldCompact() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	threshold := j.CompactThreshold
+	if threshold <= 0 {
+		threshold = 256
+	}
+	return j.f != nil && j.records > threshold
+}
+
+// Compact atomically rewrites the journal as one snapshot per live job:
+// temp file, fsync, rename, reopen for append.
+func (j *Journal) Compact(jobs []Job) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("server: journal closed")
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".pccsd-journal-*.tmp")
+	if err != nil {
+		return fmt.Errorf("server: compact journal: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, job := range jobs {
+		line, err := json.Marshal(journalRecord{Job: job})
+		if err != nil {
+			cleanup()
+			return fmt.Errorf("server: compact journal: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			cleanup()
+			return fmt.Errorf("server: compact journal: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		cleanup()
+		return fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		cleanup()
+		return fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: compact journal: %w", err)
+	}
+	if err := os.Rename(tmpName, j.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("server: install compacted journal: %w", err)
+	}
+	old := j.f
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: reopen compacted journal: %w", err)
+	}
+	old.Close()
+	j.f = f
+	j.records = len(jobs)
+	return nil
+}
+
+// Close stops the journal; further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

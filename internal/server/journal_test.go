@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+)
+
+// journalRunner builds a runner backed by the journal at path, replaying
+// whatever the journal holds.
+func journalRunner(t *testing.T, path string, workers, depth int, construct constructFunc) (*JobRunner, *Journal, []Job) {
+	t.Helper()
+	journal, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newJobRunner(jobRunnerOptions{
+		workers:    workers,
+		queueDepth: depth,
+		reg:        NewRegistry(),
+		construct:  construct,
+		journal:    journal,
+		replayed:   replayed,
+		retry:      simrun.DefaultRetryPolicy(),
+	})
+	return r, journal, replayed
+}
+
+// TestJournalReplayAfterCrash is the daemon-restart acceptance check: kill a
+// runner with one job mid-flight and one queued, rebuild from the journal
+// alone, and assert no job record is lost — the in-flight job restarts (with
+// Restarts incremented), the queued job runs, and the ID sequence continues
+// past the replayed jobs.
+func TestJournalReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+
+	started := make(chan struct{}, 1)
+	block := make(chan struct{})
+	r1, j1, _ := journalRunner(t, path, 1, 4, func(ctx context.Context, _ CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
+		started <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
+
+	running, err := r1.Submit(CalibrateSpec{Platform: "virtual-xavier", PU: "GPU"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker owns it: its journaled state is "running"
+	queued, err := r1.Submit(CalibrateSpec{Platform: "virtual-snapdragon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": copy the journal bytes as they are right now — nothing the
+	// dying process did after this instant can matter — and abandon r1.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := filepath.Join(dir, "restarted.jsonl")
+	if err := os.WriteFile(crashed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, j2, replayed := journalRunner(t, crashed, 1, 4, fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
+		return []core.Params{testParams(spec.Platform, "GPU")}, nil
+	}))
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(replayed))
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		done := waitJob(t, r2, id, 5*time.Second)
+		if done.State != JobCompleted {
+			t.Errorf("job %s after restart = %s (%s)", id, done.State, done.Error)
+		}
+	}
+	if job, _ := r2.Get(running.ID); job.Restarts != 1 {
+		t.Errorf("in-flight job Restarts = %d, want 1", job.Restarts)
+	}
+	if job, _ := r2.Get(queued.ID); job.Restarts != 0 {
+		t.Errorf("queued job Restarts = %d, want 0", job.Restarts)
+	}
+
+	// New submissions must continue the ID sequence, not collide with
+	// replayed jobs.
+	third, err := r2.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ID != "job-000003" {
+		t.Errorf("post-replay ID = %s, want job-000003", third.ID)
+	}
+	waitJob(t, r2, third.ID, 5*time.Second)
+
+	if err := r2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	// A second restart from the same journal sees all three jobs terminal
+	// and queryable, and re-enqueues nothing.
+	r3, j3, replayed := journalRunner(t, crashed, 1, 4, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		t.Error("terminal job re-ran after restart")
+		return nil, nil
+	}))
+	if len(replayed) != 3 {
+		t.Fatalf("second replay = %d jobs, want 3", len(replayed))
+	}
+	for _, job := range replayed {
+		if job.State != JobCompleted {
+			t.Errorf("replayed job %s = %s, want completed", job.ID, job.State)
+		}
+	}
+	if err := r3.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+
+	// Let the abandoned first runner die cleanly.
+	close(block)
+	r1.Close(context.Background())
+	j1.Close()
+}
+
+// TestJournalToleratesTornTail drops a partial final line — the crash-mid-
+// append signature — and expects a clean replay of everything before it.
+func TestJournalToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Job{ID: "job-000001", State: JobQueued}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Job{ID: "job-000001", State: JobCompleted}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":{"id":"job-0000`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer j2.Close()
+	if len(jobs) != 1 || jobs[0].State != JobCompleted {
+		t.Fatalf("replay = %+v", jobs)
+	}
+}
+
+// TestJournalRejectsMidFileCorruption: garbage anywhere but the tail is real
+// corruption and must fail loudly, not silently drop records.
+func TestJournalRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"job":{"id":"job-000001","state":"queued"}}` + "\n" +
+		"not json at all\n" +
+		`{"job":{"id":"job-000002","state":"queued"}}` + "\n" +
+		`{"job":{"id":"job-000003","state":"queued"}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want mid-file corruption error", err)
+	}
+}
+
+// TestJournalCompaction: once transitions outgrow the threshold the runner
+// rewrites the journal down to one snapshot per job, atomically, and replay
+// still sees every job's final state.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	journal, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal.CompactThreshold = 5
+	r := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 16,
+		reg:        NewRegistry(),
+		construct: fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+			return nil, nil
+		}),
+		journal: journal,
+	})
+
+	var last Job
+	for i := 0; i < 6; i++ { // 18 transitions >> threshold
+		job, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = waitJob(t, r, job.ID, 5*time.Second)
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := journal.Records(); n > 6+5 {
+		t.Errorf("journal never compacted: %d records", n)
+	}
+	if r.JournalErrs() != 0 {
+		t.Errorf("journal errors = %d", r.JournalErrs())
+	}
+	journal.Close()
+
+	// No temp files left behind by compaction.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("compaction left temp file %s", e.Name())
+		}
+	}
+
+	_, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("replay after compaction = %d jobs, want 6", len(jobs))
+	}
+	for _, job := range jobs {
+		if job.State != JobCompleted {
+			t.Errorf("job %s = %s", job.ID, job.State)
+		}
+	}
+	_ = last
+}
+
+// TestJournalCancelQueuedPersisted: a queued-then-cancelled job must replay
+// as cancelled, not rise from the dead.
+func TestJournalCancelQueuedPersisted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	release := make(chan struct{})
+	r, journal, _ := journalRunner(t, path, 1, 4, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+		<-release
+		return nil, nil
+	}))
+
+	first, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if job, _ := r.Get(first.ID); job.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	second, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Cancel(second.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	journal.Close()
+
+	_, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]JobState{}
+	for _, job := range jobs {
+		states[job.ID] = job.State
+	}
+	if states[first.ID] != JobCompleted || states[second.ID] != JobCancelled {
+		t.Errorf("replayed states = %v", states)
+	}
+}

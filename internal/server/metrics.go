@@ -31,11 +31,34 @@ type endpointMetrics struct {
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	panics    map[string]uint64
 }
 
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+	return &Metrics{
+		endpoints: make(map[string]*endpointMetrics),
+		panics:    make(map[string]uint64),
+	}
+}
+
+// CountPanic records one recovered panic at a site label ("/v1/predict",
+// "jobs", ...). Feeds pccsd_panics_total.
+func (m *Metrics) CountPanic(site string) {
+	m.mu.Lock()
+	m.panics[site]++
+	m.mu.Unlock()
+}
+
+// PanicTotal reports the total recovered panics across all sites.
+func (m *Metrics) PanicTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total uint64
+	for _, n := range m.panics {
+		total += n
+	}
+	return total
 }
 
 // Observe records one request against an endpoint label: its status code
@@ -110,6 +133,17 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 		fmt.Fprintf(w, "pccsd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
 		fmt.Fprintf(w, "pccsd_request_duration_seconds_sum{endpoint=%q} %g\n", name, em.sum)
 		fmt.Fprintf(w, "pccsd_request_duration_seconds_count{endpoint=%q} %d\n", name, em.count)
+	}
+
+	fmt.Fprintln(w, "# HELP pccsd_panics_total Panics recovered without killing the daemon, by site.")
+	fmt.Fprintln(w, "# TYPE pccsd_panics_total counter")
+	sites := make([]string, 0, len(m.panics))
+	for site := range m.panics {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		fmt.Fprintf(w, "pccsd_panics_total{site=%q} %d\n", site, m.panics[site])
 	}
 	m.mu.Unlock()
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/core"
@@ -27,6 +28,30 @@ type Registry struct {
 	mu   sync.RWMutex
 	set  calib.ModelSet
 	path string
+
+	// Reload bookkeeping for graceful degradation: when a hot reload
+	// fails (partially written artifact, checksum mismatch, invalid
+	// model), the registry keeps serving the last-good set and records
+	// the failure for /healthz.
+	reloads       int
+	failedReloads int
+	lastErr       error
+	lastGood      time.Time
+}
+
+// ReloadHealth is the registry's degradation status, surfaced in /healthz.
+type ReloadHealth struct {
+	// Degraded is true when the most recent reload failed and the
+	// registry is serving the last-good model set.
+	Degraded bool `json:"degraded"`
+	// LastError is the most recent reload failure ("" when healthy).
+	LastError string `json:"last_error,omitempty"`
+	// Reloads and FailedReloads count hot-reload attempts.
+	Reloads       int `json:"reloads"`
+	FailedReloads int `json:"failed_reloads"`
+	// LastGood is when the current set was installed (zero if the seed
+	// load is still serving).
+	LastGood time.Time `json:"last_good,omitempty"`
 }
 
 // NewRegistry returns an empty registry with no backing file.
@@ -53,7 +78,9 @@ func (r *Registry) Path() string {
 }
 
 // Reload re-reads the backing artifact, atomically replacing the whole set
-// on success and leaving the registry untouched on error (hot reload).
+// on success. On any failure — unreadable file, corrupt JSON, checksum
+// mismatch, an invalid model — the registry keeps serving the last-good
+// set (graceful degradation) and records the failure for Health.
 func (r *Registry) Reload() error {
 	r.mu.RLock()
 	path := r.path
@@ -62,13 +89,34 @@ func (r *Registry) Reload() error {
 		return fmt.Errorf("server: registry has no backing model file")
 	}
 	set, err := calib.Load(path)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reloads++
 	if err != nil {
+		r.failedReloads++
+		r.lastErr = err
 		return err
 	}
-	r.mu.Lock()
 	r.set = set
-	r.mu.Unlock()
+	r.lastErr = nil
+	r.lastGood = time.Now().UTC()
 	return nil
+}
+
+// Health reports the registry's reload/degradation status.
+func (r *Registry) Health() ReloadHealth {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h := ReloadHealth{
+		Degraded:      r.lastErr != nil,
+		Reloads:       r.reloads,
+		FailedReloads: r.failedReloads,
+		LastGood:      r.lastGood,
+	}
+	if r.lastErr != nil {
+		h.LastError = r.lastErr.Error()
+	}
+	return h
 }
 
 // Get fetches the model for a platform PU.

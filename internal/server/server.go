@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"runtime"
 	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
 )
 
 // Config tunes the daemon.
@@ -14,10 +17,18 @@ type Config struct {
 	Addr string
 	// ModelPath is the constructed-model artifact seeding the registry.
 	ModelPath string
+	// JournalPath enables the crash-safe job journal: every calibration
+	// job transition is appended (JSONL) and replayed on startup, so a
+	// daemon restart loses no job records. Empty disables persistence.
+	JournalPath string
 	// RequestTimeout bounds each request end to end (default 10s); slow
 	// work (calibration) runs async behind the job queue, so hitting the
 	// timeout on the serving path indicates overload.
 	RequestTimeout time.Duration
+	// WriteTimeout bounds each connection's response write (default
+	// RequestTimeout + 5s, so the TimeoutHandler fires first and slow
+	// clients cannot pin connections forever).
+	WriteTimeout time.Duration
 	// CacheSize is the prediction-LRU capacity (default 4096; 0 uses the
 	// default, negative disables caching).
 	CacheSize int
@@ -25,6 +36,11 @@ type Config struct {
 	Workers int
 	// JobQueueDepth bounds the calibration backlog (default 64).
 	JobQueueDepth int
+	// RetryAttempts bounds attempts per simulation point for transiently
+	// failing (injected-fault) points (default 3; 1 disables retries).
+	RetryAttempts int
+	// Faults arms the chaos-injection sites across the stack (nil = off).
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -33,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = c.RequestTimeout + 5*time.Second
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
@@ -43,7 +62,17 @@ func (c Config) withDefaults() Config {
 	if c.JobQueueDepth <= 0 {
 		c.JobQueueDepth = 64
 	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
 	return c
+}
+
+// retryPolicy derives the executor retry policy from the config.
+func (c Config) retryPolicy() simrun.RetryPolicy {
+	p := simrun.DefaultRetryPolicy()
+	p.MaxAttempts = c.RetryAttempts
+	return p
 }
 
 // Server is the pccsd daemon: registry + cache + job runner + metrics wired
@@ -53,6 +82,7 @@ type Server struct {
 	reg     *Registry
 	cache   *PredictionCache
 	jobs    *JobRunner
+	journal *Journal
 	metrics *Metrics
 	start   time.Time
 
@@ -60,26 +90,49 @@ type Server struct {
 	httpSrv *http.Server
 }
 
-// New builds a server whose registry is seeded from cfg.ModelPath.
+// New builds a server whose registry is seeded from cfg.ModelPath and —
+// when cfg.JournalPath is set — whose job queue is replayed from the
+// journal.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg, err := OpenRegistry(cfg.ModelPath)
 	if err != nil {
 		return nil, err
 	}
-	return newServer(cfg, reg, nil), nil
+	var journal *Journal
+	var replayed []Job
+	if cfg.JournalPath != "" {
+		journal, replayed, err = OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newServer(cfg, reg, nil, journal, replayed), nil
 }
 
 // newServer wires an already-loaded registry; tests inject a fake
-// constructFunc to exercise the job queue without simulator time.
-func newServer(cfg Config, reg *Registry, construct constructFunc) *Server {
+// constructFunc to exercise the job queue without simulator time, and an
+// already-open journal with its replayed jobs.
+func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Journal, replayed []Job) *Server {
 	cfg = cfg.withDefaults()
+	metrics := NewMetrics()
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   NewPredictionCache(cfg.CacheSize),
-		jobs:    NewJobRunner(cfg.Workers, cfg.JobQueueDepth, reg, construct),
-		metrics: NewMetrics(),
+		cfg:   cfg,
+		reg:   reg,
+		cache: NewPredictionCache(cfg.CacheSize),
+		jobs: newJobRunner(jobRunnerOptions{
+			workers:    cfg.Workers,
+			queueDepth: cfg.JobQueueDepth,
+			reg:        reg,
+			construct:  construct,
+			journal:    journal,
+			replayed:   replayed,
+			faults:     cfg.Faults,
+			retry:      cfg.retryPolicy(),
+			onPanic:    func() { metrics.CountPanic("jobs") },
+		}),
+		journal: journal,
+		metrics: metrics,
 		start:   time.Now(),
 	}
 	mux := http.NewServeMux()
@@ -103,29 +156,57 @@ func newServer(cfg Config, reg *Registry, construct constructFunc) *Server {
 		Addr:              cfg.Addr,
 		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      cfg.WriteTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
 	return s
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics and whether the
+// header was already written (so panic recovery knows if it may still send
+// an error response).
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
 // instrument wraps a handler with per-endpoint request counting and latency
-// observation under a stable route label (no per-ID cardinality).
+// observation under a stable route label (no per-ID cardinality), panic
+// isolation (a panicking handler — or an injected chaos panic at the
+// server/handler site — yields a 500 and a pccsd_panics_total increment,
+// never a dead daemon), and the server/handler fault site.
 func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		begin := time.Now()
-		h(rec, r)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					s.metrics.CountPanic(label)
+					rec.code = http.StatusInternalServerError
+					if !rec.wrote {
+						writeError(rec, http.StatusInternalServerError, "internal error: %v", p)
+					}
+				}
+			}()
+			if err := s.cfg.Faults.Hit("server/handler"); err != nil {
+				writeError(rec, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			h(rec, r)
+		}()
 		s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
 	})
 }
@@ -151,12 +232,17 @@ func (s *Server) ListenAndServe() error {
 }
 
 // Shutdown drains in-flight HTTP requests, then stops the job runner,
-// waiting for queued calibrations until ctx expires.
+// waiting for queued calibrations until ctx expires, and finally closes
+// the job journal (after the last transition has been appended).
 func (s *Server) Shutdown(ctx context.Context) error {
-	if err := s.httpSrv.Shutdown(ctx); err != nil {
-		// Still stop the workers before reporting the HTTP drain error.
-		_ = s.jobs.Close(ctx)
-		return err
+	err := s.httpSrv.Shutdown(ctx)
+	if cerr := s.jobs.Close(ctx); err == nil {
+		err = cerr
 	}
-	return s.jobs.Close(ctx)
+	if s.journal != nil {
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }

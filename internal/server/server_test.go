@@ -32,7 +32,7 @@ func newTestServer(t *testing.T, construct constructFunc) (*Server, *httptest.Se
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8}, reg, construct)
+	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8}, reg, construct, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -328,7 +328,7 @@ func TestModelsReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil)
+	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Close(context.Background())
@@ -528,7 +528,7 @@ func TestCalibrateJobLifecycle(t *testing.T) {
 // running job (200 → cancelled), re-cancel (409), unknown ID (404).
 func TestJobCancelHTTP(t *testing.T) {
 	started := make(chan struct{})
-	_, ts := newTestServer(t, func(ctx context.Context, _ CalibrateSpec, _ func(int, int)) ([]core.Params, error) {
+	_, ts := newTestServer(t, func(ctx context.Context, _ CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
 		close(started)
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -606,7 +606,7 @@ func TestShippedModelsParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil)
+	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Close(context.Background())
@@ -637,7 +637,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil)
+	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -57,6 +57,15 @@ func (c *Cache) Standalone(ctx context.Context, p *soc.Platform, pu int, k soc.K
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		// A panic inside once.Do would mark the entry done with a zero
+		// result and nil error — silent corruption for every coalesced
+		// waiter. Convert it to an error so the entry fails (and is
+		// dropped for retry) instead.
+		defer func() {
+			if rec := recover(); rec != nil {
+				e.res, e.err = soc.PUResult{}, Recovered(rec)
+			}
+		}()
 		e.res, e.err = p.Clone().StandaloneContext(ctx, pu, k, rc)
 	})
 	if e.err != nil {

@@ -1,0 +1,181 @@
+package simrun
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// chaosRetry is an aggressive test policy: enough attempts to outlast any
+// plausible injected-fault streak, with microsecond backoff so tests stay
+// fast.
+var chaosRetry = RetryPolicy{MaxAttempts: 25, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}
+
+// TestExecuteChaosMatchesFaultFree injects errors and panics into the point
+// site and asserts the surviving results are bit-identical to a fault-free
+// run: retried points are pure computations on fresh clones.
+func TestExecuteChaosMatchesFaultFree(t *testing.T) {
+	p := soc.VirtualXavier()
+	points := testPlan(p)
+
+	want, err := New(2).Execute(context.Background(), p, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(2)
+	e.Faults = faultinject.MustNew(7,
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Error, Rate: 0.3},
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Panic, Rate: 0.2},
+	)
+	e.Retry = chaosRetry
+	got, err := e.Execute(context.Background(), p, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Err != nil {
+			t.Fatalf("point %d failed under chaos: %v", i, got[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Outcome, want[i].Outcome) {
+			t.Errorf("point %d: chaos outcome differs from fault-free run", i)
+		}
+	}
+	if e.Faults.Injected() == 0 {
+		t.Fatal("no faults fired; chaos test vacuous")
+	}
+	if e.Retries() == 0 {
+		t.Error("faults fired but no retries recorded")
+	}
+}
+
+// TestStandaloneBatchChaosMatchesFaultFree is the same property for the
+// standalone site and its memo cache.
+func TestStandaloneBatchChaosMatchesFaultFree(t *testing.T) {
+	p := soc.VirtualXavier()
+	kernels := []soc.Kernel{
+		{Name: "a", DemandGBps: 25},
+		{Name: "b", DemandGBps: 60},
+		{Name: "c", DemandGBps: 95},
+	}
+	want, err := New(2).StandaloneBatch(context.Background(), p, 1, kernels, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(2)
+	e.Faults = faultinject.MustNew(11,
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Error, Rate: 0.4},
+		faultinject.Rule{Site: "simrun/standalone", Kind: faultinject.Panic, Rate: 0.2},
+	)
+	e.Retry = chaosRetry
+	got, err := e.StandaloneBatch(context.Background(), p, 1, kernels, testRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("chaos standalone batch diverged\ngot:  %+v\nwant: %+v", got, want)
+	}
+	if e.Faults.Injected() == 0 {
+		t.Fatal("no faults fired; chaos test vacuous")
+	}
+}
+
+// TestPanicFailsOnlyAffectedPoint disables retries and asserts an injected
+// panic is confined to one point: its Result carries a *PanicError with a
+// stack, every other point still succeeds, and the executor survives.
+func TestPanicFailsOnlyAffectedPoint(t *testing.T) {
+	p := soc.VirtualXavier()
+	points := testPlan(p)
+	e := New(2)
+	e.Faults = faultinject.MustNew(1,
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Panic, Rate: 1, Count: 1},
+	)
+	results, err := e.Execute(context.Background(), p, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed int
+	for i, res := range results {
+		if res.Err == nil {
+			continue
+		}
+		failed++
+		var pe *PanicError
+		if !errors.As(res.Err, &pe) {
+			t.Errorf("point %d: err %T, want *PanicError", i, res.Err)
+		} else if len(pe.Stack) == 0 {
+			t.Errorf("point %d: panic error lost its stack", i)
+		}
+		if !Transient(res.Err) {
+			t.Errorf("point %d: injected panic not classified transient", i)
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d points failed, want exactly 1 (count-capped panic)", failed)
+	}
+	if e.Retries() != 0 {
+		t.Errorf("retries = %d with zero-value policy, want 0", e.Retries())
+	}
+}
+
+// TestDeterministicErrorsNotRetried asserts real model errors (not injected
+// chaos) fail immediately: retrying a deterministic failure only repeats it.
+func TestDeterministicErrorsNotRetried(t *testing.T) {
+	p := soc.VirtualXavier()
+	e := New(1)
+	e.Retry = chaosRetry
+	results, err := e.Execute(context.Background(), p, []Point{
+		{Placement: soc.Placement{99: soc.Kernel{Name: "bad", DemandGBps: 30}}, Run: testRC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("out-of-range placement succeeded")
+	}
+	if Transient(results[0].Err) {
+		t.Errorf("model error classified transient: %v", results[0].Err)
+	}
+	if e.Retries() != 0 {
+		t.Errorf("deterministic error retried %d times", e.Retries())
+	}
+}
+
+// TestRetryExhaustionSurfacesInjectedError asserts a site that always fails
+// eventually gives up and surfaces the injected error after MaxAttempts.
+func TestRetryExhaustionSurfacesInjectedError(t *testing.T) {
+	p := soc.VirtualXavier()
+	e := New(1)
+	e.Faults = faultinject.MustNew(3,
+		faultinject.Rule{Site: "simrun/point", Kind: faultinject.Error, Rate: 1},
+	)
+	e.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Microsecond, MaxDelay: time.Millisecond}
+	results, err := e.Execute(context.Background(), p, []Point{
+		{Placement: soc.Placement{1: soc.Kernel{Name: "k", DemandGBps: 30}}, Run: testRC},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", results[0].Err)
+	}
+	if e.Retries() != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", e.Retries())
+	}
+}
+
+func TestBackoffCappedAndJittered(t *testing.T) {
+	pol := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond}
+	for n := 1; n < 70; n++ { // far past the shift-overflow point
+		d := pol.backoff(n)
+		if d < 0 || d >= time.Duration(1.5*float64(8*time.Millisecond)) {
+			t.Fatalf("backoff(%d) = %s out of [0, 12ms)", n, d)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package simrun
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+)
+
+// PanicError is a recovered panic converted into an error: the panicking
+// computation (a simulation point, a calibration job) fails, the rest of
+// the process keeps running, and the original value plus the stack at the
+// panic site survive for diagnosis.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As, so injected panics
+// (whose value wraps faultinject.ErrInjected) classify as transient.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recovered wraps a recover() value into a *PanicError with the current
+// stack. Call it only with a non-nil recover result.
+func Recovered(rec any) *PanicError {
+	return &PanicError{Value: rec, Stack: debug.Stack()}
+}
+
+// Transient reports whether an error is worth retrying: injected chaos
+// faults (including injected panics) are transient; deterministic model and
+// simulation errors, and context cancellation, are not — retrying them
+// would reproduce the same failure.
+func Transient(err error) bool {
+	return errors.Is(err, faultinject.ErrInjected)
+}
+
+// RetryPolicy bounds the executor's retries of transiently failing points:
+// capped exponential backoff with jitter. The zero value disables retries
+// (one attempt per point).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per point, including the
+	// first; values < 1 mean 1 (no retry).
+	MaxAttempts int
+	// BaseDelay seeds the backoff ladder (default 1ms when retries are on).
+	BaseDelay time.Duration
+	// MaxDelay caps the ladder (default 250ms).
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy is the executor policy the daemon runs with: a few
+// quick attempts, enough to shrug off injected chaos without stretching a
+// genuinely failing sweep.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 250 * time.Millisecond}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the sleep before attempt n+1 (n counts completed
+// attempts, starting at 1): base·2^(n−1) capped at MaxDelay, scaled by a
+// uniform jitter in [0.5, 1.5).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := base << (n - 1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}

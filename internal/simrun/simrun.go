@@ -16,7 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -49,8 +51,18 @@ type Executor struct {
 	// concurrent use.
 	OnProgress func(completed, planned int)
 
+	// Faults, when set, arms the executor's chaos sites ("simrun/point",
+	// "simrun/standalone"). Set it before the first Execute call.
+	Faults *faultinject.Injector
+
+	// Retry re-runs transiently failing points (see Transient) with capped
+	// exponential backoff. The zero value disables retries. Set it before
+	// the first Execute call.
+	Retry RetryPolicy
+
 	completed atomic.Int64
 	planned   atomic.Int64
+	retries   atomic.Int64
 }
 
 // New builds an executor with the given pool size; workers <= 0 selects
@@ -69,6 +81,9 @@ func (e *Executor) Workers() int { return e.workers }
 func (e *Executor) Progress() (completed, planned int) {
 	return int(e.completed.Load()), int(e.planned.Load())
 }
+
+// Retries reports the cumulative number of point re-attempts.
+func (e *Executor) Retries() int { return int(e.retries.Load()) }
 
 // plan registers upcoming points so progress totals grow before work starts.
 func (e *Executor) plan(n int) {
@@ -117,7 +132,7 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 					e.complete()
 					continue
 				}
-				out, err := clone.RunContext(ctx, points[i].Placement, points[i].Run)
+				out, err := e.runPoint(ctx, p, &clone, points[i])
 				results[i] = Result{Outcome: out, Err: err}
 				e.complete()
 			}
@@ -125,6 +140,63 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 	}
 	wg.Wait()
 	return results, ctx.Err()
+}
+
+// runPoint runs one point with panic isolation and the retry policy. A
+// panic inside the simulation fails only this point (converted to a
+// *PanicError with the stack); transient failures — injected chaos faults —
+// are re-attempted up to Retry.MaxAttempts with capped jittered backoff.
+// The worker's platform clone is replaced after a panic, since a panicking
+// simulation may leave it mid-run; points are independent pure
+// computations, so a retry on a fresh clone reproduces the exact result a
+// fault-free run would have produced.
+func (e *Executor) runPoint(ctx context.Context, p *soc.Platform, clone **soc.Platform, pt Point) (*soc.RunOutcome, error) {
+	attempts := e.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		out, err := e.attemptPoint(ctx, *clone, pt)
+		if err == nil {
+			return out, nil
+		}
+		if _, panicked := err.(*PanicError); panicked {
+			*clone = p.Clone()
+		}
+		if !Transient(err) || attempt >= attempts || ctx.Err() != nil {
+			return nil, err
+		}
+		e.retries.Add(1)
+		if serr := sleepCtx(ctx, e.Retry.backoff(attempt)); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// attemptPoint is one try at a point: hit the chaos site, run the
+// simulation, convert panics to errors.
+func (e *Executor) attemptPoint(ctx context.Context, clone *soc.Platform, pt Point) (out *soc.RunOutcome, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out, err = nil, Recovered(rec)
+		}
+	}()
+	if ferr := e.Faults.Hit("simrun/point"); ferr != nil {
+		return nil, ferr
+	}
+	return clone.RunContext(ctx, pt.Placement, pt.Run)
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // StandaloneBatch measures each kernel running alone on the PU, fanning the
@@ -152,7 +224,7 @@ func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int,
 				if i >= len(kernels) {
 					return
 				}
-				results[i], errs[i] = e.Cache.Standalone(ctx, p, pu, kernels[i], rc)
+				results[i], errs[i] = e.runStandalone(ctx, p, pu, kernels[i], rc)
 				e.complete()
 			}
 		}()
@@ -167,4 +239,37 @@ func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int,
 		}
 	}
 	return results, nil
+}
+
+// runStandalone is runPoint for a standalone measurement: chaos site,
+// panic isolation, and retries around the memo-cached run. Failed runs are
+// never cached, so a retry re-measures; a cache hit after an injected fault
+// returns the already-memoized (bit-identical) result.
+func (e *Executor) runStandalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
+	attempts := e.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		res, err := e.attemptStandalone(ctx, p, pu, k, rc)
+		if err == nil {
+			return res, nil
+		}
+		if !Transient(err) || attempt >= attempts || ctx.Err() != nil {
+			return soc.PUResult{}, err
+		}
+		e.retries.Add(1)
+		if serr := sleepCtx(ctx, e.Retry.backoff(attempt)); serr != nil {
+			return soc.PUResult{}, serr
+		}
+	}
+}
+
+func (e *Executor) attemptStandalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (res soc.PUResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = soc.PUResult{}, Recovered(rec)
+		}
+	}()
+	if ferr := e.Faults.Hit("simrun/standalone"); ferr != nil {
+		return soc.PUResult{}, ferr
+	}
+	return e.Cache.Standalone(ctx, p, pu, k, rc)
 }
