@@ -319,9 +319,14 @@ func jobSeq(id string) int {
 }
 
 // appendJournal persists a job snapshot (and compacts an overgrown
-// journal). Called with r.mu held — append ordering must match transition
-// ordering or replay's last-record-wins breaks. Journal failures never fail
-// the job; they are counted for /healthz.
+// journal). Called with r.mu held, which serializes the journal I/O with
+// the job API: append ordering must match transition ordering or replay's
+// last-record-wins breaks, and Submit must not return 202 before the
+// accepted job is durable. The cost is one write+fsync under the lock per
+// transition (a handful per job, against seconds of simulation) — if that
+// ever dominates on slow disks, the escape hatch is an ordered write queue
+// drained outside the lock, at the price of the durability guarantee.
+// Journal failures never fail the job; they are counted for /healthz.
 func (r *JobRunner) appendJournal(job *Job) {
 	if r.journal == nil {
 		return

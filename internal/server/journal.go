@@ -40,17 +40,19 @@ type journalRecord struct {
 
 // OpenJournal opens (creating if needed) the journal at path and replays
 // its records: the returned jobs are the last-written snapshot of every job
-// ever journaled, in first-submission order. A truncated final line — the
-// signature of a crash mid-append — is tolerated and dropped; corruption
-// anywhere else is an error, the same no-partial-decode stance as the model
-// store.
+// ever journaled, in first-submission order. A torn final line — the
+// signature of a crash mid-append — is tolerated, dropped, and truncated
+// away before the file is reused, so the next Append starts on a clean line
+// instead of concatenating onto the fragment (which would read as mid-file
+// corruption on the restart after that). Corruption anywhere else is an
+// error, the same no-partial-decode stance as the model store.
 func OpenJournal(path string) (*Journal, []Job, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("server: create journal dir: %w", err)
 		}
 	}
-	jobs, records, err := replayJournal(path)
+	jobs, records, validSize, needNewline, err := replayJournal(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -58,38 +60,89 @@ func OpenJournal(path string) (*Journal, []Job, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: open journal: %w", err)
 	}
+	// Repair the tail before the first append: drop a torn fragment from
+	// the file, and terminate a complete record whose newline never made it
+	// to disk.
+	repaired := false
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("server: stat journal: %w", err)
+	} else if fi.Size() > validSize {
+		if err := f.Truncate(validSize); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: truncate torn journal tail: %w", err)
+		}
+		repaired = true
+	}
+	if needNewline {
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: terminate journal tail: %w", err)
+		}
+		repaired = true
+	}
+	if repaired {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("server: sync repaired journal: %w", err)
+		}
+	}
 	return &Journal{f: f, path: path, records: records, CompactThreshold: 256}, jobs, nil
 }
 
 // replayJournal reads every valid record of the file at path. A missing
-// file is an empty journal.
-func replayJournal(path string) ([]Job, int, error) {
+// file is an empty journal. It also returns the byte length of the valid
+// prefix — shorter than the file when a torn, non-newline-terminated tail
+// was dropped, in which case the caller must truncate to it — and whether
+// the final record is valid but missing its terminating newline (the crash
+// landed between the payload write and the '\n'), in which case the caller
+// must append one.
+func replayJournal(path string) (jobs []Job, records int, validSize int64, needNewline bool, err error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, 0, nil
+		return nil, 0, 0, false, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("server: read journal: %w", err)
+		return nil, 0, 0, false, fmt.Errorf("server: read journal: %w", err)
 	}
 	byID := make(map[string]*Job)
 	var order []string
-	records := 0
-	lines := bytes.Split(data, []byte("\n"))
-	for i, line := range lines {
+	validSize = int64(len(data))
+	offset, lineNo := 0, 0
+	for offset < len(data) {
+		lineNo++
+		line := data[offset:]
+		next := len(data)
+		terminated := false
+		if nl := bytes.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+			next = offset + nl + 1
+			terminated = true
+		}
 		if len(bytes.TrimSpace(line)) == 0 {
+			offset = next
 			continue
 		}
 		var rec journalRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// A torn tail is the expected crash signature; anything
-			// earlier means real corruption.
-			if i >= len(lines)-2 {
+		uerr := json.Unmarshal(line, &rec)
+		if uerr != nil || rec.Job.ID == "" {
+			// Only a non-newline-terminated final fragment is the expected
+			// crash-mid-append signature; an unparsable record that *is*
+			// newline-terminated — even in last position — was written
+			// whole and means real corruption (bit rot, external edits),
+			// which must fail loudly rather than silently lose the job's
+			// last transition.
+			if !terminated {
+				validSize = int64(offset)
 				break
 			}
-			return nil, 0, fmt.Errorf("server: journal %s corrupt at line %d: %v", path, i+1, err)
+			if uerr != nil {
+				return nil, 0, 0, false, fmt.Errorf("server: journal %s corrupt at line %d: %v", path, lineNo, uerr)
+			}
+			return nil, 0, 0, false, fmt.Errorf("server: journal %s line %d has no job id", path, lineNo)
 		}
-		if rec.Job.ID == "" {
-			return nil, 0, fmt.Errorf("server: journal %s line %d has no job id", path, i+1)
+		if !terminated {
+			needNewline = true
 		}
 		records++
 		if _, seen := byID[rec.Job.ID]; !seen {
@@ -97,12 +150,13 @@ func replayJournal(path string) ([]Job, int, error) {
 		}
 		j := rec.Job
 		byID[rec.Job.ID] = &j
+		offset = next
 	}
-	jobs := make([]Job, 0, len(order))
+	jobs = make([]Job, 0, len(order))
 	for _, id := range order {
 		jobs = append(jobs, *byID[id])
 	}
-	return jobs, records, nil
+	return jobs, records, validSize, needNewline, nil
 }
 
 // Path returns the journal file path.
@@ -202,6 +256,13 @@ func (j *Journal) Compact(jobs []Job) error {
 	old := j.f
 	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// The rename already installed the compacted file, so the old
+		// handle points at the unlinked pre-compaction inode: appending
+		// through it would fsync records no replay will ever read. Mark
+		// the journal closed so every subsequent Append fails loudly (and
+		// is counted for /healthz) instead of silently losing records.
+		old.Close()
+		j.f = nil
 		return fmt.Errorf("server: reopen compacted journal: %w", err)
 	}
 	old.Close()

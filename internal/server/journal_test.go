@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"os"
 	"path/filepath"
@@ -134,7 +135,9 @@ func TestJournalReplayAfterCrash(t *testing.T) {
 }
 
 // TestJournalToleratesTornTail drops a partial final line — the crash-mid-
-// append signature — and expects a clean replay of everything before it.
+// append signature — and expects a clean replay of everything before it,
+// with the fragment truncated away so that appending after the restart does
+// not concatenate onto it and poison the journal for the restart after that.
 func TestJournalToleratesTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.jsonl")
 	j, _, err := OpenJournal(path)
@@ -148,6 +151,10 @@ func TestJournalToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -162,9 +169,76 @@ func TestJournalToleratesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
-	defer j2.Close()
 	if len(jobs) != 1 || jobs[0].State != JobCompleted {
 		t.Fatalf("replay = %+v", jobs)
+	}
+	if data, err := os.ReadFile(path); err != nil {
+		t.Fatal(err)
+	} else if !bytes.Equal(data, intact) {
+		t.Fatalf("torn tail not truncated back to the valid prefix:\n got %q\nwant %q", data, intact)
+	}
+
+	// The crash-then-one-more-run sequence: appending after the repaired
+	// restart must yield a journal the *next* restart replays cleanly.
+	if err := j2.Append(Job{ID: "job-000002", State: JobQueued}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal poisoned by append after torn-tail repair: %v", err)
+	}
+	defer j3.Close()
+	if len(jobs) != 2 {
+		t.Fatalf("replay after repair+append = %+v, want 2 jobs", jobs)
+	}
+}
+
+// TestJournalTerminatesUnterminatedTail: a crash between a record's payload
+// write and its newline leaves a complete, parsable final line with no
+// terminator. The record must survive replay and the reopened journal must
+// add the newline so the next append starts on its own line.
+func TestJournalTerminatesUnterminatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"job":{"id":"job-000001","state":"queued"}}` + "\n" +
+		`{"job":{"id":"job-000001","state":"completed"}}` // no trailing newline
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].State != JobCompleted {
+		t.Fatalf("replay = %+v", jobs)
+	}
+	if err := j.Append(Job{ID: "job-000002", State: JobQueued}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, jobs, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal poisoned by append after unterminated tail: %v", err)
+	}
+	defer j2.Close()
+	if len(jobs) != 2 || jobs[0].State != JobCompleted {
+		t.Fatalf("replay after repair = %+v, want 2 jobs", jobs)
+	}
+}
+
+// TestJournalRejectsTerminatedCorruptTail: an unparsable final record that
+// IS newline-terminated was written whole — that is corruption (bit rot,
+// external edits), not a crash signature, and must fail loudly instead of
+// silently dropping the job's last transition.
+func TestJournalRejectsTerminatedCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	content := `{"job":{"id":"job-000001","state":"queued"}}` + "\n" +
+		`{"job":{"id":"job-000001","sta#%^rupt` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(path); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want corruption error for terminated corrupt tail", err)
 	}
 }
 

@@ -47,8 +47,12 @@ func RelativeSpeeds(ctx context.Context, e *Executor, p *soc.Platform, pl soc.Pl
 		}
 		co = out
 	}()
-	for pu, k := range pl {
+	// Initialize every key before spawning: the probe goroutines write into
+	// alone under mu, so the bare alone[pu] = 0 writes must all happen first.
+	for pu := range pl {
 		alone[pu] = 0
+	}
+	for pu, k := range pl {
 		if k.DemandGBps == 0 {
 			continue
 		}
