@@ -1,0 +1,36 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# steps; `make check` is the local pre-push equivalent.
+
+GO ?= go
+
+.PHONY: build test race lint vet bench fuzz check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# pccs-lint enforces the repo's determinism/concurrency/durability
+# invariants (internal/lint). Also usable as `go vet -vettool`; see
+# README "Linting".
+lint:
+	$(GO) run ./cmd/pccs-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzPredictDecode$$' -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzCalibrateDecode$$' -fuzztime 10s ./internal/server
+
+check: vet lint build race
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,206 @@
+// Command pccs-lint machine-checks the repository's determinism,
+// concurrency, and durability invariants with the analyzers in
+// internal/lint.
+//
+// Standalone, over package patterns (exit 1 on findings):
+//
+//	go run ./cmd/pccs-lint ./...
+//
+// Or as a vet tool, which reuses the go command's package graph and
+// caching (exit 2 on findings, matching vet's convention):
+//
+//	go build -o /tmp/pccs-lint ./cmd/pccs-lint
+//	go vet -vettool=/tmp/pccs-lint ./...
+//
+// Findings are suppressed per line or per function with a reasoned
+// annotation, e.g. //pccs:allow-nondeterminism <reason>; see the
+// internal/lint package documentation.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/processorcentricmodel/pccs/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// The go command probes vet tools before use: -V=full must print a
+	// version line whose buildID keys vet's result cache, -flags the
+	// tool's flag set (we define none).
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		if err := printVersion(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion emits the `-V=full` line the go command parses; the
+// buildID is a hash of the executable so edits to the tool invalidate
+// cached vet results.
+func printVersion() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(data)
+	fmt.Printf("%s version devel buildID=%x\n", filepath.Base(os.Args[0]), sum)
+	return nil
+}
+
+// runStandalone loads the patterns (default ./...) itself and prints
+// every finding. Exit 0 clean, 1 findings, 2 operational failure.
+func runStandalone(patterns []string) int {
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := lint.Check(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Printf("pccs-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's vet .cfg JSON the tool
+// needs: the file set of one package plus the import→export-data maps
+// for its dependencies.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one package under `go vet -vettool=`. The go command
+// hands each package a JSON config and expects findings on stderr, an
+// (empty, for us) facts file at VetxOutput, and exit 2 when findings
+// exist.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pccs-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Dependency packages are handed to the tool for fact collection
+	// only (VetxOnly). The suite exports no facts and the invariants are
+	// this module's, not the stdlib's: write the empty facts file and
+	// move on.
+	if cfg.VetxOnly {
+		return writeVetx(cfg.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The suite analyzes production code only; vet includes the
+		// package's test files in its unit.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// PackageFile is keyed by canonical path; route source-level import
+	// paths through ImportMap so the gc importer finds them.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canon := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canon]; ok {
+			exports[src] = file
+		}
+	}
+
+	var diags []lint.Diagnostic
+	if len(files) > 0 {
+		pkg, err := lint.TypeCheck(fset, cfg.ImportPath, files, lint.ExportImporter(fset, exports))
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg.VetxOutput)
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		diags, err = lint.Check([]*lint.Package{pkg}, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", position(d.Pos), d.Analyzer, d.Message)
+	}
+	if code := writeVetx(cfg.VetxOutput); code != 0 {
+		return code
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts file the go command expects from a
+// vet tool; the suite exports no cross-package facts.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, nil, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+func position(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+}

@@ -107,11 +107,13 @@ type Injector struct {
 	seed uint64
 
 	mu    sync.Mutex
-	sites map[string]*siteState
+	sites map[string]*siteState // guarded by mu
 }
 
 // New builds an injector from a seed and a rule set. Invalid rules return
 // an error rather than silently disarming a chaos test.
+//
+//pccs:allow-guardedby the injector is not yet published; no other goroutine can hold a reference during construction
 func New(seed uint64, rules ...Rule) (*Injector, error) {
 	in := &Injector{seed: seed, sites: make(map[string]*siteState)}
 	for _, r := range rules {

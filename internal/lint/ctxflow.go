@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxScope lists the packages whose exported entry points are long-running
+// simulation drivers: a context parameter there is a cancellation promise
+// (PR 2 threaded ctx end-to-end so sweeps abort promptly), and a parameter
+// that is accepted but never consulted silently breaks that promise.
+var ctxScope = map[string]bool{
+	"simrun": true, "calib": true, "soc": true, "experiments": true,
+}
+
+// backgroundScope additionally covers the serving layer, where minting a
+// fresh context.Background() inside a function that was handed a ctx
+// detaches the work from request/job cancellation.
+var backgroundScope = map[string]bool{"server": true}
+
+// CtxFlow checks context propagation through the blocking simulation entry
+// points: an exported function that accepts a context.Context must
+// actually use it (pass it on, poll ctx.Err, or select on ctx.Done), and
+// a function holding a ctx parameter must not spawn work from
+// context.Background()/TODO — that discards the caller's cancellation.
+// The nil-default idiom `if ctx == nil { ctx = context.Background() }` is
+// recognized and allowed.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported blocking entry points must honour the ctx they accept; no context.Background() where a ctx is in scope",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	base := pkgBase(pass.PkgPath)
+	inCtxScope := ctxScope[base]
+	inBGScope := inCtxScope || backgroundScope[base]
+	if !inBGScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(pass, fn)
+			if ctxParam != nil {
+				if inCtxScope && fn.Name.IsExported() && !usesParam(pass, fn.Body, ctxParam) {
+					pass.Reportf(fn.Name.Pos(), "%s accepts ctx but never uses it: propagate it into the blocking work or drop the parameter", fn.Name.Name)
+				}
+				checkBackgroundCalls(pass, fn.Body, ctxParam)
+			}
+		}
+	}
+	return nil
+}
+
+// contextParam returns the object of fn's context.Context parameter, or
+// nil (also for the blank identifier, which is an explicit opt-out).
+func contextParam(pass *Pass, fn *ast.FuncDecl) types.Object {
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Pkg() != nil && tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func usesParam(pass *Pass, body *ast.BlockStmt, param types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == param {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkBackgroundCalls flags context.Background()/TODO() inside a function
+// that already holds ctx, except when assigned to the ctx parameter itself
+// (the nil-default idiom).
+func checkBackgroundCalls(pass *Pass, body *ast.BlockStmt, ctxParam types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if ok && len(assign.Lhs) == 1 && len(assign.Rhs) == 1 {
+			if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && pass.Info.Uses[id] == ctxParam {
+				// ctx = context.Background() — the nil-default guard; skip
+				// the RHS but keep walking anything nested.
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if isPkgFunc(fn, "context", "Background") || isPkgFunc(fn, "context", "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() inside a function that holds ctx detaches this work from the caller's cancellation: pass ctx through", fn.Name())
+		}
+		return true
+	})
+}

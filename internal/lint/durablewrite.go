@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// durableScope lists the packages that persist crash-safe artifacts: the
+// model store (calib) and the job journal (server).
+var durableScope = map[string]bool{"server": true, "calib": true}
+
+// DurableWrite enforces the repository's persistence discipline in the
+// artifact-writing packages: durable files are written as temp file →
+// write → fsync → rename (so a crash leaves either the old artifact or
+// the new one, never a torn hybrid). Three shortcuts are flagged, per
+// enclosing function:
+//
+//   - os.WriteFile — no fsync, and an in-place truncate-then-write that a
+//     crash turns into a half-written artifact;
+//   - os.Rename in a function that never calls Sync — the renamed bytes
+//     may still be in the page cache, so the "atomic install" can install
+//     an empty file after power loss;
+//   - os.Create/os.CreateTemp whose function Closes but never Syncs.
+var DurableWrite = &Analyzer{
+	Name: "durablewrite",
+	Doc:  "artifact writes must follow temp-file + fsync + rename; no os.WriteFile, no rename or close without Sync",
+	Run:  runDurableWrite,
+}
+
+func runDurableWrite(pass *Pass) error {
+	if !durableScope[pkgBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDurableFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkDurableFunc(pass *Pass, fn *ast.FuncDecl) {
+	var (
+		writeFiles []*ast.CallExpr
+		renames    []*ast.CallExpr
+		creates    []*ast.CallExpr
+		hasSync    bool
+		hasClose   bool
+	)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(pass.Info, call); f != nil {
+			switch {
+			case isPkgFunc(f, "os", "WriteFile"):
+				writeFiles = append(writeFiles, call)
+			case isPkgFunc(f, "os", "Rename"):
+				renames = append(renames, call)
+			case isPkgFunc(f, "os", "Create"), isPkgFunc(f, "os", "CreateTemp"):
+				creates = append(creates, call)
+			}
+		}
+		// Method calls named Sync/Close on anything (an *os.File reached
+		// through locals, struct fields, or named returns) count.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Sync":
+				hasSync = true
+			case "Close":
+				hasClose = true
+			}
+		}
+		return true
+	})
+	for _, call := range writeFiles {
+		pass.Reportf(call.Pos(), "os.WriteFile is not crash-safe (no fsync, truncates in place): write a temp file, Sync, then os.Rename over the target")
+	}
+	if hasSync {
+		return
+	}
+	for _, call := range renames {
+		pass.Reportf(call.Pos(), "os.Rename without an fsync in %s: the installed file may be empty after a crash — Sync the temp file before renaming", fn.Name.Name)
+	}
+	if hasClose {
+		for _, call := range creates {
+			pass.Reportf(call.Pos(), "file created in %s is closed but never Synced: a crash can tear the write — fsync before close/rename", fn.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp flags direct ==/!= comparisons between an error value and a
+// declared sentinel error variable. The stack wraps aggressively —
+// injected faults arrive as fmt.Errorf("...: %w", faultinject.ErrInjected)
+// or inside a *simrun.PanicError — so a direct comparison against a
+// wrapped sentinel is false even when the sentinel is present, and the
+// transient-classification path (retry exactly the injected faults)
+// silently stops retrying. errors.Is is required. Comparisons with nil
+// are of course fine.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "compare errors against sentinels with errors.Is, never == / !=",
+	Run:  runErrCmp,
+}
+
+func runErrCmp(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	isErr := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil || tv.IsNil() {
+			return false
+		}
+		return types.Implements(tv.Type, errType) || types.Implements(types.NewPointer(tv.Type), errType)
+	}
+	sentinel := func(e ast.Expr) types.Object {
+		var obj types.Object
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj = pass.Info.Uses[e]
+		case *ast.SelectorExpr:
+			obj = pass.Info.Uses[e.Sel]
+		default:
+			return nil
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return nil
+		}
+		// Package-level error variable = sentinel.
+		if v.Parent() != v.Pkg().Scope() {
+			return nil
+		}
+		return v
+	}
+	walkWithStack(pass.Files, func(n ast.Node, _ []ast.Node) {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return
+		}
+		if !isErr(bin.X) || !isErr(bin.Y) {
+			return
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if v := sentinel(side); v != nil {
+				name := v.Name()
+				if v.Pkg().Path() != pass.PkgPath {
+					name = v.Pkg().Name() + "." + name
+				}
+				pass.Reportf(bin.Pos(), "direct %s comparison against sentinel %s misses wrapped errors: use errors.Is(err, %s)",
+					bin.Op, name, name)
+				return
+			}
+		}
+	})
+	return nil
+}

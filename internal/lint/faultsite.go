@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultSite checks every faultinject hot-path call site: the site string
+// passed to (*faultinject.Injector).Hit must be a declared constant, not
+// a bare literal or a variable. Chaos rules arm sites by exact string
+// match, so a typo'd literal ("simrun/pont") silently arms nothing and
+// the chaos test quietly stops testing anything; forcing call sites
+// through named constants makes the site vocabulary greppable and a typo
+// a compile-time unknown identifier.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "faultinject sites at Hit call sites must be declared constants, not bare string literals",
+	Run:  runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Name() != "Hit" || fn.Pkg() == nil {
+			return
+		}
+		if !strings.HasSuffix(fn.Pkg().Path(), "internal/faultinject") {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil || len(call.Args) < 1 {
+			return
+		}
+		arg := ast.Unparen(call.Args[0])
+		if _, isLit := arg.(*ast.BasicLit); isLit {
+			pass.Reportf(arg.Pos(), "fault site %s is a bare literal: declare a site constant so a typo cannot silently arm nothing", types.ExprString(arg))
+			return
+		}
+		var obj types.Object
+		switch a := arg.(type) {
+		case *ast.Ident:
+			obj = pass.Info.Uses[a]
+		case *ast.SelectorExpr:
+			obj = pass.Info.Uses[a.Sel]
+		}
+		if _, isConst := obj.(*types.Const); !isConst {
+			pass.Reportf(arg.Pos(), "fault site %s is not a declared constant: Hit must be called with a named site constant", types.ExprString(arg))
+		}
+	})
+	return nil
+}

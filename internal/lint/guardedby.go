@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// GuardedBy enforces `// guarded by <mutex>` annotations on struct
+// fields: every read or write of an annotated field must happen in a
+// function that locks that mutex on the same receiver before the access
+// (writes require .Lock(); reads accept .RLock() too). Lock calls are
+// matched within the innermost enclosing function — a lock taken inside
+// one goroutine closure does not excuse a bare access in another, which
+// is exactly the RelativeSpeeds map race this analyzer exists to catch
+// (an unlocked alone[pu]=0 write concurrent with locked writes in probe
+// goroutines, fixed after PR 3).
+//
+// Constructors and helpers that legitimately touch fields without the
+// lock (pre-publication initialization, callers that document "called
+// with mu held") carry //pccs:allow-guardedby in their doc comment.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "fields annotated `// guarded by <mutex>` must only be accessed under that mutex",
+	Run:  runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo maps an annotated field object to its guarding mutex field
+// name (on the same struct).
+type guardInfo map[types.Object]string
+
+func runGuardedBy(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+
+	// lockCall records one <base>.<mutex>.Lock()/RLock() call: where it
+	// is, which function body it belongs to, and what it locks.
+	type lockCall struct {
+		fn    ast.Node // innermost enclosing function
+		pos   token.Pos
+		base  string // canonical receiver expression, e.g. "r" or "c.inner"
+		mutex string
+		read  bool // RLock
+	}
+	var locks []lockCall
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return
+		}
+		mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		locks = append(locks, lockCall{
+			fn:    innermostFunc(stack),
+			pos:   call.Pos(),
+			base:  types.ExprString(ast.Unparen(mutexSel.X)),
+			mutex: mutexSel.Sel.Name,
+			read:  sel.Sel.Name == "RLock",
+		})
+	})
+
+	held := func(fn ast.Node, pos token.Pos, base, mutex string, write bool) bool {
+		for _, l := range locks {
+			if l.fn == fn && l.pos < pos && l.base == base && l.mutex == mutex {
+				if write && l.read {
+					continue
+				}
+				return true
+			}
+		}
+		return false
+	}
+
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		mutex, guarded := guards[selection.Obj()]
+		if !guarded {
+			return
+		}
+		base := types.ExprString(ast.Unparen(sel.X))
+		write := isWriteAccess(sel, stack)
+		if held(innermostFunc(stack), sel.Pos(), base, mutex, write) {
+			return
+		}
+		kind := "read"
+		if write {
+			kind = "write"
+		}
+		pass.Reportf(sel.Pos(), "%s of %s.%s without holding %s.%s (field is `guarded by %s`)",
+			kind, base, sel.Sel.Name, base, mutex, mutex)
+	})
+	return nil
+}
+
+// collectGuards finds `// guarded by <name>` annotations on struct fields
+// declared in this package.
+func collectGuards(pass *Pass) guardInfo {
+	guards := make(guardInfo)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isWriteAccess reports whether sel (possibly wrapped in index/star
+// expressions) is the target of an assignment, an inc/dec, a delete(), or
+// a unary & (which escapes a writable reference).
+func isWriteAccess(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	// Walk outward through wrappers that keep the access addressable.
+	var inner ast.Node = sel
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch outer := stack[i].(type) {
+		case *ast.IndexExpr:
+			if outer.X == inner {
+				inner = outer
+				continue
+			}
+			return false
+		case *ast.ParenExpr:
+			inner = outer
+			continue
+		case *ast.StarExpr:
+			if outer.X == inner {
+				inner = outer
+				continue
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range outer.Lhs {
+				if lhs == inner {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return outer.X == inner
+		case *ast.UnaryExpr:
+			return outer.Op == token.AND && outer.X == inner
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(outer.Fun).(*ast.Ident); ok && id.Name == "delete" && len(outer.Args) > 0 && outer.Args[0] == inner {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package lint
+
+// The fixture harness is a stdlib stand-in for
+// golang.org/x/tools/go/analysis/analysistest: each fixture directory
+// under testdata/ is one package; `// want` comments on offending lines
+// hold regexes (backquoted or double-quoted) that the analyzer's
+// diagnostics on that line must match, and any unmatched diagnostic or
+// leftover expectation fails the test. Fixture imports — stdlib or this
+// module's packages — are resolved through the same `go list -export`
+// machinery the real loader uses.
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testAnalyzer(t *testing.T, a *Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(strings.ReplaceAll(dir, "/", "_"), func(t *testing.T) {
+			runFixture(t, a, dir)
+		})
+	}
+}
+
+func runFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	diags, err := Check([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	want := parseWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		rest := want[key][:0]
+		for _, re := range want[key] {
+			if !matched && re.MatchString(d.Message) {
+				matched = true
+				continue
+			}
+			rest = append(rest, re)
+		}
+		want[key] = rest
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for k := range want {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, re := range want[k] {
+			t.Errorf("missing diagnostic at %s matching %q", k, re)
+		}
+	}
+}
+
+// loadFixture parses and type-checks one testdata package. The synthetic
+// import path keeps the directory's base name so the analyzers' package
+// scoping applies to fixtures exactly as it does to the real tree.
+func loadFixture(t *testing.T, dir string) *Package {
+	t.Helper()
+	fsDir := filepath.Join("testdata", filepath.FromSlash(dir))
+	entries, err := os.ReadDir(fsDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(fsDir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			p, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				t.Fatalf("import path %s: %v", spec.Path.Value, err)
+			}
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		var patterns []string
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(".", patterns...)
+		if err != nil {
+			t.Fatalf("resolving fixture imports: %v", err)
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkg, err := TypeCheck(fset, path.Join("fix", dir), files, ExportImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+	return pkg
+}
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+// parseWants collects the `// want` expectations, keyed "file:line".
+func parseWants(t *testing.T, pkg *Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	want := make(map[string][]*regexp.Regexp)
+	seen := make(map[string]bool)
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		fh, err := os.Open(name)
+		if err != nil {
+			t.Fatalf("opening fixture: %v", err)
+		}
+		sc := bufio.NewScanner(fh)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRe.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", name, line)
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+				pat := arg[1]
+				if pat == "" {
+					pat = arg[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+				}
+				want[key] = append(want[key], re)
+			}
+		}
+		fh.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning fixture: %v", err)
+		}
+	}
+	return want
+}

@@ -1,0 +1,27 @@
+package lint
+
+import "testing"
+
+func TestNoDeterminism(t *testing.T) {
+	testAnalyzer(t, NoDeterminism, "nodeterminism/simrun", "nodeterminism/outofscope")
+}
+
+func TestCtxFlow(t *testing.T) {
+	testAnalyzer(t, CtxFlow, "ctxflow/calib", "ctxflow/server")
+}
+
+func TestGuardedBy(t *testing.T) {
+	testAnalyzer(t, GuardedBy, "guardedby/relspeeds")
+}
+
+func TestDurableWrite(t *testing.T) {
+	testAnalyzer(t, DurableWrite, "durablewrite/calib")
+}
+
+func TestFaultSite(t *testing.T) {
+	testAnalyzer(t, FaultSite, "faultsite/chaos")
+}
+
+func TestErrCmp(t *testing.T) {
+	testAnalyzer(t, ErrCmp, "errcmp/retry")
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoDeterminism forbids nondeterministic inputs in the simulation core.
+// The PCCS methodology only reproduces (and the parallel executor is only
+// trustworthy) if every simulation is a pure function of (platform
+// config, workload, seed): a single wall-clock read or global-RNG draw in
+// a hot path corrupts that silently — results drift between runs without
+// any test necessarily failing.
+//
+// Three patterns are flagged, in the packages listed by CoreScope:
+//
+//   - calls to time.Now or time.Since (wall-clock reads);
+//   - calls to math/rand (or rand/v2) package-level functions, which draw
+//     from the process-global generator — randomness must come from an
+//     explicitly seeded *rand.Rand (constructors like rand.New and
+//     rand.NewSource are allowed);
+//   - ranging over a map while accumulating into a slice declared outside
+//     the loop, unless the enclosing function sorts afterwards: Go map
+//     iteration order is deliberately random, so such output changes
+//     between runs.
+//
+// Legitimate exceptions (backoff jitter, retry delays — wall-clock
+// behaviour, not simulation state) carry //pccs:allow-nondeterminism.
+var NoDeterminism = &Analyzer{
+	Name:     "nodeterminism",
+	AllowTag: "nondeterminism",
+	Doc:      "forbid wall-clock reads, global RNG draws, and map-ordered output in the simulation core",
+	Run:      runNoDeterminism,
+}
+
+// randConstructors are the math/rand package functions that build seeded
+// generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoDeterminism(pass *Pass) error {
+	if !CoreScope[pkgBase(pass.PkgPath)] {
+		return nil
+	}
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return
+			}
+			switch {
+			case isPkgFunc(fn, "time", "Now"), isPkgFunc(fn, "time", "Since"):
+				pass.Reportf(n.Pos(), "time.%s in the simulation core: results must be a pure function of (config, workload, seed), not the wall clock", fn.Name())
+			case isGlobalRandDraw(fn):
+				pass.Reportf(n.Pos(), "%s.%s draws from the process-global generator: use an explicitly seeded *rand.Rand so runs reproduce", fn.Pkg().Path(), fn.Name())
+			}
+		case *ast.RangeStmt:
+			checkMapRangeOutput(pass, n, stack)
+		}
+	})
+	return nil
+}
+
+func isGlobalRandDraw(fn *types.Func) bool {
+	pkg := fn.Pkg().Path()
+	if pkg != "math/rand" && pkg != "math/rand/v2" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil { // methods on *rand.Rand are the fix, not the bug
+		return false
+	}
+	return !randConstructors[fn.Name()]
+}
+
+// checkMapRangeOutput flags a range-over-map whose body appends to a
+// slice declared outside the loop — ordered output fed in random order —
+// unless the enclosing function sorts after the loop.
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var accum *ast.Ident
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || accum != nil {
+			return accum == nil
+		}
+		for _, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+				continue
+			}
+			if len(call.Args) == 0 {
+				continue
+			}
+			target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[target]
+			if obj == nil || obj.Pos() == token.NoPos {
+				continue
+			}
+			// Only slices that outlive the loop carry the ordering out.
+			if obj.Pos() < rng.Pos() || obj.Pos() > rng.End() {
+				accum = target
+				return false
+			}
+		}
+		return true
+	})
+	if accum == nil {
+		return
+	}
+	if fn := enclosingFuncBody(stack); fn != nil && sortsAfter(pass, fn, rng.End()) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "map iteration feeds %s in random order: sort the result (or iterate sorted keys) so output is deterministic", accum.Name)
+}
+
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	switch fn := innermostFunc(stack).(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// sortsAfter reports whether body calls into package sort or slices at a
+// position after pos — the "accumulate then sort" idiom.
+func sortsAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn != nil && fn.Pkg() != nil {
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,24 @@
+package lint
+
+import "testing"
+
+// TestRepoClean runs every analyzer over the whole module, the same
+// sweep cmd/pccs-lint performs. The production tree must stay clean:
+// any new finding either gets fixed or gets an explicit, reasoned
+// //pccs:allow-<analyzer> annotation.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Check(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+}

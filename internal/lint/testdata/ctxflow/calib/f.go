@@ -1,0 +1,33 @@
+package calib
+
+import "context"
+
+func Ignored(ctx context.Context, n int) int { // want `Ignored accepts ctx but never uses it`
+	return n * 2
+}
+
+func Used(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func Detached(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sub, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) inside a function that holds ctx`
+	defer cancel()
+	return sub.Err()
+}
+
+func NilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // the nil-default idiom is allowed
+	}
+	return ctx.Err()
+}
+
+func unexported(ctx context.Context, n int) int { // unexported: not an entry point
+	return n
+}
+
+var _ = unexported

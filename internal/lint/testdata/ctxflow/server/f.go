@@ -1,0 +1,16 @@
+// Package server is outside the simulation-core ctx scope (unused-ctx
+// entry points are not flagged here) but inside the request-path scope:
+// minting context.Background() while holding a ctx is still flagged.
+package server
+
+import "context"
+
+func Handler(ctx context.Context) error {
+	c := context.TODO() // want `context.TODO\(\) inside a function that holds ctx`
+	_ = ctx
+	return c.Err()
+}
+
+func DetachedJob() context.Context {
+	return context.Background() // no ctx in scope: deliberate detachment is fine
+}

@@ -1,0 +1,48 @@
+package calib
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func saveBad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile is not crash-safe`
+}
+
+func installBad(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "model.tmp")
+	f, err := os.Create(tmp) // want `file created in installBad is closed but never Synced`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "model.json")) // want `os.Rename without an fsync in installBad`
+}
+
+func installGood(dir string, data []byte) error {
+	tmp := filepath.Join(dir, "model.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "model.json"))
+}
+
+var _ = []any{saveBad, installBad, installGood}

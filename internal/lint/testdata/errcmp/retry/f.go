@@ -1,0 +1,34 @@
+package retry
+
+import (
+	"errors"
+	"io"
+)
+
+var errBudget = errors.New("retry budget exhausted")
+
+func direct(err error) bool {
+	return err == errBudget // want `direct == comparison against sentinel errBudget`
+}
+
+func directNeq(err error) bool {
+	if err != io.EOF { // want `direct != comparison against sentinel io.EOF`
+		return true
+	}
+	return false
+}
+
+func wrapped(err error) bool {
+	return errors.Is(err, errBudget)
+}
+
+func nilCheck(err error) bool {
+	return err == nil // nil checks are idiomatic, not sentinel comparisons
+}
+
+func localCmp(err error) bool {
+	other := errors.New("local")
+	return err == other // locals are not package-level sentinels
+}
+
+var _ = []any{direct, directNeq, wrapped, nilCheck, localCmp}

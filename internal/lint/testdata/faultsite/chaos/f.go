@@ -1,0 +1,19 @@
+package chaos
+
+import "github.com/processorcentricmodel/pccs/internal/faultinject"
+
+const sitePoint = "chaos/point"
+
+func constant(in *faultinject.Injector) error {
+	return in.Hit(sitePoint)
+}
+
+func literal(in *faultinject.Injector) error {
+	return in.Hit("chaos/literal") // want `fault site "chaos/literal" is a bare literal`
+}
+
+func variable(in *faultinject.Injector, site string) error {
+	return in.Hit(site) // want `fault site site is not a declared constant`
+}
+
+var _ = []any{constant, literal, variable}

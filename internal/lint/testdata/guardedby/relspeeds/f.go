@@ -1,0 +1,74 @@
+// Package relspeeds reproduces the PR-3 RelativeSpeeds data race: the
+// outer function wrote to a shared map while the goroutine closures it
+// spawned locked the mutex around their own writes. The lock inside a
+// closure must not excuse the bare write in the enclosing function.
+package relspeeds
+
+import "sync"
+
+type tracker struct {
+	mu    sync.Mutex
+	alone map[int]float64 // guarded by mu
+	n     int             // guarded by mu
+}
+
+func (t *tracker) fillRace(pus []int) {
+	t.alone[0] = 1 // want `write of t.alone without holding t.mu`
+	var wg sync.WaitGroup
+	for _, pu := range pus {
+		pu := pu
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.mu.Lock()
+			t.alone[pu] = float64(pu) // locked inside the closure: fine
+			t.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+func (t *tracker) fillSafe(pus []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pu := range pus {
+		t.alone[pu] = float64(pu)
+	}
+	t.n = len(pus)
+}
+
+func (t *tracker) readRace() int {
+	return t.n // want `read of t.n without holding t.mu`
+}
+
+func (t *tracker) writeUnderRLock() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+type stats struct {
+	mu   sync.RWMutex
+	hits int // guarded by mu
+}
+
+func (s *stats) get() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hits // RLock is enough for a read
+}
+
+func (s *stats) bumpRLocked() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hits++ // want `write of s.hits without holding s.mu`
+}
+
+//pccs:allow-guardedby fixture: constructor runs before the value is shared
+func newTracker() *tracker {
+	t := &tracker{alone: make(map[int]float64)}
+	t.alone[0] = 0
+	return t
+}
+
+var _ = []any{(*tracker).fillRace, (*tracker).fillSafe, (*tracker).readRace, (*tracker).writeUnderRLock, (*stats).get, (*stats).bumpRLocked, newTracker}

@@ -1,0 +1,12 @@
+// Package outofscope is not a simulation-core package, so wall-clock
+// reads here are legitimate (latency metrics, timestamps) and must not
+// be flagged.
+package outofscope
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+var _ = uptime

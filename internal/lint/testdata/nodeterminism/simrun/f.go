@@ -1,0 +1,57 @@
+package simrun
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()     // want `time.Now in the simulation core`
+	return time.Since(start) // want `time.Since in the simulation core`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `draws from the process-global generator`
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are fine
+	return r.Float64()                  // method on a seeded *rand.Rand is the idiom
+}
+
+//pccs:allow-nondeterminism fixture: doc-comment escape hatch covers the whole function
+func jitter() float64 {
+	return rand.Float64()
+}
+
+func inlineAllow() float64 {
+	return rand.Float64() //pccs:allow-nondeterminism fixture: inline escape hatch
+}
+
+func mapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds out in random order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // accumulate-then-sort is deterministic
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m { // order-insensitive reduction: fine
+		total += v
+	}
+	return total
+}
+
+var _ = []any{wallClock, globalRand, seeded, jitter, inlineAllow, mapOrder, mapOrderSorted, mapReduce}

@@ -132,11 +132,20 @@ func (p *smsPolicy) Pick(q []*Request, ch *dram.Channel, now int64) int {
 		}
 		seen[r.batch] = i
 	}
-	for b, i := range seen {
+	// Build the pools in queue order (first occurrence), not map order:
+	// the round-robin arbiter below breaks distance ties by pool position,
+	// so pool order must be a pure function of the queue contents.
+	emitted := map[*smsBatch]bool{}
+	for _, r := range q {
+		b := r.batch
+		if b == nil || emitted[b] {
+			continue
+		}
+		emitted[b] = true
 		if b.closed {
-			closedC = append(closedC, cand{b, i})
+			closedC = append(closedC, cand{b, seen[b]})
 		} else {
-			openC = append(openC, cand{b, i})
+			openC = append(openC, cand{b, seen[b]})
 		}
 	}
 	pool := closedC

@@ -39,10 +39,10 @@ func phasesKey(phases []core.Phase) string {
 type PredictionCache struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List // front = most recently used
-	items    map[cacheKey]*list.Element
+	ll       *list.List                 // guarded by mu; front = most recently used
+	items    map[cacheKey]*list.Element // guarded by mu
 
-	hits, misses uint64
+	hits, misses uint64 // guarded by mu
 }
 
 type cacheEntry struct {

@@ -203,14 +203,14 @@ type JobRunner struct {
 	onPanic   func() // counts recovered calibration panics (may be nil)
 
 	mu          sync.Mutex
-	jobs        map[string]*Job
-	cancels     map[string]context.CancelFunc // per running job
-	order       []string                      // submission order, for List
-	seq         int
-	closed      bool
-	queued      int
-	running     int
-	journalErrs int
+	jobs        map[string]*Job               // guarded by mu
+	cancels     map[string]context.CancelFunc // guarded by mu; per running job
+	order       []string                      // guarded by mu; submission order, for List
+	seq         int                           // guarded by mu
+	closed      bool                          // guarded by mu
+	queued      int                           // guarded by mu
+	running     int                           // guarded by mu
+	journalErrs int                           // guarded by mu
 
 	queue chan string
 	wg    sync.WaitGroup
@@ -285,6 +285,8 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 // stay queryable, queued and in-flight jobs go back on the queue from the
 // beginning (a half-done construction has no resumable state — the
 // simulation points are cheap relative to losing the job).
+//
+//pccs:allow-guardedby runs in NewJobRunner before any worker goroutine starts, so nothing else can touch the fields yet
 func (r *JobRunner) replay(replayed []Job) {
 	for _, snap := range replayed {
 		job := snap
@@ -327,6 +329,8 @@ func jobSeq(id string) int {
 // ever dominates on slow disks, the escape hatch is an ordered write queue
 // drained outside the lock, at the price of the durability guarantee.
 // Journal failures never fail the job; they are counted for /healthz.
+//
+//pccs:allow-guardedby every caller holds r.mu (replay runs pre-worker); the comment above explains why the lock must already be held
 func (r *JobRunner) appendJournal(job *Job) {
 	if r.journal == nil {
 		return
@@ -548,7 +552,7 @@ func (r *JobRunner) safeConstruct(ctx context.Context, spec CalibrateSpec, progr
 			}
 		}
 	}()
-	if ferr := r.faults.Hit("server/job"); ferr != nil {
+	if ferr := r.faults.Hit(SiteJob); ferr != nil {
 		return nil, ferr
 	}
 	return r.construct(ctx, spec, progress)

@@ -24,9 +24,9 @@ import (
 // leaves either the old journal or the compacted one.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       *os.File // guarded by mu
 	path    string
-	records int
+	records int // guarded by mu
 
 	// CompactThreshold is the record count that triggers compaction
 	// (default 256).

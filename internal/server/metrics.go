@@ -30,8 +30,8 @@ type endpointMetrics struct {
 // client library — the daemon has zero dependencies beyond the stdlib.
 type Metrics struct {
 	mu        sync.Mutex
-	endpoints map[string]*endpointMetrics
-	panics    map[string]uint64
+	endpoints map[string]*endpointMetrics // guarded by mu
+	panics    map[string]uint64           // guarded by mu
 }
 
 // NewMetrics returns an empty metrics registry.

@@ -26,17 +26,17 @@ import (
 // reuse this loader) goes through the Registry's RWMutex instead.
 type Registry struct {
 	mu   sync.RWMutex
-	set  calib.ModelSet
-	path string
+	set  calib.ModelSet // guarded by mu
+	path string         // guarded by mu
 
 	// Reload bookkeeping for graceful degradation: when a hot reload
 	// fails (partially written artifact, checksum mismatch, invalid
 	// model), the registry keeps serving the last-good set and records
 	// the failure for /healthz.
-	reloads       int
-	failedReloads int
-	lastErr       error
-	lastGood      time.Time
+	reloads       int       // guarded by mu
+	failedReloads int       // guarded by mu
+	lastErr       error     // guarded by mu
+	lastGood      time.Time // guarded by mu
 }
 
 // ReloadHealth is the registry's degradation status, surfaced in /healthz.

@@ -43,6 +43,15 @@ type Config struct {
 	Faults *faultinject.Injector
 }
 
+// Chaos sites armed by Config.Faults, alongside the simrun sites the
+// executor fires (simrun.SitePoint, simrun.SiteStandalone).
+const (
+	// SiteHandler fires at the top of every instrumented HTTP handler.
+	SiteHandler = "server/handler"
+	// SiteJob fires as each queued calibration job starts running.
+	SiteJob = "server/job"
+)
+
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
 		c.Addr = "localhost:8080"
@@ -201,7 +210,7 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
 					}
 				}
 			}()
-			if err := s.cfg.Faults.Hit("server/handler"); err != nil {
+			if err := s.cfg.Faults.Hit(SiteHandler); err != nil {
 				writeError(rec, http.StatusInternalServerError, "%v", err)
 				return
 			}

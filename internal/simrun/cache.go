@@ -18,7 +18,7 @@ import (
 // rest wait for its result.
 type Cache struct {
 	mu sync.Mutex
-	m  map[string]*cacheEntry
+	m  map[string]*cacheEntry // guarded by mu
 }
 
 type cacheEntry struct {

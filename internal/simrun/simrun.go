@@ -12,6 +12,7 @@ package simrun
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +28,14 @@ type Point struct {
 	Placement soc.Placement
 	Run       soc.RunConfig
 }
+
+// Chaos sites armed by an Executor's fault injector.
+const (
+	// SitePoint fires before each simulation point attempt.
+	SitePoint = "simrun/point"
+	// SiteStandalone fires before each standalone (solo-run) measurement.
+	SiteStandalone = "simrun/standalone"
+)
 
 // Result is the outcome of one point, in plan order.
 type Result struct {
@@ -51,8 +60,8 @@ type Executor struct {
 	// concurrent use.
 	OnProgress func(completed, planned int)
 
-	// Faults, when set, arms the executor's chaos sites ("simrun/point",
-	// "simrun/standalone"). Set it before the first Execute call.
+	// Faults, when set, arms the executor's chaos sites (SitePoint,
+	// SiteStandalone). Set it before the first Execute call.
 	Faults *faultinject.Injector
 
 	// Retry re-runs transiently failing points (see Transient) with capped
@@ -157,7 +166,8 @@ func (e *Executor) runPoint(ctx context.Context, p *soc.Platform, clone **soc.Pl
 		if err == nil {
 			return out, nil
 		}
-		if _, panicked := err.(*PanicError); panicked {
+		var pe *PanicError
+		if errors.As(err, &pe) {
 			*clone = p.Clone()
 		}
 		if !Transient(err) || attempt >= attempts || ctx.Err() != nil {
@@ -178,7 +188,7 @@ func (e *Executor) attemptPoint(ctx context.Context, clone *soc.Platform, pt Poi
 			out, err = nil, Recovered(rec)
 		}
 	}()
-	if ferr := e.Faults.Hit("simrun/point"); ferr != nil {
+	if ferr := e.Faults.Hit(SitePoint); ferr != nil {
 		return nil, ferr
 	}
 	return clone.RunContext(ctx, pt.Placement, pt.Run)
@@ -268,7 +278,7 @@ func (e *Executor) attemptStandalone(ctx context.Context, p *soc.Platform, pu in
 			res, err = soc.PUResult{}, Recovered(rec)
 		}
 	}()
-	if ferr := e.Faults.Hit("simrun/standalone"); ferr != nil {
+	if ferr := e.Faults.Hit(SiteStandalone); ferr != nil {
 		return soc.PUResult{}, ferr
 	}
 	return e.Cache.Standalone(ctx, p, pu, k, rc)
