@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench fuzz check clean
+.PHONY: build test race lint vet bench fuzz check clean stress soak
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,21 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCalibrateDecode$$' -fuzztime 10s ./internal/server
 
 check: vet lint build race
+
+# Load-test a RUNNING pccsd with the closed/open-loop generator. Override
+# the target or shape via STRESS_ARGS, e.g.
+#   make stress STRESS_ARGS="-url http://localhost:8080 -ramp 8,32,128 -d 30s"
+STRESS_ARGS ?= -d 10s -c 16 -deadline-ms 2000
+stress:
+	$(GO) run ./cmd/pccs-stress $(STRESS_ARGS)
+
+# The overload acceptance test (TestSoakOverload: 10× capacity with
+# injected faults; bounded accepted-p99, load-proportional shedding,
+# recovery within seconds) at soak length. SOAK_DURATION is the load time
+# per ramp step; CI nightly runs 20s, the unit-test default is 2s.
+SOAK_DURATION ?= 20s
+soak:
+	PCCS_SOAK_DURATION=$(SOAK_DURATION) $(GO) test ./internal/server -run '^TestSoakOverload$$' -count=1 -v -timeout 600s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,132 @@
+// Command pccs-stress drives load at a running pccsd and reports what came
+// back: throughput, accepted-request latency percentiles, and a full
+// shed/degraded/error accounting. It is the operator's overload probe — the
+// tool that answers "what does this daemon do at 10× capacity" before
+// production traffic asks the same question.
+//
+// Usage:
+//
+//	pccs-stress [-url http://localhost:8080] [-path /v1/predict]
+//	            [-body '{"platform":...}' | -body-file req.json]
+//	            [-c 8 | -ramp 8,32,128] [-qps 0] [-d 10s]
+//	            [-deadline-ms 0] [-api-key key]
+//
+// Modes:
+//
+//	closed loop (default)  -c workers each fire as fast as responses return;
+//	                       throughput adapts to the server. -ramp runs
+//	                       consecutive steps at each concurrency.
+//	open loop (-qps > 0)   fixed request rate regardless of response times —
+//	                       the honest saturation probe: a slow server does
+//	                       not slow the offered load down, so queueing
+//	                       collapse and shedding become visible.
+//
+// -deadline-ms sets the X-Deadline-Ms header on every request, exercising
+// the server's deadline propagation; -api-key sets X-API-Key, the
+// per-client rate-limiter key.
+//
+// Exit status: 0 when the run completed, 1 on configuration or transport
+// setup errors. Shed responses are data, not failures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/stress"
+)
+
+// defaultBody is a representative single prediction against the shipped
+// virtual platform, so `pccs-stress` works out of the box against a daemon
+// seeded with the default model artifact.
+const defaultBody = `{"platform":"virtual-xavier","pu":"GPU","demand_gbps":88,"external_gbps":40}`
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:8080", "pccsd base URL")
+		path       = flag.String("path", "/v1/predict", "endpoint path")
+		method     = flag.String("method", "", "HTTP method (default POST with a body, GET without)")
+		body       = flag.String("body", "", "request body (default: a representative /v1/predict payload)")
+		bodyFile   = flag.String("body-file", "", "read the request body from a file (overrides -body)")
+		conc       = flag.Int("c", 8, "closed-loop worker count")
+		ramp       = flag.String("ramp", "", "comma-separated concurrency steps (closed loop), e.g. 8,32,128")
+		qps        = flag.Float64("qps", 0, "open-loop request rate; 0 = closed loop")
+		dur        = flag.Duration("d", 10*time.Second, "run duration (split across -ramp steps)")
+		deadlineMs = flag.Int("deadline-ms", 0, "X-Deadline-Ms header on every request; 0 = none")
+		apiKey     = flag.String("api-key", "", "X-API-Key header (per-client rate-limit key)")
+	)
+	flag.Parse()
+
+	payload := []byte(*body)
+	if *bodyFile != "" {
+		b, err := os.ReadFile(*bodyFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pccs-stress: %v\n", err)
+			os.Exit(1)
+		}
+		payload = b
+	} else if *body == "" && *path == "/v1/predict" {
+		payload = []byte(defaultBody)
+	}
+
+	cfg := stress.Config{
+		URL:         *url,
+		Path:        *path,
+		Method:      *method,
+		Body:        payload,
+		Concurrency: *conc,
+		QPS:         *qps,
+		Duration:    *dur,
+		DeadlineMs:  *deadlineMs,
+		APIKey:      *apiKey,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	steps, err := parseRamp(*ramp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pccs-stress: %v\n", err)
+		os.Exit(1)
+	}
+	if len(steps) > 0 && *qps > 0 {
+		fmt.Fprintln(os.Stderr, "pccs-stress: -ramp is a closed-loop option; drop -qps or -ramp")
+		os.Exit(1)
+	}
+
+	reports, err := stress.Ramp(ctx, cfg, steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pccs-stress: %v\n", err)
+		os.Exit(1)
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep.String())
+	}
+}
+
+// parseRamp turns "8,32,128" into concurrency steps.
+func parseRamp(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	steps := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -ramp step %q (want positive integers)", p)
+		}
+		steps = append(steps, n)
+	}
+	return steps, nil
+}

@@ -10,6 +10,9 @@
 //	      [-timeout 10s] [-write-timeout 15s] [-cache 4096] [-workers N]
 //	      [-queue 64] [-journal pccsd-journal.jsonl] [-retries 3]
 //	      [-faults "site:kind:rate,..."] [-fault-seed 1]
+//	      [-max-concurrency 256] [-max-waiters 512] [-admission-target 250ms]
+//	      [-rate 0] [-rate-burst 0] [-job-timeout 0]
+//	      [-breaker-cooldown 15s] [-debug-addr ""]
 //
 // Endpoints:
 //
@@ -31,14 +34,30 @@
 // and -faults arms deterministic chaos injection across the stack — see
 // the faultinject package for the spec syntax. PCCS_FAULTS and
 // PCCS_FAULT_SEED are the environment equivalents; the flags win.
+//
+// Overload resilience: every /v1 request passes an AIMD adaptive
+// concurrency limiter steering toward -admission-target; -rate adds a
+// per-client token bucket (keyed X-API-Key, else remote address); clients
+// can cap a request end to end with an X-Deadline-Ms header, which is
+// honoured all the way into the simulation layer; a circuit breaker guards
+// simulator-backed calibration; and under sustained shedding the daemon
+// browns out (stale-cache predictions, `Degraded: stale-cache` header)
+// rather than collapsing. See README "Failure modes & degraded operation".
+//
+// -debug-addr exposes net/http/pprof on a SEPARATE listener that is
+// restricted to loopback addresses, so profiling is never reachable from
+// the serving interface.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -48,6 +67,35 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/server"
 )
+
+// listenLoopback binds addr only if it names a loopback interface — the
+// pprof endpoints expose heap contents and must never face the serving
+// network.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-debug-addr %q: %w", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("-debug-addr %q is not a loopback address; refusing to expose pprof", addr)
+		}
+	}
+	return net.Listen("tcp", addr)
+}
+
+// debugMux routes only the pprof handlers — a dedicated mux, so nothing
+// else registered on http.DefaultServeMux leaks onto the debug port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // envSeed is the -fault-seed default: PCCS_FAULT_SEED, else 1.
 func envSeed() uint64 {
@@ -75,6 +123,15 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		faults   = flag.String("faults", os.Getenv("PCCS_FAULTS"), "fault-injection spec site:kind:rate[:arg],... (chaos testing)")
 		seed     = flag.Uint64("fault-seed", envSeed(), "fault-injection decision seed")
+
+		maxConc    = flag.Int("max-concurrency", 0, "admission: max in-flight requests (0 = 256)")
+		maxWaiters = flag.Int("max-waiters", 0, "admission: wait-queue bound before LIFO shedding (0 = 512)")
+		admTarget  = flag.Duration("admission-target", 0, "admission: latency target the AIMD limiter steers toward (0 = 250ms)")
+		rate       = flag.Float64("rate", 0, "per-client requests/sec token bucket, keyed X-API-Key else remote addr (0 disables)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-client burst capacity (0 = max(rate, 1))")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-calibration-job execution bound (0 = unbounded); timeouts trip the breaker")
+		brCooldown = flag.Duration("breaker-cooldown", 0, "calibration circuit-breaker open duration before a half-open probe (0 = 15s)")
+		debugAddr  = flag.String("debug-addr", "", "loopback-only net/http/pprof listener, e.g. 127.0.0.1:6060 (empty disables)")
 	)
 	flag.Parse()
 
@@ -102,6 +159,14 @@ func main() {
 		JobQueueDepth:  *queue,
 		RetryAttempts:  *retries,
 		Faults:         injector,
+
+		MaxConcurrency:  *maxConc,
+		MaxWaiters:      *maxWaiters,
+		AdmissionTarget: *admTarget,
+		RatePerSec:      *rate,
+		RateBurst:       *rateBurst,
+		JobTimeout:      *jobTimeout,
+		Breaker:         server.BreakerConfig{Cooldown: *brCooldown},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,6 +174,20 @@ func main() {
 	log.Printf("serving %d models from %s on http://%s", srv.Registry().Len(), *models, *addr)
 	if *journal != "" {
 		log.Printf("job journal at %s", *journal)
+	}
+	if *debugAddr != "" {
+		ln, err := listenLoopback(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			// Best-effort: losing the debug listener must not take the
+			// daemon down.
+			if err := http.Serve(ln, debugMux()); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrShed is returned by Limiter.Acquire when a request is shed instead of
+// admitted: either the waiter queue is full, or this request was the oldest
+// waiter when a newer one arrived. Handlers translate it to 503 + a dynamic
+// Retry-After.
+var ErrShed = errors.New("server: request shed by admission control")
+
+// LimiterConfig tunes the adaptive concurrency limiter.
+type LimiterConfig struct {
+	// Target is the latency the AIMD loop steers toward: completions under
+	// Target grow the limit additively, completions over it (or failures)
+	// shrink it multiplicatively.
+	Target time.Duration
+	// Max is the concurrency ceiling and the optimistic starting limit.
+	Max int
+	// Min is the floor the multiplicative decrease never goes below.
+	Min int
+	// MaxWaiters bounds the LIFO wait queue; beyond it the oldest waiter
+	// is shed.
+	MaxWaiters int
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Target <= 0 {
+		c.Target = 250 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 256
+	}
+	if c.Min <= 0 {
+		c.Min = 2
+	}
+	if c.Min > c.Max {
+		c.Min = c.Max
+	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 512
+	}
+	return c
+}
+
+// limitWaiter is one queued request waiting for an admission slot. The
+// channel is buffered so granting and shedding never block the releaser.
+type limitWaiter struct {
+	ready chan error
+}
+
+// Limiter is the adaptive concurrency limiter on the serving path: an AIMD
+// control loop sizes the in-flight window from observed latency against a
+// target (the TCP-congestion-control shape of Netflix's concurrency-limits),
+// and excess arrivals wait in a LIFO stack — newest first, because under
+// overload the newest request is the one whose client is most likely still
+// there, while the oldest waiter has already burned most of its deadline.
+// When the stack is full the oldest waiter is shed with ErrShed.
+type Limiter struct {
+	cfg LimiterConfig
+	now func() time.Time // injectable clock for tests
+
+	mu           sync.Mutex
+	limit        float64       // guarded by mu; current AIMD window
+	inflight     int           // guarded by mu
+	waiters      []*limitWaiter // guarded by mu; index 0 oldest, grants pop the newest
+	lastDecrease time.Time     // guarded by mu; rate-limits multiplicative decreases
+	ewmaLatency  float64       // guarded by mu; seconds, all completions
+	sheds        uint64        // guarded by mu; cumulative shed count
+}
+
+// NewLimiter builds a limiter starting (optimistically) at cfg.Max.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{cfg: cfg, now: time.Now, limit: float64(cfg.Max)}
+}
+
+// Acquire blocks until the request is admitted, shed (ErrShed), or ctx ends.
+// A nil return means the caller owns one in-flight slot and must call
+// Release exactly once.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	l.mu.Lock()
+	if l.inflight < int(l.limit) && len(l.waiters) == 0 {
+		l.inflight++
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.waiters) >= l.cfg.MaxWaiters {
+		// LIFO shedding: evict the oldest waiter to make room for the
+		// newcomer — it has waited longest and is closest to its deadline
+		// anyway, so shedding it wastes the least remaining budget.
+		oldest := l.waiters[0]
+		copy(l.waiters, l.waiters[1:])
+		l.waiters = l.waiters[:len(l.waiters)-1]
+		l.sheds++
+		oldest.ready <- ErrShed
+	}
+	w := &limitWaiter{ready: make(chan error, 1)}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		l.abandon(w)
+		return ctx.Err()
+	}
+}
+
+// abandon removes a waiter whose context ended. If a grant raced in before
+// the waiter could be removed, the slot it was handed is released again.
+func (l *Limiter) abandon(w *limitWaiter) {
+	l.mu.Lock()
+	for i, queued := range l.waiters {
+		if queued == w {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			l.mu.Unlock()
+			return
+		}
+	}
+	l.mu.Unlock()
+	// Not queued anymore: a grant or shed is already in the channel.
+	if err := <-w.ready; err == nil {
+		l.releaseSlot()
+	}
+}
+
+// Release returns the slot and feeds the AIMD loop with the completion's
+// latency and outcome. Failures and over-target completions shrink the
+// window multiplicatively (at most once per target interval, so one slow
+// burst does not collapse it); on-target successes grow it by ~1 per
+// window's worth of completions.
+func (l *Limiter) Release(latency time.Duration, ok bool) {
+	l.mu.Lock()
+	l.inflight--
+	sec := latency.Seconds()
+	if l.ewmaLatency == 0 {
+		l.ewmaLatency = sec
+	} else {
+		l.ewmaLatency = 0.8*l.ewmaLatency + 0.2*sec
+	}
+	if !ok || latency > l.cfg.Target {
+		if now := l.now(); now.Sub(l.lastDecrease) >= l.cfg.Target {
+			l.limit = math.Max(float64(l.cfg.Min), l.limit*0.9)
+			l.lastDecrease = now
+		}
+	} else if l.limit < float64(l.cfg.Max) {
+		l.limit = math.Min(float64(l.cfg.Max), l.limit+1/l.limit)
+	}
+	l.grantLocked()
+	l.mu.Unlock()
+}
+
+// releaseSlot returns a slot without an AIMD observation (used when an
+// abandoned waiter turns out to have been granted concurrently).
+func (l *Limiter) releaseSlot() {
+	l.mu.Lock()
+	l.inflight--
+	l.grantLocked()
+	l.mu.Unlock()
+}
+
+// grantLocked hands freed capacity to waiters, newest first (LIFO).
+//
+//pccs:allow-guardedby every caller holds l.mu; split out so Release and releaseSlot share the grant policy
+func (l *Limiter) grantLocked() {
+	for len(l.waiters) > 0 && l.inflight < int(l.limit) {
+		w := l.waiters[len(l.waiters)-1]
+		l.waiters = l.waiters[:len(l.waiters)-1]
+		l.inflight++
+		w.ready <- nil
+	}
+}
+
+// LimiterStats is a point-in-time snapshot for /healthz and /metrics.
+type LimiterStats struct {
+	Limit       float64 `json:"limit"`
+	InFlight    int     `json:"inflight"`
+	Waiting     int     `json:"waiting"`
+	Shed        uint64  `json:"shed_total"`
+	EWMASeconds float64 `json:"ewma_latency_seconds"`
+}
+
+// Stats snapshots the limiter.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{
+		Limit:       l.limit,
+		InFlight:    l.inflight,
+		Waiting:     len(l.waiters),
+		Shed:        l.sheds,
+		EWMASeconds: l.ewmaLatency,
+	}
+}
+
+// RetryAfter estimates when shed traffic should come back: the time the
+// current backlog needs to drain at the observed per-request service time,
+// clamped to [1s, 60s]. This is the dynamic hint admission-shed 503s carry.
+func (l *Limiter) RetryAfter() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	svc := l.ewmaLatency
+	if svc <= 0 {
+		svc = l.cfg.Target.Seconds()
+	}
+	window := math.Max(l.limit, 1)
+	backlog := float64(l.inflight+len(l.waiters)) + 1
+	return clampRetry(time.Duration(svc * backlog / window * float64(time.Second)))
+}
+
+// clampRetry bounds a Retry-After hint to [1s, 60s]: never tell a client
+// "now" while shedding, never push it out past a minute.
+func clampRetry(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	if d > time.Minute {
+		return time.Minute
+	}
+	return d
+}
+
+// retrySeconds renders a Retry-After header value (integral seconds,
+// rounded up so the hint is never early).
+func retrySeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// endpointLimits enforces static per-endpoint in-flight caps: a hard
+// bulkhead (no queueing) in front of the adaptive global window, so one
+// expensive endpoint cannot monopolize every admission slot.
+type endpointLimits struct {
+	caps map[string]int // immutable after construction
+
+	mu       sync.Mutex
+	inflight map[string]int // guarded by mu
+}
+
+func newEndpointLimits(caps map[string]int) *endpointLimits {
+	return &endpointLimits{caps: caps, inflight: make(map[string]int)}
+}
+
+// acquire claims an endpoint slot; false means the endpoint is at its cap.
+// Endpoints without a configured cap are always admitted.
+func (e *endpointLimits) acquire(label string) bool {
+	limit, capped := e.caps[label]
+	if !capped {
+		return true
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.inflight[label] >= limit {
+		return false
+	}
+	e.inflight[label]++
+	return true
+}
+
+func (e *endpointLimits) release(label string) {
+	if _, capped := e.caps[label]; !capped {
+		return
+	}
+	e.mu.Lock()
+	e.inflight[label]--
+	e.mu.Unlock()
+}
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter is a per-client token bucket keyed on API key (X-API-Key)
+// or, absent one, the client address: each client refills at rate
+// tokens/second up to burst. It protects tenants from each other — a
+// single runaway scheduler cannot starve everyone else's admission slots.
+type RateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable clock for tests
+
+	mu         sync.Mutex
+	buckets    map[string]*bucket // guarded by mu
+	maxClients int
+	limited    uint64 // guarded by mu; cumulative rejections
+}
+
+// NewRateLimiter builds a limiter refilling rate tokens/second with the
+// given burst capacity (burst < 1 uses max(rate, 1)).
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(rate, 1)
+	}
+	return &RateLimiter{
+		rate:       rate,
+		burst:      b,
+		now:        time.Now,
+		buckets:    make(map[string]*bucket),
+		maxClients: 10_000,
+	}
+}
+
+// Allow takes one token from key's bucket. When the bucket is empty it
+// returns false and the time until the next token accrues.
+func (r *RateLimiter) Allow(key string) (bool, time.Duration) {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[key]
+	if !ok {
+		if len(r.buckets) >= r.maxClients {
+			r.evictStale(now)
+		}
+		b = &bucket{tokens: r.burst, last: now}
+		r.buckets[key] = b
+	}
+	b.tokens = math.Min(r.burst, b.tokens+now.Sub(b.last).Seconds()*r.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	r.limited++
+	wait := time.Duration((1 - b.tokens) / r.rate * float64(time.Second))
+	return false, clampRetry(wait)
+}
+
+// Limited reports the cumulative number of rate-limited requests.
+func (r *RateLimiter) Limited() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limited
+}
+
+// evictStale drops buckets idle for over a minute (they are full anyway, so
+// a re-created bucket behaves identically); called with r.mu held when the
+// client map hits its bound.
+//
+//pccs:allow-guardedby only called from Allow with r.mu held
+func (r *RateLimiter) evictStale(now time.Time) {
+	for key, b := range r.buckets {
+		if now.Sub(b.last) > time.Minute {
+			delete(r.buckets, key)
+		}
+	}
+}
+
+// clientKey identifies the client for rate limiting: the API key when the
+// request carries one, else the remote host (without the ephemeral port).
+func clientKey(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return "key:" + key
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return "addr:" + host
+	}
+	return "addr:" + r.RemoteAddr
+}

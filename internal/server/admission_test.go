@@ -1,0 +1,280 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLimiterFastPath: under the limit, Acquire admits immediately and
+// Release returns the slot.
+func TestLimiterFastPath(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Max: 2})
+	for i := 0; i < 2; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if got := l.Stats().InFlight; got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	l.Release(time.Millisecond, true)
+	l.Release(time.Millisecond, true)
+	if got := l.Stats().InFlight; got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+// TestLimiterAIMD: over-target completions shrink the window
+// multiplicatively (rate-limited to once per target interval), on-target
+// completions grow it additively back toward Max.
+func TestLimiterAIMD(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Target: 100 * time.Millisecond, Max: 100, Min: 2})
+	clk := time.Unix(0, 0)
+	l.now = func() time.Time { return clk }
+
+	// Two slow completions inside one target interval: only one decrease.
+	_ = l.Acquire(context.Background())
+	_ = l.Acquire(context.Background())
+	clk = clk.Add(time.Second)
+	l.Release(time.Second, true)
+	l.Release(time.Second, true)
+	if got := l.Stats().Limit; got != 90 {
+		t.Fatalf("limit after one rate-limited decrease window = %v, want 90", got)
+	}
+
+	// A later slow completion (next interval) decreases again.
+	_ = l.Acquire(context.Background())
+	clk = clk.Add(time.Second)
+	l.Release(time.Second, true)
+	if got := l.Stats().Limit; got != 81 {
+		t.Fatalf("limit = %v, want 81", got)
+	}
+
+	// Failures shrink too, even when fast.
+	_ = l.Acquire(context.Background())
+	clk = clk.Add(time.Second)
+	l.Release(time.Millisecond, false)
+	if got := l.Stats().Limit; got >= 81 {
+		t.Fatalf("limit = %v, want < 81 after failure", got)
+	}
+
+	// Fast successes recover additively (~1/limit each).
+	before := l.Stats().Limit
+	for i := 0; i < 200; i++ {
+		_ = l.Acquire(context.Background())
+		l.Release(time.Millisecond, true)
+	}
+	after := l.Stats().Limit
+	if after <= before {
+		t.Fatalf("limit did not recover: %v -> %v", before, after)
+	}
+	if after > 100 {
+		t.Fatalf("limit %v exceeded Max", after)
+	}
+}
+
+// TestLimiterDecreaseFloor: the multiplicative decrease never goes under Min.
+func TestLimiterDecreaseFloor(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Target: time.Millisecond, Max: 4, Min: 2})
+	clk := time.Unix(0, 0)
+	l.now = func() time.Time { return clk }
+	for i := 0; i < 50; i++ {
+		_ = l.Acquire(context.Background())
+		clk = clk.Add(time.Second)
+		l.Release(time.Second, false)
+	}
+	if got := l.Stats().Limit; got != 2 {
+		t.Fatalf("limit = %v, want Min 2", got)
+	}
+}
+
+// TestLimiterLIFO: freed capacity goes to the newest waiter; when the wait
+// queue is full the oldest waiter is the one shed.
+func TestLimiterLIFO(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Max: 1, Min: 1, MaxWaiters: 2})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		id  int
+		err error
+	}
+	results := make(chan outcome, 3)
+	acquire := func(id int) {
+		results <- outcome{id, l.Acquire(context.Background())}
+	}
+	go acquire(1)
+	waitForWaiters(t, l, 1)
+	go acquire(2)
+	waitForWaiters(t, l, 2)
+	// Queue full: the third arrival sheds waiter 1 (the oldest).
+	go acquire(3)
+
+	first := <-results
+	if first.id != 1 || !errors.Is(first.err, ErrShed) {
+		t.Fatalf("first outcome = %+v, want waiter 1 shed", first)
+	}
+	if got := l.Stats().Shed; got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+
+	// Release the slot: the newest waiter (3) must get it before 2.
+	l.Release(time.Millisecond, true)
+	second := <-results
+	if second.id != 3 || second.err != nil {
+		t.Fatalf("second outcome = %+v, want waiter 3 granted", second)
+	}
+	l.Release(time.Millisecond, true)
+	third := <-results
+	if third.id != 2 || third.err != nil {
+		t.Fatalf("third outcome = %+v, want waiter 2 granted", third)
+	}
+	l.Release(time.Millisecond, true)
+}
+
+// TestLimiterAbandonOnContext: a waiter whose context ends leaves the queue
+// and reports the context error.
+func TestLimiterAbandonOnContext(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Max: 1, Min: 1, MaxWaiters: 4})
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx) }()
+	waitForWaiters(t, l, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := l.Stats().Waiting; got != 0 {
+		t.Fatalf("waiting = %d, want 0", got)
+	}
+	// The held slot must still be the only one out.
+	l.Release(time.Millisecond, true)
+	if got := l.Stats().InFlight; got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+func waitForWaiters(t *testing.T, l *Limiter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Waiting < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLimiterRetryAfterClamped: the hint stays within [1s, 60s].
+func TestLimiterRetryAfterClamped(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Max: 4})
+	if got := l.RetryAfter(); got < time.Second || got > time.Minute {
+		t.Fatalf("RetryAfter = %v, want within [1s, 60s]", got)
+	}
+	if got := retrySeconds(1500 * time.Millisecond); got != "2" {
+		t.Fatalf("retrySeconds(1.5s) = %q, want 2 (rounded up)", got)
+	}
+	if got := retrySeconds(0); got != "1" {
+		t.Fatalf("retrySeconds(0) = %q, want 1", got)
+	}
+}
+
+// TestEndpointLimits: capped endpoints enforce their in-flight bound,
+// uncapped endpoints always admit.
+func TestEndpointLimits(t *testing.T) {
+	e := newEndpointLimits(map[string]int{"/v1/calibrate": 1})
+	if !e.acquire("/v1/calibrate") {
+		t.Fatal("first acquire refused")
+	}
+	if e.acquire("/v1/calibrate") {
+		t.Fatal("second acquire admitted past the cap")
+	}
+	e.release("/v1/calibrate")
+	if !e.acquire("/v1/calibrate") {
+		t.Fatal("acquire after release refused")
+	}
+	for i := 0; i < 100; i++ {
+		if !e.acquire("/v1/predict") {
+			t.Fatal("uncapped endpoint refused")
+		}
+	}
+}
+
+// TestRateLimiter: burst admits, empty bucket refuses with a wait hint,
+// refill restores tokens, and per-key isolation holds.
+func TestRateLimiter(t *testing.T) {
+	rl := NewRateLimiter(10, 2)
+	clk := time.Unix(0, 0)
+	rl.now = func() time.Time { return clk }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.Allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := rl.Allow("a")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if wait < time.Second {
+		t.Fatalf("wait hint = %v, want clamped >= 1s", wait)
+	}
+	if ok, _ := rl.Allow("b"); !ok {
+		t.Fatal("other client starved by a's bucket")
+	}
+	clk = clk.Add(time.Second) // 10 tokens accrue, capped at burst 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.Allow("a"); !ok {
+			t.Fatalf("post-refill request %d refused", i)
+		}
+	}
+	if got := rl.Limited(); got != 1 {
+		t.Fatalf("limited = %d, want 1", got)
+	}
+}
+
+// TestClientKey prefers the API key over the remote address.
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/predict", nil)
+	r.RemoteAddr = "10.1.2.3:4567"
+	if got := clientKey(r); got != "addr:10.1.2.3" {
+		t.Fatalf("clientKey = %q", got)
+	}
+	r.Header.Set("X-API-Key", "tenant-7")
+	if got := clientKey(r); got != "key:tenant-7" {
+		t.Fatalf("clientKey = %q", got)
+	}
+}
+
+// TestLimiterConcurrentStorm exercises the acquire/grant/abandon paths under
+// the race detector: many goroutines with tiny deadlines against a tiny
+// window, then verify the accounting balances.
+func TestLimiterConcurrentStorm(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Max: 4, Min: 2, MaxWaiters: 8, Target: 10 * time.Millisecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*time.Millisecond)
+			defer cancel()
+			if err := l.Acquire(ctx); err == nil {
+				time.Sleep(time.Millisecond)
+				l.Release(time.Millisecond, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.InFlight != 0 || st.Waiting != 0 {
+		t.Fatalf("leaked slots: %+v", st)
+	}
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned when the calibration circuit breaker is
+// rejecting work: the simulator backend has been failing or timing out, and
+// sending more jobs at it would only wedge the worker pool deeper.
+var ErrBreakerOpen = errors.New("server: calibration circuit open")
+
+// BreakerState is the classic three-state circuit: closed (traffic flows,
+// outcomes are watched), open (everything is rejected until the cooldown
+// elapses), half-open (exactly one probe is let through to test recovery).
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerHalfOpen
+	BreakerOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the tripping conditions.
+type BreakerConfig struct {
+	// Window is the sliding outcome window the failure rate is computed
+	// over (default 16).
+	Window int
+	// MinSamples gates the failure-rate trip: no rate decision before this
+	// many outcomes (default 8), so one early failure cannot open a cold
+	// circuit.
+	MinSamples int
+	// FailureRate trips the breaker when failures/window reaches it
+	// (default 0.5).
+	FailureRate float64
+	// ConsecTimeouts trips the breaker after this many timeouts in a row
+	// (default 3) regardless of the rate — a wedged simulator times every
+	// job out and must be cut off after a handful, not after half a window.
+	ConsecTimeouts int
+	// Cooldown is how long the circuit stays open before half-opening
+	// (default 15s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.ConsecTimeouts <= 0 {
+		c.ConsecTimeouts = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 15 * time.Second
+	}
+	return c
+}
+
+// Breaker protects the simulator-backed calibration path. It trips on a
+// high failure rate over a sliding window or on consecutive timeouts, stays
+// open for a cooldown, then half-opens and admits a single probe job whose
+// outcome closes or re-opens the circuit.
+type Breaker struct {
+	cfg    BreakerConfig
+	now    func() time.Time // injectable clock for tests
+	onTrip func()           // metrics hook; may be nil
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	window   []bool       // guarded by mu; ring of outcomes, true = failure
+	idx      int          // guarded by mu
+	filled   int          // guarded by mu
+	timeouts int          // guarded by mu; consecutive
+	openedAt time.Time    // guarded by mu
+	probing  bool         // guarded by mu; half-open probe outstanding
+	trips    uint64       // guarded by mu
+}
+
+// NewBreaker builds a closed breaker; onTrip (may be nil) fires on every
+// closed/half-open → open transition.
+func NewBreaker(cfg BreakerConfig, onTrip func()) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, now: time.Now, onTrip: onTrip, window: make([]bool, cfg.Window)}
+}
+
+// Allow asks to run one unit of breaker-protected work. A nil return is a
+// grant (in half-open it claims the single probe); ErrBreakerOpen means the
+// caller must fail fast. The caller must report the outcome via Record (or
+// Forget, if the work never ran).
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	switch b.state {
+	case BreakerOpen:
+		return ErrBreakerOpen
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrBreakerOpen
+		}
+		b.probing = true
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Rejecting reports whether new work would currently be refused outright
+// (open, or half-open with the probe already out) — the cheap pre-check
+// Submit uses to 503 before queueing.
+func (b *Breaker) Rejecting() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state == BreakerOpen || (b.state == BreakerHalfOpen && b.probing)
+}
+
+// advanceLocked performs the lazy open → half-open transition once the
+// cooldown has elapsed.
+//
+//pccs:allow-guardedby every caller holds b.mu; shared lazy-transition step
+func (b *Breaker) advanceLocked() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+}
+
+// Record reports the outcome of work Allow granted. nil closes (or keeps
+// closed) the circuit; context.DeadlineExceeded counts as a timeout;
+// anything else is a plain failure.
+func (b *Breaker) Record(err error) {
+	failure := err != nil
+	timeout := errors.Is(err, context.DeadlineExceeded)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		if failure {
+			b.tripLocked()
+		} else {
+			b.resetLocked()
+		}
+		return
+	}
+	if b.state == BreakerOpen {
+		// A straggler from before the trip; the circuit is already open.
+		return
+	}
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	b.window[b.idx] = failure
+	b.idx = (b.idx + 1) % len(b.window)
+	if timeout {
+		b.timeouts++
+	} else {
+		b.timeouts = 0
+	}
+	if b.timeouts >= b.cfg.ConsecTimeouts {
+		b.tripLocked()
+		return
+	}
+	if b.filled >= b.cfg.MinSamples {
+		failures := 0
+		for i := 0; i < b.filled; i++ {
+			if b.window[i] {
+				failures++
+			}
+		}
+		if float64(failures)/float64(b.filled) >= b.cfg.FailureRate {
+			b.tripLocked()
+		}
+	}
+}
+
+// Forget returns an unused Allow grant (the work never ran — e.g. the job
+// was cancelled before start) without recording an outcome.
+func (b *Breaker) Forget() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+//pccs:allow-guardedby every caller holds b.mu
+func (b *Breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.trips++
+	b.resetWindowLocked()
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+//pccs:allow-guardedby every caller holds b.mu
+func (b *Breaker) resetLocked() {
+	b.state = BreakerClosed
+	b.resetWindowLocked()
+}
+
+//pccs:allow-guardedby every caller holds b.mu
+func (b *Breaker) resetWindowLocked() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.filled, b.timeouts = 0, 0, 0
+}
+
+// State reports the current state (performing the lazy half-open
+// transition, but never consuming the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceLocked()
+	return b.state
+}
+
+// Trips reports the cumulative closed→open transitions.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// CooldownRemaining is how long until an open circuit half-opens (zero when
+// not open) — the Retry-After hint on breaker-rejected work.
+func (b *Breaker) CooldownRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// testBreaker builds a breaker on a fake clock the test advances by hand.
+func testBreaker(cfg BreakerConfig) (*Breaker, *time.Time) {
+	clk := time.Unix(0, 0)
+	b := NewBreaker(cfg, nil)
+	b.now = func() time.Time { return clk }
+	return b, &clk
+}
+
+// TestBreakerTripsOnConsecutiveTimeouts: a wedged backend times every call
+// out and must be cut off after ConsecTimeouts, long before the rate window
+// fills.
+func TestBreakerTripsOnConsecutiveTimeouts(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{ConsecTimeouts: 3, MinSamples: 100})
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(context.DeadlineExceeded)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed work: %v", err)
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+}
+
+// TestBreakerTimeoutStreakResetBySuccess: a success between timeouts resets
+// the consecutive counter.
+func TestBreakerTimeoutStreakResetBySuccess(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{ConsecTimeouts: 3, MinSamples: 100})
+	b.Record(context.DeadlineExceeded)
+	b.Record(context.DeadlineExceeded)
+	b.Record(nil) // streak broken
+	b.Record(context.DeadlineExceeded)
+	b.Record(context.DeadlineExceeded)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak was reset)", got)
+	}
+}
+
+// TestBreakerTripsOnFailureRate: enough plain failures across the window
+// open the circuit even without timeouts.
+func TestBreakerTripsOnFailureRate(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 8, MinSamples: 4, FailureRate: 0.5, ConsecTimeouts: 100})
+	boom := errors.New("simulator exploded")
+	b.Record(boom)
+	b.Record(nil)
+	b.Record(boom)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("tripped before MinSamples: %v", got)
+	}
+	b.Record(boom) // 3 failures / 4 samples = 0.75 >= 0.5
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is
+// admitted; its success closes the circuit, its failure re-opens it.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{ConsecTimeouts: 1, MinSamples: 100, Cooldown: 10 * time.Second})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(context.DeadlineExceeded)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if got := b.CooldownRemaining(); got != 10*time.Second {
+		t.Fatalf("cooldown remaining = %v", got)
+	}
+
+	*clk = clk.Add(11 * time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open after cooldown", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open refused the probe: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("half-open admitted a second concurrent probe")
+	}
+	if !b.Rejecting() {
+		t.Fatal("Rejecting() = false with the probe out")
+	}
+
+	// Probe fails: straight back to open, and a fresh cooldown.
+	b.Record(errors.New("still broken"))
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open after failed probe", got)
+	}
+
+	// Next cooldown, probe succeeds: closed, traffic flows again.
+	*clk = clk.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed after successful probe", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused work: %v", err)
+	}
+}
+
+// TestBreakerForgetReturnsProbe: a probe whose work never ran (cancelled
+// before start) hands the half-open slot back without deciding the circuit.
+func TestBreakerForgetReturnsProbe(t *testing.T) {
+	b, clk := testBreaker(BreakerConfig{ConsecTimeouts: 1, MinSamples: 100, Cooldown: time.Second})
+	b.Record(context.DeadlineExceeded)
+	*clk = clk.Add(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Forget()
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want still half-open", got)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("slot not returned: %v", err)
+	}
+}
+
+// TestBreakerOnTripHook fires on every closed→open transition.
+func TestBreakerOnTripHook(t *testing.T) {
+	fired := 0
+	b := NewBreaker(BreakerConfig{ConsecTimeouts: 1, MinSamples: 100}, func() { fired++ })
+	b.Record(context.DeadlineExceeded)
+	if fired != 1 {
+		t.Fatalf("onTrip fired %d times, want 1", fired)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -123,8 +124,12 @@ func TestQueueFullReturns503WithRetryAfter(t *testing.T) {
 	for {
 		resp, body := postJSON(t, ts.URL+"/v1/calibrate", spec)
 		if resp.StatusCode == http.StatusServiceUnavailable {
-			if got := resp.Header.Get("Retry-After"); got != "30" {
-				t.Errorf("Retry-After = %q, want 30", got)
+			// The hint is dynamic (EWMA service time × backlog depth), so
+			// assert shape, not a hard-coded value: a positive whole number
+			// of seconds.
+			got := resp.Header.Get("Retry-After")
+			if secs, err := strconv.Atoi(got); err != nil || secs < 1 {
+				t.Errorf("Retry-After = %q, want a positive integer", got)
 			}
 			if !strings.Contains(string(body), "queue full") {
 				t.Errorf("503 body: %s", body)

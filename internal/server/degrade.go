@@ -1,0 +1,222 @@
+package server
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+)
+
+// Tier is the serving tier under load: nominal, brownout (predictions come
+// from the stale cache when possible instead of being computed), and
+// overload (calibration submissions are refused outright on top of the
+// brownout behaviour). /healthz reports the tier; crossing out of TierOK
+// flips status to "degraded".
+type Tier int
+
+const (
+	TierOK Tier = iota
+	TierBrownout
+	TierOverload
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierOK:
+		return "ok"
+	case TierBrownout:
+		return "brownout"
+	case TierOverload:
+		return "overload"
+	default:
+		return "unknown"
+	}
+}
+
+// DegradeConfig tunes the pressure thresholds, in shed events per second.
+type DegradeConfig struct {
+	// Tau is the exponential-decay time constant of the shed-rate signal
+	// (default 1s). The signal is capped at 2×OverloadAt, so after load
+	// vanishes the tier is back to nominal within Tau·ln(2·OverloadAt /
+	// ExitAt) — about 4.6s at the defaults — no matter how hard the spike
+	// shed. That bound is the /healthz "recovers within seconds" promise.
+	Tau time.Duration
+	// BrownoutAt / OverloadAt enter the tiers (defaults 5/s and 50/s);
+	// ExitAt (default 1/s) is the hysteresis floor back to TierOK.
+	BrownoutAt, OverloadAt, ExitAt float64
+}
+
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.Tau <= 0 {
+		c.Tau = time.Second
+	}
+	if c.BrownoutAt <= 0 {
+		c.BrownoutAt = 5
+	}
+	if c.OverloadAt <= 0 {
+		c.OverloadAt = 50
+	}
+	if c.ExitAt <= 0 {
+		c.ExitAt = 1
+	}
+	return c
+}
+
+// Degrader derives the serving tier from measured pressure: an
+// exponentially decaying rate of shed events. Shedding is the one signal
+// that unambiguously means "demand exceeded capacity" — latency alone can
+// be a slow backend, and queue depth alone can be a burst — and because the
+// signal decays on its own, the tier recovers within seconds of the
+// overload ending without any background goroutine.
+type Degrader struct {
+	cfg DegradeConfig
+	now func() time.Time // injectable clock for tests
+
+	mu   sync.Mutex
+	rate float64   // guarded by mu; decayed shed events/sec
+	last time.Time // guarded by mu; last decay instant
+	tier Tier      // guarded by mu; retained for hysteresis
+}
+
+// NewDegrader builds a TierOK degrader.
+func NewDegrader(cfg DegradeConfig) *Degrader {
+	return &Degrader{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// RecordShed feeds one shed event into the pressure signal. Each event adds
+// 1/Tau, so a steady stream of R sheds/second converges the signal to R; the
+// cap at 2×OverloadAt keeps the recovery time bounded regardless of how far
+// past saturation the spike went.
+func (d *Degrader) RecordShed() {
+	d.mu.Lock()
+	d.decayLocked(d.now())
+	d.rate += 1 / d.cfg.Tau.Seconds()
+	if max := 2 * d.cfg.OverloadAt; d.rate > max {
+		d.rate = max
+	}
+	d.mu.Unlock()
+}
+
+//pccs:allow-guardedby every caller holds d.mu
+func (d *Degrader) decayLocked(now time.Time) {
+	if d.last.IsZero() {
+		d.last = now
+		return
+	}
+	if dt := now.Sub(d.last).Seconds(); dt > 0 {
+		d.rate *= math.Exp(-dt / d.cfg.Tau.Seconds())
+		d.last = now
+	}
+}
+
+// ShedRate reports the current decayed shed rate in events/second.
+func (d *Degrader) ShedRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.decayLocked(d.now())
+	return d.rate
+}
+
+// Tier evaluates the serving tier with hysteresis: tiers are entered at
+// their thresholds and only fully exited once the rate falls to ExitAt, so
+// the server does not flap at a boundary.
+func (d *Degrader) Tier() Tier {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.decayLocked(d.now())
+	switch {
+	case d.rate >= d.cfg.OverloadAt:
+		d.tier = TierOverload
+	case d.rate >= d.cfg.BrownoutAt:
+		if d.tier != TierOverload {
+			d.tier = TierBrownout
+		}
+	case d.rate <= d.cfg.ExitAt:
+		d.tier = TierOK
+	default:
+		// Hysteresis band: pressure is falling but not gone — step down
+		// one tier at most, never jump straight back to nominal.
+		if d.tier == TierOverload {
+			d.tier = TierBrownout
+		}
+	}
+	return d.tier
+}
+
+// staleKey identifies a prediction independent of the model parameters that
+// produced it — deliberately, so a brownout can serve the last-known answer
+// even after the model was hot-reloaded or recalibrated. That is what makes
+// the entry "stale" rather than merely "cached".
+type staleKey struct {
+	platform, pu string
+	x, y         float64
+	phases       string
+}
+
+// StaleCache is the brownout fallback: an LRU of the most recent successful
+// PredictResult per (platform, pu, demand, external) query shape. Under
+// pressure /v1/predict answers from here — microseconds, no model math, and
+// marked with a `Degraded: stale-cache` header — instead of computing.
+type StaleCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List                 // guarded by mu; front = most recent
+	items    map[staleKey]*list.Element // guarded by mu
+	served   uint64                     // guarded by mu; stale answers served
+}
+
+type staleEntry struct {
+	key staleKey
+	res PredictResult
+}
+
+// NewStaleCache builds an LRU of up to capacity last-known answers;
+// capacity <= 0 disables it.
+func NewStaleCache(capacity int) *StaleCache {
+	return &StaleCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[staleKey]*list.Element),
+	}
+}
+
+// Put records a successfully computed result as the last-known answer.
+func (c *StaleCache) Put(k staleKey, res PredictResult) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*staleEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&staleEntry{key: k, res: res})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*staleEntry).key)
+	}
+}
+
+// Get returns the last-known answer for the query shape, counting the
+// stale serve.
+func (c *StaleCache) Get(k staleKey) (PredictResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return PredictResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.served++
+	return el.Value.(*staleEntry).res, true
+}
+
+// Served reports how many stale answers have been handed out.
+func (c *StaleCache) Served() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.served
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func testDegrader(cfg DegradeConfig) (*Degrader, *time.Time) {
+	clk := time.Unix(0, 0)
+	d := NewDegrader(cfg)
+	d.now = func() time.Time { return clk }
+	return d, &clk
+}
+
+// TestDegraderTiers: sustained shedding walks the tier up, decay walks it
+// back down — through the hysteresis band, never straight to nominal from
+// overload.
+func TestDegraderTiers(t *testing.T) {
+	d, clk := testDegrader(DegradeConfig{Tau: 2 * time.Second, BrownoutAt: 5, OverloadAt: 50, ExitAt: 0.5})
+	if got := d.Tier(); got != TierOK {
+		t.Fatalf("fresh degrader tier = %v", got)
+	}
+
+	// ~12 sheds at one instant: rate = 12/2s = 6/s > BrownoutAt.
+	for i := 0; i < 12; i++ {
+		d.RecordShed()
+	}
+	if got := d.Tier(); got != TierBrownout {
+		t.Fatalf("tier = %v, want brownout at %.1f/s", got, d.ShedRate())
+	}
+
+	// Pile on to overload; the signal caps at 2×OverloadAt so recovery
+	// time is bounded no matter how hard the spike sheds.
+	for i := 0; i < 1000; i++ {
+		d.RecordShed()
+	}
+	if got := d.Tier(); got != TierOverload {
+		t.Fatalf("tier = %v, want overload at %.1f/s", got, d.ShedRate())
+	}
+	if got := d.ShedRate(); got > 100 {
+		t.Fatalf("rate = %.1f/s, want capped at 2×OverloadAt = 100", got)
+	}
+
+	// Pressure falling into the hysteresis band (ExitAt..BrownoutAt): one
+	// step down at most, never straight back to nominal. 100/s decayed 7s
+	// at tau 2s is ~3/s.
+	*clk = clk.Add(7 * time.Second)
+	if got := d.Tier(); got != TierBrownout {
+		t.Fatalf("tier = %v, want brownout (hysteresis step-down) at %.2f/s", got, d.ShedRate())
+	}
+
+	// Full decay: recovered, no background goroutine needed.
+	*clk = clk.Add(10 * time.Second)
+	if got := d.Tier(); got != TierOK {
+		t.Fatalf("tier = %v, want ok at %.3f/s", got, d.ShedRate())
+	}
+}
+
+// TestDegraderRecoveryWithinFiveSeconds is the /healthz promise at the
+// DEFAULT thresholds: even a spike that drove the signal to its cap is
+// nominal again five seconds after the load stops.
+func TestDegraderRecoveryWithinFiveSeconds(t *testing.T) {
+	d, clk := testDegrader(DegradeConfig{})
+	for i := 0; i < 10_000; i++ { // far past saturation; signal capped
+		d.RecordShed()
+	}
+	if got := d.Tier(); got != TierOverload {
+		t.Fatalf("tier = %v under capped pressure", got)
+	}
+	*clk = clk.Add(5 * time.Second)
+	if got := d.Tier(); got != TierOK {
+		t.Fatalf("tier = %v five seconds after load stopped (rate %.3f/s)", got, d.ShedRate())
+	}
+}
+
+// TestStaleCache: LRU of last-known answers with a served counter.
+func TestStaleCache(t *testing.T) {
+	c := NewStaleCache(2)
+	k1 := staleKey{platform: "virtual-xavier", pu: "GPU", x: 88, y: 40}
+	k2 := staleKey{platform: "virtual-xavier", pu: "CPU", x: 10, y: 5}
+	k3 := staleKey{platform: "virtual-snapdragon", pu: "GPU", x: 7, y: 3}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k1, PredictResult{RelativeSpeedPct: 50})
+	c.Put(k2, PredictResult{RelativeSpeedPct: 60})
+	if res, ok := c.Get(k1); !ok || res.RelativeSpeedPct != 50 {
+		t.Fatalf("k1 = %+v, %v", res, ok)
+	}
+	// k1 was just touched, so inserting k3 evicts k2 (the LRU).
+	c.Put(k3, PredictResult{RelativeSpeedPct: 70})
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Fatal("fresh entry missing")
+	}
+	// Updating an existing key must not grow the cache.
+	c.Put(k1, PredictResult{RelativeSpeedPct: 55})
+	if res, ok := c.Get(k1); !ok || res.RelativeSpeedPct != 55 {
+		t.Fatalf("updated k1 = %+v, %v", res, ok)
+	}
+	if got := c.Served(); got != 3 {
+		t.Fatalf("served = %d, want 3 (misses do not count)", got)
+	}
+
+	// capacity <= 0 disables the cache entirely.
+	off := NewStaleCache(0)
+	off.Put(k1, PredictResult{})
+	if _, ok := off.Get(k1); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestStaleKeyForShapes: distinct request shapes map to distinct keys, and
+// the key ignores model parameters entirely.
+func TestStaleKeyForShapes(t *testing.T) {
+	base := PredictRequest{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40}
+	variants := []PredictRequest{
+		{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 89, ExternalGBps: 40},
+		{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 41},
+		{Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 40, Workload: "stream"},
+		{Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 40, Workload: "stream", UsePhases: true},
+		{Platform: "virtual-xavier", PU: "GPU", DemandGBps: 88, ExternalGBps: 40, Gables: true},
+		{Platform: "virtual-xavier", PU: "GPU", ExternalGBps: 40,
+			Phases: []PhaseSpec{{Name: "a", Weight: 1, DemandGBps: 10}}},
+	}
+	seen := map[staleKey]bool{staleKeyFor(base): true}
+	for i, v := range variants {
+		k := staleKeyFor(v)
+		if seen[k] {
+			t.Fatalf("variant %d collides: %+v", i, k)
+		}
+		seen[k] = true
+	}
+	if staleKeyFor(base) != staleKeyFor(base) {
+		t.Fatal("key not deterministic")
+	}
+}

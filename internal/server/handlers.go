@@ -80,7 +80,11 @@ type PredictResult struct {
 	Slowdown         float64 `json:"slowdown,omitempty"`
 	GablesSpeedPct   float64 `json:"gables_speed_pct,omitempty"`
 	Cached           bool    `json:"cached"`
-	Error            string  `json:"error,omitempty"`
+	// Stale marks a brownout answer served from the last-known-good cache
+	// instead of being computed (the response also carries a
+	// `Degraded: stale-cache` header).
+	Stale bool   `json:"stale,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // predictBody is the wire shape of POST /v1/predict: either a single
@@ -95,30 +99,95 @@ type predictBatchResponse struct {
 	Results []PredictResult `json:"results"`
 }
 
+// DegradedHeader marks a response served in a degraded mode; its value names
+// the mode ("stale-cache").
+const DegradedHeader = "Degraded"
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var body predictBody
 	if !decodeBody(w, r, &body) {
 		return
 	}
+	brownout := s.degrade.Tier() != TierOK
 	if len(body.Batch) > 0 {
+		anyStale := false
 		resp := predictBatchResponse{Results: make([]PredictResult, len(body.Batch))}
 		for i, req := range body.Batch {
-			res, err := s.predictOne(req)
+			// The client deadline bounds the whole batch: once the budget
+			// is spent, remaining items are abandoned, not computed for a
+			// response nobody will read.
+			if err := r.Context().Err(); err != nil {
+				resp.Results[i] = PredictResult{Platform: req.Platform, PU: req.PU,
+					ExternalGBps: req.ExternalGBps, Error: "abandoned: " + err.Error()}
+				continue
+			}
+			res, stale, err := s.servePredict(req, brownout)
 			if err != nil {
 				res = PredictResult{Platform: req.Platform, PU: req.PU,
 					ExternalGBps: req.ExternalGBps, Error: err.Error()}
 			}
+			anyStale = anyStale || stale
 			resp.Results[i] = res
+		}
+		if anyStale {
+			w.Header().Set(DegradedHeader, "stale-cache")
+			s.metrics.CountDegraded("/v1/predict")
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	res, err := s.predictOne(body.PredictRequest)
+	res, stale, err := s.servePredict(body.PredictRequest, brownout)
 	if err != nil {
 		writeError(w, statusForPredictErr(err), "%v", err)
 		return
 	}
+	if stale {
+		w.Header().Set(DegradedHeader, "stale-cache")
+		s.metrics.CountDegraded("/v1/predict")
+	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// staleKeyFor derives the last-known-answer key from the request shape
+// alone — deliberately not from the resolved model parameters, so a brownout
+// can keep answering across model reloads.
+func staleKeyFor(req PredictRequest) staleKey {
+	shape := ""
+	for _, ph := range req.Phases {
+		shape += fmt.Sprintf("%s|%g|%g;", ph.Name, ph.Weight, ph.DemandGBps)
+	}
+	if req.Workload != "" {
+		shape += "wl:" + req.Workload
+		if req.UsePhases {
+			shape += ":phases"
+		}
+	}
+	if req.Gables {
+		shape += "+gables"
+	}
+	return staleKey{platform: req.Platform, pu: req.PU, x: req.DemandGBps, y: req.ExternalGBps, phases: shape}
+}
+
+// servePredict runs one prediction, preferring the stale cache under
+// brownout and recording fresh successes into it; stale reports whether the
+// answer came from the last-known-good cache.
+func (s *Server) servePredict(req PredictRequest, brownout bool) (res PredictResult, stale bool, err error) {
+	key := staleKeyFor(req)
+	if brownout {
+		if res, ok := s.stale.Get(key); ok {
+			res.Stale = true
+			res.Cached = false
+			return res, true, nil
+		}
+		// No last-known answer: fall through and compute — degradation
+		// trades freshness for throughput, never correctness for coverage.
+	}
+	res, err = s.predictOne(req)
+	if err != nil {
+		return PredictResult{}, false, err
+	}
+	s.stale.Put(key, res)
+	return res, false, nil
 }
 
 // statusForPredictErr maps missing-model errors to 404 and everything else
@@ -423,23 +492,42 @@ func (s *Server) handleModelsReload(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	if s.degrade.Tier() == TierOverload {
+		// Overload tier: calibration is the expensive, deferrable work —
+		// refuse it outright so predictions keep flowing.
+		s.shed(w, "/v1/calibrate", "overload", http.StatusServiceUnavailable,
+			s.jobs.RetryAfter(), "server overloaded, calibration temporarily refused")
+		return
+	}
 	var spec CalibrateSpec
 	if !decodeBody(w, r, &spec) {
 		return
 	}
-	job, err := s.jobs.Submit(spec)
-	if errors.Is(err, ErrQueueFull) {
-		// Backpressure, not a client mistake: tell the caller when to
-		// come back instead of making it guess.
-		w.Header().Set("Retry-After", "30")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
+	// The client's deadline header bounds the async job too: read it from
+	// the header (not the request context, whose deadline includes the
+	// server-side request timeout) so simulation work is abandoned once the
+	// client's budget is spent.
+	var deadline *time.Time
+	if budget, ok := clientBudget(r); ok {
+		t := time.Now().Add(budget)
+		deadline = &t
 	}
-	if err != nil {
+	job, err := s.jobs.SubmitWithDeadline(spec, deadline)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure, not a client mistake: tell the caller when to come
+		// back, derived from the measured per-job service time and the
+		// current backlog instead of a hard-coded guess.
+		s.shed(w, "/v1/calibrate", "queue-full", http.StatusServiceUnavailable,
+			s.jobs.RetryAfter(), "%v", err)
+	case errors.Is(err, ErrBreakerOpen):
+		s.shed(w, "/v1/calibrate", "breaker", http.StatusServiceUnavailable,
+			s.jobs.RetryAfter(), "%v", err)
+	case err != nil:
 		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": job})
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"job": job})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
@@ -474,21 +562,41 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness plus degradation: a failed model
-// hot-reload (registry serving the last-good set) or journal write errors
-// flip status to "degraded" while the daemon keeps answering — degraded
-// operation is an alarm, not an outage.
+// hot-reload (registry serving the last-good set), journal write errors, a
+// non-nominal serving tier, or an open calibration circuit flip status to
+// "degraded" while the daemon keeps answering — degraded operation is an
+// alarm, not an outage. The admission section carries what an operator needs
+// during an overload: queue depth, in-flight requests, the concurrency
+// limit, breaker state, and the cumulative shed count.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	reload := s.reg.Health()
 	journalErrs := s.jobs.JournalErrs()
+	tier := s.degrade.Tier()
+	breaker := s.breaker.State()
+	lst := s.limiter.Stats()
 	status := "ok"
-	if reload.Degraded || journalErrs > 0 {
+	if reload.Degraded || journalErrs > 0 || tier != TierOK || breaker != BreakerClosed {
 		status = "degraded"
 	}
 	body := map[string]any{
-		"status":         status,
-		"models":         s.reg.Len(),
-		"inflight_jobs":  s.jobs.InFlight(),
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"status":            status,
+		"tier":              tier.String(),
+		"models":            s.reg.Len(),
+		"inflight_jobs":     s.jobs.InFlight(),
+		"queue_depth":       s.jobs.QueueDepth(),
+		"inflight_requests": lst.InFlight,
+		"breaker":           breaker.String(),
+		"shed_total":        s.metrics.ShedTotal(),
+		"uptime_seconds":    time.Since(s.start).Seconds(),
+	}
+	if lst.Shed > 0 || lst.Waiting > 0 || tier != TierOK {
+		body["admission"] = map[string]any{
+			"limit":        lst.Limit,
+			"waiting":      lst.Waiting,
+			"shed":         lst.Shed,
+			"ewma_seconds": lst.EWMASeconds,
+			"shed_rate":    s.degrade.ShedRate(),
+		}
 	}
 	if reload.Reloads > 0 || reload.Degraded {
 		body["model_reload"] = reload
@@ -505,13 +613,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	hits, misses, size := s.cache.Stats()
+	lst := s.limiter.Stats()
 	gauges := []Gauge{
 		{"pccsd_models", "Registered PCCS models.", float64(s.reg.Len())},
 		{"pccsd_jobs_inflight", "Calibration jobs queued or running.", float64(s.jobs.InFlight())},
+		{"pccsd_jobs_queue_depth", "Calibration jobs waiting in the queue.", float64(s.jobs.QueueDepth())},
 		{"pccsd_cache_entries", "Prediction cache entries.", float64(size)},
 		{"pccsd_cache_hits_total", "Prediction cache hits.", float64(hits)},
 		{"pccsd_cache_misses_total", "Prediction cache misses.", float64(misses)},
 		{"pccsd_cache_hit_ratio", "Prediction cache hit ratio.", s.cache.HitRatio()},
+		{"pccsd_admission_limit", "Adaptive concurrency limit (AIMD).", lst.Limit},
+		{"pccsd_admission_inflight", "Requests currently admitted.", float64(lst.InFlight)},
+		{"pccsd_admission_waiting", "Requests queued for admission.", float64(lst.Waiting)},
+		{"pccsd_admission_ewma_seconds", "EWMA of admitted-request latency.", lst.EWMASeconds},
+		{"pccsd_shed_rate", "Decayed shed events per second (pressure signal).", s.degrade.ShedRate()},
+		{"pccsd_serving_tier", "Serving tier: 0 ok, 1 brownout, 2 overload.", float64(s.degrade.Tier())},
+		{"pccsd_breaker_state", "Calibration breaker: 0 closed, 1 half-open, 2 open.", float64(s.breaker.State())},
+		{"pccsd_breaker_trips_total", "Calibration breaker closed-to-open transitions.", float64(s.breaker.Trips())},
+		{"pccsd_stale_served_total", "Predictions served from the stale cache under brownout.", float64(s.stale.Served())},
+	}
+	if s.ratelimit != nil {
+		gauges = append(gauges, Gauge{"pccsd_ratelimited_total", "Requests refused by the per-client rate limiter.", float64(s.ratelimit.Limited())})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w, gauges)

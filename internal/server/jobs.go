@@ -67,6 +67,12 @@ type Job struct {
 	Finished  *time.Time    `json:"finished,omitempty"`
 	// Progress tracks completed/total simulation points while running.
 	Progress *JobProgress `json:"progress,omitempty"`
+	// Deadline, when set, is the client's end-to-end budget (X-Deadline-Ms)
+	// plus any server-side job timeout: the construction is abandoned —
+	// its simulation work stopped, not just its result dropped — once the
+	// deadline passes, and a job still queued at its deadline fails
+	// without running at all.
+	Deadline *time.Time `json:"deadline,omitempty"`
 	// Models lists the registry keys produced by a completed job.
 	Models []string `json:"models,omitempty"`
 	Error  string   `json:"error,omitempty"`
@@ -196,11 +202,14 @@ func makeConstruct(faults *faultinject.Injector, retry simrun.RetryPolicy) const
 // journal attached every state transition is persisted, so a restarted
 // daemon replays the queue instead of losing it.
 type JobRunner struct {
-	reg       *Registry
-	construct constructFunc
-	journal   *Journal
-	faults    *faultinject.Injector
-	onPanic   func() // counts recovered calibration panics (may be nil)
+	reg        *Registry
+	construct  constructFunc
+	journal    *Journal
+	faults     *faultinject.Injector
+	onPanic    func() // counts recovered calibration panics (may be nil)
+	breaker    *Breaker
+	jobTimeout time.Duration // per-job execution budget; 0 = unbounded
+	workers    int
 
 	mu          sync.Mutex
 	jobs        map[string]*Job               // guarded by mu
@@ -211,6 +220,7 @@ type JobRunner struct {
 	queued      int                           // guarded by mu
 	running     int                           // guarded by mu
 	journalErrs int                           // guarded by mu
+	ewmaJobSecs float64                       // guarded by mu; observed per-job service time
 
 	queue chan string
 	wg    sync.WaitGroup
@@ -228,6 +238,8 @@ type jobRunnerOptions struct {
 	faults     *faultinject.Injector
 	retry      simrun.RetryPolicy
 	onPanic    func()
+	breaker    *Breaker      // nil disables circuit breaking
+	jobTimeout time.Duration // per-job execution budget; 0 = unbounded
 }
 
 // NewJobRunner starts workers goroutines draining a queue of depth
@@ -264,14 +276,17 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 		o.queueDepth = pending
 	}
 	r := &JobRunner{
-		reg:       o.reg,
-		construct: o.construct,
-		journal:   o.journal,
-		faults:    o.faults,
-		onPanic:   o.onPanic,
-		jobs:      make(map[string]*Job),
-		cancels:   make(map[string]context.CancelFunc),
-		queue:     make(chan string, o.queueDepth),
+		reg:        o.reg,
+		construct:  o.construct,
+		journal:    o.journal,
+		faults:     o.faults,
+		onPanic:    o.onPanic,
+		breaker:    o.breaker,
+		jobTimeout: o.jobTimeout,
+		workers:    o.workers,
+		jobs:       make(map[string]*Job),
+		cancels:    make(map[string]context.CancelFunc),
+		queue:      make(chan string, o.queueDepth),
 	}
 	r.replay(o.replayed)
 	r.wg.Add(o.workers)
@@ -361,8 +376,19 @@ func (r *JobRunner) JournalErrs() int {
 // snapshot of the queued job. It fails fast when the queue is full rather
 // than blocking the HTTP handler.
 func (r *JobRunner) Submit(spec CalibrateSpec) (Job, error) {
+	return r.SubmitWithDeadline(spec, nil)
+}
+
+// SubmitWithDeadline is Submit with an optional client deadline: the job's
+// construction is abandoned once the deadline passes, and a job still
+// queued then never runs. A tripped circuit breaker rejects the submission
+// outright — a failing simulator must not keep absorbing the worker pool.
+func (r *JobRunner) SubmitWithDeadline(spec CalibrateSpec, deadline *time.Time) (Job, error) {
 	if err := spec.validate(); err != nil {
 		return Job{}, err
+	}
+	if r.breaker != nil && r.breaker.Rejecting() {
+		return Job{}, fmt.Errorf("server: %w", ErrBreakerOpen)
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -376,6 +402,7 @@ func (r *JobRunner) Submit(spec CalibrateSpec) (Job, error) {
 		Spec:      spec,
 		State:     JobQueued,
 		Submitted: time.Now().UTC(),
+		Deadline:  deadline,
 	}
 	select {
 	case r.queue <- job.ID:
@@ -451,6 +478,54 @@ func (r *JobRunner) InFlight() int {
 	return r.queued + r.running
 }
 
+// QueueDepth counts jobs waiting in the queue (not yet running).
+func (r *JobRunner) QueueDepth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.queued
+}
+
+// BreakerState reports the calibration circuit state (closed when no
+// breaker is configured).
+func (r *JobRunner) BreakerState() BreakerState {
+	if r.breaker == nil {
+		return BreakerClosed
+	}
+	return r.breaker.State()
+}
+
+// RetryAfter estimates when a queue-full or breaker-rejected submission
+// should retry: the backlog's expected drain time at the observed (EWMA)
+// per-job service time — or the breaker cooldown, whichever is longer —
+// clamped to [1s, 5min].
+func (r *JobRunner) RetryAfter() time.Duration {
+	r.mu.Lock()
+	svc := r.ewmaJobSecs
+	queued := r.queued
+	r.mu.Unlock()
+	if svc <= 0 {
+		svc = 30 // no job observed yet: the historical static hint
+	}
+	slots := r.workers
+	if slots < 1 {
+		slots = 1
+	}
+	waves := float64(queued)/float64(slots) + 1
+	hint := time.Duration(waves * svc * float64(time.Second))
+	if r.breaker != nil {
+		if cooldown := r.breaker.CooldownRemaining(); cooldown > hint {
+			hint = cooldown
+		}
+	}
+	if hint < time.Second {
+		hint = time.Second
+	}
+	if hint > 5*time.Minute {
+		hint = 5 * time.Minute
+	}
+	return hint
+}
+
 // Close stops accepting new jobs and waits — until ctx expires — for the
 // workers to drain everything already queued or running.
 func (r *JobRunner) Close(ctx context.Context) error {
@@ -489,23 +564,55 @@ func (r *JobRunner) run(id string) {
 		return
 	}
 	now := time.Now().UTC()
+	// Deadline propagation: a job whose client budget already expired while
+	// it sat in the queue is abandoned before any simulation work starts.
+	if job.Deadline != nil && now.After(*job.Deadline) {
+		job.State = JobFailed
+		job.Finished = &now
+		job.Error = "deadline exceeded before start"
+		r.queued--
+		r.appendJournal(job)
+		r.mu.Unlock()
+		return
+	}
 	job.State = JobRunning
 	job.Started = &now
 	r.queued--
 	r.running++
 	spec := job.Spec
-	ctx, cancel := context.WithCancel(context.Background())
+	deadline := effectiveDeadline(job.Deadline, r.jobTimeout, now)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline != nil {
+		ctx, cancel = context.WithDeadline(context.Background(), *deadline)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
 	r.cancels[id] = cancel
 	r.appendJournal(job)
 	r.mu.Unlock()
 	defer cancel()
 
-	progress := func(completed, total, retries int) {
-		r.mu.Lock()
-		job.Progress = &JobProgress{Completed: completed, Total: total, Retries: retries}
-		r.mu.Unlock()
+	// Circuit breaking: a wedged or failing simulator must not keep
+	// swallowing workers, so when the breaker is open the job fails fast
+	// without touching the backend (in half-open exactly one probe runs).
+	var berr error
+	if r.breaker != nil {
+		berr = r.breaker.Allow()
 	}
-	models, err := r.safeConstruct(ctx, spec, progress)
+
+	var models []core.Params
+	var err error
+	if berr != nil {
+		err = berr
+	} else {
+		progress := func(completed, total, retries int) {
+			r.mu.Lock()
+			job.Progress = &JobProgress{Completed: completed, Total: total, Retries: retries}
+			r.mu.Unlock()
+		}
+		models, err = r.safeConstruct(ctx, spec, progress)
+	}
 	var keys []string
 	if err == nil {
 		for _, p := range models {
@@ -517,13 +624,31 @@ func (r *JobRunner) run(id string) {
 		}
 	}
 
+	timedOut := err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
+	cancelled := !timedOut && err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil)
+	if r.breaker != nil && berr == nil {
+		// Feed the breaker the backend's outcome — but not a client
+		// cancellation, which says nothing about simulator health.
+		switch {
+		case timedOut:
+			r.breaker.Record(context.DeadlineExceeded)
+		case cancelled:
+			r.breaker.Forget()
+		default:
+			r.breaker.Record(err)
+		}
+	}
+
 	r.mu.Lock()
 	delete(r.cancels, id)
 	end := time.Now().UTC()
 	job.Finished = &end
 	r.running--
 	switch {
-	case err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil):
+	case timedOut:
+		job.State = JobFailed
+		job.Error = "deadline exceeded: " + err.Error()
+	case cancelled:
 		job.State = JobCancelled
 		job.Error = "cancelled"
 	case err != nil:
@@ -535,8 +660,31 @@ func (r *JobRunner) run(id string) {
 		job.State = JobCompleted
 		job.Models = keys
 	}
+	// Observed per-job service time feeds the dynamic Retry-After hint;
+	// breaker-rejected and cancelled jobs did no representative work.
+	if berr == nil && !cancelled && job.Started != nil {
+		secs := end.Sub(*job.Started).Seconds()
+		if r.ewmaJobSecs == 0 {
+			r.ewmaJobSecs = secs
+		} else {
+			r.ewmaJobSecs = 0.7*r.ewmaJobSecs + 0.3*secs
+		}
+	}
 	r.appendJournal(job)
 	r.mu.Unlock()
+}
+
+// effectiveDeadline combines the client deadline with the server-side job
+// timeout, returning the earlier of the two (nil = unbounded).
+func effectiveDeadline(client *time.Time, timeout time.Duration, now time.Time) *time.Time {
+	deadline := client
+	if timeout > 0 {
+		capAt := now.Add(timeout)
+		if deadline == nil || capAt.Before(*deadline) {
+			deadline = &capAt
+		}
+	}
+	return deadline
 }
 
 // safeConstruct runs the construction with panic isolation: a panicking

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// TestJournalCompactionRacesAppends hammers one journal with concurrent
+// appenders while a compactor rewrites it in a loop — the interleaving the
+// runner produces when a busy queue crosses CompactThreshold mid-burst.
+// Run under -race this is primarily a locking test; the logical check is
+// that after a final authoritative compaction the reopened journal replays
+// exactly the final job set, one record per job, regardless of how the
+// races interleaved.
+func TestJournalCompactionRacesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CompactThreshold = 1 // compact as aggressively as possible
+
+	const jobs = 8
+	const transitions = 40
+
+	// table is the authoritative job state, shared by appenders (who write
+	// their transition there before journaling it) and the compactor (who
+	// snapshots it) — the same discipline the runner enforces with its own
+	// mutex.
+	var tableMu sync.Mutex
+	table := make(map[string]Job)
+
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job-%06d", i+1)
+			states := []JobState{JobQueued, JobRunning, JobCompleted}
+			for n := 0; n < transitions; n++ {
+				job := Job{ID: id, State: states[n%len(states)]}
+				if n == transitions-1 {
+					job.State = JobCompleted
+				}
+				tableMu.Lock()
+				table[id] = job
+				tableMu.Unlock()
+				if err := j.Append(job); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	stop := make(chan struct{})
+	var compactorDone sync.WaitGroup
+	compactorDone.Add(1)
+	go func() {
+		defer compactorDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if j.ShouldCompact() {
+				tableMu.Lock()
+				snap := make([]Job, 0, len(table))
+				for _, job := range table {
+					snap = append(snap, job)
+				}
+				tableMu.Unlock()
+				if err := j.Compact(snap); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	compactorDone.Wait()
+
+	// Final authoritative compaction: from here the journal content is
+	// deterministic no matter what the race interleaving dropped or kept.
+	final := make([]Job, 0, jobs)
+	for _, job := range table {
+		final = append(final, job)
+	}
+	if err := j.Compact(final); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Records(); got != jobs {
+		t.Errorf("records after final compaction = %d, want %d", got, jobs)
+	}
+	j.Close()
+
+	j2, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by racing compaction: %v", err)
+	}
+	defer j2.Close()
+	if len(replayed) != jobs {
+		t.Fatalf("replayed %d jobs, want %d", len(replayed), jobs)
+	}
+	for _, job := range replayed {
+		if job.State != JobCompleted {
+			t.Errorf("job %s replayed as %s, want completed", job.ID, job.State)
+		}
+	}
+}
+
+// TestRunnerCompactionStorm drives the real runner across the compaction
+// threshold with a burst of concurrent submissions: every transition is
+// journaled while compaction repeatedly rewrites the file underneath, and a
+// restart must replay every job in its terminal state.
+func TestRunnerCompactionStorm(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	journal, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal.CompactThreshold = 3
+	r := newJobRunner(jobRunnerOptions{
+		workers:    4,
+		queueDepth: 64,
+		reg:        NewRegistry(),
+		construct: fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+			return nil, nil
+		}),
+		journal: journal,
+	})
+
+	const n = 40
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			ids <- job.ID
+		}()
+	}
+	wg.Wait()
+	close(ids)
+
+	want := make(map[string]bool)
+	for id := range ids {
+		want[id] = true
+		if job := waitJob(t, r, id, 10*time.Second); job.State != JobCompleted {
+			t.Errorf("job %s = %s (%s)", id, job.State, job.Error)
+		}
+	}
+	if err := r.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if errs := r.JournalErrs(); errs != 0 {
+		t.Errorf("journal errors during storm = %d", errs)
+	}
+	journal.Close()
+
+	j2, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("restart replay failed: %v", err)
+	}
+	defer j2.Close()
+	if len(replayed) != n {
+		t.Fatalf("replayed %d jobs, want %d", len(replayed), n)
+	}
+	for _, job := range replayed {
+		if !want[job.ID] {
+			t.Errorf("replayed unknown job %s", job.ID)
+		}
+		if job.State != JobCompleted {
+			t.Errorf("job %s replayed as %s, want completed", job.ID, job.State)
+		}
+	}
+}

@@ -32,6 +32,15 @@ type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics // guarded by mu
 	panics    map[string]uint64           // guarded by mu
+	sheds     map[shedKey]uint64          // guarded by mu
+	degraded  map[string]uint64           // guarded by mu
+}
+
+// shedKey labels one shed counter: which endpoint shed and why
+// ("rate-limit", "endpoint-cap", "queue-full", "deadline", "overload",
+// "breaker", "breaker-trip").
+type shedKey struct {
+	endpoint, reason string
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -39,7 +48,37 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		endpoints: make(map[string]*endpointMetrics),
 		panics:    make(map[string]uint64),
+		sheds:     make(map[shedKey]uint64),
+		degraded:  make(map[string]uint64),
 	}
+}
+
+// CountShed records one shed (503/429) response at an endpoint with its
+// reason. Feeds pccsd_shed_total.
+func (m *Metrics) CountShed(endpoint, reason string) {
+	m.mu.Lock()
+	m.sheds[shedKey{endpoint, reason}]++
+	m.mu.Unlock()
+}
+
+// ShedTotal reports the cumulative shed count across endpoints and reasons
+// (surfaced in /healthz).
+func (m *Metrics) ShedTotal() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total uint64
+	for _, n := range m.sheds {
+		total += n
+	}
+	return total
+}
+
+// CountDegraded records one degraded (stale-cache) response at an endpoint.
+// Feeds pccsd_degraded_total.
+func (m *Metrics) CountDegraded(endpoint string) {
+	m.mu.Lock()
+	m.degraded[endpoint]++
+	m.mu.Unlock()
 }
 
 // CountPanic records one recovered panic at a site label ("/v1/predict",
@@ -144,6 +183,33 @@ func (m *Metrics) WritePrometheus(w io.Writer, gauges []Gauge) {
 	sort.Strings(sites)
 	for _, site := range sites {
 		fmt.Fprintf(w, "pccsd_panics_total{site=%q} %d\n", site, m.panics[site])
+	}
+
+	fmt.Fprintln(w, "# HELP pccsd_shed_total Requests shed by admission control, by endpoint and reason.")
+	fmt.Fprintln(w, "# TYPE pccsd_shed_total counter")
+	shedKeys := make([]shedKey, 0, len(m.sheds))
+	for k := range m.sheds {
+		shedKeys = append(shedKeys, k)
+	}
+	sort.Slice(shedKeys, func(i, j int) bool {
+		if shedKeys[i].endpoint != shedKeys[j].endpoint {
+			return shedKeys[i].endpoint < shedKeys[j].endpoint
+		}
+		return shedKeys[i].reason < shedKeys[j].reason
+	})
+	for _, k := range shedKeys {
+		fmt.Fprintf(w, "pccsd_shed_total{endpoint=%q,reason=%q} %d\n", k.endpoint, k.reason, m.sheds[k])
+	}
+
+	fmt.Fprintln(w, "# HELP pccsd_degraded_total Degraded (stale-cache) responses, by endpoint.")
+	fmt.Fprintln(w, "# TYPE pccsd_degraded_total counter")
+	degraded := make([]string, 0, len(m.degraded))
+	for endpoint := range m.degraded {
+		degraded = append(degraded, endpoint)
+	}
+	sort.Strings(degraded)
+	for _, endpoint := range degraded {
+		fmt.Fprintf(w, "pccsd_degraded_total{endpoint=%q} %d\n", endpoint, m.degraded[endpoint])
 	}
 	m.mu.Unlock()
 

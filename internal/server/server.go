@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
@@ -41,6 +43,32 @@ type Config struct {
 	RetryAttempts int
 	// Faults arms the chaos-injection sites across the stack (nil = off).
 	Faults *faultinject.Injector
+
+	// AdmissionTarget is the latency target the adaptive concurrency
+	// limiter steers toward (default 250ms).
+	AdmissionTarget time.Duration
+	// MaxConcurrency caps admitted in-flight requests (default 256; the
+	// AIMD window starts here and shrinks under latency pressure).
+	MaxConcurrency int
+	// MaxWaiters bounds the admission wait queue; beyond it the oldest
+	// waiter is shed (default 512).
+	MaxWaiters int
+	// EndpointCaps are optional static per-endpoint in-flight caps
+	// (bulkheads) keyed on the route label, e.g. "/v1/calibrate".
+	EndpointCaps map[string]int
+	// RatePerSec enables the per-client token-bucket rate limiter (keyed
+	// on X-API-Key, else remote address); 0 disables it.
+	RatePerSec float64
+	// RateBurst is the token-bucket capacity (default max(RatePerSec, 1)).
+	RateBurst int
+	// JobTimeout bounds each calibration job's execution (0 = unbounded);
+	// timeouts feed the circuit breaker.
+	JobTimeout time.Duration
+	// Breaker tunes the calibration circuit breaker (zero values take the
+	// BreakerConfig defaults).
+	Breaker BreakerConfig
+	// Degrade tunes the brownout/overload pressure thresholds.
+	Degrade DegradeConfig
 }
 
 // Chaos sites armed by Config.Faults, alongside the simrun sites the
@@ -74,6 +102,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryAttempts <= 0 {
 		c.RetryAttempts = 3
 	}
+	if c.AdmissionTarget <= 0 {
+		c.AdmissionTarget = 250 * time.Millisecond
+	}
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 256
+	}
+	if c.MaxWaiters <= 0 {
+		c.MaxWaiters = 512
+	}
 	return c
 }
 
@@ -94,6 +131,18 @@ type Server struct {
 	journal *Journal
 	metrics *Metrics
 	start   time.Time
+
+	// Overload-resilience collaborators: the adaptive concurrency limiter
+	// and per-endpoint bulkheads admit (or shed) every /v1 request, the
+	// rate limiter enforces per-client fairness, the degrader turns the
+	// measured shed rate into a serving tier, and the stale cache is the
+	// brownout fallback for /v1/predict.
+	limiter   *Limiter
+	eplimits  *endpointLimits
+	ratelimit *RateLimiter // nil when RatePerSec is 0
+	degrade   *Degrader
+	stale     *StaleCache
+	breaker   *Breaker
 
 	handler http.Handler
 	httpSrv *http.Server
@@ -125,6 +174,7 @@ func New(cfg Config) (*Server, error) {
 func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Journal, replayed []Job) *Server {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics()
+	breaker := NewBreaker(cfg.Breaker, func() { metrics.CountShed("/v1/calibrate", "breaker-trip") })
 	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
@@ -139,25 +189,41 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 			faults:     cfg.Faults,
 			retry:      cfg.retryPolicy(),
 			onPanic:    func() { metrics.CountPanic("jobs") },
+			breaker:    breaker,
+			jobTimeout: cfg.JobTimeout,
 		}),
 		journal: journal,
 		metrics: metrics,
 		start:   time.Now(),
+		limiter: NewLimiter(LimiterConfig{
+			Target:     cfg.AdmissionTarget,
+			Max:        cfg.MaxConcurrency,
+			MaxWaiters: cfg.MaxWaiters,
+		}),
+		eplimits: newEndpointLimits(cfg.EndpointCaps),
+		degrade:  NewDegrader(cfg.Degrade),
+		stale:    NewStaleCache(cfg.CacheSize),
+		breaker:  breaker,
+	}
+	if cfg.RatePerSec > 0 {
+		s.ratelimit = NewRateLimiter(cfg.RatePerSec, cfg.RateBurst)
 	}
 	mux := http.NewServeMux()
-	route := func(pattern, label string, h http.HandlerFunc) {
-		mux.Handle(pattern, s.instrument(label, h))
+	route := func(pattern, label string, admit bool, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(label, admit, h))
 	}
-	route("POST /v1/predict", "/v1/predict", s.handlePredict)
-	route("POST /v1/explore", "/v1/explore", s.handleExplore)
-	route("GET /v1/models", "/v1/models", s.handleModelsGet)
-	route("POST /v1/models", "/v1/models", s.handleModelsPost)
-	route("POST /v1/models/reload", "/v1/models/reload", s.handleModelsReload)
-	route("POST /v1/calibrate", "/v1/calibrate", s.handleCalibrate)
-	route("GET /v1/jobs", "/v1/jobs", s.handleJobs)
-	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
-	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJobCancel)
-	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("POST /v1/predict", "/v1/predict", true, s.handlePredict)
+	route("POST /v1/explore", "/v1/explore", true, s.handleExplore)
+	route("GET /v1/models", "/v1/models", true, s.handleModelsGet)
+	route("POST /v1/models", "/v1/models", true, s.handleModelsPost)
+	route("POST /v1/models/reload", "/v1/models/reload", true, s.handleModelsReload)
+	route("POST /v1/calibrate", "/v1/calibrate", true, s.handleCalibrate)
+	route("GET /v1/jobs", "/v1/jobs", true, s.handleJobs)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", true, s.handleJob)
+	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", true, s.handleJobCancel)
+	// Probes and scrapes bypass admission: operators must be able to see a
+	// saturated server, not get shed by it.
+	route("GET /healthz", "/healthz", false, s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
@@ -191,15 +257,86 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// DeadlineHeader carries the client's end-to-end budget in milliseconds.
+// It tightens the request context's deadline (never loosens it), so work
+// is abandoned — not just its response dropped — once the budget is spent,
+// and on /v1/calibrate it also bounds the async job's execution.
+const DeadlineHeader = "X-Deadline-Ms"
+
+// clientBudget parses the DeadlineHeader; ok is false when absent or
+// malformed (a bad header is ignored rather than rejected: the budget is a
+// hint from the client, and the server-side timeout still applies).
+func clientBudget(r *http.Request) (time.Duration, bool) {
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return 0, false
+	}
+	ms, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}
+
+// shed refuses a request with the given status, counting it against the
+// endpoint/reason and feeding the pressure signal that drives the serving
+// tier. retry is the dynamic Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, label, reason string, code int, retry time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", retrySeconds(retry))
+	s.metrics.CountShed(label, reason)
+	s.degrade.RecordShed()
+	writeError(w, code, format, args...)
+}
+
 // instrument wraps a handler with per-endpoint request counting and latency
 // observation under a stable route label (no per-ID cardinality), panic
 // isolation (a panicking handler — or an injected chaos panic at the
 // server/handler site — yields a 500 and a pccsd_panics_total increment,
-// never a dead daemon), and the server/handler fault site.
-func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
+// never a dead daemon), the server/handler fault site, client-deadline
+// propagation, and — for admit routes — the overload-control pipeline:
+// per-client rate limiting, per-endpoint bulkheads, and the adaptive
+// concurrency limiter with LIFO shedding.
+func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		begin := time.Now()
+		if budget, ok := clientBudget(r); ok {
+			ctx, cancel := context.WithTimeout(r.Context(), budget)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		admitted := false
+		if admit {
+			if s.ratelimit != nil {
+				if allowed, wait := s.ratelimit.Allow(clientKey(r)); !allowed {
+					// Per-client fairness, not server pressure: count the
+					// rejection but do not feed the degrader.
+					rec.Header().Set("Retry-After", retrySeconds(wait))
+					s.metrics.CountShed(label, "rate-limit")
+					writeError(rec, http.StatusTooManyRequests, "client rate limit exceeded, retry in %s", clampRetry(wait))
+					s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+					return
+				}
+			}
+			if !s.eplimits.acquire(label) {
+				s.shed(rec, label, "endpoint-cap", http.StatusServiceUnavailable,
+					s.limiter.RetryAfter(), "endpoint %s at capacity", label)
+				s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+				return
+			}
+			defer s.eplimits.release(label)
+			if err := s.limiter.Acquire(r.Context()); err != nil {
+				reason, msg := "queue-full", "server overloaded, request shed"
+				if !errors.Is(err, ErrShed) {
+					reason, msg = "deadline", "deadline exhausted while queued for admission"
+				}
+				s.shed(rec, label, reason, http.StatusServiceUnavailable,
+					s.limiter.RetryAfter(), "%s", msg)
+				s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+				return
+			}
+			admitted = true
+		}
 		func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -216,7 +353,11 @@ func (s *Server) instrument(label string, h http.HandlerFunc) http.Handler {
 			}
 			h(rec, r)
 		}()
-		s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+		latency := time.Since(begin)
+		if admitted {
+			s.limiter.Release(latency, rec.code < http.StatusInternalServerError)
+		}
+		s.metrics.Observe(label, rec.code, latency.Seconds())
 	})
 }
 

@@ -358,6 +358,24 @@ func TestHealthz(t *testing.T) {
 	if health["status"] != "ok" || health["models"] != float64(2) {
 		t.Errorf("health = %v", health)
 	}
+	// The overload-operations fields are always present, even at rest: an
+	// operator's dashboard must not need a saturated server to validate.
+	if health["tier"] != "ok" {
+		t.Errorf("tier = %v, want ok", health["tier"])
+	}
+	if health["breaker"] != "closed" {
+		t.Errorf("breaker = %v, want closed", health["breaker"])
+	}
+	for _, field := range []string{"queue_depth", "inflight_requests", "shed_total", "inflight_jobs"} {
+		v, ok := health[field]
+		if !ok {
+			t.Errorf("healthz missing %q: %v", field, health)
+			continue
+		}
+		if v != float64(0) {
+			t.Errorf("%s = %v, want 0 at rest", field, v)
+		}
+	}
 }
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -386,6 +404,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"pccsd_cache_misses_total 1",
 		"pccsd_cache_hit_ratio 0.5",
 		"pccsd_jobs_inflight 0",
+		"pccsd_jobs_queue_depth 0",
+		"pccsd_admission_limit 256",
+		"pccsd_admission_inflight 0",
+		"pccsd_serving_tier 0",
+		"pccsd_breaker_state 0",
+		"pccsd_stale_served_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)

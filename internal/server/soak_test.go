@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/stress"
+)
+
+// soakDuration is the total load time for TestSoakOverload: 2s in the
+// ordinary test run, extensible via PCCS_SOAK_DURATION for the nightly soak
+// (e.g. PCCS_SOAK_DURATION=30s).
+func soakDuration() time.Duration {
+	if s := os.Getenv("PCCS_SOAK_DURATION"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 2 * time.Second
+}
+
+// TestSoakOverload is the overload acceptance test: a server whose capacity
+// is pinned (admission window 4, every request delayed 20ms by a
+// deterministic injected latency fault, plus a handful of injected panics)
+// is driven at 1× and then ~10× capacity. Under the spike the server must
+// keep answering (no collapse), shed load-proportionally with Retry-After
+// hints on every shed, keep the p99 of *accepted* requests bounded, serve
+// brownout answers from the stale cache, and be healthy again within
+// seconds of the load ending.
+func TestSoakOverload(t *testing.T) {
+	srv, ts := newChaosServer(t, Config{
+		Workers: 1, JobQueueDepth: 4,
+		MaxConcurrency: 4, MaxWaiters: 8,
+		AdmissionTarget: 50 * time.Millisecond,
+		Faults: faultinject.MustNew(42,
+			// Every request takes 20ms: with a window of 4 that pins the
+			// serving capacity at ~200 req/s, deterministically.
+			faultinject.Rule{Site: SiteHandler, Kind: faultinject.Delay, Rate: 1, Delay: 20 * time.Millisecond},
+			// Chaos on top: a few injected panics must not break the run.
+			faultinject.Rule{Site: SiteHandler, Kind: faultinject.Panic, Rate: 0.01, Count: 5},
+		),
+	}, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) { return nil, nil }))
+
+	cfg := stress.Config{
+		URL:  ts.URL,
+		Path: "/v1/predict",
+		Body: []byte(`{"platform":"virtual-xavier","pu":"GPU","demand_gbps":88,"external_gbps":40}`),
+		// Exercise deadline propagation under load; generous enough that
+		// the budget itself never rejects anything.
+		DeadlineMs: 5000,
+		Duration:   soakDuration(),
+	}
+	// Step 1 at the window size (1× capacity), step 2 at 10×.
+	reports, err := stress.Ramp(context.Background(), cfg, []int{4, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, spike := reports[0], reports[1]
+	t.Logf("calm:\n%s", calm)
+	t.Logf("spike:\n%s", spike)
+
+	if spike.OK == 0 {
+		t.Fatal("server stopped serving under the spike")
+	}
+	if spike.Shed == 0 {
+		t.Fatal("10× load produced no shedding")
+	}
+	// Load-proportional shedding: the spike sheds a materially larger
+	// fraction than the calm step.
+	if spike.ShedFraction() < calm.ShedFraction()+0.2 {
+		t.Errorf("shedding not load-proportional: calm %.2f, spike %.2f",
+			calm.ShedFraction(), spike.ShedFraction())
+	}
+	if spike.ShedFraction() < 0.3 {
+		t.Errorf("spike shed only %.0f%% at 10× load", 100*spike.ShedFraction())
+	}
+	// Accepted requests stay fast: LIFO admission plus a bounded wait
+	// queue keeps the p99 of what we chose to serve orders of magnitude
+	// under the collapse regime (a generous 2s bound absorbs -race and CI
+	// scheduling noise; the typical value is tens of milliseconds).
+	if p99 := spike.Accepted.Quantile(0.99); p99 > 2*time.Second {
+		t.Errorf("accepted p99 = %v under overload", p99)
+	}
+	// Every shed response carries the dynamic Retry-After hint.
+	if spike.RetryAfter != spike.Shed+spike.RateLtd {
+		t.Errorf("Retry-After on %d of %d shed responses", spike.RetryAfter, spike.Shed+spike.RateLtd)
+	}
+	// Sustained shedding pushed the server out of the nominal tier and the
+	// brownout path served stale-cache answers.
+	if got := srv.degrade.Tier(); got == TierOK {
+		t.Error("tier still nominal immediately after the spike")
+	}
+	if spike.Degraded == 0 {
+		t.Error("brownout served no stale-cache answers")
+	}
+
+	// Recovery: /healthz reports ok within seconds of the load ending
+	// (the degrader's capped signal bounds this at ~4.6s).
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		var health map[string]any
+		getJSON(t, ts.URL+"/healthz", &health)
+		if health["status"] == "ok" && health["tier"] == "ok" {
+			if health["shed_total"] == float64(0) {
+				t.Error("healthz lost the cumulative shed count after recovery")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not recover within 8s of load ending: %v", health)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestBreakerWedgedCalibrator: a wedged simulator (every construction hangs
+// until its deadline) must open the calibration circuit after consecutive
+// timeouts, fail further submissions fast with a Retry-After, surface
+// "open" in /healthz — and half-open after the cooldown so one probe can
+// close the circuit once the backend recovers.
+func TestBreakerWedgedCalibrator(t *testing.T) {
+	var healthy atomic.Bool
+	srv, ts := newChaosServer(t, Config{
+		Workers: 1, JobQueueDepth: 8,
+		JobTimeout: 100 * time.Millisecond,
+		Breaker: BreakerConfig{
+			ConsecTimeouts: 2,
+			MinSamples:     1000, // isolate the consecutive-timeout trip
+			Cooldown:       300 * time.Millisecond,
+		},
+	}, func(ctx context.Context, _ CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
+		if healthy.Load() {
+			return nil, nil
+		}
+		<-ctx.Done() // wedged: hold the worker until the deadline fires
+		return nil, ctx.Err()
+	})
+
+	spec := CalibrateSpec{Platform: "virtual-xavier"}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/calibrate", spec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	waitBreaker(t, srv, BreakerOpen, 5*time.Second)
+
+	// Open circuit: submissions fail fast with the hint, no worker touched.
+	resp, body := postJSON(t, ts.URL+"/v1/calibrate", spec)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker submit: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "circuit open") {
+		t.Errorf("503 body: %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("breaker 503 missing Retry-After")
+	}
+	var health map[string]any
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["breaker"] != "open" || health["status"] != "degraded" {
+		t.Errorf("healthz during open circuit: %v", health)
+	}
+
+	// Backend recovers; after the cooldown the half-open probe closes the
+	// circuit and calibration flows again.
+	healthy.Store(true)
+	probeDeadline := time.Now().Add(5 * time.Second)
+	for srv.breaker.State() != BreakerClosed {
+		if time.Now().After(probeDeadline) {
+			t.Fatalf("breaker never closed; state %v", srv.breaker.State())
+		}
+		if resp, _ := postJSON(t, ts.URL+"/v1/calibrate", spec); resp.StatusCode == http.StatusAccepted {
+			time.Sleep(20 * time.Millisecond) // give the probe time to run
+			continue
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/calibrate", spec); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submit: %d %s", resp.StatusCode, body)
+	}
+}
+
+func waitBreaker(t *testing.T, srv *Server, want BreakerState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for srv.breaker.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker state %v, want %v", srv.breaker.State(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeadlineStopsSimrunWork is the proof that deadline propagation
+// reaches the simulation layer: a calibration whose X-Deadline-Ms budget
+// expires mid-sweep must stop executing points — shown by the executor's
+// own counters (abandoned > 0, progress frozen after the job fails), not
+// merely by the job's response code.
+func TestDeadlineStopsSimrunWork(t *testing.T) {
+	exCh := make(chan *simrun.Executor, 1)
+	srv, ts := newChaosServer(t, Config{Workers: 1, JobQueueDepth: 4},
+		func(ctx context.Context, _ CalibrateSpec, _ func(int, int, int)) ([]core.Params, error) {
+			p := soc.VirtualXavier()
+			gpu := p.PUIndex("GPU")
+			ex := simrun.New(2)
+			exCh <- ex
+			points := make([]simrun.Point, 800)
+			for i := range points {
+				points[i] = simrun.Point{
+					Placement: soc.Placement{gpu: soc.Kernel{Name: "k", DemandGBps: float64(10 + i%50)}},
+					Run:       soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 50_000},
+				}
+			}
+			if _, err := ex.Execute(ctx, p, points); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		})
+
+	// Submit with a budget far shorter than the 800-point sweep.
+	payload, _ := json.Marshal(CalibrateSpec{Platform: "virtual-xavier"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/calibrate", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(DeadlineHeader, "120")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct{ Job Job }
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if accepted.Job.Deadline == nil {
+		t.Fatal("job carries no deadline")
+	}
+
+	job := waitJob(t, srv.jobs, accepted.Job.ID, 30*time.Second)
+	if job.State != JobFailed || !strings.Contains(job.Error, "deadline exceeded") {
+		t.Fatalf("job = %s (%q), want failed on deadline", job.State, job.Error)
+	}
+
+	ex := <-exCh
+	if got := ex.Abandoned(); got == 0 {
+		t.Error("no points abandoned: the sweep ran to completion despite the deadline")
+	}
+	// Progress must be frozen: no simulation work continues after the job
+	// reports its deadline failure.
+	c1, planned := ex.Progress()
+	time.Sleep(300 * time.Millisecond)
+	c2, _ := ex.Progress()
+	if c1 != c2 {
+		t.Errorf("executor still progressing after deadline: %d -> %d", c1, c2)
+	}
+	if c2 != planned {
+		t.Errorf("completed %d of %d planned (every point must be accounted, run or abandoned)", c2, planned)
+	}
+}

@@ -72,6 +72,7 @@ type Executor struct {
 	completed atomic.Int64
 	planned   atomic.Int64
 	retries   atomic.Int64
+	abandoned atomic.Int64
 }
 
 // New builds an executor with the given pool size; workers <= 0 selects
@@ -93,6 +94,12 @@ func (e *Executor) Progress() (completed, planned int) {
 
 // Retries reports the cumulative number of point re-attempts.
 func (e *Executor) Retries() int { return int(e.retries.Load()) }
+
+// Abandoned reports the cumulative number of points skipped without running
+// because their context had already ended — the observable proof that a
+// cancelled or deadline-expired caller stops simulation work instead of
+// merely discarding its result.
+func (e *Executor) Abandoned() int { return int(e.abandoned.Load()) }
 
 // plan registers upcoming points so progress totals grow before work starts.
 func (e *Executor) plan(n int) {
@@ -138,6 +145,7 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 				}
 				if err := ctx.Err(); err != nil {
 					results[i].Err = err
+					e.abandoned.Add(1)
 					e.complete()
 					continue
 				}
@@ -233,6 +241,12 @@ func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int,
 				i := int(next.Add(1)) - 1
 				if i >= len(kernels) {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					e.abandoned.Add(1)
+					e.complete()
+					continue
 				}
 				results[i], errs[i] = e.runStandalone(ctx, p, pu, kernels[i], rc)
 				e.complete()

@@ -1,0 +1,387 @@
+// Package stress is the load generator behind cmd/pccs-stress and the soak
+// tests: closed-loop (fixed worker count, each firing as fast as responses
+// return) and open-loop (fixed request rate regardless of response times)
+// drivers with latency histograms and shed/error accounting. Open loop is
+// the honest overload probe — a closed loop slows down with the server and
+// hides queueing collapse (coordinated omission); an open loop keeps firing
+// and exposes it.
+package stress
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes one load run against a pccsd endpoint.
+type Config struct {
+	// URL is the server base, e.g. http://127.0.0.1:8080.
+	URL string
+	// Path is the endpoint, e.g. /v1/predict.
+	Path string
+	// Method defaults to POST when a body is set, GET otherwise.
+	Method string
+	// Body is sent verbatim on every request (JSON payload).
+	Body []byte
+	// Concurrency is the closed-loop worker count (default 8); in open
+	// loop it caps outstanding requests instead.
+	Concurrency int
+	// QPS > 0 switches to open loop at that constant request rate.
+	QPS float64
+	// MaxOutstanding bounds in-flight open-loop requests (default
+	// 4×Concurrency); fires beyond it are counted as Dropped, not sent.
+	MaxOutstanding int
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// DeadlineMs, when > 0, is sent as the X-Deadline-Ms header and also
+	// bounds the client-side wait (deadline + 1s of slack).
+	DeadlineMs int
+	// APIKey, when set, is sent as X-API-Key (the rate-limiter client key).
+	APIKey string
+	// Client overrides the HTTP client (tests inject an httptest client).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == "" {
+		if len(c.Body) > 0 {
+			c.Method = http.MethodPost
+		} else {
+			c.Method = http.MethodGet
+		}
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 4 * c.Concurrency
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Report accumulates the outcome of one run. All counters are totals over
+// the run; the latency histogram covers accepted (2xx) responses only, so
+// shed 503s — which return in microseconds — cannot flatter the percentiles.
+// The mutex serializes workers during a run; reads are race-free once Run
+// has returned.
+type Report struct {
+	mu sync.Mutex
+
+	Label      string
+	Duration   time.Duration
+	Sent       uint64 // requests actually issued
+	Dropped    uint64 // open-loop fires skipped at the outstanding cap
+	OK         uint64 // 2xx
+	Degraded   uint64 // 2xx carrying a Degraded header (stale-cache)
+	Shed       uint64 // 503
+	RateLtd    uint64 // 429
+	OtherHTTP  uint64 // remaining non-2xx
+	Transport  uint64 // connection/timeout errors
+	RetryAfter uint64 // shed/rate-limited responses carrying Retry-After
+	Accepted   Histogram
+}
+
+// Offered is the demand the run actually placed plus what it wanted to
+// place: sent + dropped.
+func (r *Report) Offered() uint64 { return r.Sent + r.Dropped }
+
+// ShedFraction is the fraction of issued requests the server refused
+// (503 + 429) — the load-proportionality signal the soak test asserts on.
+func (r *Report) ShedFraction() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed+r.RateLtd) / float64(r.Sent)
+}
+
+// String renders the operator-facing summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.Label != "" {
+		fmt.Fprintf(&b, "== %s ==\n", r.Label)
+	}
+	secs := r.Duration.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Fprintf(&b, "duration     %s\n", r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "sent         %d (%.1f/s)", r.Sent, float64(r.Sent)/secs)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, "  dropped %d (outstanding cap)", r.Dropped)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "ok           %d (%.1f/s)\n", r.OK, float64(r.OK)/secs)
+	fmt.Fprintf(&b, "shed         %d 503s, %d 429s (%.1f%% of sent, %d with Retry-After)\n",
+		r.Shed, r.RateLtd, 100*r.ShedFraction(), r.RetryAfter)
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, "degraded     %d stale-cache answers\n", r.Degraded)
+	}
+	if r.OtherHTTP > 0 || r.Transport > 0 {
+		fmt.Fprintf(&b, "errors       %d http, %d transport\n", r.OtherHTTP, r.Transport)
+	}
+	if r.Accepted.Total() > 0 {
+		fmt.Fprintf(&b, "accepted latency  p50 %s  p90 %s  p99 %s  max %s\n",
+			r.Accepted.Quantile(0.50).Round(time.Microsecond*10),
+			r.Accepted.Quantile(0.90).Round(time.Microsecond*10),
+			r.Accepted.Quantile(0.99).Round(time.Microsecond*10),
+			r.Accepted.Max().Round(time.Microsecond*10))
+	}
+	return b.String()
+}
+
+// Run drives one load step: closed loop when cfg.QPS is 0, open loop
+// otherwise. It returns when cfg.Duration elapses or ctx ends.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" || cfg.Path == "" {
+		return nil, fmt.Errorf("stress: URL and Path are required")
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	rep := &Report{Accepted: NewHistogram()}
+	begin := time.Now()
+	if cfg.QPS > 0 {
+		runOpenLoop(ctx, cfg, rep)
+	} else {
+		runClosedLoop(ctx, cfg, rep)
+	}
+	rep.Duration = time.Since(begin)
+	return rep, nil
+}
+
+// Ramp runs consecutive closed-loop steps at each concurrency, splitting
+// cfg.Duration evenly across them.
+func Ramp(ctx context.Context, cfg Config, steps []int) ([]*Report, error) {
+	if len(steps) == 0 {
+		rep, err := Run(ctx, cfg)
+		return []*Report{rep}, err
+	}
+	cfg = cfg.withDefaults()
+	per := cfg.Duration / time.Duration(len(steps))
+	reports := make([]*Report, 0, len(steps))
+	for _, c := range steps {
+		step := cfg
+		step.Concurrency = c
+		step.Duration = per
+		rep, err := Run(ctx, step)
+		if err != nil {
+			return reports, err
+		}
+		rep.Label = fmt.Sprintf("concurrency=%d", c)
+		reports = append(reports, rep)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return reports, nil
+}
+
+func runClosedLoop(ctx context.Context, cfg Config, rep *Report) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				fire(ctx, cfg, rep)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func runOpenLoop(ctx context.Context, cfg Config, rep *Report) {
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	slots := make(chan struct{}, cfg.MaxOutstanding)
+	var wg sync.WaitGroup
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+			select {
+			case slots <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-slots }()
+					fire(ctx, cfg, rep)
+				}()
+			default:
+				// The fire must not wait for a slot — waiting would turn
+				// the open loop back into a closed one. Count the miss.
+				rep.drop()
+			}
+		}
+	}
+}
+
+// fire issues one request and classifies the outcome.
+func fire(ctx context.Context, cfg Config, rep *Report) {
+	reqCtx := ctx
+	if cfg.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx,
+			time.Duration(cfg.DeadlineMs)*time.Millisecond+time.Second)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(reqCtx, cfg.Method, cfg.URL+cfg.Path, bytes.NewReader(cfg.Body))
+	if err != nil {
+		rep.record(0, 0, nil)
+		return
+	}
+	if len(cfg.Body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if cfg.DeadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.Itoa(cfg.DeadlineMs))
+	}
+	if cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", cfg.APIKey)
+	}
+	begin := time.Now()
+	resp, err := cfg.Client.Do(req)
+	latency := time.Since(begin)
+	if err != nil {
+		rep.record(0, latency, nil)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	rep.record(resp.StatusCode, latency, resp.Header)
+}
+
+func (r *Report) drop() {
+	r.mu.Lock()
+	r.Dropped++
+	r.mu.Unlock()
+}
+
+func (r *Report) record(code int, latency time.Duration, hdr http.Header) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Sent++
+	switch {
+	case code == 0:
+		r.Transport++
+	case code >= 200 && code < 300:
+		r.OK++
+		r.Accepted.Observe(latency)
+		if hdr.Get("Degraded") != "" {
+			r.Degraded++
+		}
+	case code == http.StatusServiceUnavailable:
+		r.Shed++
+		if hdr.Get("Retry-After") != "" {
+			r.RetryAfter++
+		}
+	case code == http.StatusTooManyRequests:
+		r.RateLtd++
+		if hdr.Get("Retry-After") != "" {
+			r.RetryAfter++
+		}
+	default:
+		r.OtherHTTP++
+	}
+}
+
+// Histogram is a log-bucketed latency histogram: ~60 buckets spanning 50µs
+// to ~2min with ~25% resolution, which is plenty for p50/p90/p99 on a load
+// run while keeping memory constant.
+type Histogram struct {
+	bounds []time.Duration
+	counts []uint64
+	total  uint64
+	max    time.Duration
+	sum    time.Duration
+}
+
+// NewHistogram builds the fixed bucket ladder.
+func NewHistogram() Histogram {
+	var bounds []time.Duration
+	for b := 50 * time.Microsecond; b < 2*time.Minute; b = b * 5 / 4 {
+		bounds = append(bounds, b)
+	}
+	return Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[idx]++
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Total reports the sample count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max reports the largest observed sample exactly.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Mean reports the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Quantile reports the upper bound of the bucket holding quantile q (0,1];
+// the exact max for the overflow bucket.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) && h.bounds[i] < h.max {
+				return h.bounds[i]
+			}
+			// Overflow bucket, or a bound past the largest sample: the
+			// exact max is the tighter answer.
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h (same bucket ladder).
+func (h *Histogram) Merge(other Histogram) {
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}

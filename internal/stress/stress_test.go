@@ -1,0 +1,135 @@
+package stress
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClosedLoopAccounting drives a server that alternates 200/503/429 and
+// checks every response lands in the right counter.
+func TestClosedLoopAccounting(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 0:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Degraded", "stale-cache")
+			w.WriteHeader(http.StatusOK)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL: ts.URL, Path: "/v1/predict", Body: []byte(`{}`),
+		Concurrency: 4, Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	if rep.OK == 0 || rep.Shed == 0 || rep.RateLtd == 0 {
+		t.Fatalf("missing outcomes: %+v", rep)
+	}
+	if rep.OK+rep.Shed+rep.RateLtd+rep.OtherHTTP+rep.Transport != rep.Sent {
+		t.Fatalf("counters do not sum to sent: %+v", rep)
+	}
+	if rep.Degraded == 0 {
+		t.Fatalf("Degraded header not counted: %+v", rep)
+	}
+	if rep.RetryAfter != rep.Shed+rep.RateLtd {
+		t.Fatalf("RetryAfter = %d, want %d", rep.RetryAfter, rep.Shed+rep.RateLtd)
+	}
+	if rep.Accepted.Total() != rep.OK {
+		t.Fatalf("histogram holds %d samples, want %d accepted", rep.Accepted.Total(), rep.OK)
+	}
+	if rep.ShedFraction() <= 0 || rep.ShedFraction() >= 1 {
+		t.Fatalf("shed fraction %.2f out of range", rep.ShedFraction())
+	}
+}
+
+// TestOpenLoopHoldsRate: the open loop must keep offering load when the
+// server stalls — outstanding requests hit the cap and further fires are
+// counted as dropped instead of silently waiting (coordinated omission).
+func TestOpenLoopHoldsRate(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // wedge every request until the end of the test
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	rep, err := Run(context.Background(), Config{
+		URL: ts.URL, Path: "/v1/predict", Body: []byte(`{}`),
+		QPS: 500, Concurrency: 2, MaxOutstanding: 4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent > 4+1 {
+		t.Fatalf("sent %d with only 4 outstanding slots", rep.Sent)
+	}
+	if rep.Dropped == 0 {
+		t.Fatal("wedged server produced no dropped fires; open loop is waiting, not offering")
+	}
+}
+
+// TestHistogramQuantiles sanity-checks the log-bucket quantile math.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	if got := h.Quantile(0.50); got < 900*time.Microsecond || got > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms", got)
+	}
+	if got := h.Quantile(0.99); got > 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want <= ~1ms bucket", got)
+	}
+	if got := h.Max(); got != time.Second {
+		t.Fatalf("max = %v, want 1s", got)
+	}
+	if h.Quantile(1.0) != time.Second {
+		t.Fatalf("p100 = %v, want exact max", h.Quantile(1.0))
+	}
+}
+
+// TestRamp splits the duration across steps and labels each report.
+func TestRamp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	reports, err := Ramp(context.Background(), Config{
+		URL: ts.URL, Path: "/", Duration: 200 * time.Millisecond,
+	}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for i, rep := range reports {
+		if rep.Sent == 0 {
+			t.Fatalf("step %d sent nothing", i)
+		}
+		if rep.Label == "" {
+			t.Fatalf("step %d unlabeled", i)
+		}
+	}
+}
