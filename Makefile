@@ -3,16 +3,18 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench fuzz check clean stress soak
+.PHONY: build test race lint vet bench fuzz check clean stress soak sched-demo
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order each run: the suite must not depend on
+# inter-test state, and a failing shuffle seed is printed for replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -shuffle=on -race ./...
 
 # pccs-lint enforces the repo's determinism/concurrency/durability
 # invariants (internal/lint). Also usable as `go vet -vettool`; see
@@ -46,6 +48,13 @@ stress:
 SOAK_DURATION ?= 20s
 soak:
 	PCCS_SOAK_DURATION=$(SOAK_DURATION) $(GO) test ./internal/server -run '^TestSoakOverload$$' -count=1 -v -timeout 600s
+
+# End-to-end scheduler demo against the shipped models: plan a mixed batch,
+# report worst-case contention bounds, and replay the schedule through the
+# simulator (quick windows). Override the batch via SCHED_ARGS.
+SCHED_ARGS ?= -workloads streamcluster,pathfinder,kmeans,bfs,resnet50 -worst-case -validate -quick
+sched-demo:
+	$(GO) run ./cmd/pccs-sched $(SCHED_ARGS)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,131 @@
+// Command pccs-benchjson converts `go test -bench` text output into a JSON
+// artifact. The nightly workflow pipes the serving and scheduling
+// benchmarks through it to produce BENCH_serving.json, so regressions are
+// diffable across runs without scraping the text format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./internal/server | pccs-benchjson -o BENCH_serving.json
+//
+// Non-benchmark lines (test framework chatter, PASS/ok) are ignored;
+// environment lines (goos/goarch/cpu/pkg) annotate the benchmarks that
+// follow them. Benchmarks appear in input order.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	// Iterations is b.N for the reported timing.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: ns/op, B/op, allocs/op, and any custom
+	// b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full artifact: environment plus results in input order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccs-benchjson: ")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	report, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+func parse(sc *bufio.Scanner) (*Report, error) {
+	r := &Report{}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			r.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			r.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			r.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBench(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				r.Benchmarks = append(r.Benchmarks, b)
+			}
+		}
+	}
+	return r, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkServerSchedule-4   2462   458403 ns/op   185058 B/op   2951 allocs/op
+//
+// Fields come in (value, unit) pairs after the name and iteration count.
+// Lines that merely start with "Benchmark" but don't fit the shape (e.g.
+// the bare name echoed by -v) report ok=false rather than an error.
+func parseBench(line, pkg string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Pkg:        pkg,
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("%q: bad metric value %q", line, fields[i])
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true, nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/processorcentricmodel/pccs/internal/server
+cpu: Intel(R) Xeon(R)
+BenchmarkServerPredict-4     	  813738	      1476 ns/op	     792 B/op	      14 allocs/op
+BenchmarkServerSchedule-4    	    2462	    458403 ns/op	  185058 B/op	    2951 allocs/op
+PASS
+ok  	github.com/processorcentricmodel/pccs/internal/server	3.859s
+pkg: github.com/processorcentricmodel/pccs/internal/sched
+BenchmarkScheduleExhaustive-4	     100	  10012345 ns/op	         7.000 waves
+PASS
+`
+
+func TestParse(t *testing.T) {
+	r, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOOS != "linux" || r.GOARCH != "amd64" || r.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("environment not captured: %+v", r)
+	}
+	if len(r.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(r.Benchmarks))
+	}
+	first := r.Benchmarks[0]
+	if first.Name != "BenchmarkServerPredict-4" || first.Iterations != 813738 {
+		t.Errorf("first benchmark wrong: %+v", first)
+	}
+	if first.Pkg != "github.com/processorcentricmodel/pccs/internal/server" {
+		t.Errorf("pkg annotation wrong: %q", first.Pkg)
+	}
+	if first.Metrics["ns/op"] != 1476 || first.Metrics["B/op"] != 792 || first.Metrics["allocs/op"] != 14 {
+		t.Errorf("metrics wrong: %v", first.Metrics)
+	}
+	last := r.Benchmarks[2]
+	if last.Pkg != "github.com/processorcentricmodel/pccs/internal/sched" {
+		t.Errorf("pkg should follow the second pkg: line, got %q", last.Pkg)
+	}
+	if last.Metrics["waves"] != 7 {
+		t.Errorf("custom ReportMetric unit not parsed: %v", last.Metrics)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkServerPredict",             // -v echo, no fields
+		"BenchmarkServerPredict-4 notanint",  // bad iteration count
+		"BenchmarkOdd-4 100 1476",            // value without unit
+		"BenchmarkServerPredict-4 100 x y z", // odd field count
+	} {
+		if _, ok, err := parseBench(line, ""); ok || err != nil {
+			t.Errorf("parseBench(%q) = ok=%v err=%v, want skipped", line, ok, err)
+		}
+	}
+	if _, ok, err := parseBench("BenchmarkBad-4 100 abc ns/op", ""); ok || err == nil {
+		t.Errorf("bad metric value should error, got ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,227 @@
+// Command pccs-sched plans a contention-aware co-run schedule for a batch
+// of pending workloads: it searches PU assignments and co-run groupings
+// with the PCCS slowdown model as the inner-loop cost (internal/sched) and
+// prints the chosen waves, their predicted times, and the batch speedup
+// over serial execution.
+//
+// The search fans out over a worker pool (GOMAXPROCS by default, -workers
+// to override); the schedule is bit-identical for every worker count and
+// seed-reproducible. ^C aborts the search or validation replay gracefully.
+//
+// Usage:
+//
+//	pccs-sched -workloads streamcluster,pathfinder,hotspot
+//	           [-models models/pccs-models.json] [-platform virtual-xavier]
+//	           [-objective makespan|throughput|fairness] [-workers N]
+//	           [-worst-case] [-validate] [-quick] [-seed N] [-json]
+//	pccs-sched -spec items.json   # full []sched.Item control (SLOs, phases)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/report"
+	"github.com/processorcentricmodel/pccs/internal/sched"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccs-sched: ")
+	var (
+		modelPath = flag.String("models", "models/pccs-models.json", "constructed model file")
+		platform  = flag.String("platform", "virtual-xavier", "platform: virtual-xavier or virtual-snapdragon")
+		workloads = flag.String("workloads", "", "comma-separated registered workload names to schedule")
+		specPath  = flag.String("spec", "", "JSON file holding a []sched.Item batch (overrides -workloads)")
+		objective = flag.String("objective", "makespan", "optimization target: makespan, throughput, or fairness")
+		workers   = flag.Int("workers", 0, "search/validation worker pool size (0 = GOMAXPROCS)")
+		worstCase = flag.Bool("worst-case", false, "report adversarial worst-case contention bounds")
+		validate  = flag.Bool("validate", false, "replay the schedule through the simulator and report prediction error")
+		quick     = flag.Bool("quick", false, "short simulation windows for -validate (noisier measurements)")
+		seed      = flag.Int64("seed", 0, "beam-search restart seed (same seed, same schedule)")
+		asJSON    = flag.Bool("json", false, "emit the full result as JSON instead of tables")
+	)
+	flag.Parse()
+
+	obj, err := sched.ParseObjective(*objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var p *soc.Platform
+	switch *platform {
+	case "virtual-xavier", "xavier":
+		p = soc.VirtualXavier()
+	case "virtual-snapdragon", "snapdragon":
+		p = soc.VirtualSnapdragon()
+	default:
+		log.Fatalf("unknown platform %q (want virtual-xavier or virtual-snapdragon)", *platform)
+	}
+	models, err := calib.Load(*modelPath)
+	if err != nil {
+		log.Fatalf("loading models: %v (run pccs-calibrate first?)", err)
+	}
+	items, err := loadItems(*specPath, *workloads)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s, err := sched.Solve(ctx, models, p, items, sched.Options{
+		Objective: obj, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wc *sched.WorstCase
+	if *worstCase {
+		if wc, err = sched.WorstCaseBounds(ctx, models, p, items, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var val *sched.Validation
+	if *validate {
+		rc := soc.DefaultRunConfig()
+		if *quick {
+			rc = soc.QuickRunConfig()
+		}
+		ex := simrun.New(*workers)
+		ex.OnProgress = func(completed, total int) {
+			fmt.Fprintf(os.Stderr, "\rreplaying %d/%d simulation runs", completed, total)
+		}
+		val, err = sched.Validate(ctx, ex, p, s, rc)
+		fmt.Fprint(os.Stderr, "\r\n")
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *asJSON {
+		out := struct {
+			Schedule   *sched.Schedule   `json:"schedule"`
+			WorstCase  *sched.WorstCase  `json:"worst_case,omitempty"`
+			Validation *sched.Validation `json:"validation,omitempty"`
+		}{s, wc, val}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printSchedule(s)
+	if wc != nil {
+		printWorstCase(wc)
+	}
+	if val != nil {
+		printValidation(val)
+	}
+}
+
+// loadItems builds the batch from -spec (full control) or -workloads
+// (registered names; duplicates are distinct items).
+func loadItems(specPath, workloads string) ([]sched.Item, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		var items []sched.Item
+		if err := json.Unmarshal(data, &items); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", specPath, err)
+		}
+		if len(items) == 0 {
+			return nil, fmt.Errorf("%s holds no items", specPath)
+		}
+		return items, nil
+	}
+	if workloads == "" {
+		return nil, fmt.Errorf("nothing to schedule: pass -workloads name,name,... or -spec items.json")
+	}
+	var items []sched.Item
+	for _, name := range strings.Split(workloads, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		items = append(items, sched.Item{Workload: name})
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("nothing to schedule: -workloads names all empty")
+	}
+	return items, nil
+}
+
+func printSchedule(s *sched.Schedule) {
+	mode := "beam"
+	if s.Exhaustive {
+		mode = "exhaustive"
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Schedule for %s (%s, %s search, %d candidates)", s.Platform, s.Objective, mode, s.Evaluated),
+		"wave", "item", "pu", "demand GB/s", "ext GB/s", "pred RS%", "slowdown", "time")
+	for _, w := range s.Waves {
+		for _, a := range w.Assignments {
+			tbl.Add(fmt.Sprint(w.Index), a.Item, a.PU, report.F(a.DemandGBps),
+				report.F(a.ExternalGBps), report.F(a.PredictedRS), report.F2(a.Slowdown), report.F2(a.Time))
+		}
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan %.2f vs serial %.2f (speedup %.2fx), busy %.2f, max slowdown %.2f\n",
+		s.Makespan, s.SerialMakespan, s.Speedup, s.BusyTime, s.MaxSlowdown)
+	if !s.Feasible {
+		fmt.Printf("INFEASIBLE: %s\n", strings.Join(s.Violations, "; "))
+	}
+}
+
+func printWorstCase(wc *sched.WorstCase) {
+	tbl := report.NewTable("Worst-case contention bounds (adversarial co-runner mixes from the batch)",
+		"item", "pu", "expected", "worst", "saturated", "worst adversaries")
+	for _, b := range wc.Bounds {
+		var advs []string
+		for _, a := range b.Adversaries {
+			advs = append(advs, fmt.Sprintf("%s@%s", a.Item, a.PU))
+		}
+		adv := strings.Join(advs, " ")
+		if adv == "" {
+			adv = "(alone)"
+		}
+		if b.Relaxed {
+			adv += " [relaxed]"
+		}
+		tbl.Add(b.Item, b.PU, report.F2(b.ExpectedSlowdown), report.F2(b.WorstSlowdown),
+			report.F2(b.SaturatedSlowdown), adv)
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printValidation(v *sched.Validation) {
+	tbl := report.NewTable("Validation: schedule replayed through the simulator",
+		"wave", "item", "pu", "pred RS%", "actual RS%", "|err|")
+	for _, w := range v.Waves {
+		for _, it := range w.Items {
+			tbl.Add(fmt.Sprint(w.Index), it.Item, it.PU,
+				report.F(it.PredictedRS), report.F(it.ActualRS), report.F(it.AbsErrorRS))
+		}
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan: predicted %.2f vs actual %.2f (%.1f%% error), mean |RS error| %.1f%%\n",
+		v.PredictedMakespan, v.ActualMakespan, v.MakespanErrorPct, v.MeanAbsRSError)
+}

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "fig5", "fig6", "table3", "table5", "table7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"table9", "fig15", "sourceobl", "summary", "usecase-cores", "ext-multimc", "ext-dnnphases",
+		"table9", "fig15", "sourceobl", "summary", "usecase-cores", "ext-multimc", "ext-dnnphases", "ext-sched",
 		"ablation-piecewise", "ablation-extraction", "ablation-calibrators", "ablation-policies", "ablation-refresh",
 	}
 	for _, id := range want {
@@ -150,6 +150,20 @@ func TestRunSourceObliviousness(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "max spread") {
 		t.Errorf("sourceobl output incomplete:\n%s", buf.String())
+	}
+}
+
+func TestRunExtSched(t *testing.T) {
+	ctx, buf := testContext(t)
+	e, _ := Get("ext-sched")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"serial", "random", "pccs-makespan", "replayed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext-sched output missing %q:\n%s", want, out)
+		}
 	}
 }
 

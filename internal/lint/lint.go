@@ -103,6 +103,7 @@ func (d Diagnostic) String() string {
 var CoreScope = map[string]bool{
 	"soc": true, "dram": true, "memctrl": true, "traffic": true,
 	"workload": true, "calib": true, "simrun": true, "faultinject": true,
+	"sched": true,
 }
 
 // pkgBase returns the last segment of an import path, which the scoped

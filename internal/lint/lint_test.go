@@ -3,11 +3,11 @@ package lint
 import "testing"
 
 func TestNoDeterminism(t *testing.T) {
-	testAnalyzer(t, NoDeterminism, "nodeterminism/simrun", "nodeterminism/outofscope")
+	testAnalyzer(t, NoDeterminism, "nodeterminism/simrun", "nodeterminism/sched", "nodeterminism/outofscope")
 }
 
 func TestCtxFlow(t *testing.T) {
-	testAnalyzer(t, CtxFlow, "ctxflow/calib", "ctxflow/server")
+	testAnalyzer(t, CtxFlow, "ctxflow/calib", "ctxflow/sched", "ctxflow/server")
 }
 
 func TestGuardedBy(t *testing.T) {

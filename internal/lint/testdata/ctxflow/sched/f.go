@@ -1,0 +1,43 @@
+// Fixture: internal/sched's exported entry points (Solve, WorstCaseBounds,
+// Validate) are long-running searches — a ctx parameter there is a
+// cancellation promise, exactly like the simulation drivers in ctxScope.
+package sched
+
+import "context"
+
+type schedule struct{ placed int }
+
+func Solve(ctx context.Context, n int) (*schedule, error) { // want `Solve accepts ctx but never uses it`
+	return &schedule{placed: n}, nil
+}
+
+func SolvePolling(ctx context.Context, n int) (*schedule, error) {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return &schedule{placed: n}, nil
+}
+
+func Validate(ctx context.Context, s *schedule) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	replay, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) inside a function that holds ctx`
+	defer cancel()
+	return replay.Err()
+}
+
+func BoundsNilDefault(ctx context.Context, s *schedule) error {
+	if ctx == nil {
+		ctx = context.Background() // the nil-default idiom is allowed
+	}
+	return ctx.Err()
+}
+
+func beamStep(ctx context.Context, s *schedule) int { // unexported: not an entry point
+	return s.placed
+}
+
+var _ = beamStep

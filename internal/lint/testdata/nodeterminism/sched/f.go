@@ -1,0 +1,59 @@
+// Fixture: the scheduler joined CoreScope when internal/sched landed — a
+// schedule must be a pure function of (models, items, seed), so the same
+// determinism rules that guard the simulation core apply here.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type assignment struct {
+	item string
+	pu   string
+}
+
+func searchDeadline() time.Duration {
+	start := time.Now()      // want `time.Now in the simulation core`
+	return time.Since(start) // want `time.Since in the simulation core`
+}
+
+func tieBreak(a, b assignment) assignment {
+	if rand.Intn(2) == 0 { // want `draws from the process-global generator`
+		return a
+	}
+	return b
+}
+
+func seededRestart(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // seeded per-solve generator is the idiom
+	return r.Float64()
+}
+
+func launchOrder(byPU map[string][]assignment) []assignment {
+	var order []assignment
+	for _, group := range byPU { // want `map iteration feeds order in random order`
+		order = append(order, group...)
+	}
+	return order
+}
+
+func launchOrderSorted(byPU map[string][]assignment) []assignment {
+	var order []assignment
+	for _, group := range byPU { // accumulate-then-sort keeps the schedule canonical
+		order = append(order, group...)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].item < order[j].item })
+	return order
+}
+
+func totalPlaced(byPU map[string][]assignment) int {
+	n := 0
+	for _, group := range byPU { // order-insensitive reduction: fine
+		n += len(group)
+	}
+	return n
+}
+
+var _ = []any{searchDeadline, tieBreak, seededRestart, launchOrder, launchOrderSorted, totalPlaced}

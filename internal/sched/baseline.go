@@ -1,0 +1,56 @@
+package sched
+
+import (
+	"math/rand"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// SerialSchedule is the naive baseline: every item runs alone, one wave per
+// item on its first eligible PU. It is always contention-free (every
+// predicted relative speed is 100%), so its makespan equals the total work.
+func SerialSchedule(models calib.ModelSet, p *soc.Platform, items []Item) (*Schedule, error) {
+	rs, err := resolve(models, p, items)
+	if err != nil {
+		return nil, err
+	}
+	waves := make([][]slot, len(rs))
+	for i := range rs {
+		waves[i] = []slot{{item: i, opt: 0}}
+	}
+	ev := evaluate(rs, waves)
+	return buildSchedule(p, Options{Objective: Makespan}, rs, &ev, false, 1), nil
+}
+
+// RandomSchedule is the chance baseline: a seeded random placement — random
+// item order, random eligible PU, random wave among those with that PU
+// free (or a new wave). Deterministic for a given seed.
+func RandomSchedule(models calib.ModelSet, p *soc.Platform, items []Item, seed int64) (*Schedule, error) {
+	rs, err := resolve(models, p, items)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var waves [][]slot
+	for _, i := range rng.Perm(len(rs)) {
+		oi := rng.Intn(len(rs[i].options))
+		pu := rs[i].options[oi].puIndex
+		var open []int
+		for wi, w := range waves {
+			if len(w) < len(p.PUs) && !waveUsesPU(rs, w, pu) {
+				open = append(open, wi)
+			}
+		}
+		pick := rng.Intn(len(open) + 1)
+		s := slot{item: i, opt: oi}
+		if pick == len(open) {
+			waves = append(waves, []slot{s})
+		} else {
+			waves[open[pick]] = append(waves[open[pick]], s)
+		}
+	}
+	ev := evaluate(rs, waves)
+	sc := buildSchedule(p, Options{Objective: Makespan, Seed: seed}, rs, &ev, false, 1)
+	return sc, nil
+}

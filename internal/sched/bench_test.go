@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func benchModels(b *testing.B) calib.ModelSet {
+	b.Helper()
+	set, err := calib.Load("../../models/pccs-models.json")
+	if err != nil {
+		b.Fatalf("load models: %v", err)
+	}
+	return set
+}
+
+// BenchmarkScheduleExhaustive measures the exact solver on a Table-8-sized
+// batch (the common interactive case behind /v1/schedule).
+func BenchmarkScheduleExhaustive(b *testing.B) {
+	models := benchModels(b)
+	p := soc.VirtualXavier()
+	items := []Item{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{Workload: "hotspot"},
+		{Workload: "srad"},
+		{Workload: "resnet50"},
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ctx, models, p, items, Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleBeam measures the seeded beam search on a batch large
+// enough to cross the exhaustive threshold.
+func BenchmarkScheduleBeam(b *testing.B) {
+	models := benchModels(b)
+	p := soc.VirtualXavier()
+	var items []Item
+	names := []string{"streamcluster", "pathfinder", "hotspot", "srad", "kmeans", "btree", "bfs", "heartwall"}
+	for pass := 0; pass < 2; pass++ {
+		for _, n := range names {
+			items = append(items, Item{Workload: n})
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ctx, models, p, items, Options{Seed: 1, ExhaustiveLimit: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleWorstCase measures the adversarial bound computation.
+func BenchmarkScheduleWorstCase(b *testing.B) {
+	models := benchModels(b)
+	p := soc.VirtualXavier()
+	items := []Item{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{Workload: "hotspot"},
+		{Workload: "srad"},
+		{Workload: "resnet50"},
+	}
+	ctx := context.Background()
+	s, err := Solve(ctx, models, p, items, Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WorstCaseBounds(ctx, models, p, items, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

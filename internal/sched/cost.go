@@ -1,0 +1,266 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// slot places one resolved item on one of its placement options.
+type slot struct {
+	item int // index into the resolved-item slice
+	opt  int // index into that item's options
+}
+
+// waveEval is one scored co-run wave.
+type waveEval struct {
+	slots   []slot // sorted by PU index
+	assigns []Assignment
+	time    float64
+	busy    float64
+	maxSlow float64
+	// minSLO is the earliest completion SLO among members (+Inf if none) —
+	// the EDF key for wave ordering.
+	minSLO float64
+	// viol counts slowdown-SLO misses inside the wave.
+	viol int
+	sig  string
+}
+
+// evalWave scores one wave: each member sees the other members' combined
+// standalone demand as its external demand y, and the wave runs for the
+// time of its slowest member. The wave signature "pu=item+pu=item" is the
+// canonical tie-break key.
+func evalWave(rs []rItem, slots []slot) waveEval {
+	ordered := append([]slot(nil), slots...)
+	sort.Slice(ordered, func(i, j int) bool {
+		return rs[ordered[i].item].options[ordered[i].opt].puIndex <
+			rs[ordered[j].item].options[ordered[j].opt].puIndex
+	})
+	totalX := 0.0
+	for _, s := range ordered {
+		totalX += rs[s.item].options[s.opt].x
+	}
+	ev := waveEval{slots: ordered, minSLO: math.Inf(1)}
+	var sig strings.Builder
+	for i, s := range ordered {
+		it := &rs[s.item]
+		opt := &it.options[s.opt]
+		y := totalX - opt.x
+		predRS := opt.predictRS(y)
+		slow := 100 / predRS
+		t := it.work * slow
+		ev.assigns = append(ev.assigns, Assignment{
+			Item:         it.id,
+			Workload:     it.wlName,
+			PU:           opt.pu,
+			Phased:       len(opt.phases) > 0,
+			DemandGBps:   opt.x,
+			ExternalGBps: y,
+			PredictedRS:  predRS,
+			Slowdown:     slow,
+			WorkUnits:    it.work,
+			Time:         t,
+		})
+		ev.busy += t
+		if t > ev.time {
+			ev.time = t
+		}
+		if slow > ev.maxSlow {
+			ev.maxSlow = slow
+		}
+		if it.sloSlow > 0 && slow > it.sloSlow*(1+1e-9) {
+			ev.viol++
+		}
+		if it.sloTime > 0 && it.sloTime < ev.minSLO {
+			ev.minSLO = it.sloTime
+		}
+		if i > 0 {
+			sig.WriteByte('+')
+		}
+		sig.WriteString(opt.pu)
+		sig.WriteByte('=')
+		sig.WriteString(it.id)
+	}
+	ev.sig = sig.String()
+	return ev
+}
+
+// evalResult is a fully scored candidate schedule.
+type evalResult struct {
+	waves    []waveEval // in launch order
+	makespan float64
+	busy     float64
+	maxSlow  float64
+	viol     int
+	sig      string
+}
+
+// evaluate scores a candidate: waves are launched in deterministic
+// earliest-deadline-first order (ties: shorter wave first, then signature),
+// and completion-time SLOs are checked against the resulting prefix sums.
+func evaluate(rs []rItem, waves [][]slot) evalResult {
+	evs := make([]waveEval, len(waves))
+	for i, w := range waves {
+		evs[i] = evalWave(rs, w)
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].minSLO != evs[j].minSLO {
+			return evs[i].minSLO < evs[j].minSLO
+		}
+		if evs[i].time != evs[j].time {
+			return evs[i].time < evs[j].time
+		}
+		return evs[i].sig < evs[j].sig
+	})
+	res := evalResult{waves: evs}
+	completion := 0.0
+	sigs := make([]string, len(evs))
+	for i := range evs {
+		completion += evs[i].time
+		res.makespan = completion
+		res.busy += evs[i].busy
+		if evs[i].maxSlow > res.maxSlow {
+			res.maxSlow = evs[i].maxSlow
+		}
+		res.viol += evs[i].viol
+		for _, s := range evs[i].slots {
+			it := &rs[s.item]
+			if it.sloTime > 0 && completion > it.sloTime*(1+1e-9) {
+				res.viol++
+			}
+		}
+		sigs[i] = evs[i].sig
+	}
+	res.sig = strings.Join(sigs, ";")
+	return res
+}
+
+// objKeys returns the primary and secondary minimization keys for an
+// objective.
+func objKeys(e *evalResult, obj Objective) (float64, float64) {
+	switch obj {
+	case Throughput:
+		return e.busy, e.makespan
+	case Fairness:
+		return e.maxSlow, e.makespan
+	default:
+		return e.makespan, e.maxSlow
+	}
+}
+
+// better is the search's strict total order on candidates: fewest SLO
+// violations, then the objective keys, then the canonical signature — the
+// final tie-break that makes every search outcome independent of
+// evaluation order and worker count.
+func better(a, b *evalResult, obj Objective) bool {
+	if a.viol != b.viol {
+		return a.viol < b.viol
+	}
+	ap, as := objKeys(a, obj)
+	bp, bs := objKeys(b, obj)
+	if ap != bp {
+		return ap < bp
+	}
+	if as != bs {
+		return as < bs
+	}
+	return a.sig < b.sig
+}
+
+// waveObjKey is the per-wave contribution used to pick a group's best PU
+// assignment during exhaustive search (the per-wave decomposition of
+// objKeys: wave times add up to the makespan, wave busy times to the total,
+// and wave max slowdowns max up to the schedule's).
+func waveObjKey(ev *waveEval, obj Objective) float64 {
+	switch obj {
+	case Throughput:
+		return ev.busy
+	case Fairness:
+		return ev.maxSlow
+	default:
+		return ev.time
+	}
+}
+
+// betterWave orders candidate assignments of one co-run group.
+func betterWave(a, b *waveEval, obj Objective) bool {
+	if a.viol != b.viol {
+		return a.viol < b.viol
+	}
+	ak, bk := waveObjKey(a, obj), waveObjKey(b, obj)
+	if ak != bk {
+		return ak < bk
+	}
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.sig < b.sig
+}
+
+// buildSchedule converts the winning candidate into the public Schedule.
+func buildSchedule(p *soc.Platform, opts Options, rs []rItem, e *evalResult, exhaustive bool, evaluated int) *Schedule {
+	s := &Schedule{
+		Platform:   p.Name,
+		Objective:  opts.Objective.String(),
+		Seed:       opts.Seed,
+		Exhaustive: exhaustive,
+		Evaluated:  evaluated,
+		Makespan:   e.makespan,
+		BusyTime:   e.busy,
+		MaxSlowdown: func() float64 {
+			if e.maxSlow < 1 {
+				return 1
+			}
+			return e.maxSlow
+		}(),
+		Feasible: e.viol == 0,
+	}
+	for _, it := range rs {
+		s.TotalWork += it.work
+	}
+	// Standalone items run at RS = 100, so the serial baseline's makespan
+	// is exactly the total work.
+	s.SerialMakespan = s.TotalWork
+	if s.Makespan > 0 {
+		s.Speedup = s.SerialMakespan / s.Makespan
+	}
+	completion := 0.0
+	for i := range e.waves {
+		ev := &e.waves[i]
+		completion += ev.time
+		s.Waves = append(s.Waves, Wave{
+			Index:       i,
+			Assignments: ev.assigns,
+			Time:        ev.time,
+			Completion:  completion,
+		})
+		for _, a := range ev.assigns {
+			it := itemByID(rs, a.Item)
+			if it == nil {
+				continue
+			}
+			if it.sloSlow > 0 && a.Slowdown > it.sloSlow*(1+1e-9) {
+				s.Violations = append(s.Violations, fmt.Sprintf(
+					"%s on %s: predicted slowdown %.3f exceeds SLO %.3f", a.Item, a.PU, a.Slowdown, it.sloSlow))
+			}
+			if it.sloTime > 0 && completion > it.sloTime*(1+1e-9) {
+				s.Violations = append(s.Violations, fmt.Sprintf(
+					"%s: predicted completion %.3f exceeds latency SLO %.3f", a.Item, completion, it.sloTime))
+			}
+		}
+	}
+	return s
+}
+
+func itemByID(rs []rItem, id string) *rItem {
+	for i := range rs {
+		if rs[i].id == id {
+			return &rs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+// Package sched closes the loop from prediction to decision: a
+// contention-aware co-run scheduler that uses the PCCS model (not the
+// simulator) as its inner-loop cost function. Given a platform, a
+// calibrated model set, and a batch of pending workloads — single kernels,
+// multi-phase programs, or registered DNNs — it searches PU assignments,
+// co-run groupings (waves), and launch order to optimize a selectable
+// objective, optionally under per-workload SLOs.
+//
+// Time is measured in work units: one unit is the time a workload takes
+// running standalone, so a predicted relative speed of RS% dilates an
+// item's time to WorkUnits·100/RS. A schedule is a sequence of waves; every
+// wave gang-schedules at most one item per PU, runs for the time of its
+// slowest member, and the makespan is the sum of wave times.
+//
+// Everything here is deterministic: the same inputs, seed, and objective
+// produce a byte-identical schedule regardless of the worker count, because
+// parallel evaluation writes results in plan order (the internal/simrun
+// executor pattern) and every comparison ends in a total-order tie-break on
+// the schedule's canonical signature.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// Objective selects what the scheduler optimizes.
+type Objective int
+
+const (
+	// Makespan minimizes the predicted completion time of the whole batch
+	// (tie-break: max slowdown).
+	Makespan Objective = iota
+	// Throughput minimizes total busy time — the sum of every item's co-run
+	// time, i.e. wasted cycles burned to contention (tie-break: makespan).
+	Throughput
+	// Fairness minimizes the worst per-item slowdown (tie-break: makespan).
+	Fairness
+)
+
+func (o Objective) String() string {
+	switch o {
+	case Makespan:
+		return "makespan"
+	case Throughput:
+		return "throughput"
+	case Fairness:
+		return "fairness"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// ParseObjective converts an objective name to its kind.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "makespan":
+		return Makespan, nil
+	case "throughput":
+		return Throughput, nil
+	case "fairness":
+		return Fairness, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown objective %q (want makespan, throughput, or fairness)", s)
+	}
+}
+
+// Phase is one execution phase of an explicitly profiled multi-phase item.
+type Phase struct {
+	Name string `json:"name,omitempty"`
+	// Weight is the phase's share of standalone execution time.
+	Weight float64 `json:"weight"`
+	// DemandGBps is the phase's standalone bandwidth demand.
+	DemandGBps float64 `json:"demand_gbps"`
+}
+
+// Item is one pending workload handed to the scheduler. Exactly one of
+// Workload, Phases, or DemandGBps must describe its memory profile:
+//
+//   - Workload names a registered benchmark surrogate; its per-PU demand
+//     profile decides which PUs are eligible. With UsePhases, registered
+//     phases (cfd) or derived DNN layer phases (vgg19, resnet50, ...) drive
+//     phase-wise prediction.
+//   - Phases gives an explicit multi-phase profile, eligible on any modeled
+//     PU (subject to the PUs filter).
+//   - DemandGBps gives a flat standalone demand, likewise PU-agnostic.
+type Item struct {
+	// ID names the item in the schedule; defaults to "<workload>#<index>".
+	ID string `json:"id,omitempty"`
+	// Workload is a registered workload name (see internal/workload).
+	Workload string `json:"workload,omitempty"`
+	// UsePhases selects phase-wise prediction for a registered workload.
+	UsePhases bool `json:"use_phases,omitempty"`
+	// DemandGBps is a flat standalone bandwidth demand in GB/s.
+	DemandGBps float64 `json:"demand_gbps,omitempty"`
+	// Phases is an explicit multi-phase profile.
+	Phases []Phase `json:"phases,omitempty"`
+	// WorkUnits is the item's standalone run time in abstract units
+	// (default 1): a kernel with WorkUnits 2 takes twice as long alone.
+	WorkUnits float64 `json:"work_units,omitempty"`
+	// PUs, when non-empty, restricts the item to the named PUs.
+	PUs []string `json:"pus,omitempty"`
+	// SLOSlowdown, when > 0, caps the item's predicted co-run slowdown
+	// (e.g. 1.5 = may lose at most a third of its standalone speed).
+	SLOSlowdown float64 `json:"slo_slowdown,omitempty"`
+	// SLOTime, when > 0, caps the item's predicted completion time (the end
+	// of its wave), in work units from batch start.
+	SLOTime float64 `json:"slo_time,omitempty"`
+}
+
+// Options tunes the search.
+type Options struct {
+	// Objective selects the optimization target (default Makespan).
+	Objective Objective
+	// Seed drives the beam search's restart shuffles (exhaustive search
+	// ignores it). The same seed always yields the same schedule.
+	Seed int64
+	// Workers sizes the parallel-evaluation pool; <= 0 selects GOMAXPROCS.
+	// The result is identical for every worker count.
+	Workers int
+	// BeamWidth is the number of partial schedules kept per step of the
+	// beam search (default 8).
+	BeamWidth int
+	// Restarts is the number of seeded extra insertion orders the beam
+	// search tries beyond the deterministic demand-descending order
+	// (default 3).
+	Restarts int
+	// ExhaustiveLimit is the partition-count threshold up to which the
+	// search enumerates every co-run partition exactly (default 5000).
+	ExhaustiveLimit int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 8
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 0
+	} else if o.Restarts == 0 {
+		o.Restarts = 3
+	}
+	if o.ExhaustiveLimit <= 0 {
+		o.ExhaustiveLimit = 5000
+	}
+	return o
+}
+
+// Assignment is one item placed on one PU within a wave.
+type Assignment struct {
+	Item     string `json:"item"`
+	Workload string `json:"workload,omitempty"`
+	PU       string `json:"pu"`
+	// Phased reports whether prediction used the multi-phase path.
+	Phased bool `json:"phased,omitempty"`
+	// DemandGBps is the item's standalone (time-averaged) demand here.
+	DemandGBps float64 `json:"demand_gbps"`
+	// ExternalGBps is the co-runners' total demand seen by this item.
+	ExternalGBps float64 `json:"external_gbps"`
+	// PredictedRS is the PCCS-predicted relative speed in percent.
+	PredictedRS float64 `json:"predicted_rs"`
+	// Slowdown is 100/PredictedRS (>= 1).
+	Slowdown float64 `json:"slowdown"`
+	// WorkUnits is the item's standalone time.
+	WorkUnits float64 `json:"work_units"`
+	// Time is the item's predicted co-run time: WorkUnits · Slowdown.
+	Time float64 `json:"time"`
+}
+
+// Wave is one gang-scheduled co-run group: at most one item per PU, running
+// until the slowest member finishes.
+type Wave struct {
+	Index       int          `json:"index"`
+	Assignments []Assignment `json:"assignments"`
+	// Time is the wave's predicted duration (max member time).
+	Time float64 `json:"time"`
+	// Completion is the predicted finish time of the wave from batch start.
+	Completion float64 `json:"completion"`
+}
+
+// Schedule is the scheduler's decision plus its predicted metrics.
+type Schedule struct {
+	Platform  string `json:"platform"`
+	Objective string `json:"objective"`
+	Seed      int64  `json:"seed"`
+	// Exhaustive reports whether every co-run partition was enumerated (as
+	// opposed to beam search above the size threshold).
+	Exhaustive bool `json:"exhaustive"`
+	// Evaluated counts candidate schedules scored during the search.
+	Evaluated int    `json:"evaluated"`
+	Waves     []Wave `json:"waves"`
+	// Makespan is the predicted completion time of the batch.
+	Makespan float64 `json:"makespan"`
+	// BusyTime is the sum of every item's predicted co-run time.
+	BusyTime float64 `json:"busy_time"`
+	// TotalWork is the sum of work units — the serial standalone makespan.
+	TotalWork float64 `json:"total_work"`
+	// SerialMakespan is the naive baseline: every item alone, one at a time.
+	SerialMakespan float64 `json:"serial_makespan"`
+	// Speedup is SerialMakespan / Makespan.
+	Speedup float64 `json:"speedup"`
+	// MaxSlowdown is the worst predicted per-item slowdown.
+	MaxSlowdown float64 `json:"max_slowdown"`
+	// Feasible reports whether every SLO is predicted to hold.
+	Feasible bool `json:"feasible"`
+	// Violations lists predicted SLO misses, in wave order.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// puOption is one eligible placement of an item: a PU with a model and a
+// resolvable demand profile.
+type puOption struct {
+	puIndex int
+	pu      string
+	// x is the item's standalone demand here (time-averaged for phases).
+	x float64
+	// phases is non-nil when prediction should use the multi-phase path.
+	phases []core.Phase
+	params core.Params
+}
+
+// predictRS is the inner-loop cost: the PCCS-predicted relative speed of
+// this placement under external demand y.
+func (o *puOption) predictRS(y float64) float64 {
+	if len(o.phases) == 0 {
+		return o.params.Predict(o.x, y)
+	}
+	rs, err := o.params.PredictPhases(o.phases, y)
+	if err != nil {
+		// Unreachable: resolve validates phase weights up front.
+		return o.params.Predict(o.x, y)
+	}
+	return rs
+}
+
+// rItem is a resolved item: its eligible placements on the platform.
+type rItem struct {
+	id      string
+	work    float64
+	wlName  string
+	sloSlow float64
+	sloTime float64
+	options []puOption
+	// maxX is the largest standalone demand across options — the greedy
+	// ordering key (schedule bandwidth hogs first).
+	maxX float64
+}
+
+// optionOn returns the item's placement option for a PU index, or nil.
+func (it *rItem) optionOn(puIndex int) *puOption {
+	for i := range it.options {
+		if it.options[i].puIndex == puIndex {
+			return &it.options[i]
+		}
+	}
+	return nil
+}
+
+// resolve maps items onto the platform: for every item, every PU it may
+// run on (PU filter passes, a demand profile resolves there, and a model
+// exists for it). Items that cannot run anywhere are hard errors.
+func resolve(models calib.ModelSet, p *soc.Platform, items []Item) ([]rItem, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("sched: no items to schedule")
+	}
+	out := make([]rItem, 0, len(items))
+	seen := make(map[string]bool, len(items))
+	for i, spec := range items {
+		it, err := resolveItem(models, p, i, spec)
+		if err != nil {
+			return nil, err
+		}
+		if seen[it.id] {
+			return nil, fmt.Errorf("sched: duplicate item id %q", it.id)
+		}
+		seen[it.id] = true
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+func resolveItem(models calib.ModelSet, p *soc.Platform, index int, spec Item) (rItem, error) {
+	id := spec.ID
+	if id == "" {
+		base := spec.Workload
+		if base == "" {
+			base = "item"
+		}
+		id = fmt.Sprintf("%s#%d", base, index)
+	}
+	work := spec.WorkUnits
+	if work == 0 {
+		work = 1
+	}
+	if work < 0 || math.IsNaN(work) || math.IsInf(work, 0) {
+		return rItem{}, fmt.Errorf("sched: item %s: invalid work units %v", id, spec.WorkUnits)
+	}
+	profiles := 0
+	if spec.Workload != "" {
+		profiles++
+	}
+	if len(spec.Phases) > 0 {
+		profiles++
+	}
+	if spec.DemandGBps != 0 {
+		profiles++
+	}
+	if profiles != 1 {
+		return rItem{}, fmt.Errorf("sched: item %s: exactly one of workload, phases, or demand_gbps must be set", id)
+	}
+
+	var explicit []core.Phase
+	switch {
+	case len(spec.Phases) > 0:
+		explicit = make([]core.Phase, 0, len(spec.Phases))
+		total := 0.0
+		for _, ph := range spec.Phases {
+			if ph.Weight < 0 || ph.DemandGBps < 0 {
+				return rItem{}, fmt.Errorf("sched: item %s: phase %q has negative weight or demand", id, ph.Name)
+			}
+			total += ph.Weight
+			explicit = append(explicit, core.Phase{Name: ph.Name, Weight: ph.Weight, DemandGBps: ph.DemandGBps})
+		}
+		if total <= 0 {
+			return rItem{}, fmt.Errorf("sched: item %s: phase weights sum to zero", id)
+		}
+	case spec.DemandGBps != 0:
+		if spec.DemandGBps < 0 {
+			return rItem{}, fmt.Errorf("sched: item %s: negative demand %v", id, spec.DemandGBps)
+		}
+	}
+	var wl *workload.Workload
+	if spec.Workload != "" {
+		w, err := workload.Get(spec.Workload)
+		if err != nil {
+			return rItem{}, fmt.Errorf("sched: item %s: %w", id, err)
+		}
+		wl = w
+	}
+
+	it := rItem{
+		id:      id,
+		work:    work,
+		wlName:  spec.Workload,
+		sloSlow: spec.SLOSlowdown,
+		sloTime: spec.SLOTime,
+	}
+	for puIndex, pu := range p.PUs {
+		if !puAllowed(spec.PUs, pu.Name) {
+			continue
+		}
+		params, err := models.Get(p.Name, pu.Name)
+		if err != nil {
+			continue // no model for this PU
+		}
+		opt := puOption{puIndex: puIndex, pu: pu.Name, params: params}
+		switch {
+		case wl != nil && spec.UsePhases:
+			phases, err := phasesFor(wl, p.Name, pu.Name)
+			if err != nil {
+				continue // no phase profile on this PU
+			}
+			opt.phases = phases
+			opt.x = core.AverageDemand(phases)
+		case wl != nil:
+			x, err := wl.DemandOn(p.Name, pu.Name)
+			if err != nil {
+				continue // no profile on this PU
+			}
+			opt.x = x
+		case len(explicit) > 0:
+			opt.phases = explicit
+			opt.x = core.AverageDemand(explicit)
+		default:
+			opt.x = spec.DemandGBps
+		}
+		it.options = append(it.options, opt)
+		if opt.x > it.maxX {
+			it.maxX = opt.x
+		}
+	}
+	if len(it.options) == 0 {
+		return rItem{}, fmt.Errorf("sched: item %s: no eligible PU on %s (check the PU filter, the workload's per-PU profiles, and the model set)", id, p.Name)
+	}
+	return it, nil
+}
+
+func puAllowed(filter []string, pu string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == pu {
+			return true
+		}
+	}
+	return false
+}
+
+// phasesFor resolves a registered workload's phase profile on a PU:
+// explicit phases (cfd) when present, otherwise derived DNN layer phases.
+func phasesFor(wl *workload.Workload, platform, pu string) ([]core.Phase, error) {
+	if len(wl.Phases) > 0 {
+		return wl.ModelPhases(platform, pu)
+	}
+	phases, err := workload.DNNPhases(wl.Name, platform, pu)
+	if err != nil {
+		return nil, err
+	}
+	derived := workload.Workload{Name: wl.Name, Phases: phases}
+	return derived.ModelPhases(platform, pu)
+}

@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// testModels loads the shipped model artifact.
+func testModels(t *testing.T) calib.ModelSet {
+	t.Helper()
+	set, err := calib.Load("../../models/pccs-models.json")
+	if err != nil {
+		t.Fatalf("load models: %v", err)
+	}
+	return set
+}
+
+func xavierItems() []Item {
+	return []Item{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{Workload: "hotspot"},
+		{Workload: "srad"},
+		{Workload: "resnet50", UsePhases: true},
+	}
+}
+
+func mustSolve(t *testing.T, items []Item, opts Options) *Schedule {
+	t.Helper()
+	p := soc.VirtualXavier()
+	s, err := Solve(context.Background(), testModels(t), p, items, opts)
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	return s
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	// Same seed + same inputs must give a byte-identical schedule,
+	// including under parallel search with any worker count.
+	items := xavierItems()
+	var blobs [][]byte
+	for _, workers := range []int{1, 2, 8} {
+		s := mustSolve(t, items, Options{Objective: Makespan, Seed: 42, Workers: workers})
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		blobs = append(blobs, b)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if string(blobs[i]) != string(blobs[0]) {
+			t.Fatalf("schedule differs between worker counts:\n%s\nvs\n%s", blobs[0], blobs[i])
+		}
+	}
+}
+
+func TestScheduleDeterminismBeam(t *testing.T) {
+	// Force the beam path with a tiny exhaustive limit and check worker
+	// independence and seed stability there too.
+	items := xavierItems()
+	opts := Options{Objective: Makespan, Seed: 7, ExhaustiveLimit: 1}
+	first := ""
+	for _, workers := range []int{1, 4} {
+		opts.Workers = workers
+		s := mustSolve(t, items, opts)
+		if s.Exhaustive {
+			t.Fatal("expected beam search")
+		}
+		b, _ := json.Marshal(s)
+		if first == "" {
+			first = string(b)
+		} else if string(b) != first {
+			t.Fatalf("beam schedule differs between worker counts")
+		}
+	}
+}
+
+func TestScheduleBeatsSerial(t *testing.T) {
+	s := mustSolve(t, xavierItems(), Options{Objective: Makespan, Seed: 1})
+	if !s.Exhaustive {
+		t.Fatalf("small instance should be solved exhaustively (evaluated %d)", s.Evaluated)
+	}
+	if s.Makespan >= s.SerialMakespan {
+		t.Fatalf("co-run schedule (makespan %.3f) should beat serial (%.3f)", s.Makespan, s.SerialMakespan)
+	}
+	if s.Speedup <= 1 {
+		t.Fatalf("speedup %.3f, want > 1", s.Speedup)
+	}
+	// Every wave must respect the one-item-per-PU gang constraint.
+	for _, w := range s.Waves {
+		seen := map[string]bool{}
+		for _, a := range w.Assignments {
+			if seen[a.PU] {
+				t.Fatalf("wave %d uses PU %s twice", w.Index, a.PU)
+			}
+			seen[a.PU] = true
+		}
+	}
+	// Every item appears exactly once.
+	count := 0
+	for _, w := range s.Waves {
+		count += len(w.Assignments)
+	}
+	if count != len(xavierItems()) {
+		t.Fatalf("schedule places %d items, want %d", count, len(xavierItems()))
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	items := xavierItems()
+	mk := mustSolve(t, items, Options{Objective: Makespan, Seed: 1})
+	fair := mustSolve(t, items, Options{Objective: Fairness, Seed: 1})
+	tp := mustSolve(t, items, Options{Objective: Throughput, Seed: 1})
+	if fair.MaxSlowdown > mk.MaxSlowdown {
+		t.Fatalf("fairness schedule has worse max slowdown (%.3f) than makespan's (%.3f)",
+			fair.MaxSlowdown, mk.MaxSlowdown)
+	}
+	if tp.BusyTime > mk.BusyTime {
+		t.Fatalf("throughput schedule burns more busy time (%.3f) than makespan's (%.3f)",
+			tp.BusyTime, mk.BusyTime)
+	}
+	// The serial layout minimizes busy time (zero contention), so the
+	// throughput optimum must not exceed the total work by construction.
+	if tp.BusyTime < tp.TotalWork*(1-1e-9) {
+		t.Fatalf("busy time %.3f below total work %.3f: co-running sped something up?", tp.BusyTime, tp.TotalWork)
+	}
+}
+
+func TestSlowdownSLOForcesIsolation(t *testing.T) {
+	// An impossible-to-violate-free batch: with a strict per-item slowdown
+	// SLO the scheduler must fall back to (near-)isolated waves.
+	items := []Item{
+		{ID: "a", Workload: "streamcluster", SLOSlowdown: 1.001},
+		{ID: "b", Workload: "srad", SLOSlowdown: 1.001},
+	}
+	s := mustSolve(t, items, Options{Objective: Makespan, Seed: 1})
+	if !s.Feasible {
+		t.Fatalf("strict-SLO batch should still be feasible via serial waves, got violations %v", s.Violations)
+	}
+	if len(s.Waves) != 2 {
+		t.Fatalf("expected isolated waves, got %d waves", len(s.Waves))
+	}
+}
+
+func TestLatencySLOOrdersWaves(t *testing.T) {
+	// The item with the tight completion SLO must finish first.
+	items := []Item{
+		{ID: "slow-ok", Workload: "streamcluster", WorkUnits: 2},
+		{ID: "urgent", Workload: "pathfinder", SLOTime: 1.5},
+	}
+	s := mustSolve(t, items, Options{Objective: Makespan, Seed: 1})
+	if !s.Feasible {
+		t.Fatalf("SLO should be satisfiable, violations: %v", s.Violations)
+	}
+	for _, w := range s.Waves {
+		for _, a := range w.Assignments {
+			if a.Item == "urgent" {
+				if w.Completion > 1.5+1e-9 {
+					t.Fatalf("urgent completes at %.3f, SLO 1.5", w.Completion)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("urgent item not scheduled")
+}
+
+func TestResolveErrors(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		items []Item
+	}{
+		{"empty batch", nil},
+		{"unknown workload", []Item{{Workload: "nope"}}},
+		{"no profile anywhere", []Item{{Workload: "resnet50", PUs: []string{"CPU"}}}},
+		{"two profiles", []Item{{Workload: "srad", DemandGBps: 5}}},
+		{"no profile at all", []Item{{ID: "x"}}},
+		{"duplicate ids", []Item{{ID: "x", DemandGBps: 5}, {ID: "x", DemandGBps: 6}}},
+		{"negative work", []Item{{DemandGBps: 5, WorkUnits: -1}}},
+		{"bad phases", []Item{{Phases: []Phase{{Weight: -1, DemandGBps: 3}}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Solve(ctx, models, p, tc.items, Options{}); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestExplicitProfiles(t *testing.T) {
+	// Flat demand and explicit phases are PU-agnostic and schedulable.
+	items := []Item{
+		{ID: "flat", DemandGBps: 30},
+		{ID: "phased", Phases: []Phase{
+			{Name: "hot", Weight: 0.25, DemandGBps: 80},
+			{Name: "cool", Weight: 0.75, DemandGBps: 10},
+		}},
+	}
+	s := mustSolve(t, items, Options{Objective: Fairness, Seed: 1})
+	if len(s.Waves) == 0 {
+		t.Fatal("no waves")
+	}
+	for _, w := range s.Waves {
+		for _, a := range w.Assignments {
+			if a.Item == "phased" && !a.Phased {
+				t.Fatal("explicit phases should use the phase-wise predictor")
+			}
+		}
+	}
+}
+
+func TestSolveCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(ctx, testModels(t), soc.VirtualXavier(), xavierItems(), Options{})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	items := xavierItems()
+	serial, err := SerialSchedule(models, p, items)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if serial.Makespan != serial.TotalWork {
+		t.Fatalf("serial makespan %.3f, want total work %.3f", serial.Makespan, serial.TotalWork)
+	}
+	if serial.MaxSlowdown != 1 {
+		t.Fatalf("serial max slowdown %.3f, want 1", serial.MaxSlowdown)
+	}
+	r1, err := RandomSchedule(models, p, items, 99)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	r2, err := RandomSchedule(models, p, items, 99)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Fatal("random baseline not deterministic for a fixed seed")
+	}
+	placed := 0
+	for _, w := range r1.Waves {
+		placed += len(w.Assignments)
+	}
+	if placed != len(items) {
+		t.Fatalf("random baseline places %d items, want %d", placed, len(items))
+	}
+}
+
+func TestParallelMapMatchesSerial(t *testing.T) {
+	in := make([]int, 1000)
+	for i := range in {
+		in[i] = i
+	}
+	sq := func(x int) int { return x * x }
+	want := parallelMap(1, in, sq)
+	for _, workers := range []int{2, 7, 64} {
+		got := parallelMap(workers, in, sq)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, o := range []Objective{Makespan, Throughput, Fairness} {
+		got, err := ParseObjective(o.String())
+		if err != nil || got != o {
+			t.Fatalf("round-trip %v: got %v, err %v", o, got, err)
+		}
+	}
+	if _, err := ParseObjective("speed"); err == nil {
+		t.Fatal("expected error for unknown objective")
+	}
+}

@@ -1,0 +1,306 @@
+package sched
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// Solve searches PU assignments, co-run groupings, and launch order for the
+// items and returns the best schedule under the options' objective. Small
+// instances (by co-run partition count) are solved exactly; larger ones use
+// a seeded beam search with restarts. Either way the result is
+// deterministic for a given seed, objective, and input order — independent
+// of Options.Workers.
+func Solve(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []Item, opts Options) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts = opts.withDefaults()
+	rs, err := resolve(models, p, items)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		best      evalResult
+		evaluated int
+	)
+	nParts := workload.CountPartitions(len(rs), len(p.PUs))
+	exhaustive := nParts <= opts.ExhaustiveLimit
+	if exhaustive {
+		best, evaluated, err = solveExhaustive(ctx, rs, p, opts)
+	} else {
+		best, evaluated, err = solveBeam(ctx, rs, p, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildSchedule(p, opts, rs, &best, exhaustive, evaluated), nil
+}
+
+// solveExhaustive enumerates every way to split the items into co-run
+// groups of at most one-item-per-PU size. For each partition it picks each
+// group's best PU assignment independently — exact for all three
+// objectives, whose scores decompose over waves (completion-time SLOs are
+// then checked on the fully ordered schedule). Partitions are scored in
+// parallel and merged in canonical enumeration order.
+func solveExhaustive(ctx context.Context, rs []rItem, p *soc.Platform, opts Options) (evalResult, int, error) {
+	ids := make([]string, len(rs))
+	index := make(map[string]int, len(rs))
+	for i := range rs {
+		ids[i] = rs[i].id
+		index[rs[i].id] = i
+	}
+	parts := workload.Partitions(ids, len(p.PUs))
+
+	type scored struct {
+		ev evalResult
+		ok bool
+	}
+	results := parallelMap(opts.Workers, parts, func(part [][]string) scored {
+		if ctx.Err() != nil {
+			return scored{}
+		}
+		waves := make([][]slot, 0, len(part))
+		for _, group := range part {
+			members := make([]int, len(group))
+			for i, id := range group {
+				members[i] = index[id]
+			}
+			slots, ok := bestGroupAssign(rs, members, opts.Objective)
+			if !ok {
+				return scored{} // some member cannot get a distinct PU here
+			}
+			waves = append(waves, slots)
+		}
+		return scored{ev: evaluate(rs, waves), ok: true}
+	})
+	if err := ctx.Err(); err != nil {
+		return evalResult{}, 0, err
+	}
+	var best evalResult
+	have := false
+	evaluated := 0
+	for i := range results {
+		if !results[i].ok {
+			continue
+		}
+		evaluated++
+		if !have || better(&results[i].ev, &best, opts.Objective) {
+			best = results[i].ev
+			have = true
+		}
+	}
+	if !have {
+		// Unreachable: the serial partition (every item alone) is always
+		// assignable because resolve guarantees at least one option.
+		return evalResult{}, 0, ctx.Err()
+	}
+	return best, evaluated, nil
+}
+
+// bestGroupAssign enumerates every injective placement of the group's
+// members onto distinct PUs and returns the best one under the per-wave
+// objective decomposition.
+func bestGroupAssign(rs []rItem, members []int, obj Objective) ([]slot, bool) {
+	var (
+		best      waveEval
+		bestSlots []slot
+		found     bool
+	)
+	slots := make([]slot, 0, len(members))
+	var used uint64 // PU-index bitmask; platforms are far below 64 PUs
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == len(members) {
+			ev := evalWave(rs, slots)
+			if !found || betterWave(&ev, &best, obj) {
+				best = ev
+				bestSlots = append([]slot(nil), slots...)
+				found = true
+			}
+			return
+		}
+		it := &rs[members[k]]
+		for oi := range it.options {
+			bit := uint64(1) << uint(it.options[oi].puIndex)
+			if used&bit != 0 {
+				continue
+			}
+			used |= bit
+			slots = append(slots, slot{item: members[k], opt: oi})
+			recurse(k + 1)
+			slots = slots[:len(slots)-1]
+			used &^= bit
+		}
+	}
+	recurse(0)
+	return bestSlots, found
+}
+
+// solveBeam is the anytime search for large instances: items are inserted
+// one at a time (joining an existing wave on a free PU, or opening a new
+// wave), keeping the BeamWidth best partial schedules. The deterministic
+// demand-descending insertion order is tried first, then seeded shuffles.
+func solveBeam(ctx context.Context, rs []rItem, p *soc.Platform, opts Options) (evalResult, int, error) {
+	base := make([]int, len(rs))
+	for i := range base {
+		base[i] = i
+	}
+	sort.SliceStable(base, func(i, j int) bool {
+		if rs[base[i]].maxX != rs[base[j]].maxX {
+			return rs[base[i]].maxX > rs[base[j]].maxX
+		}
+		return rs[base[i]].id < rs[base[j]].id
+	})
+	orders := [][]int{base}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for r := 0; r < opts.Restarts; r++ {
+		ord := append([]int(nil), base...)
+		rng.Shuffle(len(ord), func(i, j int) { ord[i], ord[j] = ord[j], ord[i] })
+		orders = append(orders, ord)
+	}
+
+	var (
+		best      evalResult
+		have      bool
+		evaluated int
+	)
+	for _, ord := range orders {
+		beam := [][][]slot{{}} // one empty candidate
+		for _, itemIdx := range ord {
+			if err := ctx.Err(); err != nil {
+				return evalResult{}, evaluated, err
+			}
+			var next [][][]slot
+			for _, cand := range beam {
+				next = append(next, expansions(rs, p, cand, itemIdx)...)
+			}
+			evs := parallelMap(opts.Workers, next, func(w [][]slot) evalResult {
+				return evaluate(rs, w)
+			})
+			evaluated += len(next)
+			order := make([]int, len(next))
+			for i := range order {
+				order[i] = i
+			}
+			sort.Slice(order, func(i, j int) bool {
+				return better(&evs[order[i]], &evs[order[j]], opts.Objective)
+			})
+			beam = beam[:0]
+			lastSig := ""
+			for _, i := range order {
+				if len(beam) >= opts.BeamWidth {
+					break
+				}
+				if evs[i].sig == lastSig {
+					continue // identical schedule reached via another path
+				}
+				lastSig = evs[i].sig
+				beam = append(beam, next[i])
+			}
+		}
+		final := evaluate(rs, beam[0])
+		if !have || better(&final, &best, opts.Objective) {
+			best = final
+			have = true
+		}
+	}
+	return best, evaluated, nil
+}
+
+// expansions generates every placement of an item into a partial schedule:
+// each eligible PU, joining each wave where that PU is free, or opening a
+// new wave.
+func expansions(rs []rItem, p *soc.Platform, cand [][]slot, itemIdx int) [][][]slot {
+	var out [][][]slot
+	it := &rs[itemIdx]
+	for oi := range it.options {
+		pu := it.options[oi].puIndex
+		s := slot{item: itemIdx, opt: oi}
+		for wi, wave := range cand {
+			if len(wave) >= len(p.PUs) || waveUsesPU(rs, wave, pu) {
+				continue
+			}
+			out = append(out, withSlot(cand, wi, s))
+		}
+		out = append(out, withSlot(cand, len(cand), s))
+	}
+	return out
+}
+
+func waveUsesPU(rs []rItem, wave []slot, pu int) bool {
+	for _, s := range wave {
+		if rs[s.item].options[s.opt].puIndex == pu {
+			return true
+		}
+	}
+	return false
+}
+
+// withSlot copies the candidate with s added to wave wi (a new wave when wi
+// == len(cand)).
+func withSlot(cand [][]slot, wi int, s slot) [][]slot {
+	n := len(cand)
+	if wi == n {
+		n++
+	}
+	out := make([][]slot, n)
+	for i, w := range cand {
+		if i == wi {
+			out[i] = append(append(make([]slot, 0, len(w)+1), w...), s)
+		} else {
+			out[i] = w
+		}
+	}
+	if wi == len(cand) {
+		out[wi] = []slot{s}
+	}
+	return out
+}
+
+// parallelMap applies f to every element of in on a fixed-size worker pool
+// and returns the results in input order — the simrun executor pattern, so
+// parallel output is bit-identical to a serial loop.
+func parallelMap[T, R any](workers int, in []T, f func(T) R) []R {
+	out := make([]R, len(in))
+	if len(in) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	if workers == 1 {
+		for i := range in {
+			out[i] = f(in[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(in) {
+					return
+				}
+				out[i] = f(in[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/workload"
+)
+
+// ItemValidation compares one assignment's predicted and measured speeds.
+type ItemValidation struct {
+	Item string `json:"item"`
+	PU   string `json:"pu"`
+	// PredictedRS and ActualRS are relative speeds in percent.
+	PredictedRS float64 `json:"predicted_rs"`
+	ActualRS    float64 `json:"actual_rs"`
+	// AbsErrorRS is |PredictedRS - ActualRS| in percentage points — the
+	// same error metric the model-validation experiments report.
+	AbsErrorRS float64 `json:"abs_error_rs"`
+}
+
+// WaveValidation is one wave replayed through the simulator.
+type WaveValidation struct {
+	Index         int              `json:"index"`
+	PredictedTime float64          `json:"predicted_time"`
+	ActualTime    float64          `json:"actual_time"`
+	Items         []ItemValidation `json:"items"`
+}
+
+// Validation is the predicted-vs-actual report for a whole schedule.
+type Validation struct {
+	PredictedMakespan float64 `json:"predicted_makespan"`
+	ActualMakespan    float64 `json:"actual_makespan"`
+	// MakespanErrorPct is 100·|predicted-actual|/actual.
+	MakespanErrorPct float64 `json:"makespan_error_pct"`
+	// MeanAbsRSError averages AbsErrorRS over every assignment.
+	MeanAbsRSError float64          `json:"mean_abs_rs_error"`
+	Waves          []WaveValidation `json:"waves"`
+}
+
+// Validate replays the schedule through the discrete-event simulator, wave
+// by wave, and reports predicted-vs-actual relative speeds and makespan —
+// closing the same loop the model-validation experiments close for raw
+// predictions. Registered workloads replay with their full kernel profile
+// (locality included); phased items replay at their time-averaged demand,
+// so some phase-level error is expected there.
+func Validate(ctx context.Context, ex *simrun.Executor, p *soc.Platform, s *Schedule, rc soc.RunConfig) (*Validation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ex == nil {
+		ex = simrun.New(0)
+	}
+	v := &Validation{PredictedMakespan: s.Makespan}
+	items := 0
+	for _, w := range s.Waves {
+		pl := make(soc.Placement, len(w.Assignments))
+		for _, a := range w.Assignments {
+			pu := p.PUIndex(a.PU)
+			if pu < 0 {
+				return nil, fmt.Errorf("sched: platform %s has no PU %q", p.Name, a.PU)
+			}
+			pl[pu] = replayKernel(p, a)
+		}
+		res, err := simrun.RelativeSpeeds(ctx, ex, p, pl, rc)
+		if err != nil {
+			return nil, fmt.Errorf("sched: validate wave %d: %w", w.Index, err)
+		}
+		wv := WaveValidation{Index: w.Index, PredictedTime: w.Time}
+		for _, a := range w.Assignments {
+			pu := p.PUIndex(a.PU)
+			rel := res[pu].RelativeSpeed * 100
+			if rel <= 0 {
+				return nil, fmt.Errorf("sched: validate wave %d: no measured speed for %s", w.Index, a.Item)
+			}
+			t := a.WorkUnits * 100 / rel
+			if t > wv.ActualTime {
+				wv.ActualTime = t
+			}
+			wv.Items = append(wv.Items, ItemValidation{
+				Item:        a.Item,
+				PU:          a.PU,
+				PredictedRS: a.PredictedRS,
+				ActualRS:    rel,
+				AbsErrorRS:  math.Abs(a.PredictedRS - rel),
+			})
+			v.MeanAbsRSError += math.Abs(a.PredictedRS - rel)
+			items++
+		}
+		v.ActualMakespan += wv.ActualTime
+		v.Waves = append(v.Waves, wv)
+	}
+	if items > 0 {
+		v.MeanAbsRSError /= float64(items)
+	}
+	if v.ActualMakespan > 0 {
+		v.MakespanErrorPct = 100 * math.Abs(v.PredictedMakespan-v.ActualMakespan) / v.ActualMakespan
+	}
+	return v, nil
+}
+
+// replayKernel builds the simulator kernel for an assignment: the
+// registered workload's full profile when available, otherwise a plain
+// streaming kernel at the assignment's demand.
+func replayKernel(p *soc.Platform, a Assignment) soc.Kernel {
+	if a.Workload != "" {
+		if wl, err := workload.Get(a.Workload); err == nil {
+			if k, kerr := wl.Kernel(p.Name, a.PU); kerr == nil {
+				return k
+			}
+		}
+	}
+	return soc.Kernel{Name: a.Item, DemandGBps: a.DemandGBps}
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// validateRC mirrors the experiment tests' fast simulation window.
+func validateRC() soc.RunConfig {
+	return soc.RunConfig{WarmupCycles: 120_000, MeasureCycles: 120_000}
+}
+
+func TestValidateSchedule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator replay is slow")
+	}
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	items := []Item{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{Workload: "resnet50"},
+		{Workload: "srad"},
+	}
+	ctx := context.Background()
+	s, err := Solve(ctx, models, p, items, Options{Objective: Makespan, Seed: 1})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	ex := simrun.New(0)
+	v, err := Validate(ctx, ex, p, s, validateRC())
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if v.ActualMakespan <= 0 {
+		t.Fatal("no measured makespan")
+	}
+	// The measured makespan must land inside the model's own error band:
+	// per-item RS errors compound at most linearly into wave times, so the
+	// makespan error should not exceed the mean RS error by much. Allow
+	// the same order of tolerance the paper's validation experiments do.
+	limit := 10.0
+	if 2*v.MeanAbsRSError > limit {
+		limit = 2 * v.MeanAbsRSError
+	}
+	if v.MakespanErrorPct > limit {
+		t.Fatalf("makespan error %.2f%% outside the model error band (mean RS error %.2f pp)",
+			v.MakespanErrorPct, v.MeanAbsRSError)
+	}
+
+	// The chosen schedule must beat the naive baselines on measured time.
+	serial, err := SerialSchedule(models, p, items)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	sv, err := Validate(ctx, ex, p, serial, validateRC())
+	if err != nil {
+		t.Fatalf("validate serial: %v", err)
+	}
+	if v.ActualMakespan >= sv.ActualMakespan {
+		t.Fatalf("scheduler (measured %.3f) does not beat serial baseline (measured %.3f)",
+			v.ActualMakespan, sv.ActualMakespan)
+	}
+	random, err := RandomSchedule(models, p, items, 12345)
+	if err != nil {
+		t.Fatalf("random: %v", err)
+	}
+	rv, err := Validate(ctx, ex, p, random, validateRC())
+	if err != nil {
+		t.Fatalf("validate random: %v", err)
+	}
+	if v.ActualMakespan > rv.ActualMakespan*(1+1e-9) {
+		t.Fatalf("scheduler (measured %.3f) loses to the random baseline (measured %.3f)",
+			v.ActualMakespan, rv.ActualMakespan)
+	}
+}
+
+func TestValidateCancelled(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	s, err := Solve(context.Background(), models, p, []Item{{Workload: "srad"}}, Options{})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Validate(ctx, simrun.New(1), p, s, validateRC()); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

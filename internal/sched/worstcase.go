@@ -1,0 +1,259 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Corunner is one adversarial co-runner in a worst-case mix.
+type Corunner struct {
+	Item       string  `json:"item"`
+	PU         string  `json:"pu"`
+	DemandGBps float64 `json:"demand_gbps"`
+}
+
+// Bound is the worst-case contention analysis for one scheduled assignment:
+// alongside the expected slowdown under the chosen schedule, the largest
+// slowdown any co-runner mix drawn from the submitted batch could inflict,
+// and the absolute model ceiling under a saturated memory system. Because
+// the PCCS model is monotone non-increasing in external demand, and the
+// chosen wave's co-runners are among the mixes searched, WorstSlowdown >=
+// ExpectedSlowdown always holds.
+type Bound struct {
+	Item string `json:"item"`
+	PU   string `json:"pu"`
+	// ExpectedSlowdown is the slowdown under the schedule's own wave.
+	ExpectedSlowdown     float64 `json:"expected_slowdown"`
+	ExpectedExternalGBps float64 `json:"expected_external_gbps"`
+	// WorstSlowdown is the adversarial bound over batch co-runner mixes.
+	WorstSlowdown     float64 `json:"worst_slowdown"`
+	WorstRS           float64 `json:"worst_rs"`
+	WorstExternalGBps float64 `json:"worst_external_gbps"`
+	// Adversaries is the mix achieving WorstSlowdown (empty when running
+	// alone is already the worst case).
+	Adversaries []Corunner `json:"adversaries,omitempty"`
+	// SaturatedSlowdown is the model's absolute ceiling: external demand
+	// equal to the platform's theoretical peak bandwidth.
+	SaturatedSlowdown float64 `json:"saturated_slowdown"`
+	// Relaxed marks bounds computed with the item-reuse relaxation (only on
+	// platforms with many PUs); the bound remains a valid upper bound.
+	Relaxed bool `json:"relaxed,omitempty"`
+}
+
+// PUBound summarizes the worst bound observed per PU.
+type PUBound struct {
+	PU            string  `json:"pu"`
+	Item          string  `json:"item"`
+	WorstSlowdown float64 `json:"worst_slowdown"`
+}
+
+// WorstCase is the schedule-wide worst-case contention report.
+type WorstCase struct {
+	Bounds []Bound   `json:"bounds"`
+	PerPU  []PUBound `json:"per_pu"`
+}
+
+// wcCandidate is one potential adversary on one PU.
+type wcCandidate struct {
+	item int
+	x    float64
+}
+
+// maxExactMixes caps the exhaustive adversary enumeration; beyond it the
+// relaxed bound (per-PU maxima, item reuse permitted) is reported instead.
+const maxExactMixes = 1 << 20
+
+// WorstCaseBounds computes per-assignment adversarial contention bounds for
+// a schedule: for every placed item, the co-runner mix drawn from the
+// submitted batch (one distinct item per other PU, or an idle PU) that
+// maximizes the item's predicted slowdown. items must be the batch the
+// schedule was solved from.
+func WorstCaseBounds(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []Item, s *Schedule) (*WorstCase, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rs, err := resolve(models, p, items)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(rs))
+	for i := range rs {
+		index[rs[i].id] = i
+	}
+	wc := &WorstCase{}
+	for _, w := range s.Waves {
+		for _, a := range w.Assignments {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			b, err := assignmentBound(rs, index, p, a)
+			if err != nil {
+				return nil, err
+			}
+			wc.Bounds = append(wc.Bounds, b)
+		}
+	}
+	for _, pu := range p.PUs {
+		var worst *Bound
+		for i := range wc.Bounds {
+			b := &wc.Bounds[i]
+			if b.PU != pu.Name {
+				continue
+			}
+			if worst == nil || b.WorstSlowdown > worst.WorstSlowdown {
+				worst = b
+			}
+		}
+		if worst != nil {
+			wc.PerPU = append(wc.PerPU, PUBound{PU: pu.Name, Item: worst.Item, WorstSlowdown: worst.WorstSlowdown})
+		}
+	}
+	return wc, nil
+}
+
+func assignmentBound(rs []rItem, index map[string]int, p *soc.Platform, a Assignment) (Bound, error) {
+	ri, ok := index[a.Item]
+	if !ok {
+		return Bound{}, fmt.Errorf("sched: schedule references unknown item %q", a.Item)
+	}
+	target := &rs[ri]
+	puIndex := p.PUIndex(a.PU)
+	if puIndex < 0 {
+		return Bound{}, fmt.Errorf("sched: schedule references unknown PU %q", a.PU)
+	}
+	opt := target.optionOn(puIndex)
+	if opt == nil {
+		return Bound{}, fmt.Errorf("sched: item %s is not eligible on %s", a.Item, a.PU)
+	}
+
+	// Adversary candidates per other PU, strongest first.
+	var otherPUs []int
+	for i := range p.PUs {
+		if i != puIndex {
+			otherPUs = append(otherPUs, i)
+		}
+	}
+	cands := make([][]wcCandidate, len(otherPUs))
+	mixes := int64(1)
+	for i, pu := range otherPUs {
+		for j := range rs {
+			if j == ri {
+				continue
+			}
+			if o := rs[j].optionOn(pu); o != nil {
+				cands[i] = append(cands[i], wcCandidate{item: j, x: o.x})
+			}
+		}
+		sort.SliceStable(cands[i], func(a, b int) bool {
+			if cands[i][a].x != cands[i][b].x {
+				return cands[i][a].x > cands[i][b].x
+			}
+			return rs[cands[i][a].item].id < rs[cands[i][b].item].id
+		})
+		// Only len(otherPUs) distinct items can be placed, so the optimum
+		// draws from each PU's strongest len(otherPUs)+1 candidates.
+		if keep := len(otherPUs) + 1; len(cands[i]) > keep {
+			cands[i] = cands[i][:keep]
+		}
+		mixes *= int64(len(cands[i]) + 1)
+	}
+
+	b := Bound{
+		Item:                 a.Item,
+		PU:                   a.PU,
+		ExpectedSlowdown:     a.Slowdown,
+		ExpectedExternalGBps: a.ExternalGBps,
+		SaturatedSlowdown:    100 / opt.predictRS(p.PeakGBps()),
+	}
+	if mixes > maxExactMixes {
+		relaxedBound(rs, p, otherPUs, cands, opt, &b)
+		return b, nil
+	}
+	exactBound(rs, p, otherPUs, cands, opt, &b)
+	return b, nil
+}
+
+// exactBound enumerates every distinct-item mix (odometer over per-PU
+// candidate lists, each position optionally idle) and keeps the mix with
+// the largest external demand — which, by monotonicity, maximizes the
+// slowdown. Ties keep the first mix in enumeration order, so the report is
+// deterministic.
+func exactBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
+	choice := make([]int, len(otherPUs)) // 0 = idle, k>0 = cands[i][k-1]
+	bestY := -1.0
+	var bestChoice []int
+	for {
+		y := 0.0
+		valid := true
+		for i, c := range choice {
+			if c == 0 {
+				continue
+			}
+			it := cands[i][c-1].item
+			for j := 0; j < i && valid; j++ {
+				if choice[j] > 0 && cands[j][choice[j]-1].item == it {
+					valid = false // an item cannot run on two PUs at once
+				}
+			}
+			y += cands[i][c-1].x
+		}
+		if valid && y > bestY {
+			bestY = y
+			bestChoice = append(bestChoice[:0], choice...)
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] <= len(cands[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			break
+		}
+	}
+	if bestY < 0 {
+		bestY = 0
+	}
+	finishBound(rs, p, otherPUs, cands, opt, b, bestY, bestChoice, false)
+}
+
+// relaxedBound takes each other PU's strongest candidate without the
+// distinct-item constraint: an over-approximation that is still a valid
+// upper bound (used only when the exact enumeration would be too large).
+func relaxedBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
+	choice := make([]int, len(otherPUs))
+	y := 0.0
+	for i := range cands {
+		if len(cands[i]) > 0 {
+			choice[i] = 1
+			y += cands[i][0].x
+		}
+	}
+	finishBound(rs, p, otherPUs, cands, opt, b, y, choice, true)
+}
+
+func finishBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound, y float64, choice []int, relaxed bool) {
+	worstRS := opt.predictRS(y)
+	b.WorstRS = worstRS
+	b.WorstSlowdown = 100 / worstRS
+	b.WorstExternalGBps = y
+	b.Relaxed = relaxed
+	for i, c := range choice {
+		if c == 0 {
+			continue
+		}
+		cd := cands[i][c-1]
+		b.Adversaries = append(b.Adversaries, Corunner{
+			Item:       rs[cd.item].id,
+			PU:         p.PUs[otherPUs[i]].Name,
+			DemandGBps: cd.x,
+		})
+	}
+}

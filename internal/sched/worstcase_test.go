@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+func TestWorstCaseBoundsDominateExpected(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	items := xavierItems()
+	ctx := context.Background()
+	s, err := Solve(ctx, models, p, items, Options{Objective: Makespan, Seed: 1})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	wc, err := WorstCaseBounds(ctx, models, p, items, s)
+	if err != nil {
+		t.Fatalf("worst case: %v", err)
+	}
+	placed := 0
+	for _, w := range s.Waves {
+		placed += len(w.Assignments)
+	}
+	if len(wc.Bounds) != placed {
+		t.Fatalf("got %d bounds for %d assignments", len(wc.Bounds), placed)
+	}
+	for _, b := range wc.Bounds {
+		// The adversarial bound must dominate the schedule's own mix: the
+		// chosen co-runners are among the mixes searched and the model is
+		// monotone in external demand.
+		if b.WorstSlowdown < b.ExpectedSlowdown-1e-9 {
+			t.Errorf("%s on %s: worst %.4f < expected %.4f", b.Item, b.PU, b.WorstSlowdown, b.ExpectedSlowdown)
+		}
+		if b.WorstExternalGBps < b.ExpectedExternalGBps-1e-9 {
+			t.Errorf("%s on %s: worst external %.2f < expected %.2f",
+				b.Item, b.PU, b.WorstExternalGBps, b.ExpectedExternalGBps)
+		}
+		if b.WorstSlowdown < 1 || b.ExpectedSlowdown < 1 || b.SaturatedSlowdown < 1 {
+			t.Errorf("%s on %s: slowdown below 1", b.Item, b.PU)
+		}
+		// The saturated ceiling assumes peak external demand, which the
+		// model's contention balance point caps: it must dominate too.
+		if b.SaturatedSlowdown < b.WorstSlowdown-1e-9 {
+			t.Errorf("%s on %s: saturated %.4f < worst %.4f", b.Item, b.PU, b.SaturatedSlowdown, b.WorstSlowdown)
+		}
+		if b.Relaxed {
+			t.Errorf("%s on %s: small instance should use the exact enumeration", b.Item, b.PU)
+		}
+		seen := map[string]bool{b.PU: true}
+		ids := map[string]bool{b.Item: true}
+		for _, adv := range b.Adversaries {
+			if seen[adv.PU] {
+				t.Errorf("%s: adversarial mix reuses PU %s", b.Item, adv.PU)
+			}
+			seen[adv.PU] = true
+			if ids[adv.Item] {
+				t.Errorf("%s: adversarial mix reuses item %s", b.Item, adv.Item)
+			}
+			ids[adv.Item] = true
+		}
+	}
+	if len(wc.PerPU) == 0 {
+		t.Fatal("no per-PU summary")
+	}
+	for _, pb := range wc.PerPU {
+		if pb.WorstSlowdown < 1 {
+			t.Errorf("per-PU bound for %s below 1", pb.PU)
+		}
+	}
+}
+
+func TestWorstCaseDeterminism(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	items := xavierItems()
+	ctx := context.Background()
+	s, err := Solve(ctx, models, p, items, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	var first string
+	for i := 0; i < 3; i++ {
+		wc, err := WorstCaseBounds(ctx, models, p, items, s)
+		if err != nil {
+			t.Fatalf("worst case: %v", err)
+		}
+		b, _ := json.Marshal(wc)
+		if first == "" {
+			first = string(b)
+		} else if string(b) != first {
+			t.Fatal("worst-case report not deterministic")
+		}
+	}
+}
+
+func TestWorstCaseCancelled(t *testing.T) {
+	models := testModels(t)
+	p := soc.VirtualXavier()
+	items := xavierItems()
+	s, err := Solve(context.Background(), models, p, items, Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := WorstCaseBounds(ctx, models, p, items, s); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

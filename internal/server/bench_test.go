@@ -85,6 +85,39 @@ func BenchmarkServerPredictUncached(b *testing.B) {
 	})
 }
 
+// BenchmarkServerSchedule measures the synchronous scheduling path end to
+// end: routing + JSON + exhaustive co-run search on a small batch.
+func BenchmarkServerSchedule(b *testing.B) {
+	srv := benchServer(b, 4096)
+	h := srv.Handler()
+	body, err := json.Marshal(map[string]any{
+		"platform":   "virtual-xavier",
+		"worst_case": true,
+		"workloads": []map[string]any{
+			{"id": "a", "demand_gbps": 55},
+			{"id": "b", "demand_gbps": 48},
+			{"id": "c", "demand_gbps": 30},
+			{"id": "d", "demand_gbps": 20},
+			{"id": "e", "demand_gbps": 12},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest("POST", "/v1/schedule", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body)
+			}
+		}
+	})
+}
+
 // BenchmarkServerPredictBatch measures the amortization of a 100-item
 // batch, the round-trip-saving path for schedulers evaluating many
 // placements at once.

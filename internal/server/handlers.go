@@ -457,12 +457,22 @@ func coreSelection(sel explore.CoreSelection, cm explore.CoreModel) ExploreSelec
 
 // modelsResponse lists the registry contents.
 type modelsResponse struct {
-	Count  int            `json:"count"`
+	Count int `json:"count"`
+	// Keys lists the model keys in sorted order — the deterministic
+	// enumeration clients should iterate instead of ranging the map.
+	Keys   []string       `json:"keys"`
 	Models calib.ModelSet `json:"models"`
 }
 
 func (s *Server) handleModelsGet(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, modelsResponse{Count: s.reg.Len(), Models: s.reg.Snapshot()})
+	// One snapshot feeds count, keys, and models so the response is
+	// internally consistent even across a concurrent reload.
+	models := s.reg.Snapshot()
+	writeJSON(w, http.StatusOK, modelsResponse{
+		Count:  len(models),
+		Keys:   sortedModelKeys(models),
+		Models: models,
+	})
 }
 
 func (s *Server) handleModelsPost(w http.ResponseWriter, r *http.Request) {

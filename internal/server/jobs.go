@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,9 +40,9 @@ var ErrJobTerminal = errors.New("job already in a terminal state")
 // ErrUnknownJob is returned by Cancel for IDs the runner never issued.
 var ErrUnknownJob = errors.New("unknown job")
 
-// ErrQueueFull is returned by Submit when the calibration backlog is at
+// ErrQueueFull is returned by the Submit family when the job backlog is at
 // capacity; handlers translate it to 503 + Retry-After.
-var ErrQueueFull = errors.New("calibration queue full")
+var ErrQueueFull = errors.New("job queue full")
 
 // JobProgress reports how far a running calibration has come, in simulation
 // points completed out of the points planned so far (the total grows as the
@@ -53,14 +54,18 @@ type JobProgress struct {
 	Retries   int `json:"retries,omitempty"`
 }
 
-// Job is one asynchronous calibration: a model-construction sweep takes
-// seconds of simulated time per PU while a prediction takes microseconds,
-// so construction must not block the serving path. Clients poll
-// GET /v1/jobs/{id} until the state is terminal.
+// Job is one asynchronous unit of slow work: a calibration (Kind
+// "calibrate" — a model-construction sweep takes seconds of simulated time
+// per PU while a prediction takes microseconds) or a scheduling run (Kind
+// "schedule" — large searches and simulator validation replays). Neither
+// may block the serving path, so clients poll GET /v1/jobs/{id} until the
+// state is terminal.
 type Job struct {
-	ID        string        `json:"id"`
-	Kind      string        `json:"kind"`
-	Spec      CalibrateSpec `json:"spec"`
+	ID   string        `json:"id"`
+	Kind string        `json:"kind"`
+	Spec CalibrateSpec `json:"spec"`
+	// SchedSpec replaces Spec for Kind "schedule" jobs.
+	SchedSpec *ScheduleSpec `json:"sched_spec,omitempty"`
 	State     JobState      `json:"state"`
 	Submitted time.Time     `json:"submitted"`
 	Started   *time.Time    `json:"started,omitempty"`
@@ -73,9 +78,11 @@ type Job struct {
 	// deadline passes, and a job still queued at its deadline fails
 	// without running at all.
 	Deadline *time.Time `json:"deadline,omitempty"`
-	// Models lists the registry keys produced by a completed job.
+	// Models lists the registry keys produced by a completed calibration.
 	Models []string `json:"models,omitempty"`
-	Error  string   `json:"error,omitempty"`
+	// Result carries a completed scheduling job's outcome.
+	Result *ScheduleResult `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
 	// Restarts counts how many times the job was re-enqueued by journal
 	// replay after a daemon crash or restart.
 	Restarts int `json:"restarts,omitempty"`
@@ -188,22 +195,38 @@ func makeConstruct(faults *faultinject.Injector, retry simrun.RetryPolicy) const
 		if err != nil {
 			return nil, err
 		}
+		// Walk the set in sorted key order so the job's Models listing is
+		// deterministic (map iteration order is not).
 		out := make([]core.Params, 0, len(set))
-		for _, params := range set {
-			out = append(out, params)
+		for _, key := range sortedModelKeys(set) {
+			out = append(out, set[key])
 		}
 		return out, nil
 	}
 }
 
-// JobRunner owns the calibration queue: a fixed worker pool (sized to
-// GOMAXPROCS by the server) pulls jobs off a bounded channel, runs the
-// construction, and installs the resulting models in the registry. With a
-// journal attached every state transition is persisted, so a restarted
-// daemon replays the queue instead of losing it.
+// sortedModelKeys lists a model set's keys in sorted order — the canonical
+// enumeration every listing (job Models, /v1/models) uses so responses are
+// byte-stable across runs.
+func sortedModelKeys(set calib.ModelSet) []string {
+	keys := make([]string, 0, len(set))
+	for key := range set {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JobRunner owns the async-job queue: a fixed worker pool (sized to
+// GOMAXPROCS by the server) pulls jobs off a bounded channel and runs them —
+// calibrations install their constructed models in the registry, scheduling
+// jobs record their result on the job. With a journal attached every state
+// transition is persisted, so a restarted daemon replays the queue instead
+// of losing it.
 type JobRunner struct {
 	reg        *Registry
 	construct  constructFunc
+	schedule   scheduleFunc
 	journal    *Journal
 	faults     *faultinject.Injector
 	onPanic    func() // counts recovered calibration panics (may be nil)
@@ -233,6 +256,7 @@ type jobRunnerOptions struct {
 	queueDepth int
 	reg        *Registry
 	construct  constructFunc // nil selects the simulator-backed construction
+	schedule   scheduleFunc  // nil selects the registry-backed solver
 	journal    *Journal      // nil disables persistence
 	replayed   []Job         // journal replay: last-known snapshot per job
 	faults     *faultinject.Injector
@@ -264,6 +288,9 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 	if o.construct == nil {
 		o.construct = makeConstruct(o.faults, o.retry)
 	}
+	if o.schedule == nil {
+		o.schedule = makeSchedule(o.reg, o.faults, o.retry)
+	}
 	// Every non-terminal replayed job must fit the queue, whatever depth
 	// the config asks for — replay must not drop jobs.
 	pending := 0
@@ -278,6 +305,7 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 	r := &JobRunner{
 		reg:        o.reg,
 		construct:  o.construct,
+		schedule:   o.schedule,
 		journal:    o.journal,
 		faults:     o.faults,
 		onPanic:    o.onPanic,
@@ -316,6 +344,7 @@ func (r *JobRunner) replay(replayed []Job) {
 			job.Started = nil
 			job.Finished = nil
 			job.Progress = nil
+			job.Result = nil
 			job.Error = ""
 			r.queued++
 			r.queue <- job.ID
@@ -390,20 +419,33 @@ func (r *JobRunner) SubmitWithDeadline(spec CalibrateSpec, deadline *time.Time) 
 	if r.breaker != nil && r.breaker.Rejecting() {
 		return Job{}, fmt.Errorf("server: %w", ErrBreakerOpen)
 	}
+	return r.enqueue(&Job{Kind: "calibrate", Spec: spec, Deadline: deadline})
+}
+
+// SubmitSchedule enqueues an asynchronous scheduling job under the same
+// deadline semantics as SubmitWithDeadline. The circuit breaker does not
+// gate scheduling: it tracks calibration-simulator health, and a scheduling
+// run is mostly model math.
+func (r *JobRunner) SubmitSchedule(spec ScheduleSpec, deadline *time.Time) (Job, error) {
+	if err := spec.validate(); err != nil {
+		return Job{}, err
+	}
+	private := spec
+	return r.enqueue(&Job{Kind: "schedule", SchedSpec: &private, Deadline: deadline})
+}
+
+// enqueue assigns an ID to a validated job, makes it durable, and hands it
+// to the worker pool, failing fast when the queue is at capacity.
+func (r *JobRunner) enqueue(job *Job) (Job, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return Job{}, fmt.Errorf("server: job runner shut down")
 	}
 	r.seq++
-	job := &Job{
-		ID:        fmt.Sprintf("job-%06d", r.seq),
-		Kind:      "calibrate",
-		Spec:      spec,
-		State:     JobQueued,
-		Submitted: time.Now().UTC(),
-		Deadline:  deadline,
-	}
+	job.ID = fmt.Sprintf("job-%06d", r.seq)
+	job.State = JobQueued
+	job.Submitted = time.Now().UTC()
 	select {
 	case r.queue <- job.ID:
 	default:
@@ -580,6 +622,12 @@ func (r *JobRunner) run(id string) {
 	r.queued--
 	r.running++
 	spec := job.Spec
+	var schedSpec *ScheduleSpec
+	if job.SchedSpec != nil {
+		private := *job.SchedSpec
+		schedSpec = &private
+	}
+	isSched := job.Kind == "schedule" && schedSpec != nil
 	deadline := effectiveDeadline(job.Deadline, r.jobTimeout, now)
 	var ctx context.Context
 	var cancel context.CancelFunc
@@ -594,27 +642,33 @@ func (r *JobRunner) run(id string) {
 	defer cancel()
 
 	// Circuit breaking: a wedged or failing simulator must not keep
-	// swallowing workers, so when the breaker is open the job fails fast
-	// without touching the backend (in half-open exactly one probe runs).
+	// swallowing workers, so when the breaker is open a calibration fails
+	// fast without touching the backend (in half-open exactly one probe
+	// runs). Scheduling jobs bypass the breaker: it tracks the calibration
+	// backend's health, not the solver's.
 	var berr error
-	if r.breaker != nil {
+	if !isSched && r.breaker != nil {
 		berr = r.breaker.Allow()
 	}
 
+	progress := func(completed, total, retries int) {
+		r.mu.Lock()
+		job.Progress = &JobProgress{Completed: completed, Total: total, Retries: retries}
+		r.mu.Unlock()
+	}
 	var models []core.Params
+	var result *ScheduleResult
 	var err error
-	if berr != nil {
+	switch {
+	case berr != nil:
 		err = berr
-	} else {
-		progress := func(completed, total, retries int) {
-			r.mu.Lock()
-			job.Progress = &JobProgress{Completed: completed, Total: total, Retries: retries}
-			r.mu.Unlock()
-		}
+	case isSched:
+		result, err = r.safeSchedule(ctx, *schedSpec, progress)
+	default:
 		models, err = r.safeConstruct(ctx, spec, progress)
 	}
 	var keys []string
-	if err == nil {
+	if err == nil && !isSched {
 		for _, p := range models {
 			if perr := r.reg.Put(p); perr != nil {
 				err = fmt.Errorf("server: installing constructed model: %w", perr)
@@ -626,7 +680,7 @@ func (r *JobRunner) run(id string) {
 
 	timedOut := err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded)
 	cancelled := !timedOut && err != nil && (errors.Is(err, context.Canceled) || ctx.Err() != nil)
-	if r.breaker != nil && berr == nil {
+	if !isSched && r.breaker != nil && berr == nil {
 		// Feed the breaker the backend's outcome — but not a client
 		// cancellation, which says nothing about simulator health.
 		switch {
@@ -658,7 +712,11 @@ func (r *JobRunner) run(id string) {
 		// A successful construction stands even if a cancel raced in at
 		// the very end: the models are already installed.
 		job.State = JobCompleted
-		job.Models = keys
+		if isSched {
+			job.Result = result
+		} else {
+			job.Models = keys
+		}
 	}
 	// Observed per-job service time feeds the dynamic Retry-After hint;
 	// breaker-rejected and cancelled jobs did no representative work.
@@ -704,6 +762,24 @@ func (r *JobRunner) safeConstruct(ctx context.Context, spec CalibrateSpec, progr
 		return nil, ferr
 	}
 	return r.construct(ctx, spec, progress)
+}
+
+// safeSchedule is safeConstruct for scheduling jobs: panic isolation plus
+// the server/job chaos site, so a panicking search or validation replay
+// fails only its own job.
+func (r *JobRunner) safeSchedule(ctx context.Context, spec ScheduleSpec, progress func(completed, total, retries int)) (res *ScheduleResult, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res, err = nil, simrun.Recovered(rec)
+			if r.onPanic != nil {
+				r.onPanic()
+			}
+		}
+	}()
+	if ferr := r.faults.Hit(SiteJob); ferr != nil {
+		return nil, ferr
+	}
+	return r.schedule(ctx, spec, progress)
 }
 
 // snapshotJob deep-copies the mutable fields so callers never alias the

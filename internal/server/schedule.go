@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/sched"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// syncScheduleLimit is the largest batch POST /v1/schedule solves inline:
+// small instances are pure model math (microseconds to low milliseconds) and
+// answer synchronously; anything bigger — or anything touching the simulator
+// (validate) — goes through the async job queue like calibration does.
+const syncScheduleLimit = 8
+
+// maxScheduleItems bounds one scheduling request; beyond this the search
+// space stops being a per-request workload and becomes a batch-planning run
+// the client should split.
+const maxScheduleItems = 256
+
+// ScheduleSpec is the wire shape of POST /v1/schedule: a batch of pending
+// workloads to co-schedule on a platform's PUs using the PCCS model as the
+// cost function.
+type ScheduleSpec struct {
+	Platform string `json:"platform"`
+	// Objective selects the optimization target: "makespan" (default),
+	// "throughput", or "fairness".
+	Objective string `json:"objective,omitempty"`
+	// Workloads are the pending items (see sched.Item for profile sources).
+	Workloads []sched.Item `json:"workloads"`
+	// Seed drives the beam search's restart shuffles (default 0); the same
+	// seed and inputs always produce the same schedule.
+	Seed int64 `json:"seed,omitempty"`
+	// WorstCase also computes adversarial contention bounds per assignment.
+	WorstCase bool `json:"worst_case,omitempty"`
+	// Validate replays the chosen schedule on the simulator and reports
+	// predicted-vs-measured makespan error. Simulation is slow, so a
+	// validating request always runs as an async job.
+	Validate bool `json:"validate,omitempty"`
+	// Async forces the job-queue path even for small instances.
+	Async bool `json:"async,omitempty"`
+	// Quick selects the short simulation window for validation replay.
+	Quick bool `json:"quick,omitempty"`
+	// WarmupCycles/MeasureCycles override the validation windows when > 0.
+	WarmupCycles  int64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles int64 `json:"measure_cycles,omitempty"`
+}
+
+func (s ScheduleSpec) validate() error {
+	if _, err := platformByName(s.Platform); err != nil {
+		return err
+	}
+	if s.Objective != "" {
+		if _, err := sched.ParseObjective(s.Objective); err != nil {
+			return err
+		}
+	}
+	if len(s.Workloads) == 0 {
+		return fmt.Errorf("server: schedule needs at least one workload")
+	}
+	if len(s.Workloads) > maxScheduleItems {
+		return fmt.Errorf("server: %d workloads exceed the per-request limit of %d", len(s.Workloads), maxScheduleItems)
+	}
+	if s.WarmupCycles < 0 || s.MeasureCycles < 0 {
+		return fmt.Errorf("server: negative simulation window")
+	}
+	return nil
+}
+
+// wantsAsync reports whether the request must go through the job queue:
+// explicit opt-in, simulator validation, or a batch too large to answer
+// within an interactive request budget.
+func (s ScheduleSpec) wantsAsync() bool {
+	return s.Async || s.Validate || len(s.Workloads) > syncScheduleLimit
+}
+
+func (s ScheduleSpec) objective() sched.Objective {
+	if s.Objective == "" {
+		return sched.Makespan
+	}
+	obj, err := sched.ParseObjective(s.Objective)
+	if err != nil {
+		// Unreachable: validate() ran at submission.
+		return sched.Makespan
+	}
+	return obj
+}
+
+func (s ScheduleSpec) options(workers int) sched.Options {
+	return sched.Options{Objective: s.objective(), Seed: s.Seed, Workers: workers}
+}
+
+func (s ScheduleSpec) runConfig() soc.RunConfig {
+	rc := soc.DefaultRunConfig()
+	if s.Quick {
+		rc = soc.QuickRunConfig()
+	}
+	if s.WarmupCycles > 0 {
+		rc.WarmupCycles = s.WarmupCycles
+	}
+	if s.MeasureCycles > 0 {
+		rc.MeasureCycles = s.MeasureCycles
+	}
+	return rc
+}
+
+// ScheduleResult is a scheduling outcome: the chosen schedule plus, on
+// request, the adversarial contention bounds and the simulator validation.
+type ScheduleResult struct {
+	Schedule   *sched.Schedule   `json:"schedule"`
+	WorstCase  *sched.WorstCase  `json:"worst_case,omitempty"`
+	Validation *sched.Validation `json:"validation,omitempty"`
+}
+
+// solveSchedule runs the model-only part of a scheduling request (search +
+// optional worst-case bounds) against a registry snapshot. Both the sync
+// handler path and the async job path funnel through here.
+func solveSchedule(ctx context.Context, models calib.ModelSet, spec ScheduleSpec, workers int) (*ScheduleResult, error) {
+	p, err := platformByName(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.Solve(ctx, models, p, spec.Workloads, spec.options(workers))
+	if err != nil {
+		return nil, err
+	}
+	res := &ScheduleResult{Schedule: s}
+	if spec.WorstCase {
+		wc, err := sched.WorstCaseBounds(ctx, models, p, spec.Workloads, s)
+		if err != nil {
+			return nil, err
+		}
+		res.WorstCase = wc
+	}
+	return res, nil
+}
+
+// scheduleFunc runs one scheduling job. It must honour ctx cancellation and
+// may report validation-replay progress. Production uses makeSchedule; tests
+// inject fakes to exercise queue mechanics without paying search or
+// simulation time.
+type scheduleFunc func(ctx context.Context, spec ScheduleSpec, progress func(completed, total, retries int)) (*ScheduleResult, error)
+
+// makeSchedule builds the production scheduleFunc: solve against the live
+// registry snapshot and — when the spec asks for validation — replay the
+// chosen schedule on a private simrun executor armed with the daemon's chaos
+// injector and retry policy, reporting per-placement progress.
+func makeSchedule(reg *Registry, faults *faultinject.Injector, retry simrun.RetryPolicy) scheduleFunc {
+	return func(ctx context.Context, spec ScheduleSpec, progress func(completed, total, retries int)) (*ScheduleResult, error) {
+		res, err := solveSchedule(ctx, reg.Snapshot(), spec, 0)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Validate {
+			p, err := platformByName(spec.Platform)
+			if err != nil {
+				return nil, err
+			}
+			ex := simrun.New(0)
+			ex.Faults = faults
+			ex.Retry = retry
+			if progress != nil {
+				ex.OnProgress = func(completed, planned int) {
+					progress(completed, planned, ex.Retries())
+				}
+			}
+			v, err := sched.Validate(ctx, ex, p, res.Schedule, spec.runConfig())
+			if err != nil {
+				return nil, err
+			}
+			res.Validation = v
+		}
+		return res, nil
+	}
+}
+
+// handleSchedule serves POST /v1/schedule. Small model-only requests answer
+// synchronously (the solver honours the request context, so the client's
+// X-Deadline-Ms budget bounds the search); validating, large, or explicitly
+// async requests become jobs behind the same queue, journal, and deadline
+// machinery as calibration. Under the overload tier the async path is shed —
+// it is deferrable work — while small sync solves keep being answered: they
+// cost about as much as a batch prediction.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var spec ScheduleSpec
+	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !spec.wantsAsync() {
+		res, err := solveSchedule(r.Context(), s.reg.Snapshot(), spec, s.cfg.Workers)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, res)
+		case r.Context().Err() != nil:
+			writeError(w, http.StatusServiceUnavailable, "schedule abandoned: %v", r.Context().Err())
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	if s.degrade.Tier() == TierOverload {
+		s.shed(w, "/v1/schedule", "overload", http.StatusServiceUnavailable,
+			s.jobs.RetryAfter(), "server overloaded, async scheduling temporarily refused")
+		return
+	}
+	// The client's deadline header bounds the async job too (see
+	// handleCalibrate for why it is read from the header, not the context).
+	var deadline *time.Time
+	if budget, ok := clientBudget(r); ok {
+		t := time.Now().Add(budget)
+		deadline = &t
+	}
+	job, err := s.jobs.SubmitSchedule(spec, deadline)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.shed(w, "/v1/schedule", "queue-full", http.StatusServiceUnavailable,
+			s.jobs.RetryAfter(), "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]any{"job": job})
+	}
+}

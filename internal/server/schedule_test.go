@@ -1,0 +1,527 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/sched"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+)
+
+// schedItems is a small model-only batch eligible on the test registry's
+// virtual-xavier CPU and GPU models.
+func schedItems() []sched.Item {
+	return []sched.Item{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{ID: "flat", DemandGBps: 30},
+	}
+}
+
+func schedSpecBody(extra func(*ScheduleSpec)) ScheduleSpec {
+	spec := ScheduleSpec{Platform: "virtual-xavier", Workloads: schedItems()}
+	if extra != nil {
+		extra(&spec)
+	}
+	return spec
+}
+
+// jobEnvelope unwraps the 202 {"job": ...} submission response.
+type jobEnvelope struct {
+	Job Job `json:"job"`
+}
+
+// waitHTTPJob polls GET /v1/jobs/{id} until the job is terminal.
+func waitHTTPJob(t *testing.T, base, id string, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var job Job
+		resp := getJSON(t, base+"/v1/jobs/"+id, &job)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+		}
+		if job.State.Terminal() {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %s", id, timeout)
+	return Job{}
+}
+
+// TestScheduleSyncSolvesSmallBatch: a small model-only request answers
+// synchronously with a full schedule, worst-case bounds that dominate the
+// expected slowdowns, and a byte-identical response on repeat — the endpoint
+// inherits the solver's determinism.
+func TestScheduleSyncSolvesSmallBatch(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	spec := schedSpecBody(func(s *ScheduleSpec) { s.WorstCase = true; s.Seed = 42 })
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res ScheduleResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule == nil || len(res.Schedule.Waves) == 0 {
+		t.Fatalf("no schedule in %s", body)
+	}
+	placed := 0
+	for _, w := range res.Schedule.Waves {
+		placed += len(w.Assignments)
+	}
+	if placed != len(spec.Workloads) {
+		t.Fatalf("schedule places %d items, want %d", placed, len(spec.Workloads))
+	}
+	if res.Schedule.Makespan <= 0 || res.Schedule.Makespan > res.Schedule.SerialMakespan {
+		t.Fatalf("makespan %.3f vs serial %.3f", res.Schedule.Makespan, res.Schedule.SerialMakespan)
+	}
+	if res.WorstCase == nil || len(res.WorstCase.Bounds) != placed {
+		t.Fatalf("want %d worst-case bounds, got %+v", placed, res.WorstCase)
+	}
+	for _, b := range res.WorstCase.Bounds {
+		if b.WorstSlowdown < b.ExpectedSlowdown-1e-9 {
+			t.Errorf("%s on %s: worst %.4f < expected %.4f", b.Item, b.PU, b.WorstSlowdown, b.ExpectedSlowdown)
+		}
+	}
+
+	resp2, body2 := postJSON(t, ts.URL+"/v1/schedule", spec)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if string(body) != string(body2) {
+		t.Fatalf("sync schedule response not deterministic:\n%s\nvs\n%s", body, body2)
+	}
+}
+
+// TestScheduleSpecRejected: malformed requests fail with 400 before any
+// search runs.
+func TestScheduleSpecRejected(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body any
+	}{
+		{"unknown platform", ScheduleSpec{Platform: "no-such-soc", Workloads: schedItems()}},
+		{"no workloads", ScheduleSpec{Platform: "virtual-xavier"}},
+		{"bad objective", schedSpecBody(func(s *ScheduleSpec) { s.Objective = "speed" })},
+		{"negative window", schedSpecBody(func(s *ScheduleSpec) { s.WarmupCycles = -1 })},
+		{"unknown field", map[string]any{"platform": "virtual-xavier", "surprise": 1}},
+		{"unknown workload", ScheduleSpec{Platform: "virtual-xavier", Workloads: []sched.Item{{Workload: "nope"}}}},
+		{"no eligible pu", ScheduleSpec{Platform: "virtual-xavier", Workloads: []sched.Item{{Workload: "resnet50"}}}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/schedule", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", tc.name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestScheduleAsyncLifecycle: an explicit async submission is accepted as a
+// "schedule" job, completes through the shared queue, and carries its result
+// on the job record.
+func TestScheduleAsyncLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	spec := schedSpecBody(func(s *ScheduleSpec) { s.Async = true; s.WorstCase = true })
+
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Job.Kind != "schedule" || env.Job.State != JobQueued || env.Job.ID == "" {
+		t.Fatalf("submitted job = %+v", env.Job)
+	}
+	if env.Job.SchedSpec == nil || env.Job.SchedSpec.Platform != "virtual-xavier" {
+		t.Fatalf("job spec not echoed: %+v", env.Job.SchedSpec)
+	}
+
+	done := waitHTTPJob(t, ts.URL, env.Job.ID, 10*time.Second)
+	if done.State != JobCompleted {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Schedule == nil {
+		t.Fatalf("completed job carries no result: %+v", done)
+	}
+	if done.Result.WorstCase == nil {
+		t.Fatal("worst-case bounds missing from async result")
+	}
+
+	// The job is visible in the listing alongside calibrations.
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	found := false
+	for _, j := range list.Jobs {
+		found = found || j.ID == env.Job.ID
+	}
+	if !found {
+		t.Fatalf("job %s missing from /v1/jobs", env.Job.ID)
+	}
+}
+
+// TestScheduleAsyncCancel: a validating job (long simulator replay) is
+// cancelled via DELETE /v1/jobs/{id} and reaches the cancelled state without
+// burning the full simulation budget.
+func TestScheduleAsyncCancel(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	spec := schedSpecBody(func(s *ScheduleSpec) {
+		s.Validate = true
+		// A window long enough that the replay cannot win the race with the
+		// cancel below.
+		s.WarmupCycles = 500_000_000
+		s.MeasureCycles = 500_000_000
+	})
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env jobEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+env.Job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", cresp.StatusCode)
+	}
+	done := waitHTTPJob(t, ts.URL, env.Job.ID, 10*time.Second)
+	if done.State != JobCancelled {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	if done.Result != nil {
+		t.Fatal("cancelled job must not carry a result")
+	}
+}
+
+// TestScheduleOverloadShedsAsync: under the overload tier async scheduling
+// is refused with 503 + Retry-After (it is deferrable work), while small
+// sync solves — cheap model math — keep being answered.
+func TestScheduleOverloadShedsAsync(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	for i := 0; i < 200; i++ {
+		srv.degrade.RecordShed()
+	}
+	if tier := srv.degrade.Tier(); tier != TierOverload {
+		t.Fatalf("tier = %v, want overload", tier)
+	}
+
+	async := schedSpecBody(func(s *ScheduleSpec) { s.Async = true })
+	resp, body := postJSON(t, ts.URL+"/v1/schedule", async)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("async under overload: status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	sync := schedSpecBody(nil)
+	resp, body = postJSON(t, ts.URL+"/v1/schedule", sync)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync under overload: status %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestScheduleDeadlineExpiresInQueue: a schedule job whose client budget ran
+// out while queued fails before any search starts (X-Deadline-Ms
+// propagation through the job queue).
+func TestScheduleDeadlineExpiresInQueue(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	r := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 4,
+		reg:        NewRegistry(),
+		construct: func(context.Context, CalibrateSpec, func(int, int, int)) ([]core.Params, error) {
+			started <- struct{}{}
+			<-release
+			return nil, nil
+		},
+		schedule: func(context.Context, ScheduleSpec, func(int, int, int)) (*ScheduleResult, error) {
+			t.Error("expired job must not run")
+			return nil, nil
+		},
+		retry: simrun.DefaultRetryPolicy(),
+	})
+	defer r.Close(context.Background())
+
+	if _, err := r.Submit(CalibrateSpec{Platform: "virtual-xavier"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now pinned
+	past := time.Now().Add(-time.Second)
+	job, err := r.SubmitSchedule(ScheduleSpec{Platform: "virtual-xavier", Workloads: schedItems()}, &past)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	done := waitJob(t, r, job.ID, 5*time.Second)
+	if done.State != JobFailed || done.Error != "deadline exceeded before start" {
+		t.Fatalf("job = %s (%q)", done.State, done.Error)
+	}
+}
+
+// TestScheduleSubmitValidationAndQueueFull: SubmitSchedule validates specs
+// and applies the same backpressure as calibration.
+func TestScheduleSubmitValidationAndQueueFull(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	r := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 1,
+		reg:        NewRegistry(),
+		schedule: func(ctx context.Context, _ ScheduleSpec, _ func(int, int, int)) (*ScheduleResult, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return &ScheduleResult{Schedule: &sched.Schedule{}}, nil
+		},
+		retry: simrun.DefaultRetryPolicy(),
+	})
+	defer func() {
+		close(release)
+		r.Close(context.Background())
+	}()
+
+	if _, err := r.SubmitSchedule(ScheduleSpec{Platform: "nope", Workloads: schedItems()}, nil); err == nil {
+		t.Error("bad platform accepted")
+	}
+	if _, err := r.SubmitSchedule(ScheduleSpec{Platform: "virtual-xavier"}, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+
+	spec := ScheduleSpec{Platform: "virtual-xavier", Workloads: schedItems()}
+	if _, err := r.SubmitSchedule(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; next submission occupies the single queue slot
+	if _, err := r.SubmitSchedule(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SubmitSchedule(spec, nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overfull queue: err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestScheduleJobJournalReplay: a schedule job mid-flight at a crash is
+// re-queued from the journal with its spec intact, runs to completion, and
+// its result survives the next restart as a terminal, queryable record.
+func TestScheduleJobJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	journal1, replayed1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed1) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replayed1))
+	}
+
+	started := make(chan struct{}, 1)
+	block := make(chan struct{})
+	r1 := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 4,
+		reg:        NewRegistry(),
+		journal:    journal1,
+		schedule: func(ctx context.Context, _ ScheduleSpec, _ func(int, int, int)) (*ScheduleResult, error) {
+			started <- struct{}{}
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		},
+		retry: simrun.DefaultRetryPolicy(),
+	})
+
+	spec := ScheduleSpec{Platform: "virtual-xavier", Objective: "fairness", Workloads: schedItems()}
+	running, err := r1.SubmitSchedule(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // journaled as running
+
+	// "Crash": snapshot the journal as-is and abandon r1.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := filepath.Join(dir, "restarted.jsonl")
+	if err := os.WriteFile(crashed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	journal2, replayed2, err := OpenJournal(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed2) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(replayed2))
+	}
+	want := &sched.Schedule{Platform: "virtual-xavier", Objective: "fairness"}
+	r2 := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 4,
+		reg:        NewRegistry(),
+		journal:    journal2,
+		replayed:   replayed2,
+		schedule: func(_ context.Context, got ScheduleSpec, _ func(int, int, int)) (*ScheduleResult, error) {
+			if got.Platform != spec.Platform || got.Objective != spec.Objective || len(got.Workloads) != len(spec.Workloads) {
+				t.Errorf("replayed spec = %+v, want %+v", got, spec)
+			}
+			return &ScheduleResult{Schedule: want}, nil
+		},
+		retry: simrun.DefaultRetryPolicy(),
+	})
+	done := waitJob(t, r2, running.ID, 5*time.Second)
+	if done.State != JobCompleted {
+		t.Fatalf("after restart: %s (%s)", done.State, done.Error)
+	}
+	if done.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", done.Restarts)
+	}
+	if done.Result == nil || done.Result.Schedule == nil || done.Result.Schedule.Objective != "fairness" {
+		t.Fatalf("result lost across restart: %+v", done.Result)
+	}
+	if err := r2.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	journal2.Close()
+
+	// Third open: the completed job replays terminal, result intact, and is
+	// not re-run.
+	journal3, replayed3, err := OpenJournal(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3 := newJobRunner(jobRunnerOptions{
+		workers:    1,
+		queueDepth: 4,
+		reg:        NewRegistry(),
+		journal:    journal3,
+		replayed:   replayed3,
+		schedule: func(context.Context, ScheduleSpec, func(int, int, int)) (*ScheduleResult, error) {
+			t.Error("terminal schedule job re-ran after restart")
+			return nil, nil
+		},
+		retry: simrun.DefaultRetryPolicy(),
+	})
+	snap, ok := r3.Get(running.ID)
+	if !ok || snap.State != JobCompleted || snap.Result == nil || snap.Result.Schedule.Objective != "fairness" {
+		t.Fatalf("second replay: %+v", snap)
+	}
+	if err := r3.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	journal3.Close()
+
+	close(block)
+	r1.Close(context.Background())
+	journal1.Close()
+}
+
+// TestModelsListingSorted: GET /v1/models enumerates keys in sorted order
+// and the whole response is byte-stable — no map-iteration order leaks.
+func TestModelsListingSorted(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	// Widen the registry beyond the default two models so an unsorted
+	// enumeration has room to betray itself.
+	for _, pu := range []string{"DLA", "PVA", "AAA"} {
+		if err := srv.reg.Put(testParams("virtual-xavier", pu)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.reg.Put(testParams("virtual-snapdragon", "CPU")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/models", testParams("virtual-snapdragon", "GPU"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed POST status %d: %s", resp.StatusCode, body)
+	}
+
+	var first []byte
+	for i := 0; i < 5; i++ {
+		r, err := http.Get(ts.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", r.StatusCode)
+		}
+		if first == nil {
+			first = got
+		} else if string(got) != string(first) {
+			t.Fatalf("listing not byte-stable:\n%s\nvs\n%s", first, got)
+		}
+	}
+	var res modelsResponse
+	if err := json.Unmarshal(first, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != res.Count || res.Count != len(res.Models) {
+		t.Fatalf("count %d, %d keys, %d models", res.Count, len(res.Keys), len(res.Models))
+	}
+	if !sort.StringsAreSorted(res.Keys) {
+		t.Fatalf("keys not sorted: %v", res.Keys)
+	}
+	for _, k := range res.Keys {
+		if _, ok := res.Models[k]; !ok {
+			t.Fatalf("key %s missing from models map", k)
+		}
+	}
+}
+
+// TestSortedModelKeys covers the shared canonical-enumeration helper.
+func TestSortedModelKeys(t *testing.T) {
+	set := calib.ModelSet{
+		"virtual-xavier/GPU":     testParams("virtual-xavier", "GPU"),
+		"virtual-snapdragon/CPU": testParams("virtual-snapdragon", "CPU"),
+		"virtual-xavier/CPU":     testParams("virtual-xavier", "CPU"),
+		"virtual-xavier/DLA":     testParams("virtual-xavier", "DLA"),
+	}
+	got := sortedModelKeys(set)
+	want := []string{"virtual-snapdragon/CPU", "virtual-xavier/CPU", "virtual-xavier/DLA", "virtual-xavier/GPU"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -76,7 +76,8 @@ type Config struct {
 const (
 	// SiteHandler fires at the top of every instrumented HTTP handler.
 	SiteHandler = "server/handler"
-	// SiteJob fires as each queued calibration job starts running.
+	// SiteJob fires as each queued job (calibration or scheduling) starts
+	// running.
 	SiteJob = "server/job"
 )
 
@@ -218,6 +219,7 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 	route("POST /v1/models", "/v1/models", true, s.handleModelsPost)
 	route("POST /v1/models/reload", "/v1/models/reload", true, s.handleModelsReload)
 	route("POST /v1/calibrate", "/v1/calibrate", true, s.handleCalibrate)
+	route("POST /v1/schedule", "/v1/schedule", true, s.handleSchedule)
 	route("GET /v1/jobs", "/v1/jobs", true, s.handleJobs)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", true, s.handleJob)
 	route("DELETE /v1/jobs/{id}", "/v1/jobs/{id}", true, s.handleJobCancel)

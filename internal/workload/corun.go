@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // CorunWorkload is one three-PU co-run of the paper's Table 8: a Rodinia
 // benchmark on the CPU, one on the GPU, and a DNN on the DLA.
@@ -41,4 +44,158 @@ func (c CorunWorkload) On(pu string) (*Workload, error) {
 	default:
 		return nil, fmt.Errorf("workload: co-run %s has no PU %q", c.ID, pu)
 	}
+}
+
+// Partitions enumerates every way to split the listed workloads into
+// unordered co-run groups of at most groupSize members each. Entries are
+// treated positionally, so duplicate names yield duplicate slots (two
+// copies of "srad" can land in the same group or in different groups).
+// The enumeration is canonical and deterministic: within a partition,
+// groups appear ordered by their smallest member index and members keep
+// input order; across partitions, the group containing the first workload
+// grows from smallest to largest. An empty input yields one empty
+// partition. groupSize values below 1 are treated as 1 (serial execution);
+// values above len(names) are capped at len(names).
+func Partitions(names []string, groupSize int) [][][]string {
+	n := len(names)
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	if groupSize > n && n > 0 {
+		groupSize = n
+	}
+	var out [][][]string
+	var groups [][]int
+	var recurse func(remaining []int)
+	recurse = func(remaining []int) {
+		if len(remaining) == 0 {
+			part := make([][]string, len(groups))
+			for i, g := range groups {
+				members := make([]string, len(g))
+				for j, idx := range g {
+					members[j] = names[idx]
+				}
+				part[i] = members
+			}
+			out = append(out, part)
+			return
+		}
+		first, rest := remaining[0], remaining[1:]
+		for _, mates := range subsetsUpTo(rest, groupSize-1) {
+			group := append([]int{first}, mates...)
+			groups = append(groups, group)
+			recurse(without(rest, mates))
+			groups = groups[:len(groups)-1]
+		}
+	}
+	recurse(indexRange(n))
+	return out
+}
+
+// CountPartitions reports how many partitions Partitions(names, groupSize)
+// would enumerate for len(names) == n, without materializing them. It obeys
+// the recurrence P(0)=1, P(n) = Σ_{s=1..min(g,n)} C(n-1, s-1)·P(n-s): the
+// first remaining workload anchors a group and picks its s-1 group mates.
+// The count saturates at math.MaxInt64 instead of overflowing.
+func CountPartitions(n, groupSize int) int64 {
+	if n <= 0 {
+		return 1
+	}
+	if groupSize < 1 {
+		groupSize = 1
+	}
+	if groupSize > n {
+		groupSize = n
+	}
+	counts := make([]int64, n+1)
+	counts[0] = 1
+	for m := 1; m <= n; m++ {
+		var total int64
+		for s := 1; s <= groupSize && s <= m; s++ {
+			term := satMul(choose(int64(m-1), int64(s-1)), counts[m-s])
+			total = satAdd(total, term)
+		}
+		counts[m] = total
+	}
+	return counts[n]
+}
+
+// subsetsUpTo enumerates subsets of elems with at most max members, ordered
+// by size ascending, then lexicographically by element position. The empty
+// subset always comes first, which makes the serial partition (every
+// workload alone) the first one Partitions emits.
+func subsetsUpTo(elems []int, max int) [][]int {
+	out := [][]int{{}}
+	for size := 1; size <= max && size <= len(elems); size++ {
+		combo := make([]int, size)
+		var build func(start, depth int)
+		build = func(start, depth int) {
+			if depth == size {
+				out = append(out, append([]int(nil), combo...))
+				return
+			}
+			for i := start; i <= len(elems)-(size-depth); i++ {
+				combo[depth] = elems[i]
+				build(i+1, depth+1)
+			}
+		}
+		build(0, 0)
+	}
+	return out
+}
+
+// without returns elems minus the (sorted-by-position) picked values.
+func without(elems, picked []int) []int {
+	out := make([]int, 0, len(elems)-len(picked))
+	j := 0
+	for _, e := range elems {
+		if j < len(picked) && picked[j] == e {
+			j++
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func indexRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// choose computes the binomial coefficient C(n, k), saturating at
+// math.MaxInt64.
+func choose(n, k int64) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := int64(1); i <= k; i++ {
+		c = satMul(c, n-k+i)
+		c /= i
+	}
+	return c
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
 }

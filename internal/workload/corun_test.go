@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionsEmptySet(t *testing.T) {
+	got := Partitions(nil, 3)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("Partitions(nil) = %v, want one empty partition", got)
+	}
+	if n := CountPartitions(0, 3); n != 1 {
+		t.Fatalf("CountPartitions(0, 3) = %d, want 1", n)
+	}
+}
+
+func TestPartitionsSingleWorkload(t *testing.T) {
+	got := Partitions([]string{"srad"}, 3)
+	want := [][][]string{{{"srad"}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Partitions(single) = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionsGroupSizeExceedsCount(t *testing.T) {
+	// Group size larger than the workload count (e.g. more PUs than pending
+	// work) must cap at the count, not enumerate impossible groups.
+	small := Partitions([]string{"a", "b"}, 8)
+	capped := Partitions([]string{"a", "b"}, 2)
+	if !reflect.DeepEqual(small, capped) {
+		t.Fatalf("groupSize > n: got %v, want %v", small, capped)
+	}
+	want := [][][]string{
+		{{"a"}, {"b"}},
+		{{"a", "b"}},
+	}
+	if !reflect.DeepEqual(small, want) {
+		t.Fatalf("Partitions(a,b) = %v, want %v", small, want)
+	}
+}
+
+func TestPartitionsGroupSizeBelowOne(t *testing.T) {
+	got := Partitions([]string{"a", "b", "c"}, 0)
+	want := [][][]string{{{"a"}, {"b"}, {"c"}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groupSize 0 should force serial: got %v, want %v", got, want)
+	}
+}
+
+func TestPartitionsDuplicateSpecs(t *testing.T) {
+	// Duplicate names are positional: two copies of the same workload are
+	// distinct slots and still enumerate both the shared and split layouts.
+	got := Partitions([]string{"srad", "srad"}, 2)
+	want := [][][]string{
+		{{"srad"}, {"srad"}},
+		{{"srad", "srad"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Partitions(dup) = %v, want %v", got, want)
+	}
+}
+
+func TestPartitionsSerialFirstAndCanonical(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	parts := Partitions(names, 3)
+	// The serial partition (everything alone) must come first: the scheduler
+	// uses it as the always-feasible fallback.
+	want := [][]string{{"a"}, {"b"}, {"c"}, {"d"}}
+	if !reflect.DeepEqual(parts[0], want) {
+		t.Fatalf("first partition = %v, want serial %v", parts[0], want)
+	}
+	seen := map[string]bool{}
+	for _, p := range parts {
+		// Canonical form: groups ordered by smallest member, members in
+		// input order, every name present exactly once.
+		var flat []string
+		for gi, g := range p {
+			if len(g) == 0 {
+				t.Fatalf("empty group in %v", p)
+			}
+			if gi > 0 && p[gi-1][0] >= g[0] {
+				t.Fatalf("groups out of canonical order in %v", p)
+			}
+			flat = append(flat, g...)
+		}
+		if len(flat) != len(names) {
+			t.Fatalf("partition %v does not cover input", p)
+		}
+		key := ""
+		for _, g := range p {
+			key += "|"
+			for _, m := range g {
+				key += m + ","
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate partition %v", p)
+		}
+		seen[key] = true
+	}
+	if n := CountPartitions(len(names), 3); n != int64(len(parts)) {
+		t.Fatalf("CountPartitions = %d, enumerated %d", n, len(parts))
+	}
+}
+
+func TestCountPartitionsMatchesEnumeration(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for g := 1; g <= 6; g++ {
+		want := int64(len(Partitions(names, g)))
+		if got := CountPartitions(len(names), g); got != want {
+			t.Fatalf("CountPartitions(6, %d) = %d, want %d", g, got, want)
+		}
+	}
+	// g = n: P(n) is the Bell number; Bell(6) = 203.
+	if got := CountPartitions(6, 6); got != 203 {
+		t.Fatalf("CountPartitions(6, 6) = %d, want Bell(6)=203", got)
+	}
+}
+
+func TestCountPartitionsSaturates(t *testing.T) {
+	if got := CountPartitions(200, 200); got != math.MaxInt64 {
+		t.Fatalf("CountPartitions(200,200) = %d, want saturation", got)
+	}
+}

@@ -23,6 +23,10 @@
 //     the model.
 //   - Design-space exploration (§3.4/§4.3): pick PU frequencies under
 //     co-run slowdown budgets.
+//   - A contention-aware co-run scheduler (§3.4's scheduling use case):
+//     search PU assignments and co-run groupings for a batch of pending
+//     workloads with the slowdown model as the inner-loop cost, with
+//     worst-case contention bounds and simulator-replay validation.
 //
 // # Quick start
 //

@@ -1,6 +1,7 @@
 package pccs_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -161,5 +162,55 @@ func TestScalingFacade(t *testing.T) {
 	half := gpu.Scale(0.5)
 	if math.Abs(half.PeakBW-gpu.PeakBW/2) > 1e-9 {
 		t.Errorf("scaled peak = %v", half.PeakBW)
+	}
+}
+
+func TestScheduleFacade(t *testing.T) {
+	models, err := pccs.LoadModels("models/pccs-models.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pccs.Xavier()
+	items := []pccs.ScheduleItem{
+		{Workload: "streamcluster"},
+		{Workload: "pathfinder"},
+		{ID: "flat", DemandGBps: 30},
+	}
+	obj, err := pccs.ParseScheduleObjective("makespan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pccs.SolveSchedule(context.Background(), models, p, items, pccs.ScheduleOptions{Objective: obj, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan <= 0 || s.Makespan > s.SerialMakespan+1e-9 {
+		t.Errorf("makespan %v vs serial %v", s.Makespan, s.SerialMakespan)
+	}
+	placed := 0
+	for _, w := range s.Waves {
+		placed += len(w.Assignments)
+	}
+	if placed != len(items) {
+		t.Fatalf("placed %d of %d items", placed, len(items))
+	}
+	wc, err := pccs.ScheduleWorstCase(context.Background(), models, p, items, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wc.Bounds) != placed {
+		t.Fatalf("bounds for %d of %d assignments", len(wc.Bounds), placed)
+	}
+	for _, b := range wc.Bounds {
+		if b.WorstSlowdown < b.ExpectedSlowdown-1e-9 {
+			t.Errorf("%s: worst %v < expected %v", b.Item, b.WorstSlowdown, b.ExpectedSlowdown)
+		}
+	}
+	val, err := pccs.ValidateSchedule(context.Background(), p, s, pccs.QuickRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.ActualMakespan <= 0 {
+		t.Errorf("actual makespan %v", val.ActualMakespan)
 	}
 }

@@ -1,0 +1,68 @@
+package pccs
+
+import (
+	"context"
+
+	"github.com/processorcentricmodel/pccs/internal/sched"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+)
+
+// ScheduleItem is one pending workload handed to the scheduler: a
+// registered workload name, an explicit multi-phase profile, or a flat
+// bandwidth demand, plus optional PU restrictions and SLOs.
+type ScheduleItem = sched.Item
+
+// ScheduleOptions tunes the schedule search (objective, seed, workers,
+// beam width). The zero value optimizes makespan deterministically.
+type ScheduleOptions = sched.Options
+
+// ScheduleObjective selects what the scheduler optimizes.
+type ScheduleObjective = sched.Objective
+
+// Schedule objectives.
+const (
+	// MinMakespan minimizes the predicted completion time of the batch.
+	MinMakespan = sched.Makespan
+	// MaxThroughput minimizes total busy time burned to contention.
+	MaxThroughput = sched.Throughput
+	// MaxFairness minimizes the worst per-item slowdown.
+	MaxFairness = sched.Fairness
+)
+
+// ParseScheduleObjective converts "makespan", "throughput", or "fairness".
+func ParseScheduleObjective(s string) (ScheduleObjective, error) {
+	return sched.ParseObjective(s)
+}
+
+// Schedule is a planned set of co-run waves plus predicted metrics.
+type Schedule = sched.Schedule
+
+// WorstCase is the schedule-wide adversarial contention report.
+type WorstCase = sched.WorstCase
+
+// ScheduleValidation is the predicted-vs-actual report for a schedule
+// replayed through the simulator.
+type ScheduleValidation = sched.Validation
+
+// SolveSchedule searches PU assignments, co-run groupings, and launch
+// order for a batch of pending workloads, using the PCCS slowdown model as
+// the inner-loop cost (§3.4's use case, batch form). Small batches are
+// solved exactly; larger ones by seeded beam search. The same inputs,
+// options, and seed always yield the same schedule, at any worker count.
+func SolveSchedule(ctx context.Context, models ModelSet, p *Platform, items []ScheduleItem, opts ScheduleOptions) (*Schedule, error) {
+	return sched.Solve(ctx, models, p, items, opts)
+}
+
+// ScheduleWorstCase computes, for every assignment of a schedule, the
+// largest slowdown any co-runner mix drawn from the batch could inflict,
+// plus the model's saturated-memory ceiling. Bounds always dominate the
+// schedule's own expected slowdowns.
+func ScheduleWorstCase(ctx context.Context, models ModelSet, p *Platform, items []ScheduleItem, s *Schedule) (*WorstCase, error) {
+	return sched.WorstCaseBounds(ctx, models, p, items, s)
+}
+
+// ValidateSchedule replays a schedule wave-by-wave through the simulator
+// and reports predicted-vs-actual relative speeds and makespan.
+func ValidateSchedule(ctx context.Context, p *Platform, s *Schedule, rc RunConfig) (*ScheduleValidation, error) {
+	return sched.Validate(ctx, simrun.New(0), p, s, rc)
+}
