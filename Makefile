@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench fuzz check clean stress soak sched-demo
+.PHONY: build test race lint vet bench bench-json fuzz check clean stress soak sched-demo
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,15 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the serving/scheduling benchmark artifact — the same command
+# the nightly workflow publishes, so a local run is diffable against the
+# committed BENCH_serving.json baseline.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkServerPredict|BenchmarkServerSchedule|BenchmarkSchedule' \
+		-benchmem -count=1 ./internal/server ./internal/sched \
+		| $(GO) run ./cmd/pccs-benchjson -o BENCH_serving.json
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPredictDecode$$' -fuzztime 10s ./internal/server

@@ -10,8 +10,12 @@
 //
 // Usage:
 //
-//	pccs-calibrate [-o models/pccs-models.json] [-platform all|xavier|snapdragon]
+//	pccs-calibrate [-o models/pccs-models.json] [-platform all|<registered name>]
 //	               [-mode robust|strict] [-quick] [-workers N]
+//
+// -platform accepts any registered platform backend ("pccs-calibrate
+// -platform list" prints them); the historical aliases xavier and
+// snapdragon still resolve. "all" calibrates both reference SoCs.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
@@ -33,11 +38,11 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pccs-calibrate: ")
 	var (
-		out      = flag.String("o", "models/pccs-models.json", "output model file")
-		platform = flag.String("platform", "all", "platform to calibrate: all, xavier, snapdragon")
-		mode     = flag.String("mode", "robust", "extraction mode: robust or strict")
-		quick    = flag.Bool("quick", false, "short simulation windows (noisier parameters)")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		out     = flag.String("o", "models/pccs-models.json", "output model file")
+		plat    = flag.String("platform", "all", "platform to calibrate: all, list, or a registered name")
+		mode    = flag.String("mode", "robust", "extraction mode: robust or strict")
+		quick   = flag.Bool("quick", false, "short simulation windows (noisier parameters)")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -55,16 +60,25 @@ func main() {
 		rc = soc.QuickRunConfig()
 	}
 
-	var platforms []*soc.Platform
-	switch *platform {
+	var platforms []soc.Backend
+	switch *plat {
 	case "all":
-		platforms = []*soc.Platform{soc.VirtualXavier(), soc.VirtualSnapdragon()}
+		platforms = []soc.Backend{soc.VirtualXavier(), soc.VirtualSnapdragon()}
+	case "list":
+		for _, f := range platform.List() {
+			fmt.Printf("%-20s %-12s %s\n", f.Name, f.Family, f.Description)
+		}
+		return
 	case "xavier":
-		platforms = []*soc.Platform{soc.VirtualXavier()}
+		platforms = []soc.Backend{soc.VirtualXavier()}
 	case "snapdragon":
-		platforms = []*soc.Platform{soc.VirtualSnapdragon()}
+		platforms = []soc.Backend{soc.VirtualSnapdragon()}
 	default:
-		log.Fatalf("unknown platform %q", *platform)
+		b, err := platform.Get(*plat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		platforms = []soc.Backend{b}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,7 +94,7 @@ func main() {
 		set = existing // refresh only the requested platforms
 	}
 	for _, p := range platforms {
-		for i := range p.PUs {
+		for i := range p.PUList() {
 			start := time.Now()
 			params, matrix, err := calib.ConstructPUContext(ctx, ex, p, i, rc, opt)
 			fmt.Fprint(os.Stderr, "\r\n")
@@ -90,9 +104,9 @@ func main() {
 					if serr := set.Save(*out); serr == nil && len(set) > 0 {
 						fmt.Fprintf(os.Stderr, "interrupted: wrote %d completed models to %s\n", len(set), *out)
 					}
-					log.Fatalf("interrupted while constructing %s/%s", p.Name, p.PUs[i].Name)
+					log.Fatalf("interrupted while constructing %s/%s", p.PlatformName(), p.PUList()[i].Name)
 				}
-				log.Fatalf("constructing %s/%s: %v", p.Name, p.PUs[i].Name, err)
+				log.Fatalf("constructing %s/%s: %v", p.PlatformName(), p.PUList()[i].Name, err)
 			}
 			set.Put(params)
 			fmt.Printf("%s  (%d×%d matrix, %s, %d workers)\n", params,

@@ -37,6 +37,7 @@ func main() {
 		full     = flag.Bool("full", false, "use long simulation windows (slower, less noise)")
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", true, "print simulation-point progress to stderr")
+		plats    = flag.String("platform", "", "comma-separated registered platforms for the cross-backend experiments (empty = their defaults)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,11 @@ func main() {
 	sig, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ctx.Sim = sig
+	if *plats != "" {
+		for _, name := range strings.Split(*plats, ",") {
+			ctx.Backends = append(ctx.Backends, strings.TrimSpace(name))
+		}
+	}
 	if *workers > 0 {
 		ctx.Exec = simrun.New(*workers)
 	}

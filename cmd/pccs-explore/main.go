@@ -15,8 +15,8 @@ import (
 
 	"github.com/processorcentricmodel/pccs/internal/explore"
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	plat "github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/server"
-	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
 func main() {
@@ -44,12 +44,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var peak float64
-	switch *platform {
-	case "virtual-snapdragon":
-		peak = soc.VirtualSnapdragon().PeakGBps()
-	default:
-		peak = soc.VirtualXavier().PeakGBps()
+	// Resolve the SoC peak from the registered backend when the name is
+	// known, else fall back to the model's own recorded peak.
+	peak := m.PeakBW
+	if b, err := plat.Get(*platform); err == nil {
+		peak = b.PeakGBps()
 	}
 	g, err := gables.New(peak)
 	if err != nil {

@@ -18,8 +18,8 @@ import (
 	"log"
 
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	plat "github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/server"
-	"github.com/processorcentricmodel/pccs/internal/soc"
 	"github.com/processorcentricmodel/pccs/internal/workload"
 )
 
@@ -82,14 +82,11 @@ func main() {
 	fmt.Printf("  region: %v\n", m.Region(x))
 	fmt.Printf("  PCCS:   %.1f%% of standalone speed (slowdown %.2fx)\n", rs, 100/rs)
 	if *baseline {
-		var peak float64
-		switch *platform {
-		case "virtual-xavier":
-			peak = soc.VirtualXavier().PeakGBps()
-		case "virtual-snapdragon":
-			peak = soc.VirtualSnapdragon().PeakGBps()
-		default:
-			peak = m.PeakBW
+		// Resolve the SoC peak from the registered backend when the name
+		// is known, else fall back to the model's own recorded peak.
+		peak := m.PeakBW
+		if b, err := plat.Get(*platform); err == nil {
+			peak = b.PeakGBps()
 		}
 		g, err := gables.New(peak)
 		if err != nil {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/report"
 	"github.com/processorcentricmodel/pccs/internal/sched"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
@@ -40,7 +41,7 @@ func main() {
 	log.SetPrefix("pccs-sched: ")
 	var (
 		modelPath = flag.String("models", "models/pccs-models.json", "constructed model file")
-		platform  = flag.String("platform", "virtual-xavier", "platform: virtual-xavier or virtual-snapdragon")
+		platName  = flag.String("platform", "virtual-xavier", "registered platform backend (xavier/snapdragon are aliases)")
 		workloads = flag.String("workloads", "", "comma-separated registered workload names to schedule")
 		specPath  = flag.String("spec", "", "JSON file holding a []sched.Item batch (overrides -workloads)")
 		objective = flag.String("objective", "makespan", "optimization target: makespan, throughput, or fairness")
@@ -57,14 +58,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var p *soc.Platform
-	switch *platform {
+	var p soc.Backend
+	switch *platName {
 	case "virtual-xavier", "xavier":
 		p = soc.VirtualXavier()
 	case "virtual-snapdragon", "snapdragon":
 		p = soc.VirtualSnapdragon()
 	default:
-		log.Fatalf("unknown platform %q (want virtual-xavier or virtual-snapdragon)", *platform)
+		b, err := platform.Get(*platName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = b
 	}
 	models, err := calib.Load(*modelPath)
 	if err != nil {

@@ -61,10 +61,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/server"
 )
 
@@ -107,6 +109,24 @@ func envSeed() uint64 {
 	return 1
 }
 
+// platformAllowlist parses the -platform flag: a comma-separated list of
+// registered platform names, validated eagerly so a typo fails startup
+// instead of every request.
+func platformAllowlist(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := platform.Get(name); err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pccsd: ")
@@ -132,6 +152,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-calibration-job execution bound (0 = unbounded); timeouts trip the breaker")
 		brCooldown = flag.Duration("breaker-cooldown", 0, "calibration circuit-breaker open duration before a half-open probe (0 = 15s)")
 		debugAddr  = flag.String("debug-addr", "", "loopback-only net/http/pprof listener, e.g. 127.0.0.1:6060 (empty disables)")
+		plats      = flag.String("platform", "", "comma-separated platform allowlist for calibrate/schedule requests (empty = every registered platform)")
 	)
 	flag.Parse()
 
@@ -167,6 +188,7 @@ func main() {
 		RateBurst:       *rateBurst,
 		JobTimeout:      *jobTimeout,
 		Breaker:         server.BreakerConfig{Cooldown: *brCooldown},
+		Platforms:       platformAllowlist(*plats),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -38,24 +38,24 @@ func LoadModels(path string) (ModelSet, error) { return calib.Load(path) }
 // parameters. It returns the model and the measured matrix. The sweep's
 // grid points fan out over a GOMAXPROCS worker pool; the result is
 // bit-identical to a serial sweep.
-func Construct(p *Platform, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
+func Construct(p Backend, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
 	return calib.ConstructPU(p, pu, rc, opt)
 }
 
 // ConstructContext is Construct with cancellation: the sweep aborts as soon
 // as ctx is done and returns the context error.
-func ConstructContext(ctx context.Context, p *Platform, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
+func ConstructContext(ctx context.Context, p Backend, pu int, rc RunConfig, opt ExtractOptions) (Params, *Matrix, error) {
 	return calib.ConstructPUContext(ctx, nil, p, pu, rc, opt)
 }
 
 // ConstructAll builds models for every PU of a platform.
-func ConstructAll(p *Platform, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
+func ConstructAll(p Backend, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
 	return calib.ConstructPlatform(p, rc, opt)
 }
 
 // ConstructAllContext is ConstructAll with cancellation. One executor (and
 // its standalone-measurement memo cache) is shared across the PUs.
-func ConstructAllContext(ctx context.Context, p *Platform, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
+func ConstructAllContext(ctx context.Context, p Backend, rc RunConfig, opt ExtractOptions) (ModelSet, error) {
 	return calib.ConstructPlatformContext(ctx, nil, p, rc, opt)
 }
 
@@ -65,13 +65,13 @@ func Extract(m *Matrix, opt ExtractOptions) (Params, error) { return calib.Extra
 // MeasureRelativeSpeeds runs a placement standalone-then-co-run on the
 // platform and reports each PU's achieved relative speed — the ground-truth
 // measurement the models are validated against.
-func MeasureRelativeSpeeds(p *Platform, pl Placement, rc RunConfig) (map[int]PUResult, error) {
-	return p.RelativeSpeeds(pl, rc)
+func MeasureRelativeSpeeds(p Backend, pl Placement, rc RunConfig) (map[int]PUResult, error) {
+	return MeasureRelativeSpeedsContext(context.Background(), p, pl, rc)
 }
 
 // MeasureRelativeSpeedsContext is MeasureRelativeSpeeds with cancellation;
 // the co-run and every standalone reference proceed concurrently, with
 // results identical to the serial method.
-func MeasureRelativeSpeedsContext(ctx context.Context, p *Platform, pl Placement, rc RunConfig) (map[int]PUResult, error) {
+func MeasureRelativeSpeedsContext(ctx context.Context, p Backend, pl Placement, rc RunConfig) (map[int]PUResult, error) {
 	return simrun.RelativeSpeeds(ctx, simrun.New(0), p, pl, rc)
 }

@@ -14,42 +14,43 @@ import (
 // CPU model, and the CPU pressures the GPU and DLA models (§4.1.1). By the
 // source-obliviousness insight the choice is immaterial; it just needs to be
 // a different PU able to generate enough traffic.
-func PressurePUFor(p *soc.Platform, target int) (int, error) {
+func PressurePUFor(b soc.Backend, target int) (int, error) {
+	pus := b.PUList()
 	want := soc.CPU
-	if p.PUs[target].Kind == soc.CPU || p.PUs[target].Kind == soc.Core {
+	if pus[target].Kind == soc.CPU || pus[target].Kind == soc.Core {
 		want = soc.GPU
 	}
-	for i, pu := range p.PUs {
+	for i, pu := range pus {
 		if i != target && pu.Kind == want {
 			return i, nil
 		}
 	}
-	for i := range p.PUs {
+	for i := range pus {
 		if i != target {
 			return i, nil
 		}
 	}
-	return -1, fmt.Errorf("calib: platform %s has no pressure PU for target %d", p.Name, target)
+	return -1, fmt.Errorf("calib: platform %s has no pressure PU for target %d", b.PlatformName(), target)
 }
 
 // ConstructPU builds the PCCS model for one PU of a platform: sweep the
 // calibrator grid, then extract parameters.
-func ConstructPU(p *soc.Platform, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
-	return ConstructPUContext(context.Background(), nil, p, target, rc, opt)
+func ConstructPU(b soc.Backend, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
+	return ConstructPUContext(context.Background(), nil, b, target, rc, opt)
 }
 
 // ConstructPUContext is ConstructPU with cancellation and a shared executor
 // (nil for a private GOMAXPROCS pool): the sweep's grid points fan out over
 // the pool and the executor's memo cache carries standalone measurements
 // across sweeps.
-func ConstructPUContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
-	pressure, err := PressurePUFor(p, target)
+func ConstructPUContext(ctx context.Context, ex *simrun.Executor, b soc.Backend, target int, rc soc.RunConfig, opt Options) (core.Params, *Matrix, error) {
+	pressure, err := PressurePUFor(b, target)
 	if err != nil {
 		return core.Params{}, nil, err
 	}
-	cfg := DefaultSweep(p, target, pressure)
+	cfg := DefaultSweep(b, target, pressure)
 	cfg.Run = rc
-	m, err := SweepContext(ctx, ex, p, cfg)
+	m, err := SweepContext(ctx, ex, b, cfg)
 	if err != nil {
 		return core.Params{}, nil, err
 	}
@@ -57,27 +58,28 @@ func ConstructPUContext(ctx context.Context, ex *simrun.Executor, p *soc.Platfor
 	if err != nil {
 		return core.Params{}, nil, err
 	}
+	params.Backend = soc.BackendFamilyOf(b)
 	return params, m, nil
 }
 
 // ConstructPlatform builds models for every PU of the platform.
-func ConstructPlatform(p *soc.Platform, rc soc.RunConfig, opt Options) (ModelSet, error) {
-	return ConstructPlatformContext(context.Background(), nil, p, rc, opt)
+func ConstructPlatform(b soc.Backend, rc soc.RunConfig, opt Options) (ModelSet, error) {
+	return ConstructPlatformContext(context.Background(), nil, b, rc, opt)
 }
 
 // ConstructPlatformContext builds models for every PU on one shared
 // executor. PUs are constructed in order (extraction needs a full matrix per
 // PU) but every sweep's grid fans out over the pool, and the shared memo
 // cache serves standalone points common to several sweeps.
-func ConstructPlatformContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, rc soc.RunConfig, opt Options) (ModelSet, error) {
+func ConstructPlatformContext(ctx context.Context, ex *simrun.Executor, b soc.Backend, rc soc.RunConfig, opt Options) (ModelSet, error) {
 	if ex == nil {
 		ex = simrun.New(0)
 	}
 	set := ModelSet{}
-	for i := range p.PUs {
-		params, _, err := ConstructPUContext(ctx, ex, p, i, rc, opt)
+	for i := range b.PUList() {
+		params, _, err := ConstructPUContext(ctx, ex, b, i, rc, opt)
 		if err != nil {
-			return nil, fmt.Errorf("calib: constructing %s/%s: %w", p.Name, p.PUs[i].Name, err)
+			return nil, fmt.Errorf("calib: constructing %s/%s: %w", b.PlatformName(), b.PUList()[i].Name, err)
 		}
 		set.Put(params)
 	}

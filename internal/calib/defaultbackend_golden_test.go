@@ -1,0 +1,75 @@
+package calib
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+// TestDefaultBackendGolden pins the default virtual-SoC backend to exact
+// pre-refactor numbers: the backend-interface seam must not perturb a
+// single bit of the simulation results on the platforms every existing
+// figure is built from. The values were captured from the concrete
+// *soc.Platform code path before the Backend interface existed; if this
+// test fails, a "pure refactor" changed the physics.
+func calibrator(arch soc.PU, demand float64) traffic.Spec {
+	return traffic.Spec{
+		Name:        fmt.Sprintf("cal-%02.0f", demand),
+		DemandGBps:  demand,
+		Outstanding: arch.Outstanding,
+		RunLines:    arch.RunLines,
+		Streams:     arch.Streams,
+	}
+}
+
+func TestDefaultBackendGolden(t *testing.T) {
+	p := soc.VirtualXavier()
+	rc := soc.QuickRunConfig()
+
+	// One co-run: a 30 GB/s kernel on the CPU against 60 GB/s of GPU
+	// pressure.
+	pl := soc.Placement{
+		0: soc.Kernel{Name: "golden-cpu", DemandGBps: 30},
+		1: soc.ExternalPressure(60),
+	}
+	out, err := p.RunContext(context.Background(), pl, rc)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	got := fmt.Sprintf("cpu=%.9g gpu=%.9g eff=%.9g rowhit=%.9g",
+		out.Results[0].AchievedGBps, out.Results[1].AchievedGBps,
+		out.EffectiveGBps, out.RowHitRate)
+	const wantCorun = "cpu=29.9507328 gpu=60.0134054 eff=89.9395661 rowhit=0.747639791"
+	if got != wantCorun {
+		t.Errorf("co-run drifted from the pre-refactor baseline:\n got  %s\n want %s", got, wantCorun)
+	}
+
+	// A tiny calibration sweep: 2 calibrators x 2 external-demand rungs on
+	// the GPU under CPU pressure, through the full parallel executor path.
+	cfg := SweepConfig{
+		TargetPU:   1,
+		PressurePU: 0,
+		Calibrators: []traffic.Spec{
+			calibrator(p.PUs[1], 20),
+			calibrator(p.PUs[1], 60),
+		},
+		ExtGBps: []float64{25, 80},
+		Run:     rc,
+	}
+	m, err := SweepContext(context.Background(), simrun.New(2), p, cfg)
+	if err != nil {
+		t.Fatalf("SweepContext: %v", err)
+	}
+	var rows string
+	for i := range m.StdBW {
+		rows += fmt.Sprintf("[x=%.9g rs=%.9g,%.9g]", m.StdBW[i], m.Rela[i][0], m.Rela[i][1])
+	}
+	const wantSweep = "[x=20.0003731 rs=100,100][x=60.0209136 rs=99.9727071,98.3533292]"
+	if rows != wantSweep {
+		t.Errorf("sweep matrix drifted from the pre-refactor baseline:\n got  %s\n want %s", rows, wantSweep)
+	}
+}

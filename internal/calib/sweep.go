@@ -28,14 +28,14 @@ type SweepConfig struct {
 // DefaultSweep builds the standard construction sweep for a platform PU:
 // calibrators from 10% to 100% of the SoC peak in 10% steps, external
 // demands likewise — mirroring §2.2's characterization grid.
-func DefaultSweep(p *soc.Platform, targetPU, pressurePU int) SweepConfig {
-	peak := p.PeakGBps()
+func DefaultSweep(b soc.Backend, targetPU, pressurePU int) SweepConfig {
+	peak := b.PeakGBps()
 	step := peak / 10
 	var ext []float64
 	for i := 1; i <= 10; i++ {
 		ext = append(ext, step*float64(i))
 	}
-	arch := p.PUs[targetPU]
+	arch := b.PUList()[targetPU]
 	var cals []traffic.Spec
 	for i := 1; i <= 10; i++ {
 		d := step * float64(i)
@@ -59,8 +59,8 @@ func DefaultSweep(p *soc.Platform, targetPU, pressurePU int) SweepConfig {
 // Sweep measures the rela matrix: each calibrator runs standalone, then
 // co-runs against each external demand level; achieved relative speeds fill
 // the matrix (§3.2, construction step one).
-func Sweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
-	return SweepContext(context.Background(), nil, p, cfg)
+func Sweep(b soc.Backend, cfg SweepConfig) (*Matrix, error) {
+	return SweepContext(context.Background(), nil, b, cfg)
 }
 
 // SweepContext is Sweep running on a shared executor: every grid point is
@@ -69,15 +69,15 @@ func Sweep(p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
 // served from the executor's memo cache. Results are assembled in grid
 // order, so the matrix is identical to the serial sweep's. A nil executor
 // uses a private GOMAXPROCS pool.
-func SweepContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, cfg SweepConfig) (*Matrix, error) {
+func SweepContext(ctx context.Context, ex *simrun.Executor, b soc.Backend, cfg SweepConfig) (*Matrix, error) {
 	if ex == nil {
 		ex = simrun.New(0)
 	}
 	if cfg.TargetPU == cfg.PressurePU {
 		return nil, fmt.Errorf("calib: target and pressure PU are both %d", cfg.TargetPU)
 	}
-	if cfg.TargetPU < 0 || cfg.TargetPU >= len(p.PUs) ||
-		cfg.PressurePU < 0 || cfg.PressurePU >= len(p.PUs) {
+	if cfg.TargetPU < 0 || cfg.TargetPU >= len(b.PUList()) ||
+		cfg.PressurePU < 0 || cfg.PressurePU >= len(b.PUList()) {
 		return nil, fmt.Errorf("calib: PU indices out of range")
 	}
 	if len(cfg.Calibrators) == 0 || len(cfg.ExtGBps) == 0 {
@@ -85,9 +85,9 @@ func SweepContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, cfg
 	}
 
 	m := &Matrix{
-		PeakBW:   p.PeakGBps(),
-		PU:       p.PUs[cfg.TargetPU].Name,
-		Platform: p.Name,
+		PeakBW:   b.PeakGBps(),
+		PU:       b.PUList()[cfg.TargetPU].Name,
+		Platform: b.PlatformName(),
 	}
 	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
 
@@ -101,7 +101,7 @@ func SweepContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, cfg
 			Streams:     c.Streams,
 		}
 	}
-	alone, err := ex.StandaloneBatch(ctx, p, cfg.TargetPU, kernels, cfg.Run)
+	alone, err := ex.StandaloneBatch(ctx, b, cfg.TargetPU, kernels, cfg.Run)
 	if err != nil {
 		return nil, fmt.Errorf("calib: %w", err)
 	}
@@ -133,7 +133,7 @@ func SweepContext(ctx context.Context, ex *simrun.Executor, p *soc.Platform, cfg
 			})
 		}
 	}
-	results, err := ex.Execute(ctx, p, points)
+	results, err := ex.Execute(ctx, b, points)
 	if err != nil {
 		return nil, fmt.Errorf("calib: sweep: %w", err)
 	}

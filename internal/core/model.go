@@ -51,6 +51,10 @@ type Params struct {
 	PU string
 	// Platform names the SoC the model was constructed on.
 	Platform string
+	// Backend names the simulation-backend family the model was
+	// constructed on ("virtual-soc", "chiplet", "pim", ...). Empty in
+	// legacy artifacts and means the default virtual-SoC backend.
+	Backend string `json:",omitempty"`
 
 	// NormalBW separates the minor and normal contention regions.
 	NormalBW float64

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
@@ -31,6 +32,12 @@ type Context struct {
 	Sim context.Context
 	// Exec is the worker pool every measurement point runs on.
 	Exec *simrun.Executor
+
+	// Backends optionally restricts the platforms the cross-backend
+	// experiments (ext-backends) sweep; empty means every registered
+	// extended family plus the default reference. The CLI's -platform
+	// flag sets it.
+	Backends []string
 
 	platforms map[string]*soc.Platform
 }
@@ -69,6 +76,16 @@ func (c *Context) Platform(name string) (*soc.Platform, error) {
 	return p, nil
 }
 
+// Backend resolves any registered platform by name: the cached virtual
+// platforms first (so experiments sharing them also share the memo cache),
+// then the platform registry (chiplet, NPU, PIM families).
+func (c *Context) Backend(name string) (soc.Backend, error) {
+	if p, ok := c.platforms[name]; ok {
+		return p, nil
+	}
+	return platform.Get(name)
+}
+
 // Xavier returns the virtual Xavier.
 func (c *Context) Xavier() *soc.Platform { return c.platforms["virtual-xavier"] }
 
@@ -77,8 +94,8 @@ func (c *Context) Snapdragon() *soc.Platform { return c.platforms["virtual-snapd
 
 // StandaloneAchieved measures (memoized) the standalone achieved bandwidth
 // of a kernel on a platform PU.
-func (c *Context) StandaloneAchieved(p *soc.Platform, pu int, k soc.Kernel) (float64, error) {
-	res, err := c.Exec.Cache.Standalone(c.Sim, p, pu, k, c.Run)
+func (c *Context) StandaloneAchieved(b soc.Backend, pu int, k soc.Kernel) (float64, error) {
+	res, err := c.Exec.Cache.Standalone(c.Sim, b, pu, k, c.Run)
 	if err != nil {
 		return 0, err
 	}
@@ -86,18 +103,18 @@ func (c *Context) StandaloneAchieved(p *soc.Platform, pu int, k soc.Kernel) (flo
 }
 
 // RunSim runs one placement under the experiment's context and window.
-func (c *Context) RunSim(p *soc.Platform, pl soc.Placement) (*soc.RunOutcome, error) {
-	return p.RunContext(c.Sim, pl, c.Run)
+func (c *Context) RunSim(b soc.Backend, pl soc.Placement) (*soc.RunOutcome, error) {
+	return b.RunContext(c.Sim, pl, c.Run)
 }
 
 // RunBatch fans a set of independent placements out over the executor pool
 // and returns their outcomes in input order.
-func (c *Context) RunBatch(p *soc.Platform, pls []soc.Placement) ([]*soc.RunOutcome, error) {
+func (c *Context) RunBatch(b soc.Backend, pls []soc.Placement) ([]*soc.RunOutcome, error) {
 	points := make([]simrun.Point, len(pls))
 	for i, pl := range pls {
 		points[i] = simrun.Point{Placement: pl, Run: c.Run}
 	}
-	results, err := c.Exec.Execute(c.Sim, p, points)
+	results, err := c.Exec.Execute(c.Sim, b, points)
 	if err != nil {
 		return nil, err
 	}
@@ -113,8 +130,8 @@ func (c *Context) RunBatch(p *soc.Platform, pls []soc.Placement) ([]*soc.RunOutc
 
 // ActualRS measures the achieved relative speed (percent) of kernel k on
 // target under external pressure ext GB/s generated on pressurePU.
-func (c *Context) ActualRS(p *soc.Platform, target int, k soc.Kernel, pressurePU int, ext float64) (float64, error) {
-	rs, err := c.ActualRSLadder(p, target, k, pressurePU, []float64{ext})
+func (c *Context) ActualRS(b soc.Backend, target int, k soc.Kernel, pressurePU int, ext float64) (float64, error) {
+	rs, err := c.ActualRSLadder(b, target, k, pressurePU, []float64{ext})
 	if err != nil {
 		return 0, err
 	}
@@ -125,8 +142,8 @@ func (c *Context) ActualRS(p *soc.Platform, target int, k soc.Kernel, pressurePU
 // under each external demand of the ladder: the standalone reference comes
 // from the memo cache and the co-runs fan out over the pool. Results are in
 // ladder order, identical to measuring each point serially.
-func (c *Context) ActualRSLadder(p *soc.Platform, target int, k soc.Kernel, pressurePU int, exts []float64) ([]float64, error) {
-	alone, err := c.StandaloneAchieved(p, target, k)
+func (c *Context) ActualRSLadder(b soc.Backend, target int, k soc.Kernel, pressurePU int, exts []float64) ([]float64, error) {
+	alone, err := c.StandaloneAchieved(b, target, k)
 	if err != nil {
 		return nil, err
 	}
@@ -138,7 +155,7 @@ func (c *Context) ActualRSLadder(p *soc.Platform, target int, k soc.Kernel, pres
 		}
 		pls[i] = pl
 	}
-	outs, err := c.RunBatch(p, pls)
+	outs, err := c.RunBatch(b, pls)
 	if err != nil {
 		return nil, err
 	}
@@ -159,8 +176,8 @@ func (c *Context) ActualRSLadder(p *soc.Platform, target int, k soc.Kernel, pres
 // CorunRS measures each placed PU's achieved relative speed (percent) in a
 // full co-run, with memoized standalone references; all runs fan out over
 // the pool.
-func (c *Context) CorunRS(p *soc.Platform, pl soc.Placement) (map[int]float64, error) {
-	res, err := simrun.RelativeSpeeds(c.Sim, c.Exec, p, pl, c.Run)
+func (c *Context) CorunRS(b soc.Backend, pl soc.Placement) (map[int]float64, error) {
+	res, err := simrun.RelativeSpeeds(c.Sim, c.Exec, b, pl, c.Run)
 	if err != nil {
 		return nil, err
 	}
@@ -173,8 +190,8 @@ func (c *Context) CorunRS(p *soc.Platform, pl soc.Placement) (map[int]float64, e
 
 // PressureLadder returns the paper's external-demand ladder for a platform:
 // 10% to 100% of peak DRAM bandwidth in 10% strides (§4.1.1).
-func PressureLadder(p *soc.Platform) []float64 {
-	peak := p.PeakGBps()
+func PressureLadder(b soc.Backend) []float64 {
+	peak := b.PeakGBps()
 	out := make([]float64, 10)
 	for i := range out {
 		out[i] = peak * float64(i+1) / 10

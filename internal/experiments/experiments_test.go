@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig2", "fig3", "fig5", "fig6", "table3", "table5", "table7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"table9", "fig15", "sourceobl", "summary", "usecase-cores", "ext-multimc", "ext-dnnphases", "ext-sched",
+		"table9", "fig15", "sourceobl", "summary", "usecase-cores", "ext-multimc", "ext-dnnphases", "ext-sched", "ext-backends",
 		"ablation-piecewise", "ablation-extraction", "ablation-calibrators", "ablation-policies", "ablation-refresh",
 	}
 	for _, id := range want {

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExtBackendsSmoke(t *testing.T) {
+	ctx, buf := testContext(t)
+	ctx.Backends = []string{"virtual-xavier", "pim-xavier"}
+	e, _ := Get("ext-backends")
+	if err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pim-xavier", "source-obliviousness", "bias"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ext-backends output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -103,7 +103,7 @@ func (d Diagnostic) String() string {
 var CoreScope = map[string]bool{
 	"soc": true, "dram": true, "memctrl": true, "traffic": true,
 	"workload": true, "calib": true, "simrun": true, "faultinject": true,
-	"sched": true,
+	"sched": true, "platform": true,
 }
 
 // pkgBase returns the last segment of an import path, which the scoped

@@ -3,7 +3,7 @@ package lint
 import "testing"
 
 func TestNoDeterminism(t *testing.T) {
-	testAnalyzer(t, NoDeterminism, "nodeterminism/simrun", "nodeterminism/sched", "nodeterminism/outofscope")
+	testAnalyzer(t, NoDeterminism, "nodeterminism/simrun", "nodeterminism/sched", "nodeterminism/platform", "nodeterminism/outofscope")
 }
 
 func TestCtxFlow(t *testing.T) {
@@ -11,7 +11,7 @@ func TestCtxFlow(t *testing.T) {
 }
 
 func TestGuardedBy(t *testing.T) {
-	testAnalyzer(t, GuardedBy, "guardedby/relspeeds")
+	testAnalyzer(t, GuardedBy, "guardedby/relspeeds", "guardedby/platform")
 }
 
 func TestDurableWrite(t *testing.T) {

@@ -1,0 +1,53 @@
+// Fixture: the platform registry keeps its factory table behind a mutex —
+// init-time Register and request-time Get race otherwise. Mirrors the
+// `// guarded by mu` idiom the guardedby analyzer enforces on the real
+// internal/platform package.
+package platform
+
+import "sync"
+
+type factory func() int
+
+type registry struct {
+	mu        sync.Mutex
+	factories map[string]factory // guarded by mu
+	frozen    bool               // guarded by mu
+}
+
+func (r *registry) register(name string, f factory) {
+	r.factories[name] = f // want `write of r\.factories without holding r\.mu`
+}
+
+func (r *registry) registerLocked(name string, f factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.factories[name] = f
+}
+
+func (r *registry) lookup(name string) (factory, bool) {
+	f, ok := r.factories[name] // want `read of r\.factories without holding r\.mu`
+	return f, ok
+}
+
+func (r *registry) lookupLocked(name string) (factory, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.factories[name]
+	return f, ok
+}
+
+// A lock taken inside a spawned goroutine does not cover the enclosing
+// function's bare write.
+func (r *registry) freezeAsync() {
+	go func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		_ = len(r.factories)
+	}()
+	r.frozen = true // want `write of r\.frozen without holding r\.mu`
+}
+
+var _ = []any{
+	(*registry).register, (*registry).registerLocked,
+	(*registry).lookup, (*registry).lookupLocked, (*registry).freezeAsync,
+}

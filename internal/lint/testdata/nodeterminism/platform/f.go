@@ -1,0 +1,61 @@
+// Fixture: the platform backends joined CoreScope when the substrate seam
+// landed — a wrapper backend's contention stage runs inside every
+// simulation, so a wall-clock read, a global RNG draw, or map-ordered
+// float accumulation there corrupts bit-identity exactly like it would in
+// the engine itself.
+package platform
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type kernel struct {
+	pu     int
+	demand float64
+}
+
+func linkStageTimed(pl map[int]kernel) float64 {
+	start := time.Now() // want `time.Now in the simulation core`
+	load := 0.0
+	for _, k := range pl {
+		load += k.demand
+	}
+	_ = time.Since(start) // want `time.Since in the simulation core`
+	return load
+}
+
+func jitterHop(base float64) float64 {
+	return base * (1 + rand.Float64()/100) // want `draws from the process-global generator`
+}
+
+func seededNoise(seed int64, base float64) float64 {
+	r := rand.New(rand.NewSource(seed)) // seeded per-backend generator is the idiom
+	return base * (1 + r.Float64()/100)
+}
+
+// Per-die load summed in map order: float addition is not associative, so
+// the throttle factor would change run to run.
+func dieLoads(pl map[int]kernel) []float64 {
+	var loads []float64
+	for _, k := range pl { // want `map iteration feeds loads in random order`
+		loads = append(loads, k.demand)
+	}
+	return loads
+}
+
+func dieLoadsSorted(pl map[int]kernel) []float64 {
+	var pus []int
+	for pu := range pl { // accumulate-then-sort keeps accumulation canonical
+		pus = append(pus, pu)
+	}
+	sort.Ints(pus)
+	loads := make([]float64, 0, len(pus))
+	for _, pu := range pus {
+		loads = append(loads, pl[pu].demand)
+	}
+	return loads
+}
+
+var _ = []any{linkStageTimed, jitterHop, seededNoise, dieLoads, dieLoadsSorted}

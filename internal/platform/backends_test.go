@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"context"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// TestChipletLinkIsASecondContentionPoint: two kernels on the same die
+// whose combined demand exceeds the die link must be throttled even though
+// the memory controller has plenty of headroom, and must see the inflated
+// hop latency. The same kernels on the plain base platform are not.
+func TestChipletLinkIsASecondContentionPoint(t *testing.T) {
+	c := ChipletDual()
+	// CPU (PU 0) and GPU (PU 1) share die 0's 96 GB/s link; 70+70 GB/s
+	// oversubscribes it while staying far below the 137 GB/s DRAM peak.
+	pl := soc.Placement{
+		0: soc.Kernel{Name: "a", DemandGBps: 70},
+		1: soc.Kernel{Name: "b", DemandGBps: 70},
+	}
+	out, err := c.RunContext(context.Background(), pl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.Base.RunContext(context.Background(), pl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pu := 0; pu <= 1; pu++ {
+		got, ref := out.Results[pu], base.Results[pu]
+		if got.AchievedGBps >= ref.AchievedGBps*0.90 {
+			t.Errorf("PU %d: link-throttled %.1f GB/s not below base %.1f (140 GB/s through a 96 GB/s link)",
+				pu, got.AchievedGBps, ref.AchievedGBps)
+		}
+		if got.DemandGBps != 70 {
+			t.Errorf("PU %d: nominal demand rewritten to %g", pu, got.DemandGBps)
+		}
+	}
+
+	// An under-subscribed link throttles nothing — but still charges the
+	// die-crossing latency (same demand, so the MC latencies match).
+	soloPl := soc.Placement{0: soc.Kernel{Name: "a", DemandGBps: 40}}
+	solo, err := c.RunContext(context.Background(), soloPl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloBase, err := c.Base.RunContext(context.Background(), soloPl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Results[0].AchievedGBps < 38 {
+		t.Errorf("under-subscribed link throttled a 40 GB/s kernel to %.1f", solo.Results[0].AchievedGBps)
+	}
+	if solo.Results[0].MeanLatencyCycles <= soloBase.Results[0].MeanLatencyCycles {
+		t.Errorf("no hop latency charged (%.1f <= %.1f)",
+			solo.Results[0].MeanLatencyCycles, soloBase.Results[0].MeanLatencyCycles)
+	}
+}
+
+// TestPIMOffloadBypassesTheMC: the DLA offloads 60% of its demand
+// in-memory, so under heavy GPU pressure it achieves several times its
+// MC-granted bandwidth — while the GPU pays nothing for the difference.
+// That decoupling of observed bandwidth from MC-visible pressure is
+// exactly what breaks source-obliviousness.
+func TestPIMOffloadBypassesTheMC(t *testing.T) {
+	p := PIMXavier()
+	// 130+60 GB/s oversubscribes the 137 GB/s peak, and TCM squeezes the
+	// DLA hard; on PIM the in-memory pool serves 36 GB/s untouched by
+	// that squeeze.
+	pl := soc.Placement{
+		1: soc.Kernel{Name: "gpu", DemandGBps: 130},
+		2: soc.Kernel{Name: "dla", DemandGBps: 60},
+	}
+	pim, err := p.RunContext(context.Background(), pl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Base.RunContext(context.Background(), pl, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DLA keeps the offloaded share regardless of MC contention.
+	if pim.Results[2].AchievedGBps < base.Results[2].AchievedGBps*3 {
+		t.Errorf("DLA on PIM achieved %.1f, want well above base %.1f",
+			pim.Results[2].AchievedGBps, base.Results[2].AchievedGBps)
+	}
+	// ...and the GPU does not pay for it: the DLA's extra achieved
+	// bandwidth never crossed the MC.
+	if gap := pim.Results[1].AchievedGBps - base.Results[1].AchievedGBps; gap < -2 || gap > 2 {
+		t.Errorf("GPU achieved moved by %.1f GB/s (pim %.1f, base %.1f); offloaded traffic should not touch the MC",
+			gap, pim.Results[1].AchievedGBps, base.Results[1].AchievedGBps)
+	}
+	if pim.Results[2].DemandGBps != 60 {
+		t.Errorf("nominal DLA demand rewritten to %g", pim.Results[2].DemandGBps)
+	}
+
+	// Pool oversubscription shares proportionally: total offload demand
+	// beyond PIMGBps cannot be served.
+	big := soc.Placement{
+		1: soc.Kernel{Name: "gpu", DemandGBps: 130}, // all of it at the MC
+		2: soc.Kernel{Name: "dla", DemandGBps: 80},  // 48 in-memory
+	}
+	out, err := p.RunContext(context.Background(), big, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := out.Results[1].AchievedGBps + out.Results[2].AchievedGBps; sum > p.Base.PeakGBps()+p.PIMGBps {
+		t.Errorf("served %.1f GB/s, above MC peak + PIM pool %.1f", sum, p.Base.PeakGBps()+p.PIMGBps)
+	}
+}

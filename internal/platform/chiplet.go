@@ -1,0 +1,161 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Chiplet is a backend that layers a die-to-die interconnect contention
+// stage in front of the shared DRAM/MC model (CHIPSIM-style): PUs live on
+// compute dies, and every memory request from a die crosses a
+// fixed-bandwidth link to the memory die before reaching the controller.
+// Slowdown therefore composes from two contention points — co-runners on
+// the *same* die contend on their link even when the memory controller has
+// headroom, which the processor-centric calibration (pressure from another
+// die) cannot see.
+//
+// The link stage is a deterministic fluid model: when a die's total demand
+// exceeds its link bandwidth, every kernel on the die is throttled
+// proportionally before entering the DRAM simulation, and each result's
+// reported latency gains a hop term that grows with link occupancy.
+type Chiplet struct {
+	// Base is the underlying DRAM/MC platform; its Name names the whole
+	// chiplet system.
+	Base *soc.Platform
+	// Dies[i] is the die hosting PU i (an index into LinkGBps).
+	Dies []int
+	// LinkGBps[d] is die d's link bandwidth to the memory die in GB/s;
+	// 0 means the die is the memory die itself (no link hop).
+	LinkGBps []float64
+	// LinkHopCycles is the base latency of one die crossing; the effective
+	// hop latency scales with link occupancy.
+	LinkHopCycles float64
+}
+
+var _ soc.Backend = (*Chiplet)(nil)
+
+// ChipletDual is the registered "chiplet-dual" preset: the Xavier compute
+// complex split across two compute dies — CPU+GPU behind a 96 GB/s link,
+// the DLA behind a narrower 32 GB/s link — in front of the Xavier memory
+// system.
+func ChipletDual() *Chiplet {
+	base := soc.VirtualXavier()
+	base.Name = "chiplet-dual"
+	base.Seed = 4
+	return &Chiplet{
+		Base:          base,
+		Dies:          []int{0, 0, 1},
+		LinkGBps:      []float64{96, 32},
+		LinkHopCycles: 40,
+	}
+}
+
+// PlatformName implements soc.Backend.
+func (c *Chiplet) PlatformName() string { return c.Base.Name }
+
+// PUList implements soc.Backend.
+func (c *Chiplet) PUList() []soc.PU { return c.Base.PUs }
+
+// PeakGBps implements soc.Backend.
+func (c *Chiplet) PeakGBps() float64 { return c.Base.PeakGBps() }
+
+// BackendFamily identifies the chiplet family.
+func (c *Chiplet) BackendFamily() string { return "chiplet" }
+
+// Validate implements soc.Backend.
+func (c *Chiplet) Validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	if len(c.Dies) != len(c.Base.PUs) {
+		return fmt.Errorf("chiplet %s: %d die assignments for %d PUs", c.Base.Name, len(c.Dies), len(c.Base.PUs))
+	}
+	for i, d := range c.Dies {
+		if d < 0 || d >= len(c.LinkGBps) {
+			return fmt.Errorf("chiplet %s: PU %d on die %d, have %d dies", c.Base.Name, i, d, len(c.LinkGBps))
+		}
+	}
+	for d, bw := range c.LinkGBps {
+		if bw < 0 {
+			return fmt.Errorf("chiplet %s: die %d link bandwidth %g negative", c.Base.Name, d, bw)
+		}
+	}
+	if c.LinkHopCycles < 0 {
+		return fmt.Errorf("chiplet %s: negative link hop latency", c.Base.Name)
+	}
+	return nil
+}
+
+// CloneBackend implements soc.Backend.
+func (c *Chiplet) CloneBackend() soc.Backend {
+	return &Chiplet{
+		Base:          c.Base.Clone(),
+		Dies:          append([]int(nil), c.Dies...),
+		LinkGBps:      append([]float64(nil), c.LinkGBps...),
+		LinkHopCycles: c.LinkHopCycles,
+	}
+}
+
+// Fingerprint implements soc.Backend: the link topology shapes results, so
+// it extends the base platform identity.
+func (c *Chiplet) Fingerprint() string {
+	return fmt.Sprintf("chiplet|%s|dies%v|links%v|hop%g",
+		c.Base.Fingerprint(), c.Dies, c.LinkGBps, c.LinkHopCycles)
+}
+
+// RunContext implements soc.Backend: throttle each die's kernels through
+// its link, run the DRAM/MC co-run on the throttled demands, then restore
+// the nominal demands and charge the hop latency.
+func (c *Chiplet) RunContext(ctx context.Context, pl soc.Placement, rc soc.RunConfig) (*soc.RunOutcome, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Placements are maps; accumulate die loads in sorted PU order so the
+	// floating-point sums (and thus the results) never depend on map order.
+	pus := make([]int, 0, len(pl))
+	for pu := range pl {
+		pus = append(pus, pu)
+	}
+	sort.Ints(pus)
+	for _, pu := range pus {
+		if pu < 0 || pu >= len(c.Dies) {
+			return nil, fmt.Errorf("chiplet %s: placement names PU %d, platform has %d", c.Base.Name, pu, len(c.Dies))
+		}
+	}
+
+	load := make([]float64, len(c.LinkGBps))
+	for _, pu := range pus {
+		load[c.Dies[pu]] += pl[pu].DemandGBps
+	}
+	scaled := make(soc.Placement, len(pl))
+	for _, pu := range pus {
+		k := pl[pu]
+		if bw := c.LinkGBps[c.Dies[pu]]; bw > 0 && load[c.Dies[pu]] > bw {
+			k.DemandGBps *= bw / load[c.Dies[pu]]
+		}
+		scaled[pu] = k
+	}
+
+	out, err := c.Base.RunContext(ctx, scaled, rc)
+	if err != nil {
+		return nil, err
+	}
+	for _, pu := range pus {
+		res := out.Results[pu]
+		res.DemandGBps = pl[pu].DemandGBps
+		if bw := c.LinkGBps[c.Dies[pu]]; bw > 0 && res.AchievedGBps > 0 {
+			// One hop each way, stretched linearly by link occupancy: a
+			// saturated link doubles the crossing cost.
+			occ := load[c.Dies[pu]] / bw
+			if occ > 1 {
+				occ = 1
+			}
+			res.MeanLatencyCycles += c.LinkHopCycles * (1 + occ)
+		}
+		out.Results[pu] = res
+	}
+	return out, nil
+}

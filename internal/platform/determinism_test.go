@@ -1,0 +1,107 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/sched"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+	"github.com/processorcentricmodel/pccs/internal/traffic"
+)
+
+// tinyRC keeps the cross-backend determinism sims fast; determinism does
+// not depend on window length.
+var tinyRC = soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 60_000}
+
+// newBackends returns the three extended platform families the refactor
+// introduces; every determinism guarantee the default backend carries must
+// hold on each of them.
+func newBackends(t *testing.T) []soc.Backend {
+	t.Helper()
+	var bs []soc.Backend
+	for _, name := range []string{"chiplet-dual", "virtual-npu", "pim-xavier"} {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// TestSweepParallelSerialBitIdentity runs the same small calibration sweep
+// serially and on an 8-worker pool on each new backend: the reassembled
+// matrices must be bit-identical (the simrun plan-order guarantee, now a
+// cross-backend contract).
+func TestSweepParallelSerialBitIdentity(t *testing.T) {
+	for _, b := range newBackends(t) {
+		b := b
+		t.Run(b.PlatformName(), func(t *testing.T) {
+			t.Parallel()
+			arch := b.PUList()[1]
+			cfg := calib.SweepConfig{
+				TargetPU:   1,
+				PressurePU: 0,
+				Calibrators: []traffic.Spec{
+					{Name: "cal-a", DemandGBps: 18, Outstanding: arch.Outstanding, RunLines: arch.RunLines, Streams: arch.Streams},
+					{Name: "cal-b", DemandGBps: 55, Outstanding: arch.Outstanding, RunLines: arch.RunLines, Streams: arch.Streams},
+				},
+				ExtGBps: []float64{20, 70},
+				Run:     tinyRC,
+			}
+			serial, err := calib.SweepContext(context.Background(), simrun.New(1), b, cfg)
+			if err != nil {
+				t.Fatalf("serial sweep: %v", err)
+			}
+			parallel, err := calib.SweepContext(context.Background(), simrun.New(8), b, cfg)
+			if err != nil {
+				t.Fatalf("parallel sweep: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("parallel sweep diverged from serial:\nserial   %+v\nparallel %+v", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestSameSeedSameSchedule solves the same batch twice on each new backend
+// with the same seed but different worker counts: the chosen schedule must
+// be identical — scheduling decisions are a pure function of (models,
+// backend, items, seed).
+func TestSameSeedSameSchedule(t *testing.T) {
+	for _, b := range newBackends(t) {
+		b := b
+		t.Run(b.PlatformName(), func(t *testing.T) {
+			t.Parallel()
+			models := calib.ModelSet{}
+			for _, pu := range b.PUList() {
+				models.Put(core.Params{
+					PU: pu.Name, Platform: b.PlatformName(), Backend: soc.BackendFamilyOf(b),
+					NormalBW: 20, IntensiveBW: 60, MRMC: 12, CBP: 45,
+					TBWDC: 110, RateN: 0.6, PeakBW: b.PeakGBps(),
+				})
+			}
+			var items []sched.Item
+			for i, d := range []float64{12, 34, 56, 72, 28, 44} {
+				items = append(items, sched.Item{ID: fmt.Sprintf("it%d", i), DemandGBps: d})
+			}
+			solve := func(workers int) *sched.Schedule {
+				s, err := sched.Solve(context.Background(), models, b, items,
+					sched.Options{Objective: sched.Makespan, Seed: 7, Workers: workers})
+				if err != nil {
+					t.Fatalf("solve(workers=%d): %v", workers, err)
+				}
+				return s
+			}
+			a, c := solve(1), solve(4)
+			if !reflect.DeepEqual(a, c) {
+				t.Errorf("same-seed schedules diverged:\n1 worker  %+v\n4 workers %+v", a, c)
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package platform
+
+import (
+	"github.com/processorcentricmodel/pccs/internal/dram"
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// VirtualNPU is the registered "virtual-npu" preset: a host CPU plus a
+// two-core neural processing unit sharing the Xavier-class LPDDR4x memory
+// system. Each NPU core is an independent PU — multi-tenant inference
+// co-locates models on different cores, which is exactly the contention
+// scenario PCCS prices — with MLP between the DLA's (too little to hide
+// latency) and the GPU's (enough to hide almost anything), and long
+// sequential runs from tile streaming.
+//
+// NPU workloads are tile-granular multi-phase profiles (ONNXim-style):
+// weight-tile loads, on-chip compute, and activation writeback alternate
+// at very different bandwidth demands, so the phase machinery (§3.2's
+// multi-phase treatment) is the natural representation — see the
+// npu-*-tiles workloads in internal/workload.
+func VirtualNPU() *soc.Platform {
+	return &soc.Platform{
+		Name:   "virtual-npu",
+		Family: "npu",
+		Mem:    dram.XavierLPDDR4X(),
+		Policy: memctrl.TCM,
+		Seed:   6,
+		PUs: []soc.PU{
+			{Name: "CPU", Kind: soc.CPU, Outstanding: 128, RunLines: 128, Streams: 8, MaxFreqMHz: 2100},
+			{Name: "NPU0", Kind: soc.NPU, Outstanding: 96, RunLines: 384, Streams: 4, MaxFreqMHz: 1200},
+			{Name: "NPU1", Kind: soc.NPU, Outstanding: 96, RunLines: 384, Streams: 4, MaxFreqMHz: 1200},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// PIM is a backend with processing-in-memory support (LP5X-PIM-style): a
+// configurable fraction of each PU's bandwidth demand is served by compute
+// inside the DRAM dies and never crosses the memory controller. Only the
+// residual (1-fraction) demand enters the shared MC/DRAM contention point;
+// the offloaded share draws from a separate in-memory bandwidth pool that
+// is shared proportionally when oversubscribed.
+//
+// PIM deliberately breaks the assumption PCCS is built on. The model is
+// *source-oblivious*: it predicts a kernel's slowdown from the total
+// external demand y without asking where y goes. On a PIM platform a
+// co-runner with a high offload fraction presents y GB/s of nominal demand
+// but only (1-f)·y of MC pressure, so a model calibrated with a
+// zero-offload pressure PU systematically *overpredicts* slowdown — the
+// documented finding the ext-backends experiment quantifies.
+type PIM struct {
+	// Base is the underlying DRAM/MC platform; its Name names the PIM
+	// system.
+	Base *soc.Platform
+	// OffloadFrac[i] is the fraction of PU i's demand served in-memory,
+	// in [0,1]. Zero means the PU cannot use PIM.
+	OffloadFrac []float64
+	// PIMGBps is the in-memory compute bandwidth pool shared by all
+	// offloaded demand.
+	PIMGBps float64
+	// PIMLatencyCycles is the flat service latency of an in-memory
+	// request; the reported per-PU latency blends it with the measured MC
+	// latency by served share.
+	PIMLatencyCycles float64
+}
+
+var _ soc.Backend = (*PIM)(nil)
+
+// PIMXavier is the registered "pim-xavier" preset: the Xavier platform
+// with a 64 GB/s in-memory compute pool. Only the DLA's tensor traffic is
+// PIM-amenable (60% of it offloads); CPU and GPU traffic always crosses
+// the MC. That split makes the DLA the interesting pressure source: its
+// observed bandwidth overstates its MC footprint, which is exactly where
+// the ext-backends experiment shows PCCS overpredicting.
+func PIMXavier() *PIM {
+	base := soc.VirtualXavier()
+	base.Name = "pim-xavier"
+	base.Seed = 5
+	return &PIM{
+		Base:             base,
+		OffloadFrac:      []float64{0, 0, 0.6},
+		PIMGBps:          64,
+		PIMLatencyCycles: 60,
+	}
+}
+
+// PlatformName implements soc.Backend.
+func (p *PIM) PlatformName() string { return p.Base.Name }
+
+// PUList implements soc.Backend.
+func (p *PIM) PUList() []soc.PU { return p.Base.PUs }
+
+// PeakGBps implements soc.Backend: the ceiling external sweeps push
+// toward is the MC path; the PIM pool is extra headroom behind it.
+func (p *PIM) PeakGBps() float64 { return p.Base.PeakGBps() }
+
+// BackendFamily identifies the PIM family.
+func (p *PIM) BackendFamily() string { return "pim" }
+
+// Validate implements soc.Backend.
+func (p *PIM) Validate() error {
+	if err := p.Base.Validate(); err != nil {
+		return err
+	}
+	if len(p.OffloadFrac) != len(p.Base.PUs) {
+		return fmt.Errorf("pim %s: %d offload fractions for %d PUs", p.Base.Name, len(p.OffloadFrac), len(p.Base.PUs))
+	}
+	for i, f := range p.OffloadFrac {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("pim %s: PU %d offload fraction %g outside [0,1]", p.Base.Name, i, f)
+		}
+	}
+	if p.PIMGBps <= 0 {
+		return fmt.Errorf("pim %s: in-memory bandwidth %g not positive", p.Base.Name, p.PIMGBps)
+	}
+	if p.PIMLatencyCycles < 0 {
+		return fmt.Errorf("pim %s: negative in-memory latency", p.Base.Name)
+	}
+	return nil
+}
+
+// CloneBackend implements soc.Backend.
+func (p *PIM) CloneBackend() soc.Backend {
+	return &PIM{
+		Base:             p.Base.Clone(),
+		OffloadFrac:      append([]float64(nil), p.OffloadFrac...),
+		PIMGBps:          p.PIMGBps,
+		PIMLatencyCycles: p.PIMLatencyCycles,
+	}
+}
+
+// Fingerprint implements soc.Backend.
+func (p *PIM) Fingerprint() string {
+	return fmt.Sprintf("pim|%s|frac%v|pool%g|lat%g",
+		p.Base.Fingerprint(), p.OffloadFrac, p.PIMGBps, p.PIMLatencyCycles)
+}
+
+// RunContext implements soc.Backend: split each kernel's demand into the
+// MC-bound residual and the in-memory share, run the DRAM/MC co-run on the
+// residuals, then add back the in-memory bandwidth (proportionally scaled
+// if the pool is oversubscribed) and blend the latencies.
+func (p *PIM) RunContext(ctx context.Context, pl soc.Placement, rc soc.RunConfig) (*soc.RunOutcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pus := make([]int, 0, len(pl))
+	for pu := range pl {
+		pus = append(pus, pu)
+	}
+	sort.Ints(pus)
+	for _, pu := range pus {
+		if pu < 0 || pu >= len(p.OffloadFrac) {
+			return nil, fmt.Errorf("pim %s: placement names PU %d, platform has %d", p.Base.Name, pu, len(p.OffloadFrac))
+		}
+	}
+
+	// Offloaded demand per PU, and the pool's proportional-share scale.
+	inMem := make(map[int]float64, len(pl))
+	var total float64
+	for _, pu := range pus {
+		x := pl[pu].DemandGBps * p.OffloadFrac[pu]
+		inMem[pu] = x
+		total += x
+	}
+	scale := 1.0
+	if total > p.PIMGBps {
+		scale = p.PIMGBps / total
+	}
+
+	scaled := make(soc.Placement, len(pl))
+	for _, pu := range pus {
+		k := pl[pu]
+		k.DemandGBps -= inMem[pu]
+		scaled[pu] = k
+	}
+	out, err := p.Base.RunContext(ctx, scaled, rc)
+	if err != nil {
+		return nil, err
+	}
+
+	var pimServed float64
+	for _, pu := range pus {
+		res := out.Results[pu]
+		res.DemandGBps = pl[pu].DemandGBps
+		served := inMem[pu] * scale
+		pimServed += served
+		if mc := res.AchievedGBps; mc+served > 0 {
+			// Blend latency by served share; a PU running entirely
+			// in-memory sees the flat PIM latency.
+			res.MeanLatencyCycles = (res.MeanLatencyCycles*mc + p.PIMLatencyCycles*served) / (mc + served)
+		}
+		res.AchievedGBps += served
+		out.Results[pu] = res
+	}
+	out.EffectiveGBps += pimServed
+	return out, nil
+}

@@ -1,0 +1,145 @@
+// Package platform is the registry of simulation backends: every platform
+// the stack can calibrate, predict, schedule, and experiment on, selectable
+// by name from the CLIs (-platform) and the /v1/* request bodies. The
+// default virtual SoCs share the registry with the extended families —
+// chiplet (die-to-die link contention), multi-core NPU (tile-granular
+// phases), and PIM (in-memory demand that bypasses the MC) — so adding a
+// platform is one Register call, not a switch statement per layer.
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/memctrl"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Factory describes one registered platform and builds fresh backends for
+// it. New must return an independent instance on every call: callers clone
+// and mutate freely, and two sessions must never share state through the
+// registry.
+type Factory struct {
+	// Name is the registry key ("virtual-xavier", "pim-xavier", ...); the
+	// built backend's PlatformName must match it.
+	Name string
+	// Family groups related platforms ("virtual-soc", "chiplet", "npu",
+	// "pim").
+	Family string
+	// Description is one human-readable line for listings.
+	Description string
+	// New builds a fresh, independent backend.
+	New func() soc.Backend
+}
+
+var (
+	mu sync.RWMutex
+	// factories is the registry. guarded by mu.
+	factories = map[string]Factory{}
+)
+
+// Register adds a factory; it panics on a duplicate or incomplete entry,
+// like the workload and experiment registries — registration is init-time
+// wiring, and a half-registered platform is a programming error.
+func Register(f Factory) {
+	if f.Name == "" || f.New == nil {
+		panic("platform: Register needs a name and a constructor")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[f.Name]; dup {
+		panic(fmt.Sprintf("platform: duplicate registration of %q", f.Name))
+	}
+	factories[f.Name] = f
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := factories[name]
+	return f, ok
+}
+
+// Get builds a fresh backend for the named platform. The error lists the
+// registered names so a typo in a request or flag is self-diagnosing.
+func Get(name string) (soc.Backend, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown platform %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f.New(), nil
+}
+
+// Names lists the registered platform names, sorted, so every listing —
+// /v1/models, CLI help, error messages — is deterministic.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(factories))
+	for name := range factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the registered factories sorted by name.
+func List() []Factory {
+	names := Names()
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Factory, 0, len(names))
+	for _, name := range names {
+		out = append(out, factories[name])
+	}
+	return out
+}
+
+func init() {
+	Register(Factory{
+		Name:        "virtual-xavier",
+		Family:      "virtual-soc",
+		Description: "virtual NVIDIA Jetson AGX Xavier: CPU + GPU + DLA over 137 GB/s LPDDR4x",
+		New:         func() soc.Backend { return soc.VirtualXavier() },
+	})
+	Register(Factory{
+		Name:        "virtual-snapdragon",
+		Family:      "virtual-soc",
+		Description: "virtual Qualcomm Snapdragon 855: CPU + GPU over 34 GB/s LPDDR4x",
+		New:         func() soc.Backend { return soc.VirtualSnapdragon() },
+	})
+	Register(Factory{
+		Name:        "cmp16-tcm",
+		Family:      "virtual-soc",
+		Description: "16-core CMP over DDR4-3200 with TCM fairness control (paper Table 1)",
+		New: func() soc.Backend {
+			// The preset names itself after the policy's display form
+			// ("cmp16-TCM"); registry names are lowercase.
+			p := soc.CMP16(memctrl.TCM)
+			p.Name = "cmp16-tcm"
+			return p
+		},
+	})
+	Register(Factory{
+		Name:        "chiplet-dual",
+		Family:      "chiplet",
+		Description: "chiplet SoC: CPU+GPU die and DLA die behind die-to-die links to the memory die",
+		New:         func() soc.Backend { return ChipletDual() },
+	})
+	Register(Factory{
+		Name:        "virtual-npu",
+		Family:      "npu",
+		Description: "multi-core NPU SoC: CPU + 2 NPU cores with tile-granular phase workloads",
+		New:         func() soc.Backend { return VirtualNPU() },
+	})
+	Register(Factory{
+		Name:        "pim-xavier",
+		Family:      "pim",
+		Description: "PIM-enabled Xavier: a per-PU fraction of demand is served in-memory, bypassing the MC",
+		New:         func() soc.Backend { return PIMXavier() },
+	})
+}

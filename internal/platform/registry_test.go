@@ -1,0 +1,85 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// TestRegistryGoldenListing pins the sorted registry listing: serving
+// responses, CLI help, and error messages all print it, so an accidental
+// registration (or a lost one) must fail loudly here.
+func TestRegistryGoldenListing(t *testing.T) {
+	want := []string{
+		"chiplet-dual",
+		"cmp16-tcm",
+		"pim-xavier",
+		"virtual-npu",
+		"virtual-snapdragon",
+		"virtual-xavier",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("registry listing drifted:\n got  %v\n want %v", got, want)
+	}
+	for i, f := range List() {
+		if f.Name != Names()[i] {
+			t.Errorf("List()[%d] = %q, want %q", i, f.Name, Names()[i])
+		}
+	}
+}
+
+func TestEveryRegisteredPlatformIsCoherent(t *testing.T) {
+	for _, f := range List() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			b, err := Get(f.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.PlatformName() != f.Name {
+				t.Errorf("backend names itself %q, registered as %q", b.PlatformName(), f.Name)
+			}
+			if err := b.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if b.PeakGBps() <= 0 {
+				t.Errorf("peak %g", b.PeakGBps())
+			}
+			if len(b.PUList()) == 0 {
+				t.Error("no PUs")
+			}
+			if soc.BackendFamilyOf(b) != f.Family {
+				t.Errorf("backend family %q, registered %q", soc.BackendFamilyOf(b), f.Family)
+			}
+			// New must hand out independent instances.
+			b2, _ := Get(f.Name)
+			if b == b2 {
+				t.Error("Get returned the same instance twice")
+			}
+			// Clones must share no PU slice with the original.
+			c := b.CloneBackend()
+			if c.Fingerprint() != b.Fingerprint() {
+				t.Errorf("clone fingerprint %q != %q", c.Fingerprint(), b.Fingerprint())
+			}
+		})
+	}
+
+	if _, err := Get("no-such-platform"); err == nil {
+		t.Error("Get accepted an unknown platform")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, f Factory) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(f)
+	}
+	mustPanic("duplicate", Factory{Name: "virtual-xavier", New: func() soc.Backend { return soc.VirtualXavier() }})
+	mustPanic("no constructor", Factory{Name: "half-registered"})
+	mustPanic("no name", Factory{New: func() soc.Backend { return soc.VirtualXavier() }})
+}

@@ -10,7 +10,7 @@ import (
 // SerialSchedule is the naive baseline: every item runs alone, one wave per
 // item on its first eligible PU. It is always contention-free (every
 // predicted relative speed is 100%), so its makespan equals the total work.
-func SerialSchedule(models calib.ModelSet, p *soc.Platform, items []Item) (*Schedule, error) {
+func SerialSchedule(models calib.ModelSet, p soc.Backend, items []Item) (*Schedule, error) {
 	rs, err := resolve(models, p, items)
 	if err != nil {
 		return nil, err
@@ -26,7 +26,7 @@ func SerialSchedule(models calib.ModelSet, p *soc.Platform, items []Item) (*Sche
 // RandomSchedule is the chance baseline: a seeded random placement — random
 // item order, random eligible PU, random wave among those with that PU
 // free (or a new wave). Deterministic for a given seed.
-func RandomSchedule(models calib.ModelSet, p *soc.Platform, items []Item, seed int64) (*Schedule, error) {
+func RandomSchedule(models calib.ModelSet, p soc.Backend, items []Item, seed int64) (*Schedule, error) {
 	rs, err := resolve(models, p, items)
 	if err != nil {
 		return nil, err
@@ -38,7 +38,7 @@ func RandomSchedule(models calib.ModelSet, p *soc.Platform, items []Item, seed i
 		pu := rs[i].options[oi].puIndex
 		var open []int
 		for wi, w := range waves {
-			if len(w) < len(p.PUs) && !waveUsesPU(rs, w, pu) {
+			if len(w) < len(p.PUList()) && !waveUsesPU(rs, w, pu) {
 				open = append(open, wi)
 			}
 		}

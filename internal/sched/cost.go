@@ -202,9 +202,9 @@ func betterWave(a, b *waveEval, obj Objective) bool {
 }
 
 // buildSchedule converts the winning candidate into the public Schedule.
-func buildSchedule(p *soc.Platform, opts Options, rs []rItem, e *evalResult, exhaustive bool, evaluated int) *Schedule {
+func buildSchedule(p soc.Backend, opts Options, rs []rItem, e *evalResult, exhaustive bool, evaluated int) *Schedule {
 	s := &Schedule{
-		Platform:   p.Name,
+		Platform:   p.PlatformName(),
 		Objective:  opts.Objective.String(),
 		Seed:       opts.Seed,
 		Exhaustive: exhaustive,

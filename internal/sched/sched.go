@@ -263,7 +263,7 @@ func (it *rItem) optionOn(puIndex int) *puOption {
 // resolve maps items onto the platform: for every item, every PU it may
 // run on (PU filter passes, a demand profile resolves there, and a model
 // exists for it). Items that cannot run anywhere are hard errors.
-func resolve(models calib.ModelSet, p *soc.Platform, items []Item) ([]rItem, error) {
+func resolve(models calib.ModelSet, p soc.Backend, items []Item) ([]rItem, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("sched: no items to schedule")
 	}
@@ -283,7 +283,7 @@ func resolve(models calib.ModelSet, p *soc.Platform, items []Item) ([]rItem, err
 	return out, nil
 }
 
-func resolveItem(models calib.ModelSet, p *soc.Platform, index int, spec Item) (rItem, error) {
+func resolveItem(models calib.ModelSet, p soc.Backend, index int, spec Item) (rItem, error) {
 	id := spec.ID
 	if id == "" {
 		base := spec.Workload
@@ -349,25 +349,25 @@ func resolveItem(models calib.ModelSet, p *soc.Platform, index int, spec Item) (
 		sloSlow: spec.SLOSlowdown,
 		sloTime: spec.SLOTime,
 	}
-	for puIndex, pu := range p.PUs {
+	for puIndex, pu := range p.PUList() {
 		if !puAllowed(spec.PUs, pu.Name) {
 			continue
 		}
-		params, err := models.Get(p.Name, pu.Name)
+		params, err := models.Get(p.PlatformName(), pu.Name)
 		if err != nil {
 			continue // no model for this PU
 		}
 		opt := puOption{puIndex: puIndex, pu: pu.Name, params: params}
 		switch {
 		case wl != nil && spec.UsePhases:
-			phases, err := phasesFor(wl, p.Name, pu.Name)
+			phases, err := phasesFor(wl, p.PlatformName(), pu.Name)
 			if err != nil {
 				continue // no phase profile on this PU
 			}
 			opt.phases = phases
 			opt.x = core.AverageDemand(phases)
 		case wl != nil:
-			x, err := wl.DemandOn(p.Name, pu.Name)
+			x, err := wl.DemandOn(p.PlatformName(), pu.Name)
 			if err != nil {
 				continue // no profile on this PU
 			}
@@ -384,7 +384,7 @@ func resolveItem(models calib.ModelSet, p *soc.Platform, index int, spec Item) (
 		}
 	}
 	if len(it.options) == 0 {
-		return rItem{}, fmt.Errorf("sched: item %s: no eligible PU on %s (check the PU filter, the workload's per-PU profiles, and the model set)", id, p.Name)
+		return rItem{}, fmt.Errorf("sched: item %s: no eligible PU on %s (check the PU filter, the workload's per-PU profiles, and the model set)", id, p.PlatformName())
 	}
 	return it, nil
 }

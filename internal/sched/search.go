@@ -19,7 +19,7 @@ import (
 // a seeded beam search with restarts. Either way the result is
 // deterministic for a given seed, objective, and input order — independent
 // of Options.Workers.
-func Solve(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []Item, opts Options) (*Schedule, error) {
+func Solve(ctx context.Context, models calib.ModelSet, p soc.Backend, items []Item, opts Options) (*Schedule, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -32,7 +32,7 @@ func Solve(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []
 		best      evalResult
 		evaluated int
 	)
-	nParts := workload.CountPartitions(len(rs), len(p.PUs))
+	nParts := workload.CountPartitions(len(rs), len(p.PUList()))
 	exhaustive := nParts <= opts.ExhaustiveLimit
 	if exhaustive {
 		best, evaluated, err = solveExhaustive(ctx, rs, p, opts)
@@ -51,14 +51,14 @@ func Solve(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []
 // objectives, whose scores decompose over waves (completion-time SLOs are
 // then checked on the fully ordered schedule). Partitions are scored in
 // parallel and merged in canonical enumeration order.
-func solveExhaustive(ctx context.Context, rs []rItem, p *soc.Platform, opts Options) (evalResult, int, error) {
+func solveExhaustive(ctx context.Context, rs []rItem, p soc.Backend, opts Options) (evalResult, int, error) {
 	ids := make([]string, len(rs))
 	index := make(map[string]int, len(rs))
 	for i := range rs {
 		ids[i] = rs[i].id
 		index[rs[i].id] = i
 	}
-	parts := workload.Partitions(ids, len(p.PUs))
+	parts := workload.Partitions(ids, len(p.PUList()))
 
 	type scored struct {
 		ev evalResult
@@ -149,7 +149,7 @@ func bestGroupAssign(rs []rItem, members []int, obj Objective) ([]slot, bool) {
 // one at a time (joining an existing wave on a free PU, or opening a new
 // wave), keeping the BeamWidth best partial schedules. The deterministic
 // demand-descending insertion order is tried first, then seeded shuffles.
-func solveBeam(ctx context.Context, rs []rItem, p *soc.Platform, opts Options) (evalResult, int, error) {
+func solveBeam(ctx context.Context, rs []rItem, p soc.Backend, opts Options) (evalResult, int, error) {
 	base := make([]int, len(rs))
 	for i := range base {
 		base[i] = i
@@ -219,14 +219,14 @@ func solveBeam(ctx context.Context, rs []rItem, p *soc.Platform, opts Options) (
 // expansions generates every placement of an item into a partial schedule:
 // each eligible PU, joining each wave where that PU is free, or opening a
 // new wave.
-func expansions(rs []rItem, p *soc.Platform, cand [][]slot, itemIdx int) [][][]slot {
+func expansions(rs []rItem, p soc.Backend, cand [][]slot, itemIdx int) [][][]slot {
 	var out [][][]slot
 	it := &rs[itemIdx]
 	for oi := range it.options {
 		pu := it.options[oi].puIndex
 		s := slot{item: itemIdx, opt: oi}
 		for wi, wave := range cand {
-			if len(wave) >= len(p.PUs) || waveUsesPU(rs, wave, pu) {
+			if len(wave) >= len(p.PUList()) || waveUsesPU(rs, wave, pu) {
 				continue
 			}
 			out = append(out, withSlot(cand, wi, s))

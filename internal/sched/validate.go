@@ -47,7 +47,7 @@ type Validation struct {
 // predictions. Registered workloads replay with their full kernel profile
 // (locality included); phased items replay at their time-averaged demand,
 // so some phase-level error is expected there.
-func Validate(ctx context.Context, ex *simrun.Executor, p *soc.Platform, s *Schedule, rc soc.RunConfig) (*Validation, error) {
+func Validate(ctx context.Context, ex *simrun.Executor, p soc.Backend, s *Schedule, rc soc.RunConfig) (*Validation, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -59,9 +59,9 @@ func Validate(ctx context.Context, ex *simrun.Executor, p *soc.Platform, s *Sche
 	for _, w := range s.Waves {
 		pl := make(soc.Placement, len(w.Assignments))
 		for _, a := range w.Assignments {
-			pu := p.PUIndex(a.PU)
+			pu := soc.PUIndexOf(p, a.PU)
 			if pu < 0 {
-				return nil, fmt.Errorf("sched: platform %s has no PU %q", p.Name, a.PU)
+				return nil, fmt.Errorf("sched: platform %s has no PU %q", p.PlatformName(), a.PU)
 			}
 			pl[pu] = replayKernel(p, a)
 		}
@@ -71,7 +71,7 @@ func Validate(ctx context.Context, ex *simrun.Executor, p *soc.Platform, s *Sche
 		}
 		wv := WaveValidation{Index: w.Index, PredictedTime: w.Time}
 		for _, a := range w.Assignments {
-			pu := p.PUIndex(a.PU)
+			pu := soc.PUIndexOf(p, a.PU)
 			rel := res[pu].RelativeSpeed * 100
 			if rel <= 0 {
 				return nil, fmt.Errorf("sched: validate wave %d: no measured speed for %s", w.Index, a.Item)
@@ -105,10 +105,10 @@ func Validate(ctx context.Context, ex *simrun.Executor, p *soc.Platform, s *Sche
 // replayKernel builds the simulator kernel for an assignment: the
 // registered workload's full profile when available, otherwise a plain
 // streaming kernel at the assignment's demand.
-func replayKernel(p *soc.Platform, a Assignment) soc.Kernel {
+func replayKernel(p soc.Backend, a Assignment) soc.Kernel {
 	if a.Workload != "" {
 		if wl, err := workload.Get(a.Workload); err == nil {
-			if k, kerr := wl.Kernel(p.Name, a.PU); kerr == nil {
+			if k, kerr := wl.Kernel(p.PlatformName(), a.PU); kerr == nil {
 				return k
 			}
 		}

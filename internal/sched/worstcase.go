@@ -72,7 +72,7 @@ const maxExactMixes = 1 << 20
 // submitted batch (one distinct item per other PU, or an idle PU) that
 // maximizes the item's predicted slowdown. items must be the batch the
 // schedule was solved from.
-func WorstCaseBounds(ctx context.Context, models calib.ModelSet, p *soc.Platform, items []Item, s *Schedule) (*WorstCase, error) {
+func WorstCaseBounds(ctx context.Context, models calib.ModelSet, p soc.Backend, items []Item, s *Schedule) (*WorstCase, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -97,7 +97,7 @@ func WorstCaseBounds(ctx context.Context, models calib.ModelSet, p *soc.Platform
 			wc.Bounds = append(wc.Bounds, b)
 		}
 	}
-	for _, pu := range p.PUs {
+	for _, pu := range p.PUList() {
 		var worst *Bound
 		for i := range wc.Bounds {
 			b := &wc.Bounds[i]
@@ -115,13 +115,13 @@ func WorstCaseBounds(ctx context.Context, models calib.ModelSet, p *soc.Platform
 	return wc, nil
 }
 
-func assignmentBound(rs []rItem, index map[string]int, p *soc.Platform, a Assignment) (Bound, error) {
+func assignmentBound(rs []rItem, index map[string]int, p soc.Backend, a Assignment) (Bound, error) {
 	ri, ok := index[a.Item]
 	if !ok {
 		return Bound{}, fmt.Errorf("sched: schedule references unknown item %q", a.Item)
 	}
 	target := &rs[ri]
-	puIndex := p.PUIndex(a.PU)
+	puIndex := soc.PUIndexOf(p, a.PU)
 	if puIndex < 0 {
 		return Bound{}, fmt.Errorf("sched: schedule references unknown PU %q", a.PU)
 	}
@@ -132,7 +132,7 @@ func assignmentBound(rs []rItem, index map[string]int, p *soc.Platform, a Assign
 
 	// Adversary candidates per other PU, strongest first.
 	var otherPUs []int
-	for i := range p.PUs {
+	for i := range p.PUList() {
 		if i != puIndex {
 			otherPUs = append(otherPUs, i)
 		}
@@ -182,7 +182,7 @@ func assignmentBound(rs []rItem, index map[string]int, p *soc.Platform, a Assign
 // the largest external demand — which, by monotonicity, maximizes the
 // slowdown. Ties keep the first mix in enumeration order, so the report is
 // deterministic.
-func exactBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
+func exactBound(rs []rItem, p soc.Backend, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
 	choice := make([]int, len(otherPUs)) // 0 = idle, k>0 = cands[i][k-1]
 	bestY := -1.0
 	var bestChoice []int
@@ -227,7 +227,7 @@ func exactBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandida
 // relaxedBound takes each other PU's strongest candidate without the
 // distinct-item constraint: an over-approximation that is still a valid
 // upper bound (used only when the exact enumeration would be too large).
-func relaxedBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
+func relaxedBound(rs []rItem, p soc.Backend, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound) {
 	choice := make([]int, len(otherPUs))
 	y := 0.0
 	for i := range cands {
@@ -239,7 +239,7 @@ func relaxedBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandi
 	finishBound(rs, p, otherPUs, cands, opt, b, y, choice, true)
 }
 
-func finishBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound, y float64, choice []int, relaxed bool) {
+func finishBound(rs []rItem, p soc.Backend, otherPUs []int, cands [][]wcCandidate, opt *puOption, b *Bound, y float64, choice []int, relaxed bool) {
 	worstRS := opt.predictRS(y)
 	b.WorstRS = worstRS
 	b.WorstSlowdown = 100 / worstRS
@@ -252,7 +252,7 @@ func finishBound(rs []rItem, p *soc.Platform, otherPUs []int, cands [][]wcCandid
 		cd := cands[i][c-1]
 		b.Adversaries = append(b.Adversaries, Corunner{
 			Item:       rs[cd.item].id,
-			PU:         p.PUs[otherPUs[i]].Name,
+			PU:         p.PUList()[otherPUs[i]].Name,
 			DemandGBps: cd.x,
 		})
 	}

@@ -11,6 +11,7 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/explore"
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/workload"
 )
 
@@ -462,6 +463,10 @@ type modelsResponse struct {
 	// enumeration clients should iterate instead of ranging the map.
 	Keys   []string       `json:"keys"`
 	Models calib.ModelSet `json:"models"`
+	// Platforms lists every registered platform backend (sorted) a
+	// calibrate/predict/schedule request may name, whether or not models
+	// for it exist yet.
+	Platforms []string `json:"platforms"`
 }
 
 func (s *Server) handleModelsGet(w http.ResponseWriter, _ *http.Request) {
@@ -469,9 +474,10 @@ func (s *Server) handleModelsGet(w http.ResponseWriter, _ *http.Request) {
 	// internally consistent even across a concurrent reload.
 	models := s.reg.Snapshot()
 	writeJSON(w, http.StatusOK, modelsResponse{
-		Count:  len(models),
-		Keys:   sortedModelKeys(models),
-		Models: models,
+		Count:     len(models),
+		Keys:      sortedModelKeys(models),
+		Models:    models,
+		Platforms: platform.Names(),
 	})
 }
 
@@ -511,6 +517,10 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	}
 	var spec CalibrateSpec
 	if !decodeBody(w, r, &spec) {
+		return
+	}
+	if err := s.platformAllowed(spec.Platform); err != nil {
+		writeError(w, http.StatusForbidden, "%v", err)
 		return
 	}
 	// The client's deadline header bounds the async job too: read it from

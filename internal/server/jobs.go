@@ -11,6 +11,7 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
@@ -105,16 +106,15 @@ type CalibrateSpec struct {
 	MeasureCycles int64 `json:"measure_cycles,omitempty"`
 }
 
-// platformByName resolves the virtual platforms the daemon can calibrate.
-func platformByName(name string) (*soc.Platform, error) {
-	switch name {
-	case "virtual-xavier":
-		return soc.VirtualXavier(), nil
-	case "virtual-snapdragon":
-		return soc.VirtualSnapdragon(), nil
-	default:
-		return nil, fmt.Errorf("server: unknown platform %q (want virtual-xavier or virtual-snapdragon)", name)
+// platformByName resolves any registered platform backend the daemon can
+// calibrate, predict, and schedule on. Requests select extended families
+// (chiplet, NPU, PIM) the same way they select the virtual SoCs.
+func platformByName(name string) (soc.Backend, error) {
+	b, err := platform.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
 	}
+	return b, nil
 }
 
 func (s CalibrateSpec) validate() error {
@@ -122,7 +122,7 @@ func (s CalibrateSpec) validate() error {
 	if err != nil {
 		return err
 	}
-	if s.PU != "" && p.PUIndex(s.PU) < 0 {
+	if s.PU != "" && soc.PUIndexOf(p, s.PU) < 0 {
 		return fmt.Errorf("server: platform %s has no PU %q", s.Platform, s.PU)
 	}
 	switch s.Mode {
@@ -185,7 +185,7 @@ func makeConstruct(faults *faultinject.Injector, retry simrun.RetryPolicy) const
 		}
 		rc, opt := spec.runConfig(), spec.options()
 		if spec.PU != "" {
-			params, _, err := calib.ConstructPUContext(ctx, ex, p, p.PUIndex(spec.PU), rc, opt)
+			params, _, err := calib.ConstructPUContext(ctx, ex, p, soc.PUIndexOf(p, spec.PU), rc, opt)
 			if err != nil {
 				return nil, err
 			}

@@ -193,6 +193,10 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &spec) {
 		return
 	}
+	if err := s.platformAllowed(spec.Platform); err != nil {
+		writeError(w, http.StatusForbidden, "%v", err)
+		return
+	}
 	if err := spec.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

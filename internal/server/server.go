@@ -3,10 +3,12 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
@@ -69,6 +71,10 @@ type Config struct {
 	Breaker BreakerConfig
 	// Degrade tunes the brownout/overload pressure thresholds.
 	Degrade DegradeConfig
+	// Platforms restricts which registered platform backends calibrate
+	// and schedule requests may name (the daemon's -platform allowlist);
+	// empty admits every registered platform.
+	Platforms []string
 }
 
 // Chaos sites armed by Config.Faults, alongside the simrun sites the
@@ -145,8 +151,23 @@ type Server struct {
 	stale     *StaleCache
 	breaker   *Breaker
 
+	// allowed is the platform allowlist from Config.Platforms; nil admits
+	// every registered platform.
+	allowed map[string]bool
+
 	handler http.Handler
 	httpSrv *http.Server
+}
+
+// platformAllowed rejects platform names outside the daemon's allowlist.
+// Resolution (is the name registered at all?) stays with platformByName —
+// this is purely the operator's serving policy.
+func (s *Server) platformAllowed(name string) error {
+	if len(s.allowed) == 0 || s.allowed[name] {
+		return nil
+	}
+	return fmt.Errorf("server: platform %q not served by this daemon (allowed: %s)",
+		name, strings.Join(s.cfg.Platforms, ", "))
 }
 
 // New builds a server whose registry is seeded from cfg.ModelPath and —
@@ -208,6 +229,12 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 	}
 	if cfg.RatePerSec > 0 {
 		s.ratelimit = NewRateLimiter(cfg.RatePerSec, cfg.RateBurst)
+	}
+	if len(cfg.Platforms) > 0 {
+		s.allowed = map[string]bool{}
+		for _, name := range cfg.Platforms {
+			s.allowed[name] = true
+		}
 	}
 	mux := http.NewServeMux()
 	route := func(pattern, label string, admit bool, h http.HandlerFunc) {

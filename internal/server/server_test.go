@@ -10,6 +10,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"github.com/processorcentricmodel/pccs/internal/calib"
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/explore"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/workload"
 )
 
@@ -691,5 +694,60 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestModelsListsRegisteredPlatforms: /v1/models advertises every platform
+// backend a request may name, in sorted registry order, independent of
+// which models exist.
+func TestModelsListsRegisteredPlatforms(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var list modelsResponse
+	getJSON(t, ts.URL+"/v1/models", &list)
+	if !reflect.DeepEqual(list.Platforms, platform.Names()) {
+		t.Errorf("platforms = %v, want registry listing %v", list.Platforms, platform.Names())
+	}
+	for _, want := range []string{"chiplet-dual", "pim-xavier", "virtual-npu", "virtual-xavier"} {
+		if !slices.Contains(list.Platforms, want) {
+			t.Errorf("platforms listing missing %q", want)
+		}
+	}
+}
+
+// TestPlatformAllowlist: a daemon started with -platform serves only the
+// allowlisted platforms on the job-creating endpoints; everything else is
+// 403, and unknown names still resolve to a 400 from validation.
+func TestPlatformAllowlist(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+	construct := func(ctx context.Context, spec CalibrateSpec, progress func(int, int, int)) ([]core.Params, error) {
+		return []core.Params{testParams(spec.Platform, "GPU")}, nil
+	}
+	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8,
+		Platforms: []string{"virtual-xavier"}}, reg, construct, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.jobs.Close(ctx)
+	})
+
+	resp, out := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "pim-xavier", Quick: true})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("calibrate off-allowlist: status %d (%s)", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/schedule", map[string]any{
+		"platform":  "chiplet-dual",
+		"workloads": []map[string]any{{"id": "a", "demand_gbps": 20}},
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("schedule off-allowlist: status %d (%s)", resp.StatusCode, out)
+	}
+	resp, out = postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "virtual-xavier", Quick: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("calibrate allowlisted: status %d (%s)", resp.StatusCode, out)
 	}
 }

@@ -33,22 +33,24 @@ func NewCache() *Cache {
 }
 
 // standaloneKey identifies a standalone run by everything that shapes its
-// outcome. The kernel name is deliberately excluded — the traffic generator
-// seeds from (platform seed, PU index) only, so identically-specced kernels
-// with different labels are the same measurement.
-func standaloneKey(p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) string {
-	return fmt.Sprintf("%s|%d|%v|%d|%+v|pu%d|%g/%d/%d/%d|%d+%d",
-		p.Name, p.Seed, p.Policy, p.MCs, p.Mem,
+// outcome: the backend's physics fingerprint, the PU, the kernel spec, and
+// the window. The kernel name is deliberately excluded — the traffic
+// generator seeds from (platform seed, PU index) only, so
+// identically-specced kernels with different labels are the same
+// measurement.
+func standaloneKey(b soc.Backend, pu int, k soc.Kernel, rc soc.RunConfig) string {
+	return fmt.Sprintf("%s|pu%d|%g/%d/%d/%d|%d+%d",
+		b.Fingerprint(),
 		pu, k.DemandGBps, k.RunLines, k.Outstanding, k.Streams,
 		rc.WarmupCycles, rc.MeasureCycles)
 }
 
 // Standalone returns the memoized standalone measurement of kernel k on PU
-// pu of platform p, running the simulation on a platform clone the first
+// pu of backend b, running the simulation on a backend clone the first
 // time the point is seen. Failed runs are not cached; the returned result
 // carries the caller's kernel name.
-func (c *Cache) Standalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
-	key := standaloneKey(p, pu, k, rc)
+func (c *Cache) Standalone(ctx context.Context, b soc.Backend, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
+	key := standaloneKey(b, pu, k, rc)
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if !ok {
@@ -66,7 +68,7 @@ func (c *Cache) Standalone(ctx context.Context, p *soc.Platform, pu int, k soc.K
 				e.res, e.err = soc.PUResult{}, Recovered(rec)
 			}
 		}()
-		e.res, e.err = p.Clone().StandaloneContext(ctx, pu, k, rc)
+		e.res, e.err = soc.StandaloneOn(ctx, b.CloneBackend(), pu, k, rc)
 	})
 	if e.err != nil {
 		// Drop the entry so a later call (e.g. after a cancelled run)

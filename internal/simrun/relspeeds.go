@@ -15,7 +15,7 @@ import (
 // kernels (validation sweeps, pressure ladders) stop re-measuring them —
 // and all runs proceed concurrently. Results are identical to the serial
 // method.
-func RelativeSpeeds(ctx context.Context, e *Executor, p *soc.Platform, pl soc.Placement, rc soc.RunConfig) (map[int]soc.PUResult, error) {
+func RelativeSpeeds(ctx context.Context, e *Executor, b soc.Backend, pl soc.Placement, rc soc.RunConfig) (map[int]soc.PUResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -40,7 +40,7 @@ func RelativeSpeeds(ctx context.Context, e *Executor, p *soc.Platform, pl soc.Pl
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		out, err := p.Clone().RunContext(ctx, pl, rc)
+		out, err := b.CloneBackend().RunContext(ctx, pl, rc)
 		if err != nil {
 			fail(err)
 			return
@@ -59,7 +59,7 @@ func RelativeSpeeds(ctx context.Context, e *Executor, p *soc.Platform, pl soc.Pl
 		wg.Add(1)
 		go func(pu int, k soc.Kernel) {
 			defer wg.Done()
-			res, err := e.Cache.Standalone(ctx, p, pu, k, rc)
+			res, err := e.Cache.Standalone(ctx, b, pu, k, rc)
 			if err != nil {
 				fail(err)
 				return

@@ -5,7 +5,7 @@
 // grid where every point is a full co-run simulation — and the points are
 // independent pure computations, so the executor fans them out over a
 // worker pool while keeping the results deterministic: each point runs on
-// its own Platform clone with the platform's own seed, and results are
+// its own backend clone with the backend's own seed, and results are
 // reassembled in plan order, so parallel output is bit-identical to a
 // serial loop over the same points.
 package simrun
@@ -117,11 +117,11 @@ func (e *Executor) complete() {
 	}
 }
 
-// Execute runs every point of the plan on platform p and returns results in
+// Execute runs every point of the plan on backend b and returns results in
 // plan order. Per-point failures are reported in the matching Result; the
 // returned error is non-nil only when ctx was cancelled, in which case
 // not-yet-started points carry ctx.Err(). A nil ctx means Background.
-func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point) ([]Result, error) {
+func (e *Executor) Execute(ctx context.Context, b soc.Backend, points []Point) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -137,7 +137,7 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			clone := p.Clone()
+			clone := b.CloneBackend()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(points) {
@@ -149,7 +149,7 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 					e.complete()
 					continue
 				}
-				out, err := e.runPoint(ctx, p, &clone, points[i])
+				out, err := e.runPoint(ctx, b, &clone, points[i])
 				results[i] = Result{Outcome: out, Err: err}
 				e.complete()
 			}
@@ -167,7 +167,7 @@ func (e *Executor) Execute(ctx context.Context, p *soc.Platform, points []Point)
 // simulation may leave it mid-run; points are independent pure
 // computations, so a retry on a fresh clone reproduces the exact result a
 // fault-free run would have produced.
-func (e *Executor) runPoint(ctx context.Context, p *soc.Platform, clone **soc.Platform, pt Point) (*soc.RunOutcome, error) {
+func (e *Executor) runPoint(ctx context.Context, b soc.Backend, clone *soc.Backend, pt Point) (*soc.RunOutcome, error) {
 	attempts := e.Retry.attempts()
 	for attempt := 1; ; attempt++ {
 		out, err := e.attemptPoint(ctx, *clone, pt)
@@ -176,7 +176,7 @@ func (e *Executor) runPoint(ctx context.Context, p *soc.Platform, clone **soc.Pl
 		}
 		var pe *PanicError
 		if errors.As(err, &pe) {
-			*clone = p.Clone()
+			*clone = b.CloneBackend()
 		}
 		if !Transient(err) || attempt >= attempts || ctx.Err() != nil {
 			return nil, err
@@ -190,7 +190,7 @@ func (e *Executor) runPoint(ctx context.Context, p *soc.Platform, clone **soc.Pl
 
 // attemptPoint is one try at a point: hit the chaos site, run the
 // simulation, convert panics to errors.
-func (e *Executor) attemptPoint(ctx context.Context, clone *soc.Platform, pt Point) (out *soc.RunOutcome, err error) {
+func (e *Executor) attemptPoint(ctx context.Context, clone soc.Backend, pt Point) (out *soc.RunOutcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out, err = nil, Recovered(rec)
@@ -220,7 +220,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // StandaloneBatch measures each kernel running alone on the PU, fanning the
 // misses out over the pool and serving repeats from the memo cache. Results
 // are in kernel order; the first failure aborts with a named error.
-func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int, kernels []soc.Kernel, rc soc.RunConfig) ([]soc.PUResult, error) {
+func (e *Executor) StandaloneBatch(ctx context.Context, b soc.Backend, pu int, kernels []soc.Kernel, rc soc.RunConfig) ([]soc.PUResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -248,7 +248,7 @@ func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int,
 					e.complete()
 					continue
 				}
-				results[i], errs[i] = e.runStandalone(ctx, p, pu, kernels[i], rc)
+				results[i], errs[i] = e.runStandalone(ctx, b, pu, kernels[i], rc)
 				e.complete()
 			}
 		}()
@@ -269,10 +269,10 @@ func (e *Executor) StandaloneBatch(ctx context.Context, p *soc.Platform, pu int,
 // panic isolation, and retries around the memo-cached run. Failed runs are
 // never cached, so a retry re-measures; a cache hit after an injected fault
 // returns the already-memoized (bit-identical) result.
-func (e *Executor) runStandalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
+func (e *Executor) runStandalone(ctx context.Context, b soc.Backend, pu int, k soc.Kernel, rc soc.RunConfig) (soc.PUResult, error) {
 	attempts := e.Retry.attempts()
 	for attempt := 1; ; attempt++ {
-		res, err := e.attemptStandalone(ctx, p, pu, k, rc)
+		res, err := e.attemptStandalone(ctx, b, pu, k, rc)
 		if err == nil {
 			return res, nil
 		}
@@ -286,7 +286,7 @@ func (e *Executor) runStandalone(ctx context.Context, p *soc.Platform, pu int, k
 	}
 }
 
-func (e *Executor) attemptStandalone(ctx context.Context, p *soc.Platform, pu int, k soc.Kernel, rc soc.RunConfig) (res soc.PUResult, err error) {
+func (e *Executor) attemptStandalone(ctx context.Context, b soc.Backend, pu int, k soc.Kernel, rc soc.RunConfig) (res soc.PUResult, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			res, err = soc.PUResult{}, Recovered(rec)
@@ -295,5 +295,5 @@ func (e *Executor) attemptStandalone(ctx context.Context, p *soc.Platform, pu in
 	if ferr := e.Faults.Hit(SiteStandalone); ferr != nil {
 		return soc.PUResult{}, ferr
 	}
-	return e.Cache.Standalone(ctx, p, pu, k, rc)
+	return e.Cache.Standalone(ctx, b, pu, k, rc)
 }

@@ -1,0 +1,114 @@
+package soc
+
+import (
+	"context"
+	"fmt"
+)
+
+// Backend is the pluggable simulation substrate the rest of the stack —
+// simrun, calib, sched, the experiments, and the serving layer — consumes
+// instead of a concrete *Platform. A backend answers one question: what
+// happens when this mix of kernels runs together on this piece of hardware?
+//
+// Implementations must guarantee (see DESIGN §11 for the full contract):
+//
+//   - Determinism: RunContext is a pure function of (backend config,
+//     placement, RunConfig). Same inputs, bit-identical RunOutcome, on any
+//     goroutine, at any concurrency.
+//   - Clone isolation: CloneBackend returns a copy that shares no mutable
+//     state with the receiver; concurrent simulations on clones never
+//     observe each other.
+//   - Validate semantics: Validate reports configuration errors without
+//     mutating the backend; RunContext on a backend whose Validate fails
+//     must fail, not misbehave.
+//   - Fingerprint identity: two backends with equal Fingerprints produce
+//     bit-identical results for every (placement, RunConfig) — it is the
+//     memo-cache key, so a wrapper that changes the physics must change
+//     the fingerprint.
+type Backend interface {
+	// PlatformName is the backend's registry name ("virtual-xavier",
+	// "pim-xavier", ...); model keys and workload profiles resolve by it.
+	PlatformName() string
+	// PUList is the processing-unit topology, in placement-index order.
+	// Callers must not mutate the returned slice.
+	PUList() []PU
+	// PeakGBps is the theoretical peak bandwidth of the shared memory
+	// system in GB/s — the ceiling calibration ladders sweep toward.
+	PeakGBps() float64
+	// Validate checks the backend configuration for internal consistency.
+	Validate() error
+	// CloneBackend returns an independent copy safe for concurrent use.
+	CloneBackend() Backend
+	// Fingerprint identifies the physics: everything that shapes a
+	// simulation outcome besides the placement and RunConfig.
+	Fingerprint() string
+	// RunContext simulates the kernel mix under contention and reports
+	// per-PU achieved bandwidth and latency. It must honour ctx
+	// cancellation promptly.
+	RunContext(ctx context.Context, pl Placement, rc RunConfig) (*RunOutcome, error)
+}
+
+// *Platform is the default virtual-SoC backend.
+var _ Backend = (*Platform)(nil)
+
+// PlatformName implements Backend.
+func (p *Platform) PlatformName() string { return p.Name }
+
+// PUList implements Backend.
+func (p *Platform) PUList() []PU { return p.PUs }
+
+// CloneBackend implements Backend.
+func (p *Platform) CloneBackend() Backend { return p.Clone() }
+
+// Fingerprint implements Backend. It covers name, seed, scheduling policy,
+// controller count, and the full DRAM config — the platform identity the
+// standalone memo cache has always keyed on.
+func (p *Platform) Fingerprint() string {
+	return fmt.Sprintf("%s|%d|%v|%d|%+v", p.Name, p.Seed, p.Policy, p.MCs, p.Mem)
+}
+
+// familied is the optional extension a backend implements to identify its
+// platform family ("chiplet", "pim", ...).
+type familied interface{ BackendFamily() string }
+
+// BackendFamily reports the platform's family label ("virtual-soc" unless
+// the preset sets one).
+func (p *Platform) BackendFamily() string {
+	if p.Family != "" {
+		return p.Family
+	}
+	return "virtual-soc"
+}
+
+// BackendFamilyOf reports the platform family of b; backends that do not
+// declare one are the default virtual-SoC substrate.
+func BackendFamilyOf(b Backend) string {
+	if f, ok := b.(familied); ok {
+		return f.BackendFamily()
+	}
+	return "virtual-soc"
+}
+
+// PUIndexOf returns the index of the PU with the given name on b, or -1.
+func PUIndexOf(b Backend, name string) int {
+	for i, pu := range b.PUList() {
+		if pu.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// StandaloneOn measures kernel k running alone on PU pu of backend b. The
+// result's RelativeSpeed is 1 by definition. It is the backend-generic
+// form of (*Platform).StandaloneContext and produces identical results on
+// the default backend.
+func StandaloneOn(ctx context.Context, b Backend, pu int, k Kernel, rc RunConfig) (PUResult, error) {
+	out, err := b.RunContext(ctx, Placement{pu: k}, rc)
+	if err != nil {
+		return PUResult{}, err
+	}
+	r := out.Results[pu]
+	r.RelativeSpeed = 1
+	return r, nil
+}

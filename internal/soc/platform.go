@@ -29,6 +29,11 @@ const (
 	// Core: one generic CMP core, used by the 16-core memory-controller
 	// study platform (paper Table 1).
 	Core
+	// NPU: one core of a multi-core neural processing unit. Like the DLA
+	// it is an inference engine, but each core streams tile-granular
+	// traffic (weight/activation tiles of a layer pipeline), so its
+	// workloads are naturally multi-phase at tile granularity.
+	NPU
 )
 
 func (k PUKind) String() string {
@@ -41,6 +46,8 @@ func (k PUKind) String() string {
 		return "DLA"
 	case Core:
 		return "Core"
+	case NPU:
+		return "NPU"
 	default:
 		return fmt.Sprintf("PUKind(%d)", int(k))
 	}
@@ -71,6 +78,10 @@ type Platform struct {
 	Policy memctrl.PolicyKind
 	PUs    []PU
 	Seed   int64
+	// Family optionally labels the platform family for model artifacts
+	// ("npu", ...); empty means the default "virtual-soc". It does not
+	// affect the simulation.
+	Family string
 	// MCs is the number of memory controllers; the platform's channels are
 	// block-partitioned across them and each controller runs its own
 	// scheduling policy instance with private fairness state. Zero or one
@@ -88,12 +99,28 @@ func (p *Platform) Validate() error {
 	if len(p.PUs) == 0 {
 		return fmt.Errorf("platform %s: no PUs", p.Name)
 	}
+	// PUIndex, workload demand profiles, and constructed model keys all
+	// resolve PUs by name: a duplicate would silently alias two units.
+	seen := make(map[string]bool, len(p.PUs))
 	for i, pu := range p.PUs {
+		if pu.Name == "" {
+			return fmt.Errorf("platform %s: PU %d has no name", p.Name, i)
+		}
+		if seen[pu.Name] {
+			return fmt.Errorf("platform %s: duplicate PU name %q", p.Name, pu.Name)
+		}
+		seen[pu.Name] = true
 		if pu.Outstanding < 1 {
 			return fmt.Errorf("platform %s: PU %d (%s) outstanding < 1", p.Name, i, pu.Name)
 		}
 		if pu.RunLines < 1 {
 			return fmt.Errorf("platform %s: PU %d (%s) run lines < 1", p.Name, i, pu.Name)
+		}
+		if pu.Streams < 1 {
+			return fmt.Errorf("platform %s: PU %d (%s) streams < 1", p.Name, i, pu.Name)
+		}
+		if pu.MaxFreqMHz <= 0 {
+			return fmt.Errorf("platform %s: PU %d (%s) max frequency %.4g MHz not positive", p.Name, i, pu.Name, pu.MaxFreqMHz)
 		}
 	}
 	if p.MCs > 1 && p.Mem.Channels%p.MCs != 0 {

@@ -1,0 +1,51 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateRejectsAliasedAndDegeneratePUs is the regression test for the
+// Validate hardening: PUIndex, workload demand profiles, and model keys all
+// resolve PUs by name, so a duplicate name silently aliases two units, and
+// zero Streams or MaxFreqMHz break traffic generation and frequency
+// exploration downstream with far less obvious failures.
+func TestValidateRejectsAliasedAndDegeneratePUs(t *testing.T) {
+	base := func() *Platform {
+		p := VirtualXavier()
+		return p.Clone()
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Platform)
+		want   string
+	}{
+		{"duplicate name", func(p *Platform) { p.PUs[2].Name = p.PUs[0].Name }, "duplicate PU name"},
+		{"empty name", func(p *Platform) { p.PUs[1].Name = "" }, "has no name"},
+		{"zero streams", func(p *Platform) { p.PUs[0].Streams = 0 }, "streams < 1"},
+		{"negative streams", func(p *Platform) { p.PUs[0].Streams = -3 }, "streams < 1"},
+		{"zero max freq", func(p *Platform) { p.PUs[1].MaxFreqMHz = 0 }, "not positive"},
+		{"negative max freq", func(p *Platform) { p.PUs[1].MaxFreqMHz = -1 }, "not positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base()
+			tc.mutate(p)
+			err := p.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a platform with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Every shipped preset must of course still validate.
+	for _, p := range []*Platform{VirtualXavier(), VirtualSnapdragon()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s: %v", p.Name, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+// Tile-granular NPU inference profiles (ONNXim-style) for the virtual-npu
+// platform: an NPU core alternates weight-tile loads (high bandwidth,
+// DMA-like), on-chip compute over the loaded tiles (low bandwidth), and
+// activation writeback (medium bandwidth). The phases reuse the paper's
+// multi-phase machinery (§3.2) at tile granularity — the per-phase demand
+// spread is far wider than cfd's, which is what makes naive average-demand
+// profiles inadequate on NPUs.
+const (
+	ncpu  = "virtual-npu/CPU"
+	nnpu0 = "virtual-npu/NPU0"
+	nnpu1 = "virtual-npu/NPU1"
+)
+
+// npuDemand profiles a tile workload identically on both NPU cores (the
+// cores are homogeneous) and optionally on the host CPU.
+func npuDemand(npu, cpu float64) map[string]float64 {
+	d := map[string]float64{nnpu0: npu, nnpu1: npu}
+	if cpu > 0 {
+		d[ncpu] = cpu
+	}
+	return d
+}
+
+var npuRegistry = map[string]*Workload{
+	// ResNet-50 tiles: conv weight tiles dominate traffic; GEMM compute
+	// runs mostly out of the tile buffers.
+	"npu-resnet50-tiles": {
+		Name: "npu-resnet50-tiles", Class: Memory, RunLines: 384,
+		Demand: npuDemand(52.6, 38),
+		Phases: []Phase{
+			{Name: "wtile", Weight: 0.35, Demand: npuDemand(86, 60)},
+			{Name: "gemm", Weight: 0.40, Demand: npuDemand(22, 18)},
+			{Name: "wback", Weight: 0.25, Demand: npuDemand(55, 39)},
+		},
+	},
+	// BERT-base tiles: QKV weight streaming is intensive, attention score
+	// compute is cheap, the FFN tiles push hardest.
+	"npu-bert-tiles": {
+		Name: "npu-bert-tiles", Class: Memory, RunLines: 384,
+		Demand: npuDemand(65.8, 0),
+		Phases: []Phase{
+			{Name: "qkv", Weight: 0.30, Demand: npuDemand(78, 0)},
+			{Name: "attn", Weight: 0.35, Demand: npuDemand(34, 0)},
+			{Name: "ffn", Weight: 0.35, Demand: npuDemand(87, 0)},
+		},
+	},
+	// MobileNetV2 tiles: depthwise stages are compute-bound, pointwise
+	// 1x1 convolutions stream weights.
+	"npu-mobilenet-tiles": {
+		Name: "npu-mobilenet-tiles", Class: Compute, RunLines: 256,
+		Demand: npuDemand(33.5, 24),
+		Phases: []Phase{
+			{Name: "dwise", Weight: 0.50, Demand: npuDemand(17, 12)},
+			{Name: "pwise", Weight: 0.30, Demand: npuDemand(62, 45)},
+			{Name: "io", Weight: 0.20, Demand: npuDemand(32, 23)},
+		},
+	},
+}
+
+func init() {
+	for name, w := range npuRegistry {
+		if _, dup := registry[name]; dup {
+			panic("workload: duplicate NPU workload " + name)
+		}
+		registry[name] = w
+	}
+}

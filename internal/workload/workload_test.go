@@ -8,8 +8,8 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	if got := len(Names()); got != 14 {
-		t.Errorf("registry has %d workloads, want 14 (10 Rodinia + 4 DNN)", got)
+	if got := len(Names()); got != 17 {
+		t.Errorf("registry has %d workloads, want 17 (10 Rodinia + 4 DNN + 3 NPU tile)", got)
 	}
 	for _, n := range Names() {
 		w := MustGet(n)

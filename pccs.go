@@ -42,6 +42,7 @@ package pccs
 import (
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/gables"
+	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
 
@@ -74,6 +75,12 @@ func NewGables(peakGBps float64) (Gables, error) { return gables.New(peakGBps) }
 // Platform is a simulated heterogeneous shared-memory SoC.
 type Platform = soc.Platform
 
+// Backend is the simulation-substrate seam: anything that can validate
+// itself, clone, report its PU topology and peak bandwidth, and run a
+// kernel mix under contention. *Platform satisfies it, as do the extended
+// families (chiplet, multi-core NPU, PIM) behind PlatformByName.
+type Backend = soc.Backend
+
 // PU describes one processing unit of a platform.
 type PU = soc.PU
 
@@ -97,6 +104,15 @@ func Xavier() *Platform { return soc.VirtualXavier() }
 // Snapdragon returns the virtual Qualcomm Snapdragon 855: CPU + GPU over a
 // 34 GB/s LPDDR4x memory system (PU indices 0, 1).
 func Snapdragon() *Platform { return soc.VirtualSnapdragon() }
+
+// PlatformNames lists every registered platform backend, sorted — the
+// names PlatformByName, the CLIs' -platform flags, and the /v1/* request
+// "platform" field accept.
+func PlatformNames() []string { return platform.Names() }
+
+// PlatformByName builds a fresh backend for any registered platform: the
+// virtual SoCs plus the extended chiplet / multi-core NPU / PIM families.
+func PlatformByName(name string) (Backend, error) { return platform.Get(name) }
 
 // ExternalPressure builds a synthetic pure-bandwidth kernel, the
 // "controllable memory traffic generator" of the methodology.

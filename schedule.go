@@ -49,7 +49,7 @@ type ScheduleValidation = sched.Validation
 // the inner-loop cost (§3.4's use case, batch form). Small batches are
 // solved exactly; larger ones by seeded beam search. The same inputs,
 // options, and seed always yield the same schedule, at any worker count.
-func SolveSchedule(ctx context.Context, models ModelSet, p *Platform, items []ScheduleItem, opts ScheduleOptions) (*Schedule, error) {
+func SolveSchedule(ctx context.Context, models ModelSet, p Backend, items []ScheduleItem, opts ScheduleOptions) (*Schedule, error) {
 	return sched.Solve(ctx, models, p, items, opts)
 }
 
@@ -57,12 +57,12 @@ func SolveSchedule(ctx context.Context, models ModelSet, p *Platform, items []Sc
 // largest slowdown any co-runner mix drawn from the batch could inflict,
 // plus the model's saturated-memory ceiling. Bounds always dominate the
 // schedule's own expected slowdowns.
-func ScheduleWorstCase(ctx context.Context, models ModelSet, p *Platform, items []ScheduleItem, s *Schedule) (*WorstCase, error) {
+func ScheduleWorstCase(ctx context.Context, models ModelSet, p Backend, items []ScheduleItem, s *Schedule) (*WorstCase, error) {
 	return sched.WorstCaseBounds(ctx, models, p, items, s)
 }
 
 // ValidateSchedule replays a schedule wave-by-wave through the simulator
 // and reports predicted-vs-actual relative speeds and makespan.
-func ValidateSchedule(ctx context.Context, p *Platform, s *Schedule, rc RunConfig) (*ScheduleValidation, error) {
+func ValidateSchedule(ctx context.Context, p Backend, s *Schedule, rc RunConfig) (*ScheduleValidation, error) {
 	return sched.Validate(ctx, simrun.New(0), p, s, rc)
 }
