@@ -58,6 +58,13 @@ SOAK_DURATION ?= 20s
 soak:
 	PCCS_SOAK_DURATION=$(SOAK_DURATION) $(GO) test ./internal/server -run '^TestSoakOverload$$' -count=1 -v -timeout 600s
 
+# The cluster chaos proofs: three in-process nodes, a seeded mid-sweep
+# kill plus partition, byte-identical matrix reassembly, version-race
+# convergence, and predict availability at every soak point.
+cluster-chaos:
+	$(GO) test ./internal/server -run '^TestCluster' -count=1 -race -v -timeout 900s
+	$(GO) test ./internal/cluster -count=1 -race -timeout 900s
+
 # End-to-end scheduler demo against the shipped models: plan a mixed batch,
 # report worst-case contention bounds, and replay the schedule through the
 # simulator (quick windows). Override the batch via SCHED_ARGS.

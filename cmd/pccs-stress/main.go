@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	pccs-stress [-url http://localhost:8080] [-path /v1/predict]
+//	pccs-stress [-url http://localhost:8080 | -urls http://a:8080,http://b:8080]
+//	            [-path /v1/predict]
 //	            [-body '{"platform":...}' | -body-file req.json]
 //	            [-c 8 | -ramp 8,32,128] [-qps 0] [-d 10s]
 //	            [-deadline-ms 0] [-api-key key]
@@ -24,6 +25,11 @@
 // -deadline-ms sets the X-Deadline-Ms header on every request, exercising
 // the server's deadline propagation; -api-key sets X-API-Key, the
 // per-client rate-limiter key.
+//
+// -urls soaks a pccsd cluster: requests round-robin across the node base
+// URLs, so every node's shard routing, peer forwarding, and degraded
+// serving see load at once. Degraded answers (stale-cache or partitioned)
+// are counted in the report's degraded line.
 //
 // Exit status: 0 when the run completed, 1 on configuration or transport
 // setup errors. Shed responses are data, not failures.
@@ -51,6 +57,7 @@ const defaultBody = `{"platform":"virtual-xavier","pu":"GPU","demand_gbps":88,"e
 func main() {
 	var (
 		url        = flag.String("url", "http://localhost:8080", "pccsd base URL")
+		urls       = flag.String("urls", "", "cluster soak: comma-separated node base URLs, round-robinned per request (overrides -url)")
 		path       = flag.String("path", "/v1/predict", "endpoint path")
 		method     = flag.String("method", "", "HTTP method (default POST with a body, GET without)")
 		body       = flag.String("body", "", "request body (default: a representative /v1/predict payload)")
@@ -76,8 +83,18 @@ func main() {
 		payload = []byte(defaultBody)
 	}
 
+	var nodeURLs []string
+	if *urls != "" {
+		for _, u := range strings.Split(*urls, ",") {
+			if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+				nodeURLs = append(nodeURLs, u)
+			}
+		}
+	}
+
 	cfg := stress.Config{
 		URL:         *url,
+		URLs:        nodeURLs,
 		Path:        *path,
 		Method:      *method,
 		Body:        payload,

@@ -13,6 +13,8 @@
 //	      [-max-concurrency 256] [-max-waiters 512] [-admission-target 250ms]
 //	      [-rate 0] [-rate-burst 0] [-job-timeout 0]
 //	      [-breaker-cooldown 15s] [-debug-addr ""]
+//	      [-node-id n1 -peers n1=http://a:8080,n2=http://b:8080] [-replicas 2]
+//	      [-journal-compact-bytes 0]
 //
 // Endpoints:
 //
@@ -47,6 +49,12 @@
 // -debug-addr exposes net/http/pprof on a SEPARATE listener that is
 // restricted to loopback addresses, so profiling is never reachable from
 // the serving interface.
+//
+// Clustering: -node-id plus -peers joins this daemon to a pccsd cluster —
+// the model registry is sharded across members by consistent hashing with
+// -replicas copies per model, calibration sweeps fan out across nodes as
+// leases, and a partitioned node keeps serving replicated models with a
+// `Degraded: partitioned` header. See README "Running a pccsd cluster".
 package main
 
 import (
@@ -65,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/cluster"
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/platform"
 	"github.com/processorcentricmodel/pccs/internal/server"
@@ -107,6 +116,28 @@ func envSeed() uint64 {
 		}
 	}
 	return 1
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs naming
+// every cluster member, this node included. Validated eagerly — a malformed
+// topology must fail startup, not the first sweep.
+func parsePeers(spec string) map[string]string {
+	if spec == "" {
+		return nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		pair = strings.TrimSpace(pair)
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok || id == "" || url == "" {
+			log.Fatalf("-peers entry %q: want id=url", pair)
+		}
+		if _, dup := peers[id]; dup {
+			log.Fatalf("-peers lists node %q twice", id)
+		}
+		peers[id] = strings.TrimRight(url, "/")
+	}
+	return peers
 }
 
 // platformAllowlist parses the -platform flag: a comma-separated list of
@@ -153,6 +184,11 @@ func main() {
 		brCooldown = flag.Duration("breaker-cooldown", 0, "calibration circuit-breaker open duration before a half-open probe (0 = 15s)")
 		debugAddr  = flag.String("debug-addr", "", "loopback-only net/http/pprof listener, e.g. 127.0.0.1:6060 (empty disables)")
 		plats      = flag.String("platform", "", "comma-separated platform allowlist for calibrate/schedule requests (empty = every registered platform)")
+
+		nodeID     = flag.String("node-id", "", "this node's cluster member id (empty = single-node)")
+		peers      = flag.String("peers", "", "cluster topology as id=url,id=url,... including this node")
+		replicas   = flag.Int("replicas", 0, "model replication factor across the cluster (0 = 2)")
+		journalMax = flag.Int64("journal-compact-bytes", 0, "journal size that triggers compaction, bytes (0 = record count only)")
 	)
 	flag.Parse()
 
@@ -167,6 +203,18 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("chaos armed: sites %v (seed %d)", injector.Sites(), *seed)
+	}
+
+	var ccfg *cluster.Config
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" || *peers == "" {
+			log.Fatal("-node-id and -peers must be given together")
+		}
+		ccfg = &cluster.Config{
+			ID:       *nodeID,
+			Peers:    parsePeers(*peers),
+			Replicas: *replicas,
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -189,6 +237,9 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		Breaker:         server.BreakerConfig{Cooldown: *brCooldown},
 		Platforms:       platformAllowlist(*plats),
+
+		Cluster:             ccfg,
+		JournalCompactBytes: *journalMax,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -196,6 +247,12 @@ func main() {
 	log.Printf("serving %d models from %s on http://%s", srv.Registry().Len(), *models, *addr)
 	if *journal != "" {
 		log.Printf("job journal at %s", *journal)
+	}
+	if node := srv.Cluster(); node != nil {
+		probeCtx, probeStop := context.WithCancel(context.Background())
+		defer probeStop()
+		node.Prober().Start(probeCtx, 2*time.Second)
+		log.Printf("cluster node %s: %d peers, %d replicas", node.ID(), len(node.NodeIDs())-1, node.Replicas())
 	}
 	if *debugAddr != "" {
 		ln, err := listenLoopback(*debugAddr)

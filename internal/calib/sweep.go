@@ -56,6 +56,113 @@ func DefaultSweep(b soc.Backend, targetPU, pressurePU int) SweepConfig {
 	}
 }
 
+// Validate checks the sweep configuration against a backend: distinct,
+// in-range PU indices and a non-empty grid.
+func (cfg SweepConfig) Validate(b soc.Backend) error {
+	if cfg.TargetPU == cfg.PressurePU {
+		return fmt.Errorf("calib: target and pressure PU are both %d", cfg.TargetPU)
+	}
+	if cfg.TargetPU < 0 || cfg.TargetPU >= len(b.PUList()) ||
+		cfg.PressurePU < 0 || cfg.PressurePU >= len(b.PUList()) {
+		return fmt.Errorf("calib: PU indices out of range")
+	}
+	if len(cfg.Calibrators) == 0 || len(cfg.ExtGBps) == 0 {
+		return fmt.Errorf("calib: empty sweep")
+	}
+	return nil
+}
+
+// SweepKernels materializes the calibrator kernels of a sweep, in grid
+// order. Both the single-node sweep and the cluster's lease executor derive
+// the plan from this one function, so a point index means the same
+// simulation everywhere.
+func SweepKernels(cfg SweepConfig) []soc.Kernel {
+	kernels := make([]soc.Kernel, len(cfg.Calibrators))
+	for i, c := range cfg.Calibrators {
+		kernels[i] = soc.Kernel{
+			Name:        c.Name,
+			DemandGBps:  c.DemandGBps,
+			RunLines:    c.RunLines,
+			Outstanding: c.Outstanding,
+			Streams:     c.Streams,
+		}
+	}
+	return kernels
+}
+
+// KeptIndices applies the paper's measured-demand filter to the standalone
+// column (§3.2): a latency-limited PU (e.g. the DLA) saturates below the
+// requested rate, so further calibrator levels collapse onto the same
+// measured demand and are skipped. It is a pure function of the achieved
+// standalone bandwidths, so every node of a cluster computes the same kept
+// set from the same measurements.
+func KeptIndices(aloneGBps []float64) []int {
+	var kept []int
+	last := 0.0
+	for i, achieved := range aloneGBps {
+		if len(kept) > 0 && achieved < last*1.02 {
+			continue
+		}
+		last = achieved
+		kept = append(kept, i)
+	}
+	return kept
+}
+
+// CorunPoints enumerates the co-run grid — kept calibrators × external
+// demand ladder, row-major — as independent simulation points. The
+// enumeration order is the lease protocol's contract: point k is
+// kept[k/len(ExtGBps)] co-running against ExtGBps[k%len(ExtGBps)] on every
+// node, which is what makes a reassembled distributed sweep bit-identical
+// to a local one.
+func CorunPoints(cfg SweepConfig, kernels []soc.Kernel, kept []int) []simrun.Point {
+	points := make([]simrun.Point, 0, len(kept)*len(cfg.ExtGBps))
+	for _, i := range kept {
+		for _, ext := range cfg.ExtGBps {
+			points = append(points, simrun.Point{
+				Placement: soc.Placement{
+					cfg.TargetPU:   kernels[i],
+					cfg.PressurePU: soc.ExternalPressure(ext),
+				},
+				Run: cfg.Run,
+			})
+		}
+	}
+	return points
+}
+
+// AssembleMatrix builds the rela matrix from the achieved bandwidths of the
+// standalone column and the co-run grid (corunGBps in CorunPoints order).
+// The arithmetic lives here — and only here — so a matrix assembled from
+// remotely executed leases is bit-identical to the single-node sweep's.
+func AssembleMatrix(b soc.Backend, cfg SweepConfig, aloneGBps []float64, kept []int, corunGBps []float64) (*Matrix, error) {
+	if want := len(kept) * len(cfg.ExtGBps); len(corunGBps) != want {
+		return nil, fmt.Errorf("calib: %d co-run measurements for a %d-point grid", len(corunGBps), want)
+	}
+	m := &Matrix{
+		PeakBW:   b.PeakGBps(),
+		PU:       b.PUList()[cfg.TargetPU].Name,
+		Platform: b.PlatformName(),
+	}
+	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
+	for r, i := range kept {
+		m.StdBW = append(m.StdBW, aloneGBps[i])
+		row := make([]float64, 0, len(cfg.ExtGBps))
+		for j := range cfg.ExtGBps {
+			rs := 100.0
+			if aloneGBps[i] > 0 {
+				rs = 100 * corunGBps[r*len(cfg.ExtGBps)+j] / aloneGBps[i]
+			}
+			if rs > 100 {
+				rs = 100
+			}
+			row = append(row, rs)
+		}
+		m.Rela = append(m.Rela, row)
+	}
+	return m, m.Validate()
+}
+
 // Sweep measures the rela matrix: each calibrator runs standalone, then
 // co-runs against each external demand level; achieved relative speeds fill
 // the matrix (§3.2, construction step one).
@@ -69,92 +176,43 @@ func Sweep(b soc.Backend, cfg SweepConfig) (*Matrix, error) {
 // served from the executor's memo cache. Results are assembled in grid
 // order, so the matrix is identical to the serial sweep's. A nil executor
 // uses a private GOMAXPROCS pool.
+//
+// The stages — SweepKernels, StandaloneBatch, KeptIndices, CorunPoints,
+// AssembleMatrix — are exported individually because the cluster coordinator
+// runs exactly the same pipeline with the two measurement batches farmed out
+// to peer nodes as leases; sharing the code is what makes the distributed
+// matrix bit-identical to this one.
 func SweepContext(ctx context.Context, ex *simrun.Executor, b soc.Backend, cfg SweepConfig) (*Matrix, error) {
 	if ex == nil {
 		ex = simrun.New(0)
 	}
-	if cfg.TargetPU == cfg.PressurePU {
-		return nil, fmt.Errorf("calib: target and pressure PU are both %d", cfg.TargetPU)
-	}
-	if cfg.TargetPU < 0 || cfg.TargetPU >= len(b.PUList()) ||
-		cfg.PressurePU < 0 || cfg.PressurePU >= len(b.PUList()) {
-		return nil, fmt.Errorf("calib: PU indices out of range")
-	}
-	if len(cfg.Calibrators) == 0 || len(cfg.ExtGBps) == 0 {
-		return nil, fmt.Errorf("calib: empty sweep")
+	if err := cfg.Validate(b); err != nil {
+		return nil, err
 	}
 
-	m := &Matrix{
-		PeakBW:   b.PeakGBps(),
-		PU:       b.PUList()[cfg.TargetPU].Name,
-		Platform: b.PlatformName(),
-	}
-	m.ExtBW = append(m.ExtBW, cfg.ExtGBps...)
-
-	kernels := make([]soc.Kernel, len(cfg.Calibrators))
-	for i, c := range cfg.Calibrators {
-		kernels[i] = soc.Kernel{
-			Name:        c.Name,
-			DemandGBps:  c.DemandGBps,
-			RunLines:    c.RunLines,
-			Outstanding: c.Outstanding,
-			Streams:     c.Streams,
-		}
-	}
+	kernels := SweepKernels(cfg)
 	alone, err := ex.StandaloneBatch(ctx, b, cfg.TargetPU, kernels, cfg.Run)
 	if err != nil {
 		return nil, fmt.Errorf("calib: %w", err)
 	}
-
-	// The paper records the *measured* standalone bandwidth as the kernel's
-	// demand (§3.2): a latency-limited PU (e.g. the DLA) saturates below
-	// the requested rate, so further calibrator levels collapse onto the
-	// same measured demand and are skipped. The filter is inherently
-	// sequential over the measured ladder and runs on the already-parallel
-	// standalone column.
-	var kept []int
-	for i := range kernels {
-		if n := len(m.StdBW); n > 0 && alone[i].AchievedGBps < m.StdBW[n-1]*1.02 {
-			continue
-		}
-		m.StdBW = append(m.StdBW, alone[i].AchievedGBps)
-		kept = append(kept, i)
+	aloneGBps := make([]float64, len(alone))
+	for i, r := range alone {
+		aloneGBps[i] = r.AchievedGBps
 	}
+	kept := KeptIndices(aloneGBps)
 
-	points := make([]simrun.Point, 0, len(kept)*len(cfg.ExtGBps))
-	for _, i := range kept {
-		for _, ext := range cfg.ExtGBps {
-			points = append(points, simrun.Point{
-				Placement: soc.Placement{
-					cfg.TargetPU:   kernels[i],
-					cfg.PressurePU: soc.ExternalPressure(ext),
-				},
-				Run: cfg.Run,
-			})
-		}
-	}
+	points := CorunPoints(cfg, kernels, kept)
 	results, err := ex.Execute(ctx, b, points)
 	if err != nil {
 		return nil, fmt.Errorf("calib: sweep: %w", err)
 	}
-
-	for r, i := range kept {
-		row := make([]float64, 0, len(cfg.ExtGBps))
-		for j, ext := range cfg.ExtGBps {
-			res := results[r*len(cfg.ExtGBps)+j]
-			if res.Err != nil {
-				return nil, fmt.Errorf("calib: corun %s vs %.0f: %w", kernels[i].Name, ext, res.Err)
-			}
-			rs := 100.0
-			if alone[i].AchievedGBps > 0 {
-				rs = 100 * res.Outcome.Results[cfg.TargetPU].AchievedGBps / alone[i].AchievedGBps
-			}
-			if rs > 100 {
-				rs = 100
-			}
-			row = append(row, rs)
+	corunGBps := make([]float64, len(results))
+	for k, res := range results {
+		if res.Err != nil {
+			return nil, fmt.Errorf("calib: corun %s vs %.0f: %w",
+				kernels[kept[k/len(cfg.ExtGBps)]].Name, cfg.ExtGBps[k%len(cfg.ExtGBps)], res.Err)
 		}
-		m.Rela = append(m.Rela, row)
+		corunGBps[k] = res.Outcome.Results[cfg.TargetPU].AchievedGBps
 	}
-	return m, m.Validate()
+	return AssembleMatrix(b, cfg, aloneGBps, kept, corunGBps)
 }

@@ -1,0 +1,382 @@
+// Package cluster turns a set of pccsd daemons into one partition-tolerant
+// serving and calibration cluster.
+//
+// Three cooperating pieces:
+//
+//   - A consistent-hash ring shards the model registry across nodes: every
+//     model key ("platform/pu") maps to R owner nodes (a primary and R-1
+//     replicas), and constructed models are replicated to their owners with
+//     a monotonic version token — the SHA-256 of the model's canonical JSON
+//     (the same canonicalization as the pccs-models/v2 envelope checksum)
+//     paired with a Lamport-style sequence number, so concurrent publishes
+//     of different versions converge to the same winner on every node
+//     instead of flapping on write order.
+//
+//   - A calibration coordinator fans a construction sweep out across the
+//     cluster as leases: contiguous index ranges of the sweep's canonical
+//     point enumeration (calib.SweepKernels / calib.CorunPoints). Every
+//     node derives the identical plan from the lease's SweepPlan, runs only
+//     its range, and returns achieved bandwidths; the coordinator
+//     reassembles them in plan order and assembles the matrix with
+//     calib.AssembleMatrix — the same code the single-node sweep runs — so
+//     the result is bit-identical to a local construction no matter which
+//     nodes served which points, or how many times a lease was reassigned.
+//
+//   - Robustness machinery makes the fan-out survive chaos: peer health
+//     probing with hysteresis (a peer flips down only after consecutive
+//     failures and back up only after consecutive successes), lease
+//     timeouts with reassignment to a different live node, capped
+//     deterministic-jitter retry backoff, a single hedged request for slow
+//     leases, and best-effort replication with a pending queue that drains
+//     when a partition heals.
+//
+// The package is transport-agnostic: production uses HTTPTransport against
+// the peer daemons' /v1/cluster endpoints, tests inject partitions and node
+// deaths through a wrapped Transport. Simulation points are deterministic
+// pure computations, which is what makes all of this sound: re-running a
+// lease on any node — after a timeout, a crash, or as a hedge — reproduces
+// the exact bytes the dead node would have produced.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// SiteLease is the chaos-injection site fired by the serving side of every
+// lease execution (the /v1/cluster/lease handler), alongside the simrun
+// sites the executor fires while running the lease's points.
+const SiteLease = "cluster/lease"
+
+// Config wires one node into the cluster.
+type Config struct {
+	// ID is this node's stable identity on the hash ring.
+	ID string
+	// Peers maps every node ID in the cluster — including this node's — to
+	// its base URL (e.g. "http://host:8080").
+	Peers map[string]string
+	// Replicas is the replication factor R: every model key is owned by R
+	// distinct nodes (capped at the cluster size). Default 2.
+	Replicas int
+	// VNodes is the number of ring points per node (default 64).
+	VNodes int
+	// Transport carries lease, ping, and replication traffic (default
+	// NewHTTPTransport(nil)).
+	Transport Transport
+	// Install, when set, is called for every model version the node accepts
+	// (local publishes and replicas) — the hook into the serving registry.
+	Install func(core.Params) error
+	// UpAfter/DownAfter are the prober's hysteresis thresholds (default 2
+	// consecutive successes to come up, 3 consecutive failures to go down).
+	UpAfter, DownAfter int
+	// ProbeTimeout bounds one ping (default 2s).
+	ProbeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if n := len(c.Peers); c.Replicas > n && n > 0 {
+		c.Replicas = n
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Transport == nil {
+		c.Transport = NewHTTPTransport(nil)
+	}
+	if c.UpAfter <= 0 {
+		c.UpAfter = 2
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = 3
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Node is one pccsd daemon's membership in the cluster: its shard
+// ownership, versioned model store, peer health view, and coordinator
+// counters. A Node is safe for concurrent use.
+type Node struct {
+	cfg    Config
+	ring   *Ring
+	store  *Store
+	prober *Prober
+
+	mu      sync.Mutex
+	pending map[string]map[string]ReplicaEnvelope // guarded by mu; peer ID → key → latest unacked envelope
+
+	stats CoordinatorStats
+}
+
+// NewNode validates the config and builds the node's ring, store, and
+// prober (probing starts when the caller runs Prober().Start or ProbeOnce).
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: node needs an ID")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: node needs a peer map")
+	}
+	if _, ok := cfg.Peers[cfg.ID]; !ok {
+		return nil, fmt.Errorf("cluster: node ID %q is not in the peer map", cfg.ID)
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty peer ID")
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	n := &Node{
+		cfg:     cfg,
+		ring:    NewRing(ids, cfg.VNodes),
+		store:   NewStore(cfg.Install),
+		pending: make(map[string]map[string]ReplicaEnvelope),
+	}
+	n.prober = newProber(cfg, n.flushPending)
+	return n, nil
+}
+
+// ID returns this node's ring identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// URL resolves a node ID to its base URL ("" when unknown).
+func (n *Node) URL(id string) string { return n.cfg.Peers[id] }
+
+// SelfURL is this node's advertised base URL.
+func (n *Node) SelfURL() string { return n.cfg.Peers[n.cfg.ID] }
+
+// Replicas reports the effective replication factor.
+func (n *Node) Replicas() int { return n.cfg.Replicas }
+
+// NodeIDs lists every cluster member, sorted.
+func (n *Node) NodeIDs() []string { return n.ring.Nodes() }
+
+// Prober exposes the peer health prober (Start it alongside the daemon, or
+// step it manually with ProbeOnce in tests).
+func (n *Node) Prober() *Prober { return n.prober }
+
+// Store exposes the versioned model store.
+func (n *Node) Store() *Store { return n.store }
+
+// Transport exposes the configured transport (shared with the coordinator).
+func (n *Node) Transport() Transport { return n.cfg.Transport }
+
+// Owners returns the R nodes owning a model key's shard, primary first.
+func (n *Node) Owners(key string) []string {
+	return n.ring.Owners(key, n.cfg.Replicas)
+}
+
+// Owns reports whether this node is an owner (primary or replica) of key.
+func (n *Node) Owns(key string) bool {
+	for _, id := range n.Owners(key) {
+		if id == n.cfg.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// Primary returns the first owner of key's shard.
+func (n *Node) Primary(key string) string {
+	owners := n.Owners(key)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// DegradedFor reports whether serving key from this node is read-degraded:
+// the shard's primary is another node and the prober currently marks it
+// down (dead or partitioned away), so this node is answering from its
+// replicated copy without being able to confirm freshness. The response
+// still flows — availability holds while any replica is alive — but it is
+// marked `Degraded: partitioned`.
+func (n *Node) DegradedFor(key string) bool {
+	primary := n.Primary(key)
+	if primary == "" || primary == n.cfg.ID {
+		return false
+	}
+	return !n.prober.Up(primary)
+}
+
+// UpPeers lists the peer IDs (self excluded) the prober currently considers
+// reachable, sorted.
+func (n *Node) UpPeers() []string {
+	var up []string
+	for _, st := range n.prober.States() {
+		if st.Up {
+			up = append(up, st.ID)
+		}
+	}
+	return up
+}
+
+// UnloadedPeer picks the healthy peer with the lowest last-observed
+// in-flight load — the redirect target for peer-aware admission ("" when no
+// peer is up). Ties break on ID so the hint is stable.
+func (n *Node) UnloadedPeer() string {
+	var best string
+	bestLoad := -1
+	for _, st := range n.prober.States() {
+		if !st.Up {
+			continue
+		}
+		if bestLoad < 0 || st.Load.InFlight < bestLoad {
+			best, bestLoad = st.ID, st.Load.InFlight
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return n.cfg.Peers[best]
+}
+
+// Publish versions a locally constructed model and replicates it to the
+// owners of its shard: the version is (next Lamport sequence, SHA-256 of
+// the canonical model JSON), newer-wins everywhere. Replication to
+// unreachable owners is queued and retried when the prober sees them again;
+// the queue length is the node's replication lag.
+func (n *Node) Publish(ctx context.Context, p core.Params) (Version, error) {
+	v, err := n.store.Publish(p)
+	if err != nil {
+		return Version{}, err
+	}
+	key := modelKey(p.Platform, p.PU)
+	env := ReplicaEnvelope{Key: key, Version: v, Params: p}
+	for _, owner := range n.Owners(key) {
+		if owner == n.cfg.ID {
+			continue
+		}
+		if err := n.replicateTo(ctx, owner, env); err != nil {
+			n.queuePending(owner, env)
+		}
+	}
+	return v, nil
+}
+
+// ApplyReplica applies a replicated model version pushed by a peer
+// (newer-wins). It reports whether the envelope was applied and the key's
+// version after the call.
+func (n *Node) ApplyReplica(env ReplicaEnvelope) (bool, Version, error) {
+	return n.store.Apply(env.Params, env.Version)
+}
+
+func (n *Node) replicateTo(ctx context.Context, peer string, env ReplicaEnvelope) error {
+	url := n.cfg.Peers[peer]
+	if url == "" {
+		return fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	_, err := n.cfg.Transport.Replicate(ctx, url, env)
+	return err
+}
+
+// queuePending records an envelope that could not be delivered; the latest
+// version per (peer, key) wins, so a healed partition replays only the
+// newest state.
+func (n *Node) queuePending(peer string, env ReplicaEnvelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byKey := n.pending[peer]
+	if byKey == nil {
+		byKey = make(map[string]ReplicaEnvelope)
+		n.pending[peer] = byKey
+	}
+	if cur, ok := byKey[env.Key]; !ok || env.Version.Newer(cur.Version) {
+		byKey[env.Key] = env
+	}
+}
+
+// flushPending retries queued replication to a peer the prober just saw
+// alive. Envelopes that fail again stay queued.
+func (n *Node) flushPending(peer string) {
+	n.mu.Lock()
+	byKey := n.pending[peer]
+	if len(byKey) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	envs := make([]ReplicaEnvelope, 0, len(keys))
+	for _, k := range keys {
+		envs = append(envs, byKey[k])
+	}
+	n.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout*4)
+	defer cancel()
+	for _, env := range envs {
+		if err := n.replicateTo(ctx, peer, env); err != nil {
+			return
+		}
+		n.mu.Lock()
+		if cur, ok := n.pending[peer][env.Key]; ok && !cur.Version.Newer(env.Version) {
+			delete(n.pending[peer], env.Key)
+			if len(n.pending[peer]) == 0 {
+				delete(n.pending, peer)
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// Lag counts queued (undelivered) replication envelopes across all peers —
+// the /healthz replication-lag figure.
+func (n *Node) Lag() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, byKey := range n.pending {
+		total += len(byKey)
+	}
+	return total
+}
+
+// CoordinatorStats accumulates the robustness counters across every
+// calibration this node coordinated.
+type CoordinatorStats struct {
+	// LeasesGranted counts lease dispatches (including reassignments and
+	// hedges).
+	LeasesGranted uint64
+	// LeasesReassigned counts leases re-dispatched after a failure or
+	// timeout — pccsd_lease_reassigned_total.
+	LeasesReassigned uint64
+	// HedgedRequests counts duplicate dispatches fired for slow leases —
+	// pccsd_hedged_requests_total.
+	HedgedRequests uint64
+}
+
+// Stats snapshots the coordinator counters.
+func (n *Node) Stats() CoordinatorStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+func (n *Node) countLease(granted, reassigned, hedged uint64) {
+	n.mu.Lock()
+	n.stats.LeasesGranted += granted
+	n.stats.LeasesReassigned += reassigned
+	n.stats.HedgedRequests += hedged
+	n.mu.Unlock()
+}
+
+// modelKey mirrors calib.Key without importing it here (node.go stays free
+// of the calibration dependency; the coordinator imports calib).
+func modelKey(platform, pu string) string { return platform + "/" + pu }

@@ -1,0 +1,464 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+var tinyRC = soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 60_000}
+
+// fakeTransport executes leases in-process: each base URL gets its own
+// executor, as if it were a separate daemon. Failure hooks inject
+// partitions, deaths, and slowness per (url, call).
+type fakeTransport struct {
+	mu    sync.Mutex
+	ex    map[string]*simrun.Executor // guarded by mu
+	calls map[string]int              // guarded by mu; url → lease calls served
+
+	// failLease, when set, may reject a lease before execution.
+	failLease func(url string, req LeaseRequest, call int) error
+	// delayLease, when set, sleeps before answering.
+	delayLease func(url string, req LeaseRequest) time.Duration
+	// pingDown marks URLs whose pings fail.
+	pingDown map[string]bool
+}
+
+func newFakeTransport() *fakeTransport {
+	return &fakeTransport{
+		ex:       make(map[string]*simrun.Executor),
+		calls:    make(map[string]int),
+		pingDown: make(map[string]bool),
+	}
+}
+
+func (t *fakeTransport) executor(url string) *simrun.Executor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ex[url] == nil {
+		t.ex[url] = simrun.New(2)
+	}
+	return t.ex[url]
+}
+
+func (t *fakeTransport) Lease(ctx context.Context, url string, req LeaseRequest) (*LeaseResponse, error) {
+	t.mu.Lock()
+	t.calls[url]++
+	call := t.calls[url]
+	t.mu.Unlock()
+	if t.failLease != nil {
+		if err := t.failLease(url, req, call); err != nil {
+			return nil, err
+		}
+	}
+	if t.delayLease != nil {
+		if d := t.delayLease(url, req); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return ExecuteLease(ctx, t.executor(url), req)
+}
+
+func (t *fakeTransport) Ping(ctx context.Context, url string) (*PingInfo, error) {
+	t.mu.Lock()
+	down := t.pingDown[url]
+	t.mu.Unlock()
+	if down {
+		return nil, errors.New("fake: peer down")
+	}
+	return &PingInfo{Node: url}, nil
+}
+
+func (t *fakeTransport) Replicate(ctx context.Context, url string, env ReplicaEnvelope) (*ReplicateAck, error) {
+	t.mu.Lock()
+	down := t.pingDown[url]
+	t.mu.Unlock()
+	if down {
+		return nil, errors.New("fake: peer down")
+	}
+	return &ReplicateAck{Node: url, Applied: true, Version: env.Version}, nil
+}
+
+func (t *fakeTransport) setDown(url string, down bool) {
+	t.mu.Lock()
+	t.pingDown[url] = down
+	t.mu.Unlock()
+}
+
+func threeNodes(t *testing.T, tr Transport) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		ID:        "n1",
+		Peers:     map[string]string{"n1": "u1", "n2": "u2", "n3": "u3"},
+		Replicas:  2,
+		Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	r := NewRing([]string{"c", "a", "b"}, 64)
+	counts := map[string]int{}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("platform-%d/pu", i)
+		owners := r.Owners(key, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%q) = %v, want 2 distinct", key, owners)
+		}
+		counts[owners[0]]++
+		again := NewRing([]string{"a", "b", "c"}, 64).Owners(key, 2)
+		if owners[0] != again[0] || owners[1] != again[1] {
+			t.Fatalf("ownership of %q depends on construction order: %v vs %v", key, owners, again)
+		}
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if counts[id] == 0 {
+			t.Fatalf("node %s owns no shards out of 200 keys: %v", id, counts)
+		}
+	}
+	if got := r.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("Owners capped at ring size: got %v", got)
+	}
+}
+
+func TestVersionOrderIsTotal(t *testing.T) {
+	a := Version{Seq: 1, SHA: "aa"}
+	b := Version{Seq: 1, SHA: "bb"}
+	c := Version{Seq: 2, SHA: "aa"}
+	if !b.Newer(a) || a.Newer(b) {
+		t.Fatal("equal seq must tie-break on SHA")
+	}
+	if !c.Newer(b) || b.Newer(c) {
+		t.Fatal("higher seq must win regardless of SHA")
+	}
+	if a.Newer(a) {
+		t.Fatal("a version must not supersede itself")
+	}
+}
+
+// TestStoreConvergesNewerWins is the single-store half of the hot-reload
+// race guarantee: two different versions of the same key applied
+// concurrently from many goroutines must always leave the newer one
+// installed, and the registry hook must never see an older version after a
+// newer one won (no last-writer-loses flapping).
+func TestStoreConvergesNewerWins(t *testing.T) {
+	pOld := core.Params{Platform: "p", PU: "gpu", NormalBW: 10, IntensiveBW: 20, MRMC: 5, CBP: 50, TBWDC: 60, RateN: 1, PeakBW: 100}
+	pNew := pOld
+	pNew.MRMC = 7
+	shaOld, _ := ParamsSHA(pOld)
+	shaNew, _ := ParamsSHA(pNew)
+	vOld := Version{Seq: 3, SHA: shaOld}
+	vNew := Version{Seq: 4, SHA: shaNew}
+
+	for round := 0; round < 50; round++ {
+		var mu sync.Mutex
+		var installed []Version
+		s := NewStore(func(p core.Params) error {
+			v := vOld
+			if p.MRMC == pNew.MRMC {
+				v = vNew
+			}
+			mu.Lock()
+			installed = append(installed, v)
+			mu.Unlock()
+			return nil
+		})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if g%2 == 0 {
+					s.Apply(pOld, vOld)
+				} else {
+					s.Apply(pNew, vNew)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := s.VersionOf("p/gpu"); got != vNew {
+			t.Fatalf("round %d: store converged on %v, want %v", round, got, vNew)
+		}
+		sawNew := false
+		for _, v := range installed {
+			if v == vNew {
+				sawNew = true
+			} else if sawNew {
+				t.Fatalf("round %d: older version installed after newer won: %v", round, installed)
+			}
+		}
+		if !sawNew {
+			t.Fatalf("round %d: newer version never installed", round)
+		}
+	}
+}
+
+func TestProberHysteresis(t *testing.T) {
+	tr := newFakeTransport()
+	n, err := NewNode(Config{
+		ID:        "n1",
+		Peers:     map[string]string{"n1": "u1", "n2": "u2"},
+		Transport: tr,
+		UpAfter:   2, DownAfter: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := n.Prober()
+	ctx := context.Background()
+
+	if !p.Up("n2") {
+		t.Fatal("peers start optimistically up")
+	}
+	tr.setDown("u2", true)
+	p.ProbeOnce(ctx)
+	p.ProbeOnce(ctx)
+	if !p.Up("n2") {
+		t.Fatal("2 failures < DownAfter=3 must not flip the peer down")
+	}
+	p.ProbeOnce(ctx)
+	if p.Up("n2") {
+		t.Fatal("3 consecutive failures must flip the peer down")
+	}
+	tr.setDown("u2", false)
+	p.ProbeOnce(ctx)
+	if p.Up("n2") {
+		t.Fatal("1 success < UpAfter=2 must not flip the peer up")
+	}
+	p.ProbeOnce(ctx)
+	if !p.Up("n2") {
+		t.Fatal("2 consecutive successes must bring the peer back")
+	}
+}
+
+func TestDegradedForPartitionedPrimary(t *testing.T) {
+	tr := newFakeTransport()
+	n := threeNodes(t, tr)
+	// Find a key whose primary is a peer, then partition that peer away.
+	var key, primary string
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("plat-%d/pu", i)
+		if p := n.Primary(k); p != n.ID() {
+			key, primary = k, p
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no peer-primary key found")
+	}
+	if n.DegradedFor(key) {
+		t.Fatal("healthy primary must not degrade reads")
+	}
+	tr.setDown(n.URL(primary), true)
+	for i := 0; i < 3; i++ {
+		n.Prober().ProbeOnce(context.Background())
+	}
+	if !n.DegradedFor(key) {
+		t.Fatalf("reads of %s must be degraded while primary %s is down", key, primary)
+	}
+	if selfKeyDegraded(n) {
+		t.Fatal("keys this node owns as primary must never be degraded")
+	}
+}
+
+func selfKeyDegraded(n *Node) bool {
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("self-%d/pu", i)
+		if n.Primary(k) == n.ID() {
+			return n.DegradedFor(k)
+		}
+	}
+	return false
+}
+
+func TestPublishQueuesAndFlushesOnHeal(t *testing.T) {
+	tr := newFakeTransport()
+	n := threeNodes(t, tr)
+	// Partition every peer, publish, and check the lag; heal and flush.
+	tr.setDown("u2", true)
+	tr.setDown("u3", true)
+	p := core.Params{Platform: "virtual-xavier", PU: "gpu", NormalBW: 10, IntensiveBW: 20, MRMC: 5, CBP: 50, TBWDC: 60, RateN: 1, PeakBW: 100}
+	if _, err := n.Publish(context.Background(), p); err != nil {
+		t.Fatal(err)
+	}
+	owners := n.Owners("virtual-xavier/gpu")
+	wantLag := 0
+	for _, o := range owners {
+		if o != n.ID() {
+			wantLag++
+		}
+	}
+	if got := n.Lag(); got != wantLag {
+		t.Fatalf("Lag() = %d after partitioned publish, want %d (owners %v)", got, wantLag, owners)
+	}
+	for i := 0; i < 3; i++ { // DownAfter=3: let the prober confirm the partition
+		n.Prober().ProbeOnce(context.Background())
+	}
+	tr.setDown("u2", false)
+	tr.setDown("u3", false)
+	for i := 0; i < 2; i++ { // UpAfter=2: the down→up transition triggers the flush
+		n.Prober().ProbeOnce(context.Background())
+	}
+	if got := n.Lag(); got != 0 {
+		t.Fatalf("Lag() = %d after heal, want 0", got)
+	}
+}
+
+// TestCoordinatorBitIdenticalToLocalSweep is the tentpole invariant at
+// package scope: a sweep fanned out over three nodes reassembles to the
+// exact bytes of the single-node calib sweep.
+func TestCoordinatorBitIdenticalToLocalSweep(t *testing.T) {
+	b, err := platform.Get("virtual-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0
+	pressure, err := calib.PressurePUFor(b, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := calib.DefaultSweep(b, target, pressure)
+	cfg.Run = tinyRC
+	want, err := calib.Sweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := threeNodes(t, newFakeTransport())
+	co := &Coordinator{Node: n, Seed: 42}
+	got, err := co.Sweep(context.Background(), b, target, pressure, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, want, got)
+	if st := n.Stats(); st.LeasesGranted == 0 {
+		t.Fatal("coordinator granted no leases")
+	}
+}
+
+// TestCoordinatorReassignsAroundFailures injects hard failures on one node
+// for its first several leases: the coordinator must reassign and still
+// reassemble the identical matrix, and count the reassignments.
+func TestCoordinatorReassignsAroundFailures(t *testing.T) {
+	b, err := platform.Get("virtual-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0
+	pressure, err := calib.PressurePUFor(b, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := calib.DefaultSweep(b, target, pressure)
+	cfg.Run = tinyRC
+	want, err := calib.Sweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newFakeTransport()
+	tr.failLease = func(url string, req LeaseRequest, call int) error {
+		if url == "u2" && call <= 4 {
+			return errors.New("fake: node crashed mid-lease")
+		}
+		return nil
+	}
+	n := threeNodes(t, tr)
+	co := &Coordinator{Node: n, Seed: 42, BackoffBase: time.Millisecond, BackoffCap: 5 * time.Millisecond}
+	got, err := co.Sweep(context.Background(), b, target, pressure, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, want, got)
+	if st := n.Stats(); st.LeasesReassigned == 0 {
+		t.Fatalf("failures must surface as reassignments: %+v", st)
+	}
+}
+
+// TestCoordinatorHedgesSlowNode delays one node far past HedgeAfter: the
+// hedge must win, the counter must tick, and the matrix must stay exact.
+func TestCoordinatorHedgesSlowNode(t *testing.T) {
+	b, err := platform.Get("virtual-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0
+	pressure, err := calib.PressurePUFor(b, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := calib.DefaultSweep(b, target, pressure)
+	cfg.Run = tinyRC
+	want, err := calib.Sweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newFakeTransport()
+	tr.delayLease = func(url string, req LeaseRequest) time.Duration {
+		if url == "u3" {
+			return 400 * time.Millisecond
+		}
+		return 0
+	}
+	n := threeNodes(t, tr)
+	co := &Coordinator{Node: n, Seed: 7, HedgeAfter: 30 * time.Millisecond, LeaseTimeout: 10 * time.Second}
+	got, err := co.Sweep(context.Background(), b, target, pressure, tinyRC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, want, got)
+	if st := n.Stats(); st.HedgedRequests == 0 {
+		t.Fatalf("a 400ms node with HedgeAfter=30ms must trigger hedges: %+v", st)
+	}
+}
+
+func assertSameMatrix(t *testing.T, want, got *calib.Matrix) {
+	t.Helper()
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(gb) {
+		t.Fatalf("distributed matrix differs from single-node reference:\nwant %s\ngot  %s", wb, gb)
+	}
+}
+
+func TestExecuteLeaseRejectsBadRanges(t *testing.T) {
+	plan := SweepPlan{Platform: "virtual-xavier", TargetPU: 0, PressurePU: 1, Run: tinyRC}
+	ex := simrun.New(1)
+	cases := []LeaseRequest{
+		{ID: "r1", Plan: plan, Stage: StageStandalone, Lo: 0, Hi: 99},
+		{ID: "r2", Plan: plan, Stage: StageStandalone, Lo: 3, Hi: 3},
+		{ID: "r3", Plan: plan, Stage: StageCorun, Lo: 0, Hi: 1}, // no kept
+		{ID: "r4", Plan: plan, Stage: StageCorun, Kept: []int{77}, Lo: 0, Hi: 1},
+		{ID: "r5", Plan: plan, Stage: "bogus", Lo: 0, Hi: 1},
+		{ID: "r6", Plan: SweepPlan{Platform: "no-such-soc", PressurePU: 1, Run: tinyRC}, Stage: StageStandalone, Lo: 0, Hi: 1},
+	}
+	for _, req := range cases {
+		if _, err := ExecuteLease(context.Background(), ex, req); err == nil {
+			t.Errorf("lease %s: want error, got none", req.ID)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Coordinator fans one construction sweep out across the cluster as
+// leases and reassembles the results bit-identically to a single-node run.
+//
+// The reassembly argument: the sweep's point enumeration is a pure
+// function of (platform, target PU, pressure PU, run config) via
+// calib.DefaultSweep + calib.SweepKernels/CorunPoints, every point is an
+// independent deterministic simulation, lease responses carry achieved
+// bandwidths in enumeration order as JSON float64s (shortest round-trip
+// encoding — bit-exact on the wire), the coordinator writes each response
+// into the result slice at the lease's own offsets, and the matrix
+// arithmetic runs once, here, through calib.AssembleMatrix — the identical
+// code path the local sweep uses. Which node served a lease, how often it
+// was reassigned, and whether a hedge won are all invisible to the output.
+//
+// The robustness machinery around that core: leases time out and are
+// reassigned to a different live node (capped deterministic-jitter
+// exponential backoff between attempts), one hedged duplicate fires for a
+// lease that is slow but not yet failed (first success wins, the loser is
+// discarded), and node candidates are filtered through the prober so a
+// dead peer stops receiving work within its hysteresis window.
+type Coordinator struct {
+	Node *Node
+
+	// PointsPerLease is the lease granularity (default 4 points).
+	PointsPerLease int
+	// LeaseTimeout bounds one lease execution attempt (default 30s).
+	LeaseTimeout time.Duration
+	// HedgeAfter is how long a lease may stay in flight before the single
+	// hedged duplicate fires (default LeaseTimeout/3).
+	HedgeAfter time.Duration
+	// MaxAttempts caps dispatches per lease, hedges included (default 6).
+	MaxAttempts int
+	// BackoffBase/BackoffCap shape the retry backoff (defaults 50ms, 2s).
+	BackoffBase, BackoffCap time.Duration
+	// Seed drives the deterministic backoff jitter and tie-breaking.
+	Seed uint64
+	// Concurrency is the in-flight lease cap per node (default 2).
+	Concurrency int
+
+	// OnDispatch, when set, observes every dispatch (test hook: chaos
+	// tests count dispatches to trigger kills and partitions at a
+	// deterministic point of the sweep).
+	OnDispatch func(leaseID, node string, attempt int)
+}
+
+func (c *Coordinator) pointsPerLease() int {
+	if c.PointsPerLease > 0 {
+		return c.PointsPerLease
+	}
+	return 4
+}
+
+func (c *Coordinator) leaseTimeout() time.Duration {
+	if c.LeaseTimeout > 0 {
+		return c.LeaseTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *Coordinator) hedgeAfter() time.Duration {
+	if c.HedgeAfter > 0 {
+		return c.HedgeAfter
+	}
+	return c.leaseTimeout() / 3
+}
+
+func (c *Coordinator) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 6
+}
+
+func (c *Coordinator) backoff(leaseID string, attempt int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	cap := c.BackoffCap
+	if cap <= 0 {
+		cap = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	// Deterministic jitter in [d/2, d): a pure function of (seed, lease,
+	// attempt), so a replayed chaos run backs off identically.
+	h := fnv.New64a()
+	h.Write([]byte(leaseID))
+	r := splitmix64(c.Seed ^ h.Sum64() ^ uint64(attempt))
+	return d/2 + time.Duration(r%uint64(d/2+1))
+}
+
+func (c *Coordinator) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 2
+}
+
+// splitmix64 is the SplitMix64 finalizer — the same mixing construction
+// internal/faultinject uses for pure seed-driven decisions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// lease is the coordinator's per-lease dispatch state.
+type lease struct {
+	idx      int // lease ordinal within the stage
+	lo, hi   int // point range [lo, hi)
+	id       string
+	done     bool
+	attempts int       // dispatches so far (hedges included)
+	inflight int       // dispatches currently outstanding
+	hedged   bool      // the single hedge has been spent
+	started  time.Time // when the newest dispatch left (hedge clock)
+	ready    time.Time // backoff gate: no dispatch before this instant
+	lastNode string    // previous assignee, avoided on reassignment
+}
+
+// arrival is one dispatch finishing.
+type arrival struct {
+	lease   int
+	node    string
+	hedge   bool
+	resp    *LeaseResponse
+	err     error
+	elapsed time.Duration
+}
+
+// runStage executes one sweep stage across the cluster and returns its
+// achieved bandwidths in enumeration order.
+func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan, stage string, kept []int, total int) ([]float64, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("cluster: stage %s/%s has no points", name, stage)
+	}
+	out := make([]float64, total)
+	per := c.pointsPerLease()
+	var leases []*lease
+	for lo := 0; lo < total; lo += per {
+		hi := lo + per
+		if hi > total {
+			hi = total
+		}
+		leases = append(leases, &lease{
+			idx: len(leases), lo: lo, hi: hi,
+			id: fmt.Sprintf("%s/%s/%d", name, stage, len(leases)),
+		})
+	}
+
+	results := make(chan arrival, len(leases)*2)
+	busy := make(map[string]int) // node → outstanding dispatches
+	remaining := len(leases)
+
+	dispatch := func(l *lease, node string, hedge bool) {
+		l.attempts++
+		l.inflight++
+		l.started = time.Now()
+		l.lastNode = node
+		busy[node]++
+		var reassigned, hedges uint64
+		if hedge {
+			l.hedged = true
+			hedges = 1
+		} else if l.attempts > 1 {
+			reassigned = 1
+		}
+		c.Node.countLease(1, reassigned, hedges)
+		if c.OnDispatch != nil {
+			c.OnDispatch(l.id, node, l.attempts)
+		}
+		req := LeaseRequest{ID: l.id, Plan: plan, Stage: stage, Kept: kept, Lo: l.lo, Hi: l.hi}
+		url := c.Node.URL(node)
+		idx, timeout := l.idx, c.leaseTimeout()
+		go func() {
+			start := time.Now()
+			lctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			resp, err := c.Node.Transport().Lease(lctx, url, req)
+			results <- arrival{lease: idx, node: node, hedge: hedge, resp: resp, err: err, elapsed: time.Since(start)}
+		}()
+	}
+
+	// candidates lists the live nodes with dispatch capacity, least-busy
+	// first (ties on ID), excluding `avoid` when another choice exists.
+	candidates := func(avoid string) []string {
+		var live []string
+		for _, id := range c.Node.NodeIDs() {
+			if id == c.Node.ID() || c.Node.Prober().Up(id) {
+				if busy[id] < c.concurrency() {
+					live = append(live, id)
+				}
+			}
+		}
+		sort.Slice(live, func(i, j int) bool {
+			if busy[live[i]] != busy[live[j]] {
+				return busy[live[i]] < busy[live[j]]
+			}
+			return live[i] < live[j]
+		})
+		if avoid != "" && len(live) > 1 {
+			for i, id := range live {
+				if id == avoid {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+		return live
+	}
+
+	for remaining > 0 {
+		// Dispatch everything dispatchable: fresh/requeued leases first,
+		// then at most one hedge for the slowest eligible in-flight lease.
+		now := time.Now()
+		progressed := true
+		for progressed {
+			progressed = false
+			for _, l := range leases {
+				if l.done || l.inflight > 0 || l.attempts >= c.maxAttempts() || now.Before(l.ready) {
+					continue
+				}
+				cands := candidates(l.lastNode)
+				if len(cands) == 0 {
+					break
+				}
+				dispatch(l, cands[0], false)
+				progressed = true
+			}
+		}
+		for _, l := range leases {
+			if l.done || l.hedged || l.inflight != 1 || l.attempts >= c.maxAttempts() {
+				continue
+			}
+			if now.Sub(l.started) < c.hedgeAfter() {
+				continue
+			}
+			cands := candidates(l.lastNode)
+			if len(cands) == 0 {
+				break
+			}
+			dispatch(l, cands[0], true)
+		}
+
+		// Anything in flight? Then block on the next arrival or the next
+		// timed event (a backoff gate opening or a hedge coming due).
+		inflight := 0
+		var nextEvent time.Time
+		for _, l := range leases {
+			if l.done {
+				continue
+			}
+			inflight += l.inflight
+			if l.inflight == 0 && l.attempts < c.maxAttempts() && l.ready.After(now) {
+				if nextEvent.IsZero() || l.ready.Before(nextEvent) {
+					nextEvent = l.ready
+				}
+			}
+			if l.inflight == 1 && !l.hedged && l.attempts < c.maxAttempts() {
+				due := l.started.Add(c.hedgeAfter())
+				if nextEvent.IsZero() || due.Before(nextEvent) {
+					nextEvent = due
+				}
+			}
+		}
+		if inflight == 0 && nextEvent.IsZero() {
+			// Nothing running, nothing scheduled: every unfinished lease
+			// exhausted its attempts or no node can take it.
+			for _, l := range leases {
+				if !l.done {
+					return nil, fmt.Errorf("cluster: lease %s failed after %d attempts", l.id, l.attempts)
+				}
+			}
+		}
+
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if inflight == 0 || !nextEvent.IsZero() {
+			wait := 10 * time.Millisecond
+			if !nextEvent.IsZero() {
+				if d := time.Until(nextEvent); d > wait {
+					wait = d
+				}
+			}
+			timer = time.NewTimer(wait)
+			timerC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			return nil, ctx.Err()
+		case a := <-results:
+			if timer != nil {
+				timer.Stop()
+			}
+			busy[a.node]--
+			l := leases[a.lease]
+			l.inflight--
+			if l.done {
+				break // late duplicate (lost hedge or stale reassignment)
+			}
+			if a.err != nil {
+				if l.inflight == 0 {
+					l.ready = time.Now().Add(c.backoff(l.id, l.attempts))
+				}
+				break
+			}
+			if got, want := len(a.resp.AchievedGBps), l.hi-l.lo; got != want {
+				if l.inflight == 0 {
+					l.ready = time.Now().Add(c.backoff(l.id, l.attempts))
+				}
+				break
+			}
+			copy(out[l.lo:l.hi], a.resp.AchievedGBps)
+			l.done = true
+			remaining--
+		case <-timerC:
+		}
+	}
+	return out, nil
+}
+
+// Sweep measures one PU's rela matrix with the sweep fanned out across the
+// cluster. The sweep configuration is derived — not passed — so it is
+// guaranteed to be the one every serving node re-derives from the plan.
+func (c *Coordinator) Sweep(ctx context.Context, b soc.Backend, targetPU, pressurePU int, rc soc.RunConfig) (*calib.Matrix, error) {
+	cfg := calib.DefaultSweep(b, targetPU, pressurePU)
+	cfg.Run = rc
+	if err := cfg.Validate(b); err != nil {
+		return nil, err
+	}
+	plan := SweepPlan{Platform: b.PlatformName(), TargetPU: targetPU, PressurePU: pressurePU, Run: rc}
+	name := fmt.Sprintf("%s/pu%d", b.PlatformName(), targetPU)
+	kernels := calib.SweepKernels(cfg)
+
+	alone, err := c.runStage(ctx, name, plan, StageStandalone, nil, len(kernels))
+	if err != nil {
+		return nil, err
+	}
+	kept := calib.KeptIndices(alone)
+	corun, err := c.runStage(ctx, name, plan, StageCorun, kept, len(kept)*len(cfg.ExtGBps))
+	if err != nil {
+		return nil, err
+	}
+	return calib.AssembleMatrix(b, cfg, alone, kept, corun)
+}
+
+// ConstructPU builds the PCCS model for one PU with the sweep distributed
+// across the cluster — the drop-in peer of calib.ConstructPUContext.
+func (c *Coordinator) ConstructPU(ctx context.Context, b soc.Backend, target int, rc soc.RunConfig, opt calib.Options) (core.Params, *calib.Matrix, error) {
+	pressure, err := calib.PressurePUFor(b, target)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	m, err := c.Sweep(ctx, b, target, pressure, rc)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	params, err := calib.Extract(m, opt)
+	if err != nil {
+		return core.Params{}, nil, err
+	}
+	params.Backend = soc.BackendFamilyOf(b)
+	return params, m, nil
+}
+
+// ConstructPlatform builds models for every PU of the platform across the
+// cluster — the drop-in peer of calib.ConstructPlatformContext.
+func (c *Coordinator) ConstructPlatform(ctx context.Context, b soc.Backend, rc soc.RunConfig, opt calib.Options) (calib.ModelSet, error) {
+	set := calib.ModelSet{}
+	for i := range b.PUList() {
+		params, _, err := c.ConstructPU(ctx, b, i, rc, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: constructing %s/%s: %w", b.PlatformName(), b.PUList()[i].Name, err)
+		}
+		set.Put(params)
+	}
+	return set, nil
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's health as the prober sees it.
+type PeerState struct {
+	ID string `json:"id"`
+	Up bool   `json:"up"`
+	// Consecutive counts successes while Up is pending/holding, failures
+	// while a down transition is pending — the hysteresis progress.
+	Consecutive int `json:"consecutive"`
+	// Load is the peer's last successful ping payload (zero when the peer
+	// has never answered).
+	Load PingInfo `json:"load"`
+}
+
+// Prober tracks peer liveness with hysteresis: a peer starts up
+// (optimistically — the common case is a healthy cluster booting), flips
+// down only after DownAfter consecutive ping failures, and back up only
+// after UpAfter consecutive successes. The asymmetry means one dropped
+// probe during a GC pause doesn't flap the routing tables, while a real
+// death is confirmed within DownAfter probe intervals.
+type Prober struct {
+	transport Transport
+	peers     map[string]string // peer ID → base URL (self excluded)
+	upAfter   int
+	downAfter int
+	timeout   time.Duration
+
+	// onUp is called (outside the lock) when a peer transitions down→up —
+	// the hook that flushes queued replication after a partition heals.
+	onUp func(peer string)
+
+	mu    sync.Mutex
+	state map[string]*peerHealth // guarded by mu
+}
+
+type peerHealth struct {
+	up    bool
+	succ  int // consecutive successes since last failure
+	fail  int // consecutive failures since last success
+	load  PingInfo
+	known bool // at least one probe answered ever
+}
+
+//pccs:allow-guardedby runs before the Prober escapes its constructor, so no probe goroutine can race the seed writes
+func newProber(cfg Config, onUp func(string)) *Prober {
+	p := &Prober{
+		transport: cfg.Transport,
+		peers:     make(map[string]string),
+		upAfter:   cfg.UpAfter,
+		downAfter: cfg.DownAfter,
+		timeout:   cfg.ProbeTimeout,
+		onUp:      onUp,
+		state:     make(map[string]*peerHealth),
+	}
+	for id, url := range cfg.Peers {
+		if id == cfg.ID {
+			continue
+		}
+		p.peers[id] = url
+		p.state[id] = &peerHealth{up: true}
+	}
+	return p
+}
+
+// Up reports whether a peer is currently considered reachable. Unknown IDs
+// (including this node's own) report true: a node always trusts itself,
+// and routing must not blackhole on a typo.
+func (p *Prober) Up(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.state[id]; ok {
+		return st.up
+	}
+	return true
+}
+
+// States snapshots every peer's health, sorted by ID.
+func (p *Prober) States() []PeerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerState, 0, len(p.state))
+	for id, st := range p.state {
+		consec := st.succ
+		if st.up {
+			consec = st.fail
+		}
+		out = append(out, PeerState{ID: id, Up: st.up, Consecutive: consec, Load: st.load})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ProbeOnce pings every peer once and applies the hysteresis transitions.
+// It is the unit the background loop repeats, exported so tests can step
+// peer health deterministically instead of sleeping through intervals.
+func (p *Prober) ProbeOnce(ctx context.Context) {
+	ids := make([]string, 0, len(p.peers))
+	for id := range p.peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var cameUp []string
+	for _, id := range ids {
+		pctx, cancel := context.WithTimeout(ctx, p.timeout)
+		info, err := p.transport.Ping(pctx, p.peers[id])
+		cancel()
+		if p.record(id, info, err) {
+			cameUp = append(cameUp, id)
+		}
+	}
+	if p.onUp != nil {
+		for _, id := range cameUp {
+			p.onUp(id)
+		}
+	}
+}
+
+// record applies one probe result and reports whether the peer just
+// transitioned down→up.
+func (p *Prober) record(id string, info *PingInfo, err error) (cameUp bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.state[id]
+	if st == nil {
+		return false
+	}
+	if err != nil {
+		st.succ = 0
+		st.fail++
+		if st.up && st.fail >= p.downAfter {
+			st.up = false
+		}
+		return false
+	}
+	st.fail = 0
+	st.succ++
+	st.load = *info
+	st.known = true
+	if !st.up && st.succ >= p.upAfter {
+		st.up = true
+		return true
+	}
+	return false
+}
+
+// Start runs the probe loop every interval until ctx ends.
+func (p *Prober) Start(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.ProbeOnce(ctx)
+			}
+		}
+	}()
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+	"github.com/processorcentricmodel/pccs/internal/simrun"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// SweepPlan identifies one construction sweep without shipping its points:
+// every node re-derives the identical calibrator grid from
+// calib.DefaultSweep(platform, target, pressure) with this Run config, so
+// a point index means the same simulation on every node. Shipping the
+// derivation instead of the points keeps leases tiny and makes tampering
+// structurally impossible — there is nothing to ship that could disagree.
+type SweepPlan struct {
+	Platform   string        `json:"platform"`
+	TargetPU   int           `json:"target_pu"`
+	PressurePU int           `json:"pressure_pu"`
+	Run        soc.RunConfig `json:"run"`
+}
+
+// Lease stages: which of the sweep's two measurement batches the index
+// range addresses.
+const (
+	// StageStandalone leases index into calib.SweepKernels(cfg) — each
+	// point is one calibrator running alone on the target PU.
+	StageStandalone = "standalone"
+	// StageCorun leases index into calib.CorunPoints(cfg, kernels, kept) —
+	// the row-major kept × external-demand grid. Kept must carry the
+	// coordinator's filter result: it depends on the standalone
+	// measurements, which the serving node does not have.
+	StageCorun = "corun"
+)
+
+// LeaseRequest asks a node to run one contiguous index range [Lo, Hi) of a
+// sweep stage's canonical point enumeration.
+type LeaseRequest struct {
+	// ID names the lease for logs and chaos triggers ("<job>/corun/3").
+	ID    string    `json:"id"`
+	Plan  SweepPlan `json:"plan"`
+	Stage string    `json:"stage"`
+	// Kept is the standalone filter result (calib.KeptIndices), required
+	// for StageCorun and ignored for StageStandalone.
+	Kept []int `json:"kept,omitempty"`
+	Lo   int   `json:"lo"`
+	Hi   int   `json:"hi"`
+}
+
+// LeaseResponse carries the achieved bandwidths of the range, in
+// enumeration order: AchievedGBps[i] belongs to point Lo+i. Go's JSON
+// encoder emits float64s in shortest round-trip form, so the figures
+// survive the wire bit-exactly — the transport cannot perturb the matrix.
+type LeaseResponse struct {
+	ID           string    `json:"id"`
+	Node         string    `json:"node"`
+	AchievedGBps []float64 `json:"achieved_gbps"`
+}
+
+// ReplicaEnvelope pushes one versioned model to a shard owner.
+type ReplicaEnvelope struct {
+	Key     string      `json:"key"`
+	Version Version     `json:"version"`
+	Params  core.Params `json:"params"`
+}
+
+// ReplicateAck reports how a peer merged a pushed replica.
+type ReplicateAck struct {
+	Node string `json:"node"`
+	// Applied is false when the peer already held this version or newer.
+	Applied bool `json:"applied"`
+	// Version is the key's winning version on the peer after the merge.
+	Version Version `json:"version"`
+}
+
+// PingInfo is a peer's health-probe payload: identity plus the load signals
+// peer-aware admission routes on.
+type PingInfo struct {
+	Node     string `json:"node"`
+	Tier     string `json:"tier,omitempty"`
+	InFlight int    `json:"in_flight"`
+	Models   int    `json:"models"`
+}
+
+// leasePlan re-derives the lease's full point enumeration and bounds-checks
+// the range against it.
+func leasePlan(req LeaseRequest) (soc.Backend, calib.SweepConfig, []soc.Kernel, error) {
+	b, err := platform.Get(req.Plan.Platform)
+	if err != nil {
+		return nil, calib.SweepConfig{}, nil, fmt.Errorf("cluster: lease %s: %w", req.ID, err)
+	}
+	pus := b.PUList()
+	if req.Plan.TargetPU < 0 || req.Plan.TargetPU >= len(pus) ||
+		req.Plan.PressurePU < 0 || req.Plan.PressurePU >= len(pus) {
+		return nil, calib.SweepConfig{}, nil, fmt.Errorf("cluster: lease %s: PU out of range for %s", req.ID, req.Plan.Platform)
+	}
+	cfg := calib.DefaultSweep(b, req.Plan.TargetPU, req.Plan.PressurePU)
+	cfg.Run = req.Plan.Run
+	if err := cfg.Validate(b); err != nil {
+		return nil, calib.SweepConfig{}, nil, fmt.Errorf("cluster: lease %s: %w", req.ID, err)
+	}
+	return b, cfg, calib.SweepKernels(cfg), nil
+}
+
+// ExecuteLease runs one lease on this node's executor and returns the
+// achieved bandwidths in enumeration order. Both stages route through the
+// exact simulation entry points the single-node sweep uses
+// (Executor.StandaloneBatch and Executor.Execute over calib.CorunPoints),
+// which is the serving half of the bit-identical reassembly guarantee.
+func ExecuteLease(ctx context.Context, ex *simrun.Executor, req LeaseRequest) (*LeaseResponse, error) {
+	if ex == nil {
+		ex = simrun.New(0)
+	}
+	b, cfg, kernels, err := leasePlan(req)
+	if err != nil {
+		return nil, err
+	}
+	var achieved []float64
+	switch req.Stage {
+	case StageStandalone:
+		if req.Lo < 0 || req.Hi > len(kernels) || req.Lo >= req.Hi {
+			return nil, fmt.Errorf("cluster: lease %s: range [%d,%d) outside %d kernels", req.ID, req.Lo, req.Hi, len(kernels))
+		}
+		results, err := ex.StandaloneBatch(ctx, b, cfg.TargetPU, kernels[req.Lo:req.Hi], cfg.Run)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: lease %s: %w", req.ID, err)
+		}
+		achieved = make([]float64, len(results))
+		for i, r := range results {
+			achieved[i] = r.AchievedGBps
+		}
+	case StageCorun:
+		if len(req.Kept) == 0 {
+			return nil, fmt.Errorf("cluster: lease %s: corun lease without kept indices", req.ID)
+		}
+		for _, k := range req.Kept {
+			if k < 0 || k >= len(kernels) {
+				return nil, fmt.Errorf("cluster: lease %s: kept index %d outside %d kernels", req.ID, k, len(kernels))
+			}
+		}
+		points := calib.CorunPoints(cfg, kernels, req.Kept)
+		if req.Lo < 0 || req.Hi > len(points) || req.Lo >= req.Hi {
+			return nil, fmt.Errorf("cluster: lease %s: range [%d,%d) outside %d points", req.ID, req.Lo, req.Hi, len(points))
+		}
+		results, err := ex.Execute(ctx, b, points[req.Lo:req.Hi])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: lease %s: %w", req.ID, err)
+		}
+		achieved = make([]float64, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("cluster: lease %s point %d: %w", req.ID, req.Lo+i, r.Err)
+			}
+			achieved[i] = r.Outcome.Results[cfg.TargetPU].AchievedGBps
+		}
+	default:
+		return nil, fmt.Errorf("cluster: lease %s: unknown stage %q", req.ID, req.Stage)
+	}
+	return &LeaseResponse{ID: req.ID, AchievedGBps: achieved}, nil
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over the cluster's node IDs. Each node
+// contributes vnodes points (FNV-64a of "id#k") so ownership spreads evenly
+// and adding or removing a node moves only ~1/N of the keys. The ring is
+// immutable after construction — membership is fixed per process, matching
+// the static -peers flag — so lookups need no locking.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted IDs
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over the given node IDs with vnodes virtual points
+// per node (vnodes <= 0 selects 64).
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	nodes := append([]string(nil), ids...)
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes}
+	for _, id := range nodes {
+		for k := 0; k < vnodes; k++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(id + "#" + strconv.Itoa(k)), node: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node
+	})
+	return r
+}
+
+// Nodes lists the ring's members, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owners returns the first n distinct nodes clockwise from key's hash —
+// the shard's primary followed by its replicas. n is capped at the ring
+// size.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// Store is a node's versioned model store: the newer-wins merge point for
+// local publishes and replicas pushed by peers. The install hook (the
+// bridge into the serving registry) runs under the store lock, so versions
+// install in the order the store accepts them — an older version can never
+// land in the registry after a newer one already won, which is the
+// no-flapping guarantee the hot-reload race test pins down.
+type Store struct {
+	mu       sync.Mutex
+	versions map[string]Version // guarded by mu; model key → winning version
+	install  func(core.Params) error
+}
+
+// NewStore builds a store; install (may be nil) is invoked for every
+// accepted version while the store lock is held.
+func NewStore(install func(core.Params) error) *Store {
+	return &Store{versions: make(map[string]Version), install: install}
+}
+
+// Publish versions a locally produced model: its content SHA paired with a
+// sequence one past everything this store has seen, then applied
+// newer-wins like any replica.
+func (s *Store) Publish(p core.Params) (Version, error) {
+	sha, err := ParamsSHA(p)
+	if err != nil {
+		return Version{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var maxSeq uint64
+	for _, v := range s.versions {
+		if v.Seq > maxSeq {
+			maxSeq = v.Seq
+		}
+	}
+	v := Version{Seq: maxSeq + 1, SHA: sha}
+	if _, _, err := s.applyLocked(p, v); err != nil {
+		return Version{}, err
+	}
+	return v, nil
+}
+
+// Apply merges one (model, version) pair newer-wins. It reports whether
+// the pair was accepted and the key's winning version after the call; an
+// older or equal incoming version is discarded without touching the
+// registry.
+func (s *Store) Apply(p core.Params, v Version) (bool, Version, error) {
+	if v.IsZero() {
+		return false, Version{}, fmt.Errorf("cluster: replica of %s/%s carries no version", p.Platform, p.PU)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(p, v)
+}
+
+//pccs:allow-guardedby every caller holds s.mu — the version check, install hook, and version write must be one atomic step or an older model could install after a newer one
+func (s *Store) applyLocked(p core.Params, v Version) (bool, Version, error) {
+	key := modelKey(p.Platform, p.PU)
+	if cur, ok := s.versions[key]; ok && !v.Newer(cur) {
+		return false, cur, nil
+	}
+	if s.install != nil {
+		if err := s.install(p); err != nil {
+			return false, s.versions[key], fmt.Errorf("cluster: installing %s %s: %w", key, v, err)
+		}
+	}
+	s.versions[key] = v
+	return true, v, nil
+}
+
+// VersionOf returns the winning version of a model key (zero when the key
+// is unknown).
+func (s *Store) VersionOf(key string) Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions[key]
+}
+
+// Versions snapshots every key's winning version, keys sorted.
+func (s *Store) Versions() map[string]Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Version, len(s.versions))
+	for k, v := range s.versions {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys lists the stored model keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.versions))
+	for k := range s.versions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

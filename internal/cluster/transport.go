@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport carries the three cluster RPCs. Production uses HTTPTransport
+// against peer daemons' /v1/cluster endpoints; chaos tests wrap one to
+// inject partitions (refused pairs) and slowness without touching the
+// protocol logic.
+type Transport interface {
+	// Lease asks the node at baseURL to execute a lease.
+	Lease(ctx context.Context, baseURL string, req LeaseRequest) (*LeaseResponse, error)
+	// Ping probes the node's health and load.
+	Ping(ctx context.Context, baseURL string) (*PingInfo, error)
+	// Replicate pushes one versioned model to the node.
+	Replicate(ctx context.Context, baseURL string, env ReplicaEnvelope) (*ReplicateAck, error)
+}
+
+// Paths of the peer protocol, registered by internal/server.
+const (
+	PathLease  = "/v1/cluster/lease"
+	PathPing   = "/v1/cluster/ping"
+	PathModels = "/v1/cluster/models"
+)
+
+// HTTPTransport is the production Transport: JSON POSTs (GET for ping) to
+// the peer's /v1/cluster endpoints.
+type HTTPTransport struct {
+	Client *http.Client
+}
+
+// NewHTTPTransport wraps an HTTP client (nil selects one with a 60s
+// overall timeout; per-call ctx deadlines still bind tighter).
+func NewHTTPTransport(c *http.Client) *HTTPTransport {
+	if c == nil {
+		c = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &HTTPTransport{Client: c}
+}
+
+func (t *HTTPTransport) Lease(ctx context.Context, baseURL string, req LeaseRequest) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := t.post(ctx, baseURL+PathLease, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (t *HTTPTransport) Ping(ctx context.Context, baseURL string) (*PingInfo, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+PathPing, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	var info PingInfo
+	if err := t.do(hreq, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+func (t *HTTPTransport) Replicate(ctx context.Context, baseURL string, env ReplicaEnvelope) (*ReplicateAck, error) {
+	var ack ReplicateAck
+	if err := t.post(ctx, baseURL+PathModels, env, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+func (t *HTTPTransport) post(ctx context.Context, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return t.do(hreq, out)
+}
+
+func (t *HTTPTransport) do(hreq *http.Request, out any) error {
+	resp, err := t.Client.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", hreq.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: reading response: %w", hreq.URL.Path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &PeerError{Path: hreq.URL.Path, Status: resp.StatusCode, Body: trim(body)}
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("cluster: %s: decoding response: %w", hreq.URL.Path, err)
+	}
+	return nil
+}
+
+// PeerError is a non-200 answer from a peer endpoint.
+type PeerError struct {
+	Path   string
+	Status int
+	Body   string
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("cluster: peer %s returned %d: %s", e.Path, e.Status, e.Body)
+}
+
+func trim(b []byte) string {
+	const max = 200
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "…"
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/processorcentricmodel/pccs/internal/core"
+)
+
+// Version orders the replicated copies of one model key. SHA is the hex
+// SHA-256 of the model's canonical (compact) JSON — the same digest family
+// the pccs-models/v2 envelope checksum uses — so identical parameters carry
+// identical tokens no matter which node constructed them. A bare hash has
+// no order, so Seq adds one: a Lamport-style sequence a publisher bumps
+// past every version it has seen.
+type Version struct {
+	Seq uint64 `json:"seq"`
+	SHA string `json:"sha256"`
+}
+
+// Newer reports whether v supersedes w: higher sequence wins, and equal
+// sequences tie-break on the lexicographically higher SHA. The order is
+// total and agreed on by every node, which is what makes concurrent
+// publishes of two different versions converge to one winner everywhere
+// instead of flapping on arrival order.
+func (v Version) Newer(w Version) bool {
+	if v.Seq != w.Seq {
+		return v.Seq > w.Seq
+	}
+	return v.SHA > w.SHA
+}
+
+// IsZero reports an unset version.
+func (v Version) IsZero() bool { return v.Seq == 0 && v.SHA == "" }
+
+func (v Version) String() string { return fmt.Sprintf("%d/%.12s", v.Seq, v.SHA) }
+
+// ParamsSHA computes a model's content digest: hex SHA-256 of its compact
+// JSON encoding.
+func ParamsSHA(p core.Params) (string, error) {
+	blob, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("cluster: hashing model: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -11,7 +11,7 @@ import (
 // that is accepted but never consulted silently breaks that promise.
 var ctxScope = map[string]bool{
 	"simrun": true, "calib": true, "soc": true, "experiments": true,
-	"sched": true, "platform": true,
+	"sched": true, "platform": true, "cluster": true,
 }
 
 // backgroundScope additionally covers the serving layer, where minting a

@@ -7,7 +7,7 @@ func TestNoDeterminism(t *testing.T) {
 }
 
 func TestCtxFlow(t *testing.T) {
-	testAnalyzer(t, CtxFlow, "ctxflow/calib", "ctxflow/sched", "ctxflow/server")
+	testAnalyzer(t, CtxFlow, "ctxflow/calib", "ctxflow/cluster", "ctxflow/sched", "ctxflow/server")
 }
 
 func TestGuardedBy(t *testing.T) {

@@ -1,0 +1,38 @@
+package cluster
+
+import "context"
+
+// The cluster package is in ctxScope: its exported entry points (Sweep,
+// ConstructPU, ExecuteLease, ProbeOnce, Publish) block on peer RPCs and
+// simulation leases, so an ignored ctx would strand a coordinator on a dead
+// node forever instead of honouring the caller's deadline.
+
+func SweepLike(ctx context.Context, n int) int { // want `SweepLike accepts ctx but never uses it`
+	return n * 2
+}
+
+func LeaseLike(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func DetachedProbe(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sub, cancel := context.WithCancel(context.Background()) // want `context.Background\(\) inside a function that holds ctx`
+	defer cancel()
+	return sub.Err()
+}
+
+func NilDefault(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // the nil-default idiom is allowed
+	}
+	return ctx.Err()
+}
+
+func helper(ctx context.Context, n int) int { // unexported: not an entry point
+	return n
+}
+
+var _ = helper

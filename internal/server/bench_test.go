@@ -22,7 +22,7 @@ func benchServer(b *testing.B, cacheSize int) *Server {
 			b.Fatal(err)
 		}
 	}
-	srv := newServer(Config{CacheSize: cacheSize, Workers: 1}, reg, nil, nil, nil)
+	srv, _ := newServer(Config{CacheSize: cacheSize, Workers: 1}, reg, nil, nil, nil)
 	b.Cleanup(func() { srv.jobs.Close(context.Background()) })
 	return srv
 }

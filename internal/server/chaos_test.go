@@ -27,7 +27,7 @@ func newChaosServer(t *testing.T, cfg Config, construct constructFunc) (*Server,
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(cfg, reg, construct, nil, nil)
+	srv, _ := newServer(cfg, reg, construct, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -229,7 +229,7 @@ func TestHealthzDegradedOnFailedReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+	srv, _ := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
 		return nil, nil
 	}), nil, nil)
 	ts := httptest.NewServer(srv.Handler())
@@ -294,7 +294,7 @@ func TestHealthzReportsJournal(t *testing.T) {
 	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
+	srv, _ := newServer(Config{Workers: 1}, reg, fakeConstruct(func(CalibrateSpec) ([]core.Params, error) {
 		return nil, nil
 	}), journal, replayed)
 	ts := httptest.NewServer(srv.Handler())

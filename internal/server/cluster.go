@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// allowlistRetry is the Retry-After hint on off-allowlist 403s: the
+// allowlist is operator policy, not load, so the hint is a calm constant
+// rather than a queue-derived estimate.
+const allowlistRetry = 30 * time.Second
+
+// ForwardedByHeader marks a request forwarded by a peer node (value: the
+// forwarding node's ID). A forwarded request is never forwarded again —
+// one hop reaches a shard owner or fails.
+const ForwardedByHeader = "X-Forwarded-By"
+
+// handleClusterLease serves POST /v1/cluster/lease: execute one lease of a
+// distributed sweep on this node's executor. The cluster/lease chaos site
+// fires first, so seeded fault plans can kill a lease server-side exactly
+// as a dying node would.
+func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	var req cluster.LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := s.cfg.Faults.Hit(cluster.SiteLease); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp, err := cluster.ExecuteLease(r.Context(), s.clusterEx, req)
+	if err != nil {
+		code := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	resp.Node = s.cluster.ID()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterPing serves GET /v1/cluster/ping: liveness plus the load
+// signals peers route on (serving tier, admitted in-flight requests,
+// registry size).
+func (s *Server) handleClusterPing(w http.ResponseWriter, _ *http.Request) {
+	lst := s.limiter.Stats()
+	writeJSON(w, http.StatusOK, cluster.PingInfo{
+		Node:     s.cluster.ID(),
+		Tier:     s.degrade.Tier().String(),
+		InFlight: lst.InFlight,
+		Models:   s.reg.Len(),
+	})
+}
+
+// handleClusterModels serves POST /v1/cluster/models: merge one replicated
+// model version, newer-wins. The ack reports whether the envelope was
+// applied and the key's winning version, so a publisher can tell "already
+// had it" from "you are stale".
+func (s *Server) handleClusterModels(w http.ResponseWriter, r *http.Request) {
+	var env cluster.ReplicaEnvelope
+	if !decodeBody(w, r, &env) {
+		return
+	}
+	applied, v, err := s.cluster.ApplyReplica(env)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.ReplicateAck{Node: s.cluster.ID(), Applied: applied, Version: v})
+}
+
+// makeClusterConstruct builds the cluster node's constructFunc: the same
+// construction sweep as makeConstruct, but fanned out across the cluster
+// as leases by a Coordinator, with every constructed model published —
+// versioned and replicated to its shard owners — through the node. The
+// matrices the models are extracted from are bit-identical to a local
+// sweep's (see cluster.Coordinator), so a model constructed by a cluster
+// is byte-for-byte the model a single node would have constructed.
+func makeClusterConstruct(node *cluster.Node) constructFunc {
+	return func(ctx context.Context, spec CalibrateSpec, progress func(completed, total, retries int)) ([]core.Params, error) {
+		b, err := platformByName(spec.Platform)
+		if err != nil {
+			return nil, err
+		}
+		co := &cluster.Coordinator{Node: node}
+		if progress != nil {
+			// Lease dispatches are the observable unit of distributed
+			// progress; the total is unknown up front (the co-run grid
+			// depends on the standalone column), so report granted counts.
+			co.OnDispatch = func(string, string, int) {
+				st := node.Stats()
+				progress(int(st.LeasesGranted), 0, int(st.LeasesReassigned))
+			}
+		}
+		rc, opt := spec.runConfig(), spec.options()
+		var models []core.Params
+		if spec.PU != "" {
+			params, _, err := co.ConstructPU(ctx, b, soc.PUIndexOf(b, spec.PU), rc, opt)
+			if err != nil {
+				return nil, err
+			}
+			models = []core.Params{params}
+		} else {
+			set, err := co.ConstructPlatform(ctx, b, rc, opt)
+			if err != nil {
+				return nil, err
+			}
+			for _, key := range sortedModelKeys(set) {
+				models = append(models, set[key])
+			}
+		}
+		for _, p := range models {
+			if _, err := node.Publish(ctx, p); err != nil {
+				return nil, fmt.Errorf("server: publishing constructed model: %w", err)
+			}
+		}
+		return models, nil
+	}
+}
+
+// forwardPredict proxies a single /v1/predict request to a live owner of
+// the model's shard, one hop at most (the ForwardedByHeader breaks loops).
+// Owners are tried primary-first; the first answering owner's status,
+// degradation marker, and body are relayed verbatim. It reports whether a
+// response was written.
+func (s *Server) forwardPredict(w http.ResponseWriter, r *http.Request, req PredictRequest) bool {
+	if s.cluster == nil || r.Header.Get(ForwardedByHeader) != "" {
+		return false
+	}
+	key := calib.Key(req.Platform, req.PU)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	for _, owner := range s.cluster.Owners(key) {
+		if owner == s.cluster.ID() || !s.cluster.Prober().Up(owner) {
+			continue
+		}
+		url := s.cluster.URL(owner)
+		if url == "" {
+			continue
+		}
+		freq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url+"/v1/predict", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		freq.Header.Set("Content-Type", "application/json")
+		freq.Header.Set(ForwardedByHeader, s.cluster.ID())
+		if budget := r.Header.Get(DeadlineHeader); budget != "" {
+			freq.Header.Set(DeadlineHeader, budget)
+		}
+		resp, err := s.peerHTTP.Do(freq)
+		if err != nil {
+			continue
+		}
+		answer, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode == http.StatusNotFound {
+			// An owner without the model yet (replication in flight): try
+			// the next owner rather than relaying the miss.
+			continue
+		}
+		if d := resp.Header.Get(DegradedHeader); d != "" {
+			w.Header().Set(DegradedHeader, d)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		_, _ = w.Write(answer)
+		s.metrics.CountDegraded("/v1/predict-forwarded")
+		return true
+	}
+	return false
+}
+
+// clusterHealth is the /healthz cluster block: identity, peer health,
+// which registry keys this node owns (primary or replica), and the
+// replication lag (queued undelivered envelopes).
+func (s *Server) clusterHealth() map[string]any {
+	models := s.reg.Snapshot()
+	owned := make([]string, 0, len(models))
+	primaries := make([]string, 0, len(models))
+	for _, key := range sortedModelKeys(models) {
+		if s.cluster.Owns(key) {
+			owned = append(owned, key)
+		}
+		if s.cluster.Primary(key) == s.cluster.ID() {
+			primaries = append(primaries, key)
+		}
+	}
+	return map[string]any{
+		"node":            s.cluster.ID(),
+		"replicas":        s.cluster.Replicas(),
+		"peers":           s.cluster.Prober().States(),
+		"owned_keys":      owned,
+		"primary_keys":    primaries,
+		"replication_lag": s.cluster.Lag(),
+	}
+}
+
+// writeClusterMetrics appends the cluster gauges to a /metrics scrape:
+// per-peer liveness (labelled, so one dead peer is one flat-lined series)
+// and the coordinator's robustness counters.
+func (s *Server) writeClusterMetrics(w io.Writer) {
+	st := s.cluster.Stats()
+	fmt.Fprintf(w, "# HELP pccsd_peer_up Peer liveness as seen by this node's prober (1 up, 0 down).\n")
+	fmt.Fprintf(w, "# TYPE pccsd_peer_up gauge\n")
+	states := s.cluster.Prober().States()
+	sort.Slice(states, func(i, j int) bool { return states[i].ID < states[j].ID })
+	for _, ps := range states {
+		up := 0
+		if ps.Up {
+			up = 1
+		}
+		fmt.Fprintf(w, "pccsd_peer_up{peer=%q} %d\n", ps.ID, up)
+	}
+	fmt.Fprintf(w, "# HELP pccsd_lease_reassigned_total Sweep leases re-dispatched after a node failure or timeout.\n")
+	fmt.Fprintf(w, "# TYPE pccsd_lease_reassigned_total counter\n")
+	fmt.Fprintf(w, "pccsd_lease_reassigned_total %d\n", st.LeasesReassigned)
+	fmt.Fprintf(w, "# HELP pccsd_hedged_requests_total Duplicate lease dispatches fired for slow shards.\n")
+	fmt.Fprintf(w, "# TYPE pccsd_hedged_requests_total counter\n")
+	fmt.Fprintf(w, "pccsd_hedged_requests_total %d\n", st.HedgedRequests)
+	fmt.Fprintf(w, "# HELP pccsd_replication_lag Replication envelopes queued for unreachable peers.\n")
+	fmt.Fprintf(w, "# TYPE pccsd_replication_lag gauge\n")
+	fmt.Fprintf(w, "pccsd_replication_lag %d\n", s.cluster.Lag())
+}

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// chaosTinyRC keeps simulation points fast enough that a three-node sweep
+// with injected deaths finishes in test time; determinism does not depend
+// on the window length.
+var chaosTinyRC = soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 60_000}
+
+// partitionGate is a RoundTripper that refuses connections to blocked
+// hosts — the network's view of a partition or a dead node. One gate per
+// node, so partitions can be asymmetric and a node can be isolated in both
+// directions.
+type partitionGate struct {
+	mu      sync.Mutex
+	blocked map[string]bool // guarded by mu; "host:port"
+}
+
+func newPartitionGate() *partitionGate {
+	return &partitionGate{blocked: make(map[string]bool)}
+}
+
+func (g *partitionGate) set(host string, blocked bool) {
+	g.mu.Lock()
+	g.blocked[host] = blocked
+	g.mu.Unlock()
+}
+
+func (g *partitionGate) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.mu.Lock()
+	blocked := g.blocked[req.URL.Host]
+	g.mu.Unlock()
+	if blocked {
+		return nil, fmt.Errorf("chaos: partitioned from %s", req.URL.Host)
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// swapHandler lets the httptest servers start before the pccsd instances
+// exist: the topology (peer URLs) must be known to build the cluster
+// configs, and the servers need the topology — the swap breaks the cycle.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (s *swapHandler) install(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.h
+	s.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "node starting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// chaosCluster is three in-process pccsd nodes joined into one cluster,
+// each with its own partition gate on all peer traffic.
+type chaosCluster struct {
+	t     *testing.T
+	ids   []string
+	urls  map[string]string
+	hosts map[string]string
+	srvs  map[string]*Server
+	ts    map[string]*httptest.Server
+	gates map[string]*partitionGate
+}
+
+// startChaosCluster brings up three nodes. faults, when non-nil, arms every
+// node's server-side chaos injector (the cluster/lease site kills leases as
+// a dying node would).
+func startChaosCluster(t *testing.T, faults *faultinject.Injector) *chaosCluster {
+	t.Helper()
+	c := &chaosCluster{
+		t:     t,
+		ids:   []string{"n1", "n2", "n3"},
+		urls:  make(map[string]string),
+		hosts: make(map[string]string),
+		srvs:  make(map[string]*Server),
+		ts:    make(map[string]*httptest.Server),
+		gates: make(map[string]*partitionGate),
+	}
+	swaps := make(map[string]*swapHandler)
+	for _, id := range c.ids {
+		swaps[id] = &swapHandler{}
+		ts := httptest.NewServer(swaps[id])
+		t.Cleanup(ts.Close)
+		c.ts[id] = ts
+		c.urls[id] = ts.URL
+		u, err := url.Parse(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.hosts[id] = u.Host
+	}
+	peers := make(map[string]string, len(c.ids))
+	for id, u := range c.urls {
+		peers[id] = u
+	}
+	for _, id := range c.ids {
+		gate := newPartitionGate()
+		c.gates[id] = gate
+		peerClient := &http.Client{Transport: gate, Timeout: 20 * time.Second}
+		srv, err := newServer(Config{
+			Workers: 2,
+			Faults:  faults,
+			Cluster: &cluster.Config{
+				ID:        id,
+				Peers:     peers,
+				Replicas:  2,
+				Transport: cluster.NewHTTPTransport(peerClient),
+			},
+			PeerHTTP: peerClient,
+		}, NewRegistry(), nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.srvs[id] = srv
+		swaps[id].install(srv.Handler())
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = srv.jobs.Close(ctx)
+		})
+	}
+	return c
+}
+
+// isolate cuts every network path to and from id — the full partition.
+func (c *chaosCluster) isolate(id string) {
+	for _, other := range c.ids {
+		if other == id {
+			continue
+		}
+		c.gates[other].set(c.hosts[id], true)
+		c.gates[id].set(c.hosts[other], true)
+	}
+}
+
+// heal restores every path to and from id.
+func (c *chaosCluster) heal(id string) {
+	for _, other := range c.ids {
+		if other == id {
+			continue
+		}
+		c.gates[other].set(c.hosts[id], false)
+		c.gates[id].set(c.hosts[other], false)
+	}
+}
+
+// kill isolates id and severs its live connections; the httptest server
+// stays allocated (Cleanup closes it) but nothing can reach it.
+func (c *chaosCluster) kill(id string) {
+	c.isolate(id)
+	c.ts[id].CloseClientConnections()
+}
+
+// predict POSTs one single prediction at node id and returns status plus
+// the Degraded header.
+func (c *chaosCluster) predict(id string, body string) (int, string, error) {
+	resp, err := http.Post(c.urls[id]+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header.Get(DegradedHeader), nil
+}
+
+// probe runs one prober round on node id with a short budget.
+func (c *chaosCluster) probe(id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.srvs[id].Cluster().Prober().ProbeOnce(ctx)
+}
+
+// TestClusterChaosSweepBitIdentical is the tentpole acceptance proof: a
+// three-node distributed sweep — with one node killed mid-sweep, a second
+// partitioned mid-sweep, and seeded server-side lease faults — reassembles
+// to the exact bytes of the fault-free single-node sweep, while /v1/predict
+// for a replicated model keeps answering 200 on every reachable node at
+// every soak point (Degraded: partitioned allowed, and required once the
+// partitioned replica has noticed its primary is gone).
+func TestClusterChaosSweepBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second distributed sweep")
+	}
+	b, err := platform.Get("virtual-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 0
+	pressure, err := calib.PressurePUFor(b, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := calib.DefaultSweep(b, target, pressure)
+	cfg.Run = chaosTinyRC
+	want, err := calib.Sweep(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seeded server-side chaos: ~15% of leases die inside the serving node,
+	// exactly as a node crashing mid-lease would look to the coordinator.
+	injector, err := faultinject.New(42, faultinject.Rule{
+		Site: cluster.SiteLease, Kind: faultinject.Error, Rate: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startChaosCluster(t, injector)
+
+	// Cast the chaos by shard ownership so the partitioned node is a
+	// replica of the predict model (read-degraded serving is provable) and
+	// the killed node is the one whose loss predict can fully route around.
+	model := testParams("virtual-xavier", "GPU")
+	key := calib.Key(model.Platform, model.PU)
+	owners := c.srvs["n1"].Cluster().Owners(key)
+	if len(owners) != 2 {
+		t.Fatalf("owners(%s) = %v, want 2", key, owners)
+	}
+	coordID, partID := owners[0], owners[1]
+	var killID string
+	for _, id := range c.ids {
+		if id != coordID && id != partID {
+			killID = id
+		}
+	}
+	const predictBody = `{"platform":"virtual-xavier","pu":"GPU","demand_gbps":88,"external_gbps":40}`
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if _, err := c.srvs[coordID].Cluster().Publish(ctx, model); err != nil {
+		t.Fatal(err)
+	}
+	// Every node must answer the replicated model before any chaos: the
+	// owners serve locally, the future kill target forwards one hop.
+	for _, id := range c.ids {
+		code, _, err := c.predict(id, predictBody)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("pre-chaos predict on %s: code %d err %v", id, code, err)
+		}
+	}
+
+	// Chaos at deterministic sweep positions, keyed on dispatch count.
+	var dispatches atomic.Int64
+	partitioned := make(chan struct{})
+	co := &cluster.Coordinator{
+		Node:        c.srvs[coordID].Cluster(),
+		Seed:        42,
+		BackoffBase: 10 * time.Millisecond,
+		MaxAttempts: 12,
+		OnDispatch: func(leaseID, node string, attempt int) {
+			switch dispatches.Add(1) {
+			case 3:
+				c.kill(killID)
+			case 6:
+				c.isolate(partID)
+				close(partitioned)
+			}
+		},
+	}
+
+	sweepDone := make(chan error, 1)
+	var got *calib.Matrix
+	go func() {
+		m, err := co.Sweep(ctx, b, target, pressure, chaosTinyRC)
+		got = m
+		sweepDone <- err
+	}()
+
+	// Soak while the sweep runs: every reachable node must answer 200 at
+	// every poll point. Once the partitioned replica's prober has crossed
+	// its hysteresis threshold, its answers must carry the partition marker.
+	select {
+	case <-partitioned:
+	case err := <-sweepDone:
+		t.Fatalf("sweep finished before the partition fired (err %v); lower PointsPerLease", err)
+	}
+	for i := 0; i < 3; i++ { // DownAfter(3) consecutive failures
+		c.probe(partID)
+		// The coordinator's prober must also notice the dead and partitioned
+		// peers, or it keeps burning lease attempts on them — in production
+		// the Start() loop does this every couple of seconds.
+		c.probe(coordID)
+	}
+	sawPartitionedHeader := false
+	soak := func() {
+		for _, id := range []string{coordID, partID} {
+			code, degraded, err := c.predict(id, predictBody)
+			if err != nil {
+				t.Errorf("soak predict on %s: %v", id, err)
+				continue
+			}
+			if code != http.StatusOK {
+				t.Errorf("soak predict on %s: code %d", id, code)
+			}
+			if id == partID && degraded == "partitioned" {
+				sawPartitionedHeader = true
+			}
+		}
+	}
+	soak()
+	for done := false; !done; {
+		select {
+		case err := <-sweepDone:
+			if err != nil {
+				t.Fatalf("distributed sweep under chaos: %v", err)
+			}
+			done = true
+		case <-time.After(100 * time.Millisecond):
+			c.probe(coordID)
+			soak()
+		}
+	}
+	soak()
+	if !sawPartitionedHeader {
+		t.Error("partitioned replica never served with Degraded: partitioned")
+	}
+
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("distributed sweep under chaos is not byte-identical to the local sweep\nwant %d bytes\ngot  %d bytes", len(wantJSON), len(gotJSON))
+	}
+	stats := c.srvs[coordID].Cluster().Stats()
+	if stats.LeasesReassigned == 0 {
+		t.Error("chaos run reassigned no leases — the kill/partition never bit")
+	}
+
+	// Heal the partition: after the prober's recovery hysteresis the
+	// replica serves clean again.
+	c.heal(partID)
+	for i := 0; i < 2; i++ { // UpAfter(2) consecutive successes
+		c.probe(partID)
+	}
+	code, degraded, err := c.predict(partID, predictBody)
+	if err != nil || code != http.StatusOK || degraded != "" {
+		t.Errorf("healed predict on %s: code %d degraded %q err %v", partID, code, degraded, err)
+	}
+}
+
+// TestClusterVersionRaceConverges is the reload-convergence proof: two
+// different SHA-256 versions of the same model key pushed concurrently to
+// every node, in opposite node orders, must converge on the newer envelope
+// everywhere — no node may end up serving the older version (last-writer-
+// loses flapping), round after round.
+func TestClusterVersionRaceConverges(t *testing.T) {
+	c := startChaosCluster(t, nil)
+
+	push := func(id string, env cluster.ReplicaEnvelope) error {
+		body, err := json.Marshal(env)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(c.urls[id]+cluster.PathModels, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("replicate to %s: status %d", id, resp.StatusCode)
+		}
+		return nil
+	}
+
+	const rounds = 20
+	for round := 0; round < rounds; round++ {
+		pu := fmt.Sprintf("GPU%d", round)
+		older := testParams("virtual-xavier", pu)
+		older.NormalBW = 10
+		newer := testParams("virtual-xavier", pu)
+		newer.NormalBW = 30
+		key := calib.Key("virtual-xavier", pu)
+		oldSHA, err := cluster.ParamsSHA(older)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSHA, err := cluster.ParamsSHA(newer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envOld := cluster.ReplicaEnvelope{Key: key, Params: older,
+			Version: cluster.Version{Seq: 1, SHA: oldSHA}}
+		envNew := cluster.ReplicaEnvelope{Key: key, Params: newer,
+			Version: cluster.Version{Seq: 2, SHA: newSHA}}
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		errs := make(chan error, 2*len(c.ids))
+		go func() {
+			defer wg.Done()
+			for _, id := range c.ids { // forward order, newer first
+				if err := push(id, envNew); err != nil {
+					errs <- err
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := len(c.ids) - 1; i >= 0; i-- { // reverse order, older racing
+				if err := push(c.ids[i], envOld); err != nil {
+					errs <- err
+				}
+			}
+		}()
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+
+		for _, id := range c.ids {
+			v := c.srvs[id].Cluster().Store().VersionOf(key)
+			if v != envNew.Version {
+				t.Fatalf("round %d: node %s settled on %s, want %s", round, id, v, envNew.Version)
+			}
+			got, err := c.srvs[id].Registry().Get("virtual-xavier", pu)
+			if err != nil {
+				t.Fatalf("round %d: node %s lost the model: %v", round, id, err)
+			}
+			if got.NormalBW != newer.NormalBW {
+				t.Fatalf("round %d: node %s serves the older envelope (NormalBW %g)", round, id, got.NormalBW)
+			}
+		}
+	}
+}
+
+// TestClusterHealthzAndMetrics: satellite proof that the observability
+// surfaces carry the cluster state — /healthz gains the cluster block and
+// /metrics the peer-liveness and lease-robustness series.
+func TestClusterHealthzAndMetrics(t *testing.T) {
+	c := startChaosCluster(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := c.srvs["n1"].Cluster().Publish(ctx, testParams("virtual-xavier", "GPU")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(c.urls["n1"] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Cluster struct {
+			Node           string            `json:"node"`
+			Replicas       int               `json:"replicas"`
+			Peers          []json.RawMessage `json:"peers"`
+			OwnedKeys      []string          `json:"owned_keys"`
+			ReplicationLag int               `json:"replication_lag"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Cluster.Node != "n1" {
+		t.Errorf("healthz cluster.node = %q, want n1", health.Cluster.Node)
+	}
+	if health.Cluster.Replicas != 2 {
+		t.Errorf("healthz cluster.replicas = %d, want 2", health.Cluster.Replicas)
+	}
+	if len(health.Cluster.Peers) != 2 {
+		t.Errorf("healthz cluster.peers has %d entries, want 2", len(health.Cluster.Peers))
+	}
+
+	resp, err = http.Get(c.urls["n1"] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`pccsd_peer_up{peer="n2"}`,
+		`pccsd_peer_up{peer="n3"}`,
+		"pccsd_lease_reassigned_total",
+		"pccsd_hedged_requests_total",
+		"pccsd_replication_lag",
+	} {
+		if !strings.Contains(string(scrape), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+}

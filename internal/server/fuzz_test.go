@@ -23,7 +23,7 @@ func fuzzServer(f *testing.F) (*Server, *httptest.Server) {
 			f.Fatal(err)
 		}
 	}
-	srv := newServer(Config{Workers: 2, JobQueueDepth: 4096, CacheSize: 64}, reg,
+	srv, _ := newServer(Config{Workers: 2, JobQueueDepth: 4096, CacheSize: 64}, reg,
 		fakeConstruct(func(spec CalibrateSpec) ([]core.Params, error) {
 			return []core.Params{testParams(spec.Platform, "GPU")}, nil
 		}), nil, nil)

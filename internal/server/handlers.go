@@ -139,11 +139,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	res, stale, err := s.servePredict(body.PredictRequest, brownout)
 	if err != nil {
+		// A registry miss on a clustered node may just mean the model lives
+		// on another shard: relay to a live owner before reporting 404.
+		if _, miss := err.(*notFoundError); miss && s.forwardPredict(w, r, body.PredictRequest) {
+			return
+		}
 		writeError(w, statusForPredictErr(err), "%v", err)
 		return
 	}
-	if stale {
+	switch {
+	case stale:
 		w.Header().Set(DegradedHeader, "stale-cache")
+		s.metrics.CountDegraded("/v1/predict")
+	case s.cluster != nil && s.cluster.DegradedFor(calib.Key(body.Platform, body.PU)):
+		// Served from a replica while the shard's primary is unreachable:
+		// correct but possibly stale relative to an in-flight reload there.
+		w.Header().Set(DegradedHeader, "partitioned")
 		s.metrics.CountDegraded("/v1/predict")
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -520,7 +531,10 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.platformAllowed(spec.Platform); err != nil {
-		writeError(w, http.StatusForbidden, "%v", err)
+		// Off-allowlist is a routing condition, not a permanent client
+		// error: another node (or this one, re-flagged) may serve the
+		// platform, so the refusal carries the same retry hints as a shed.
+		s.refuse(w, http.StatusForbidden, allowlistRetry, "%v", err)
 		return
 	}
 	// The client's deadline header bounds the async job too: read it from
@@ -625,8 +639,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		body["journal"] = map[string]any{
 			"path":          s.journal.Path(),
 			"records":       s.journal.Records(),
+			"size_bytes":    s.journal.SizeBytes(),
 			"append_errors": journalErrs,
 		}
+	}
+	if s.cluster != nil {
+		body["cluster"] = s.clusterHealth()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -657,4 +675,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w, gauges)
+	if s.cluster != nil {
+		s.writeClusterMetrics(w)
+	}
 }

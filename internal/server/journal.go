@@ -26,11 +26,17 @@ type Journal struct {
 	mu      sync.Mutex
 	f       *os.File // guarded by mu
 	path    string
-	records int // guarded by mu
+	records int   // guarded by mu
+	bytes   int64 // guarded by mu; current file size
 
 	// CompactThreshold is the record count that triggers compaction
 	// (default 256).
 	CompactThreshold int
+	// CompactBytes, when positive, also triggers compaction once the file
+	// exceeds this many bytes — the backstop for journals whose individual
+	// records are large (jobs with big specs) long before the record count
+	// trips. Wired from -journal-compact-bytes.
+	CompactBytes int64
 }
 
 // journalRecord is one line of the journal.
@@ -87,7 +93,11 @@ func OpenJournal(path string) (*Journal, []Job, error) {
 			return nil, nil, fmt.Errorf("server: sync repaired journal: %w", err)
 		}
 	}
-	return &Journal{f: f, path: path, records: records, CompactThreshold: 256}, jobs, nil
+	size := validSize
+	if needNewline {
+		size++
+	}
+	return &Journal{f: f, path: path, records: records, bytes: size, CompactThreshold: 256}, jobs, nil
 }
 
 // replayJournal reads every valid record of the file at path. A missing
@@ -169,6 +179,14 @@ func (j *Journal) Records() int {
 	return j.records
 }
 
+// SizeBytes reports the current journal file size as tracked across
+// appends and compactions.
+func (j *Journal) SizeBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
 // Append writes one job snapshot as a JSONL record and fsyncs. Transitions
 // are rare (a handful per calibration job), so the per-append fsync is
 // cheap insurance.
@@ -189,10 +207,12 @@ func (j *Journal) Append(job Job) error {
 		return fmt.Errorf("server: sync journal: %w", err)
 	}
 	j.records++
+	j.bytes += int64(len(line)) + 1
 	return nil
 }
 
-// ShouldCompact reports whether the journal has outgrown its threshold.
+// ShouldCompact reports whether the journal has outgrown either threshold:
+// too many records, or (when CompactBytes is set) too many bytes.
 func (j *Journal) ShouldCompact() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -200,7 +220,13 @@ func (j *Journal) ShouldCompact() bool {
 	if threshold <= 0 {
 		threshold = 256
 	}
-	return j.f != nil && j.records > threshold
+	if j.f == nil {
+		return false
+	}
+	if j.CompactBytes > 0 && j.bytes > j.CompactBytes {
+		return true
+	}
+	return j.records > threshold
 }
 
 // Compact atomically rewrites the journal as one snapshot per live job:
@@ -222,6 +248,7 @@ func (j *Journal) Compact(jobs []Job) error {
 		os.Remove(tmpName)
 	}
 	w := bufio.NewWriter(tmp)
+	var written int64
 	for _, job := range jobs {
 		line, err := json.Marshal(journalRecord{Job: job})
 		if err != nil {
@@ -232,6 +259,7 @@ func (j *Journal) Compact(jobs []Job) error {
 			cleanup()
 			return fmt.Errorf("server: compact journal: %w", err)
 		}
+		written += int64(len(line)) + 1
 	}
 	if err := w.Flush(); err != nil {
 		cleanup()
@@ -268,6 +296,7 @@ func (j *Journal) Compact(jobs []Job) error {
 	old.Close()
 	j.f = f
 	j.records = len(jobs)
+	j.bytes = written
 	return nil
 }
 

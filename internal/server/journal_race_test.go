@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -115,6 +116,118 @@ func TestJournalCompactionRacesAppends(t *testing.T) {
 		if job.State != JobCompleted {
 			t.Errorf("job %s replayed as %s, want completed", job.ID, job.State)
 		}
+	}
+}
+
+// TestJournalSizeTriggerRacesAppends is the byte-threshold twin of the
+// record-count race above: CompactBytes is set low enough that nearly every
+// append pushes the journal over the size trigger while other goroutines are
+// mid-Append, so the size accounting (j.bytes) is exercised under the same
+// interleavings as the file itself. The invariants are the same — no
+// corruption, replay-equality after a final compaction — plus one more: the
+// tracked size must agree with the bytes actually on disk, or the trigger
+// would drift (firing never, or every append) after enough churn.
+func TestJournalSizeTriggerRacesAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CompactThreshold = 1 << 30 // only the byte trigger may fire
+	j.CompactBytes = 64
+
+	const jobs = 8
+	const transitions = 40
+
+	var tableMu sync.Mutex
+	table := make(map[string]Job)
+
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("job-%06d", i+1)
+			states := []JobState{JobQueued, JobRunning, JobCompleted}
+			for n := 0; n < transitions; n++ {
+				job := Job{ID: id, State: states[n%len(states)]}
+				if n == transitions-1 {
+					job.State = JobCompleted
+				}
+				tableMu.Lock()
+				table[id] = job
+				tableMu.Unlock()
+				if err := j.Append(job); err != nil {
+					t.Errorf("append %s: %v", id, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	stop := make(chan struct{})
+	var compactorDone sync.WaitGroup
+	compactorDone.Add(1)
+	go func() {
+		defer compactorDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if j.ShouldCompact() {
+				tableMu.Lock()
+				snap := make([]Job, 0, len(table))
+				for _, job := range table {
+					snap = append(snap, job)
+				}
+				tableMu.Unlock()
+				if err := j.Compact(snap); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	compactorDone.Wait()
+
+	final := make([]Job, 0, jobs)
+	for _, job := range table {
+		final = append(final, job)
+	}
+	if err := j.Compact(final); err != nil {
+		t.Fatal(err)
+	}
+	// The tracked size must match the file: a drifting counter would make
+	// the byte trigger lie long after this test's interleavings are gone.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.SizeBytes(); got != fi.Size() {
+		t.Errorf("tracked size = %d, file size = %d", got, fi.Size())
+	}
+	j.Close()
+
+	j2, replayed, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by size-triggered compaction: %v", err)
+	}
+	defer j2.Close()
+	if len(replayed) != jobs {
+		t.Fatalf("replayed %d jobs, want %d", len(replayed), jobs)
+	}
+	for _, job := range replayed {
+		if job.State != JobCompleted {
+			t.Errorf("job %s replayed as %s, want completed", job.ID, job.State)
+		}
+	}
+	if j2.SizeBytes() != fi.Size() {
+		t.Errorf("reopened size = %d, want %d", j2.SizeBytes(), fi.Size())
 	}
 }
 

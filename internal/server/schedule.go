@@ -194,7 +194,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.platformAllowed(spec.Platform); err != nil {
-		writeError(w, http.StatusForbidden, "%v", err)
+		s.refuse(w, http.StatusForbidden, allowlistRetry, "%v", err)
 		return
 	}
 	if err := spec.validate(); err != nil {
@@ -207,7 +207,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		case err == nil:
 			writeJSON(w, http.StatusOK, res)
 		case r.Context().Err() != nil:
-			writeError(w, http.StatusServiceUnavailable, "schedule abandoned: %v", r.Context().Err())
+			// The deadline ate the solve: a refusal with retry hints, like
+			// every other 503 — the client should come back (or go to a
+			// peer), not treat it as a solver failure.
+			s.refuse(w, http.StatusServiceUnavailable, s.limiter.RetryAfter(),
+				"schedule abandoned: %v", r.Context().Err())
 		default:
 			writeError(w, http.StatusBadRequest, "%v", err)
 		}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/simrun"
 )
@@ -75,6 +77,21 @@ type Config struct {
 	// and schedule requests may name (the daemon's -platform allowlist);
 	// empty admits every registered platform.
 	Platforms []string
+
+	// Cluster, when set, joins this daemon to a pccsd cluster (see
+	// internal/cluster): consistent-hash sharding of the model registry,
+	// R-way versioned replication, distributed calibration sweeps, and the
+	// /v1/cluster peer endpoints. The Install hook is wired by the server
+	// to the registry; nil runs a classic single-node daemon.
+	Cluster *cluster.Config
+	// PeerHTTP is the client used to forward /v1/predict to a shard owner
+	// on a registry miss (nil selects a default with a short timeout);
+	// chaos tests inject partition-aware transports here.
+	PeerHTTP *http.Client
+	// JournalCompactBytes triggers journal compaction once the file
+	// exceeds this many bytes, in addition to the record-count trigger
+	// (0 keeps record-count only). Wired from -journal-compact-bytes.
+	JournalCompactBytes int64
 }
 
 // Chaos sites armed by Config.Faults, alongside the simrun sites the
@@ -155,6 +172,13 @@ type Server struct {
 	// every registered platform.
 	allowed map[string]bool
 
+	// cluster is this daemon's cluster membership (nil when single-node);
+	// clusterEx is the executor serving /v1/cluster/lease, shared across
+	// leases so its memo cache carries standalone points between them.
+	cluster   *cluster.Node
+	clusterEx *simrun.Executor
+	peerHTTP  *http.Client
+
 	handler http.Handler
 	httpSrv *http.Server
 }
@@ -187,16 +211,35 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return newServer(cfg, reg, nil, journal, replayed), nil
+	return newServer(cfg, reg, nil, journal, replayed)
 }
 
 // newServer wires an already-loaded registry; tests inject a fake
 // constructFunc to exercise the job queue without simulator time, and an
 // already-open journal with its replayed jobs.
-func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Journal, replayed []Job) *Server {
+func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Journal, replayed []Job) (*Server, error) {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics()
 	breaker := NewBreaker(cfg.Breaker, func() { metrics.CountShed("/v1/calibrate", "breaker-trip") })
+	// Cluster membership is wired before the job runner: on a cluster node
+	// the default construction is the distributed sweep, and constructed
+	// models are published (versioned + replicated) through the node.
+	var node *cluster.Node
+	if cfg.Cluster != nil {
+		ccfg := *cfg.Cluster
+		ccfg.Install = func(p core.Params) error { return reg.Put(p) }
+		var err error
+		node, err = cluster.NewNode(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		if construct == nil {
+			construct = makeClusterConstruct(node)
+		}
+	}
+	if journal != nil && cfg.JournalCompactBytes > 0 {
+		journal.CompactBytes = cfg.JournalCompactBytes
+	}
 	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
@@ -226,6 +269,17 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 		degrade:  NewDegrader(cfg.Degrade),
 		stale:    NewStaleCache(cfg.CacheSize),
 		breaker:  breaker,
+		cluster:  node,
+		peerHTTP: cfg.PeerHTTP,
+	}
+	if node != nil {
+		ex := simrun.New(cfg.Workers)
+		ex.Faults = cfg.Faults
+		ex.Retry = cfg.retryPolicy()
+		s.clusterEx = ex
+		if s.peerHTTP == nil {
+			s.peerHTTP = &http.Client{Timeout: cfg.RequestTimeout}
+		}
 	}
 	if cfg.RatePerSec > 0 {
 		s.ratelimit = NewRateLimiter(cfg.RatePerSec, cfg.RateBurst)
@@ -254,6 +308,14 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 	// saturated server, not get shed by it.
 	route("GET /healthz", "/healthz", false, s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if node != nil {
+		// Peer traffic bypasses client admission: the coordinator bounds
+		// its own concurrency, and admitting leases behind the AIMD window
+		// could deadlock a node coordinating a sweep against itself.
+		route("POST "+cluster.PathLease, cluster.PathLease, false, s.handleClusterLease)
+		route("GET "+cluster.PathPing, cluster.PathPing, false, s.handleClusterPing)
+		route("POST "+cluster.PathModels, cluster.PathModels, false, s.handleClusterModels)
+	}
 
 	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out\n")
 	s.httpSrv = &http.Server{
@@ -263,7 +325,7 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 		WriteTimeout:      cfg.WriteTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return s
+	return s, nil
 }
 
 // statusRecorder captures the response code for metrics and whether the
@@ -307,14 +369,33 @@ func clientBudget(r *http.Request) (time.Duration, bool) {
 	return time.Duration(ms) * time.Millisecond, true
 }
 
+// RetryPeerHeader carries the base URL of the least-loaded live replica on
+// refused responses from a cluster node: peer-aware admission — the client
+// can retry there immediately instead of waiting out Retry-After here.
+const RetryPeerHeader = "X-Retry-Peer"
+
+// refuse is the single refusal writer: every response that tells a client
+// "not here, not now" — overload sheds, queue-full 503s, off-allowlist
+// 403s, abandoned sync work — carries a Retry-After hint, and on a cluster
+// node an X-Retry-Peer redirect to an unloaded replica. Unifying the
+// headers here keeps clients' retry logic uniform across refusal reasons.
+func (s *Server) refuse(w http.ResponseWriter, code int, retry time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", retrySeconds(retry))
+	if s.cluster != nil {
+		if peer := s.cluster.UnloadedPeer(); peer != "" {
+			w.Header().Set(RetryPeerHeader, peer)
+		}
+	}
+	writeError(w, code, format, args...)
+}
+
 // shed refuses a request with the given status, counting it against the
 // endpoint/reason and feeding the pressure signal that drives the serving
 // tier. retry is the dynamic Retry-After hint.
 func (s *Server) shed(w http.ResponseWriter, label, reason string, code int, retry time.Duration, format string, args ...any) {
-	w.Header().Set("Retry-After", retrySeconds(retry))
 	s.metrics.CountShed(label, reason)
 	s.degrade.RecordShed()
-	writeError(w, code, format, args...)
+	s.refuse(w, code, retry, format, args...)
 }
 
 // instrument wraps a handler with per-endpoint request counting and latency
@@ -340,9 +421,8 @@ func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.H
 				if allowed, wait := s.ratelimit.Allow(clientKey(r)); !allowed {
 					// Per-client fairness, not server pressure: count the
 					// rejection but do not feed the degrader.
-					rec.Header().Set("Retry-After", retrySeconds(wait))
 					s.metrics.CountShed(label, "rate-limit")
-					writeError(rec, http.StatusTooManyRequests, "client rate limit exceeded, retry in %s", clampRetry(wait))
+					s.refuse(rec, http.StatusTooManyRequests, wait, "client rate limit exceeded, retry in %s", clampRetry(wait))
 					s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
 					return
 				}
@@ -395,6 +475,10 @@ func (s *Server) Handler() http.Handler { return s.handler }
 
 // Registry exposes the model registry (shared with the CLIs).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Cluster exposes this daemon's cluster membership (nil when single-node);
+// cmd/pccsd starts its prober, tests step it with ProbeOnce.
+func (s *Server) Cluster() *cluster.Node { return s.cluster }
 
 // Addr returns the configured listen address.
 func (s *Server) Addr() string { return s.cfg.Addr }

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -35,7 +36,7 @@ func newTestServer(t *testing.T, construct constructFunc) (*Server, *httptest.Se
 			t.Fatal(err)
 		}
 	}
-	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8}, reg, construct, nil, nil)
+	srv, _ := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8}, reg, construct, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -331,7 +332,7 @@ func TestModelsReload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
+	srv, _ := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Close(context.Background())
@@ -633,7 +634,7 @@ func TestShippedModelsParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
+	srv, _ := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.jobs.Close(context.Background())
@@ -664,7 +665,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err := reg.Put(testParams("virtual-xavier", "GPU")); err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(Config{Workers: 1}, reg, nil, nil, nil)
+	srv, _ := newServer(Config{Workers: 1}, reg, nil, nil, nil)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -725,7 +726,7 @@ func TestPlatformAllowlist(t *testing.T) {
 	construct := func(ctx context.Context, spec CalibrateSpec, progress func(int, int, int)) ([]core.Params, error) {
 		return []core.Params{testParams(spec.Platform, "GPU")}, nil
 	}
-	srv := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8,
+	srv, _ := newServer(Config{CacheSize: 128, Workers: 2, JobQueueDepth: 8,
 		Platforms: []string{"virtual-xavier"}}, reg, construct, nil, nil)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
@@ -750,4 +751,75 @@ func TestPlatformAllowlist(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Errorf("calibrate allowlisted: status %d (%s)", resp.StatusCode, out)
 	}
+}
+
+// TestRefusalsCarryRetryAfter: every refusal the daemon hands out — policy
+// 403s off the allowlist and load 503s from a full queue — goes through the
+// same refuse() helper and therefore always tells the client when to come
+// back. A refusal without a Retry-After trains clients to hammer.
+func TestRefusalsCarryRetryAfter(t *testing.T) {
+	reg := NewRegistry()
+	release := make(chan struct{})
+	construct := func(ctx context.Context, spec CalibrateSpec, progress func(int, int, int)) ([]core.Params, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}
+	srv, _ := newServer(Config{Workers: 1, JobQueueDepth: 1,
+		Platforms: []string{"virtual-xavier"}}, reg, construct, nil, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		close(release) // unblock the worker before draining the queue
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.jobs.Close(ctx)
+	})
+
+	assertRetryAfter := func(label string, resp *http.Response) {
+		t.Helper()
+		ra := resp.Header.Get("Retry-After")
+		if ra == "" {
+			t.Errorf("%s: no Retry-After header", label)
+			return
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Errorf("%s: Retry-After = %q, want integer seconds >= 1", label, ra)
+		}
+	}
+
+	// Policy refusal: off-allowlist platform on both job-creating endpoints.
+	resp, _ := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "pim-xavier", Quick: true})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("calibrate off-allowlist: status %d", resp.StatusCode)
+	}
+	assertRetryAfter("calibrate 403", resp)
+	resp, _ = postJSON(t, ts.URL+"/v1/schedule", map[string]any{
+		"platform":  "chiplet-dual",
+		"workloads": []map[string]any{{"id": "a", "demand_gbps": 20}},
+	})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("schedule off-allowlist: status %d", resp.StatusCode)
+	}
+	assertRetryAfter("schedule 403", resp)
+
+	// Load refusal: the single worker is blocked in construct, the queue
+	// holds one job, so a burst must hit ErrQueueFull.
+	var full *http.Response
+	for i := 0; i < 8; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/calibrate", CalibrateSpec{Platform: "virtual-xavier", Quick: true})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			full = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("calibrate burst: unexpected status %d", resp.StatusCode)
+		}
+	}
+	if full == nil {
+		t.Fatal("burst never saturated the job queue")
+	}
+	assertRetryAfter("queue-full 503", full)
 }

@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,13 @@ import (
 type Config struct {
 	// URL is the server base, e.g. http://127.0.0.1:8080.
 	URL string
+	// URLs, when set, is a cluster soak target: every request round-robins
+	// across the node base URLs, so shard routing, peer forwarding, and
+	// partition degradation are all exercised from one load source. URL is
+	// ignored when URLs is non-empty.
+	URLs []string
+	// rr deals requests across URLs; set by withDefaults.
+	rr *atomic.Uint64
 	// Path is the endpoint, e.g. /v1/predict.
 	Path string
 	// Method defaults to POST when a body is set, GET otherwise.
@@ -50,6 +58,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.URLs) > 0 {
+		c.URL = c.URLs[0]
+		c.rr = new(atomic.Uint64)
+	}
 	if c.Method == "" {
 		if len(c.Body) > 0 {
 			c.Method = http.MethodPost
@@ -244,7 +256,11 @@ func fire(ctx context.Context, cfg Config, rep *Report) {
 			time.Duration(cfg.DeadlineMs)*time.Millisecond+time.Second)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(reqCtx, cfg.Method, cfg.URL+cfg.Path, bytes.NewReader(cfg.Body))
+	base := cfg.URL
+	if cfg.rr != nil {
+		base = cfg.URLs[cfg.rr.Add(1)%uint64(len(cfg.URLs))]
+	}
+	req, err := http.NewRequestWithContext(reqCtx, cfg.Method, base+cfg.Path, bytes.NewReader(cfg.Body))
 	if err != nil {
 		rep.record(0, 0, nil)
 		return

@@ -133,3 +133,55 @@ func TestRamp(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterURLsRoundRobin: with URLs set, successive requests deal across
+// every node base URL — the cluster soak mode must not camp on one node.
+func TestClusterURLsRoundRobin(t *testing.T) {
+	var hits [3]atomic.Int64
+	var servers []*httptest.Server
+	var urls []string
+	for i := range hits {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.WriteHeader(http.StatusOK)
+		}))
+		defer ts.Close()
+		servers = append(servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	_ = servers
+
+	rep, err := Run(context.Background(), Config{
+		URLs: urls, Path: "/v1/predict", Body: []byte(`{}`),
+		Concurrency: 3, Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	var total int64
+	for i := range hits {
+		n := hits[i].Load()
+		if n == 0 {
+			t.Errorf("node %d received no requests", i)
+		}
+		total += n
+	}
+	// Requests cancelled mid-flight at the run deadline are Sent (and
+	// counted as transport errors) without ever reaching a server.
+	if total > int64(rep.Sent) || total < int64(rep.Sent-rep.Transport) {
+		t.Errorf("nodes saw %d requests, report sent %d (%d transport)", total, rep.Sent, rep.Transport)
+	}
+	// Round-robin is strict: per-node counts may differ by at most the
+	// worker count (in-flight skew at the end of the run).
+	for i := range hits {
+		for k := range hits {
+			if d := hits[i].Load() - hits[k].Load(); d > 3 || d < -3 {
+				t.Errorf("unbalanced round-robin: node %d=%d node %d=%d", i, hits[i].Load(), k, hits[k].Load())
+			}
+		}
+	}
+}
