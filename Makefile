@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet bench bench-json fuzz check clean stress soak sched-demo
+.PHONY: build test race lint lint-json vet bench bench-json fuzz check clean stress soak sched-demo
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,16 @@ test:
 race:
 	$(GO) test -shuffle=on -race ./...
 
-# pccs-lint enforces the repo's determinism/concurrency/durability
-# invariants (internal/lint). Also usable as `go vet -vettool`; see
-# README "Linting".
+# pccs-lint enforces the repo's determinism/concurrency/allocation/
+# durability invariants (internal/lint). Also usable as `go vet
+# -vettool`; see README "Linting".
 lint:
 	$(GO) run ./cmd/pccs-lint ./...
+
+# Machine-readable findings (one JSON object per line) for editors and
+# the CI problem matcher (.github/pccs-lint-matcher.json).
+lint-json:
+	$(GO) run ./cmd/pccs-lint -json ./...
 
 vet:
 	$(GO) vet ./...

@@ -1,10 +1,15 @@
 // Command pccs-lint machine-checks the repository's determinism,
-// concurrency, and durability invariants with the analyzers in
-// internal/lint.
+// concurrency, allocation, and durability invariants with the analyzers
+// in internal/lint.
 //
 // Standalone, over package patterns (exit 1 on findings):
 //
 //	go run ./cmd/pccs-lint ./...
+//	go run ./cmd/pccs-lint -json ./...
+//
+// -json emits one JSON object per finding ({"file","line","col",
+// "analyzer","message"}, one per output line) for editor and CI
+// integration; the human format stays file:line:col: [analyzer] message.
 //
 // Or as a vet tool, which reuses the go command's package graph and
 // caching (exit 2 on findings, matching vet's convention):
@@ -12,9 +17,14 @@
 //	go build -o /tmp/pccs-lint ./cmd/pccs-lint
 //	go vet -vettool=/tmp/pccs-lint ./...
 //
+// Note that under vet each package is analyzed in isolation, so the
+// module-wide analyzers (lockorder) see only per-package subgraphs;
+// standalone mode analyzes the whole module graph.
+//
 // Findings are suppressed per line or per function with a reasoned
-// annotation, e.g. //pccs:allow-nondeterminism <reason>; see the
-// internal/lint package documentation.
+// annotation, e.g. //pccs:allow-nodeterminism <reason> (the canonical
+// tag is the analyzer name; see the internal/lint package documentation
+// for legacy spellings that remain accepted).
 package main
 
 import (
@@ -51,7 +61,12 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(runVet(args[0]))
 	}
-	os.Exit(runStandalone(args))
+	jsonOut := false
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	os.Exit(runStandalone(args, jsonOut))
 }
 
 // printVersion emits the `-V=full` line the go command parses; the
@@ -73,7 +88,7 @@ func printVersion() error {
 
 // runStandalone loads the patterns (default ./...) itself and prints
 // every finding. Exit 0 clean, 1 findings, 2 operational failure.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	pkgs, err := lint.LoadPackages(".", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -84,14 +99,44 @@ func runStandalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", position(d.Pos), d.Analyzer, d.Message)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rec := jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", position(d.Pos), d.Analyzer, d.Message)
+		}
+		if len(diags) > 0 {
+			fmt.Printf("pccs-lint: %d finding(s)\n", len(diags))
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Printf("pccs-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json line format: one object per finding, one
+// finding per output line (JSON Lines), stable field names for CI
+// problem matchers and editor integrations.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // vetConfig is the subset of the go command's vet .cfg JSON the tool

@@ -59,6 +59,8 @@ func (m *Matrix) Validate() error {
 }
 
 // Reduction returns 100 − Rela[i][j], the speed reduction in percent.
+//
+//pccs:hotpath called from every smoothing/extraction inner loop over the matrix
 func (m *Matrix) Reduction(i, j int) float64 { return 100 - m.Rela[i][j] }
 
 // smoothedReduction returns the row of reductions smoothed with a centered

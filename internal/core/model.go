@@ -98,6 +98,8 @@ func (p Params) Validate() error {
 }
 
 // Region classifies a kernel with standalone bandwidth demand x (Eq. 1).
+//
+//pccs:hotpath called per prediction; branch-only classification
 func (p Params) Region(x float64) Region {
 	switch {
 	case x <= p.NormalBW:
@@ -112,6 +114,8 @@ func (p Params) Region(x float64) Region {
 // RateI is the reduction rate of the intensive contention region for a
 // kernel with demand x, derived from the normal-region rate by extending
 // the performance-reduction curve (paper Eq. 4).
+//
+//pccs:hotpath called per intensive-region prediction; pure arithmetic
 func (p Params) RateI(x float64) float64 {
 	if p.CBP <= 0 {
 		return p.RateN
@@ -130,6 +134,8 @@ func (p Params) RateI(x float64) float64 {
 // The result is clamped to (0, 100]: a co-run cannot speed a kernel up, and
 // the fairness control of the memory controller guarantees forward
 // progress. With no external demand the kernel runs standalone (RS = 100).
+//
+//pccs:hotpath the uncached predict kernel: pure arithmetic, zero allocations (ROADMAP item 3; enforced by allocbudget + TestPredictPathAllocs)
 func (p Params) Predict(x, y float64) float64 {
 	if x < 0 {
 		x = 0
@@ -166,12 +172,16 @@ func (p Params) Predict(x, y float64) float64 {
 
 // minorReduction is Eq. 2's reduction term: MRMC scaled by the kernel's own
 // demand relative to the SoC peak.
+//
+//pccs:hotpath called per prediction; one multiply and divide
 func (p Params) minorReduction(x float64) float64 {
 	return p.MRMC * x / p.PeakBW
 }
 
 // PredictSlowdown returns the predicted co-run slowdown factor
 // (standalone-time / co-run-time reciprocal): slowdown = 100/RS ≥ 1.
+//
+//pccs:hotpath slowdown is one division on top of Predict
 func (p Params) PredictSlowdown(x, y float64) float64 {
 	return 100 / p.Predict(x, y)
 }

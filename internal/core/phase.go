@@ -20,18 +20,23 @@ type Phase struct {
 // standalone execution-time share: each phase's time dilates by 100/RS_i,
 // so the program's co-run time is Σ wᵢ·(100/RSᵢ) and the program-level
 // relative speed is the weighted harmonic mean of the phase speeds.
+//
+//pccs:hotpath multi-phase predict path: two passes of pure arithmetic; the fmt.Errorf validation exits below are cold and individually allowed
 func (p Params) PredictPhases(phases []Phase, y float64) (float64, error) {
 	if len(phases) == 0 {
+		//pccs:allow-allocbudget cold validation exit, not the per-call loop
 		return 0, fmt.Errorf("pccs: no phases")
 	}
 	total := 0.0
 	for _, ph := range phases {
 		if ph.Weight < 0 {
+			//pccs:allow-allocbudget cold validation exit, not the per-call loop
 			return 0, fmt.Errorf("pccs: phase %q has negative weight", ph.Name)
 		}
 		total += ph.Weight
 	}
 	if total <= 0 {
+		//pccs:allow-allocbudget cold validation exit, not the per-call loop
 		return 0, fmt.Errorf("pccs: phase weights sum to zero")
 	}
 	dilation := 0.0

@@ -36,6 +36,8 @@ func New(peakGBps float64) (Model, error) {
 //
 //	x + y ≤ peak : no slowdown (RS = 100)
 //	x + y > peak : effective BW = x · peak/(x+y), so RS = 100·peak/(x+y)
+//
+//pccs:hotpath baseline predict kernel: pure arithmetic, compared head-to-head with core.Params.Predict
 func (m Model) Predict(x, y float64) float64 {
 	if x < 0 {
 		x = 0
@@ -51,6 +53,8 @@ func (m Model) Predict(x, y float64) float64 {
 }
 
 // PredictSlowdown returns the predicted slowdown factor (≥ 1).
+//
+//pccs:hotpath one division on top of Predict
 func (m Model) PredictSlowdown(x, y float64) float64 {
 	return 100 / m.Predict(x, y)
 }

@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// AllocBudget enforces the zero-allocation discipline on hot-path
+// functions (ROADMAP item 3: the uncached predict path must be
+// nanosecond-scale, which above all means allocation-free). A function
+// opts in by carrying //pccs:hotpath in its doc comment; inside an
+// annotated function the analyzer flags every construct that heap-escapes
+// in practice, each finding naming the escape reason:
+//
+//   - calls into fmt, reflect, errors, and log (formatting and reflection
+//     allocate for boxing and buffers);
+//   - make and new (slices, maps, channels, pointers are heap-backed);
+//   - slice and map composite literals, and composite literals whose
+//     address is taken (&T{...} escapes when the pointer outlives the
+//     frame — the analyzer cannot prove it does not, so hot paths avoid
+//     the construct);
+//   - append to anything but a caller-provided parameter (growing a
+//     locally created backing array is an allocation per growth step;
+//     appending into a caller-reused buffer is the sanctioned idiom);
+//   - closures that capture enclosing variables (the capture record is
+//     heap-allocated; non-capturing function literals are static and
+//     allowed);
+//   - implicit interface conversions of concrete non-pointer-shaped
+//     values in calls, assignments, and returns (boxing copies the value
+//     to the heap; pointers, maps, channels, and funcs fit the interface
+//     word directly and are exempt).
+//
+// Allocations on crash paths — arguments of a statement the CFG proves
+// terminates in panic/log.Fatal/os.Exit — are exempt: a goroutine that is
+// about to die owes no budget. Cold error paths that survive (returning
+// fmt.Errorf from input validation) are instead annotated
+// //pccs:allow-allocbudget with a reason.
+//
+// The analysis is intraprocedural (DESIGN §13): calls from a hot function
+// to unannotated same-package helpers are not followed, so the annotation
+// must cover every function on the measured path. TestPredictPathAllocs
+// (internal/server) cross-checks the analyzer against
+// testing.AllocsPerRun so the static and runtime views cannot drift
+// apart silently.
+//
+// requiredHotPath pins the annotation to the functions the serving arc
+// depends on: removing //pccs:hotpath from one of them is itself a
+// finding, so the discipline cannot be turned off by deleting its marker.
+var AllocBudget = &Analyzer{
+	Name: "allocbudget",
+	Doc:  "//pccs:hotpath functions must not contain heap-escaping constructs",
+	Run:  runAllocBudget,
+}
+
+// hotPathRe matches the opt-in marker in a doc comment.
+var hotPathRe = regexp.MustCompile(`^//pccs:hotpath\b`)
+
+// requiredHotPath lists, per package (by base name), the functions that
+// must carry //pccs:hotpath: the uncached predict path, the model
+// evaluation kernels, and the scheduler's inner-loop cost. An entry is
+// "Func" for a package function or "Type.Method" for a method.
+var requiredHotPath = map[string][]string{
+	"core":   {"Params.Predict", "Params.PredictSlowdown"},
+	"server": {"PredictionCache.Get", "Server.predictDemand"},
+	"sched":  {"puOption.predictRS"},
+	"calib":  {"Matrix.Reduction"},
+	"gables": {"Model.Predict", "Model.PredictSlowdown"},
+}
+
+func runAllocBudget(pass *Pass) error {
+	required := make(map[string]bool)
+	for _, name := range requiredHotPath[pkgBase(pass.PkgPath)] {
+		required[name] = true
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			hot := isHotPath(fn)
+			if name := funcKey(fn); required[name] && !hot {
+				pass.Reportf(fn.Pos(), "%s is on the required hot-path list but lacks the //pccs:hotpath annotation (the allocation budget is machine-enforced; see allocbudget.go)", name)
+			}
+			if hot {
+				checkHotFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// isHotPath reports whether fn's doc comment carries //pccs:hotpath.
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if hotPathRe.MatchString(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcKey renders fn as "Func" or "Type.Method" for the required table.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fn.Name.Name
+	}
+	return fn.Name.Name
+}
+
+// allocPkgs are the packages whose calls allocate by design.
+var allocPkgs = map[string]string{
+	"fmt":     "formats through reflection and allocates its result",
+	"reflect": "reflection boxes operands",
+	"errors":  "constructs a heap error value",
+	"log":     "formats and locks a shared logger",
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	crash := crashRanges(fn.Body)
+	onCrashPath := func(pos token.Pos) bool {
+		for _, r := range crash {
+			if pos >= r[0] && pos <= r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	params := paramObjects(pass, fn)
+	report := func(pos token.Pos, format string, args ...any) {
+		if onCrashPath(pos) {
+			return
+		}
+		pass.Reportf(pos, "hot path (//pccs:hotpath): "+format, args...)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, n, params, report)
+		case *ast.CompositeLit:
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates its backing array; reuse a caller-provided buffer")
+			case *types.Map:
+				report(n.Pos(), "map literal allocates; precompute the map outside the hot path")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(cl.Pos(), "&composite literal may escape to the heap; pass the value or reuse a caller-provided struct")
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(pass, fn, n); len(captured) > 0 {
+				report(n.Pos(), "closure captures %s — the capture record is heap-allocated; pass values explicitly or hoist the closure", strings.Join(captured, ", "))
+			}
+			return false // the literal's body is not the annotated hot path
+		case *ast.AssignStmt:
+			checkIfaceAssign(pass, n, report)
+		case *ast.ReturnStmt:
+			checkIfaceReturn(pass, fn, n, report)
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine stack; hot paths must not spawn")
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, params map[types.Object]bool, report func(token.Pos, string, ...any)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates; hoist the buffer out of the hot path or reuse a caller-provided one")
+				return
+			case "new":
+				report(call.Pos(), "new allocates; use a value or a caller-provided pointer")
+				return
+			case "append":
+				if len(call.Args) > 0 {
+					if target, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && params[pass.Info.Uses[target]] {
+						return // appending into a caller-reused buffer
+					}
+					report(call.Pos(), "append grows a heap-allocated backing array; append into a caller-provided parameter instead")
+				}
+				return
+			}
+		}
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil {
+		if reason, bad := allocPkgs[fn.Pkg().Path()]; bad {
+			report(call.Pos(), "call to %s.%s %s", fn.Pkg().Name(), fn.Name(), reason)
+			return
+		}
+	}
+	checkIfaceArgs(pass, call, report)
+}
+
+// checkIfaceArgs flags concrete non-pointer-shaped values passed into
+// interface-typed parameters (implicit boxing).
+func checkIfaceArgs(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		reportBoxing(pass, arg, pt, "argument", report)
+	}
+}
+
+func checkIfaceAssign(pass *Pass, assign *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		lt := pass.Info.TypeOf(assign.Lhs[i])
+		if lt == nil {
+			continue
+		}
+		reportBoxing(pass, rhs, lt, "assignment", report)
+	}
+}
+
+func checkIfaceReturn(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt, report func(token.Pos, string, ...any)) {
+	sig, ok := pass.Info.TypeOf(fn.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, res := range ret.Results {
+		reportBoxing(pass, res, sig.Results().At(i).Type(), "return", report)
+	}
+}
+
+// reportBoxing flags expr when storing it into target type boxes a
+// concrete value on the heap.
+func reportBoxing(pass *Pass, expr ast.Expr, target types.Type, where string, report func(token.Pos, string, ...any)) {
+	if !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) || pointerShaped(tv.Type) {
+		return
+	}
+	report(expr.Pos(), "interface conversion in %s boxes a %s on the heap; keep the concrete type or pass a pointer", where, tv.Type.String())
+}
+
+// pointerShaped reports whether t fits an interface's data word without
+// allocation: pointers, maps, channels, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return true
+	}
+	return false
+}
+
+// paramObjects collects fn's parameters, named results, and receiver —
+// the caller-provided storage that append may legitimately reuse.
+func paramObjects(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	addList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addList(fn.Recv)
+	addList(fn.Type.Params)
+	addList(fn.Type.Results)
+	return out
+}
+
+// capturedVars lists the enclosing-function variables lit captures, in
+// order of first use (deterministic: ast.Inspect is source-ordered).
+// Package-level variables are static state, not captures.
+func capturedVars(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		// Captured = declared inside fn (body or signature) but outside lit.
+		if pos == token.NoPos || pos < fn.Pos() || pos > fn.End() {
+			return true
+		}
+		if pos >= lit.Pos() && pos <= lit.End() {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	return out
+}
+
+// crashRanges returns the source ranges of statements the CFG proves end
+// in panic/log.Fatal/os.Exit — allocations there are exempt.
+func crashRanges(body *ast.BlockStmt) [][2]token.Pos {
+	g := buildCFG(body)
+	var out [][2]token.Pos
+	for _, blk := range g.blocks {
+		if blk.panics && len(blk.stmts) > 0 {
+			last := blk.stmts[len(blk.stmts)-1]
+			out = append(out, [2]token.Pos{last.Pos(), last.End()})
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic in
+// one place and with a plain load or store in another. Mixing the two is
+// a data race the race detector only catches when both sides actually
+// interleave under -race; statically, any field that is ever the operand
+// of atomic.Add/Load/Store/Swap/CompareAndSwap must be accessed that way
+// everywhere (or, better, converted to a typed atomic.Int64/Uint32/...,
+// which makes plain access unrepresentable and is invisible to this
+// analyzer because it needs no enforcement).
+//
+// Intentional exceptions — a plain read in a constructor before the value
+// is published, or a test poking at internals — carry
+// //pccs:allow-atomicmix with the reason.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed through sync/atomic in one function and plainly in another",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// First pass: find every field used as &x.f in a sync/atomic call, and
+	// remember one example site per field for the message.
+	atomicFields := make(map[types.Object]token.Pos)
+	atomicOperand := make(map[*ast.SelectorExpr]bool)
+
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				continue
+			}
+			obj := selection.Obj()
+			if _, seen := atomicFields[obj]; !seen {
+				atomicFields[obj] = call.Pos()
+			}
+			atomicOperand[sel] = true
+		}
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Second pass: every other access to those fields is a plain access.
+	atomicSites := make(map[types.Object][]string)
+	type plainSite struct {
+		pos   token.Pos
+		obj   types.Object
+		base  string
+		name  string
+		write bool
+	}
+	var plains []plainSite
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return
+		}
+		obj := selection.Obj()
+		if _, hot := atomicFields[obj]; !hot {
+			return
+		}
+		if atomicOperand[sel] {
+			if fn := enclosingFuncName(stack); fn != "" && !contains(atomicSites[obj], fn) {
+				atomicSites[obj] = append(atomicSites[obj], fn)
+			}
+			return
+		}
+		plains = append(plains, plainSite{
+			pos:   sel.Pos(),
+			obj:   obj,
+			base:  types.ExprString(ast.Unparen(sel.X)),
+			name:  sel.Sel.Name,
+			write: isWriteAccess(sel, stack),
+		})
+	})
+	for _, p := range plains {
+		kind := "read"
+		if p.write {
+			kind = "write"
+		}
+		where := ""
+		if fns := atomicSites[p.obj]; len(fns) > 0 {
+			sort.Strings(fns)
+			where = " (atomic in " + strings.Join(fns, ", ") + ")"
+		}
+		pass.Reportf(p.pos, "plain %s of %s.%s, a field accessed through sync/atomic elsewhere%s: use atomic access everywhere or a typed atomic value",
+			kind, p.base, p.name, where)
+	}
+	return nil
+}
+
+// enclosingFuncName names the innermost enclosing function declaration
+// ("Type.method" or "func") for diagnostics; closures report their
+// enclosing declaration.
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return funcKey(fd)
+		}
+	}
+	return ""
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,477 @@
+package lint
+
+// cfg.go is the shared dataflow core of the suite: an intraprocedural
+// control-flow graph over go/ast statements plus a generic forward
+// may-analysis solver. The path-sensitive analyzers (leakcheck's
+// Body.Close tracking, allocbudget's escape walk over reachable code)
+// build on it instead of re-deriving control flow from syntax.
+//
+// Scope and limits (see DESIGN §13): the graph is intraprocedural — one
+// function body, no call edges — and syntactic: conditions are recorded
+// on edges verbatim (an *ast.Expr plus the truth value the edge assumes)
+// so clients can special-case idioms like `if err != nil { return err }`
+// without the core guessing at semantics. goto is approximated as an
+// edge to the exit block (the repo style forbids goto; the conservative
+// edge only widens may-facts). panic, log.Fatal*, and os.Exit terminate
+// their block with panics=true so clients can exempt crash paths.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A cfgBlock is one straight-line run of statements. Statements appear in
+// execution order; compound statements (if/for/switch/select) never appear
+// themselves — their init/condition parts are recorded where they execute
+// and their bodies become separate blocks. A *ast.RangeStmt does appear
+// (in its loop-head block) so clients can see the per-iteration Key/Value
+// assignment; its Body is still split into normal blocks.
+type cfgBlock struct {
+	index  int
+	stmts  []ast.Stmt
+	succs  []*cfgEdge
+	preds  []*cfgEdge
+	panics bool // block ends in panic()/log.Fatal*/os.Exit/runtime.Goexit
+}
+
+// A cfgEdge connects two blocks. cond, when non-nil, is the branch
+// condition of the source if/for statement and condVal the value it has
+// along this edge — the hook for client-side path filtering.
+type cfgEdge struct {
+	from, to *cfgBlock
+	cond     ast.Expr
+	condVal  bool
+}
+
+// A cfg is one function body's control-flow graph. entry has no
+// predecessors; exit collects every return and normal fall-off (and, as a
+// conservative approximation, goto).
+type cfg struct {
+	entry, exit *cfgBlock
+	blocks      []*cfgBlock
+	// defers lists every deferred call in the function, in source order.
+	// Deferred calls run on every exit path, so clients treat them as
+	// executing just before the exit block.
+	defers []*ast.CallExpr
+}
+
+// buildCFG constructs the control-flow graph of one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{g: &cfg{}, labels: make(map[string]*loopTargets)}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	if end := b.stmtList(body.List, b.g.entry); end != nil {
+		b.edge(end, b.g.exit, nil, false)
+	}
+	return b.g
+}
+
+type loopTargets struct {
+	brk, cont *cfgBlock // cont is nil for labeled non-loop statements
+}
+
+type cfgBuilder struct {
+	g *cfg
+	// loops is the enclosing break/continue target stack; labels maps a
+	// label name to its targets while the labeled statement is in scope.
+	loops  []loopTargets
+	labels map[string]*loopTargets
+	// pendingLabel carries a label to the loop construct it annotates;
+	// labelStack remembers which construct registered which label.
+	pendingLabel string
+	labelStack   []string
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock, cond ast.Expr, condVal bool) {
+	e := &cfgEdge{from: from, to: to, cond: cond, condVal: condVal}
+	from.succs = append(from.succs, e)
+	to.preds = append(to.preds, e)
+}
+
+// stmtList builds stmts starting in cur and returns the block where
+// control falls out the end, or nil if control never does (return, break,
+// panic on every path).
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	for _, s := range stmts {
+		if cur == nil {
+			// Unreachable code after a terminator still gets blocks so
+			// clients see its statements, but nothing flows in.
+			cur = b.newBlock()
+		}
+		// fallthrough is resolved by the switch builder; a stray one is
+		// ignored here.
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			continue
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return b.stmt(s.Stmt, cur) // the construct registers the label
+		}
+		b.pendingLabel = ""
+		// Labeled plain statement: label is a goto/break target; treat
+		// break-to-it conservatively via the generic branch handling.
+		after := b.newBlock()
+		b.labels[s.Label.Name] = &loopTargets{brk: after}
+		end := b.stmt(s.Stmt, cur)
+		delete(b.labels, s.Label.Name)
+		if end != nil {
+			b.edge(end, after, nil, false)
+		}
+		return after
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then, s.Cond, true)
+		if end := b.stmtList(s.Body.List, then); end != nil {
+			b.edge(end, after, nil, false)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els, s.Cond, false)
+			if end := b.stmt(s.Else, els); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		} else {
+			b.edge(cur, after, s.Cond, false)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(cur, head, nil, false)
+		var contTarget *cfgBlock
+		if s.Post != nil {
+			post := b.newBlock()
+			post.stmts = append(post.stmts, s.Post)
+			b.edge(post, head, nil, false)
+			contTarget = post
+		} else {
+			contTarget = head
+		}
+		if s.Cond != nil {
+			b.edge(head, body, s.Cond, true)
+			b.edge(head, after, s.Cond, false)
+		} else {
+			b.edge(head, body, nil, false) // infinite loop: no exit edge
+		}
+		end := b.loopBody(s.Body.List, body, after, contTarget)
+		if end != nil {
+			b.edge(end, contTarget, nil, false)
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		after := b.newBlock()
+		body := b.newBlock()
+		// The RangeStmt itself sits in the head so clients see X and the
+		// per-iteration Key/Value binding.
+		head.stmts = append(head.stmts, s)
+		b.edge(cur, head, nil, false)
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		end := b.loopBody(s.Body.List, body, after, head)
+		if end != nil {
+			b.edge(end, head, nil, false)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		return b.switchClauses(s.Body.List, cur, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.stmts = append(cur.stmts, s.Assign)
+		return b.switchClauses(s.Body.List, cur, false)
+
+	case *ast.SelectStmt:
+		after := b.newBlock()
+		b.registerLabel(after, nil)
+		b.loops = append(b.loops, loopTargets{brk: after})
+		// An empty select blocks forever: no clauses, no edge out.
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			blk := b.newBlock()
+			if comm.Comm != nil {
+				blk.stmts = append(blk.stmts, comm.Comm)
+			}
+			b.edge(cur, blk, nil, false)
+			if end := b.stmtList(comm.Body, blk); end != nil {
+				b.edge(end, after, nil, false)
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.unregisterLabel()
+		return after
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		b.edge(cur, b.g.exit, nil, false)
+		return nil
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s); t != nil && t.brk != nil {
+				b.edge(cur, t.brk, nil, false)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s); t != nil && t.cont != nil {
+				b.edge(cur, t.cont, nil, false)
+			}
+		case token.GOTO:
+			// Approximate: treat like a return so may-facts stay sound.
+			b.edge(cur, b.g.exit, nil, false)
+		}
+		return nil
+
+	case *ast.DeferStmt:
+		cur.stmts = append(cur.stmts, s)
+		b.g.defers = append(b.g.defers, s.Call)
+		return cur
+
+	default:
+		cur.stmts = append(cur.stmts, s)
+		if stmtPanics(s) {
+			cur.panics = true
+			b.edge(cur, b.g.exit, nil, false)
+			return nil
+		}
+		return cur
+	}
+}
+
+// loopBody builds a loop body with break/continue targets (and the
+// pending label, if the loop was labeled) in scope.
+func (b *cfgBuilder) loopBody(stmts []ast.Stmt, body, brk, cont *cfgBlock) *cfgBlock {
+	b.registerLabel(brk, cont)
+	b.loops = append(b.loops, loopTargets{brk: brk, cont: cont})
+	end := b.stmtList(stmts, body)
+	b.loops = b.loops[:len(b.loops)-1]
+	b.unregisterLabel()
+	return end
+}
+
+// switchClauses builds the case clauses of a switch/type-switch.
+// allowFallthrough wires `fallthrough` edges between adjacent cases.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, cur *cfgBlock, allowFallthrough bool) *cfgBlock {
+	after := b.newBlock()
+	b.registerLabel(after, nil)
+	b.loops = append(b.loops, loopTargets{brk: after})
+	starts := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		starts[i] = b.newBlock()
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			starts[i].stmts = append(starts[i].stmts, &ast.ExprStmt{X: e})
+		}
+		b.edge(cur, starts[i], nil, false)
+		body := cc.Body
+		falls := false
+		if allowFallthrough && len(body) > 0 {
+			if br, ok := body[len(body)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				body = body[:len(body)-1]
+			}
+		}
+		end := b.stmtList(body, starts[i])
+		if end != nil {
+			if falls && i+1 < len(clauses) {
+				b.edge(end, starts[i+1], nil, false)
+			} else {
+				b.edge(end, after, nil, false)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, after, nil, false)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.unregisterLabel()
+	return after
+}
+
+// registerLabel binds the pending label (if any) to the given targets for
+// the duration of the construct; unregisterLabel pops it.
+func (b *cfgBuilder) registerLabel(brk, cont *cfgBlock) {
+	if b.pendingLabel != "" {
+		b.labels[b.pendingLabel] = &loopTargets{brk: brk, cont: cont}
+		b.labelStack = append(b.labelStack, b.pendingLabel)
+		b.pendingLabel = ""
+	} else {
+		b.labelStack = append(b.labelStack, "")
+	}
+}
+
+func (b *cfgBuilder) unregisterLabel() {
+	name := b.labelStack[len(b.labelStack)-1]
+	b.labelStack = b.labelStack[:len(b.labelStack)-1]
+	if name != "" {
+		delete(b.labels, name)
+	}
+}
+
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt) *loopTargets {
+	if s.Label != nil {
+		return b.labels[s.Label.Name]
+	}
+	if len(b.loops) == 0 {
+		return nil
+	}
+	return &b.loops[len(b.loops)-1]
+}
+
+// stmtPanics reports whether s unconditionally terminates the goroutine:
+// a call to the panic builtin, os.Exit, runtime.Goexit, or log.Fatal*.
+// The check is syntactic (the CFG has no type info); the standard import
+// names make that a safe approximation in this repository.
+func stmtPanics(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// cfgFacts is one dataflow fact set: arbitrary comparable keys (typically
+// types.Object — "this variable holds an open resource") present when the
+// fact may hold.
+type cfgFacts map[any]bool
+
+func (f cfgFacts) clone() cfgFacts {
+	out := make(cfgFacts, len(f))
+	for k, v := range f {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func factsEqual(a, b cfgFacts) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardMay runs a forward may-analysis to fixpoint. transfer maps a
+// block's in-facts to its out-facts; filter (optional) adjusts facts
+// crossing one edge — the hook for condition-sensitive kills like
+// `if x == nil` edges. Returns the in-facts of every block; the facts
+// holding at function exit are ins[g.exit].
+func (g *cfg) forwardMay(
+	transfer func(b *cfgBlock, in cfgFacts) cfgFacts,
+	filter func(e *cfgEdge, out cfgFacts) cfgFacts,
+) map[*cfgBlock]cfgFacts {
+	ins := make(map[*cfgBlock]cfgFacts, len(g.blocks))
+	outs := make(map[*cfgBlock]cfgFacts, len(g.blocks))
+	for _, blk := range g.blocks {
+		ins[blk] = cfgFacts{}
+		outs[blk] = cfgFacts{}
+	}
+	work := make([]*cfgBlock, 0, len(g.blocks))
+	queued := make([]bool, len(g.blocks))
+	push := func(blk *cfgBlock) {
+		if !queued[blk.index] {
+			queued[blk.index] = true
+			work = append(work, blk)
+		}
+	}
+	// Every block is visited at least once: a block can generate facts
+	// without any incoming fact changing first.
+	for _, blk := range g.blocks {
+		push(blk)
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.index] = false
+		in := cfgFacts{}
+		for _, e := range blk.preds {
+			out := outs[e.from]
+			if filter != nil {
+				out = filter(e, out)
+			}
+			for k := range out {
+				in[k] = true
+			}
+		}
+		ins[blk] = in
+		out := transfer(blk, in.clone())
+		if !factsEqual(out, outs[blk]) {
+			outs[blk] = out
+			for _, e := range blk.succs {
+				push(e.to)
+			}
+		}
+	}
+	return ins
+}

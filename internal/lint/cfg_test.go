@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func cfgReachable(from, to *cfgBlock) bool {
+	seen := make(map[*cfgBlock]bool)
+	queue := []*cfgBlock{from}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		for _, e := range b.succs {
+			queue = append(queue, e.to)
+		}
+	}
+	return false
+}
+
+func TestCFGLinearReachesExit(t *testing.T) {
+	g := buildCFG(parseBody(t, "a := 1\n_ = a\nreturn"))
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("exit not reachable in straight-line body")
+	}
+	if len(g.entry.preds) != 0 {
+		t.Fatal("entry must have no predecessors")
+	}
+}
+
+func TestCFGIfElseDiamond(t *testing.T) {
+	g := buildCFG(parseBody(t, "a := 1\nif a > 0 {\n a = 2\n} else {\n a = 3\n}\n_ = a"))
+	// The block holding the condition must have one true and one false
+	// edge carrying the same condition expression.
+	var condEdges []*cfgEdge
+	for _, blk := range g.blocks {
+		for _, e := range blk.succs {
+			if e.cond != nil {
+				condEdges = append(condEdges, e)
+			}
+		}
+	}
+	if len(condEdges) != 2 {
+		t.Fatalf("want 2 condition edges, got %d", len(condEdges))
+	}
+	if condEdges[0].cond != condEdges[1].cond {
+		t.Fatal("both edges must carry the same condition expression")
+	}
+	if condEdges[0].condVal == condEdges[1].condVal {
+		t.Fatal("edges must carry opposite condition values")
+	}
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("exit must be reachable through the diamond")
+	}
+}
+
+func TestCFGInfiniteLoopHasNoExitPath(t *testing.T) {
+	g := buildCFG(parseBody(t, "for {\n_ = 1\n}"))
+	if cfgReachable(g.entry, g.exit) {
+		t.Fatal("infinite for loop must not reach exit")
+	}
+}
+
+func TestCFGLoopBreakReachesExit(t *testing.T) {
+	g := buildCFG(parseBody(t, "for {\nbreak\n}"))
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("break must restore the path to exit")
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g := buildCFG(parseBody(t, "for i := 0; i < 3; i++ {\n_ = i\n}"))
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("bounded loop must reach exit")
+	}
+	// Some block must have a back edge (successor with a lower index that
+	// can reach it again) — the loop head.
+	hasCycle := false
+	for _, blk := range g.blocks {
+		for _, e := range blk.succs {
+			if e.to != blk && cfgReachable(e.to, blk) {
+				hasCycle = true
+			}
+		}
+	}
+	if !hasCycle {
+		t.Fatal("loop must produce a cycle in the graph")
+	}
+}
+
+func TestCFGDeferCollected(t *testing.T) {
+	g := buildCFG(parseBody(t, "defer println(1)\ndefer println(2)\nreturn"))
+	if len(g.defers) != 2 {
+		t.Fatalf("want 2 deferred calls, got %d", len(g.defers))
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	g := buildCFG(parseBody(t, "a := 1\nif a > 0 {\npanic(\"boom\")\n}\n_ = a"))
+	found := false
+	for _, blk := range g.blocks {
+		if blk.panics {
+			found = true
+			if len(blk.succs) != 1 || blk.succs[0].to != g.exit {
+				t.Fatal("panicking block must flow only to exit")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no block marked panicking")
+	}
+}
+
+func TestCFGSwitchAllCasesReachExit(t *testing.T) {
+	g := buildCFG(parseBody(t, "switch x := 1; x {\ncase 1:\n_ = x\ncase 2:\nreturn\ndefault:\n_ = x\n}"))
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("switch must reach exit")
+	}
+}
+
+func TestCFGSelectBranches(t *testing.T) {
+	g := buildCFG(parseBody(t, "ch := make(chan int)\nselect {\ncase v := <-ch:\n_ = v\ndefault:\n}"))
+	if !cfgReachable(g.entry, g.exit) {
+		t.Fatal("select with default must reach exit")
+	}
+}
+
+// TestForwardMayGenKill drives the solver with a toy gen/kill problem:
+// gen() sets the fact, kill() clears it; the fact at exit must reflect
+// the union over paths.
+func TestForwardMayGenKill(t *testing.T) {
+	run := func(body string) bool {
+		g := buildCFG(parseBody(t, body))
+		const fact = "open"
+		transfer := func(blk *cfgBlock, in cfgFacts) cfgFacts {
+			for _, s := range blk.stmts {
+				es, ok := s.(*ast.ExprStmt)
+				if !ok {
+					continue
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch id.Name {
+				case "gen":
+					in[fact] = true
+				case "kill":
+					delete(in, fact)
+				}
+			}
+			return in
+		}
+		exit := g.forwardMay(transfer, nil)[g.exit]
+		return exit[fact]
+	}
+	if run("gen()\nkill()") {
+		t.Fatal("kill on the only path must clear the fact")
+	}
+	if !run("gen()\nif c {\nkill()\n}") {
+		t.Fatal("kill on one of two paths must keep the may-fact")
+	}
+	if run("gen()\nif c {\nkill()\n} else {\nkill()\n}") {
+		t.Fatal("kill on every path must clear the fact")
+	}
+	if !run("if c {\ngen()\n}") {
+		t.Fatal("gen on one path must set the may-fact")
+	}
+}
+
+// TestForwardMayEdgeFilter checks condition-sensitive kills: the filter
+// drops the fact on the true edge of `if dead { … }`.
+func TestForwardMayEdgeFilter(t *testing.T) {
+	g := buildCFG(parseBody(t, "gen()\nif dead {\nreturn\n}\nuse()"))
+	const fact = "open"
+	transfer := func(blk *cfgBlock, in cfgFacts) cfgFacts {
+		for _, s := range blk.stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						switch id.Name {
+						case "gen":
+							in[fact] = true
+						case "kill":
+							delete(in, fact)
+						}
+					}
+				}
+			}
+		}
+		return in
+	}
+	filter := func(e *cfgEdge, out cfgFacts) cfgFacts {
+		if e.cond == nil || !e.condVal {
+			return out
+		}
+		if id, ok := e.cond.(*ast.Ident); ok && strings.HasPrefix(id.Name, "dead") {
+			out = out.clone()
+			delete(out, fact)
+		}
+		return out
+	}
+	exit := g.forwardMay(transfer, filter)[g.exit]
+	if !exit[fact] {
+		t.Fatal("fact must survive along the fall-through edge")
+	}
+	// With the true edge filtered and the else branch killing explicitly,
+	// no path carries the fact to exit.
+	g2 := buildCFG(parseBody(t, "gen()\nif dead {\nuse()\n} else {\nkill()\n}"))
+	exit2 := g2.forwardMay(transfer, filter)[g2.exit]
+	if exit2[fact] {
+		t.Fatal("filtered true-edge plus killing else path must leave exit clean")
+	}
+}

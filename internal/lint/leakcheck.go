@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakCheck finds two slow-leak shapes that tests rarely catch because
+// nothing fails immediately:
+//
+//   - http.Response bodies not closed on every path. The body holds a
+//     pooled connection; one unclosed error branch leaks a connection per
+//     request until the transport starves (the cluster transport does
+//     thousands of peer round-trips per sweep). The check is a forward
+//     may-analysis over the CFG (cfg.go): a response becomes "open" where
+//     it is assigned from a call, is closed by resp.Body.Close (inline,
+//     deferred, or in a deferred closure), and is excused on paths where
+//     the accompanying error is non-nil (the http.Client contract: on
+//     error the response is nil) or ownership escapes (returned, stored,
+//     sent, or passed to another function). Any open response reaching
+//     function exit is a finding.
+//   - goroutines with no termination path: a `go` statement whose body
+//     (function literal or same-package function) contains an infinite
+//     `for` loop with no return, break, channel receive, or select inside.
+//     Such a goroutine outlives every context and WaitGroup by
+//     construction — the shape that turns "restart the daemon" into the
+//     only fix. The loop check is syntactic; loops that terminate through
+//     a condition the analyzer cannot see carry an allow-leakcheck
+//     annotation with the reason.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "http.Response bodies must close on all paths; goroutines need a termination path",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	// Each function-like body is analyzed independently (intraprocedural).
+	walkWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkBodyClose(pass, n.Body)
+			}
+		case *ast.FuncLit:
+			checkBodyClose(pass, n.Body)
+		case *ast.GoStmt:
+			checkGoroutine(pass, n)
+		}
+	})
+	return nil
+}
+
+// checkBodyClose runs the open-response may-analysis over one body.
+// Nested function literals are skipped here (they get their own call).
+func checkBodyClose(pass *Pass, body *ast.BlockStmt) {
+	// openAt maps each tracked response object to where it was opened;
+	// errFor maps an error object to the responses assigned alongside it.
+	openAt := make(map[types.Object]token.Pos)
+	errFor := make(map[types.Object][]types.Object)
+	forEachStmtShallow(body, func(s ast.Stmt) {
+		assign, ok := s.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return
+		}
+		if _, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); !isCall {
+			return
+		}
+		var resps []types.Object
+		var errObj types.Object
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := identObj(pass.Info, id)
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isHTTPResponsePtr(obj.Type()):
+				resps = append(resps, obj)
+			case isErrorType(obj.Type()):
+				errObj = obj
+			}
+		}
+		for _, r := range resps {
+			if _, seen := openAt[r]; !seen {
+				openAt[r] = assign.Pos()
+			}
+			if errObj != nil {
+				errFor[errObj] = append(errFor[errObj], r)
+			}
+		}
+	})
+	if len(openAt) == 0 {
+		return
+	}
+
+	g := buildCFG(body)
+
+	// Deferred closes release on every exit path.
+	deferClosed := make(map[types.Object]bool)
+	for _, d := range g.defers {
+		if obj := closeTarget(pass.Info, d); obj != nil {
+			deferClosed[obj] = true
+		}
+		if lit, ok := d.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := closeTarget(pass.Info, call); obj != nil {
+						deferClosed[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	transfer := func(blk *cfgBlock, in cfgFacts) cfgFacts {
+		for _, s := range blk.stmts {
+			// Gen: the open sites found above.
+			if assign, ok := s.(*ast.AssignStmt); ok {
+				for _, lhs := range assign.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := identObj(pass.Info, id); obj != nil {
+							if _, tracked := openAt[obj]; tracked && len(assign.Rhs) == 1 {
+								if _, isCall := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr); isCall {
+									in[obj] = true
+								}
+							}
+						}
+					}
+				}
+			}
+			// Kill: closes and ownership escapes anywhere in the statement.
+			ast.Inspect(s, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // separate analysis
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if obj := closeTarget(pass.Info, call); obj != nil {
+						delete(in, obj)
+					}
+				}
+				if obj := escapingResp(pass.Info, n, openAt); obj != nil {
+					delete(in, obj)
+				}
+				return true
+			})
+		}
+		return in
+	}
+
+	filter := func(e *cfgEdge, out cfgFacts) cfgFacts {
+		if e.cond == nil || len(out) == 0 {
+			return out
+		}
+		obj, nilOnTrue, ok := nilComparison(pass.Info, e.cond)
+		if !ok {
+			return out
+		}
+		isNilHere := nilOnTrue == e.condVal
+		kill := func(objs ...types.Object) cfgFacts {
+			filtered := out.clone()
+			for _, o := range objs {
+				delete(filtered, o)
+			}
+			return filtered
+		}
+		if _, tracked := openAt[obj]; tracked && isNilHere {
+			// `if resp == nil` branch: nothing to close there.
+			return kill(obj)
+		}
+		if resps, isErr := errFor[obj]; isErr && !isNilHere {
+			// `if err != nil` branch: per the http.Client contract the
+			// response is nil on error.
+			return kill(resps...)
+		}
+		return out
+	}
+
+	exitFacts := g.forwardMay(transfer, filter)[g.exit]
+	// Stable report order: by open position.
+	var leaked []types.Object
+	for k := range exitFacts {
+		obj, ok := k.(types.Object)
+		if !ok || deferClosed[obj] {
+			continue
+		}
+		leaked = append(leaked, obj)
+	}
+	sortObjectsByPos(leaked, openAt)
+	for _, obj := range leaked {
+		pass.Reportf(openAt[obj], "http.Response body of %s may not be closed on every path: add `defer %s.Body.Close()` after the error check", obj.Name(), obj.Name())
+	}
+}
+
+func sortObjectsByPos(objs []types.Object, at map[types.Object]token.Pos) {
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && at[objs[j]] < at[objs[j-1]]; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+}
+
+// forEachStmtShallow visits every statement in body, at any block depth,
+// but does not descend into nested function literals.
+func forEachStmtShallow(body *ast.BlockStmt, visit func(ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			visit(s)
+		}
+		return true
+	})
+}
+
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isHTTPResponsePtr reports whether t is *net/http.Response.
+func isHTTPResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Response"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// closeTarget matches resp.Body.Close() and returns resp's object.
+func closeTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil
+	}
+	body, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || body.Sel.Name != "Body" {
+		return nil
+	}
+	id, ok := ast.Unparen(body.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObj(info, id)
+	if obj == nil || !isHTTPResponsePtr(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// escapingResp reports a tracked response whose ownership escapes at n:
+// returned, sent on a channel, stored into a composite/field/index, or
+// passed (as the whole response, not resp.Body) to a call.
+func escapingResp(info *types.Info, n ast.Node, tracked map[types.Object]token.Pos) types.Object {
+	matchIdent := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := identObj(info, id)
+		if obj == nil {
+			return nil
+		}
+		if _, ok := tracked[obj]; !ok {
+			return nil
+		}
+		return obj
+	}
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if obj := matchIdent(r); obj != nil {
+				return obj
+			}
+		}
+	case *ast.SendStmt:
+		return matchIdent(n.Value)
+	case *ast.CallExpr:
+		if closeTarget(info, n) != nil {
+			return nil
+		}
+		for _, arg := range n.Args {
+			if obj := matchIdent(arg); obj != nil {
+				return obj
+			}
+		}
+	case *ast.AssignStmt:
+		// Storing the response anywhere but a plain local hand-off counts
+		// as an escape: x.field = resp, m[k] = resp.
+		for i, rhs := range n.Rhs {
+			obj := matchIdent(rhs)
+			if obj == nil || i >= len(n.Lhs) {
+				continue
+			}
+			switch ast.Unparen(n.Lhs[i]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				return obj
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			e := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				e = kv.Value
+			}
+			if obj := matchIdent(e); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkGoroutine applies the no-termination-path heuristic to one go
+// statement.
+func checkGoroutine(pass *Pass, g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		fn := calleeFunc(pass.Info, g.Call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path() {
+			return
+		}
+		body = funcDeclBody(pass, fn)
+	}
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if loopCanTerminate(loop.Body) {
+			return true
+		}
+		pass.Reportf(g.Pos(), "goroutine has no termination path: infinite for loop without return, break, channel receive, or select — thread ctx.Done() or a done channel through it")
+		return false
+	})
+}
+
+// loopCanTerminate reports whether an infinite loop body contains any
+// construct that can end or park the loop: return, break, a channel
+// receive, a select, ranging over a channel, or a Wait call.
+func loopCanTerminate(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			found = true // ranging (incl. over a channel) can end
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Wait" || sel.Sel.Name == "Goexit") {
+				found = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// funcDeclBody finds the body of a same-package function by its object.
+func funcDeclBody(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, _ := pass.Info.Defs[fd.Name].(*types.Func); obj == fn {
+					return fd.Body
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// nilComparison decomposes a condition of the form `x == nil` or
+// `x != nil` (either operand order): it returns x's object and whether
+// the condition being true means x IS nil.
+func nilComparison(info *types.Info, cond ast.Expr) (obj types.Object, nilOnTrue bool, ok bool) {
+	bin, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false, false
+	}
+	isNil := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		return ok && tv.IsNil()
+	}
+	var x ast.Expr
+	switch {
+	case isNil(bin.Y):
+		x = bin.X
+	case isNil(bin.X):
+		x = bin.Y
+	default:
+		return nil, false, false
+	}
+	id, isIdent := ast.Unparen(x).(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	obj = identObj(info, id)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, bin.Op == token.EQL, true
+}

@@ -20,14 +20,21 @@
 //
 //	//pccs:allow-<tag> <reason>
 //
-// where <tag> is the analyzer's allow tag (its name, except nodeterminism
-// which uses the tag "nondeterminism") and <reason> is mandatory free
-// text. The annotation suppresses that analyzer's findings on its own
-// line and the line below, so both end-of-line and comment-above styles
-// work. Placing the annotation in a function's doc comment suppresses the
-// analyzer inside the whole function — the right shape for constructors
-// that touch guarded fields before the value is published. An annotation
-// without a reason suppresses nothing and is itself reported.
+// where <tag> is the analyzer's name (the canonical allow tag; a handful
+// of legacy spellings, like "nondeterminism" for the nodeterminism
+// analyzer, are still accepted) and <reason> is mandatory free text. The
+// annotation suppresses that analyzer's findings on its own line and the
+// line below, so both end-of-line and comment-above styles work. Placing
+// the annotation in a function's doc comment suppresses the analyzer
+// inside the whole function — the right shape for constructors that touch
+// guarded fields before the value is published. An annotation without a
+// reason suppresses nothing and is itself reported.
+//
+// # Hot-path annotation
+//
+// The inverse marker //pccs:hotpath on a function's doc comment opts the
+// function into the allocbudget analyzer's zero-allocation discipline;
+// see allocbudget.go.
 package lint
 
 import (
@@ -47,18 +54,33 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of the invariant.
 	Doc string
 	// AllowTag is the //pccs:allow-<tag> suffix that suppresses this
-	// analyzer's findings; it defaults to Name.
+	// analyzer's findings; it defaults to Name (the canonical spelling).
 	AllowTag string
-	// Run reports findings on one package through pass.Reportf.
+	// LegacyAllowTags lists additional accepted tag spellings, kept so
+	// annotations written against an older tag keep suppressing.
+	LegacyAllowTags []string
+	// Run reports findings on one package through pass.Reportf. Exactly
+	// one of Run and RunModule is set.
 	Run func(pass *Pass) error
+	// RunModule reports findings across every package of one Check call
+	// at once — the hook for whole-program properties like the global
+	// lock-acquisition graph, which no single package can see. Under
+	// `go vet -vettool` (one package per invocation) a module analyzer
+	// only sees that package's subgraph.
+	RunModule func(pass *ModulePass) error
 }
 
-// Tag returns the analyzer's effective allow tag.
+// Tag returns the analyzer's effective (canonical) allow tag.
 func (a *Analyzer) Tag() string {
 	if a.AllowTag != "" {
 		return a.AllowTag
 	}
 	return a.Name
+}
+
+// tags returns every tag spelling that suppresses this analyzer.
+func (a *Analyzer) tags() []string {
+	return append([]string{a.Tag()}, a.LegacyAllowTags...)
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -79,8 +101,28 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
-		tag:      p.Analyzer.Tag(),
+		tags:     p.Analyzer.tags(),
 		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A ModulePass carries every package of one Check call through one
+// module-wide analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Pkgs     []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos, resolved through the owning package's
+// file set.
+func (p *ModulePass) Reportf(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		tags:     p.Analyzer.tags(),
+		Pos:      fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -91,7 +133,7 @@ type Diagnostic struct {
 	Pos      token.Position
 	Message  string
 
-	tag string // allow tag that suppresses this finding
+	tags []string // allow tags (canonical first) that suppress this finding
 }
 
 func (d Diagnostic) String() string {
@@ -125,6 +167,10 @@ func Analyzers() []*Analyzer {
 		DurableWrite,
 		FaultSite,
 		ErrCmp,
+		AllocBudget,
+		LockOrder,
+		AtomicMix,
+		LeakCheck,
 	}
 }
 
@@ -132,10 +178,12 @@ func Analyzers() []*Analyzer {
 // //pccs:allow-<tag> suppressions, and returns the surviving findings
 // sorted by position.
 func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var out []Diagnostic
+	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		var diags []Diagnostic
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				PkgPath:  pkg.PkgPath,
@@ -149,13 +197,37 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		pass := &ModulePass{Analyzer: a, Pkgs: pkgs, diags: &diags}
+		if err := a.RunModule(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+	// Suppression is filename-keyed, so a diagnostic from a module-wide
+	// analyzer is matched against the allow annotations of whichever
+	// package owns the file it points into.
+	allows := make([]*allowSet, 0, len(pkgs))
+	var out []Diagnostic
+	for _, pkg := range pkgs {
 		allow := collectAllows(pkg)
-		for _, d := range diags {
-			if !allow.suppresses(d) {
-				out = append(out, d)
+		allows = append(allows, allow)
+		out = append(out, allow.malformed...)
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, allow := range allows {
+			if allow.suppresses(d) {
+				suppressed = true
+				break
 			}
 		}
-		out = append(out, allow.malformed...)
+		if !suppressed {
+			out = append(out, d)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -253,12 +325,23 @@ func collectAllows(pkg *Package) *allowSet {
 
 func (s *allowSet) suppresses(d Diagnostic) bool {
 	if byLine := s.lines[d.Pos.Filename]; byLine != nil {
-		if tags := byLine[d.Pos.Line]; tags != nil && tags[d.tag] {
-			return true
+		if tags := byLine[d.Pos.Line]; tags != nil {
+			for _, t := range d.tags {
+				if tags[t] {
+					return true
+				}
+			}
 		}
 	}
 	for _, fa := range s.funcs {
-		if !fa.tags[d.tag] {
+		match := false
+		for _, t := range d.tags {
+			if fa.tags[t] {
+				match = true
+				break
+			}
+		}
+		if !match {
 			continue
 		}
 		lo, hi := s.fset.Position(fa.lo), s.fset.Position(fa.hi)

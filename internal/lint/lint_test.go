@@ -25,3 +25,19 @@ func TestFaultSite(t *testing.T) {
 func TestErrCmp(t *testing.T) {
 	testAnalyzer(t, ErrCmp, "errcmp/retry")
 }
+
+func TestAllocBudget(t *testing.T) {
+	testAnalyzer(t, AllocBudget, "allocbudget/predict", "allocbudget/core")
+}
+
+func TestLockOrder(t *testing.T) {
+	testAnalyzer(t, LockOrder, "lockorder/cluster")
+}
+
+func TestAtomicMix(t *testing.T) {
+	testAnalyzer(t, AtomicMix, "atomicmix/stats")
+}
+
+func TestLeakCheck(t *testing.T) {
+	testAnalyzer(t, LeakCheck, "leakcheck/transport", "leakcheck/worker")
+}

@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a global lock-acquisition graph across the serving
+// packages (server, cluster) and reports two deadlock-shaped hazards:
+//
+//   - cycles: function f acquires B while holding A, function g acquires
+//     A while holding B — the classic ABBA deadlock. Locks are
+//     canonicalized to their declaring struct field ("server.Registry.mu"),
+//     so the cycle is visible even when the two acquisitions live in
+//     different packages — which is exactly why this is a module-wide
+//     analyzer (RunModule): no single package sees both edges. Under
+//     `go vet -vettool` (one package per process) only per-package
+//     subgraphs are checked; `make lint` and TestRepoClean run the whole
+//     module.
+//   - locks held across blocking calls: an http.Client round-trip,
+//     time.Sleep, WaitGroup/Cond Wait, or a channel send while a mutex is
+//     held stalls every other goroutine contending for that lock — the
+//     hazard shape PR 8's peer transport introduced (replication RPCs
+//     adjacent to node state). Channel sends inside a select with a
+//     default case are non-blocking and exempt.
+//
+// Both checks see through one level of static calls: acquisitions and
+// blocking behaviour of same-module callees are summarized transitively
+// (fixpoint over the call graph), so `a.mu.Lock(); helper()` where helper
+// sleeps is still a finding. Lock state within a function is positional,
+// like guardedby: a lock is held from its Lock() call to the first later
+// Unlock() on the same receiver path, or to function end when released
+// only by defer. Locks the analyzer cannot see (callers that document
+// "called with mu held") are invisible edges — DESIGN §13 records the
+// limit.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "lock-acquisition cycles and locks held across blocking calls in server+cluster",
+	RunModule: runLockOrder,
+}
+
+// lockScope is the package set whose lock graph is built.
+var lockScope = map[string]bool{"server": true, "cluster": true}
+
+// lockAction is one Lock/Unlock event or call site in a function body, in
+// source order.
+type lockAction struct {
+	pos  token.Pos
+	fset *token.FileSet
+
+	lock     string      // canonical lock name; "" for call/block actions
+	acquire  bool        // Lock/RLock vs Unlock/RUnlock
+	deferred bool        // action is inside a defer (release at exit)
+	callee   *types.Func // non-nil for call actions
+	blocks   string      // non-empty: this action itself blocks (reason)
+}
+
+// funcSummary is one function's lock behaviour.
+type funcSummary struct {
+	fn      *types.Func
+	actions []lockAction
+	// acquires and blockReason are the transitive summaries filled in by
+	// the fixpoint: every lock the function may acquire, and a non-empty
+	// reason if it may block.
+	acquires    map[string]bool
+	blockReason string
+}
+
+func runLockOrder(pass *ModulePass) error {
+	summaries := collectLockSummaries(pass.Pkgs)
+	resolveTransitive(summaries)
+
+	// edges[a][b] records the first site acquiring b while holding a.
+	type site struct {
+		pos  token.Pos
+		fset *token.FileSet
+		via  string // "" for direct, else the callee that acquires
+	}
+	edges := make(map[string]map[string]site)
+	addEdge := func(from, to string, s site) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[string]site)
+		}
+		if _, dup := edges[from][to]; !dup {
+			edges[from][to] = s
+		}
+	}
+
+	var sums []*funcSummary
+	for _, s := range summaries {
+		sums = append(sums, s)
+	}
+	sort.Slice(sums, func(i, j int) bool { return sums[i].fn.FullName() < sums[j].fn.FullName() })
+
+	for _, s := range sums {
+		held := heldLocks(s.actions)
+		for i, act := range s.actions {
+			hold := held[i]
+			if len(hold) == 0 {
+				continue
+			}
+			switch {
+			case act.lock != "" && act.acquire:
+				for _, h := range hold {
+					addEdge(h, act.lock, site{pos: act.pos, fset: act.fset})
+				}
+			case act.blocks != "":
+				pass.Reportf(act.fset, act.pos, "%s while holding %s stalls every contender for the lock; release before blocking",
+					act.blocks, strings.Join(hold, ", "))
+			case act.callee != nil:
+				callee := summaries[act.callee]
+				if callee == nil {
+					continue
+				}
+				if callee.blockReason != "" {
+					pass.Reportf(act.fset, act.pos, "call to %s (which may block: %s) while holding %s",
+						act.callee.Name(), callee.blockReason, strings.Join(hold, ", "))
+				}
+				var acq []string
+				for l := range callee.acquires {
+					acq = append(acq, l)
+				}
+				sort.Strings(acq)
+				for _, l := range acq {
+					for _, h := range hold {
+						addEdge(h, l, site{pos: act.pos, fset: act.fset, via: act.callee.Name()})
+					}
+				}
+			}
+		}
+	}
+
+	// A cycle exists iff some edge a→b has a path b→…→a. Report once per
+	// distinct cycle (keyed by its sorted node set), at the edge site.
+	adj := make(map[string][]string)
+	for from, tos := range edges {
+		for to := range tos {
+			adj[from] = append(adj[from], to)
+		}
+	}
+	for _, tos := range adj {
+		sort.Strings(tos)
+	}
+	reported := make(map[string]bool)
+	var froms []string
+	for from := range edges {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		for _, to := range adj[from] {
+			back := lockPath(adj, to, from)
+			if back == nil {
+				continue
+			}
+			cycle := append([]string{from}, back...) // from, to, …, from
+			key := cycleKey(cycle[:len(cycle)-1])
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			s := edges[from][to]
+			via := ""
+			if s.via != "" {
+				via = fmt.Sprintf(" (via %s)", s.via)
+			}
+			pass.Reportf(s.fset, s.pos, "lock-order cycle: %s%s — another path acquires these in the opposite order; pick one global order",
+				strings.Join(cycle, " -> "), via)
+		}
+	}
+	return nil
+}
+
+// collectLockSummaries scans every in-scope package and records, per
+// function, the ordered Lock/Unlock/call/blocking actions.
+func collectLockSummaries(pkgs []*Package) map[*types.Func]*funcSummary {
+	summaries := make(map[*types.Func]*funcSummary)
+	for _, pkg := range pkgs {
+		if !lockScope[pkgBase(pkg.PkgPath)] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				s := &funcSummary{fn: obj, acquires: make(map[string]bool)}
+				collectLockActions(pkg, fd, s)
+				summaries[obj] = s
+			}
+		}
+	}
+	return summaries
+}
+
+func collectLockActions(pkg *Package, fd *ast.FuncDecl, s *funcSummary) {
+	info := pkg.Info
+	walkFn := func(n ast.Node, stack []ast.Node) {
+		// Only actions in fd's own body (not nested closures): a lock
+		// taken inside a goroutine closure is that goroutine's state.
+		if innermostFunc(stack) != ast.Node(fd) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if act, ok := lockActionOf(pkg, info, n, stack); ok {
+				s.actions = append(s.actions, act)
+			}
+		case *ast.SendStmt:
+			if sendIsNonBlocking(stack, n) {
+				return
+			}
+			s.actions = append(s.actions, lockAction{
+				pos: n.Pos(), fset: pkg.Fset,
+				blocks: "channel send",
+			})
+		}
+	}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		walkFn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+	sort.SliceStable(s.actions, func(i, j int) bool { return s.actions[i].pos < s.actions[j].pos })
+}
+
+// lockActionOf classifies one call: a Lock/Unlock on a canonicalizable
+// mutex field, a known blocking call, or a same-module call worth
+// summarizing.
+func lockActionOf(pkg *Package, info *types.Info, call *ast.CallExpr, stack []ast.Node) (lockAction, bool) {
+	deferred := false
+	for i := len(stack) - 1; i >= 0; i-- {
+		if d, ok := stack[i].(*ast.DeferStmt); ok && d.Call == call {
+			deferred = true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		if name == "Lock" || name == "RLock" || name == "Unlock" || name == "RUnlock" {
+			if lock := canonicalLock(pkg, info, sel.X); lock != "" {
+				return lockAction{
+					pos: call.Pos(), fset: pkg.Fset,
+					lock:     lock,
+					acquire:  name == "Lock" || name == "RLock",
+					deferred: deferred,
+				}, true
+			}
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return lockAction{}, false
+	}
+	if reason := blockingCall(fn); reason != "" {
+		return lockAction{pos: call.Pos(), fset: pkg.Fset, blocks: reason}, true
+	}
+	if fn.Pkg() != nil && lockScope[pkgBase(fn.Pkg().Path())] {
+		return lockAction{pos: call.Pos(), fset: pkg.Fset, callee: fn}, true
+	}
+	return lockAction{}, false
+}
+
+// canonicalLock names the mutex by its declaring struct field,
+// "pkg.Type.field", so the same lock matches across functions and
+// packages. Expressions that do not resolve to a field (local mutexes,
+// mutex-typed globals) fall back to "pkg.expr".
+func canonicalLock(pkg *Package, info *types.Info, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		// A bare `mu.Lock()` on a local or global: name it by package.
+		if id, ok := expr.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + id.Name
+			}
+		}
+		return ""
+	}
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	field := selection.Obj()
+	// Recv() is the type the selection started from; the field's owner is
+	// what canonicalizes. Walk to the named type that declares it.
+	owner := selection.Recv()
+	for {
+		if p, ok := owner.(*types.Pointer); ok {
+			owner = p.Elem()
+			continue
+		}
+		break
+	}
+	ownerName := "?"
+	pkgName := "?"
+	if named, ok := owner.(*types.Named); ok {
+		ownerName = named.Obj().Name()
+		if named.Obj().Pkg() != nil {
+			pkgName = named.Obj().Pkg().Name()
+		}
+	} else if field.Pkg() != nil {
+		pkgName = field.Pkg().Name()
+	}
+	return pkgName + "." + ownerName + "." + field.Name()
+}
+
+// blockingCall reports why fn blocks, or "".
+func blockingCall(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	recv := recvTypeName(fn)
+	switch {
+	case pkg == "net/http" && recv == "Client":
+		switch fn.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "http.Client." + fn.Name() + " network round-trip"
+		}
+	case pkg == "time" && recv == "" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case pkg == "sync" && recv == "WaitGroup" && fn.Name() == "Wait":
+		return "sync.WaitGroup.Wait"
+	case pkg == "sync" && recv == "Cond" && fn.Name() == "Wait":
+		return "sync.Cond.Wait"
+	}
+	return ""
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// sendIsNonBlocking reports whether send is a select case in a select
+// that has a default clause — the standard non-blocking send.
+func sendIsNonBlocking(stack []ast.Node, send *ast.SendStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		comm, ok := stack[i].(*ast.CommClause)
+		if !ok || comm.Comm != ast.Stmt(send) {
+			continue
+		}
+		if i == 0 {
+			return false
+		}
+		sel, ok := stack[i-1].(*ast.BlockStmt)
+		if !ok {
+			return false
+		}
+		for _, c := range sel.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// heldLocks computes, per action index, the sorted set of locks held just
+// before that action, under the positional model: acquired earlier, not
+// yet released by a non-deferred Unlock.
+func heldLocks(actions []lockAction) [][]string {
+	out := make([][]string, len(actions))
+	held := make(map[string]int) // lock → nesting count
+	for i, act := range actions {
+		var hold []string
+		for l, n := range held {
+			if n > 0 {
+				hold = append(hold, l)
+			}
+		}
+		sort.Strings(hold)
+		out[i] = hold
+		if act.lock == "" {
+			continue
+		}
+		if act.acquire {
+			held[act.lock]++
+		} else if !act.deferred {
+			if held[act.lock] > 0 {
+				held[act.lock]--
+			}
+		}
+		// A deferred Unlock releases at function end; for the positional
+		// model that means the lock stays held for all later actions.
+	}
+	return out
+}
+
+// resolveTransitive closes acquires/blockReason over static callees.
+func resolveTransitive(summaries map[*types.Func]*funcSummary) {
+	// Seed with direct behaviour.
+	for _, s := range summaries {
+		for _, act := range s.actions {
+			if act.lock != "" && act.acquire {
+				s.acquires[act.lock] = true
+			}
+			if act.blocks != "" && s.blockReason == "" {
+				s.blockReason = act.blocks
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range summaries {
+			for _, act := range s.actions {
+				if act.callee == nil {
+					continue
+				}
+				callee := summaries[act.callee]
+				if callee == nil {
+					continue
+				}
+				for l := range callee.acquires {
+					if !s.acquires[l] {
+						s.acquires[l] = true
+						changed = true
+					}
+				}
+				if s.blockReason == "" && callee.blockReason != "" {
+					s.blockReason = callee.blockReason + " (via " + act.callee.Name() + ")"
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// lockPath finds a shortest path from→to over the sorted adjacency lists
+// (BFS, deterministic). The returned sequence starts at from and ends at
+// to, inclusive; nil when unreachable.
+func lockPath(adj map[string][]string, from, to string) []string {
+	type qent struct {
+		node string
+		path []string
+	}
+	visited := map[string]bool{}
+	queue := []qent{{node: from, path: []string{from}}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if visited[e.node] {
+			continue
+		}
+		visited[e.node] = true
+		for _, n := range adj[e.node] {
+			p := append(append([]string{}, e.path...), n)
+			if n == to {
+				return p
+			}
+			if !visited[n] {
+				queue = append(queue, qent{node: n, path: p})
+			}
+		}
+	}
+	return nil
+}
+
+func cycleKey(nodes []string) string {
+	s := append([]string{}, nodes...)
+	sort.Strings(s)
+	return strings.Join(s, "|")
+}

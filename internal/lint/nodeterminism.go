@@ -26,12 +26,14 @@ import (
 //     between runs.
 //
 // Legitimate exceptions (backoff jitter, retry delays — wall-clock
-// behaviour, not simulation state) carry //pccs:allow-nondeterminism.
+// behaviour, not simulation state) carry //pccs:allow-nodeterminism.
+// The historical spelling //pccs:allow-nondeterminism is still accepted
+// as a legacy tag; the canonical tag is the analyzer name.
 var NoDeterminism = &Analyzer{
-	Name:     "nodeterminism",
-	AllowTag: "nondeterminism",
-	Doc:      "forbid wall-clock reads, global RNG draws, and map-ordered output in the simulation core",
-	Run:      runNoDeterminism,
+	Name:            "nodeterminism",
+	LegacyAllowTags: []string{"nondeterminism"},
+	Doc:             "forbid wall-clock reads, global RNG draws, and map-ordered output in the simulation core",
+	Run:             runNoDeterminism,
 }
 
 // randConstructors are the math/rand package functions that build seeded

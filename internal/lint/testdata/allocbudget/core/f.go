@@ -1,0 +1,25 @@
+// Package core (fixture) exercises the required-hotpath table: the
+// functions the serving arc depends on (requiredHotPath in
+// allocbudget.go) must keep their //pccs:hotpath annotation — removing
+// it is itself a finding, so the allocation budget cannot be turned off
+// by deleting its marker.
+package core
+
+type Params struct{ F float64 }
+
+// Predict lost its annotation: the budget silently stops being enforced.
+func (p Params) Predict(x, y float64) float64 { // want `required hot-path list`
+	return p.F * x * y
+}
+
+// PredictSlowdown keeps its annotation and a clean body: no findings.
+//
+//pccs:hotpath fixture: required entry, annotated and clean
+func (p Params) PredictSlowdown(x, y float64) float64 {
+	return p.F + x + y
+}
+
+var (
+	_ = Params.Predict
+	_ = Params.PredictSlowdown
+)

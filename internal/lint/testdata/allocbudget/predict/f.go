@@ -1,0 +1,95 @@
+// Package predict exercises the allocbudget construct checks: functions
+// annotated //pccs:hotpath must stay free of heap-escaping constructs;
+// unannotated functions are out of scope.
+package predict
+
+import "fmt"
+
+type params struct{ a, b float64 }
+
+type point struct{ x, y float64 }
+
+// eval is a clean hot kernel: pure arithmetic allocates nothing.
+//
+//pccs:hotpath fixture: model evaluation inner loop
+func (p params) eval(x float64) float64 {
+	v := p.a*x + p.b
+	if v < 0 {
+		v = -v
+	}
+	return v
+}
+
+// cold shows the same constructs are fine outside the hot path.
+func cold(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+//pccs:hotpath fixture: every allocation construct below must be flagged
+func hotAllocs(p params, xs []float64) float64 {
+	buf := make([]float64, len(xs))   // want `make allocates`
+	tmp := []float64{p.a, p.b}        // want `slice literal allocates`
+	w := map[string]float64{"a": p.a} // want `map literal allocates`
+	pt := &point{x: p.a, y: p.b}      // want `composite literal may escape`
+	for i, x := range xs {
+		buf[i] = x
+	}
+	return tmp[0] + w["a"] + pt.x
+}
+
+//pccs:hotpath fixture: append discipline — caller buffers only
+func hotAppend(dst []float64, xs []float64) []float64 {
+	var local []float64
+	for _, x := range xs {
+		local = append(local, x) // want `append grows a heap-allocated backing array`
+		dst = append(dst, x)     // appending into the caller's buffer: fine
+	}
+	_ = local
+	return dst
+}
+
+//pccs:hotpath fixture: fmt formats through reflection
+func hotFmt(p params) string {
+	return fmt.Sprintf("%f", p.a) // want `call to fmt.Sprintf`
+}
+
+//pccs:hotpath fixture: captures box; crash paths are exempt
+func hotClosure(p params, xs []float64) float64 {
+	sum := 0.0
+	add := func(x float64) { sum += x } // want `closure captures sum`
+	for _, x := range xs {
+		add(x)
+	}
+	if len(xs) == 0 {
+		panic(fmt.Sprintf("empty input for %f", p.a)) // crash path: exempt
+	}
+	return sum
+}
+
+//pccs:hotpath fixture: implicit interface conversions box concrete values
+func hotBox(p params, sink func(any)) any {
+	sink(p)  // want `interface conversion in argument boxes`
+	sink(&p) // a pointer fits the interface word: fine
+	var v any
+	v = p.a // want `interface conversion in assignment boxes`
+	_ = v
+	return p // want `interface conversion in return boxes`
+}
+
+// hotAllowed demonstrates the sanctioned escape hatch: a reasoned allow
+// on a cold validation line inside a hot function.
+//
+//pccs:hotpath fixture: allow-tag interplay
+func hotAllowed(p params) (float64, error) {
+	if p.b == 0 {
+		//pccs:allow-allocbudget fixture: cold validation path, not the per-call loop
+		return 0, fmt.Errorf("b must be non-zero")
+	}
+	return p.a / p.b, nil
+}
+
+var _ = []any{params.eval, cold, hotAllocs, hotAppend, hotFmt, hotClosure, hotBox, hotAllowed}

@@ -1,0 +1,45 @@
+// Package stats (fixture) exercises atomicmix: a field that is the
+// operand of sync/atomic calls anywhere must be accessed atomically
+// everywhere.
+package stats
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	cold   int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	h := atomic.LoadInt64(&c.hits)
+	m := c.misses // want `plain read of c.misses`
+	return h, m
+}
+
+func (c *counters) reset() {
+	c.misses = 0 // want `plain write of c.misses`
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+// coldBump touches a field no one accesses atomically: no finding.
+func (c *counters) coldBump() {
+	c.cold++
+}
+
+// newCounters pokes fields before the value is published — the
+// sanctioned exception shape.
+//
+//pccs:allow-atomicmix fixture: pre-publication init, the value is not shared yet
+func newCounters() *counters {
+	c := &counters{}
+	c.misses = 0
+	return c
+}
+
+var _ = []any{(*counters).bump, (*counters).snapshot, (*counters).reset, (*counters).coldBump, newCounters}

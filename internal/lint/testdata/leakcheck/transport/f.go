@@ -1,0 +1,76 @@
+// Package transport (fixture) exercises leakcheck's response-body
+// dataflow: every path from a successful request must close the body;
+// error paths (response is nil per the http.Client contract) and
+// ownership hand-offs are excused.
+package transport
+
+import (
+	"io"
+	"net/http"
+)
+
+type client struct{ c *http.Client }
+
+// good closes on the only surviving path, via defer.
+func (t *client) good(url string) ([]byte, error) {
+	resp, err := t.c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// leakOnEarlyReturn forgets the body on the status-check branch.
+func (t *client) leakOnEarlyReturn(url string) ([]byte, error) {
+	resp, err := t.c.Get(url) // want `may not be closed on every path`
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, io.EOF // leaks: early return without Close
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return data, err
+}
+
+// closedEverywhere closes on both branches: clean.
+func (t *client) closedEverywhere(url string) (int, error) {
+	resp, err := t.c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return 0, io.EOF
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// handoff transfers ownership to the callee, which closes.
+func (t *client) handoff(url string) error {
+	resp, err := t.c.Get(url)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// neverClosed has no Close at all.
+func (t *client) neverClosed(url string) (int, error) {
+	resp, err := t.c.Get(url) // want `may not be closed on every path`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+var _ = []any{(*client).good, (*client).leakOnEarlyReturn, (*client).closedEverywhere, (*client).handoff, (*client).neverClosed}

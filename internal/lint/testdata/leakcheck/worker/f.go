@@ -1,0 +1,70 @@
+// Package worker (fixture) exercises leakcheck's goroutine-termination
+// heuristic: a spawned infinite loop needs a way out — return, break,
+// a channel receive, or a select.
+package worker
+
+import (
+	"context"
+	"time"
+)
+
+type pool struct {
+	jobs chan int
+}
+
+// spin never terminates: no receive, select, return, or break.
+func (p *pool) spin() {
+	go func() { // want `no termination path`
+		n := 0
+		for {
+			n++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// drain terminates when the channel closes.
+func (p *pool) drain() {
+	go func() {
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// ticks terminates through ctx.Done in a select.
+func (p *pool) ticks(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// spinNamed: named same-package goroutine bodies are resolved too.
+func (p *pool) spinNamed() {
+	go p.loopForever() // want `no termination path`
+}
+
+func (p *pool) loopForever() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// bounded loops on a condition: out of the heuristic's scope.
+func (p *pool) bounded(stop *bool) {
+	go func() {
+		for !*stop {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+var _ = []any{(*pool).spin, (*pool).drain, (*pool).ticks, (*pool).spinNamed, (*pool).bounded}

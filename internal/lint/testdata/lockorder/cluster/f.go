@@ -1,0 +1,101 @@
+// Package cluster (fixture) exercises lockorder: ABBA acquisition
+// cycles, locks held across blocking calls (HTTP round-trips, sleeps,
+// channel sends), the select-with-default exemption, and transitive
+// blocking through a same-module helper.
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type node struct {
+	mu     sync.Mutex
+	peers  *peerSet
+	queue  chan int
+	client *http.Client
+}
+
+type peerSet struct {
+	mu    sync.Mutex
+	addrs []string
+}
+
+// lockAB acquires node.mu then peerSet.mu.
+func (n *node) lockAB() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers.mu.Lock() // want `lock-order cycle`
+	n.peers.addrs = append(n.peers.addrs, "x")
+	n.peers.mu.Unlock()
+}
+
+// lockBA acquires peerSet.mu then node.mu — the opposite order. The
+// cycle is reported once, at the lexicographically-first edge (lockAB).
+func (p *peerSet) lockBA(n *node) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n.mu.Lock()
+	n.mu.Unlock()
+}
+
+// holdAcrossRPC does a network round-trip with the lock held.
+func (n *node) holdAcrossRPC(req *http.Request) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp, err := n.client.Do(req) // want `network round-trip while holding cluster.node.mu`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// sleepUnderLock stalls every contender for a tick.
+func (n *node) sleepUnderLock() {
+	n.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding cluster.node.mu`
+	n.mu.Unlock()
+}
+
+// sendUnderLock can block forever on a full queue.
+func (n *node) sendUnderLock(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queue <- v // want `channel send while holding cluster.node.mu`
+}
+
+// sendNonBlocking uses select-with-default: exempt.
+func (n *node) sendNonBlocking(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.queue <- v:
+	default:
+	}
+}
+
+// releaseFirst unlocks before the round-trip: clean.
+func (n *node) releaseFirst(req *http.Request) {
+	n.mu.Lock()
+	peers := n.peers
+	n.mu.Unlock()
+	_ = peers
+	resp, err := n.client.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// helperSleeps blocks; viaHelper calls it under the lock — the summary
+// fixpoint sees through the call.
+func helperSleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+func (n *node) viaHelper() {
+	n.mu.Lock()
+	helperSleeps() // want `which may block: time.Sleep`
+	n.mu.Unlock()
+}
+
+var _ = []any{(*node).lockAB, (*peerSet).lockBA, (*node).holdAcrossRPC, (*node).sleepUnderLock, (*node).sendUnderLock, (*node).sendNonBlocking, (*node).releaseFirst, (*node).viaHelper}

@@ -7,7 +7,7 @@ import (
 )
 
 func wallClock() time.Duration {
-	start := time.Now()     // want `time.Now in the simulation core`
+	start := time.Now()      // want `time.Now in the simulation core`
 	return time.Since(start) // want `time.Since in the simulation core`
 }
 

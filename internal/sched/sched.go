@@ -225,6 +225,8 @@ type puOption struct {
 
 // predictRS is the inner-loop cost: the PCCS-predicted relative speed of
 // this placement under external demand y.
+//
+//pccs:hotpath evaluated O(items × PUs × waves) times per schedule
 func (o *puOption) predictRS(y float64) float64 {
 	if len(o.phases) == 0 {
 		return o.params.Predict(o.x, y)

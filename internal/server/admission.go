@@ -69,12 +69,12 @@ type Limiter struct {
 	now func() time.Time // injectable clock for tests
 
 	mu           sync.Mutex
-	limit        float64       // guarded by mu; current AIMD window
-	inflight     int           // guarded by mu
+	limit        float64        // guarded by mu; current AIMD window
+	inflight     int            // guarded by mu
 	waiters      []*limitWaiter // guarded by mu; index 0 oldest, grants pop the newest
-	lastDecrease time.Time     // guarded by mu; rate-limits multiplicative decreases
-	ewmaLatency  float64       // guarded by mu; seconds, all completions
-	sheds        uint64        // guarded by mu; cumulative shed count
+	lastDecrease time.Time      // guarded by mu; rate-limits multiplicative decreases
+	ewmaLatency  float64        // guarded by mu; seconds, all completions
+	sheds        uint64         // guarded by mu; cumulative shed count
 }
 
 // NewLimiter builds a limiter starting (optimistically) at cfg.Max.
@@ -156,6 +156,7 @@ func (l *Limiter) Release(latency time.Duration, ok bool) {
 	} else if l.limit < float64(l.cfg.Max) {
 		l.limit = math.Min(float64(l.cfg.Max), l.limit+1/l.limit)
 	}
+	//pccs:allow-lockorder grantLocked's send never blocks: ready is buffered (cap 1) and each waiter is granted or shed at most once
 	l.grantLocked()
 	l.mu.Unlock()
 }
@@ -165,6 +166,7 @@ func (l *Limiter) Release(latency time.Duration, ok bool) {
 func (l *Limiter) releaseSlot() {
 	l.mu.Lock()
 	l.inflight--
+	//pccs:allow-lockorder grantLocked's send never blocks: ready is buffered (cap 1) and each waiter is granted or shed at most once
 	l.grantLocked()
 	l.mu.Unlock()
 }

@@ -61,6 +61,8 @@ func NewPredictionCache(capacity int) *PredictionCache {
 }
 
 // Get looks up a cached relative speed, promoting the entry on hit.
+//
+//pccs:hotpath cache hits must not allocate — the point of caching; Put (the miss path) may
 func (c *PredictionCache) Get(k cacheKey) (float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -270,12 +270,7 @@ func (s *Server) predictOne(req PredictRequest) (PredictResult, error) {
 		res.RelativeSpeedPct = rs
 		res.Cached = hit
 	case x > 0:
-		key := cacheKey{params: params, x: x, y: req.ExternalGBps}
-		rs, hit := s.cache.Get(key)
-		if !hit {
-			rs = params.Predict(x, req.ExternalGBps)
-			s.cache.Put(key, rs)
-		}
+		rs, hit := s.predictDemand(params, x, req.ExternalGBps)
 		res.DemandGBps = x
 		res.Region = params.Region(x).String()
 		res.RelativeSpeedPct = rs
@@ -293,6 +288,21 @@ func (s *Server) predictOne(req PredictRequest) (PredictResult, error) {
 		res.GablesSpeedPct = g.Predict(res.DemandGBps, req.ExternalGBps)
 	}
 	return res, nil
+}
+
+// predictDemand is the single-demand predict fast path: an LRU probe and,
+// on miss, one run of the three-region model. The cacheKey is a value
+// struct, so hits touch the heap only inside the cache's own bookkeeping.
+//
+//pccs:hotpath per-request predict path; miss-side insertion allocates inside cache.Put, not here (pinned by TestPredictPathAllocs)
+func (s *Server) predictDemand(params core.Params, x, y float64) (rs float64, hit bool) {
+	key := cacheKey{params: params, x: x, y: y}
+	rs, hit = s.cache.Get(key)
+	if !hit {
+		rs = params.Predict(x, y)
+		s.cache.Put(key, rs)
+	}
+	return rs, hit
 }
 
 // peakFor resolves the SoC peak bandwidth for the Gables baseline: from the

@@ -91,5 +91,5 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 	if d > max || d <= 0 { // d <= 0 guards shift overflow
 		d = max
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64())) //pccs:allow-nondeterminism backoff jitter paces wall-clock retries; it never touches simulated state or results
+	return time.Duration(float64(d) * (0.5 + rand.Float64())) //pccs:allow-nodeterminism backoff jitter paces wall-clock retries; it never touches simulated state or results
 }
