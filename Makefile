@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-json vet bench bench-json fuzz check clean stress soak sched-demo
+.PHONY: build test race lint lint-json vet bench bench-json fuzz check clean stress soak sched-demo dst
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,7 @@ bench-json:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzPredictDecode$$' -fuzztime 10s ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzCalibrateDecode$$' -fuzztime 10s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReopen$$' -fuzztime 10s ./internal/server
 
 check: vet lint build race
 
@@ -69,6 +70,16 @@ soak:
 cluster-chaos:
 	$(GO) test ./internal/server -run '^TestCluster' -count=1 -race -v -timeout 900s
 	$(GO) test ./internal/cluster -count=1 -race -timeout 900s
+
+# Deterministic simulation testing: DST_N random fault schedules against
+# the in-process cluster on the virtual clock, under -race. Hundreds of
+# schedules finish in seconds because no schedule ever sleeps real time;
+# a red schedule is shrunk and printed as replayable -seed/-schedule
+# flags. See DESIGN.md §14 and cmd/pccs-dst.
+DST_N ?= 200
+DST_SEED ?= 1
+dst:
+	$(GO) run -race ./cmd/pccs-dst -n $(DST_N) -seed $(DST_SEED)
 
 # End-to-end scheduler demo against the shipped models: plan a mixed batch,
 # report worst-case contention bounds, and replay the schedule through the

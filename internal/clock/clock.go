@@ -1,0 +1,126 @@
+// Package clock abstracts time for the cluster and serving layers.
+//
+// Production code takes a Clock and defaults to System(), which delegates
+// straight to package time — zero behavioral change. The deterministic
+// simulation harness (internal/dst) injects Virtual instead: an
+// event-queue clock whose "now" jumps instantly from one scheduled
+// deadline to the next, so hundreds of seconds of backoff, probe
+// intervals, and lease timeouts execute in milliseconds of wall time and
+// every timer fires at an exact, reproducible virtual instant.
+//
+// The interface is deliberately the narrow waist the repo actually uses:
+// Now/Since/Until readings, Sleep/After/NewTimer/NewTicker waits, and
+// WithTimeout — the one context constructor whose deadline must be
+// virtualizable (context.WithTimeout reads the real clock internally, so
+// a virtual run would otherwise never expire a 30s lease context).
+package clock
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is the time seam. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Since is Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// Until is t.Sub(Now()).
+	Until(t time.Time) time.Duration
+	// Sleep blocks for d (returns immediately when d <= 0).
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's instant once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer mirrors time.NewTimer: one value on C after d.
+	NewTimer(d time.Duration) *Timer
+	// NewTicker mirrors time.NewTicker: a value on C every d until Stop.
+	NewTicker(d time.Duration) *Ticker
+	// WithTimeout mirrors context.WithTimeout against this clock: the
+	// returned context's Done fires when d elapses on *this* clock (or the
+	// parent ends first), with Err() == context.DeadlineExceeded.
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+}
+
+// Timer is a clock-agnostic time.Timer: C fires once, Stop cancels.
+// The C field keeps call sites shaped like the stdlib (`<-t.C`).
+type Timer struct {
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop prevents the timer from firing; it reports whether the call
+// stopped a timer that had not yet fired.
+func (t *Timer) Stop() bool { return t.stop() }
+
+// Ticker is a clock-agnostic time.Ticker.
+type Ticker struct {
+	C    <-chan time.Time
+	stop func()
+}
+
+// Stop turns the ticker off. As with time.Ticker, it does not close C.
+func (t *Ticker) Stop() { t.stop() }
+
+// System returns the real clock: every method delegates to package time /
+// context. The zero-cost production default.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (systemClock) Until(t time.Time) time.Duration        { return time.Until(t) }
+func (systemClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (systemClock) NewTimer(d time.Duration) *Timer {
+	t := time.NewTimer(d)
+	return &Timer{C: t.C, stop: t.Stop}
+}
+
+func (systemClock) NewTicker(d time.Duration) *Ticker {
+	t := time.NewTicker(d)
+	return &Ticker{C: t.C, stop: t.Stop}
+}
+
+func (systemClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+// Skewed wraps a Clock with an adjustable wall-clock offset: Now/Since/
+// Until readings shift by the offset, while duration-based waits (Sleep,
+// After, timers, timeouts) are unaffected — exactly how a skewed machine
+// behaves: its timers still measure real elapsed time, but its timestamps
+// disagree with its peers'. The DST harness gives each simulated node a
+// Skewed view of the shared virtual clock so schedules can prove nothing
+// in the cluster depends on cross-node wall-clock agreement.
+type Skewed struct {
+	base Clock
+	off  atomicDuration
+}
+
+// NewSkewed wraps base with an initial offset.
+func NewSkewed(base Clock, offset time.Duration) *Skewed {
+	s := &Skewed{base: base}
+	s.off.Store(offset)
+	return s
+}
+
+// SetOffset changes the skew (takes effect on the next reading).
+func (s *Skewed) SetOffset(d time.Duration) { s.off.Store(d) }
+
+// Offset reports the current skew.
+func (s *Skewed) Offset() time.Duration { return s.off.Load() }
+
+func (s *Skewed) Now() time.Time                         { return s.base.Now().Add(s.off.Load()) }
+func (s *Skewed) Since(t time.Time) time.Duration        { return s.Now().Sub(t) }
+func (s *Skewed) Until(t time.Time) time.Duration        { return t.Sub(s.Now()) }
+func (s *Skewed) Sleep(d time.Duration)                  { s.base.Sleep(d) }
+func (s *Skewed) After(d time.Duration) <-chan time.Time { return s.base.After(d) }
+func (s *Skewed) NewTimer(d time.Duration) *Timer        { return s.base.NewTimer(d) }
+func (s *Skewed) NewTicker(d time.Duration) *Ticker      { return s.base.NewTicker(d) }
+func (s *Skewed) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return s.base.WithTimeout(parent, d)
+}

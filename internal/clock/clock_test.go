@@ -1,0 +1,216 @@
+package clock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemClockDelegates(t *testing.T) {
+	c := System()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) || now.After(before.Add(time.Second)) {
+		t.Fatalf("System Now %v far from time.Now %v", now, before)
+	}
+	timer := c.NewTimer(time.Millisecond)
+	select {
+	case <-timer.C:
+	case <-time.After(2 * time.Second):
+		t.Fatal("system timer never fired")
+	}
+	ctx, cancel := c.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("system timeout never fired")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx err = %v", ctx.Err())
+	}
+}
+
+func TestVirtualStepFiresInDeadlineThenCreationOrder(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []string
+	note := func(s string) func(time.Time) {
+		return func(time.Time) { mu.Lock(); order = append(order, s); mu.Unlock() }
+	}
+	v.schedule(20*time.Millisecond, note("late"))
+	v.schedule(10*time.Millisecond, note("early-a"))
+	v.schedule(10*time.Millisecond, note("early-b"))
+
+	if !v.Step() {
+		t.Fatal("Step with pending events returned false")
+	}
+	mu.Lock()
+	got := append([]string(nil), order...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != "early-a" || got[1] != "early-b" {
+		t.Fatalf("first step fired %v, want [early-a early-b]", got)
+	}
+	if want := virtualEpoch.Add(10 * time.Millisecond); !v.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", v.Now(), want)
+	}
+	v.Step()
+	if want := virtualEpoch.Add(20 * time.Millisecond); !v.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", v.Now(), want)
+	}
+	if v.Step() {
+		t.Fatal("Step with no events returned true")
+	}
+}
+
+func TestVirtualTimerStopAndTicker(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(5 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+
+	tk := v.NewTicker(10 * time.Millisecond)
+	for i := 1; i <= 3; i++ {
+		v.Step()
+		select {
+		case at := <-tk.C:
+			want := virtualEpoch.Add(time.Duration(i) * 10 * time.Millisecond)
+			if !at.Equal(want) {
+				t.Fatalf("tick %d at %v, want %v", i, at, want)
+			}
+		default:
+			t.Fatalf("tick %d missing after Step", i)
+		}
+	}
+	tk.Stop()
+	if v.Pending() != 0 {
+		t.Fatalf("pending after ticker stop = %d", v.Pending())
+	}
+}
+
+func TestVirtualWithTimeout(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := v.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before any advance")
+	default:
+	}
+	v.Step() // jumps straight to the 30s deadline
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("context never expired after Step")
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(virtualEpoch.Add(30*time.Second)) {
+		t.Fatalf("deadline = %v, %v", dl, ok)
+	}
+
+	// Explicit cancel removes the pending deadline and reports Canceled.
+	ctx2, cancel2 := v.WithTimeout(context.Background(), time.Minute)
+	cancel2()
+	if !errors.Is(ctx2.Err(), context.Canceled) {
+		t.Fatalf("cancelled err = %v", ctx2.Err())
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d", v.Pending())
+	}
+
+	// Parent cancellation propagates.
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx3, cancel3 := v.WithTimeout(parent, time.Minute)
+	defer cancel3()
+	pcancel()
+	select {
+	case <-ctx3.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancel never propagated")
+	}
+	if !errors.Is(ctx3.Err(), context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", ctx3.Err())
+	}
+}
+
+func TestVirtualAutoAdvanceRunsSleepers(t *testing.T) {
+	v := NewVirtual()
+	stop := v.AutoAdvance()
+	defer stop()
+
+	const n = 8
+	var wg sync.WaitGroup
+	ends := make([]time.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Second)
+			ends[i] = v.Now()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("virtual sleepers never woke")
+	}
+	for i, at := range ends {
+		if at.Before(virtualEpoch.Add(time.Duration(i+1) * time.Second)) {
+			t.Fatalf("sleeper %d woke at %v, before its deadline", i, at)
+		}
+	}
+	if elapsed := v.Now().Sub(virtualEpoch); elapsed < n*time.Second {
+		t.Fatalf("virtual time advanced only %v", elapsed)
+	}
+}
+
+func TestVirtualBusyTokenBlocksAdvance(t *testing.T) {
+	v := NewVirtual()
+	release := v.Busy()
+	v.NewTimer(time.Second)
+	if v.tryStep() {
+		t.Fatal("advanced while a busy token was held")
+	}
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for !v.tryStep() {
+		if time.Now().After(deadline) {
+			t.Fatal("never advanced after release")
+		}
+	}
+	if want := virtualEpoch.Add(time.Second); !v.Now().Equal(want) {
+		t.Fatalf("now = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestSkewedShiftsReadingsNotWaits(t *testing.T) {
+	v := NewVirtual()
+	s := NewSkewed(v, 5*time.Second)
+	if got, want := s.Now(), virtualEpoch.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("skewed now = %v, want %v", got, want)
+	}
+	// Timers measure durations on the base clock: one Step fires a 1s
+	// timer regardless of skew.
+	tm := s.NewTimer(time.Second)
+	v.Step()
+	select {
+	case <-tm.C:
+	default:
+		t.Fatal("skewed timer did not fire on base-clock step")
+	}
+	s.SetOffset(-time.Hour)
+	if got := s.Since(virtualEpoch); got >= 0 {
+		t.Fatalf("negative skew should put Now before epoch, Since = %v", got)
+	}
+}

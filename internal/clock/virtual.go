@@ -1,0 +1,382 @@
+package clock
+
+import (
+	"container/heap"
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// atomicDuration is a time.Duration with atomic load/store (for Skewed).
+type atomicDuration struct{ v atomic.Int64 }
+
+func (a *atomicDuration) Store(d time.Duration) { a.v.Store(int64(d)) }
+func (a *atomicDuration) Load() time.Duration   { return time.Duration(a.v.Load()) }
+
+// Virtual is an event-queue clock for deterministic simulation: Now()
+// stands still until every goroutine in the simulation is blocked waiting
+// on the clock, then jumps straight to the earliest pending deadline and
+// fires it. A 30-second lease timeout therefore costs microseconds of
+// wall time, and two timers set for the same virtual instant always fire
+// in creation order.
+//
+// Quiescence is detected, not declared: the auto-advancer only steps time
+// when (a) no busy tokens are held — harness code holds one across any
+// real computation whose outcome schedules more timers — and (b) the
+// scheduling state (timer set, token count) stays unchanged across a
+// short settle window in which runnable goroutines get the scheduler.
+// This makes advances *eager but safe*: time never jumps past a deadline
+// that was already registered, though a goroutine that is about to
+// register an earlier timer and loses the scheduler for the whole settle
+// window can observe a later "now" than a perfectly synchronous
+// simulator would produce. The DST invariants are eventual-style
+// properties that hold under any such interleaving; the exact-tick
+// timing tests close the window explicitly with busy tokens.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    uint64 // event creation order; ties at one instant fire in this order
+	gen    uint64 // bumped on every scheduling-state change, for quiescence detection
+	busy   int    // outstanding busy tokens
+	events vheap  // pending deadlines, min (at, seq) first
+
+	// wake nudges the auto-advancer when scheduling state changes that
+	// could unblock an advance (new event, event removed, busy token
+	// released). Buffered so a notification between "tryStep failed" and
+	// "block on wake" is never lost.
+	wake chan struct{}
+}
+
+// vevent is one pending deadline. fire runs without the clock lock held.
+type vevent struct {
+	at   time.Time
+	seq  uint64
+	fire func(now time.Time)
+	idx  int // heap index, -1 once popped or removed
+}
+
+type vheap []*vevent
+
+func (h vheap) Len() int { return len(h) }
+func (h vheap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vheap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *vheap) Push(x any) {
+	ev := x.(*vevent)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *vheap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// virtualEpoch is the fixed starting instant: real dates never leak into
+// a simulation, and two runs of the same schedule read identical stamps.
+var virtualEpoch = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// NewVirtual builds a virtual clock at the fixed epoch with no pending
+// events and time standing still until Step or an auto-advancer moves it.
+func NewVirtual() *Virtual {
+	return &Virtual{now: virtualEpoch, wake: make(chan struct{}, 1)}
+}
+
+// notify nudges the advancer without ever blocking the caller.
+func (v *Virtual) notify() {
+	select {
+	case v.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+func (v *Virtual) Until(t time.Time) time.Duration { return t.Sub(v.Now()) }
+
+// schedule registers fire to run once d has elapsed on the virtual clock.
+func (v *Virtual) schedule(d time.Duration, fire func(time.Time)) *vevent {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.seq++
+	v.gen++
+	ev := &vevent{at: v.now.Add(d), seq: v.seq, fire: fire}
+	heap.Push(&v.events, ev)
+	v.notify()
+	return ev
+}
+
+// remove cancels a pending event; it reports whether the event had not
+// yet fired.
+func (v *Virtual) remove(ev *vevent) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&v.events, ev.idx)
+	v.gen++
+	v.notify()
+	return true
+}
+
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	return v.NewTimer(d).C
+}
+
+func (v *Virtual) NewTimer(d time.Duration) *Timer {
+	ch := make(chan time.Time, 1)
+	ev := v.schedule(d, func(now time.Time) {
+		select {
+		case ch <- now:
+		default:
+		}
+	})
+	return &Timer{C: ch, stop: func() bool { return v.remove(ev) }}
+}
+
+func (v *Virtual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	ch := make(chan time.Time, 1)
+	t := &vticker{v: v, ch: ch, period: d}
+	t.arm()
+	return &Ticker{C: ch, stop: t.stop}
+}
+
+type vticker struct {
+	v      *Virtual
+	ch     chan time.Time
+	period time.Duration
+
+	mu      sync.Mutex
+	ev      *vevent
+	stopped bool
+}
+
+func (t *vticker) arm() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.ev = t.v.schedule(t.period, func(now time.Time) {
+		select {
+		case t.ch <- now:
+		default: // slow receiver drops ticks, like time.Ticker
+		}
+		t.arm()
+	})
+}
+
+func (t *vticker) stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.ev != nil {
+		t.v.remove(t.ev)
+	}
+}
+
+// WithTimeout builds a context whose deadline is d on the virtual clock.
+// context.WithTimeout would read the real clock, so a virtual run would
+// never expire it; this one fires exactly when the simulation's time
+// reaches the deadline, with Err() == context.DeadlineExceeded.
+func (v *Virtual) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	c := &vctx{parent: parent, deadline: v.Now().Add(d), done: make(chan struct{})}
+	ev := v.schedule(d, func(time.Time) { c.finish(context.DeadlineExceeded) })
+	if pd := parent.Done(); pd != nil {
+		go func() {
+			select {
+			case <-pd:
+				v.remove(ev)
+				c.finish(parent.Err())
+			case <-c.done:
+			}
+		}()
+	}
+	cancel := func() {
+		v.remove(ev)
+		c.finish(context.Canceled)
+	}
+	return c, cancel
+}
+
+type vctx struct {
+	parent   context.Context
+	deadline time.Time
+	done     chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+func (c *vctx) Deadline() (time.Time, bool) { return c.deadline, true }
+func (c *vctx) Done() <-chan struct{}       { return c.done }
+func (c *vctx) Value(k any) any             { return c.parent.Value(k) }
+
+func (c *vctx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *vctx) finish(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+	}
+}
+
+// Busy takes a busy token: while any token is held the auto-advancer
+// refuses to move time, because real computation is in progress whose
+// outcome may register earlier deadlines. Release exactly once.
+func (v *Virtual) Busy() (release func()) {
+	v.mu.Lock()
+	v.busy++
+	v.gen++
+	v.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			v.mu.Lock()
+			v.busy--
+			v.gen++
+			v.mu.Unlock()
+			v.notify()
+		})
+	}
+}
+
+// Pending reports the number of scheduled events (for tests and the
+// advancer's idle check).
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.events)
+}
+
+// Step advances time to the earliest pending deadline and fires every
+// event due at that instant (in creation order), regardless of busy
+// tokens or quiescence. It reports whether anything fired. Tests that
+// drive the clock by hand use Step; concurrent simulations use
+// AutoAdvance.
+func (v *Virtual) Step() bool {
+	v.mu.Lock()
+	if len(v.events) == 0 {
+		v.mu.Unlock()
+		return false
+	}
+	if at := v.events[0].at; at.After(v.now) {
+		v.now = at
+	}
+	var due []*vevent
+	for len(v.events) > 0 && !v.events[0].at.After(v.now) {
+		due = append(due, heap.Pop(&v.events).(*vevent))
+	}
+	v.gen++
+	now := v.now
+	v.mu.Unlock()
+	for _, ev := range due {
+		ev.fire(now)
+	}
+	return true
+}
+
+// Advancer settle tuning: how many scheduler yields the auto-advancer
+// grants runnable goroutines to register their next deadline before it
+// commits a jump. Yields instead of real sleeps — on this path a 50µs
+// time.Sleep costs a millisecond or more of wall time on virtualized
+// kernels, which multiplied by thousands of steps per schedule would make
+// "hundreds of schedules per second" impossible. A yield runs every
+// runnable goroutine on a single-P runtime and costs nanoseconds on idle
+// multi-P runtimes; the gen-stability recheck across the yield window is
+// what actually guards the jump.
+const (
+	settleRounds = 2
+	settleYields = 16
+)
+
+// AutoAdvance starts the background advancer: whenever the simulation
+// quiesces (no busy tokens, scheduling state stable across the settle
+// window) it Steps virtual time to the next deadline, then blocks on the
+// wake channel until the scheduling state changes again. The returned
+// stop function halts the advancer and waits for it to exit.
+func (v *Virtual) AutoAdvance() (stop func()) {
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			for v.tryStep() {
+			}
+			// Every cause of a failed tryStep that can resolve —
+			// new/removed events, released busy tokens, the gen bumps
+			// behind an unstable settle — notifies wake, so blocking
+			// here cannot strand pending work.
+			select {
+			case <-stopCh:
+				return
+			case <-v.wake:
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}
+
+// tryStep performs one quiescence-checked advance attempt.
+func (v *Virtual) tryStep() bool {
+	v.mu.Lock()
+	gen, busy, pending := v.gen, v.busy, len(v.events)
+	v.mu.Unlock()
+	if busy > 0 || pending == 0 {
+		return false
+	}
+	// Settle: let runnable goroutines register deadlines or take tokens.
+	for i := 0; i < settleRounds; i++ {
+		for j := 0; j < settleYields; j++ {
+			runtime.Gosched()
+		}
+	}
+	v.mu.Lock()
+	stable := v.gen == gen && v.busy == 0 && len(v.events) > 0
+	v.mu.Unlock()
+	if !stable {
+		return false
+	}
+	return v.Step()
+}

@@ -45,6 +45,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/clock"
 	"github.com/processorcentricmodel/pccs/internal/core"
 )
 
@@ -76,6 +77,17 @@ type Config struct {
 	UpAfter, DownAfter int
 	// ProbeTimeout bounds one ping (default 2s).
 	ProbeTimeout time.Duration
+	// Clock supplies time to the prober, coordinator, and replication
+	// machinery (default the real system clock). The DST harness injects a
+	// virtual clock so fault schedules run in simulated time.
+	Clock clock.Clock
+	// OnAccept, when set, observes every model version this node accepts
+	// (local publishes and replicas alike). It runs under the store lock —
+	// the same atomic step as the install hook — so an accepted version is
+	// observed before any replication of it leaves the node:
+	// journal-before-replicate. The DST harness journals envelopes here to
+	// replay them through Recover after a simulated crash.
+	OnAccept func(ReplicaEnvelope)
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
 	}
 	return c
 }
@@ -145,6 +160,7 @@ func NewNode(cfg Config) (*Node, error) {
 		store:   NewStore(cfg.Install),
 		pending: make(map[string]map[string]ReplicaEnvelope),
 	}
+	n.store.onAccept = cfg.OnAccept
 	n.prober = newProber(cfg, n.flushPending)
 	return n, nil
 }
@@ -173,6 +189,9 @@ func (n *Node) Store() *Store { return n.store }
 
 // Transport exposes the configured transport (shared with the coordinator).
 func (n *Node) Transport() Transport { return n.cfg.Transport }
+
+// Clock exposes the configured clock (shared with the coordinator).
+func (n *Node) Clock() clock.Clock { return n.cfg.Clock }
 
 // Owners returns the R nodes owning a model key's shard, primary first.
 func (n *Node) Owners(key string) []string {
@@ -319,7 +338,7 @@ func (n *Node) flushPending(peer string) {
 	}
 	n.mu.Unlock()
 
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ProbeTimeout*4)
+	ctx, cancel := n.cfg.Clock.WithTimeout(context.Background(), n.cfg.ProbeTimeout*4)
 	defer cancel()
 	for _, env := range envs {
 		if err := n.replicateTo(ctx, peer, env); err != nil {
@@ -334,6 +353,29 @@ func (n *Node) flushPending(peer string) {
 		}
 		n.mu.Unlock()
 	}
+}
+
+// Recover replays journaled envelopes after a restart: each is applied
+// newer-wins locally, and re-queued for replication to the key's other
+// owners. The pre-crash pending queue is in-memory and dies with the
+// process, so without the re-queue a version accepted (and journaled)
+// just before a crash could be lost to the rest of its shard; replaying
+// through the normal pending/flush path is safe because receivers
+// discard stale versions by the same newer-wins rule as any replica.
+// Envelopes should be replayed in journal order so the local store
+// converges to the newest journaled version of every key.
+func (n *Node) Recover(envs []ReplicaEnvelope) error {
+	for _, env := range envs {
+		if _, _, err := n.store.Apply(env.Params, env.Version); err != nil {
+			return err
+		}
+		for _, owner := range n.Owners(env.Key) {
+			if owner != n.cfg.ID {
+				n.queuePending(owner, env)
+			}
+		}
+	}
+	return nil
 }
 
 // Lag counts queued (undelivered) replication envelopes across all peers —

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/clock"
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/soc"
 )
@@ -170,10 +171,11 @@ func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan,
 	busy := make(map[string]int) // node → outstanding dispatches
 	remaining := len(leases)
 
+	clk := c.Node.Clock()
 	dispatch := func(l *lease, node string, hedge bool) {
 		l.attempts++
 		l.inflight++
-		l.started = time.Now()
+		l.started = clk.Now()
 		l.lastNode = node
 		busy[node]++
 		var reassigned, hedges uint64
@@ -191,11 +193,11 @@ func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan,
 		url := c.Node.URL(node)
 		idx, timeout := l.idx, c.leaseTimeout()
 		go func() {
-			start := time.Now()
-			lctx, cancel := context.WithTimeout(ctx, timeout)
+			start := clk.Now()
+			lctx, cancel := clk.WithTimeout(ctx, timeout)
 			defer cancel()
 			resp, err := c.Node.Transport().Lease(lctx, url, req)
-			results <- arrival{lease: idx, node: node, hedge: hedge, resp: resp, err: err, elapsed: time.Since(start)}
+			results <- arrival{lease: idx, node: node, hedge: hedge, resp: resp, err: err, elapsed: clk.Since(start)}
 		}()
 	}
 
@@ -230,7 +232,7 @@ func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan,
 	for remaining > 0 {
 		// Dispatch everything dispatchable: fresh/requeued leases first,
 		// then at most one hedge for the slowest eligible in-flight lease.
-		now := time.Now()
+		now := clk.Now()
 		progressed := true
 		for progressed {
 			progressed = false
@@ -291,16 +293,16 @@ func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan,
 			}
 		}
 
-		var timer *time.Timer
+		var timer *clock.Timer
 		var timerC <-chan time.Time
 		if inflight == 0 || !nextEvent.IsZero() {
 			wait := 10 * time.Millisecond
 			if !nextEvent.IsZero() {
-				if d := time.Until(nextEvent); d > wait {
+				if d := clk.Until(nextEvent); d > wait {
 					wait = d
 				}
 			}
-			timer = time.NewTimer(wait)
+			timer = clk.NewTimer(wait)
 			timerC = timer.C
 		}
 		select {
@@ -321,13 +323,13 @@ func (c *Coordinator) runStage(ctx context.Context, name string, plan SweepPlan,
 			}
 			if a.err != nil {
 				if l.inflight == 0 {
-					l.ready = time.Now().Add(c.backoff(l.id, l.attempts))
+					l.ready = clk.Now().Add(c.backoff(l.id, l.attempts))
 				}
 				break
 			}
 			if got, want := len(a.resp.AchievedGBps), l.hi-l.lo; got != want {
 				if l.inflight == 0 {
-					l.ready = time.Now().Add(c.backoff(l.id, l.attempts))
+					l.ready = clk.Now().Add(c.backoff(l.id, l.attempts))
 				}
 				break
 			}

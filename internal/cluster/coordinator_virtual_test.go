@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
+)
+
+// dispatchStamp records one OnDispatch observation on the virtual clock.
+type dispatchStamp struct {
+	node    string
+	attempt int
+	at      time.Time
+}
+
+// tickHarness wires a coordinator test onto a virtual clock with the
+// busy-token handshake that makes dispatch timing exact: OnDispatch (which
+// the loop calls synchronously, before the dispatch goroutine exists) takes
+// a busy token, freezing virtual time until the scripted transport has
+// registered its own virtual delay and releases it. Time can then only
+// advance through deadlines both sides have already declared, so for a
+// fixed seed every retry and hedge fires at an exactly predictable instant.
+type tickHarness struct {
+	v *clock.Virtual
+
+	mu     sync.Mutex
+	stamps []dispatchStamp
+	rel    func()
+}
+
+func newTickHarness() *tickHarness { return &tickHarness{v: clock.NewVirtual()} }
+
+func (h *tickHarness) onDispatch(_ string, node string, attempt int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.stamps = append(h.stamps, dispatchStamp{node: node, attempt: attempt, at: h.v.Now()})
+	h.rel = h.v.Busy()
+}
+
+// takeRelease hands the pending busy-token release to the transport.
+func (h *tickHarness) takeRelease() func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.rel
+	h.rel = nil
+	if r == nil {
+		r = func() {}
+	}
+	return r
+}
+
+func (h *tickHarness) dispatches() []dispatchStamp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]dispatchStamp(nil), h.stamps...)
+}
+
+// scriptedTransport runs a per-call script for leases; pings succeed unless
+// a ping script is set.
+type scriptedTransport struct {
+	lease func(ctx context.Context, url string, req LeaseRequest) (*LeaseResponse, error)
+	ping  func(ctx context.Context, url string) (*PingInfo, error)
+}
+
+func (t *scriptedTransport) Lease(ctx context.Context, url string, req LeaseRequest) (*LeaseResponse, error) {
+	return t.lease(ctx, url, req)
+}
+
+func (t *scriptedTransport) Ping(ctx context.Context, url string) (*PingInfo, error) {
+	if t.ping != nil {
+		return t.ping(ctx, url)
+	}
+	return &PingInfo{Node: url}, nil
+}
+
+func (t *scriptedTransport) Replicate(ctx context.Context, url string, env ReplicaEnvelope) (*ReplicateAck, error) {
+	return &ReplicateAck{Applied: true, Version: env.Version}, nil
+}
+
+// TestBackoffFiresAtExactVirtualTicks pins the deterministic-jitter backoff
+// schedule: with a fixed coordinator seed, the retry after failure n must be
+// dispatched at exactly fail-time + backoff(leaseID, n) on the virtual
+// clock — not a tick early, not a tick late.
+func TestBackoffFiresAtExactVirtualTicks(t *testing.T) {
+	h := newTickHarness()
+	stop := h.v.AutoAdvance()
+	defer stop()
+
+	const failDelay = 5 * time.Millisecond
+	var calls int
+	var callMu sync.Mutex
+	tr := &scriptedTransport{}
+	tr.lease = func(ctx context.Context, url string, req LeaseRequest) (*LeaseResponse, error) {
+		ch := h.v.After(failDelay)
+		release := h.takeRelease()
+		release()
+		<-ch
+		callMu.Lock()
+		calls++
+		n := calls
+		callMu.Unlock()
+		if n <= 3 {
+			return nil, fmt.Errorf("scripted failure %d", n)
+		}
+		return &LeaseResponse{ID: req.ID, Node: "n1", AchievedGBps: []float64{42}}, nil
+	}
+
+	node, err := NewNode(Config{ID: "n1", Peers: map[string]string{"n1": "u1"}, Transport: tr, Clock: h.v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{
+		Node:           node,
+		PointsPerLease: 1,
+		LeaseTimeout:   time.Second,
+		HedgeAfter:     10 * time.Second, // never hedges: failures return first
+		MaxAttempts:    6,
+		Seed:           99,
+		OnDispatch:     h.onDispatch,
+	}
+
+	out, err := c.runStage(context.Background(), "t", SweepPlan{Platform: "x"}, StageStandalone, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 42 {
+		t.Fatalf("stage result = %v", out)
+	}
+
+	st := h.dispatches()
+	if len(st) != 4 {
+		t.Fatalf("expected 4 dispatches, got %d: %+v", len(st), st)
+	}
+	epoch := st[0].at
+	want := epoch
+	for i, s := range st {
+		if s.attempt != i+1 {
+			t.Fatalf("dispatch %d has attempt %d", i, s.attempt)
+		}
+		if !s.at.Equal(want) {
+			t.Fatalf("dispatch %d fired at %v, want exactly %v (off by %v)",
+				i+1, s.at.Sub(epoch), want.Sub(epoch), s.at.Sub(want))
+		}
+		// Next retry: this attempt fails after failDelay, then waits out
+		// the deterministic backoff for the attempt count so far.
+		want = s.at.Add(failDelay).Add(c.backoff("t/standalone/0", i+1))
+	}
+
+	stats := node.Stats()
+	if stats.LeasesGranted != 4 || stats.LeasesReassigned != 3 || stats.HedgedRequests != 0 {
+		t.Fatalf("stats = %+v, want 4 granted / 3 reassigned / 0 hedged", stats)
+	}
+}
+
+// TestBackoffJitterIsSeedStable pins that the backoff sequence is a pure
+// function of (seed, lease ID, attempt): same seed, same ticks; different
+// seed, different jitter.
+func TestBackoffJitterIsSeedStable(t *testing.T) {
+	mk := func(seed uint64) *Coordinator {
+		return &Coordinator{Seed: seed, BackoffBase: 50 * time.Millisecond, BackoffCap: 2 * time.Second}
+	}
+	a, b, c := mk(1), mk(1), mk(2)
+	sameSeedStable, otherSeedIdentical := true, true
+	for attempt := 1; attempt <= 5; attempt++ {
+		da, db, dc := a.backoff("lease", attempt), b.backoff("lease", attempt), c.backoff("lease", attempt)
+		if da != db {
+			sameSeedStable = false
+		}
+		if da != dc {
+			otherSeedIdentical = false
+		}
+		// Jitter draws from [d/2, d] for d = base << (attempt-1); the cap
+		// never binds for base 50ms over five attempts.
+		d := 50 * time.Millisecond << (attempt - 1)
+		if da < d/2 || da > d {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, da, d/2, d)
+		}
+	}
+	if !sameSeedStable {
+		t.Fatal("equal seeds produced different backoff ticks")
+	}
+	if otherSeedIdentical {
+		t.Fatal("different seeds produced an identical backoff sequence")
+	}
+}
+
+// TestHedgeFiresAtExactVirtualTick pins hedged-request timing: a lease
+// still in flight at started+HedgeAfter gets its single duplicate at
+// exactly that instant, routed to a different node than the primary.
+func TestHedgeFiresAtExactVirtualTick(t *testing.T) {
+	h := newTickHarness()
+	stop := h.v.AutoAdvance()
+	defer stop()
+
+	const hedgeDelay = 500 * time.Millisecond
+	tr := &scriptedTransport{}
+	tr.lease = func(ctx context.Context, url string, req LeaseRequest) (*LeaseResponse, error) {
+		if url == "u1" {
+			// Primary: a slow node, stuck until its lease deadline.
+			release := h.takeRelease()
+			release()
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		// Hedge target: healthy, answers after a short virtual delay.
+		ch := h.v.After(5 * time.Millisecond)
+		release := h.takeRelease()
+		release()
+		<-ch
+		return &LeaseResponse{ID: req.ID, Node: "n2", AchievedGBps: []float64{7}}, nil
+	}
+
+	node, err := NewNode(Config{
+		ID:        "n1",
+		Peers:     map[string]string{"n1": "u1", "n2": "u2"},
+		Transport: tr,
+		Clock:     h.v,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{
+		Node:           node,
+		PointsPerLease: 1,
+		LeaseTimeout:   2 * time.Second,
+		HedgeAfter:     hedgeDelay,
+		MaxAttempts:    6,
+		Seed:           7,
+		OnDispatch:     h.onDispatch,
+	}
+
+	out, err := c.runStage(context.Background(), "t", SweepPlan{Platform: "x"}, StageStandalone, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("stage result = %v", out)
+	}
+
+	st := h.dispatches()
+	if len(st) != 2 {
+		t.Fatalf("expected primary + hedge, got %d dispatches: %+v", len(st), st)
+	}
+	if st[0].node != "n1" || st[1].node != "n2" {
+		t.Fatalf("hedge did not avoid the primary: %+v", st)
+	}
+	if got := st[1].at.Sub(st[0].at); got != hedgeDelay {
+		t.Fatalf("hedge fired %v after the primary, want exactly %v", got, hedgeDelay)
+	}
+	if stats := node.Stats(); stats.HedgedRequests != 1 {
+		t.Fatalf("stats = %+v, want exactly one hedge", stats)
+	}
+}
+
+// TestProbeRoundCancelledMidFlightIsDiscarded pins the prober's
+// cancellation rule: a round whose parent context ends mid-flight must not
+// advance any hysteresis counter — cancellation is evidence about the
+// caller, not the peers. No auto-advancer here: virtual time standing
+// still keeps the probe timeout from firing, so the only way the blocked
+// ping can return is the parent cancellation under test.
+func TestProbeRoundCancelledMidFlightIsDiscarded(t *testing.T) {
+	v := clock.NewVirtual()
+
+	pinged := make(chan struct{}, 8)
+	tr := &scriptedTransport{
+		ping: func(ctx context.Context, url string) (*PingInfo, error) {
+			pinged <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	}
+	node, err := NewNode(Config{
+		ID:           "n1",
+		Peers:        map[string]string{"n1": "u1", "n2": "u2"},
+		Transport:    tr,
+		Clock:        v,
+		DownAfter:    1, // a single counted failure would flip n2 down
+		ProbeTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		node.Prober().ProbeOnce(ctx)
+	}()
+	<-pinged
+	cancel()
+	<-done
+
+	if !node.Prober().Up("n2") {
+		t.Fatal("cancelled probe round advanced the hysteresis counter")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
 )
 
 // PeerState is one peer's health as the prober sees it.
@@ -25,16 +27,32 @@ type PeerState struct {
 // after UpAfter consecutive successes. The asymmetry means one dropped
 // probe during a GC pause doesn't flap the routing tables, while a real
 // death is confirmed within DownAfter probe intervals.
+//
+// Every peer in a round is probed concurrently, so one round is one
+// observation of the whole cluster at (close to) one instant. The probes
+// used to run sequentially, each waiting out its own timeout before the
+// next began — under a symmetric partition that healed mid-round, peers
+// early in the ID order were observed partitioned and peers later in the
+// order were observed healed, so their hysteresis counters diverged and
+// lease routing flapped between nodes that were in identical network
+// positions. Concurrent probes close that window: the DST schedule in
+// internal/dst's prober regression test heals a partition mid-probe-round
+// and asserts both sides converge together.
 type Prober struct {
 	transport Transport
+	clk       clock.Clock
 	peers     map[string]string // peer ID → base URL (self excluded)
 	upAfter   int
 	downAfter int
 	timeout   time.Duration
 
-	// onUp is called (outside the lock) when a peer transitions down→up —
-	// the hook that flushes queued replication after a partition heals.
-	onUp func(peer string)
+	// onAlive is called (outside the lock) for every peer a probe round
+	// saw healthy — both down→up transitions and steady-state healthy
+	// peers. The node hangs its pending-replication flush here: flushing
+	// on every healthy observation (not only on the up transition) means
+	// an envelope queued by a transient replication failure still drains
+	// even if the peer never dipped below the hysteresis threshold.
+	onAlive func(peer string)
 
 	mu    sync.Mutex
 	state map[string]*peerHealth // guarded by mu
@@ -49,14 +67,15 @@ type peerHealth struct {
 }
 
 //pccs:allow-guardedby runs before the Prober escapes its constructor, so no probe goroutine can race the seed writes
-func newProber(cfg Config, onUp func(string)) *Prober {
+func newProber(cfg Config, onAlive func(string)) *Prober {
 	p := &Prober{
 		transport: cfg.Transport,
+		clk:       cfg.Clock,
 		peers:     make(map[string]string),
 		upAfter:   cfg.UpAfter,
 		downAfter: cfg.DownAfter,
 		timeout:   cfg.ProbeTimeout,
-		onUp:      onUp,
+		onAlive:   onAlive,
 		state:     make(map[string]*peerHealth),
 	}
 	for id, url := range cfg.Peers {
@@ -97,34 +116,58 @@ func (p *Prober) States() []PeerState {
 	return out
 }
 
-// ProbeOnce pings every peer once and applies the hysteresis transitions.
-// It is the unit the background loop repeats, exported so tests can step
-// peer health deterministically instead of sleeping through intervals.
+// ProbeOnce pings every peer once — concurrently, so the round observes
+// the cluster at one instant — and applies the hysteresis transitions in
+// sorted peer order. It is the unit the background loop repeats, exported
+// so tests can step peer health deterministically instead of sleeping
+// through intervals. A round whose parent context was cancelled is
+// discarded entirely: cancellation is evidence about the caller, not the
+// peers, and must not advance any failure counter.
 func (p *Prober) ProbeOnce(ctx context.Context) {
 	ids := make([]string, 0, len(p.peers))
 	for id := range p.peers {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	var cameUp []string
-	for _, id := range ids {
-		pctx, cancel := context.WithTimeout(ctx, p.timeout)
-		info, err := p.transport.Ping(pctx, p.peers[id])
-		cancel()
-		if p.record(id, info, err) {
-			cameUp = append(cameUp, id)
+
+	type outcome struct {
+		info *PingInfo
+		err  error
+	}
+	results := make([]outcome, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pctx, cancel := p.clk.WithTimeout(ctx, p.timeout)
+			defer cancel()
+			info, err := p.transport.Ping(pctx, p.peers[id])
+			results[i] = outcome{info: info, err: err}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return
+	}
+
+	var alive []string
+	for i, id := range ids {
+		if p.record(id, results[i].info, results[i].err) {
+			alive = append(alive, id)
 		}
 	}
-	if p.onUp != nil {
-		for _, id := range cameUp {
-			p.onUp(id)
+	if p.onAlive != nil {
+		for _, id := range alive {
+			p.onAlive(id)
 		}
 	}
 }
 
-// record applies one probe result and reports whether the peer just
-// transitioned down→up.
-func (p *Prober) record(id string, info *PingInfo, err error) (cameUp bool) {
+// record applies one probe result and reports whether the peer is healthy
+// after it (probe succeeded and the peer is — or just came — up).
+func (p *Prober) record(id string, info *PingInfo, err error) (alive bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := p.state[id]
@@ -145,9 +188,8 @@ func (p *Prober) record(id string, info *PingInfo, err error) (cameUp bool) {
 	st.known = true
 	if !st.up && st.succ >= p.upAfter {
 		st.up = true
-		return true
 	}
-	return false
+	return st.up
 }
 
 // Start runs the probe loop every interval until ctx ends.
@@ -156,7 +198,7 @@ func (p *Prober) Start(ctx context.Context, interval time.Duration) {
 		interval = 2 * time.Second
 	}
 	go func() {
-		t := time.NewTicker(interval)
+		t := p.clk.NewTicker(interval)
 		defer t.Stop()
 		for {
 			select {

@@ -18,6 +18,10 @@ type Store struct {
 	mu       sync.Mutex
 	versions map[string]Version // guarded by mu; model key → winning version
 	install  func(core.Params) error
+
+	// onAccept observes every accepted version, under the same lock as the
+	// install hook (set before the store is shared; see Config.OnAccept).
+	onAccept func(ReplicaEnvelope)
 }
 
 // NewStore builds a store; install (may be nil) is invoked for every
@@ -74,6 +78,9 @@ func (s *Store) applyLocked(p core.Params, v Version) (bool, Version, error) {
 		}
 	}
 	s.versions[key] = v
+	if s.onAccept != nil {
+		s.onAccept(ReplicaEnvelope{Key: key, Version: v, Params: p})
+	}
 	return true, v, nil
 }
 

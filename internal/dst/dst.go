@@ -1,0 +1,408 @@
+// Package dst is the deterministic-simulation-testing harness for the
+// pccsd cluster: it runs a whole multi-node cluster — coordinator, leases,
+// hedging, replication, health probing, crash recovery — inside one process
+// on a virtual clock (internal/clock) and an in-memory network (MemNet),
+// then subjects it to seed-generated fault schedules and checks invariants
+// that must hold after any sequence of partitions, crashes, message chaos,
+// and clock skew.
+//
+// Everything a schedule does is a pure function of its seed: the event
+// sequence (Generate), every per-message latency/drop/duplication draw
+// (MemNet's faultinject.Rand), and every lease result (FakeAchieved). Time
+// is virtual, so a schedule spanning tens of simulated seconds runs in
+// milliseconds of wall time and an explorer (cmd/pccs-dst, `make dst`) can
+// grind through hundreds of schedules per second under the race detector.
+// When one fails, a greedy shrinker reduces it to a minimal reproducer
+// replayable from its seed.
+//
+// What this deliberately does not model: goroutine scheduling order (the Go
+// runtime still interleaves freely — invariants are therefore written as
+// eventual, post-quiescence properties, not step-by-step lockstep ones) and
+// real-network timing (latencies are synthetic; the live-daemon chaos soak
+// keeps covering that). See DESIGN.md §14.
+package dst
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/clock"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// Simulation tuning: small virtual intervals keep a whole schedule's
+// timeline in the low tens of simulated seconds.
+const (
+	probeInterval = 200 * time.Millisecond
+	probeTimeout  = 500 * time.Millisecond
+	leaseTimeout  = 2 * time.Second
+	hedgeAfter    = 500 * time.Millisecond
+	publishBudget = time.Second
+)
+
+// dstRun is the nominal per-point run length carried in sweep plans. No
+// simulation ever runs it (leases execute FakeAchieved), it only has to be
+// identical between the distributed sweep and the reference pipeline.
+var dstRun = soc.RunConfig{WarmupCycles: 20_000, MeasureCycles: 60_000}
+
+// Options configures one simulated cluster.
+type Options struct {
+	// Nodes is the cluster size (default 3). Node IDs are n1..nK; n1
+	// hosts the coordinator and is never killed (coordinator failover is
+	// out of scope — ISSUE the day it exists).
+	Nodes int
+	// Replicas is the replication factor (default 2).
+	Replicas int
+	// Platform, TargetPU, PressurePU pick the sweep under test (defaults
+	// virtual-xavier, PU 0 pressured by PU 1).
+	Platform             string
+	TargetPU, PressurePU int
+	// Publishes is how many model versions the workload publishes across
+	// the cluster while faults fire (default 6: three keys, two versions
+	// each, from rotating nodes — enough to race replication with every
+	// fault kind).
+	Publishes int
+
+	// Deliberate bug re-introductions, used by the explorer's self-tests
+	// to prove the harness catches real defect classes:
+	//
+	// BugSkipRecovery restarts a crashed node without replaying its
+	// journal — the bug Recover exists to prevent.
+	BugSkipRecovery bool
+	// BugDropJournalTail restarts a crashed node with the journal's last
+	// record silently dropped — the torn-tail bug class FuzzJournalReopen
+	// guards the on-disk journal against, re-created here at cluster
+	// scope.
+	BugDropJournalTail bool
+
+	// SkipGoroutineCheck disables the per-schedule goroutine-leak
+	// invariant. Set when schedules run concurrently in one process,
+	// where the global goroutine count cross-talks between runs.
+	SkipGoroutineCheck bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
+	}
+	if o.Platform == "" {
+		o.Platform = "virtual-xavier"
+	}
+	if o.PressurePU == 0 && o.TargetPU == 0 {
+		o.PressurePU = 1
+	}
+	if o.Publishes == 0 {
+		o.Publishes = 6
+	}
+	return o
+}
+
+// Sim is one simulated cluster: K nodes on a shared virtual clock and
+// in-memory network, plus the context that scopes every goroutine the
+// simulation starts.
+type Sim struct {
+	opt   Options
+	seed  uint64
+	clk   *clock.Virtual
+	net   *MemNet
+	peers map[string]string
+	nodes []*SimNode
+	start time.Time
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	stopAdv func()
+	once    sync.Once
+}
+
+// SimNode is one simulated pccsd process. The cluster.Node is the process's
+// volatile memory — killed and rebuilt on crash/restart — while the journal
+// of accepted envelopes (fed by the OnAccept hook, journal-before-replicate)
+// is its durable disk, surviving any number of crashes.
+type SimNode struct {
+	sim  *Sim
+	id   string
+	skew *clock.Skewed
+
+	mu          sync.Mutex
+	node        *cluster.Node // guarded by mu; nil while crashed
+	alive       bool          // guarded by mu
+	probeCancel context.CancelFunc
+	journal     []cluster.ReplicaEnvelope // guarded by mu; the durable log
+	seen        map[string]bool           // guarded by mu; journal dedup
+}
+
+// NewSim boots a cluster: nodes, transports, probers, and the virtual
+// clock's auto-advancer. seed drives every network-level random draw.
+func NewSim(opt Options, seed uint64) (*Sim, error) {
+	opt = opt.withDefaults()
+	clk := clock.NewVirtual()
+	s := &Sim{
+		opt:   opt,
+		seed:  seed,
+		clk:   clk,
+		net:   NewMemNet(clk, seed),
+		peers: make(map[string]string, opt.Nodes),
+		start: clk.Now(),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < opt.Nodes; i++ {
+		id := nodeID(i)
+		s.peers[id] = memScheme + id
+	}
+	for i := 0; i < opt.Nodes; i++ {
+		n := &SimNode{
+			sim:  s,
+			id:   nodeID(i),
+			skew: clock.NewSkewed(clk, 0),
+			seen: make(map[string]bool),
+		}
+		s.net.register(n)
+		s.nodes = append(s.nodes, n)
+	}
+	for _, n := range s.nodes {
+		if err := n.boot(false); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	s.stopAdv = clk.AutoAdvance()
+	return s, nil
+}
+
+func nodeID(i int) string { return fmt.Sprintf("n%d", i+1) }
+
+// Clock exposes the base virtual clock (unskewed).
+func (s *Sim) Clock() *clock.Virtual { return s.clk }
+
+// Nodes returns the simulated nodes in ID order.
+func (s *Sim) Nodes() []*SimNode { return s.nodes }
+
+// Net exposes the simulated network for direct fault injection.
+func (s *Sim) Net() *MemNet { return s.net }
+
+// byID returns the node with the given ID (nil if unknown).
+func (s *Sim) byID(id string) *SimNode {
+	for _, n := range s.nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// elapsed is virtual time since the simulation booted.
+func (s *Sim) elapsed() time.Duration { return s.clk.Since(s.start) }
+
+// sleepUntil blocks (on virtual time) until the given offset from boot.
+func (s *Sim) sleepUntil(at time.Duration) {
+	if d := at - s.elapsed(); d > 0 {
+		s.clk.Sleep(d)
+	}
+}
+
+// Close tears the simulation down: cancels every goroutine it started and
+// stops the clock advancer. Idempotent.
+func (s *Sim) Close() {
+	s.once.Do(func() {
+		s.cancel()
+		if s.stopAdv != nil {
+			s.stopAdv()
+		}
+	})
+}
+
+// ID returns the node's cluster identity.
+func (n *SimNode) ID() string { return n.id }
+
+// Alive reports whether the simulated process is running.
+func (n *SimNode) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// Node returns the current cluster.Node incarnation (nil while crashed).
+func (n *SimNode) Node() *cluster.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.node
+}
+
+// Journal snapshots the node's durable log.
+func (n *SimNode) Journal() []cluster.ReplicaEnvelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]cluster.ReplicaEnvelope(nil), n.journal...)
+}
+
+// journalAppend is the OnAccept hook: it runs under the store lock, so an
+// accepted version is journaled before any replication of it leaves the
+// node. Lock order is store.mu → n.mu; nothing takes them the other way.
+func (n *SimNode) journalAppend(env cluster.ReplicaEnvelope) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	k := fmt.Sprintf("%s|%d|%s", env.Key, env.Version.Seq, env.Version.SHA)
+	if n.seen[k] {
+		return
+	}
+	n.seen[k] = true
+	n.journal = append(n.journal, env)
+}
+
+// boot builds a fresh cluster.Node incarnation and starts its prober. With
+// recover set it replays the journal first (modulo the deliberate recovery
+// bugs), re-queueing every record for its shard owners.
+func (n *SimNode) boot(recoverJournal bool) error {
+	cfg := cluster.Config{
+		ID:           n.id,
+		Peers:        n.sim.peers,
+		Replicas:     n.sim.opt.Replicas,
+		Transport:    n.sim.net.TransportFor(n.id),
+		Clock:        n.skew,
+		ProbeTimeout: probeTimeout,
+		OnAccept:     n.journalAppend,
+	}
+	node, err := cluster.NewNode(cfg)
+	if err != nil {
+		return err
+	}
+	pctx, cancel := context.WithCancel(n.sim.ctx)
+	n.mu.Lock()
+	n.node = node
+	n.alive = true
+	n.probeCancel = cancel
+	journal := append([]cluster.ReplicaEnvelope(nil), n.journal...)
+	n.mu.Unlock()
+
+	if recoverJournal && !n.sim.opt.BugSkipRecovery {
+		if n.sim.opt.BugDropJournalTail && len(journal) > 0 {
+			journal = journal[:len(journal)-1]
+		}
+		if err := node.Recover(journal); err != nil {
+			return err
+		}
+	}
+	node.Prober().Start(pctx, probeInterval)
+	return nil
+}
+
+// Kill crashes the node: its memory (store, pending replication queue,
+// prober state) is gone; only the journal survives. In-flight handlers
+// finish against the dead incarnation, but the transport suppresses any
+// traffic the corpse tries to send.
+func (n *SimNode) Kill() {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.alive = false
+	n.node = nil
+	cancel := n.probeCancel
+	n.probeCancel = nil
+	n.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Restart boots a crashed node, replaying its journal (see boot).
+func (n *SimNode) Restart() error {
+	if n.Alive() {
+		return nil
+	}
+	return n.boot(true)
+}
+
+// Publish publishes a model version from this node, exactly as a daemon
+// would after a local calibration. Crashed nodes publish nothing; owners
+// unreachable within the budget are left to the pending/flush machinery.
+func (n *SimNode) Publish(p core.Params) {
+	n.mu.Lock()
+	node, alive := n.node, n.alive
+	n.mu.Unlock()
+	if !alive || node == nil {
+		return
+	}
+	ctx, cancel := n.sim.clk.WithTimeout(n.sim.ctx, publishBudget)
+	defer cancel()
+	_, _ = node.Publish(ctx, p) // unreachable owners queue as pending
+}
+
+// handlePing serves the prober's health probe.
+func (n *SimNode) handlePing() (*cluster.PingInfo, error) {
+	n.mu.Lock()
+	node, alive := n.node, n.alive
+	n.mu.Unlock()
+	if !alive || node == nil {
+		return nil, fmt.Errorf("dst: node %s is down", n.id)
+	}
+	return &cluster.PingInfo{Node: n.id, Tier: "ok", Models: len(node.Store().Keys())}, nil
+}
+
+// handleLease executes a calibration lease with fake points (FakeAchieved).
+func (n *SimNode) handleLease(req cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	if !n.Alive() {
+		return nil, fmt.Errorf("dst: node %s is down", n.id)
+	}
+	if req.Lo < 0 || req.Hi < req.Lo {
+		return nil, fmt.Errorf("dst: lease %s has bad range [%d,%d)", req.ID, req.Lo, req.Hi)
+	}
+	vals := make([]float64, 0, req.Hi-req.Lo)
+	for i := req.Lo; i < req.Hi; i++ {
+		vals = append(vals, FakeAchieved(req.Plan, req.Stage, i))
+	}
+	return &cluster.LeaseResponse{ID: req.ID, Node: n.id, AchievedGBps: vals}, nil
+}
+
+// handleReplicate applies a pushed model version newer-wins.
+func (n *SimNode) handleReplicate(env cluster.ReplicaEnvelope) (*cluster.ReplicateAck, error) {
+	n.mu.Lock()
+	node, alive := n.node, n.alive
+	n.mu.Unlock()
+	if !alive || node == nil {
+		return nil, fmt.Errorf("dst: node %s is down", n.id)
+	}
+	applied, v, err := node.ApplyReplica(env)
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.ReplicateAck{Node: n.id, Applied: applied, Version: v}, nil
+}
+
+// Sweep runs one distributed calibration sweep coordinated from n1, over
+// fake points in virtual time. The coordinator seed is the schedule seed,
+// so backoff jitter replays with the schedule.
+func (s *Sim) Sweep(ctx context.Context) (*calib.Matrix, cluster.CoordinatorStats, error) {
+	n0 := s.nodes[0]
+	node := n0.Node()
+	if node == nil {
+		return nil, cluster.CoordinatorStats{}, fmt.Errorf("dst: coordinator node %s is down", n0.id)
+	}
+	co := &cluster.Coordinator{
+		Node:           node,
+		PointsPerLease: 4,
+		LeaseTimeout:   leaseTimeout,
+		HedgeAfter:     hedgeAfter,
+		MaxAttempts:    10,
+		BackoffBase:    50 * time.Millisecond,
+		BackoffCap:     500 * time.Millisecond,
+		Seed:           s.seed,
+	}
+	b, err := platform.Get(s.opt.Platform)
+	if err != nil {
+		return nil, cluster.CoordinatorStats{}, err
+	}
+	m, err := co.Sweep(ctx, b, s.opt.TargetPU, s.opt.PressurePU, dstRun)
+	return m, node.Stats(), err
+}

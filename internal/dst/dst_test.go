@@ -1,0 +1,186 @@
+package dst
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+)
+
+func TestFakeAchievedDeterministicAndPositive(t *testing.T) {
+	plan := samplePlan()
+	for i := 0; i < 50; i++ {
+		a := FakeAchieved(plan, "standalone", i)
+		b := FakeAchieved(plan, "standalone", i)
+		if a != b {
+			t.Fatalf("point %d not deterministic: %g vs %g", i, a, b)
+		}
+		if a < 1 {
+			t.Fatalf("point %d not positive: %g", i, a)
+		}
+	}
+	if FakeAchieved(plan, "standalone", 0) == FakeAchieved(plan, "corun", 0) {
+		t.Fatal("stages share values")
+	}
+}
+
+func TestReferenceMatrixStable(t *testing.T) {
+	a, err := ReferenceMatrix("virtual-xavier", 0, 1, dstRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReferenceMatrix("virtual-xavier", 0, 1, dstRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.StdBW) == 0 || len(a.StdBW) != len(b.StdBW) {
+		t.Fatalf("unstable reference: %d vs %d rows", len(a.StdBW), len(b.StdBW))
+	}
+	for i := range a.StdBW {
+		if a.StdBW[i] != b.StdBW[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestScheduleCodecRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		sch := Generate(seed, 3)
+		if len(sch.Events) < 3 || len(sch.Events) > 10 {
+			t.Fatalf("seed %d: %d events out of [3,10]", seed, len(sch.Events))
+		}
+		parsed, err := ParseSchedule(seed, 3, sch.String())
+		if err != nil {
+			t.Fatalf("seed %d: parsing own encoding: %v", seed, err)
+		}
+		if parsed.String() != sch.String() {
+			t.Fatalf("seed %d: round trip changed schedule:\n was %s\n now %s", seed, sch, parsed)
+		}
+	}
+	if _, err := ParseSchedule(1, 3, "10ms:frobnicate:n1"); err == nil {
+		t.Fatal("unknown kind parsed")
+	}
+	if _, err := ParseSchedule(1, 3, "10ms:cut:n1"); err == nil {
+		t.Fatal("cut without target parsed")
+	}
+}
+
+func TestGenerateDeterministicNeverKillsCoordinator(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		a, b := Generate(seed, 3), Generate(seed, 3)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+		for _, ev := range a.Events {
+			if ev.Kind == Kill && ev.A == "n1" {
+				t.Fatalf("seed %d kills the coordinator: %s", seed, ev)
+			}
+		}
+	}
+}
+
+// TestQuietSchedule is the baseline: no faults at all, every invariant
+// green.
+func TestQuietSchedule(t *testing.T) {
+	sch := Schedule{Seed: 1, Nodes: 3}
+	if err := RunSchedule(sch, Options{}); err != nil {
+		t.Fatalf("quiet cluster violated an invariant: %v", err)
+	}
+}
+
+// TestGreenSchedules runs a batch of random schedules; a correct cluster
+// must survive all of them.
+func TestGreenSchedules(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 3
+	}
+	if f, ran := Explore(n, 1000, 3, Options{}, nil); f != nil {
+		t.Fatalf("schedule %d of %d violated an invariant:\n%s", ran, n, f)
+	}
+}
+
+// TestProberSymmetricPartitionHealMidWindow pins the prober hysteresis fix:
+// a symmetric partition that heals mid-probe-window used to leave
+// sequentially-probing nodes with divergent hysteresis counters — one
+// round observing peer A before the heal and peer B after it — flapping
+// lease routing. Concurrent per-round probes observe one instant; this
+// schedule (partition both directions, heal just past a probe boundary)
+// must come out green.
+func TestProberSymmetricPartitionHealMidWindow(t *testing.T) {
+	spec := "100ms:cut:n1:n2;100ms:cut:n2:n1;110ms:cut:n2:n3;110ms:cut:n3:n2;" +
+		"690ms:heal:n1:n2;690ms:heal:n2:n1;710ms:heal:n2:n3;710ms:heal:n3:n2"
+	sch, err := ParseSchedule(7, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSchedule(sch, Options{}); err != nil {
+		t.Fatalf("mid-window heal schedule violated an invariant: %v", err)
+	}
+}
+
+// TestExplorerCatchesInjectedBugs is the harness's own acceptance test:
+// deliberately re-introduced recovery bugs must be caught within 100
+// schedules and shrink to a handful of fault events.
+func TestExplorerCatchesInjectedBugs(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"skip-recovery", Options{BugSkipRecovery: true}},
+		{"drop-journal-tail", Options{BugDropJournalTail: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f, ran := Explore(100, 42, 3, tc.opt, nil)
+			if f == nil {
+				t.Fatalf("bug %s not caught in %d schedules", tc.name, ran)
+			}
+			t.Logf("bug %s caught on schedule %d (seed %d), shrunk %d -> %d events",
+				tc.name, ran, f.Seed, len(f.Schedule.Events), len(f.Shrunk.Events))
+			if ran > 100 {
+				t.Fatalf("bug %s took %d schedules (budget 100)", tc.name, ran)
+			}
+			if len(f.Shrunk.Events) > 10 {
+				t.Fatalf("bug %s shrunk to %d events (want <= 10): %s", tc.name, len(f.Shrunk.Events), f.Shrunk)
+			}
+			if err := RunSchedule(f.Shrunk, tc.opt); err == nil {
+				t.Fatalf("bug %s: shrunk schedule no longer reproduces", tc.name)
+			}
+			if !strings.Contains(f.String(), "-schedule") {
+				t.Fatalf("failure lacks a replayable reproducer: %s", f)
+			}
+		})
+	}
+}
+
+// TestKillRestartRecoversJournal drives the crash path directly: a version
+// accepted just before a crash must survive the restart via journal replay.
+func TestKillRestartRecoversJournal(t *testing.T) {
+	spec := "200ms:kill:n2;400ms:restart:n2"
+	sch, err := ParseSchedule(11, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSchedule(sch, Options{}); err != nil {
+		t.Fatalf("kill/restart schedule violated an invariant: %v", err)
+	}
+}
+
+// TestSkewDoesNotBreakConvergence pins that clock skew — readings shifted,
+// durations honest — never breaks correctness, only (at worst) timing.
+func TestSkewDoesNotBreakConvergence(t *testing.T) {
+	spec := "50ms:skew:n2:1.5s;60ms:skew:n3:-900ms;300ms:cut:n1:n3;800ms:heal:n1:n3"
+	sch, err := ParseSchedule(13, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunSchedule(sch, Options{}); err != nil {
+		t.Fatalf("skew schedule violated an invariant: %v", err)
+	}
+}
+
+func samplePlan() cluster.SweepPlan {
+	return cluster.SweepPlan{Platform: "virtual-xavier", TargetPU: 0, PressurePU: 1, Run: dstRun}
+}

@@ -1,0 +1,391 @@
+package dst
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/core"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+)
+
+// watchdogTimeout bounds one schedule in *real* time. Virtual time only
+// advances while something is waiting on it; a deadlock where every
+// goroutine blocks on a channel or mutex stops the virtual clock dead, and
+// this is the net that catches it and reports the schedule instead of
+// hanging the explorer.
+//
+//pccs:allow-wallclock the watchdog measures real wall time by design — it exists to catch virtual time failing to advance
+const watchdogTimeout = 60 * time.Second
+
+// convergence loop bounds (virtual time).
+const (
+	convergeRounds = 60
+	convergeEvery  = 250 * time.Millisecond
+)
+
+// RunSchedule executes one fault schedule against a fresh simulated
+// cluster and returns nil when every invariant holds:
+//
+//  1. the distributed sweep's matrix is byte-identical to the single-node
+//     reference, no matter what the schedule did to the cluster;
+//  2. lease accounting balances: grants = leases + reassignments + hedges,
+//     and at least one grant per lease;
+//  3. after the heal/restart epilogue, every owner of every published key
+//     converges on the globally newest journaled version (newer-wins);
+//  4. every node's prober sees every peer up again (health convergence);
+//  5. the simulation leaks no goroutines.
+func RunSchedule(sch Schedule, opt Options) error {
+	done := make(chan error, 1)
+	go func() { done <- runSchedule(sch, opt) }()
+	select {
+	case err := <-done:
+		return err
+	//pccs:allow-wallclock the watchdog waits in real time by design (see watchdogTimeout)
+	case <-time.After(watchdogTimeout):
+		return fmt.Errorf("dst: schedule hung: virtual time stopped advancing for %v of real time", watchdogTimeout)
+	}
+}
+
+func runSchedule(sch Schedule, opt Options) error {
+	opt = opt.withDefaults()
+	if sch.Nodes > 0 {
+		opt.Nodes = sch.Nodes
+	}
+	before := runtime.NumGoroutine()
+
+	s, err := NewSim(opt, sch.Seed)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+
+	// Fault controller: fire the schedule's events at their virtual
+	// instants. A single goroutine, so events apply in order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range sch.Events {
+			s.sleepUntil(ev.At)
+			s.apply(ev)
+		}
+	}()
+
+	// Publish workload: model versions racing the faults.
+	for _, p := range publishPlan(sch.Seed, opt) {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.sleepUntil(p.at)
+			s.nodes[p.node].Publish(p.params)
+		}()
+	}
+
+	// Distributed sweep, coordinated from n1.
+	var (
+		matrix   *calib.Matrix
+		stats    cluster.CoordinatorStats
+		sweepErr error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.sleepUntil(50 * time.Millisecond)
+		matrix, stats, sweepErr = s.Sweep(s.ctx)
+	}()
+
+	wg.Wait()
+
+	// Invariant 1: byte-identical reassembly.
+	if sweepErr != nil {
+		return fmt.Errorf("dst: invariant sweep-completes: %w", sweepErr)
+	}
+	ref, err := ReferenceMatrix(opt.Platform, opt.TargetPU, opt.PressurePU, dstRun)
+	if err != nil {
+		return fmt.Errorf("dst: reference pipeline: %w", err)
+	}
+	got, _ := json.Marshal(matrix)
+	want, _ := json.Marshal(ref)
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("dst: invariant matrix-identical: distributed sweep diverged from single-node reference\n got: %.200s\nwant: %.200s", got, want)
+	}
+
+	// Invariant 2: lease accounting.
+	leases := referenceLeases(opt)
+	if stats.LeasesGranted < uint64(leases) {
+		return fmt.Errorf("dst: invariant lease-accounting: %d grants for %d leases", stats.LeasesGranted, leases)
+	}
+	if stats.LeasesGranted != uint64(leases)+stats.LeasesReassigned+stats.HedgedRequests {
+		return fmt.Errorf("dst: invariant lease-accounting: grants=%d != leases=%d + reassigned=%d + hedged=%d",
+			stats.LeasesGranted, leases, stats.LeasesReassigned, stats.HedgedRequests)
+	}
+
+	// Epilogue: heal everything, restart the dead, then demand convergence.
+	s.net.HealAll()
+	for _, n := range s.nodes {
+		if err := n.Restart(); err != nil {
+			return fmt.Errorf("dst: restarting %s: %w", n.id, err)
+		}
+	}
+
+	// Invariant 3: replica convergence to the newest journaled versions.
+	if err := s.awaitConvergence(); err != nil {
+		return err
+	}
+	// Invariant 4: prober health convergence.
+	if err := s.awaitHealth(); err != nil {
+		return err
+	}
+
+	s.Close()
+
+	// Invariant 5: no goroutine leaks.
+	if opt.SkipGoroutineCheck {
+		return nil
+	}
+	return awaitGoroutines(before)
+}
+
+// apply executes one schedule event. Unknown nodes and self-links are
+// ignored (hand-written schedules), as is any attempt to kill n1.
+func (s *Sim) apply(ev Event) {
+	if ev.A == ev.B {
+		return
+	}
+	switch ev.Kind {
+	case Cut:
+		s.net.SetCut(ev.A, ev.B, true)
+	case Heal:
+		s.net.SetCut(ev.A, ev.B, false)
+		s.net.SetDelay(ev.A, ev.B, 0)
+		s.net.SetDrop(ev.A, ev.B, 0)
+		s.net.SetDup(ev.A, ev.B, 0)
+	case Delay:
+		s.net.SetDelay(ev.A, ev.B, ev.Dur)
+	case Drop:
+		s.net.SetDrop(ev.A, ev.B, ev.Rate)
+	case Dup:
+		s.net.SetDup(ev.A, ev.B, ev.Rate)
+	case Kill:
+		if n := s.byID(ev.A); n != nil && n != s.nodes[0] {
+			n.Kill()
+		}
+	case Restart:
+		if n := s.byID(ev.A); n != nil {
+			_ = n.Restart()
+		}
+	case Skew:
+		if n := s.byID(ev.A); n != nil {
+			n.skew.SetOffset(ev.Dur)
+		}
+	}
+}
+
+// publish is one workload publish action.
+type publish struct {
+	at     time.Duration
+	node   int
+	params core.Params
+}
+
+// publishPlan derives the publish workload from the schedule seed: three
+// keys, versions published in sequence from rotating nodes, spread across
+// the fault window so replication races partitions, crashes, and dups.
+func publishPlan(seed uint64, opt Options) []publish {
+	r := faultinject.NewRand(seed).Fork(0x707562) // "pub"
+	plan := make([]publish, 0, opt.Publishes)
+	for i := 0; i < opt.Publishes; i++ {
+		key := i % 3
+		plan = append(plan, publish{
+			at:   100*time.Millisecond + time.Duration(r.Intn(int(horizon/time.Millisecond)-100))*time.Millisecond,
+			node: r.Intn(opt.Nodes),
+			params: core.Params{
+				Platform:    "dst-model",
+				PU:          fmt.Sprintf("pu%d", key),
+				NormalBW:    10 + float64(i),
+				IntensiveBW: 50 + float64(i),
+				MRMC:        12.5,
+				CBP:         30 + float64(i),
+				TBWDC:       60,
+				RateN:       1.5,
+				PeakBW:      137,
+			},
+		})
+	}
+	return plan
+}
+
+// referenceLeases computes how many leases the sweep splits into — a pure
+// function of the fake standalone column, like everything else.
+func referenceLeases(opt Options) int {
+	b, err := platform.Get(opt.Platform)
+	if err != nil {
+		return 0
+	}
+	cfg := calib.DefaultSweep(b, opt.TargetPU, opt.PressurePU)
+	plan := cluster.SweepPlan{Platform: b.PlatformName(), TargetPU: opt.TargetPU, PressurePU: opt.PressurePU, Run: dstRun}
+	alone := make([]float64, len(cfg.Calibrators))
+	for i := range alone {
+		alone[i] = FakeAchieved(plan, cluster.StageStandalone, i)
+	}
+	kept := calib.KeptIndices(alone)
+	per := 4 // Sim.Sweep's PointsPerLease
+	return ceilDiv(len(alone), per) + ceilDiv(len(kept)*len(cfg.ExtGBps), per)
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// awaitConvergence asserts invariant 3 within a bounded stretch of virtual
+// time: the globally newest journaled version of every key (the ground
+// truth — OnAccept journals every accepted version before replication, so
+// nothing newer can exist anywhere) is the winning version on every owner.
+func (s *Sim) awaitConvergence() error {
+	var diag string
+	for round := 0; round < convergeRounds; round++ {
+		if diag = s.convergenceDiag(); diag == "" {
+			return nil
+		}
+		s.clk.Sleep(convergeEvery)
+	}
+	return fmt.Errorf("dst: invariant replica-convergence: still diverged after %v virtual: %s",
+		convergeRounds*convergeEvery, diag)
+}
+
+func (s *Sim) convergenceDiag() string {
+	newest := make(map[string]cluster.Version)
+	for _, n := range s.nodes {
+		for _, env := range n.Journal() {
+			if cur, ok := newest[env.Key]; !ok || env.Version.Newer(cur) {
+				newest[env.Key] = env.Version
+			}
+		}
+	}
+	ring := s.nodes[0].Node() // n1 is never killed; the ring is static
+	if ring == nil {
+		return "coordinator node is down"
+	}
+	for key, want := range newest {
+		for _, owner := range ring.Owners(key) {
+			n := s.byID(owner)
+			node := n.Node()
+			if node == nil {
+				return fmt.Sprintf("owner %s of %s is down", owner, key)
+			}
+			if got := node.Store().VersionOf(key); got != want {
+				return fmt.Sprintf("owner %s of %s has %s, newest journaled is %s", owner, key, got, want)
+			}
+		}
+	}
+	return ""
+}
+
+// awaitHealth asserts invariant 4: every node's prober sees every peer up.
+func (s *Sim) awaitHealth() error {
+	var diag string
+	for round := 0; round < convergeRounds; round++ {
+		diag = ""
+		for _, n := range s.nodes {
+			node := n.Node()
+			if node == nil {
+				diag = fmt.Sprintf("node %s is down after epilogue", n.id)
+				break
+			}
+			for _, peer := range s.nodes {
+				if peer.id != n.id && !node.Prober().Up(peer.id) {
+					diag = fmt.Sprintf("%s still sees %s down", n.id, peer.id)
+					break
+				}
+			}
+			if diag != "" {
+				break
+			}
+		}
+		if diag == "" {
+			return nil
+		}
+		s.clk.Sleep(convergeEvery)
+	}
+	return fmt.Errorf("dst: invariant health-convergence: %s after %v virtual", diag, convergeRounds*convergeEvery)
+}
+
+// awaitGoroutines asserts invariant 5 in real time, giving cancelled
+// goroutines a moment to unwind.
+func awaitGoroutines(before int) error {
+	const slack = 3
+	after := 0
+	for i := 0; i < 200; i++ {
+		if after = runtime.NumGoroutine(); after <= before+slack {
+			return nil
+		}
+		//pccs:allow-wallclock goroutine unwinding happens in real time, not virtual
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("dst: invariant no-goroutine-leak: %d goroutines before, %d after teardown", before, after)
+}
+
+// Failure is a schedule that violated an invariant, plus its greedily
+// shrunk minimal reproducer.
+type Failure struct {
+	Seed     uint64
+	Schedule Schedule
+	Shrunk   Schedule
+	Err      error
+}
+
+// String renders the failure as replayable pccs-dst flags.
+func (f *Failure) String() string {
+	return fmt.Sprintf("seed %d: %v\n  replay:  pccs-dst -seed %d -nodes %d -schedule %q\n  shrunk:  pccs-dst -seed %d -nodes %d -schedule %q",
+		f.Seed, f.Err,
+		f.Seed, f.Schedule.Nodes, f.Schedule.String(),
+		f.Seed, f.Shrunk.Nodes, f.Shrunk.String())
+}
+
+// Explore generates and runs n schedules from consecutive seeds, stopping
+// at the first invariant violation, which it shrinks before returning.
+// progress (optional) is called after every green schedule. Returns the
+// failure (nil when all green) and how many schedules ran.
+func Explore(n int, baseSeed uint64, nodes int, opt Options, progress func(done int)) (*Failure, int) {
+	for i := 0; i < n; i++ {
+		seed := baseSeed + uint64(i)
+		sch := Generate(seed, nodes)
+		if err := RunSchedule(sch, opt); err != nil {
+			return &Failure{Seed: seed, Schedule: sch, Shrunk: Shrink(sch, opt), Err: err}, i + 1
+		}
+		if progress != nil {
+			progress(i + 1)
+		}
+	}
+	return nil, n
+}
+
+// Shrink greedily minimizes a failing schedule: repeatedly drop any single
+// event whose removal keeps the schedule failing, to a fixpoint. The
+// epilogue's heal-and-restart normalization is what makes single-event
+// removal sound — a kill whose restart was dropped (or vice versa) still
+// reaches a checkable end state.
+func Shrink(sch Schedule, opt Options) Schedule {
+	cur := sch
+	for changed := true; changed; {
+		changed = false
+		for i := len(cur.Events) - 1; i >= 0; i-- {
+			cand := cur
+			cand.Events = make([]Event, 0, len(cur.Events)-1)
+			cand.Events = append(cand.Events, cur.Events[:i]...)
+			cand.Events = append(cand.Events, cur.Events[i+1:]...)
+			if RunSchedule(cand, opt) != nil {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}

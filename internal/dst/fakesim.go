@@ -1,0 +1,63 @@
+package dst
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/platform"
+	"github.com/processorcentricmodel/pccs/internal/soc"
+)
+
+// FakeAchieved is the simulated cluster's lease executor: a pure function
+// of (plan, stage, point index) standing in for the real bandwidth
+// simulation. One real sweep point costs tens of milliseconds of simulated
+// cycles; a schedule explorer that runs hundreds of fault schedules per
+// second cannot afford any of them, and does not need to — the property
+// under test is the *distribution* machinery (leases, retries, hedges,
+// replication, recovery), whose soundness rests only on lease execution
+// being a deterministic pure function of the plan. This is that function,
+// made cheap. Real-simulation coverage of the same paths lives in the
+// cluster package's own tests.
+func FakeAchieved(plan cluster.SweepPlan, stage string, index int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%s|%d", plan.Platform, plan.TargetPU, plan.PressurePU, stage, index)
+	x := h.Sum64()
+	// SplitMix64 finalizer: decorrelates adjacent indices so the standalone
+	// column exercises KeptIndices' non-trivial filtering.
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return 1 + float64(x%119_000)/1000
+}
+
+// ReferenceMatrix computes the single-node ground truth for a fake-point
+// sweep: the exact pipeline Coordinator.Sweep runs (DefaultSweep →
+// SweepKernels → KeptIndices → AssembleMatrix), fed point-by-point from
+// FakeAchieved. The invariant checker demands the distributed sweep's
+// matrix be byte-identical to this no matter which nodes served which
+// leases or how many times a lease was reassigned mid-chaos.
+func ReferenceMatrix(platformName string, targetPU, pressurePU int, rc soc.RunConfig) (*calib.Matrix, error) {
+	b, err := platform.Get(platformName)
+	if err != nil {
+		return nil, err
+	}
+	cfg := calib.DefaultSweep(b, targetPU, pressurePU)
+	cfg.Run = rc
+	if err := cfg.Validate(b); err != nil {
+		return nil, err
+	}
+	plan := cluster.SweepPlan{Platform: b.PlatformName(), TargetPU: targetPU, PressurePU: pressurePU, Run: rc}
+	kernels := calib.SweepKernels(cfg)
+	alone := make([]float64, len(kernels))
+	for i := range alone {
+		alone[i] = FakeAchieved(plan, cluster.StageStandalone, i)
+	}
+	kept := calib.KeptIndices(alone)
+	corun := make([]float64, len(kept)*len(cfg.ExtGBps))
+	for i := range corun {
+		corun[i] = FakeAchieved(plan, cluster.StageCorun, i)
+	}
+	return calib.AssembleMatrix(b, cfg, alone, kept, corun)
+}

@@ -1,0 +1,211 @@
+package dst
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+)
+
+// Kind enumerates fault-schedule event types.
+type Kind string
+
+const (
+	// Cut blackholes the directed link A→B; Heal clears every fault on it.
+	Cut  Kind = "cut"
+	Heal Kind = "heal"
+	// Delay adds Dur of latency to A→B; Drop and Dup set A→B's message
+	// drop / duplication probability to Rate.
+	Delay Kind = "delay"
+	Drop  Kind = "drop"
+	Dup   Kind = "dup"
+	// Kill crashes node A; Restart boots it with journal recovery.
+	Kill    Kind = "kill"
+	Restart Kind = "restart"
+	// Skew sets node A's clock offset to Dur (may be negative).
+	Skew Kind = "skew"
+)
+
+// Event is one fault at one virtual instant.
+type Event struct {
+	// At is the virtual offset from simulation boot.
+	At   time.Duration
+	Kind Kind
+	// A and B name nodes; B is empty for node-scoped kinds.
+	A, B string
+	// Dur carries the delay/skew amount; Rate the drop/dup probability.
+	Dur  time.Duration
+	Rate float64
+}
+
+// String renders the event in the compact replayable form the explorer
+// prints: "at:kind:a[:b][:arg]", e.g. "120ms:cut:n1:n2",
+// "400ms:drop:n1:n3:0.5", "250ms:kill:n3", "600ms:skew:n2:-1s".
+func (e Event) String() string {
+	switch e.Kind {
+	case Cut, Heal:
+		return fmt.Sprintf("%s:%s:%s:%s", e.At, e.Kind, e.A, e.B)
+	case Delay:
+		return fmt.Sprintf("%s:%s:%s:%s:%s", e.At, e.Kind, e.A, e.B, e.Dur)
+	case Drop, Dup:
+		return fmt.Sprintf("%s:%s:%s:%s:%g", e.At, e.Kind, e.A, e.B, e.Rate)
+	case Kill, Restart:
+		return fmt.Sprintf("%s:%s:%s", e.At, e.Kind, e.A)
+	case Skew:
+		return fmt.Sprintf("%s:%s:%s:%s", e.At, e.Kind, e.A, e.Dur)
+	default:
+		return fmt.Sprintf("%s:%s:?", e.At, e.Kind)
+	}
+}
+
+// Schedule is one complete fault scenario: the seed that drives every
+// network-level random draw plus the event sequence. Generate makes the
+// events a pure function of the seed too, but a parsed or shrunk schedule
+// may carry events the seed would not generate — both replay exactly.
+type Schedule struct {
+	Seed   uint64
+	Nodes  int
+	Events []Event
+}
+
+// String renders the event list (";"-separated), the -schedule flag's format.
+func (s Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSchedule parses the String form back into a schedule. Seed and node
+// count travel separately (the -seed and -nodes flags).
+func ParseSchedule(seed uint64, nodes int, s string) (Schedule, error) {
+	sch := Schedule{Seed: seed, Nodes: nodes}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sch, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		ev, err := parseEvent(strings.TrimSpace(part))
+		if err != nil {
+			return Schedule{}, err
+		}
+		sch.Events = append(sch.Events, ev)
+	}
+	sort.SliceStable(sch.Events, func(i, j int) bool { return sch.Events[i].At < sch.Events[j].At })
+	return sch, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	f := strings.Split(s, ":")
+	if len(f) < 3 {
+		return Event{}, fmt.Errorf("dst: event %q needs at least at:kind:node", s)
+	}
+	at, err := time.ParseDuration(f[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("dst: event %q: bad offset: %w", s, err)
+	}
+	ev := Event{At: at, Kind: Kind(f[1]), A: f[2]}
+	rest := f[3:]
+	need := func(n int, what string) error {
+		if len(rest) != n {
+			return fmt.Errorf("dst: event %q: %s wants %s", s, ev.Kind, what)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case Cut, Heal:
+		if err := need(1, "a:b"); err != nil {
+			return Event{}, err
+		}
+		ev.B = rest[0]
+	case Delay:
+		if err := need(2, "a:b:duration"); err != nil {
+			return Event{}, err
+		}
+		ev.B = rest[0]
+		if ev.Dur, err = time.ParseDuration(rest[1]); err != nil {
+			return Event{}, fmt.Errorf("dst: event %q: bad duration: %w", s, err)
+		}
+	case Drop, Dup:
+		if err := need(2, "a:b:rate"); err != nil {
+			return Event{}, err
+		}
+		ev.B = rest[0]
+		if ev.Rate, err = strconv.ParseFloat(rest[1], 64); err != nil {
+			return Event{}, fmt.Errorf("dst: event %q: bad rate: %w", s, err)
+		}
+	case Kill, Restart:
+		if err := need(0, "just a node"); err != nil {
+			return Event{}, err
+		}
+	case Skew:
+		if err := need(1, "a:duration"); err != nil {
+			return Event{}, err
+		}
+		if ev.Dur, err = time.ParseDuration(rest[0]); err != nil {
+			return Event{}, fmt.Errorf("dst: event %q: bad duration: %w", s, err)
+		}
+	default:
+		return Event{}, fmt.Errorf("dst: event %q: unknown kind %q", s, ev.Kind)
+	}
+	return ev, nil
+}
+
+// horizon bounds generated event times; the workload (publishes, sweep)
+// spans the same window so faults land while work is in flight.
+const horizon = 1500 * time.Millisecond
+
+// Generate derives a schedule from a seed: 3–10 events over the horizon,
+// weighted toward the fault kinds that historically find bugs (partitions
+// and crashes). n1 is never killed — it hosts the coordinator — but its
+// links are fair game. Unpaired events are fine: the runner's epilogue
+// heals all links and restarts all dead nodes before invariants are
+// checked, so a cut without a heal or a kill without a restart still ends
+// in a checkable state, which is also what lets the shrinker drop events
+// one at a time.
+func Generate(seed uint64, nodes int) Schedule {
+	if nodes < 2 {
+		nodes = 3
+	}
+	r := faultinject.NewRand(seed).Fork(0x736368) // "sch"
+	count := 3 + r.Intn(8)
+	sch := Schedule{Seed: seed, Nodes: nodes}
+	for i := 0; i < count; i++ {
+		ev := Event{At: time.Duration(r.Intn(int(horizon/time.Millisecond))) * time.Millisecond}
+		a := r.Intn(nodes)
+		b := (a + 1 + r.Intn(nodes-1)) % nodes // distinct from a
+		ev.A, ev.B = nodeID(a), nodeID(b)
+		switch k := r.Intn(100); {
+		case k < 20:
+			ev.Kind = Cut
+		case k < 35:
+			ev.Kind = Heal
+		case k < 50:
+			ev.Kind = Delay
+			ev.Dur = time.Duration(1+r.Intn(50)) * time.Millisecond
+		case k < 62:
+			ev.Kind = Drop
+			ev.Rate = 0.2 + 0.7*r.Float64()
+		case k < 70:
+			ev.Kind = Dup
+			ev.Rate = 0.2 + 0.6*r.Float64()
+		case k < 80:
+			ev.Kind = Kill
+			ev.A, ev.B = nodeID(1+r.Intn(nodes-1)), ""
+		case k < 92:
+			ev.Kind = Restart
+			ev.A, ev.B = nodeID(1+r.Intn(nodes-1)), ""
+		default:
+			ev.Kind = Skew
+			ev.B = ""
+			ev.Dur = time.Duration(r.Intn(4001)-2000) * time.Millisecond
+		}
+		sch.Events = append(sch.Events, ev)
+	}
+	sort.SliceStable(sch.Events, func(i, j int) bool { return sch.Events[i].At < sch.Events[j].At })
+	return sch
+}

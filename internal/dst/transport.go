@@ -1,0 +1,244 @@
+package dst
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
+	"github.com/processorcentricmodel/pccs/internal/cluster"
+	"github.com/processorcentricmodel/pccs/internal/faultinject"
+)
+
+// memScheme prefixes simulated peer URLs ("mem://n2"). The cluster layer
+// treats URLs as opaque routing keys, so any scheme works; this one makes
+// simulated addresses unmistakable in diagnostics.
+const memScheme = "mem://"
+
+// link is the directed fault state of one ordered node pair. Every field
+// applies to messages sent from→to only, so partitions can be asymmetric —
+// the class of failure that distinguishes a real network from a crashed
+// process.
+type link struct {
+	cut   bool
+	delay time.Duration
+	drop  float64
+	dup   float64
+}
+
+// MemNet is the simulated network: every message between nodes crosses it,
+// paying a seeded per-message latency on virtual time and submitting to the
+// link's current fault state. Randomized per-message latency is also what
+// reorders concurrent messages — no explicit reorder fault is needed.
+type MemNet struct {
+	clk *clock.Virtual
+
+	mu    sync.Mutex
+	rnd   *faultinject.Rand   // guarded by mu; per-message jitter/drop/dup draws
+	links map[string]*link    // guarded by mu; "from→to", created on first use
+	nodes map[string]*SimNode // guarded by mu; node ID → simulated node
+}
+
+// NewMemNet builds an empty network whose per-message decisions replay
+// deterministically for a given seed.
+func NewMemNet(clk *clock.Virtual, seed uint64) *MemNet {
+	return &MemNet{
+		clk:   clk,
+		rnd:   faultinject.NewRand(seed).Fork(0x6e6574), // "net"
+		links: make(map[string]*link),
+		nodes: make(map[string]*SimNode),
+	}
+}
+
+func (m *MemNet) register(n *SimNode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.id] = n
+}
+
+func (m *MemNet) node(id string) *SimNode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nodes[id]
+}
+
+//pccs:allow-guardedby every caller holds m.mu
+func (m *MemNet) linkLocked(from, to string) *link {
+	key := from + "→" + to
+	l := m.links[key]
+	if l == nil {
+		l = &link{}
+		m.links[key] = l
+	}
+	return l
+}
+
+// SetCut cuts or restores the directed link (messages from→to blackhole).
+func (m *MemNet) SetCut(from, to string, cut bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkLocked(from, to).cut = cut
+}
+
+// SetDelay adds a fixed extra latency to the directed link.
+func (m *MemNet) SetDelay(from, to string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkLocked(from, to).delay = d
+}
+
+// SetDrop sets the directed link's message-drop probability.
+func (m *MemNet) SetDrop(from, to string, p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkLocked(from, to).drop = p
+}
+
+// SetDup sets the directed link's message-duplication probability.
+func (m *MemNet) SetDup(from, to string, p float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.linkLocked(from, to).dup = p
+}
+
+// HealAll clears every link fault (cuts, delays, drops, dups) at once —
+// the schedule epilogue that every invariant is checked after.
+func (m *MemNet) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links = make(map[string]*link)
+}
+
+// plan samples the fault decisions for one message leg at send time: total
+// latency, whether the message vanishes (cut links swallow everything), and
+// whether the request is duplicated. Decisions are drawn once per leg from
+// the seeded stream, so a schedule replays identically.
+func (m *MemNet) plan(from, to string) (d time.Duration, lost, dup bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := m.linkLocked(from, to)
+	d = l.delay + time.Duration(m.rnd.Intn(2001))*time.Microsecond
+	lost = l.cut || (l.drop > 0 && m.rnd.Float64() < l.drop)
+	dup = l.dup > 0 && m.rnd.Float64() < l.dup
+	return d, lost, dup
+}
+
+// wait spends one leg's latency on the virtual clock. A lost message never
+// arrives and never errors — exactly like a real blackhole, the sender
+// learns nothing until its own deadline expires.
+func (m *MemNet) wait(ctx context.Context, d time.Duration, lost bool) error {
+	if lost {
+		<-ctx.Done()
+		return fmt.Errorf("dst: message lost: %w", ctx.Err())
+	}
+	t := m.clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// TransportFor returns the cluster.Transport a node uses to reach its
+// peers, bound to the node's identity so directed link faults apply.
+func (m *MemNet) TransportFor(id string) cluster.Transport {
+	return &MemTransport{net: m, from: id}
+}
+
+// MemTransport implements cluster.Transport over the simulated network:
+// request leg, handler on the destination node (under a virtual-clock busy
+// token so auto-advance never skips over real compute), response leg. A
+// duplicated request runs the handler twice — the cluster's handlers are
+// idempotent by design, and the simulation holds them to it.
+type MemTransport struct {
+	net  *MemNet
+	from string
+}
+
+func (t *MemTransport) call(ctx context.Context, baseURL string, op func(n *SimNode) error) error {
+	to := strings.TrimPrefix(baseURL, memScheme)
+	if self := t.net.node(t.from); self == nil || !self.Alive() {
+		// A crashed process sends nothing: lingering goroutines of a killed
+		// incarnation (old flush loops, in-flight publishes) must not leak
+		// traffic into the cluster.
+		return fmt.Errorf("dst: node %s is down (send suppressed)", t.from)
+	}
+	d, lost, dup := t.net.plan(t.from, to)
+	if err := t.net.wait(ctx, d, lost); err != nil {
+		return err
+	}
+	n := t.net.node(to)
+	if n == nil {
+		return fmt.Errorf("dst: no route to %q", to)
+	}
+	runs := 1
+	if dup {
+		runs = 2
+	}
+	var err error
+	for i := 0; i < runs; i++ {
+		release := t.net.clk.Busy()
+		err = op(n)
+		release()
+	}
+	rd, rlost, _ := t.net.plan(to, t.from)
+	if werr := t.net.wait(ctx, rd, rlost); werr != nil {
+		return werr
+	}
+	return err
+}
+
+// Lease executes a calibration lease on the destination node.
+func (t *MemTransport) Lease(ctx context.Context, baseURL string, req cluster.LeaseRequest) (*cluster.LeaseResponse, error) {
+	var resp *cluster.LeaseResponse
+	err := t.call(ctx, baseURL, func(n *SimNode) error {
+		r, herr := n.handleLease(req)
+		if herr != nil {
+			return herr
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Ping probes the destination node's health.
+func (t *MemTransport) Ping(ctx context.Context, baseURL string) (*cluster.PingInfo, error) {
+	var info *cluster.PingInfo
+	err := t.call(ctx, baseURL, func(n *SimNode) error {
+		i, herr := n.handlePing()
+		if herr != nil {
+			return herr
+		}
+		info = i
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// Replicate pushes a model version to the destination node.
+func (t *MemTransport) Replicate(ctx context.Context, baseURL string, env cluster.ReplicaEnvelope) (*cluster.ReplicateAck, error) {
+	var ack *cluster.ReplicateAck
+	err := t.call(ctx, baseURL, func(n *SimNode) error {
+		a, herr := n.handleReplicate(env)
+		if herr != nil {
+			return herr
+		}
+		ack = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ack, nil
+}

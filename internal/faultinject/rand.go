@@ -1,0 +1,54 @@
+package faultinject
+
+// Rand is the package's deterministic random stream, exported for
+// machinery that needs whole sequences of seed-driven decisions rather
+// than per-site coin flips — the DST fault-schedule generator draws every
+// partition, delay, kill, and skew in a schedule from one Rand, so a
+// schedule is a pure function of its seed and replays identically from
+// `pccs-dst -seed`.
+//
+// The generator is SplitMix64: the same finalizer `decide` uses, iterated
+// over a Weyl sequence. It is tiny, allocation-free, and — unlike
+// math/rand's global source — impossible to perturb from anywhere else in
+// the process, which is the property replayability rests on. Not safe for
+// concurrent use; each consumer owns its own Rand.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a deterministic stream seeded with seed. Equal seeds
+// yield equal streams.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns the next value mapped to [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns the next value mapped to [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("faultinject: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns the next value as a coin flip with probability p of true.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Fork derives an independent stream from this one, labeled so sibling
+// forks (and the parent) never collide: schedule generation forks one
+// stream per simulated node, per link, etc., keeping each sub-sequence
+// stable when unrelated draws are added elsewhere.
+func (r *Rand) Fork(label uint64) *Rand {
+	return NewRand(r.Uint64() ^ (label * 0xbf58476d1ce4e5b9))
+}

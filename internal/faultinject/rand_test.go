@@ -1,0 +1,69 @@
+package faultinject
+
+import "testing"
+
+func TestRandDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("equal seeds diverged at draw %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	d := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		d.Uint64()
+	}
+	_ = d
+	x, y := NewRand(42), c
+	for i := 0; i < 64; i++ {
+		if x.Uint64() == y.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 42 and 43 collide on %d/64 draws", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10_000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+		if n := r.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	// Forks with different labels from identically-seeded parents are
+	// stable, and differ from each other and the parent stream.
+	p1, p2 := NewRand(99), NewRand(99)
+	f1, f2 := p1.Fork(1), p2.Fork(1)
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatalf("same-label forks diverged at draw %d", i)
+		}
+	}
+	g := NewRand(99).Fork(2)
+	h := NewRand(99).Fork(1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if g.Uint64() == h.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("labels 1 and 2 collide on %d/64 draws", same)
+	}
+}

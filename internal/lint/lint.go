@@ -171,6 +171,7 @@ func Analyzers() []*Analyzer {
 		LockOrder,
 		AtomicMix,
 		LeakCheck,
+		WallClock,
 	}
 }
 

@@ -41,3 +41,7 @@ func TestAtomicMix(t *testing.T) {
 func TestLeakCheck(t *testing.T) {
 	testAnalyzer(t, LeakCheck, "leakcheck/transport", "leakcheck/worker")
 }
+
+func TestWallClock(t *testing.T) {
+	testAnalyzer(t, WallClock, "wallclock/cluster", "wallclock/edge")
+}

@@ -1,0 +1,47 @@
+// Package cluster is a wallclock fixture: its base name puts it in scope,
+// so every direct wall-clock read or real timer must be flagged unless it
+// carries an annotated escape.
+package cluster
+
+import "time"
+
+// Clock is a stand-in for the injected seam; calls through it are fine.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+func readsWallClock() time.Time {
+	return time.Now() // want `time\.Now bypasses the injected clock`
+}
+
+func sleepsForReal() {
+	time.Sleep(time.Second) // want `time\.Sleep bypasses the injected clock`
+}
+
+func armsRealTimers(d time.Duration) {
+	t := time.NewTimer(d) // want `time\.NewTimer bypasses the injected clock`
+	defer t.Stop()
+	tick := time.NewTicker(d) // want `time\.NewTicker bypasses the injected clock`
+	defer tick.Stop()
+	<-time.After(d)             // want `time\.After bypasses the injected clock`
+	_ = time.Since(time.Time{}) // want `time\.Since bypasses the injected clock`
+}
+
+// throughSeam routes everything through the injected clock — nothing to
+// flag, including duration arithmetic and fixed-date construction.
+func throughSeam(clk Clock, d time.Duration) time.Duration {
+	clk.Sleep(2 * d)
+	epoch := time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+	now := clk.Now()
+	if now.After(epoch) && epoch.Before(now) { // Time methods, not time.After
+		d++
+	}
+	return now.Round(time.Millisecond).Sub(epoch).Truncate(time.Second) + d
+}
+
+// annotatedEdge is a deliberate operator-facing exception.
+func annotatedEdge() time.Time {
+	//pccs:allow-wallclock operator-facing timestamp, nothing branches on it
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Package edge is the wallclock out-of-scope fixture: its base name is in
+// neither cluster nor server, so identical wall-clock use draws no
+// diagnostics — the analyzer polices the simulated distribution layer, not
+// the whole tree.
+package edge
+
+import "time"
+
+func fineHere() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	return time.Since(start)
+}

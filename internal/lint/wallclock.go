@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallClock forbids direct wall-clock use in the cluster and server
+// packages. Those packages run under deterministic simulation (internal/dst
+// and the virtual-time unit tests): every timer, timeout, backoff, and
+// timestamp must come through the injected clock.Clock seam, because a
+// single direct time.Now or time.Sleep reads real time inside a simulation
+// whose clock is standing still — timeouts that never fire under the
+// virtual clock, or (worse) fire at wall-time instants the schedule replay
+// cannot reproduce. The simulation core has its own, stricter analyzer
+// (nodeterminism); this one covers the distribution layer, where wall time
+// is legitimate only at the operator-facing edge.
+//
+// Flagged: calls to time.Now, time.Since, time.Until, time.Sleep,
+// time.After, time.AfterFunc, time.NewTimer, time.NewTicker, and time.Tick
+// in non-test files of packages whose base name is cluster or server.
+// time.Duration arithmetic, time.Date, parsing, and formatting are fine —
+// they compute with time, they don't read or wait on it.
+//
+// Deliberate edge-of-system exceptions (an operator-facing health
+// timestamp, a real-time watchdog around the simulator itself) carry
+// //pccs:allow-wallclock with the reason.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid direct wall-clock reads and timers in cluster/server: use the injected clock.Clock seam",
+	Run:  runWallClock,
+}
+
+// wallClockScope lists the package base names that must route time through
+// the injected clock. Distinct from CoreScope: the simulation core bans
+// wall time outright (nodeterminism), while these packages may touch it
+// behind an annotated seam.
+var wallClockScope = map[string]bool{
+	"cluster": true,
+	"server":  true,
+}
+
+// wallClockFuncs are the package-level time functions that read the real
+// clock or arm real timers.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+	"Tick": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !wallClockScope[pkgBase(pass.PkgPath)] {
+		return nil
+	}
+	walkWithStack(pass.Files, func(n ast.Node, _ []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !wallClockFuncs[fn.Name()] || !isPkgFunc(fn, "time", fn.Name()) {
+			// Methods named After/Sub/etc. on time.Time compare instants the
+			// caller already holds — only package-level reads are the leak.
+			return
+		}
+		pass.Reportf(call.Pos(), "time.%s bypasses the injected clock: route through clock.Clock so the deterministic simulation controls it", fn.Name())
+	})
+	return nil
+}

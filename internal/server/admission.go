@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
 )
 
 // ErrShed is returned by Limiter.Acquire when a request is shed instead of
@@ -30,9 +32,16 @@ type LimiterConfig struct {
 	// MaxWaiters bounds the LIFO wait queue; beyond it the oldest waiter
 	// is shed.
 	MaxWaiters int
+	// Clock supplies time for the AIMD decrease rate-limit and Retry-After
+	// estimates (default the real clock; the DST harness injects a virtual
+	// one).
+	Clock clock.Clock
 }
 
 func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.Clock == nil {
+		c.Clock = clock.System()
+	}
 	if c.Target <= 0 {
 		c.Target = 250 * time.Millisecond
 	}
@@ -80,7 +89,7 @@ type Limiter struct {
 // NewLimiter builds a limiter starting (optimistically) at cfg.Max.
 func NewLimiter(cfg LimiterConfig) *Limiter {
 	cfg = cfg.withDefaults()
-	return &Limiter{cfg: cfg, now: time.Now, limit: float64(cfg.Max)}
+	return &Limiter{cfg: cfg, now: cfg.Clock.Now, limit: float64(cfg.Max)}
 }
 
 // Acquire blocks until the request is admitted, shed (ErrShed), or ctx ends.
@@ -312,7 +321,7 @@ func NewRateLimiter(rate float64, burst int) *RateLimiter {
 	return &RateLimiter{
 		rate:       rate,
 		burst:      b,
-		now:        time.Now,
+		now:        clock.System().Now,
 		buckets:    make(map[string]*bucket),
 		maxClients: 10_000,
 	}

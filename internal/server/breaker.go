@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
 )
 
 // ErrBreakerOpen is returned when the calibration circuit breaker is
@@ -55,6 +57,9 @@ type BreakerConfig struct {
 	// Cooldown is how long the circuit stays open before half-opening
 	// (default 15s).
 	Cooldown time.Duration
+	// Clock supplies time for the cooldown (default the real clock; the
+	// DST harness injects a virtual one).
+	Clock clock.Clock
 }
 
 func (c BreakerConfig) withDefaults() BreakerConfig {
@@ -72,6 +77,9 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 15 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
 	}
 	return c
 }
@@ -100,7 +108,7 @@ type Breaker struct {
 // closed/half-open → open transition.
 func NewBreaker(cfg BreakerConfig, onTrip func()) *Breaker {
 	cfg = cfg.withDefaults()
-	return &Breaker{cfg: cfg, now: time.Now, onTrip: onTrip, window: make([]bool, cfg.Window)}
+	return &Breaker{cfg: cfg, now: cfg.Clock.Now, onTrip: onTrip, window: make([]bool, cfg.Window)}
 }
 
 // Allow asks to run one unit of breaker-protected work. A nil return is a

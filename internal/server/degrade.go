@@ -5,6 +5,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"github.com/processorcentricmodel/pccs/internal/clock"
 )
 
 // Tier is the serving tier under load: nominal, brownout (predictions come
@@ -44,6 +46,9 @@ type DegradeConfig struct {
 	// BrownoutAt / OverloadAt enter the tiers (defaults 5/s and 50/s);
 	// ExitAt (default 1/s) is the hysteresis floor back to TierOK.
 	BrownoutAt, OverloadAt, ExitAt float64
+	// Clock supplies time for the decay (default the real clock; the DST
+	// harness injects a virtual one).
+	Clock clock.Clock
 }
 
 func (c DegradeConfig) withDefaults() DegradeConfig {
@@ -58,6 +63,9 @@ func (c DegradeConfig) withDefaults() DegradeConfig {
 	}
 	if c.ExitAt <= 0 {
 		c.ExitAt = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
 	}
 	return c
 }
@@ -80,7 +88,8 @@ type Degrader struct {
 
 // NewDegrader builds a TierOK degrader.
 func NewDegrader(cfg DegradeConfig) *Degrader {
-	return &Degrader{cfg: cfg.withDefaults(), now: time.Now}
+	cfg = cfg.withDefaults()
+	return &Degrader{cfg: cfg, now: cfg.Clock.Now}
 }
 
 // RecordShed feeds one shed event into the pressure signal. Each event adds

@@ -553,7 +553,7 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 	// client's budget is spent.
 	var deadline *time.Time
 	if budget, ok := clientBudget(r); ok {
-		t := time.Now().Add(budget)
+		t := s.clk.Now().Add(budget)
 		deadline = &t
 	}
 	job, err := s.jobs.SubmitWithDeadline(spec, deadline)
@@ -631,7 +631,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"inflight_requests": lst.InFlight,
 		"breaker":           breaker.String(),
 		"shed_total":        s.metrics.ShedTotal(),
-		"uptime_seconds":    time.Since(s.start).Seconds(),
+		"uptime_seconds":    s.clk.Since(s.start).Seconds(),
 	}
 	if lst.Shed > 0 || lst.Waiting > 0 || tier != TierOK {
 		body["admission"] = map[string]any{

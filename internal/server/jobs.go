@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/processorcentricmodel/pccs/internal/calib"
+	"github.com/processorcentricmodel/pccs/internal/clock"
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
 	"github.com/processorcentricmodel/pccs/internal/platform"
@@ -233,6 +234,7 @@ type JobRunner struct {
 	breaker    *Breaker
 	jobTimeout time.Duration // per-job execution budget; 0 = unbounded
 	workers    int
+	clk        clock.Clock
 
 	mu          sync.Mutex
 	jobs        map[string]*Job               // guarded by mu
@@ -264,6 +266,7 @@ type jobRunnerOptions struct {
 	onPanic    func()
 	breaker    *Breaker      // nil disables circuit breaking
 	jobTimeout time.Duration // per-job execution budget; 0 = unbounded
+	clk        clock.Clock   // nil selects the real clock
 }
 
 // NewJobRunner starts workers goroutines draining a queue of depth
@@ -291,6 +294,9 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 	if o.schedule == nil {
 		o.schedule = makeSchedule(o.reg, o.faults, o.retry)
 	}
+	if o.clk == nil {
+		o.clk = clock.System()
+	}
 	// Every non-terminal replayed job must fit the queue, whatever depth
 	// the config asks for — replay must not drop jobs.
 	pending := 0
@@ -312,6 +318,7 @@ func newJobRunner(o jobRunnerOptions) *JobRunner {
 		breaker:    o.breaker,
 		jobTimeout: o.jobTimeout,
 		workers:    o.workers,
+		clk:        o.clk,
 		jobs:       make(map[string]*Job),
 		cancels:    make(map[string]context.CancelFunc),
 		queue:      make(chan string, o.queueDepth),
@@ -445,7 +452,7 @@ func (r *JobRunner) enqueue(job *Job) (Job, error) {
 	r.seq++
 	job.ID = fmt.Sprintf("job-%06d", r.seq)
 	job.State = JobQueued
-	job.Submitted = time.Now().UTC()
+	job.Submitted = r.clk.Now().UTC()
 	select {
 	case r.queue <- job.ID:
 	default:
@@ -497,7 +504,7 @@ func (r *JobRunner) Cancel(id string) (Job, error) {
 	}
 	switch job.State {
 	case JobQueued:
-		now := time.Now().UTC()
+		now := r.clk.Now().UTC()
 		job.State = JobCancelled
 		job.Finished = &now
 		job.Error = "cancelled before start"
@@ -605,7 +612,7 @@ func (r *JobRunner) run(id string) {
 		r.mu.Unlock()
 		return
 	}
-	now := time.Now().UTC()
+	now := r.clk.Now().UTC()
 	// Deadline propagation: a job whose client budget already expired while
 	// it sat in the queue is abandoned before any simulation work starts.
 	if job.Deadline != nil && now.After(*job.Deadline) {
@@ -695,7 +702,7 @@ func (r *JobRunner) run(id string) {
 
 	r.mu.Lock()
 	delete(r.cancels, id)
-	end := time.Now().UTC()
+	end := r.clk.Now().UTC()
 	job.Finished = &end
 	r.running--
 	switch {

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalReopen fuzzes the journal's tail-repair path: a file holding a
+// valid record prefix followed by arbitrary crash debris. The properties:
+//
+//   - OpenJournal either repairs the tail or fails — it never silently
+//     drops a record from the valid, newline-terminated prefix;
+//   - when it fails, the file is left byte-for-byte untouched (diagnosis
+//     must see what the crash left, not a half-repair);
+//   - after a successful open, the journal accepts appends and a reopen is
+//     idempotent: the repaired file replays to the same jobs plus the new
+//     append, with no residue of the debris resurfacing.
+func FuzzJournalReopen(f *testing.F) {
+	validRecord := func(id string, state JobState) []byte {
+		line, err := json.Marshal(journalRecord{Job: Job{ID: id, State: state}})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return append(line, '\n')
+	}
+	whole := validRecord("job-000007", JobCompleted)
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(3), []byte{})
+	f.Add(uint8(2), whole[:len(whole)/2])             // torn mid-record
+	f.Add(uint8(1), whole[:len(whole)-1])             // complete record, newline lost
+	f.Add(uint8(2), []byte("\n\n"))                   // blank tail lines
+	f.Add(uint8(1), []byte("{\"job\":{}}\n"))         // terminated record without an id
+	f.Add(uint8(2), []byte("not json\n"))             // terminated garbage
+	f.Add(uint8(1), []byte("not json"))               // unterminated garbage
+	f.Add(uint8(2), append([]byte(nil), whole...))    // extra whole record in the tail
+	f.Add(uint8(1), []byte{0x00, 0xff, 0x00})         // binary debris
+	f.Add(uint8(0), []byte("{\"job\":{\"id\":\"x\"")) // torn first record, no prefix
+
+	f.Fuzz(func(t *testing.T, nPrefix uint8, tail []byte) {
+		n := int(nPrefix % 5)
+		dir := t.TempDir()
+		path := filepath.Join(dir, "journal.jsonl")
+
+		var file bytes.Buffer
+		prefixIDs := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("job-%06d", i)
+			prefixIDs = append(prefixIDs, id)
+			file.Write(validRecord(id, JobQueued))
+			if i%2 == 0 { // a second transition exercises last-record-wins
+				file.Write(validRecord(id, JobCompleted))
+			}
+		}
+		file.Write(tail)
+		if err := os.WriteFile(path, file.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		j, jobs, err := OpenJournal(path)
+		if err != nil {
+			// Refusal is legitimate (terminated corruption), but it must
+			// leave the crash evidence exactly as found.
+			after, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("journal unreadable after failed open: %v", rerr)
+			}
+			if !bytes.Equal(after, file.Bytes()) {
+				t.Fatalf("failed open modified the journal:\n was %q\n now %q", file.Bytes(), after)
+			}
+			return
+		}
+		defer j.Close()
+
+		// Every prefix job must survive the repair. The tail may legally
+		// contain further valid records (last-wins can change states), but
+		// an ID vanishing means a terminal record was silently dropped.
+		seen := make(map[string]bool, len(jobs))
+		for _, job := range jobs {
+			seen[job.ID] = true
+		}
+		for _, id := range prefixIDs {
+			if !seen[id] {
+				t.Fatalf("open dropped prefix job %s (tail %q)", id, tail)
+			}
+		}
+
+		// The repaired journal must accept appends...
+		extra := Job{ID: "job-after-repair", State: JobQueued}
+		if err := j.Append(extra); err != nil {
+			t.Fatalf("append after repair: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("close after repair: %v", err)
+		}
+
+		// ...and reopen idempotently: same jobs plus the append, and a
+		// third replay agreeing byte-for-byte with the second.
+		j2, jobs2, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("reopen of repaired journal failed: %v", err)
+		}
+		defer j2.Close()
+		want := append(append([]Job(nil), jobs...), extra)
+		a, _ := json.Marshal(want)
+		b, _ := json.Marshal(jobs2)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("reopen replayed different jobs:\n want %s\n got  %s", a, b)
+		}
+		j2.Close()
+		j3, jobs3, err := OpenJournal(path)
+		if err != nil {
+			t.Fatalf("third open failed: %v", err)
+		}
+		j3.Close()
+		c, _ := json.Marshal(jobs3)
+		if !bytes.Equal(b, c) {
+			t.Fatalf("replay not stable across reopens:\n second %s\n third  %s", b, c)
+		}
+	})
+}

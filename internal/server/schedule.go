@@ -226,7 +226,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// handleCalibrate for why it is read from the header, not the context).
 	var deadline *time.Time
 	if budget, ok := clientBudget(r); ok {
-		t := time.Now().Add(budget)
+		t := s.clk.Now().Add(budget)
 		deadline = &t
 	}
 	job, err := s.jobs.SubmitSchedule(spec, deadline)

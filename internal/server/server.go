@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/processorcentricmodel/pccs/internal/clock"
 	"github.com/processorcentricmodel/pccs/internal/cluster"
 	"github.com/processorcentricmodel/pccs/internal/core"
 	"github.com/processorcentricmodel/pccs/internal/faultinject"
@@ -92,6 +93,13 @@ type Config struct {
 	// exceeds this many bytes, in addition to the record-count trigger
 	// (0 keeps record-count only). Wired from -journal-compact-bytes.
 	JournalCompactBytes int64
+
+	// Clock supplies time to every time-dependent server mechanism —
+	// admission EWMA, breaker cooldown, degrade decay, Retry-After stamps,
+	// latency metrics, job/journal timestamps, and (unless the cluster
+	// config sets its own) the cluster machinery. Defaults to the real
+	// clock; the DST harness injects a virtual one.
+	Clock clock.Clock
 }
 
 // Chaos sites armed by Config.Faults, alongside the simrun sites the
@@ -135,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxWaiters <= 0 {
 		c.MaxWaiters = 512
 	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
+	}
 	return c
 }
 
@@ -154,6 +165,7 @@ type Server struct {
 	jobs    *JobRunner
 	journal *Journal
 	metrics *Metrics
+	clk     clock.Clock
 	start   time.Time
 
 	// Overload-resilience collaborators: the adaptive concurrency limiter
@@ -220,6 +232,12 @@ func New(cfg Config) (*Server, error) {
 func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Journal, replayed []Job) (*Server, error) {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics()
+	if cfg.Breaker.Clock == nil {
+		cfg.Breaker.Clock = cfg.Clock
+	}
+	if cfg.Degrade.Clock == nil {
+		cfg.Degrade.Clock = cfg.Clock
+	}
 	breaker := NewBreaker(cfg.Breaker, func() { metrics.CountShed("/v1/calibrate", "breaker-trip") })
 	// Cluster membership is wired before the job runner: on a cluster node
 	// the default construction is the distributed sweep, and constructed
@@ -228,6 +246,9 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 	if cfg.Cluster != nil {
 		ccfg := *cfg.Cluster
 		ccfg.Install = func(p core.Params) error { return reg.Put(p) }
+		if ccfg.Clock == nil {
+			ccfg.Clock = cfg.Clock
+		}
 		var err error
 		node, err = cluster.NewNode(ccfg)
 		if err != nil {
@@ -256,14 +277,17 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 			onPanic:    func() { metrics.CountPanic("jobs") },
 			breaker:    breaker,
 			jobTimeout: cfg.JobTimeout,
+			clk:        cfg.Clock,
 		}),
 		journal: journal,
 		metrics: metrics,
-		start:   time.Now(),
+		clk:     cfg.Clock,
+		start:   cfg.Clock.Now(),
 		limiter: NewLimiter(LimiterConfig{
 			Target:     cfg.AdmissionTarget,
 			Max:        cfg.MaxConcurrency,
 			MaxWaiters: cfg.MaxWaiters,
+			Clock:      cfg.Clock,
 		}),
 		eplimits: newEndpointLimits(cfg.EndpointCaps),
 		degrade:  NewDegrader(cfg.Degrade),
@@ -283,6 +307,7 @@ func newServer(cfg Config, reg *Registry, construct constructFunc, journal *Jour
 	}
 	if cfg.RatePerSec > 0 {
 		s.ratelimit = NewRateLimiter(cfg.RatePerSec, cfg.RateBurst)
+		s.ratelimit.now = cfg.Clock.Now
 	}
 	if len(cfg.Platforms) > 0 {
 		s.allowed = map[string]bool{}
@@ -409,7 +434,7 @@ func (s *Server) shed(w http.ResponseWriter, label, reason string, code int, ret
 func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		begin := time.Now()
+		begin := s.clk.Now()
 		if budget, ok := clientBudget(r); ok {
 			ctx, cancel := context.WithTimeout(r.Context(), budget)
 			defer cancel()
@@ -423,14 +448,14 @@ func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.H
 					// rejection but do not feed the degrader.
 					s.metrics.CountShed(label, "rate-limit")
 					s.refuse(rec, http.StatusTooManyRequests, wait, "client rate limit exceeded, retry in %s", clampRetry(wait))
-					s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+					s.metrics.Observe(label, rec.code, s.clk.Since(begin).Seconds())
 					return
 				}
 			}
 			if !s.eplimits.acquire(label) {
 				s.shed(rec, label, "endpoint-cap", http.StatusServiceUnavailable,
 					s.limiter.RetryAfter(), "endpoint %s at capacity", label)
-				s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+				s.metrics.Observe(label, rec.code, s.clk.Since(begin).Seconds())
 				return
 			}
 			defer s.eplimits.release(label)
@@ -441,7 +466,7 @@ func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.H
 				}
 				s.shed(rec, label, reason, http.StatusServiceUnavailable,
 					s.limiter.RetryAfter(), "%s", msg)
-				s.metrics.Observe(label, rec.code, time.Since(begin).Seconds())
+				s.metrics.Observe(label, rec.code, s.clk.Since(begin).Seconds())
 				return
 			}
 			admitted = true
@@ -462,7 +487,7 @@ func (s *Server) instrument(label string, admit bool, h http.HandlerFunc) http.H
 			}
 			h(rec, r)
 		}()
-		latency := time.Since(begin)
+		latency := s.clk.Since(begin)
 		if admitted {
 			s.limiter.Release(latency, rec.code < http.StatusInternalServerError)
 		}
